@@ -1,0 +1,72 @@
+// E1 — paper Figure 1 + assumption AWB2 (§2.3).
+//
+// Claim reproduced: convergence requires only *asymptotically* well-behaved
+// timers. Timers that lie arbitrarily during a finite prefix, or whose
+// durations are non-monotone (as long as they dominate a diverging f_R),
+// still yield a unique eventual leader. A timer whose durations are capped
+// (violating condition f2) breaks the boundedness guarantee: suspicions keep
+// growing forever.
+#include "harness.h"
+
+int main() {
+  using namespace omega;
+  using namespace omega::bench;
+
+  std::cout << banner(
+      "E1: asymptotically well-behaved timers (paper Fig. 1, AWB2)",
+      {"workload: fig2 algorithm, n=8, AWB world, 3 seeds per timer model",
+       "measure : convergence + suspicion-freeze in the 2nd half of the run"});
+
+  const SimTime horizon = 400000;
+  Verdict verdict;
+  AsciiTable table({"timer model", "AWB2?", "seed", "converged", "stable at",
+                    "susp @1/2", "susp @end", "frozen 2nd half?"});
+
+  for (TimerKind timer :
+       {TimerKind::kPerfect, TimerKind::kChaoticPrefix,
+        TimerKind::kNonMonotone, TimerKind::kSubDominating}) {
+    const bool awb2 = timer != TimerKind::kSubDominating;
+    for (std::uint64_t seed : {1ull, 11ull, 42ull}) {
+      ScenarioConfig cfg;
+      cfg.algo = AlgoKind::kWriteEfficient;
+      cfg.n = 8;
+      cfg.world = World::kAwb;
+      cfg.timer = timer;
+      cfg.seed = seed;
+      // The capped timer bites hardest against the slow-handshake variant;
+      // for fig2 its effect shows in the suspicion totals (see E1 notes in
+      // EXPERIMENTS.md) — we run the bounded algorithm for the negative
+      // control so the violation is visible.
+      if (!awb2) cfg.algo = AlgoKind::kBounded;
+
+      auto d = make_scenario(cfg);
+      d->run_until(horizon / 2);
+      const std::uint64_t susp_mid = group_sum(*d, "SUSPICIONS");
+      d->run_until(horizon);
+      const std::uint64_t susp_end = group_sum(*d, "SUSPICIONS");
+      const auto rep = d->metrics().convergence(d->plan());
+      const bool frozen = susp_end == susp_mid;
+
+      table.add_row({timer_name(timer), yes_no(awb2), std::to_string(seed),
+                     yes_no(rep.converged),
+                     rep.converged ? "t=" + std::to_string(rep.time) : "-",
+                     fmt_count(susp_mid), fmt_count(susp_end),
+                     yes_no(frozen)});
+
+      if (awb2) {
+        verdict.expect(rep.converged,
+                       "AWB2 timer must converge: " + cfg.label());
+        verdict.expect(frozen,
+                       "AWB2 timer must freeze suspicions: " + cfg.label());
+      } else {
+        verdict.expect(susp_end > susp_mid,
+                       "capped timer must keep leaking suspicions: " +
+                           cfg.label());
+      }
+    }
+  }
+  std::cout << table.render();
+  return verdict.finish(
+      "arbitrary finite misbehavior and non-monotonicity are tolerated "
+      "(AWB2 suffices); a capped timer (f2 violated) never freezes");
+}

@@ -1,0 +1,109 @@
+// E5 — paper Figure 5 + Theorems 6 and 7.
+//
+// Claims reproduced for Algorithm 2: ALL shared variables are bounded
+// (PROGRESS/LAST/STOP are booleans, SUSPICIONS freezes), yet the memory
+// stays permanently active: eventually the writes are exactly the
+// PROGRESS[ℓ][·] flags (by the leader) and the LAST[ℓ][·] acknowledgments
+// (one per other process) — so every correct process writes forever, the
+// price Corollary 1 proves unavoidable with bounded memory.
+#include "harness.h"
+
+int main() {
+  using namespace omega;
+  using namespace omega::bench;
+
+  std::cout << banner(
+      "E5: the bounded algorithm (paper Fig. 5, Thm. 6 & 7)",
+      {"workload: fig5, n=8, AWB world, 800k ticks",
+       "measure : register domains, who writes what after stabilization"});
+
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kBounded;
+  cfg.n = 8;
+  cfg.world = World::kAwb;
+  cfg.seed = 4;
+  // Algorithm 2 re-arms its alive signal once per heartbeat round (~2n
+  // steps); the timeout unit must clear that for a crisp post-warm-up
+  // freeze (sim/scenario.h discusses the marginal regime; E11(c) sweeps it).
+  cfg.timer_unit = 64;
+  const SimTime settle = 500000;
+  const SimDuration window = 300000;
+  auto result = run_with_window(cfg, settle + window, window);
+  auto& d = *result.driver;
+  Verdict verdict;
+  verdict.expect(result.report.converged, "run must converge");
+  verdict.expect(result.report.time <= settle,
+                 "leader must be settled before the census window");
+  const ProcessId leader = result.report.leader;
+  const Layout& layout = d.memory().layout();
+
+  // (a) Domains: every register's high-water mark.
+  AsciiTable domains({"family", "cells", "max value ever", "bounded?"});
+  GroupId gid = 0;
+  bool all_bounded = true;
+  for (const char* fam : {"PROGRESS", "LAST", "STOP", "SUSPICIONS"}) {
+    (void)layout.find_group(fam, gid);
+    const auto& grp = layout.group(gid);
+    std::uint64_t hw = 0;
+    for (std::uint32_t i = 0; i < grp.rows * grp.cols; ++i) {
+      hw = std::max(hw, result.window_after.high_water[grp.first + i]);
+    }
+    const bool boolean_family = std::string(fam) != "SUSPICIONS";
+    const bool ok = boolean_family ? hw <= 1 : true;
+    all_bounded = all_bounded && ok;
+    domains.add_row({fam, std::to_string(grp.rows * grp.cols),
+                     std::to_string(hw),
+                     boolean_family ? yes_no(ok) : "frozen (see below)"});
+  }
+  std::cout << domains.render();
+  verdict.expect(all_bounded, "boolean families must stay in {0,1}");
+
+  // (b) SUSPICIONS frozen: contents identical across the census window.
+  GroupId susp = 0;
+  (void)layout.find_group("SUSPICIONS", susp);
+  const auto& sgrp = layout.group(susp);
+  bool susp_frozen = true;
+  for (std::uint32_t i = 0; i < sgrp.rows * sgrp.cols; ++i) {
+    susp_frozen = susp_frozen && result.cells_before[sgrp.first + i] ==
+                                     result.cells_after[sgrp.first + i];
+  }
+  verdict.expect(susp_frozen, "SUSPICIONS must freeze (bounded, Thm. 6)");
+
+  // (c) Who writes what in the stable window (Thm. 7).
+  const auto census = diff_writers(result.window_before, result.window_after);
+  AsciiTable writers({"process", "writes in window", "expected role"});
+  std::uint32_t writers_count = 0;
+  for (ProcessId i = 0; i < d.n(); ++i) {
+    if (census.writes_by[i] > 0) ++writers_count;
+    writers.add_row({"p" + std::to_string(i), fmt_count(census.writes_by[i]),
+                     i == leader ? "leader: PROGRESS[l][.]"
+                                 : "acknowledger: LAST[l][i]"});
+  }
+  std::cout << writers.render();
+  verdict.expect(writers_count == d.n(),
+                 "ALL processes must write forever (Cor. 1), saw " +
+                     std::to_string(writers_count));
+
+  // (d) Written cells are exactly the leader's handshake rows.
+  GroupId prog = 0, last = 0;
+  (void)layout.find_group("PROGRESS", prog);
+  (void)layout.find_group("LAST", last);
+  bool only_handshake = true;
+  for (std::uint32_t i = 0; i < layout.size(); ++i) {
+    const auto delta =
+        result.window_after.writes_to[i] - result.window_before.writes_to[i];
+    if (delta == 0) continue;
+    const GroupId g = layout.group_of(Cell{i});
+    const auto& grp = layout.group(g);
+    const bool handshake = (g == prog || g == last) &&
+                           (Cell{i}.index - grp.first) / grp.cols == leader;
+    only_handshake = only_handshake && handshake;
+  }
+  verdict.expect(only_handshake,
+                 "only PROGRESS[l][.] and LAST[l][.] may be written (Thm. 7)");
+  std::cout << "\nwritten cells in the stable window are exactly the "
+            << "leader-row handshake: " << yes_no(only_handshake) << '\n';
+  return verdict.finish(
+      "bounded domains + perpetual all-process writing: the inherent price "
+      "of bounded memory (Fig. 5, Thm. 6/7, Cor. 1)");
+}

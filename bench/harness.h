@@ -1,0 +1,89 @@
+// Shared helpers for the experiment binaries (bench_e01..e11). Every
+// experiment prints: the paper artifact it reproduces, the workload, a
+// results table, and a PASS/FAIL verdict comparing the measured shape with
+// the paper's claim. Binaries run with no arguments and bounded runtime.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+
+namespace omega::bench {
+
+struct RunResult {
+  ConvergenceReport report;
+  InstrumentationSnapshot window_before;  ///< at horizon - window
+  InstrumentationSnapshot window_after;   ///< at horizon
+  std::vector<std::uint64_t> cells_before;
+  std::vector<std::uint64_t> cells_after;
+  std::uint64_t max_timeout = 0;  ///< largest timeout parameter ever armed
+  std::unique_ptr<SimDriver> driver;
+};
+
+/// Runs `cfg` to `horizon`, snapshotting a trailing `window`.
+inline RunResult run_with_window(const ScenarioConfig& cfg, SimTime horizon,
+                                 SimDuration window,
+                                 const MemoryFactory& mf = {}) {
+  RunResult r;
+  r.driver = make_scenario(cfg, mf);
+  auto& d = *r.driver;
+  d.run_until(horizon - window);
+  r.window_before = d.memory().instr().snapshot();
+  for (std::uint32_t i = 0; i < d.memory().layout().size(); ++i) {
+    r.cells_before.push_back(d.memory().peek(Cell{i}));
+  }
+  d.run_until(horizon);
+  r.window_after = d.memory().instr().snapshot();
+  for (std::uint32_t i = 0; i < d.memory().layout().size(); ++i) {
+    r.cells_after.push_back(d.memory().peek(Cell{i}));
+  }
+  r.report = d.metrics().convergence(d.plan());
+  for (ProcessId i = 0; i < d.n(); ++i) {
+    r.max_timeout = std::max(r.max_timeout, d.metrics().max_timeout_param(i));
+  }
+  return r;
+}
+
+/// Sum of a register group's current contents (e.g. total suspicions).
+inline std::uint64_t group_sum(SimDriver& d, const std::string& name) {
+  GroupId g = 0;
+  if (!d.memory().layout().find_group(name, g)) return 0;
+  const auto& grp = d.memory().layout().group(g);
+  std::uint64_t sum = 0;
+  for (std::uint32_t r = 0; r < grp.rows; ++r) {
+    for (std::uint32_t c = 0; c < grp.cols; ++c) {
+      const Cell cell = grp.cols == 1 ? d.memory().layout().cell(g, r)
+                                      : d.memory().layout().cell(g, r, c);
+      sum += d.memory().peek(cell);
+    }
+  }
+  return sum;
+}
+
+/// Tracks the experiment's overall verdict and prints the final line.
+class Verdict {
+ public:
+  void expect(bool ok, const std::string& what) {
+    if (!ok) {
+      pass_ = false;
+      std::cout << "  [CHECK FAILED] " << what << '\n';
+    }
+  }
+  /// Prints "VERDICT: PASS|FAIL ..." and returns the process exit code.
+  int finish(const std::string& claim) const {
+    std::cout << "\nVERDICT: " << (pass_ ? "PASS" : "FAIL") << " — " << claim
+              << '\n';
+    return pass_ ? 0 : 1;
+  }
+
+ private:
+  bool pass_ = true;
+};
+
+inline std::string yes_no(bool b) { return b ? "yes" : "no"; }
+
+}  // namespace omega::bench

@@ -1,0 +1,92 @@
+// Leadership watch: the application-facing API on real threads. Runs the
+// bounded algorithm (paper Fig. 5) on std::atomic registers with one thread
+// per process, subscribes to leadership transitions, kills the elected
+// leader, and prints the fail-over as it happens — the event-driven pattern
+// a lock service or primary-backup system would use.
+//
+//   $ ./examples/leadership_watch
+#include <chrono>
+#include <iostream>
+#include <mutex>
+
+#include "common/table.h"
+#include "rt/leader_service.h"
+
+int main() {
+  using namespace omega;
+
+  RtConfig cfg;
+  cfg.algo = AlgoKind::kBounded;
+  cfg.n = 4;
+  cfg.tick_us = 1000;
+  cfg.pace_us = 50;
+
+  std::cout << banner("leadership watch (std::thread + std::atomic)",
+                      {"4 processes, bounded algorithm (paper Fig. 5)",
+                       "event-driven fail-over via LeaderService callbacks"});
+
+  LeaderService service(cfg);
+  std::mutex io;
+  service.subscribe([&io](ProcessId prev, ProcessId cur, std::int64_t at_us) {
+    std::lock_guard<std::mutex> lock(io);
+    std::cout << "[" << at_us / 1000 << " ms] leadership: ";
+    if (prev == kNoProcess) {
+      std::cout << "(no agreement)";
+    } else {
+      std::cout << "p" << prev;
+    }
+    std::cout << " -> ";
+    if (cur == kNoProcess) {
+      std::cout << "(no agreement)\n";
+    } else {
+      std::cout << "p" << cur << '\n';
+    }
+  });
+
+  service.start();
+  const ProcessId first = [&] {
+    // Wait for the first agreed leader.
+    for (int i = 0; i < 20000; ++i) {
+      const ProcessId a = service.current();
+      if (a != kNoProcess) return a;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return kNoProcess;
+  }();
+  if (first == kNoProcess) {
+    std::cout << "no leader emerged within 20s\n";
+    return 1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(io);
+    std::cout << "--- killing the leader p" << first << " ---\n";
+  }
+  service.driver().crash(first);
+
+  const ProcessId second = [&] {
+    for (int i = 0; i < 30000; ++i) {
+      const ProcessId a = service.current();
+      if (a != kNoProcess && a != first) return a;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return kNoProcess;
+  }();
+  service.stop();
+
+  if (second == kNoProcess) {
+    std::cout << "fail-over did not complete within 30s\n";
+    return 1;
+  }
+  std::cout << "--- fail-over complete: p" << second << " leads; "
+            << service.transitions() << " transitions observed ---\n";
+
+  // The instrumentation works on threads too: who wrote how much?
+  AsciiTable t({"process", "reads", "writes"});
+  for (ProcessId i = 0; i < cfg.n; ++i) {
+    t.add_row({"p" + std::to_string(i),
+               fmt_count(service.driver().memory().instr().reads_by(i)),
+               fmt_count(service.driver().memory().instr().writes_by(i))});
+  }
+  std::cout << t.render();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Replicated counter: state-machine replication on top of Ω — the very use
+// the paper cites as Ω's purpose (Paxos-style leader-based consensus). Four
+// replicas submit increment commands; a replicated log (one consensus slot
+// per entry, Ω for liveness) totally orders them; every replica applies the
+// same sequence and ends with the same counter value — even though one
+// replica crashes in the middle.
+//
+//   $ ./examples/replicated_counter
+#include <iostream>
+
+#include "common/table.h"
+#include "consensus/replicated_log.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace omega;
+
+  constexpr std::uint32_t kReplicas = 4;
+  constexpr std::uint32_t kCommandsEach = 3;
+
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kBounded;  // the bounded-memory Ω works just as well
+  cfg.n = kReplicas;
+  cfg.world = World::kAwb;
+  cfg.timely = 0;
+  cfg.seed = 99;
+
+  ReplicatedLog log(kReplicas, /*capacity=*/24);
+  cfg.extra_registers = [&log](LayoutBuilder& b) { log.declare(b); };
+  auto driver = make_scenario(cfg);
+  log.bind(driver->memory().layout());
+
+  std::cout << banner("replicated counter",
+                      {"4 replicas, commands = counter increments",
+                       "log slot = one consensus instance over Omega"});
+
+  // Each command is "increment by amount"; encode (replica+1)*100 + amount
+  // so entries are unique and attributable.
+  std::vector<std::vector<std::uint64_t>> commands(kReplicas);
+  for (std::uint32_t r = 0; r < kReplicas; ++r) {
+    for (std::uint32_t c = 0; c < kCommandsEach; ++c) {
+      commands[r].push_back((r + 1) * 100 + (c + 1));
+    }
+  }
+
+  // Replica 3 will crash while the log is being pumped.
+  driver->plan() = CrashPlan::at(kReplicas, {{3, 60000}});
+  std::cout << "\nreplica p3 is scheduled to crash at t=60000\n\n";
+
+  const auto decided = log.pump(*driver, commands, 5000000);
+
+  AsciiTable t({"slot", "command", "submitted by", "increment"});
+  std::uint64_t counter = 0;
+  for (std::size_t s = 0; s < decided.size(); ++s) {
+    const auto cmd = decided[s];
+    const auto replica = cmd / 100 - 1;
+    const auto amount = cmd % 100;
+    counter += amount;
+    t.add_row({std::to_string(s), std::to_string(cmd),
+               "p" + std::to_string(replica), "+" + std::to_string(amount)});
+  }
+  std::cout << t.render() << "\nfinal counter value at every live replica: "
+            << counter << "\nlog entries: " << decided.size() << " (crashed "
+            << "replica's unsubmitted commands are dropped)\n";
+
+  // Sanity: every live replica reconstructs the identical log from the
+  // shared decision boards.
+  for (std::uint32_t s = 0; s < log.capacity(); ++s) {
+    const auto d = log.decided(driver->memory(), s);
+    if (s < decided.size()) {
+      if (!d.has_value() || *d != decided[s]) {
+        std::cout << "log mismatch at slot " << s << "!\n";
+        return 1;
+      }
+    }
+  }
+  std::cout << "all replicas agree on the log prefix ✓\n";
+  return 0;
+}

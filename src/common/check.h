@@ -1,0 +1,42 @@
+// Invariant checking. Model invariants (e.g. 1WnR ownership) are enforced in
+// all build types: a violation means the *model* was broken, which would
+// silently invalidate every measurement downstream, so we fail loudly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace omega {
+
+/// Thrown when a checked model invariant is violated (e.g. a process writes a
+/// register it does not own, or a driver steps a crashed process).
+class InvariantViolation : public std::logic_error {
+ public:
+  explicit InvariantViolation(const std::string& what)
+      : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantViolation(os.str());
+}
+}  // namespace detail
+
+}  // namespace omega
+
+/// Always-on invariant check. `msg` is a streamable expression chain, e.g.
+/// OMEGA_CHECK(a == b, "cell " << c.index << " owner mismatch");
+#define OMEGA_CHECK(expr, msg)                                          \
+  do {                                                                  \
+    if (!(expr)) [[unlikely]] {                                         \
+      std::ostringstream omega_check_os_;                               \
+      omega_check_os_ << msg; /* NOLINT */                              \
+      ::omega::detail::check_failed(#expr, __FILE__, __LINE__,          \
+                                    omega_check_os_.str());             \
+    }                                                                   \
+  } while (false)

@@ -1,0 +1,38 @@
+// Core identifier and time types shared by every module.
+//
+// The paper indexes processes 1..n; internally we use 0-based ids and print
+// 1-based ids only in user-facing tables so that code and paper line up with
+// an explicit, single +1 at the presentation boundary.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace omega {
+
+/// Identity of a process (0-based; the paper's p_i is `ProcessId{i-1}`).
+using ProcessId = std::uint32_t;
+
+/// Sentinel: "no process" (used before a leader scan has ever run, etc.).
+inline constexpr ProcessId kNoProcess = std::numeric_limits<ProcessId>::max();
+
+/// Sentinel owner meaning "any process may write this cell" (nWnR registers,
+/// §3.5 of the paper). All other cells are 1WnR.
+inline constexpr ProcessId kAnyProcess = kNoProcess - 1;
+
+/// Upper bound on system size accepted by layouts/drivers. The algorithms are
+/// O(n^2) in shared cells, so this is a sanity bound, not a design limit.
+inline constexpr std::uint32_t kMaxProcesses = 4096;
+
+/// Simulated time, in abstract "ticks". The simulator is a discrete-event
+/// system: every shared-memory access and timer expiry happens at a tick.
+/// Signed so that durations/differences are safe to form.
+using SimTime = std::int64_t;
+
+/// A duration in ticks.
+using SimDuration = std::int64_t;
+
+/// Sentinel: "never" / "not scheduled".
+inline constexpr SimTime kNever = std::numeric_limits<SimTime>::max();
+
+}  // namespace omega

@@ -1,0 +1,82 @@
+#include "common/rng.h"
+
+namespace omega {
+
+std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t sm = seed;
+  for (auto& w : s_) w = splitmix64(sm);
+  // All-zero state is the one invalid state of xoshiro; seeding via splitmix64
+  // cannot produce it for any seed, but keep the guard explicit and cheap.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::int64_t Rng::uniform(std::int64_t lo, std::int64_t hi) {
+  OMEGA_CHECK(lo <= hi, "uniform(" << lo << ", " << hi << ")");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~std::uint64_t{0} / span) * span;
+  std::uint64_t r = next_u64();
+  while (r >= limit) r = next_u64();
+  return lo + static_cast<std::int64_t>(r % span);
+}
+
+double Rng::uniform01() noexcept {
+  // 53 random mantissa bits → uniform in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+std::int64_t Rng::heavy_tail(std::int64_t lo, std::int64_t hi, double p,
+                             double factor) {
+  OMEGA_CHECK(lo >= 0 && lo <= hi, "heavy_tail bounds");
+  double v = static_cast<double>(lo == 0 ? 1 : lo);
+  while (bernoulli(p) && v < static_cast<double>(hi)) v *= factor;
+  auto out = static_cast<std::int64_t>(v);
+  if (out < lo) out = lo;
+  if (out > hi) out = hi;
+  return out;
+}
+
+Rng Rng::fork(std::uint64_t stream_id) const noexcept {
+  // Mix the current state with the stream id through splitmix64 so that
+  // children with different ids are decorrelated and forking is pure.
+  std::uint64_t sm = s_[0] ^ rotl(s_[2], 13) ^ (stream_id * 0x9E3779B97F4A7C15ULL);
+  std::uint64_t seed = splitmix64(sm);
+  return Rng{seed ^ splitmix64(sm)};
+}
+
+}  // namespace omega

@@ -1,0 +1,61 @@
+// Deterministic pseudo-random number generation.
+//
+// Every experiment in this repository is reproducible from (scenario, seed):
+// all randomness flows from one `Rng` per run, seeded explicitly. We implement
+// xoshiro256** (public-domain construction by Blackman & Vigna) seeded via
+// splitmix64, rather than std::mt19937, because the state is tiny, the output
+// is identical across standard libraries, and sub-streams can be forked
+// deterministically for per-process schedules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/check.h"
+
+namespace omega {
+
+/// splitmix64 step: used for seeding and as a cheap one-shot hash.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** deterministic PRNG.
+class Rng {
+ public:
+  /// Seeds the four words of state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xD1537A5ULL) noexcept;
+
+  /// Next raw 64-bit output.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Bernoulli trial with probability `p` (clamped to [0,1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Geometric-ish heavy tail: returns lo with prob 1-p, otherwise multiplies
+  /// by `factor` repeatedly while further bernoulli(p) trials succeed, capped
+  /// at `hi`. Used to model bursty/asynchronous step intervals.
+  std::int64_t heavy_tail(std::int64_t lo, std::int64_t hi, double p,
+                          double factor = 4.0);
+
+  /// Uniformly picks an element index of a non-empty span.
+  template <typename T>
+  std::size_t pick_index(std::span<const T> s) {
+    OMEGA_CHECK(!s.empty(), "pick_index on empty span");
+    return static_cast<std::size_t>(
+        uniform(0, static_cast<std::int64_t>(s.size()) - 1));
+  }
+
+  /// Forks a deterministic sub-stream; `stream_id` distinguishes children.
+  /// Forking does not perturb this generator's sequence.
+  Rng fork(std::uint64_t stream_id) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace omega

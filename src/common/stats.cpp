@@ -1,0 +1,115 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace omega {
+
+void OnlineStats::add(double x) noexcept {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) noexcept {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  m2_ += other.m2_ + delta * delta * static_cast<double>(count_) *
+                         static_cast<double>(other.count_) / total;
+  mean_ += delta * static_cast<double>(other.count_) / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) return 0.0;
+  OMEGA_CHECK(q >= 0.0 && q <= 1.0, "quantile " << q);
+  std::sort(samples.begin(), samples.end());
+  if (samples.size() == 1) return samples[0];
+  const double pos = q * static_cast<double>(samples.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= samples.size()) return samples.back();
+  return samples[lo] * (1.0 - frac) + samples[lo + 1] * frac;
+}
+
+LogHistogram::LogHistogram(int max_buckets) {
+  OMEGA_CHECK(max_buckets >= 2 && max_buckets <= 66, "bucket count");
+  counts_.assign(static_cast<std::size_t>(max_buckets), 0);
+}
+
+void LogHistogram::add(std::uint64_t value) noexcept {
+  // Bucket 0 holds value 0; bucket b>=1 holds [2^(b-1), 2^b).
+  int b = (value == 0) ? 0 : std::bit_width(value);
+  if (b >= num_buckets()) b = num_buckets() - 1;
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+std::uint64_t LogHistogram::bucket_upper(int b) const noexcept {
+  if (b <= 0) return 1;
+  if (b >= 63) return ~std::uint64_t{0};
+  return std::uint64_t{1} << b;
+}
+
+std::uint64_t LogHistogram::bucket_count(int b) const noexcept {
+  if (b < 0 || b >= num_buckets()) return 0;
+  return counts_[static_cast<std::size_t>(b)];
+}
+
+std::uint64_t LogHistogram::approx_quantile(double q) const noexcept {
+  if (total_ == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(total_));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < num_buckets(); ++b) {
+    seen += counts_[static_cast<std::size_t>(b)];
+    if (seen > target) return bucket_upper(b);
+  }
+  return bucket_upper(num_buckets() - 1);
+}
+
+std::string LogHistogram::render(int bar_width) const {
+  std::ostringstream os;
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (int b = 0; b < num_buckets(); ++b) {
+    const auto c = counts_[static_cast<std::size_t>(b)];
+    if (c == 0) continue;
+    const std::uint64_t lo = (b == 0) ? 0 : bucket_upper(b - 1);
+    const int bar =
+        peak == 0 ? 0
+                  : static_cast<int>(static_cast<double>(c) /
+                                     static_cast<double>(peak) * bar_width);
+    os << '[' << lo << ", " << bucket_upper(b) << "): " << c << ' ';
+    for (int i = 0; i < bar; ++i) os << '#';
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace omega

@@ -1,0 +1,68 @@
+// Small statistics toolkit used by the metrics layer and the bench harness:
+// online moments (Welford), percentiles, and a log-bucketed histogram for
+// inter-write gaps and latencies.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/// Online count/mean/min/max/variance accumulator (Welford's algorithm).
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  double min() const noexcept { return count_ ? min_ : 0.0; }
+  double max() const noexcept { return count_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+
+  /// Merges another accumulator into this one (parallel-safe combination).
+  void merge(const OnlineStats& other) noexcept;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Returns the q-quantile (0 <= q <= 1) of `samples` using linear
+/// interpolation between order statistics. Copies + sorts; intended for
+/// end-of-run reporting, not hot paths. Returns 0 for empty input.
+double percentile(std::vector<double> samples, double q);
+
+/// Histogram with exponentially growing bucket boundaries:
+/// [0,1), [1,2), [2,4), [4,8), ... Suited to latency/gap distributions that
+/// span several orders of magnitude.
+class LogHistogram {
+ public:
+  explicit LogHistogram(int max_buckets = 48);
+
+  void add(std::uint64_t value) noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// Upper bound (exclusive) of bucket `b`.
+  std::uint64_t bucket_upper(int b) const noexcept;
+  std::uint64_t bucket_count(int b) const noexcept;
+  int num_buckets() const noexcept { return static_cast<int>(counts_.size()); }
+
+  /// Smallest value v such that at least q of the mass is < bucket containing
+  /// v (bucket-upper-bound approximation of the q-quantile).
+  std::uint64_t approx_quantile(double q) const noexcept;
+
+  /// Multi-line ASCII rendering (one row per non-empty bucket with a bar).
+  std::string render(int bar_width = 40) const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace omega

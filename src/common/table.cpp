@@ -1,0 +1,79 @@
+#include "common/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace omega {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  OMEGA_CHECK(!headers_.empty(), "table needs at least one column");
+}
+
+void AsciiTable::add_row(std::vector<std::string> cells) {
+  OMEGA_CHECK(cells.size() <= headers_.size(),
+              "row has " << cells.size() << " cells, table has "
+                         << headers_.size() << " columns");
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << (c == 0 ? "| " : " ");
+      const std::string& cell = c < row.size() ? row[c] : headers_[c];
+      os << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|" : "") << std::string(widths[c] + 2, '-') << "|";
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string fmt_double(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i + 3 - lead) % 3 == 0) out += ',';
+    out += digits[i];
+  }
+  return out;
+}
+
+std::string banner(const std::string& title,
+                   std::initializer_list<std::string> lines) {
+  std::ostringstream os;
+  const std::string rule(title.size() + 4, '=');
+  os << rule << "\n= " << title << " =\n" << rule << '\n';
+  for (const auto& l : lines) os << l << '\n';
+  return os.str();
+}
+
+}  // namespace omega

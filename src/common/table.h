@@ -1,0 +1,41 @@
+// ASCII table rendering for the bench harness. Every experiment binary prints
+// its results as aligned tables (the repository's stand-in for the paper's
+// tables/figures), so formatting lives in one place.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace omega {
+
+/// Column-aligned ASCII table with a header row and a separator line.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders with single-space-padded `|` separators and a dashed rule.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` places after the decimal point.
+std::string fmt_double(double v, int digits = 2);
+
+/// Formats an integer with thousands separators: 1234567 -> "1,234,567".
+std::string fmt_count(std::uint64_t v);
+
+/// Banner for experiment output: a boxed title + free-form subtitle lines.
+std::string banner(const std::string& title,
+                   std::initializer_list<std::string> lines = {});
+
+}  // namespace omega

@@ -1,0 +1,148 @@
+#include "consensus/consensus.h"
+
+namespace omega {
+
+namespace {
+
+constexpr std::uint64_t kDecidedBit = 1ull << 32;
+constexpr std::uint64_t kValueMask = 0xFFFFull;
+
+struct Ballot {
+  std::uint64_t lre = 0;
+  std::uint64_t lrww = 0;
+  std::uint64_t val = 0;
+};
+
+std::uint64_t pack(const Ballot& b) {
+  return (b.lre << 40) | (b.lrww << 16) | (b.val & kValueMask);
+}
+
+Ballot unpack(std::uint64_t bits) {
+  Ballot b;
+  b.lre = bits >> 40;
+  b.lrww = (bits >> 16) & kMaxConsensusRound;
+  b.val = bits & kValueMask;
+  return b;
+}
+
+// Free coroutine (no captures: all state is copied into the frame via
+// parameters — see the lambda-capture caveat in proc_task.h's ecosystem:
+// a capturing lambda's closure dies with the call, parameters do not).
+ProcTask run_proposer(std::uint32_t reg_base, std::uint32_t dec_base,
+                      std::uint32_t n, ProcessId self, std::uint64_t value,
+                      std::function<void(std::uint64_t)> on_decide) {
+  const auto reg_cell = [reg_base](ProcessId j) { return Cell{reg_base + j}; };
+  const auto dec_cell = [dec_base](ProcessId j) { return Cell{dec_base + j}; };
+
+  Ballot mine = unpack(co_await ReadOp{reg_cell(self)});
+  std::uint64_t round = self + 1;  // unique per proposer: ≡ self+1 (mod n)
+  for (;;) {
+    // Decision board: adopt (and republish, to help laggards) any decision.
+    for (ProcessId j = 0; j < n; ++j) {
+      const std::uint64_t d = co_await ReadOp{dec_cell(j)};
+      if ((d & kDecidedBit) != 0) {
+        const std::uint64_t v = d & kValueMask;
+        co_await WriteOp{dec_cell(self), kDecidedBit | v};
+        on_decide(v);
+        co_return;
+      }
+    }
+    // Ω gates proposals: only the believed leader runs alpha. This is what
+    // turns the ledger's obstruction-freedom into termination.
+    const auto ldr = co_await LeaderQueryOp{};
+    if (static_cast<ProcessId>(ldr) != self) {
+      co_await YieldOp{};
+      continue;
+    }
+
+    // --- alpha(round, value), phase 1: enter the round.
+    mine.lre = round;
+    co_await WriteOp{reg_cell(self), pack(mine)};
+    bool abort = false;
+    Ballot best{};
+    bool have_best = false;
+    for (ProcessId j = 0; j < n; ++j) {
+      Ballot b;
+      if (j == self) {
+        b = mine;
+      } else {
+        b = unpack(co_await ReadOp{reg_cell(j)});
+        if (b.lre > round || b.lrww > round) {
+          abort = true;
+          break;
+        }
+      }
+      if (b.lrww > 0 && (!have_best || b.lrww > best.lrww)) {
+        best = b;
+        have_best = true;
+      }
+    }
+    if (!abort) {
+      // --- phase 2: commit-write the adopted value at this round.
+      const std::uint64_t w = have_best ? best.val : value;
+      mine.lre = round;
+      mine.lrww = round;
+      mine.val = w;
+      co_await WriteOp{reg_cell(self), pack(mine)};
+      for (ProcessId j = 0; j < n && !abort; ++j) {
+        if (j == self) continue;
+        const Ballot b = unpack(co_await ReadOp{reg_cell(j)});
+        if (b.lre > round || b.lrww > round) abort = true;
+      }
+      if (!abort) {
+        co_await WriteOp{dec_cell(self), kDecidedBit | w};
+        on_decide(w);
+        co_return;
+      }
+    }
+    round += n;
+    OMEGA_CHECK(round <= kMaxConsensusRound, "round space exhausted");
+    co_await YieldOp{};  // back off one step before retrying
+  }
+}
+
+}  // namespace
+
+ConsensusInstance::ConsensusInstance(std::uint32_t n, std::string tag)
+    : n_(n), tag_(std::move(tag)) {
+  OMEGA_CHECK(n >= 1 && n <= kMaxProcesses, "bad n " << n);
+}
+
+void ConsensusInstance::declare(LayoutBuilder& b) {
+  OMEGA_CHECK(!declared_, "instance " << tag_ << " declared twice");
+  reg_group_ = b.add_array(tag_ + "REG", n_, OwnerRule::kRowOwner,
+                           /*critical=*/false);
+  dec_group_ = b.add_array(tag_ + "DEC", n_, OwnerRule::kRowOwner,
+                           /*critical=*/false);
+  declared_ = true;
+}
+
+void ConsensusInstance::bind(const Layout& layout) {
+  OMEGA_CHECK(declared_, "bind() before declare()");
+  reg_base_ = layout.cell(reg_group_, 0).index;
+  dec_base_ = layout.cell(dec_group_, 0).index;
+}
+
+ProcTask ConsensusInstance::proposer(
+    ProcessId self, std::uint64_t value,
+    std::function<void(std::uint64_t)> on_decide) const {
+  OMEGA_CHECK(reg_base_ != kNoBase, "proposer() before bind()");
+  OMEGA_CHECK(self < n_, "bad proposer " << self);
+  OMEGA_CHECK(value >= 1 && value <= kMaxConsensusValue,
+              "value " << value << " out of range");
+  OMEGA_CHECK(on_decide != nullptr, "missing on_decide");
+  return run_proposer(reg_base_, dec_base_, n_, self, value,
+                      std::move(on_decide));
+}
+
+bool ConsensusInstance::read_decision(MemoryBackend& mem, ProcessId j,
+                                      std::uint64_t& out) const {
+  OMEGA_CHECK(reg_base_ != kNoBase, "read_decision() before bind()");
+  OMEGA_CHECK(j < n_, "bad pid " << j);
+  const std::uint64_t d = mem.peek(Cell{dec_base_ + j});
+  if ((d & kDecidedBit) == 0) return false;
+  out = d & kValueMask;
+  return true;
+}
+
+}  // namespace omega

@@ -1,0 +1,91 @@
+// Ω-based consensus over 1WnR registers.
+//
+// Why this module exists: the paper's whole motivation is that Ω is the
+// weakest failure detector for consensus in crash-prone shared memory
+// ([19], §1). This is the downstream construction: an obstruction-free
+// round-based ledger ("Alpha" in Guerraoui & Raynal's terminology [12],
+// structurally the shared-memory form of Disk Paxos [9] with one reliable
+// n-block disk) whose liveness is restored by any Ω implementation from
+// src/core — demonstrating the oracle's API in anger.
+//
+// Shared registers (declared into the same memory as the Ω registers via
+// the factory's LayoutExtension hook):
+//   <tag>REG[n] — p_i's ballot record, packed (lre, lrww, val):
+//                   lre  — last round entered (phase-1 stamp)
+//                   lrww — last round with a phase-2 write
+//                   val  — the value written in round lrww
+//   <tag>DEC[n] — p_i's decision board entry (0 = undecided).
+//
+// alpha(r, v) for proposer p_i (rounds unique per process: r ≡ i+1 mod n):
+//   1. REG[i] ← (r, lrww_i, val_i)                 (enter round r)
+//   2. read all REG[j]; abort if any lre or lrww > r
+//   3. w ← value of the highest lrww seen (v if none)
+//   4. REG[i] ← (r, r, w)                          (phase-2 write)
+//   5. read all REG[j]; abort if any lre or lrww > r
+//   6. return w (commit)
+//
+// Safety is round-based-register classic: two commits at rounds r < r' see
+// each other through the step-2/5 reads — the later proposer adopts the
+// earlier value or one of them aborts. Ω provides termination: eventually a
+// single correct proposer runs unopposed with ever-larger rounds.
+//
+// Lifecycle: construct → declare(builder) [inside make_omega's extension] →
+// bind(memory.layout()) → proposer(...)/read_decision(...).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/factory.h"
+#include "core/proc_task.h"
+#include "registers/layout.h"
+
+namespace omega {
+
+/// Consensus proposals are application values in [1, 2^16): the packed
+/// ballot record must fit one 64-bit register (24-bit rounds, 16-bit value).
+inline constexpr std::uint64_t kMaxConsensusValue = (1u << 16) - 1;
+inline constexpr std::uint64_t kMaxConsensusRound = (1u << 24) - 1;
+
+/// One single-shot consensus instance.
+class ConsensusInstance {
+ public:
+  /// `tag` distinguishes register group names when several instances share a
+  /// layout (the replicated log declares one instance per slot).
+  explicit ConsensusInstance(std::uint32_t n, std::string tag = "C");
+
+  /// Declares the REG/DEC groups; call from the factory's LayoutExtension.
+  void declare(LayoutBuilder& b);
+
+  /// Resolves group ids to concrete cells; call once the layout is built
+  /// (e.g. bind(driver.memory().layout())).
+  void bind(const Layout& layout);
+
+  /// Builds the proposer coroutine for process `self` proposing `value`
+  /// (1 <= value <= kMaxConsensusValue; 0 is reserved for "no decision").
+  /// Runs under any driver — it consults the co-located Ω via LeaderQueryOp —
+  /// and invokes `on_decide(decided)` exactly once before completing.
+  ProcTask proposer(ProcessId self, std::uint64_t value,
+                    std::function<void(std::uint64_t)> on_decide) const;
+
+  /// Reads p_j's decision-board entry (test/report helper; uninstrumented).
+  bool read_decision(MemoryBackend& mem, ProcessId j,
+                     std::uint64_t& out) const;
+
+  std::uint32_t n() const noexcept { return n_; }
+  const std::string& tag() const noexcept { return tag_; }
+
+ private:
+  static constexpr std::uint32_t kNoBase = 0xFFFFFFFFu;
+
+  std::uint32_t n_;
+  std::string tag_;
+  GroupId reg_group_ = 0;
+  GroupId dec_group_ = 0;
+  bool declared_ = false;
+  std::uint32_t reg_base_ = kNoBase;  ///< cell index of REG[0]
+  std::uint32_t dec_base_ = kNoBase;  ///< cell index of DEC[0]
+};
+
+}  // namespace omega

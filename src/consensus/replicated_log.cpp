@@ -1,0 +1,118 @@
+#include "consensus/replicated_log.h"
+
+#include <algorithm>
+
+namespace omega {
+
+ReplicatedLog::ReplicatedLog(std::uint32_t n, std::uint32_t capacity) : n_(n) {
+  OMEGA_CHECK(capacity >= 1 && capacity <= 4096, "bad capacity " << capacity);
+  slots_.reserve(capacity);
+  for (std::uint32_t s = 0; s < capacity; ++s) {
+    slots_.emplace_back(n, "L" + std::to_string(s));
+  }
+}
+
+void ReplicatedLog::declare(LayoutBuilder& b) {
+  for (auto& s : slots_) s.declare(b);
+}
+
+void ReplicatedLog::bind(const Layout& layout) {
+  for (auto& s : slots_) s.bind(layout);
+}
+
+const ConsensusInstance& ReplicatedLog::slot(std::uint32_t s) const {
+  OMEGA_CHECK(s < slots_.size(), "bad slot " << s);
+  return slots_[s];
+}
+
+std::optional<std::uint64_t> ReplicatedLog::decided(MemoryBackend& mem,
+                                                    std::uint32_t s) const {
+  OMEGA_CHECK(s < slots_.size(), "bad slot " << s);
+  // A decision published by any process is THE decision (agreement).
+  for (ProcessId j = 0; j < n_; ++j) {
+    std::uint64_t v = 0;
+    if (slots_[s].read_decision(mem, j, v)) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint64_t> ReplicatedLog::pump(
+    SimDriver& driver, std::vector<std::vector<std::uint64_t>> commands,
+    SimTime deadline) {
+  OMEGA_CHECK(commands.size() == n_, "need one command list per process");
+  for (const auto& list : commands) {
+    for (auto c : list) {
+      OMEGA_CHECK(c >= 1 && c < kLogNoOp, "command " << c << " out of range");
+    }
+  }
+  std::vector<std::size_t> next(n_, 0);
+  std::vector<std::uint64_t> log;
+
+  auto pending_total = [&] {
+    std::size_t total = 0;
+    for (ProcessId i = 0; i < n_; ++i) {
+      if (driver.plan().halt_time(i) != kNever) continue;  // halted: dropped
+      total += commands[i].size() - next[i];
+    }
+    return total;
+  };
+
+  // Proposers of processes that halt mid-slot never finish; completion is
+  // judged over the processes still running.
+  auto live_apps_done = [&driver, this] {
+    for (ProcessId i = 0; i < n_; ++i) {
+      if (driver.now() >= driver.plan().halt_time(i)) continue;
+      if (!driver.apps_done(i)) return false;
+    }
+    return true;
+  };
+
+  // Command forwarding (as in leader-based SMR): per slot, every replica
+  // proposes the globally oldest unplaced command, chosen round-robin over
+  // the replicas so no submitter is starved. Whoever Ω has elected then
+  // drives exactly that command to decision — without forwarding, only the
+  // leader's own submissions would ever enter the log.
+  ProcessId rr = 0;
+  for (std::uint32_t s = 0; s < capacity() && pending_total() > 0; ++s) {
+    std::uint64_t proposal = kLogNoOp;
+    for (std::uint32_t probe = 0; probe < n_; ++probe) {
+      const ProcessId owner = (rr + probe) % n_;
+      if (driver.now() >= driver.plan().halt_time(owner)) continue;
+      if (next[owner] < commands[owner].size()) {
+        proposal = commands[owner][next[owner]];
+        rr = owner + 1;
+        break;
+      }
+    }
+    if (proposal == kLogNoOp) break;  // nothing pending among live replicas
+    // Decisions are read back from the shared decision board rather than
+    // through the callback (the board is the authoritative, crash-safe
+    // record).
+    for (ProcessId i = 0; i < n_; ++i) {
+      if (driver.plan().crashed_by(i, driver.now())) continue;
+      driver.add_app_task(
+          i, slots_[s].proposer(i, proposal, [](std::uint64_t) {}));
+    }
+    // Run until every live proposer finished this slot (they all decide
+    // once any decision is on the board) or the deadline passes.
+    while (!live_apps_done() && driver.now() < deadline) {
+      driver.run_for(1000);
+    }
+    const auto outcome = decided(driver.memory(), s);
+    if (!outcome.has_value()) break;  // deadline hit mid-slot
+    if (*outcome != kLogNoOp) {
+      log.push_back(*outcome);
+      // The winner advances its cursor.
+      for (ProcessId i = 0; i < n_; ++i) {
+        if (next[i] < commands[i].size() && commands[i][next[i]] == *outcome) {
+          ++next[i];
+          break;
+        }
+      }
+    }
+    if (driver.now() >= deadline) break;
+  }
+  return log;
+}
+
+}  // namespace omega

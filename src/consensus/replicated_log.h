@@ -1,0 +1,63 @@
+// A replicated log built from a sequence of consensus slots — the classic
+// leader-based state-machine-replication pattern the paper's introduction
+// motivates (Paxos [16] is cited as *the* Ω-based application).
+//
+// Structure: `capacity` independent ConsensusInstances (slot s uses groups
+// "L<s>REG"/"L<s>DEC"). Commands are totally ordered by deciding slot 0,
+// then slot 1, ... Commands are *forwarded*, as in leader-based SMR: per
+// slot every replica proposes the globally oldest unplaced command (chosen
+// round-robin over submitters so nobody is starved), and whichever process Ω
+// has elected drives it to decision — without forwarding only the leader's
+// own submissions would ever enter the log.
+//
+// The pump() helper orchestrates a SimDriver-based run: it attaches one
+// proposer per live process per slot, runs the simulation until the slot
+// decides everywhere, and feeds the next slot. Commands must be unique
+// non-zero values (callers typically encode (replica, seq)).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "consensus/consensus.h"
+#include "sim/driver.h"
+
+namespace omega {
+
+/// Reserved proposal meaning "no command" (never returned as a log entry).
+inline constexpr std::uint64_t kLogNoOp = kMaxConsensusValue;
+
+class ReplicatedLog {
+ public:
+  ReplicatedLog(std::uint32_t n, std::uint32_t capacity);
+
+  /// Declares every slot's registers; pass from the LayoutExtension.
+  void declare(LayoutBuilder& b);
+  /// Binds every slot once the layout exists.
+  void bind(const Layout& layout);
+
+  std::uint32_t capacity() const noexcept {
+    return static_cast<std::uint32_t>(slots_.size());
+  }
+  const ConsensusInstance& slot(std::uint32_t s) const;
+
+  /// Drives `driver` until all commands are placed (or slots/deadline run
+  /// out). `commands[i]` are process i's submissions, in order; they must be
+  /// unique, in [1, kLogNoOp). Returns the decided log (no-ops skipped).
+  /// Crashed processes simply stop proposing; their unplaced commands are
+  /// dropped (clients of a real system would retry via another replica).
+  std::vector<std::uint64_t> pump(
+      SimDriver& driver, std::vector<std::vector<std::uint64_t>> commands,
+      SimTime deadline);
+
+  /// The decided value of slot `s` as currently published (0 = undecided).
+  std::optional<std::uint64_t> decided(MemoryBackend& mem,
+                                       std::uint32_t s) const;
+
+ private:
+  std::uint32_t n_;
+  std::vector<ConsensusInstance> slots_;
+};
+
+}  // namespace omega

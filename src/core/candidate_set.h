@@ -1,0 +1,74 @@
+// The per-process `candidates_i` set of the paper (§3.1): the processes p_i
+// currently considers possible leaders. Invariant maintained by the
+// algorithms (and checked here): a process is always its own candidate —
+// task T3's scan skips k = i, so i can never be withdrawn (used by the proof
+// of Theorem 1, "x ∈ candidates_x always holds").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+
+namespace omega {
+
+class CandidateSet {
+ public:
+  /// Creates the set {self} ∪ initial ∩ [0, n). The paper allows *any*
+  /// initial set containing i (§3.2).
+  CandidateSet(std::uint32_t n, ProcessId self,
+               const std::vector<ProcessId>& initial = {})
+      : bits_(n, false), self_(self) {
+    OMEGA_CHECK(self < n, "self " << self << " out of range");
+    bits_[self] = true;
+    count_ = 1;
+    for (ProcessId k : initial) insert(k);
+  }
+
+  std::uint32_t size() const noexcept { return count_; }
+  std::uint32_t universe() const noexcept {
+    return static_cast<std::uint32_t>(bits_.size());
+  }
+
+  bool contains(ProcessId k) const {
+    OMEGA_CHECK(k < bits_.size(), "candidate " << k << " out of range");
+    return bits_[k];
+  }
+
+  void insert(ProcessId k) {
+    OMEGA_CHECK(k < bits_.size(), "candidate " << k << " out of range");
+    if (!bits_[k]) {
+      bits_[k] = true;
+      ++count_;
+    }
+  }
+
+  /// Removes k. Removing self is a model violation (the algorithms never do
+  /// it; see Theorem 1's proof) and is rejected.
+  void erase(ProcessId k) {
+    OMEGA_CHECK(k < bits_.size(), "candidate " << k << " out of range");
+    OMEGA_CHECK(k != self_, "p" << self_ << " withdrawing itself");
+    if (bits_[k]) {
+      bits_[k] = false;
+      --count_;
+    }
+  }
+
+  /// Snapshot of the members, ascending.
+  std::vector<ProcessId> members() const {
+    std::vector<ProcessId> out;
+    out.reserve(count_);
+    for (std::uint32_t k = 0; k < bits_.size(); ++k) {
+      if (bits_[k]) out.push_back(k);
+    }
+    return out;
+  }
+
+ private:
+  std::vector<bool> bits_;
+  ProcessId self_;
+  std::uint32_t count_ = 0;
+};
+
+}  // namespace omega

@@ -1,0 +1,136 @@
+#include "core/factory.h"
+
+#include <algorithm>
+
+#include "core/omega_bounded.h"
+#include "core/omega_evsync.h"
+#include "core/omega_nwnr.h"
+#include "core/omega_stepclock.h"
+#include "core/omega_write_efficient.h"
+
+namespace omega {
+
+std::uint64_t apply_timeout_policy(TimeoutPolicy policy,
+                                   std::uint64_t row_max) {
+  switch (policy) {
+    case TimeoutPolicy::kMaxPlusOne:
+      return row_max + 1;
+    case TimeoutPolicy::kDoubling:
+      return std::uint64_t{1} << std::min<std::uint64_t>(row_max, 24);
+  }
+  return row_max + 1;
+}
+
+std::string_view algo_name(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::kWriteEfficient:
+      return "fig2-write-efficient";
+    case AlgoKind::kBounded:
+      return "fig5-bounded";
+    case AlgoKind::kNwnr:
+      return "nwnr-variant";
+    case AlgoKind::kStepClock:
+      return "stepclock-variant";
+    case AlgoKind::kEvSync:
+      return "evsync-baseline";
+  }
+  return "unknown";
+}
+
+std::vector<AlgoKind> all_algorithms() {
+  return {AlgoKind::kWriteEfficient, AlgoKind::kBounded, AlgoKind::kNwnr,
+          AlgoKind::kStepClock, AlgoKind::kEvSync};
+}
+
+std::vector<AlgoKind> paper_algorithms() {
+  return {AlgoKind::kWriteEfficient, AlgoKind::kBounded};
+}
+
+namespace {
+
+std::unique_ptr<MemoryBackend> default_memory(Layout layout, std::uint32_t n) {
+  return std::make_unique<SimMemory>(std::move(layout), n);
+}
+
+}  // namespace
+
+OmegaInstance make_omega(AlgoKind kind, std::uint32_t n,
+                         const std::vector<ProcessId>& initial_candidates,
+                         const MemoryFactory& memory_factory,
+                         const LayoutExtension& extra_registers) {
+  OMEGA_CHECK(n >= 1 && n <= kMaxProcesses, "bad n " << n);
+  const MemoryFactory& mf =
+      memory_factory ? memory_factory : MemoryFactory{default_memory};
+
+  OmegaInstance inst;
+  LayoutBuilder b;
+  switch (kind) {
+    case AlgoKind::kWriteEfficient: {
+      auto shared = OmegaWriteEfficient::Shared::declare(b, n);
+      if (extra_registers) extra_registers(b);
+      shared.layout = b.build();
+      inst.memory = mf(shared.layout, n);
+      for (ProcessId i = 0; i < n; ++i) {
+        inst.processes.push_back(std::make_unique<OmegaWriteEfficient>(
+            *inst.memory, shared, i, initial_candidates));
+      }
+      break;
+    }
+    case AlgoKind::kBounded: {
+      auto shared = OmegaBounded::Shared::declare(b, n);
+      if (extra_registers) extra_registers(b);
+      shared.layout = b.build();
+      inst.memory = mf(shared.layout, n);
+      for (ProcessId i = 0; i < n; ++i) {
+        inst.processes.push_back(std::make_unique<OmegaBounded>(
+            *inst.memory, shared, i, initial_candidates));
+      }
+      break;
+    }
+    case AlgoKind::kNwnr: {
+      auto shared = OmegaNwnr::Shared::declare(b, n);
+      if (extra_registers) extra_registers(b);
+      shared.layout = b.build();
+      inst.memory = mf(shared.layout, n);
+      for (ProcessId i = 0; i < n; ++i) {
+        inst.processes.push_back(std::make_unique<OmegaNwnr>(
+            *inst.memory, shared, i, initial_candidates));
+      }
+      break;
+    }
+    case AlgoKind::kStepClock: {
+      auto shared = OmegaWriteEfficient::Shared::declare(b, n);
+      if (extra_registers) extra_registers(b);
+      shared.layout = b.build();
+      inst.memory = mf(shared.layout, n);
+      for (ProcessId i = 0; i < n; ++i) {
+        inst.processes.push_back(std::make_unique<OmegaStepClock>(
+            *inst.memory, shared, i, initial_candidates));
+      }
+      break;
+    }
+    case AlgoKind::kEvSync: {
+      auto shared = OmegaEvSync::Shared::declare(b, n);
+      if (extra_registers) extra_registers(b);
+      shared.layout = b.build();
+      inst.memory = mf(shared.layout, n);
+      for (ProcessId i = 0; i < n; ++i) {
+        inst.processes.push_back(
+            std::make_unique<OmegaEvSync>(*inst.memory, shared, i));
+      }
+      break;
+    }
+  }
+  return inst;
+}
+
+OmegaInstance make_omega(AlgoKind kind, std::uint32_t n,
+                         const MemoryFactory& memory_factory,
+                         const LayoutExtension& extra_registers) {
+  std::vector<ProcessId> all;
+  all.reserve(n);
+  for (ProcessId i = 0; i < n; ++i) all.push_back(i);
+  return make_omega(kind, n, all, memory_factory, extra_registers);
+}
+
+}  // namespace omega

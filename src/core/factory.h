@@ -1,0 +1,72 @@
+// Assembly of complete Ω instances: layout + memory backend + one
+// OmegaProcess per process. This is the main entry point of the library for
+// drivers, tests, benches and examples.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/omega_iface.h"
+#include "registers/memory.h"
+
+namespace omega {
+
+/// Which Ω construction to instantiate.
+enum class AlgoKind {
+  kWriteEfficient,  ///< paper Figure 2 (Algorithm 1)
+  kBounded,         ///< paper Figure 5 (Algorithm 2)
+  kNwnr,            ///< §3.5 multi-writer SUSPICIONS variant
+  kStepClock,       ///< §3.5 clock-free variant
+  kEvSync,          ///< eventually-synchronous baseline [13]
+};
+
+std::string_view algo_name(AlgoKind kind);
+
+/// All algorithms, in presentation order.
+std::vector<AlgoKind> all_algorithms();
+
+/// The paper's two contributions only (for experiments that sweep "ours").
+std::vector<AlgoKind> paper_algorithms();
+
+/// Builds the storage for a given layout. Default: SimMemory. The SAN
+/// substrate and the std::thread runtime install their own factories.
+using MemoryFactory = std::function<std::unique_ptr<MemoryBackend>(
+    Layout layout, std::uint32_t n)>;
+
+/// Hook that declares *application* register groups (e.g. consensus ballots)
+/// into the same layout/memory as the Ω registers, before the layout is
+/// built. Invoked once during make_omega.
+using LayoutExtension = std::function<void(LayoutBuilder&)>;
+
+/// A fully wired instance: `memory` must outlive `processes` (declaration
+/// order gives reverse destruction order, which is correct).
+struct OmegaInstance {
+  std::vector<std::unique_ptr<OmegaProcess>> processes;
+  std::unique_ptr<MemoryBackend> memory;
+
+  ~OmegaInstance() {
+    // Processes reference the memory backend; drop them first.
+    processes.clear();
+  }
+  OmegaInstance() = default;
+  OmegaInstance(OmegaInstance&&) = default;
+  OmegaInstance& operator=(OmegaInstance&&) = default;
+};
+
+/// Instantiates `kind` for n processes. `initial_candidates` seeds every
+/// process's candidate set (self is always included); empty = {self} only
+/// for an adversarial cold start, or pass all ids for the customary warm
+/// start. `memory_factory` defaults to SimMemory.
+OmegaInstance make_omega(AlgoKind kind, std::uint32_t n,
+                         const std::vector<ProcessId>& initial_candidates,
+                         const MemoryFactory& memory_factory = {},
+                         const LayoutExtension& extra_registers = {});
+
+/// Warm-start convenience: every process starts with all ids as candidates.
+OmegaInstance make_omega(AlgoKind kind, std::uint32_t n,
+                         const MemoryFactory& memory_factory = {},
+                         const LayoutExtension& extra_registers = {});
+
+}  // namespace omega

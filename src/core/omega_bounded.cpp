@@ -1,0 +1,124 @@
+#include "core/omega_bounded.h"
+
+namespace omega {
+
+OmegaBounded::Shared OmegaBounded::Shared::declare(LayoutBuilder& b,
+                                               std::uint32_t n) {
+  Shared s;
+  s.suspicions = b.add_matrix("SUSPICIONS", n, n, OwnerRule::kRowOwner,
+                              /*critical=*/false);
+  // PROGRESS[i][k] is p_i's alive flag toward p_k → row-owned, critical.
+  s.progress = b.add_matrix("PROGRESS", n, n, OwnerRule::kRowOwner,
+                            /*critical=*/true);
+  // LAST[i][k] is p_k's acknowledgment of p_i's flag → *column*-owned
+  // (Theorem 7: LAST[ℓ][i] is written by p_i). Not critical.
+  s.last = b.add_matrix("LAST", n, n, OwnerRule::kColOwner,
+                        /*critical=*/false);
+  s.stop = b.add_array("STOP", n, OwnerRule::kRowOwner, /*critical=*/true);
+  return s;
+}
+
+OmegaBounded::Shared OmegaBounded::Shared::make(std::uint32_t n) {
+  LayoutBuilder b;
+  Shared s = declare(b, n);
+  s.layout = b.build();
+  return s;
+}
+
+OmegaBounded::OmegaBounded(MemoryBackend& mem, const Shared& shared,
+                           ProcessId self,
+                           const std::vector<ProcessId>& initial_candidates)
+    : OmegaProcess(mem, self),
+      g_susp_(shared.suspicions),
+      g_prog_(shared.progress),
+      g_last_(shared.last),
+      g_stop_(shared.stop),
+      candidates_(n_, self, initial_candidates),
+      last_mirror_(n_, false),
+      susp_row_(n_, 0) {
+  stop_local_ = mem_.peek(stop_cell(self_)) != 0;
+  for (ProcessId k = 0; k < n_; ++k) {
+    susp_row_[k] = mem_.peek(susp_cell(self_, k));
+    // p_i owns LAST[k][i] for every k; mirror current contents (arbitrary
+    // initial values are normalized to booleans).
+    last_mirror_[k] = mem_.peek(last_cell(k, self_)) != 0;
+  }
+}
+
+ProcessId OmegaBounded::leader() {
+  // Task T1 is unchanged from Algorithm 1 (lines 1-5).
+  std::uint64_t best_count = 0;
+  ProcessId best = kNoProcess;
+  for (ProcessId k = 0; k < n_; ++k) {
+    if (!candidates_.contains(k)) continue;
+    std::uint64_t sum = 0;
+    for (ProcessId j = 0; j < n_; ++j) {
+      sum += mem_.read(self_, susp_cell(j, k));
+    }
+    if (best == kNoProcess || sum < best_count) {
+      best_count = sum;
+      best = k;
+    }
+  }
+  OMEGA_CHECK(best != kNoProcess, "empty candidate set at p" << self_);
+  return best;
+}
+
+ProcTask OmegaBounded::task_heartbeat() {
+  // Task T2 with lines 8.R1-8.R3 replacing the counter increment.
+  for (;;) {
+    for (;;) {
+      const auto out = co_await LeaderQueryOp{};  // line 7
+      if (static_cast<ProcessId>(out) != self_) break;
+      for (ProcessId k = 0; k < n_; ++k) {
+        if (k == self_) continue;
+        // line 8.R2: PROGRESS[i][k] := ¬LAST[i][k]. Reading LAST[i][k]
+        // (owned by p_k) and writing the complement (re)arms the alive
+        // signal; if p_k has not acknowledged yet the write is idempotent.
+        const bool ack = (co_await ReadOp{last_cell(self_, k)}) != 0;
+        co_await WriteOp{progress_cell(self_, k), ack ? 0u : 1u};
+      }
+      if (stop_local_) {  // line 9
+        stop_local_ = false;
+        co_await WriteOp{stop_cell(self_), 0};
+      }
+    }
+    if (!stop_local_) {  // line 11
+      stop_local_ = true;
+      co_await WriteOp{stop_cell(self_), 1};
+    }
+  }
+}
+
+ProcTask OmegaBounded::task_monitor() {
+  // Task T3 with lines 16.R1/17.R1/19.R1 replacing the counter comparison.
+  for (;;) {
+    co_await WaitTimerOp{};
+    for (ProcessId k = 0; k < n_; ++k) {
+      if (k == self_) continue;
+      const std::uint64_t stop_k = co_await ReadOp{stop_cell(k)};    // line 15
+      const bool progress_k =                                        // 16.R1
+          (co_await ReadOp{progress_cell(k, self_)}) != 0;
+      if (progress_k != last_mirror_[k]) {  // line 17.R1: signal pending
+        candidates_.insert(k);              // line 18
+        last_mirror_[k] = progress_k;       // line 19.R1 (local mirror...)
+        co_await WriteOp{last_cell(k, self_), progress_k ? 1u : 0u};  // (...and
+        // the shared acknowledgment p_k will read back in its task T2)
+      } else if (stop_k != 0) {              // line 20
+        candidates_.erase(k);                // line 21
+      } else if (candidates_.contains(k)) {  // line 22
+        ++susp_row_[k];                      // line 23
+        co_await WriteOp{susp_cell(self_, k), susp_row_[k]};
+        candidates_.erase(k);                // line 24
+      }
+    }
+  }
+}
+
+std::uint64_t OmegaBounded::next_timeout() const {
+  std::uint64_t mx = 0;
+  for (ProcessId k = 0; k < n_; ++k) mx = std::max(mx, susp_row_[k]);
+  return apply_timeout_policy(timeout_policy_, mx);
+}
+
+}  // namespace omega

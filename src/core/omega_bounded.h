@@ -1,0 +1,85 @@
+// Algorithm 2 of the paper (Figure 5): Ω with *bounded* shared memory.
+//
+// The unbounded PROGRESS[n] counters and local last_i[n] arrays of Algorithm
+// 1 are replaced by a boolean hand-shake per ordered pair (i, k):
+//
+//   PROGRESS[n][n] bool — owned by row: p_i signals "I am alive" to p_k by
+//                         making PROGRESS[i][k] ≠ LAST[i][k]
+//                         (line 8.R2: PROGRESS[i][k] := ¬LAST[i][k]).
+//   LAST[n][n]     bool — owned by *column*: p_k acknowledges by re-equalizing
+//                         (line 19.R1: LAST[i][k] := PROGRESS[i][k], written
+//                         by p_k).
+//   SUSPICIONS[n][n], STOP[n] — as in Algorithm 1.
+//
+// Note on the source text: the HAL scan of the paper prints line 8.R2 as
+// "PROGRESS[i][k] ← LAST[i][k]" with the negation glyph lost. The prose is
+// unambiguous — the signal must make the pair *unequal* (the alive test at
+// line 17.R1 is `progress ≠ LAST[k][i]`) and the acknowledgment "cancels" it
+// by making them equal — so we implement the complement write.
+//
+// Properties reproduced: Thm. 6 (all registers bounded), Thm. 7 (eventually
+// only PROGRESS[ℓ][·] / LAST[ℓ][·] are written), Thm. 8 + Cor. 1 (all
+// processes must write forever in any bounded-memory implementation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_set.h"
+#include "core/omega_iface.h"
+#include "registers/layout.h"
+
+namespace omega {
+
+class OmegaBounded final : public OmegaProcess {
+ public:
+  struct Shared {
+    Layout layout;
+    GroupId suspicions = 0;
+    GroupId progress = 0;  ///< PROGRESS[n][n], row-owned booleans
+    GroupId last = 0;      ///< LAST[n][n], column-owned booleans
+    GroupId stop = 0;
+
+    static Shared declare(LayoutBuilder& b, std::uint32_t n);
+    static Shared make(std::uint32_t n);
+  };
+
+  OmegaBounded(MemoryBackend& mem, const Shared& shared, ProcessId self,
+               const std::vector<ProcessId>& initial_candidates = {});
+
+  ProcessId leader() override;
+  ProcTask task_heartbeat() override;
+  ProcTask task_monitor() override;
+  std::uint64_t next_timeout() const override;
+  std::string_view algorithm_name() const override { return "fig5-bounded"; }
+
+  const CandidateSet& candidates() const noexcept { return candidates_; }
+  std::uint64_t suspicions_of(ProcessId k) const { return susp_row_.at(k); }
+
+  /// Timeout-derivation rule (default: the paper's max+1; see E11).
+  void set_timeout_policy(TimeoutPolicy policy) noexcept {
+    timeout_policy_ = policy;
+  }
+
+ private:
+  Cell susp_cell(ProcessId j, ProcessId k) const {
+    return mem_.layout().cell(g_susp_, j, k);
+  }
+  Cell progress_cell(ProcessId i, ProcessId k) const {
+    return mem_.layout().cell(g_prog_, i, k);
+  }
+  Cell last_cell(ProcessId i, ProcessId k) const {
+    return mem_.layout().cell(g_last_, i, k);
+  }
+  Cell stop_cell(ProcessId k) const { return mem_.layout().cell(g_stop_, k); }
+
+  GroupId g_susp_, g_prog_, g_last_, g_stop_;
+  CandidateSet candidates_;
+  /// Local mirror of LAST[k][i] (the cells p_i owns, one per signaller k).
+  std::vector<bool> last_mirror_;
+  std::vector<std::uint64_t> susp_row_;
+  bool stop_local_ = true;
+  TimeoutPolicy timeout_policy_ = TimeoutPolicy::kMaxPlusOne;
+};
+
+}  // namespace omega

@@ -1,0 +1,89 @@
+#include "core/omega_evsync.h"
+
+namespace omega {
+
+OmegaEvSync::Shared OmegaEvSync::Shared::declare(LayoutBuilder& b,
+                                               std::uint32_t n) {
+  Shared s;
+  s.heartbeat = b.add_array("HB", n, OwnerRule::kRowOwner, /*critical=*/true);
+  s.suspicions = b.add_matrix("SUSPEV", n, n, OwnerRule::kRowOwner,
+                              /*critical=*/false);
+  return s;
+}
+
+OmegaEvSync::Shared OmegaEvSync::Shared::make(std::uint32_t n) {
+  LayoutBuilder b;
+  Shared s = declare(b, n);
+  s.layout = b.build();
+  return s;
+}
+
+OmegaEvSync::OmegaEvSync(MemoryBackend& mem, const Shared& shared,
+                         ProcessId self)
+    : OmegaProcess(mem, self),
+      g_hb_(shared.heartbeat),
+      g_susp_(shared.suspicions),
+      last_(n_, 0),
+      susp_row_(n_, 0) {
+  hb_local_ = mem_.peek(hb_cell(self_));
+  for (ProcessId k = 0; k < n_; ++k) {
+    susp_row_[k] = mem_.peek(susp_cell(self_, k));
+  }
+}
+
+ProcessId OmegaEvSync::leader() {
+  // No candidate filtering: lex-min over all processes. Crashed processes
+  // accumulate suspicions forever, so a correct process eventually wins.
+  std::uint64_t best_count = 0;
+  ProcessId best = kNoProcess;
+  for (ProcessId k = 0; k < n_; ++k) {
+    std::uint64_t sum = 0;
+    for (ProcessId j = 0; j < n_; ++j) {
+      sum += mem_.read(self_, susp_cell(j, k));
+    }
+    if (best == kNoProcess || sum < best_count) {
+      best_count = sum;
+      best = k;
+    }
+  }
+  return best;
+}
+
+ProcTask OmegaEvSync::task_heartbeat() {
+  // Every process heartbeats forever, leader or not (the LeaderQuery keeps
+  // the leader-output sampling comparable with the AWB algorithms and models
+  // the application polling its oracle).
+  for (;;) {
+    (void)co_await LeaderQueryOp{};
+    ++hb_local_;
+    co_await WriteOp{hb_cell(self_), hb_local_};
+  }
+}
+
+ProcTask OmegaEvSync::task_monitor() {
+  for (;;) {
+    // Step-counted timeout: Δ_i local steps (this is what eventual synchrony
+    // licenses, and what breaks under AWB-only runs).
+    for (std::uint64_t x = next_timeout(); x > 0; --x) {
+      co_await YieldOp{};
+    }
+    for (ProcessId k = 0; k < n_; ++k) {
+      if (k == self_) continue;
+      const std::uint64_t hb_k = co_await ReadOp{hb_cell(k)};
+      if (hb_k == last_[k]) {
+        ++susp_row_[k];
+        co_await WriteOp{susp_cell(self_, k), susp_row_[k]};
+      } else {
+        last_[k] = hb_k;
+      }
+    }
+  }
+}
+
+std::uint64_t OmegaEvSync::next_timeout() const {
+  std::uint64_t mx = 0;
+  for (ProcessId k = 0; k < n_; ++k) mx = std::max(mx, susp_row_[k]);
+  return mx + 1;
+}
+
+}  // namespace omega

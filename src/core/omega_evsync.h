@@ -1,0 +1,66 @@
+// Baseline: Ω for *eventually synchronous* shared memory, modeled after the
+// only prior shared-memory Ω the paper cites — Guerraoui & Raynal, "A Leader
+// Election Protocol for Eventually Synchronous Shared Memory Systems"
+// (SEUS'06), reference [13].
+//
+// Model difference that the comparison experiments (E8) probe: [13] assumes a
+// time after which *every* process's step time has a lower AND upper bound —
+// so relative speeds are eventually bounded and timeouts can be counted in
+// local steps. Under that assumption the classic heartbeat scheme works:
+//
+//   * every process forever increments its heartbeat HB[i];
+//   * every Δ_i local steps, p_i checks each HB[k]; a frozen heartbeat is a
+//     suspicion (SUSPEV[i][k] += 1) and Δ_i grows (max-suspicions + 1);
+//   * leader = lex-min (Σ_j SUSPEV[j][k], k) over *all* processes.
+//
+// Under the paper's weaker AWB assumption (only the would-be leader is
+// timely; other processes may have unboundedly varying speed) step-counted
+// timeouts misfire forever: a process executing an arbitrarily fast burst of
+// steps sees even a perfectly timely leader as frozen. This baseline is
+// correct in its own model and *incorrect* under AWB-only runs — exactly the
+// gap the paper's assumption-weakening closes.
+//
+// Costs (measured in E3/E7): every process writes forever (HB), and HB is
+// unbounded — the baseline is neither write-efficient nor bounded.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/omega_iface.h"
+#include "registers/layout.h"
+
+namespace omega {
+
+class OmegaEvSync final : public OmegaProcess {
+ public:
+  struct Shared {
+    Layout layout;
+    GroupId heartbeat = 0;    ///< HB[n]
+    GroupId suspicions = 0;   ///< SUSPEV[n][n]
+
+    static Shared declare(LayoutBuilder& b, std::uint32_t n);
+    static Shared make(std::uint32_t n);
+  };
+
+  OmegaEvSync(MemoryBackend& mem, const Shared& shared, ProcessId self);
+
+  ProcessId leader() override;
+  ProcTask task_heartbeat() override;
+  ProcTask task_monitor() override;
+  std::uint64_t next_timeout() const override;
+  std::string_view algorithm_name() const override { return "evsync-baseline"; }
+
+ private:
+  Cell hb_cell(ProcessId k) const { return mem_.layout().cell(g_hb_, k); }
+  Cell susp_cell(ProcessId j, ProcessId k) const {
+    return mem_.layout().cell(g_susp_, j, k);
+  }
+
+  GroupId g_hb_, g_susp_;
+  std::vector<std::uint64_t> last_;
+  std::vector<std::uint64_t> susp_row_;
+  std::uint64_t hb_local_ = 0;
+};
+
+}  // namespace omega

@@ -1,0 +1,78 @@
+// The per-process algorithm interface every Ω implementation exposes to the
+// drivers. One OmegaProcess instance = the local state + task bodies of one
+// process p_i; the shared state lives in the MemoryBackend.
+//
+// Mapping to the paper (§3.2):
+//   leader()          — task T1, invoked synchronously; performs instrumented
+//                       shared reads and returns a process identity.
+//   task_heartbeat()  — task T2 as an eternal coroutine (the repeat-forever /
+//                       while leader()=i loop).
+//   task_monitor()    — task T3 as an eternal coroutine; timer-based variants
+//                       block on WaitTimerOp, step-counted variants burn
+//                       YieldOps.
+//   next_timeout()    — the timeout parameter the timer is set to at line 27
+//                       (max_k SUSPICIONS[i][k] + 1); pure local computation
+//                       on the process's own mirrored row.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/ids.h"
+#include "core/proc_task.h"
+#include "registers/memory.h"
+
+namespace omega {
+
+/// How the timeout parameter is derived from the process's suspicion row
+/// (paper line 27 uses kMaxPlusOne). The exponential policy is an
+/// engineering alternative that trades timeout overshoot for a much shorter
+/// suspicion warm-up when the timeout unit is small relative to the
+/// leader's write cadence (ablation E11).
+enum class TimeoutPolicy : std::uint8_t {
+  kMaxPlusOne,  ///< x = max_k SUSPICIONS[i][k] + 1 (the paper's rule)
+  kDoubling,    ///< x = 2^min(max_k SUSPICIONS[i][k], 24)
+};
+
+/// Applies `policy` to a suspicion-row maximum.
+std::uint64_t apply_timeout_policy(TimeoutPolicy policy, std::uint64_t row_max);
+
+class OmegaProcess {
+ public:
+  OmegaProcess(MemoryBackend& mem, ProcessId self)
+      : mem_(mem), self_(self), n_(mem.num_processes()) {
+    OMEGA_CHECK(self < n_, "process id " << self << " out of range");
+  }
+  virtual ~OmegaProcess() = default;
+
+  OmegaProcess(const OmegaProcess&) = delete;
+  OmegaProcess& operator=(const OmegaProcess&) = delete;
+
+  ProcessId self() const noexcept { return self_; }
+  std::uint32_t n() const noexcept { return n_; }
+
+  /// Task T1: returns this process's current leader estimate. Satisfies Ω's
+  /// Validity (always a process identity) and Termination (wait-free: a fixed
+  /// number of register reads).
+  virtual ProcessId leader() = 0;
+
+  /// Task T2 (eternal coroutine).
+  virtual ProcTask task_heartbeat() = 0;
+
+  /// Task T3 (eternal coroutine).
+  virtual ProcTask task_monitor() = 0;
+
+  /// Timeout parameter for the next timer arming (paper line 27). Only
+  /// meaningful for timer-based algorithms; step-counted ones self-pace.
+  virtual std::uint64_t next_timeout() const = 0;
+
+  /// Algorithm name for reports ("fig2-write-efficient", ...).
+  virtual std::string_view algorithm_name() const = 0;
+
+ protected:
+  MemoryBackend& mem_;
+  const ProcessId self_;
+  const std::uint32_t n_;
+};
+
+}  // namespace omega

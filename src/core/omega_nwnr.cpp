@@ -1,0 +1,100 @@
+#include "core/omega_nwnr.h"
+
+namespace omega {
+
+OmegaNwnr::Shared OmegaNwnr::Shared::declare(LayoutBuilder& b,
+                                               std::uint32_t n) {
+  Shared s;
+  s.suspicions = b.add_array("SUSPICIONS_V", n, OwnerRule::kAny,
+                             /*critical=*/false);
+  s.progress = b.add_array("PROGRESS", n, OwnerRule::kRowOwner,
+                           /*critical=*/true);
+  s.stop = b.add_array("STOP", n, OwnerRule::kRowOwner, /*critical=*/true);
+  return s;
+}
+
+OmegaNwnr::Shared OmegaNwnr::Shared::make(std::uint32_t n) {
+  LayoutBuilder b;
+  Shared s = declare(b, n);
+  s.layout = b.build();
+  return s;
+}
+
+OmegaNwnr::OmegaNwnr(MemoryBackend& mem, const Shared& shared, ProcessId self,
+                     const std::vector<ProcessId>& initial_candidates)
+    : OmegaProcess(mem, self),
+      g_susp_(shared.suspicions),
+      g_prog_(shared.progress),
+      g_stop_(shared.stop),
+      candidates_(n_, self, initial_candidates),
+      last_(n_, 0) {
+  progress_local_ = mem_.peek(progress_cell(self_));
+  stop_local_ = mem_.peek(stop_cell(self_)) != 0;
+  for (ProcessId k = 0; k < n_; ++k) {
+    timeout_floor_ = std::max(timeout_floor_, mem_.peek(susp_cell(k)));
+  }
+}
+
+ProcessId OmegaNwnr::leader() {
+  // One read per candidate instead of a column scan.
+  std::uint64_t best_count = 0;
+  ProcessId best = kNoProcess;
+  for (ProcessId k = 0; k < n_; ++k) {
+    if (!candidates_.contains(k)) continue;
+    const std::uint64_t count = mem_.read(self_, susp_cell(k));
+    if (best == kNoProcess || count < best_count) {
+      best_count = count;
+      best = k;
+    }
+  }
+  OMEGA_CHECK(best != kNoProcess, "empty candidate set at p" << self_);
+  return best;
+}
+
+ProcTask OmegaNwnr::task_heartbeat() {
+  for (;;) {
+    for (;;) {
+      const auto out = co_await LeaderQueryOp{};
+      if (static_cast<ProcessId>(out) != self_) break;
+      ++progress_local_;
+      co_await WriteOp{progress_cell(self_), progress_local_};
+      if (stop_local_) {
+        stop_local_ = false;
+        co_await WriteOp{stop_cell(self_), 0};
+      }
+    }
+    if (!stop_local_) {
+      stop_local_ = true;
+      co_await WriteOp{stop_cell(self_), 1};
+    }
+  }
+}
+
+ProcTask OmegaNwnr::task_monitor() {
+  for (;;) {
+    co_await WaitTimerOp{};
+    for (ProcessId k = 0; k < n_; ++k) {
+      if (k == self_) continue;
+      const std::uint64_t stop_k = co_await ReadOp{stop_cell(k)};
+      const std::uint64_t progress_k = co_await ReadOp{progress_cell(k)};
+      if (progress_k != last_[k]) {
+        candidates_.insert(k);
+        last_[k] = progress_k;
+      } else if (stop_k != 0) {
+        candidates_.erase(k);
+      } else if (candidates_.contains(k)) {
+        // Multi-writer increment = read + write of the shared counter; a
+        // concurrent increment between the two accesses is overwritten
+        // (inherent to nWnR *registers*; see header note).
+        const std::uint64_t v = co_await ReadOp{susp_cell(k)};
+        co_await WriteOp{susp_cell(k), v + 1};
+        timeout_floor_ = std::max(timeout_floor_, v + 1);
+        candidates_.erase(k);
+      }
+    }
+  }
+}
+
+std::uint64_t OmegaNwnr::next_timeout() const { return timeout_floor_ + 1; }
+
+}  // namespace omega

@@ -1,0 +1,66 @@
+// §3.5 variant "Using multi-writer/multi-reader (nWnR) atomic registers":
+// each column SUSPICIONS[·][k] of Algorithm 1 collapses into a single nWnR
+// register SUSPICIONS_V[k] that every process may write.
+//
+// Task T1 then reads one register per candidate instead of a full column
+// (n× fewer reads); the price is that the increment at line 23 becomes a
+// read-then-write on a shared multi-writer register, so concurrent suspicions
+// can overwrite each other (the register model has no fetch-and-add). Lost
+// increments keep the counter monotone and leave correctness intact — the
+// proofs only need "bounded for the eventual leader, growing while suspected"
+// — but change the constants; experiment E11 quantifies the trade.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_set.h"
+#include "core/omega_iface.h"
+#include "registers/layout.h"
+
+namespace omega {
+
+class OmegaNwnr final : public OmegaProcess {
+ public:
+  struct Shared {
+    Layout layout;
+    GroupId suspicions = 0;  ///< SUSPICIONS_V[n], multi-writer
+    GroupId progress = 0;
+    GroupId stop = 0;
+
+    static Shared declare(LayoutBuilder& b, std::uint32_t n);
+    static Shared make(std::uint32_t n);
+  };
+
+  OmegaNwnr(MemoryBackend& mem, const Shared& shared, ProcessId self,
+            const std::vector<ProcessId>& initial_candidates = {});
+
+  ProcessId leader() override;
+  ProcTask task_heartbeat() override;
+  ProcTask task_monitor() override;
+  std::uint64_t next_timeout() const override;
+  std::string_view algorithm_name() const override { return "nwnr-variant"; }
+
+  const CandidateSet& candidates() const noexcept { return candidates_; }
+
+ private:
+  Cell susp_cell(ProcessId k) const {
+    return mem_.layout().cell(g_susp_, k);
+  }
+  Cell progress_cell(ProcessId k) const {
+    return mem_.layout().cell(g_prog_, k);
+  }
+  Cell stop_cell(ProcessId k) const { return mem_.layout().cell(g_stop_, k); }
+
+  GroupId g_susp_, g_prog_, g_stop_;
+  CandidateSet candidates_;
+  std::vector<std::uint64_t> last_;
+  std::uint64_t progress_local_ = 0;
+  bool stop_local_ = true;
+  /// Largest suspicion count this process has observed anywhere; stands in
+  /// for the own-row maximum of line 27 (it grows at least as fast, which is
+  /// all Lemma 2's argument needs).
+  std::uint64_t timeout_floor_ = 0;
+};
+
+}  // namespace omega

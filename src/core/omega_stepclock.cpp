@@ -1,0 +1,30 @@
+#include "core/omega_stepclock.h"
+
+namespace omega {
+
+ProcTask OmegaStepClock::task_monitor() {
+  for (;;) {
+    // Counted busy-wait replacing `co_await WaitTimerOp{}`: x local steps,
+    // each of which the model charges at least one time unit.
+    for (std::uint64_t x = next_timeout(); x > 0; --x) {
+      co_await YieldOp{};
+    }
+    for (ProcessId k = 0; k < n_; ++k) {
+      if (k == self_) continue;
+      const std::uint64_t stop_k = co_await ReadOp{stop_cell(k)};
+      const std::uint64_t progress_k = co_await ReadOp{progress_cell(k)};
+      if (progress_k != last_[k]) {
+        candidates_.insert(k);
+        last_[k] = progress_k;
+      } else if (stop_k != 0) {
+        candidates_.erase(k);
+      } else if (candidates_.contains(k)) {
+        ++susp_row_[k];
+        co_await WriteOp{susp_cell(self_, k), susp_row_[k]};
+        candidates_.erase(k);
+      }
+    }
+  }
+}
+
+}  // namespace omega

@@ -1,0 +1,31 @@
+// §3.5 variant "Eliminating the local clocks": Algorithm 1 with the hardware
+// timer replaced by a counted loop —
+//
+//     task T3': timer_i := max{SUSPICIONS[i][k]} + 1;
+//               while timer_i ≠ 0 do timer_i := timer_i - 1 done;  (*)
+//               lines 14..26 of Figure 2
+//
+// (*) each decrement is one local step; the variant is correct under the
+// additional assumption that a local step takes at least one time unit (so a
+// countdown of x lasts ≥ x time units, which dominates f(x) = x — i.e. the
+// step counter *is* an asymptotically well-behaved timer). Experiment E11
+// compares its suspicion warm-up against the timer-based original.
+#pragma once
+
+#include "core/omega_write_efficient.h"
+
+namespace omega {
+
+class OmegaStepClock final : public OmegaWriteEfficient {
+ public:
+  using OmegaWriteEfficient::OmegaWriteEfficient;
+
+  /// Same scan as Figure 2's T3, paced by YieldOps instead of a timer.
+  ProcTask task_monitor() override;
+
+  std::string_view algorithm_name() const override {
+    return "stepclock-variant";
+  }
+};
+
+}  // namespace omega

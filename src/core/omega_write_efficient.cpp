@@ -1,0 +1,122 @@
+#include "core/omega_write_efficient.h"
+
+namespace omega {
+
+OmegaWriteEfficient::Shared OmegaWriteEfficient::Shared::declare(LayoutBuilder& b,
+    std::uint32_t n) {
+  Shared s;
+  // SUSPICIONS[j][k] is written only by p_j (row owner); it is *not* critical:
+  // AWB1 constrains only PROGRESS[i]/STOP[i] accesses (§3.2).
+  s.suspicions = b.add_matrix("SUSPICIONS", n, n, OwnerRule::kRowOwner,
+                              /*critical=*/false);
+  s.progress = b.add_array("PROGRESS", n, OwnerRule::kRowOwner,
+                           /*critical=*/true);
+  s.stop = b.add_array("STOP", n, OwnerRule::kRowOwner, /*critical=*/true);
+  return s;
+}
+
+OmegaWriteEfficient::Shared OmegaWriteEfficient::Shared::make(std::uint32_t n) {
+  LayoutBuilder b;
+  Shared s = declare(b, n);
+  s.layout = b.build();
+  return s;
+}
+
+OmegaWriteEfficient::OmegaWriteEfficient(
+    MemoryBackend& mem, const Shared& shared, ProcessId self,
+    const std::vector<ProcessId>& initial_candidates)
+    : OmegaProcess(mem, self),
+      g_susp_(shared.suspicions),
+      g_prog_(shared.progress),
+      g_stop_(shared.stop),
+      candidates_(n_, self, initial_candidates),
+      last_(n_, 0),
+      susp_row_(n_, 0) {
+  // The process owns PROGRESS[i], STOP[i] and SUSPICIONS[i][·]; it keeps
+  // local copies and never reads them from shared memory (paper §3.2). The
+  // copies are seeded from whatever the registers currently hold, which is
+  // what makes arbitrary initial values harmless (footnote 7).
+  progress_local_ = mem_.peek(progress_cell(self_));
+  stop_local_ = mem_.peek(stop_cell(self_)) != 0;
+  for (ProcessId k = 0; k < n_; ++k) {
+    susp_row_[k] = mem_.peek(susp_cell(self_, k));
+  }
+}
+
+ProcessId OmegaWriteEfficient::leader() {
+  // Task T1 (lines 1-5): elect the least-suspected candidate, breaking ties
+  // by smallest identity — lex_min over (suspicion count, id).
+  std::uint64_t best_count = 0;
+  ProcessId best = kNoProcess;
+  for (ProcessId k = 0; k < n_; ++k) {
+    if (!candidates_.contains(k)) continue;
+    std::uint64_t sum = 0;
+    for (ProcessId j = 0; j < n_; ++j) {
+      sum += mem_.read(self_, susp_cell(j, k));
+    }
+    if (best == kNoProcess || sum < best_count) {
+      best_count = sum;
+      best = k;
+    }
+  }
+  // candidates_i always contains i, so a winner exists (Validity).
+  OMEGA_CHECK(best != kNoProcess, "empty candidate set at p" << self_);
+  return best;
+}
+
+ProcTask OmegaWriteEfficient::task_heartbeat() {
+  // Task T2 (lines 6-12). The paper's `while leader() = i` test is written
+  // with the query as a statement (see the portability note in proc_task.h).
+  for (;;) {
+    for (;;) {
+      const auto out = co_await LeaderQueryOp{};  // line 7: leader() = i ?
+      if (static_cast<ProcessId>(out) != self_) break;
+      ++progress_local_;  // line 8: PROGRESS[i] := PROGRESS[i] + 1
+      co_await WriteOp{progress_cell(self_), progress_local_};
+      if (stop_local_) {  // line 9: if STOP[i] then STOP[i] := false
+        stop_local_ = false;
+        co_await WriteOp{stop_cell(self_), 0};
+      }
+    }
+    if (!stop_local_) {  // line 11: if ¬STOP[i] then STOP[i] := true
+      stop_local_ = true;
+      co_await WriteOp{stop_cell(self_), 1};
+    }
+  }
+}
+
+ProcTask OmegaWriteEfficient::task_monitor() {
+  // Task T3 (lines 13-27).
+  for (;;) {
+    co_await WaitTimerOp{};  // line 13: when timer_i expires
+    for (ProcessId k = 0; k < n_; ++k) {
+      if (k == self_) continue;  // line 14: for each k ∈ {1..n} \ {i}
+      const std::uint64_t stop_k = co_await ReadOp{stop_cell(k)};  // line 15
+      const std::uint64_t progress_k =
+          co_await ReadOp{progress_cell(k)};  // line 16
+      if (progress_k != last_[k]) {           // line 17
+        candidates_.insert(k);                // line 18
+        last_[k] = progress_k;                // line 19
+      } else if (stop_k != 0) {               // line 20
+        candidates_.erase(k);                 // line 21
+      } else if (candidates_.contains(k)) {   // line 22
+        ++susp_row_[k];                       // line 23
+        co_await WriteOp{susp_cell(self_, k), susp_row_[k]};
+        candidates_.erase(k);                 // line 24
+      }
+    }
+    // Line 27 (set timer_i) is performed by the driver, which reads
+    // next_timeout() when this task re-suspends on WaitTimerOp.
+  }
+}
+
+std::uint64_t OmegaWriteEfficient::next_timeout() const {
+  // Line 27: derived from max{SUSPICIONS[i][k]}_{1<=k<=n}, computed on the
+  // locally owned row (no shared access — the paper notes only variables
+  // owned by p_i are involved). The default policy is the paper's max+1.
+  std::uint64_t mx = 0;
+  for (ProcessId k = 0; k < n_; ++k) mx = std::max(mx, susp_row_[k]);
+  return apply_timeout_policy(timeout_policy_, mx);
+}
+
+}  // namespace omega

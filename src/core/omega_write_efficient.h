@@ -1,0 +1,89 @@
+// Algorithm 1 of the paper (Figure 2): the write-efficient Ω construction for
+// AS[n] with assumption AWB.
+//
+// Shared registers (all 1WnR):
+//   SUSPICIONS[n][n]  nat   — SUSPICIONS[j][k] = #times p_j suspected p_k;
+//                             row j owned by p_j. NOT critical.
+//   PROGRESS[n]       nat   — p_i increments PROGRESS[i] while it believes it
+//                             is the leader. Critical (AWB1 applies).
+//   STOP[n]           bool  — p_i sets STOP[i]=true when it stops competing.
+//                             Critical (AWB1 applies).
+//
+// Properties reproduced by the experiment harness:
+//   Thm. 1 — a correct process is eventually elected by everyone;
+//   Thm. 2 — every shared variable except PROGRESS[ℓ] is bounded;
+//   Thm. 3 — eventually only the leader writes, and only one variable;
+//   Thm. 4 — write-optimality (with Lemmas 5-6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/candidate_set.h"
+#include "core/omega_iface.h"
+#include "registers/layout.h"
+
+namespace omega {
+
+class OmegaWriteEfficient : public OmegaProcess {
+ public:
+  /// Shared-memory map of one algorithm instance.
+  struct Shared {
+    Layout layout;
+    GroupId suspicions = 0;
+    GroupId progress = 0;
+    GroupId stop = 0;
+
+    /// Declares the register groups into an existing builder (so callers
+    /// can co-locate application registers in the same memory); `layout` is
+    /// left empty and must be assigned after build().
+    static Shared declare(LayoutBuilder& b, std::uint32_t n);
+    static Shared make(std::uint32_t n);
+  };
+
+  /// `initial_candidates` may be any set (i itself is always added) — the
+  /// paper only requires i ∈ candidates_i. Local mirrors of the process's own
+  /// registers are initialized from current memory contents, so the algorithm
+  /// is self-stabilizing w.r.t. arbitrary initial register values (paper
+  /// footnote 7).
+  OmegaWriteEfficient(MemoryBackend& mem, const Shared& shared, ProcessId self,
+                      const std::vector<ProcessId>& initial_candidates = {});
+
+  ProcessId leader() override;
+  ProcTask task_heartbeat() override;
+  ProcTask task_monitor() override;
+  std::uint64_t next_timeout() const override;
+  std::string_view algorithm_name() const override {
+    return "fig2-write-efficient";
+  }
+
+  /// Test/metrics accessors (read-only views of local state).
+  const CandidateSet& candidates() const noexcept { return candidates_; }
+  std::uint64_t suspicions_of(ProcessId k) const { return susp_row_.at(k); }
+
+  /// Timeout-derivation rule (default: the paper's max+1; see E11).
+  void set_timeout_policy(TimeoutPolicy policy) noexcept {
+    timeout_policy_ = policy;
+  }
+
+ protected:
+  // State and helpers are protected so the §3.5 step-clock variant
+  // (OmegaStepClock) can reuse the scan logic with a different pacing.
+  Cell susp_cell(ProcessId j, ProcessId k) const {
+    return mem_.layout().cell(g_susp_, j, k);
+  }
+  Cell progress_cell(ProcessId k) const {
+    return mem_.layout().cell(g_prog_, k);
+  }
+  Cell stop_cell(ProcessId k) const { return mem_.layout().cell(g_stop_, k); }
+
+  GroupId g_susp_, g_prog_, g_stop_;
+  CandidateSet candidates_;
+  std::vector<std::uint64_t> last_;      ///< last_i[k] (paper line 19)
+  std::vector<std::uint64_t> susp_row_;  ///< local mirror of SUSPICIONS[i][·]
+  std::uint64_t progress_local_ = 0;     ///< local mirror of PROGRESS[i]
+  bool stop_local_ = true;               ///< local mirror of STOP[i]
+  TimeoutPolicy timeout_policy_ = TimeoutPolicy::kMaxPlusOne;
+};
+
+}  // namespace omega

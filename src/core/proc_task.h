@@ -1,0 +1,176 @@
+// Coroutine execution shell for algorithm tasks.
+//
+// The paper's model charges time to *shared-memory accesses* (assumption AWB1
+// bounds the time between two consecutive accesses by p_ℓ to its critical
+// registers, §2.3). To be faithful, an algorithm task here is a C++20
+// coroutine that suspends at every shared access:
+//
+//     const std::uint64_t v = co_await ReadOp{cell};
+//     co_await WriteOp{cell, v + 1};
+//
+// A driver (discrete-event simulator in src/sim/, std::thread runtime in
+// src/rt/) owns the suspended coroutine, performs the pending operation
+// against a MemoryBackend at a time of its choosing, and resumes with the
+// result. The same algorithm body therefore runs unmodified under a
+// fine-grained adversarial scheduler and on real hardware atomics.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+#include "registers/cells.h"
+
+namespace omega {
+
+/// Atomic read of one register (resumes with the value read).
+struct ReadOp {
+  Cell cell;
+};
+
+/// Atomic write of one register.
+struct WriteOp {
+  Cell cell;
+  std::uint64_t value = 0;
+};
+
+/// Invoke this process's own leader() (the paper's task T1). The driver runs
+/// the synchronous, instrumented scan and resumes with the elected id. Used
+/// by task T2's `while leader() = i` test (paper line 7).
+struct LeaderQueryOp {};
+
+/// Suspend until the process's local timer expires (paper line 13, "when
+/// timer_i expires"). The driver arms the timer with the algorithm's
+/// next_timeout() through the run's TimerModel.
+struct WaitTimerOp {};
+
+/// A scheduling point that performs no shared access: one local step. Used by
+/// the §3.5 clock-free variant ("timer_i := timer_i - 1 takes at least one
+/// time unit") and by step-counted baselines.
+struct YieldOp {};
+
+/// What a suspended task is waiting for.
+enum class OpKind : std::uint8_t {
+  kNone,
+  kRead,
+  kWrite,
+  kLeaderQuery,
+  kWaitTimer,
+  kYield,
+  kDone,
+};
+
+/// Move-only handle to one suspended algorithm task.
+///
+/// PORTABILITY NOTE: do not write `co_await` inside a loop *condition*
+/// (e.g. `while ((co_await Op{}) == x)`), only as a statement/initializer.
+/// GCC 12 miscompiles the condition form with await_transform-based
+/// promises: the returned coroutine never enters its body (observed with
+/// g++ 12.2, any -O level). The statement form is equivalent and compiles
+/// correctly; tests/unit/proc_task_test.cpp pins the working patterns.
+class ProcTask {
+ public:
+  struct promise_type {
+    OpKind kind = OpKind::kNone;
+    Cell cell;
+    std::uint64_t value = 0;   ///< operand of a pending write
+    std::uint64_t result = 0;  ///< delivered by the driver on resume
+    std::exception_ptr eptr;
+
+    ProcTask get_return_object() {
+      return ProcTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    std::suspend_always final_suspend() noexcept { return {}; }
+    void return_void() noexcept { kind = OpKind::kDone; }
+    void unhandled_exception() noexcept {
+      eptr = std::current_exception();
+      kind = OpKind::kDone;
+    }
+
+    struct Awaiter {
+      promise_type* p;
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<>) const noexcept {}
+      std::uint64_t await_resume() const noexcept { return p->result; }
+    };
+
+    Awaiter await_transform(ReadOp op) noexcept {
+      kind = OpKind::kRead;
+      cell = op.cell;
+      return Awaiter{this};
+    }
+    Awaiter await_transform(WriteOp op) noexcept {
+      kind = OpKind::kWrite;
+      cell = op.cell;
+      value = op.value;
+      return Awaiter{this};
+    }
+    Awaiter await_transform(LeaderQueryOp) noexcept {
+      kind = OpKind::kLeaderQuery;
+      return Awaiter{this};
+    }
+    Awaiter await_transform(WaitTimerOp) noexcept {
+      kind = OpKind::kWaitTimer;
+      return Awaiter{this};
+    }
+    Awaiter await_transform(YieldOp) noexcept {
+      kind = OpKind::kYield;
+      return Awaiter{this};
+    }
+  };
+
+  ProcTask() noexcept = default;
+  explicit ProcTask(std::coroutine_handle<promise_type> h) noexcept : h_(h) {}
+  ProcTask(ProcTask&& other) noexcept : h_(std::exchange(other.h_, nullptr)) {}
+  ProcTask& operator=(ProcTask&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      h_ = std::exchange(other.h_, nullptr);
+    }
+    return *this;
+  }
+  ProcTask(const ProcTask&) = delete;
+  ProcTask& operator=(const ProcTask&) = delete;
+  ~ProcTask() { destroy(); }
+
+  bool valid() const noexcept { return h_ != nullptr; }
+  bool done() const noexcept { return !h_ || h_.done(); }
+
+  /// The operation this task is currently suspended on.
+  OpKind pending() const noexcept {
+    if (!h_ || h_.done()) return OpKind::kDone;
+    return h_.promise().kind;
+  }
+  Cell pending_cell() const noexcept { return h_.promise().cell; }
+  std::uint64_t pending_value() const noexcept { return h_.promise().value; }
+
+  /// Advances the coroutine to its first suspension point.
+  void start() { resume(0); }
+
+  /// Delivers `result` for the pending operation and advances the task to its
+  /// next suspension point (or completion). Rethrows any exception escaping
+  /// the task body.
+  void resume(std::uint64_t result) {
+    OMEGA_CHECK(h_ && !h_.done(), "resume on finished task");
+    h_.promise().result = result;
+    h_.resume();
+    if (h_.done() && h_.promise().eptr) {
+      std::rethrow_exception(h_.promise().eptr);
+    }
+  }
+
+ private:
+  void destroy() noexcept {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace omega

@@ -1,0 +1,20 @@
+// A Cell names one atomic register in a flat address space. Algorithms never
+// touch raw indices: they go through a `Layout` (layout.h) that maps the
+// paper's named arrays/matrices (SUSPICIONS, PROGRESS, STOP, LAST, ...) to
+// cells and records, per cell, who may write it and whether it is "critical"
+// in the sense of assumption AWB1.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+
+namespace omega {
+
+/// Opaque handle to one shared atomic register.
+struct Cell {
+  std::uint32_t index = 0;
+
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+}  // namespace omega

@@ -1,0 +1,89 @@
+#include "registers/instrumentation.h"
+
+#include "common/check.h"
+
+namespace omega {
+
+Instrumentation::Instrumentation(std::uint32_t num_processes,
+                                 std::uint32_t num_cells)
+    : per_process_(num_processes), per_cell_(num_cells) {
+  OMEGA_CHECK(num_processes > 0, "instrumentation needs >= 1 process");
+}
+
+void Instrumentation::on_read(ProcessId pid, Cell c, std::uint64_t value,
+                              SimTime now) {
+  OMEGA_CHECK(pid < per_process_.size(), "bad reader id " << pid);
+  per_process_[pid].reads.fetch_add(1, std::memory_order_relaxed);
+  if (observer_ != nullptr) {
+    observer_->on_access(AccessEvent{pid, c, value, now, /*is_write=*/false});
+  }
+}
+
+void Instrumentation::on_write(ProcessId pid, Cell c, std::uint64_t value,
+                               SimTime now) {
+  OMEGA_CHECK(pid < per_process_.size(), "bad writer id " << pid);
+  OMEGA_CHECK(c.index < per_cell_.size(), "bad cell " << c.index);
+  auto& p = per_process_[pid];
+  p.writes.fetch_add(1, std::memory_order_relaxed);
+  p.last_write.store(now, std::memory_order_relaxed);
+  auto& cc = per_cell_[c.index];
+  cc.writes.fetch_add(1, std::memory_order_relaxed);
+  // CAS-max keeps high-water correct under concurrent nWnR writers.
+  std::uint64_t cur = cc.high_water.load(std::memory_order_relaxed);
+  while (value > cur && !cc.high_water.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+  if (observer_ != nullptr) {
+    observer_->on_access(AccessEvent{pid, c, value, now, /*is_write=*/true});
+  }
+}
+
+std::uint64_t Instrumentation::reads_by(ProcessId pid) const {
+  OMEGA_CHECK(pid < per_process_.size(), "bad id " << pid);
+  return per_process_[pid].reads.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Instrumentation::writes_by(ProcessId pid) const {
+  OMEGA_CHECK(pid < per_process_.size(), "bad id " << pid);
+  return per_process_[pid].writes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Instrumentation::writes_to(Cell c) const {
+  OMEGA_CHECK(c.index < per_cell_.size(), "bad cell " << c.index);
+  return per_cell_[c.index].writes.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Instrumentation::high_water(Cell c) const {
+  OMEGA_CHECK(c.index < per_cell_.size(), "bad cell " << c.index);
+  return per_cell_[c.index].high_water.load(std::memory_order_relaxed);
+}
+
+SimTime Instrumentation::last_write_by(ProcessId pid) const {
+  OMEGA_CHECK(pid < per_process_.size(), "bad id " << pid);
+  return per_process_[pid].last_write.load(std::memory_order_relaxed);
+}
+
+InstrumentationSnapshot Instrumentation::snapshot() const {
+  InstrumentationSnapshot s;
+  s.reads_by.reserve(per_process_.size());
+  s.writes_by.reserve(per_process_.size());
+  s.last_write_by.reserve(per_process_.size());
+  for (const auto& p : per_process_) {
+    const auto r = p.reads.load(std::memory_order_relaxed);
+    const auto w = p.writes.load(std::memory_order_relaxed);
+    s.reads_by.push_back(r);
+    s.writes_by.push_back(w);
+    s.last_write_by.push_back(p.last_write.load(std::memory_order_relaxed));
+    s.total_reads += r;
+    s.total_writes += w;
+  }
+  s.writes_to.reserve(per_cell_.size());
+  s.high_water.reserve(per_cell_.size());
+  for (const auto& c : per_cell_) {
+    s.writes_to.push_back(c.writes.load(std::memory_order_relaxed));
+    s.high_water.push_back(c.high_water.load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+}  // namespace omega

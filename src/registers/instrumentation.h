@@ -1,0 +1,96 @@
+// Access instrumentation. The paper's theorems are statements about *who
+// accesses shared memory, how often, and how large values grow*:
+//
+//   Thm. 3/7  — eventually a single process writes (one variable);
+//   Thm. 2/6  — boundedness of register domains;
+//   Lemma 5/6 — the leader must write forever, others must read forever.
+//
+// So the measurement layer lives with the registers, not the algorithms:
+// every read/write is counted per process and per cell, with high-water
+// marks. Counters are relaxed atomics so the same instrumentation serves the
+// single-threaded simulator and the std::thread runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "registers/cells.h"
+
+namespace omega {
+
+/// One shared-memory access, as seen by an observer.
+struct AccessEvent {
+  ProcessId pid = kNoProcess;
+  Cell cell;
+  std::uint64_t value = 0;
+  SimTime when = 0;
+  bool is_write = false;
+};
+
+/// Optional per-access hook (simulator-only: not thread-safe by contract).
+class AccessObserver {
+ public:
+  virtual ~AccessObserver() = default;
+  virtual void on_access(const AccessEvent& ev) = 0;
+};
+
+/// Plain-data copy of all counters at one instant; drivers diff snapshots to
+/// get per-window rates ("who wrote during the last W ticks?").
+struct InstrumentationSnapshot {
+  std::vector<std::uint64_t> reads_by;   ///< per process
+  std::vector<std::uint64_t> writes_by;  ///< per process
+  std::vector<std::uint64_t> writes_to;    ///< per cell
+  std::vector<std::uint64_t> high_water;   ///< per cell: max value ever stored
+  std::vector<SimTime> last_write_by;      ///< per process; kNever if none
+  std::uint64_t total_reads = 0;
+  std::uint64_t total_writes = 0;
+};
+
+class Instrumentation {
+ public:
+  Instrumentation(std::uint32_t num_processes, std::uint32_t num_cells);
+
+  void on_read(ProcessId pid, Cell c, std::uint64_t value, SimTime now);
+  void on_write(ProcessId pid, Cell c, std::uint64_t value, SimTime now);
+
+  std::uint64_t reads_by(ProcessId pid) const;
+  std::uint64_t writes_by(ProcessId pid) const;
+  std::uint64_t writes_to(Cell c) const;
+  /// Largest value ever written to `c` (tracks domain growth, Thm. 2/6).
+  std::uint64_t high_water(Cell c) const;
+  SimTime last_write_by(ProcessId pid) const;
+
+  InstrumentationSnapshot snapshot() const;
+
+  /// Installs (or clears, with nullptr) the per-access observer.
+  void set_observer(AccessObserver* obs) noexcept { observer_ = obs; }
+
+  std::uint32_t num_processes() const noexcept {
+    return static_cast<std::uint32_t>(per_process_.size());
+  }
+  std::uint32_t num_cells() const noexcept {
+    return static_cast<std::uint32_t>(per_cell_.size());
+  }
+
+ private:
+  // Padded to a cache line so per-thread counters do not false-share in the
+  // std::thread runtime.
+  struct alignas(64) ProcessCounters {
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+    std::atomic<SimTime> last_write{kNever};
+  };
+  struct CellCounters {
+    std::atomic<std::uint64_t> writes{0};
+    std::atomic<std::uint64_t> high_water{0};
+  };
+
+  std::vector<ProcessCounters> per_process_;
+  std::vector<CellCounters> per_cell_;
+  AccessObserver* observer_ = nullptr;
+};
+
+}  // namespace omega

@@ -1,0 +1,112 @@
+#include "registers/layout.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace omega {
+
+GroupId LayoutBuilder::add_array(std::string name, std::uint32_t n,
+                                 OwnerRule rule, bool critical) {
+  return add_matrix(std::move(name), n, 1, rule, critical);
+}
+
+GroupId LayoutBuilder::add_matrix(std::string name, std::uint32_t rows,
+                                  std::uint32_t cols, OwnerRule rule,
+                                  bool critical) {
+  OMEGA_CHECK(rows > 0 && cols > 0, "empty register group " << name);
+  OMEGA_CHECK(rows <= kMaxProcesses && cols <= kMaxProcesses,
+              "group " << name << " exceeds kMaxProcesses");
+  for (const auto& g : groups_) {
+    OMEGA_CHECK(g.name != name, "duplicate register group " << name);
+  }
+  RegisterGroup g;
+  g.name = std::move(name);
+  g.first = next_;
+  g.rows = rows;
+  g.cols = cols;
+  g.rule = rule;
+  g.critical = critical;
+  next_ += rows * cols;
+  groups_.push_back(std::move(g));
+  return static_cast<GroupId>(groups_.size() - 1);
+}
+
+Layout LayoutBuilder::build() {
+  Layout l;
+  l.groups_ = groups_;
+  l.size_ = next_;
+  return l;
+}
+
+Cell Layout::cell(GroupId g, std::uint32_t i) const {
+  const auto& grp = group(g);
+  OMEGA_CHECK(grp.cols == 1, "group " << grp.name << " is a matrix");
+  OMEGA_CHECK(i < grp.rows, grp.name << "[" << i << "] out of range");
+  return Cell{grp.first + i};
+}
+
+Cell Layout::cell(GroupId g, std::uint32_t r, std::uint32_t c) const {
+  const auto& grp = group(g);
+  OMEGA_CHECK(r < grp.rows && c < grp.cols,
+              grp.name << "[" << r << "][" << c << "] out of range");
+  return Cell{grp.first + r * grp.cols + c};
+}
+
+const RegisterGroup& Layout::group(GroupId g) const {
+  OMEGA_CHECK(g < groups_.size(), "bad group id " << g);
+  return groups_[g];
+}
+
+GroupId Layout::group_of(Cell c) const {
+  OMEGA_CHECK(c.index < size_, "cell " << c.index << " out of range");
+  // Groups are contiguous and ordered by `first`; find the last group whose
+  // first offset is <= the cell index.
+  auto it = std::upper_bound(
+      groups_.begin(), groups_.end(), c.index,
+      [](std::uint32_t idx, const RegisterGroup& g) { return idx < g.first; });
+  OMEGA_CHECK(it != groups_.begin(), "cell before first group");
+  return static_cast<GroupId>(std::distance(groups_.begin(), it) - 1);
+}
+
+ProcessId Layout::owner(Cell c) const {
+  const auto& g = groups_[group_of(c)];
+  const std::uint32_t off = c.index - g.first;
+  switch (g.rule) {
+    case OwnerRule::kRowOwner:
+      return off / g.cols;
+    case OwnerRule::kColOwner:
+      return off % g.cols;
+    case OwnerRule::kAny:
+      return kAnyProcess;
+  }
+  OMEGA_CHECK(false, "unreachable owner rule");
+  return kNoProcess;
+}
+
+bool Layout::is_critical(Cell c) const { return groups_[group_of(c)].critical; }
+
+std::string Layout::cell_name(Cell c) const {
+  const auto& g = groups_[group_of(c)];
+  const std::uint32_t off = c.index - g.first;
+  std::string out = g.name;
+  if (g.cols == 1) {
+    out += "[" + std::to_string(off) + "]";
+  } else {
+    out += "[" + std::to_string(off / g.cols) + "][" +
+           std::to_string(off % g.cols) + "]";
+  }
+  return out;
+}
+
+bool Layout::find_group(const std::string& name, GroupId& out) const {
+  for (std::size_t i = 0; i < groups_.size(); ++i) {
+    if (groups_[i].name == name) {
+      out = static_cast<GroupId>(i);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace omega

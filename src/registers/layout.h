@@ -1,0 +1,93 @@
+// Register layout: maps the paper's named register families to a flat cell
+// space and carries the two per-cell model attributes the paper relies on:
+//
+//  * ownership — 1WnR registers have exactly one writer (its "owner", §2.1);
+//    the §3.5 nWnR variant marks cells writable by anyone (`kAnyProcess`);
+//  * criticality — assumption AWB1 constrains only accesses by a process to
+//    its *critical* registers (§2.3), so experiments need to know which
+//    writes count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/ids.h"
+#include "registers/cells.h"
+
+namespace omega {
+
+/// How a group's cells map to owners.
+enum class OwnerRule : std::uint8_t {
+  kRowOwner,  ///< cell (r, c) owned by process r (e.g. SUSPICIONS[r][c])
+  kColOwner,  ///< cell (r, c) owned by process c (e.g. LAST[r][c])
+  kAny,       ///< multi-writer (nWnR variant of §3.5)
+};
+
+/// Identifier of a register group within a Layout.
+using GroupId = std::uint32_t;
+
+/// A named rectangular family of registers (arrays are 1-column matrices).
+struct RegisterGroup {
+  std::string name;
+  std::uint32_t first = 0;  ///< flat index of cell (0, 0)
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;  ///< 1 for arrays
+  OwnerRule rule = OwnerRule::kRowOwner;
+  bool critical = false;
+};
+
+class Layout;
+
+/// Builds a Layout incrementally; each algorithm's memory map is declared in
+/// one place (see e.g. core/omega_write_efficient.cpp).
+class LayoutBuilder {
+ public:
+  /// Array `name[n]`; cell i owned by process i (kRowOwner) or anyone (kAny).
+  GroupId add_array(std::string name, std::uint32_t n, OwnerRule rule,
+                    bool critical);
+
+  /// Matrix `name[rows][cols]`.
+  GroupId add_matrix(std::string name, std::uint32_t rows, std::uint32_t cols,
+                     OwnerRule rule, bool critical);
+
+  Layout build();
+
+ private:
+  std::vector<RegisterGroup> groups_;
+  std::uint32_t next_ = 0;
+};
+
+/// Immutable register map. Cheap to copy (shared groups are small).
+class Layout {
+ public:
+  Layout() = default;
+
+  /// Cell of an array group.
+  Cell cell(GroupId g, std::uint32_t i) const;
+  /// Cell of a matrix group.
+  Cell cell(GroupId g, std::uint32_t r, std::uint32_t c) const;
+
+  std::uint32_t size() const noexcept { return size_; }
+  std::size_t num_groups() const noexcept { return groups_.size(); }
+  const RegisterGroup& group(GroupId g) const;
+
+  /// Which process may write `c` (`kAnyProcess` for nWnR cells).
+  ProcessId owner(Cell c) const;
+  /// Whether `c` is critical in the AWB1 sense.
+  bool is_critical(Cell c) const;
+  /// Group that contains `c`.
+  GroupId group_of(Cell c) const;
+  /// Human-readable name, e.g. "SUSPICIONS[2][5]" (0-based indices).
+  std::string cell_name(Cell c) const;
+  /// Group lookup by name; returns true and sets `out` if present.
+  bool find_group(const std::string& name, GroupId& out) const;
+
+ private:
+  friend class LayoutBuilder;
+  std::vector<RegisterGroup> groups_;
+  std::uint32_t size_ = 0;
+};
+
+}  // namespace omega

@@ -1,0 +1,53 @@
+#include "registers/memory.h"
+
+#include "common/check.h"
+
+namespace omega {
+
+MemoryBackend::MemoryBackend(Layout layout, std::uint32_t num_processes)
+    : layout_(std::move(layout)),
+      num_processes_(num_processes),
+      instr_(num_processes, layout_.size()) {
+  OMEGA_CHECK(num_processes > 0 && num_processes <= kMaxProcesses,
+              "bad process count " << num_processes);
+}
+
+std::uint64_t MemoryBackend::read(ProcessId reader, Cell c) {
+  OMEGA_CHECK(reader < num_processes_, "bad reader " << reader);
+  OMEGA_CHECK(c.index < layout_.size(), "cell out of range");
+  ++fallback_ticks_;
+  const std::uint64_t v = load(c);
+  instr_.on_read(reader, c, v, now());
+  return v;
+}
+
+void MemoryBackend::write(ProcessId writer, Cell c, std::uint64_t v) {
+  OMEGA_CHECK(writer < num_processes_, "bad writer " << writer);
+  OMEGA_CHECK(c.index < layout_.size(), "cell out of range");
+  const ProcessId owner = layout_.owner(c);
+  OMEGA_CHECK(owner == kAnyProcess || owner == writer,
+              "1WnR violation: p" << writer << " writing "
+                                  << layout_.cell_name(c) << " owned by p"
+                                  << owner);
+  ++fallback_ticks_;
+  store(c, v);
+  instr_.on_write(writer, c, v, now());
+}
+
+void MemoryBackend::set_clock(std::function<SimTime()> clock) {
+  clock_ = std::move(clock);
+}
+
+SimDuration MemoryBackend::access_cost(Cell /*c*/, bool /*is_write*/) {
+  return 0;
+}
+
+SimMemory::SimMemory(Layout layout, std::uint32_t num_processes)
+    : MemoryBackend(std::move(layout), num_processes),
+      cells_(this->layout().size(), 0) {}
+
+std::uint64_t SimMemory::load(Cell c) const { return cells_[c.index]; }
+
+void SimMemory::store(Cell c, std::uint64_t v) { cells_[c.index] = v; }
+
+}  // namespace omega

@@ -1,0 +1,86 @@
+// Memory backends. `MemoryBackend` is the single access path for algorithms
+// and drivers; it enforces the 1WnR ownership discipline of the model (§2.1)
+// and routes every access through the instrumentation layer. Concrete
+// storage:
+//
+//   * SimMemory    — plain cells; the discrete-event simulator serializes all
+//                    accesses, so atomicity/linearizability hold trivially
+//                    (the linearization point is the event's tick).
+//   * AtomicMemory — std::atomic cells on real threads (src/rt/).
+//   * SanMemory    — SimMemory + per-access disk latency (src/san/).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/ids.h"
+#include "registers/instrumentation.h"
+#include "registers/layout.h"
+
+namespace omega {
+
+class MemoryBackend {
+ public:
+  MemoryBackend(Layout layout, std::uint32_t num_processes);
+  virtual ~MemoryBackend() = default;
+
+  MemoryBackend(const MemoryBackend&) = delete;
+  MemoryBackend& operator=(const MemoryBackend&) = delete;
+
+  const Layout& layout() const noexcept { return layout_; }
+  std::uint32_t num_processes() const noexcept { return num_processes_; }
+
+  /// Atomic read of `c` by `reader`. Instrumented.
+  std::uint64_t read(ProcessId reader, Cell c);
+
+  /// Atomic write of `c` by `writer`. Enforces ownership: a store to a 1WnR
+  /// cell by a non-owner throws InvariantViolation. Instrumented.
+  void write(ProcessId writer, Cell c, std::uint64_t v);
+
+  /// Uninstrumented, unchecked access for initialization (the algorithms are
+  /// self-stabilizing w.r.t. initial register contents — paper footnote 7 —
+  /// so tests poke arbitrary garbage) and post-mortem inspection.
+  std::uint64_t peek(Cell c) const { return load(c); }
+  void poke(Cell c, std::uint64_t v) { store(c, v); }
+
+  Instrumentation& instr() noexcept { return instr_; }
+  const Instrumentation& instr() const noexcept { return instr_; }
+
+  /// Clock used to timestamp instrumentation events. Drivers install their
+  /// notion of "now"; the default counts accesses.
+  void set_clock(std::function<SimTime()> clock);
+
+  /// Extra latency a driver should charge for this access (SAN model);
+  /// the base backends are free.
+  virtual SimDuration access_cost(Cell c, bool is_write);
+
+ protected:
+  virtual std::uint64_t load(Cell c) const = 0;
+  virtual void store(Cell c, std::uint64_t v) = 0;
+
+  SimTime now() const { return clock_ ? clock_() : fallback_ticks_; }
+
+ private:
+  Layout layout_;
+  std::uint32_t num_processes_;
+  Instrumentation instr_;
+  std::function<SimTime()> clock_;
+  SimTime fallback_ticks_ = 0;
+};
+
+/// Plain single-threaded storage for the discrete-event simulator.
+class SimMemory final : public MemoryBackend {
+ public:
+  SimMemory(Layout layout, std::uint32_t num_processes);
+
+ protected:
+  std::uint64_t load(Cell c) const override;
+  void store(Cell c, std::uint64_t v) override;
+
+ private:
+  std::vector<std::uint64_t> cells_;
+};
+
+}  // namespace omega

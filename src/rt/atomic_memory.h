@@ -1,0 +1,34 @@
+// Real-hardware register backend: each 1WnR atomic register is a
+// std::atomic<uint64_t> with sequentially consistent loads/stores.
+// Linearizability of the paper's register model maps directly onto the C++
+// memory model: seq_cst atomics give a single total order of all accesses
+// consistent with program order — exactly the atomic-register semantics of
+// §2.1 (this is the "std::atomic registers map directly" reproduction path).
+//
+// Cells are padded to cache lines so that one process's heartbeat writes do
+// not false-share with its neighbours' registers.
+#pragma once
+
+#include <atomic>
+#include <vector>
+
+#include "registers/memory.h"
+
+namespace omega {
+
+class AtomicMemory final : public MemoryBackend {
+ public:
+  AtomicMemory(Layout layout, std::uint32_t num_processes);
+
+ protected:
+  std::uint64_t load(Cell c) const override;
+  void store(Cell c, std::uint64_t v) override;
+
+ private:
+  struct alignas(64) PaddedCell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::vector<PaddedCell> cells_;
+};
+
+}  // namespace omega

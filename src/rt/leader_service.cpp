@@ -1,0 +1,85 @@
+#include "rt/leader_service.h"
+
+namespace omega {
+
+LeaderService::LeaderService(RtConfig config, std::int64_t poll_us)
+    : driver_(config), poll_us_(poll_us) {
+  OMEGA_CHECK(poll_us >= 1, "bad poll period");
+}
+
+LeaderService::~LeaderService() { stop(); }
+
+void LeaderService::start() {
+  OMEGA_CHECK(!started_, "start() called twice");
+  started_ = true;
+  driver_.start();
+  watcher_ = std::thread([this] { watch(); });
+}
+
+void LeaderService::stop() {
+  if (!started_) return;
+  stop_flag_.store(true, std::memory_order_release);
+  if (watcher_.joinable()) watcher_.join();
+  driver_.stop();
+}
+
+bool LeaderService::is_leader(ProcessId pid) const {
+  return driver_.leader(pid) == pid;
+}
+
+std::uint64_t LeaderService::subscribe(LeadershipCallback cb) {
+  OMEGA_CHECK(cb != nullptr, "null callback");
+  std::lock_guard<std::mutex> lock(subs_mutex_);
+  const std::uint64_t token = next_token_++;
+  subs_.emplace_back(token, std::move(cb));
+  return token;
+}
+
+void LeaderService::unsubscribe(std::uint64_t token) {
+  std::lock_guard<std::mutex> lock(subs_mutex_);
+  for (auto it = subs_.begin(); it != subs_.end(); ++it) {
+    if (it->first == token) {
+      subs_.erase(it);
+      return;
+    }
+  }
+}
+
+ProcessId LeaderService::compute_agreed() const {
+  ProcessId common = kNoProcess;
+  for (std::uint32_t i = 0; i < driver_.n(); ++i) {
+    const auto s = driver_.status(i);
+    if (s.crashed) continue;
+    if (s.last_leader == kNoProcess) return kNoProcess;  // not sampled yet
+    if (common == kNoProcess) {
+      common = s.last_leader;
+    } else if (common != s.last_leader) {
+      return kNoProcess;  // disagreement
+    }
+  }
+  if (common == kNoProcess) return kNoProcess;
+  if (driver_.status(common).crashed) return kNoProcess;  // stale view
+  return common;
+}
+
+void LeaderService::watch() {
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    const ProcessId now_agreed = compute_agreed();
+    const ProcessId prev = agreed_.load(std::memory_order_relaxed);
+    if (now_agreed != prev) {
+      agreed_.store(now_agreed, std::memory_order_release);
+      transitions_.fetch_add(1, std::memory_order_relaxed);
+      const std::int64_t at = driver_.now_us();
+      std::vector<LeadershipCallback> to_call;
+      {
+        std::lock_guard<std::mutex> lock(subs_mutex_);
+        to_call.reserve(subs_.size());
+        for (const auto& [token, cb] : subs_) to_call.push_back(cb);
+      }
+      for (const auto& cb : to_call) cb(prev, now_agreed, at);
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(poll_us_));
+  }
+}
+
+}  // namespace omega

@@ -1,0 +1,84 @@
+// LeaderService: the downstream-facing facade over the real-thread runtime.
+// Applications built on Ω (lock services, primary-backup replication, SMR)
+// want three things the raw RtDriver does not package:
+//
+//   * a *system-wide* leader view — "the id every live process currently
+//     agrees on", rather than one process's local estimate;
+//   * change notifications — callbacks when that agreed view changes
+//     (leadership acquired / lost / vacated), so fail-over logic is
+//     event-driven instead of polled;
+//   * a simple "am I the leader right now?" test for fencing decisions
+//     (with the usual Ω caveat: during anarchy the answer may be wrong —
+//     Ω only promises eventual accuracy, which is why applications pair it
+//     with a safety layer like the consensus module).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rt/rt_driver.h"
+
+namespace omega {
+
+/// Invoked on agreed-view changes. `previous`/`current` may be kNoProcess
+/// ("no agreement"). Runs on the service's watcher thread: keep it short,
+/// do not call back into the service from inside it.
+using LeadershipCallback = std::function<void(
+    ProcessId previous, ProcessId current, std::int64_t at_us)>;
+
+class LeaderService {
+ public:
+  /// `poll_us` — watcher polling period for the agreed view.
+  explicit LeaderService(RtConfig config, std::int64_t poll_us = 1000);
+  ~LeaderService();
+
+  LeaderService(const LeaderService&) = delete;
+  LeaderService& operator=(const LeaderService&) = delete;
+
+  void start();
+  void stop();
+
+  /// The current agreed leader: the id that every live process's last
+  /// leader() output names, provided that id is itself live; kNoProcess
+  /// while the system disagrees (anarchy or mid-fail-over).
+  ProcessId current() const noexcept {
+    return agreed_.load(std::memory_order_acquire);
+  }
+
+  /// Fencing-style test for one process's local view.
+  bool is_leader(ProcessId pid) const;
+
+  /// Registers a callback; returns a token for unsubscribe(). Callbacks
+  /// fire in subscription order.
+  std::uint64_t subscribe(LeadershipCallback cb);
+  void unsubscribe(std::uint64_t token);
+
+  /// Number of agreed-view changes observed since start().
+  std::uint64_t transitions() const noexcept {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+
+  RtDriver& driver() noexcept { return driver_; }
+
+ private:
+  void watch();
+  ProcessId compute_agreed() const;
+
+  RtDriver driver_;
+  std::int64_t poll_us_;
+  std::thread watcher_;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<ProcessId> agreed_{kNoProcess};
+  std::atomic<std::uint64_t> transitions_{0};
+  bool started_ = false;
+
+  mutable std::mutex subs_mutex_;
+  std::vector<std::pair<std::uint64_t, LeadershipCallback>> subs_;
+  std::uint64_t next_token_ = 1;
+};
+
+}  // namespace omega

@@ -1,0 +1,231 @@
+#include "rt/rt_driver.h"
+
+#include "rt/atomic_memory.h"
+
+namespace omega {
+
+RtDriver::RtDriver(RtConfig config) : config_(config) {
+  OMEGA_CHECK(config_.n >= 1 && config_.n <= 64,
+              "rt runtime supports 1..64 processes");
+  OMEGA_CHECK(config_.tick_us >= 1, "tick must be >= 1us");
+  inst_ = make_omega(config_.algo, config_.n,
+                     [](Layout layout, std::uint32_t n) {
+                       return std::unique_ptr<MemoryBackend>(
+                           std::make_unique<AtomicMemory>(std::move(layout), n));
+                     });
+  threads_.reserve(config_.n);
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    threads_.push_back(std::make_unique<ProcThread>());
+  }
+}
+
+RtDriver::~RtDriver() { stop(); }
+
+std::int64_t RtDriver::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+void RtDriver::add_app_task(ProcessId pid, ProcTask task) {
+  OMEGA_CHECK(pid < threads_.size(), "bad pid " << pid);
+  OMEGA_CHECK(!started_, "add_app_task after start()");
+  OMEGA_CHECK(task.valid(), "invalid app task");
+  task.start();
+  auto& t = *threads_[pid];
+  t.apps.push_back(std::move(task));
+  t.apps_left.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool RtDriver::apps_done() const {
+  for (const auto& t : threads_) {
+    if (t->apps_left.load(std::memory_order_acquire) > 0) return false;
+  }
+  return true;
+}
+
+void RtDriver::start() {
+  OMEGA_CHECK(!started_, "start() called twice");
+  started_ = true;
+  start_time_ = std::chrono::steady_clock::now();
+  // Timestamp instrumentation in microseconds since start.
+  inst_.memory->set_clock([this] { return now_us(); });
+  for (std::uint32_t i = 0; i < config_.n; ++i) {
+    threads_[i]->thread = std::thread([this, i] { run_process(i); });
+  }
+}
+
+void RtDriver::stop() {
+  if (!started_) return;
+  stop_flag_.store(true, std::memory_order_release);
+  for (auto& t : threads_) {
+    if (t->thread.joinable()) t->thread.join();
+  }
+}
+
+void RtDriver::crash(ProcessId pid) {
+  OMEGA_CHECK(pid < threads_.size(), "bad pid " << pid);
+  threads_[pid]->crash_flag.store(true, std::memory_order_release);
+}
+
+ProcessId RtDriver::leader(ProcessId pid) const {
+  OMEGA_CHECK(pid < threads_.size(), "bad pid " << pid);
+  return threads_[pid]->last_leader.load(std::memory_order_acquire);
+}
+
+RtProcessStatus RtDriver::status(ProcessId pid) const {
+  OMEGA_CHECK(pid < threads_.size(), "bad pid " << pid);
+  const auto& t = *threads_[pid];
+  RtProcessStatus s;
+  s.last_leader = t.last_leader.load(std::memory_order_acquire);
+  s.leader_queries = t.queries.load(std::memory_order_relaxed);
+  s.leader_changes = t.changes.load(std::memory_order_relaxed);
+  s.last_change_us = t.last_change_us.load(std::memory_order_relaxed);
+  s.crashed = t.crash_flag.load(std::memory_order_acquire);
+  return s;
+}
+
+std::string RtDriver::failure_message() const {
+  std::lock_guard<std::mutex> lock(failure_mutex_);
+  return failure_message_;
+}
+
+void RtDriver::run_process(ProcessId pid) try {
+  OmegaProcess& proc = *inst_.processes[pid];
+  MemoryBackend& mem = *inst_.memory;
+  ProcThread& me = *threads_[pid];
+
+  ProcTask heartbeat = proc.task_heartbeat();
+  ProcTask monitor = proc.task_monitor();
+  heartbeat.start();
+  monitor.start();
+
+  auto deadline = std::chrono::steady_clock::time_point::min();
+  bool timer_armed = false;
+  auto arm_if_waiting = [&] {
+    if (monitor.pending() == OpKind::kWaitTimer && !timer_armed) {
+      const std::uint64_t x = proc.next_timeout();
+      deadline = std::chrono::steady_clock::now() +
+                 std::chrono::microseconds(
+                     static_cast<std::int64_t>(x) * config_.tick_us);
+      timer_armed = true;
+    }
+  };
+  arm_if_waiting();
+
+  // Executes the pending op of `task` directly against the atomic memory.
+  auto exec = [&](ProcTask& task) {
+    switch (task.pending()) {
+      case OpKind::kRead:
+        task.resume(mem.read(pid, task.pending_cell()));
+        return;
+      case OpKind::kWrite:
+        mem.write(pid, task.pending_cell(), task.pending_value());
+        task.resume(0);
+        return;
+      case OpKind::kLeaderQuery: {
+        const ProcessId out = proc.leader();
+        me.queries.fetch_add(1, std::memory_order_relaxed);
+        if (out != me.last_leader.load(std::memory_order_relaxed)) {
+          me.last_leader.store(out, std::memory_order_release);
+          me.changes.fetch_add(1, std::memory_order_relaxed);
+          me.last_change_us.store(now_us(), std::memory_order_relaxed);
+        }
+        task.resume(out);
+        return;
+      }
+      case OpKind::kYield:
+        task.resume(0);
+        return;
+      case OpKind::kWaitTimer:
+      case OpKind::kNone:
+      case OpKind::kDone:
+        break;
+    }
+    OMEGA_CHECK(false, "rt task of p" << pid << " has no executable op");
+  };
+
+  // Round-robin over [monitor, heartbeat, app tasks...], mirroring the
+  // simulator's per-process task rotation.
+  const std::size_t slots = 2 + me.apps.size();
+  std::size_t rr = 0;
+  while (!stop_flag_.load(std::memory_order_acquire) &&
+         !me.crash_flag.load(std::memory_order_acquire)) {
+    if (monitor.pending() == OpKind::kWaitTimer && timer_armed &&
+        std::chrono::steady_clock::now() >= deadline) {
+      timer_armed = false;
+      monitor.resume(0);
+      arm_if_waiting();
+    } else {
+      for (std::size_t probe = 0; probe < slots; ++probe) {
+        const std::size_t slot = (rr + probe) % slots;
+        if (slot == 0) {
+          const OpKind mk = monitor.pending();
+          const bool runnable = mk == OpKind::kRead || mk == OpKind::kWrite ||
+                                mk == OpKind::kYield;
+          if (!runnable) continue;
+          exec(monitor);
+          arm_if_waiting();
+        } else if (slot == 1) {
+          exec(heartbeat);
+        } else {
+          ProcTask& app = me.apps[slot - 2];
+          if (app.pending() == OpKind::kDone) continue;
+          exec(app);
+          if (app.pending() == OpKind::kDone) {
+            me.apps_left.fetch_sub(1, std::memory_order_acq_rel);
+          }
+        }
+        rr = slot + 1;
+        break;
+      }
+    }
+    if (config_.pace_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(config_.pace_us));
+    }
+  }
+} catch (const std::exception& e) {
+  std::lock_guard<std::mutex> lock(failure_mutex_);
+  if (!failed_.exchange(true, std::memory_order_acq_rel)) {
+    failure_message_ = e.what();
+  }
+}
+
+ProcessId RtDriver::await_stable_leader(std::int64_t hold_us,
+                                        std::int64_t timeout_us) {
+  const std::int64_t deadline = now_us() + timeout_us;
+  std::int64_t agreed_since = -1;
+  ProcessId agreed = kNoProcess;
+  while (now_us() < deadline) {
+    ProcessId common = kNoProcess;
+    bool all_agree = true;
+    for (std::uint32_t i = 0; i < config_.n && all_agree; ++i) {
+      const auto s = status(i);
+      if (s.crashed) continue;
+      if (s.last_leader == kNoProcess) {
+        all_agree = false;
+      } else if (common == kNoProcess) {
+        common = s.last_leader;
+      } else if (common != s.last_leader) {
+        all_agree = false;
+      }
+    }
+    const bool leader_alive =
+        all_agree && common != kNoProcess && !status(common).crashed;
+    if (leader_alive) {
+      if (agreed != common) {
+        agreed = common;
+        agreed_since = now_us();
+      } else if (now_us() - agreed_since >= hold_us) {
+        return agreed;
+      }
+    } else {
+      agreed = kNoProcess;
+      agreed_since = -1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return kNoProcess;
+}
+
+}  // namespace omega

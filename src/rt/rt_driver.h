@@ -1,0 +1,122 @@
+// Real-thread runtime: one std::thread per process, std::atomic registers,
+// steady-clock timers. The same coroutine task bodies that run under the
+// discrete-event simulator run here against real hardware — the drivers are
+// interchangeable because algorithms only ever touch memory through their
+// suspended operations.
+//
+// AWB in this runtime: the OS scheduler provides no hard bounds, but on a
+// live machine every thread keeps getting scheduled and the leader's
+// inter-write gaps are in practice bounded — AWB1 holds statistically, and
+// steady-clock timers are monotone (stronger than AWB2 requires). The
+// adaptive timeouts (max-suspicions + 1) absorb scheduling jitter exactly as
+// they absorb asynchrony in the simulator.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/proc_task.h"
+
+namespace omega {
+
+struct RtConfig {
+  AlgoKind algo = AlgoKind::kWriteEfficient;
+  std::uint32_t n = 4;
+  /// Microseconds per timeout unit (the timer's T(x) = x * tick_us).
+  std::int64_t tick_us = 500;
+  /// Optional pacing between operations (microseconds); 0 = free-running.
+  /// On machines with fewer cores than processes a small pace keeps every
+  /// thread scheduled regularly.
+  std::int64_t pace_us = 50;
+};
+
+/// Per-process externally visible state (all atomics: safe to poll from the
+/// control thread while the process thread runs).
+struct RtProcessStatus {
+  ProcessId last_leader = kNoProcess;
+  std::uint64_t leader_queries = 0;
+  std::uint64_t leader_changes = 0;
+  std::int64_t last_change_us = -1;
+  bool crashed = false;
+};
+
+class RtDriver {
+ public:
+  explicit RtDriver(RtConfig config);
+  ~RtDriver();
+
+  RtDriver(const RtDriver&) = delete;
+  RtDriver& operator=(const RtDriver&) = delete;
+
+  /// Registers an application coroutine (e.g. a consensus proposer) to run
+  /// on `pid`'s thread, interleaved with the Ω tasks. Must be called before
+  /// start(); the task's LeaderQuery ops are answered by that process's
+  /// leader().
+  void add_app_task(ProcessId pid, ProcTask task);
+  /// True iff every registered application task has completed.
+  bool apps_done() const;
+
+  /// Launches all process threads. May be called once.
+  void start();
+  /// Stops every thread and joins. Idempotent.
+  void stop();
+
+  /// Simulated crash: the thread stops executing steps (registers keep their
+  /// last values), exactly like a crash in the model.
+  void crash(ProcessId pid);
+
+  /// Latest leader() output published by `pid`'s own thread (Ω's interface
+  /// as an application on that process would see it).
+  ProcessId leader(ProcessId pid) const;
+
+  RtProcessStatus status(ProcessId pid) const;
+  std::uint32_t n() const noexcept { return config_.n; }
+  MemoryBackend& memory() noexcept { return *inst_.memory; }
+
+  /// True iff any process thread died on an exception (model violation);
+  /// the first message is kept for diagnosis.
+  bool failed() const noexcept {
+    return failed_.load(std::memory_order_acquire);
+  }
+  std::string failure_message() const;
+
+  /// Microseconds since start().
+  std::int64_t now_us() const;
+
+  /// Blocks until every live process has reported the same correct leader
+  /// continuously for `hold_us`, or until `timeout_us` elapses. Returns the
+  /// agreed leader, or kNoProcess on timeout.
+  ProcessId await_stable_leader(std::int64_t hold_us, std::int64_t timeout_us);
+
+ private:
+  struct ProcThread {
+    std::thread thread;
+    std::vector<ProcTask> apps;           ///< registered before start()
+    std::atomic<std::uint32_t> apps_left{0};
+    std::atomic<bool> crash_flag{false};
+    std::atomic<std::uint32_t> last_leader{kNoProcess};
+    std::atomic<std::uint64_t> queries{0};
+    std::atomic<std::uint64_t> changes{0};
+    std::atomic<std::int64_t> last_change_us{-1};
+  };
+
+  void run_process(ProcessId pid);
+
+  RtConfig config_;
+  OmegaInstance inst_;
+  std::vector<std::unique_ptr<ProcThread>> threads_;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<bool> failed_{false};
+  mutable std::mutex failure_mutex_;
+  std::string failure_message_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_time_{};
+};
+
+}  // namespace omega

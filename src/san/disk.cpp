@@ -1,0 +1,34 @@
+#include "san/disk.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace omega {
+
+SimDisk::SimDisk(SimDuration network_latency, SimDuration service_time,
+                 SimDuration jitter_max, std::uint64_t seed)
+    : network_latency_(network_latency),
+      service_time_(service_time),
+      jitter_max_(jitter_max),
+      rng_(seed) {
+  OMEGA_CHECK(network_latency >= 0 && service_time >= 1 && jitter_max >= 0,
+              "bad disk parameters");
+}
+
+SimDuration SimDisk::serve(SimTime now, bool is_write) {
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  const SimTime start = std::max(now, stats_.busy_until);
+  const SimDuration queue_wait = start - now;
+  stats_.total_queue_wait += static_cast<std::uint64_t>(queue_wait);
+  const SimDuration service =
+      service_time_ + (jitter_max_ > 0 ? rng_.uniform(0, jitter_max_) : 0);
+  stats_.busy_until = start + service;
+  return network_latency_ + queue_wait + service;
+}
+
+}  // namespace omega

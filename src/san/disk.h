@@ -1,0 +1,45 @@
+// A simulated network-attached disk. The paper motivates shared-memory Ω
+// with storage-area networks: "commodity disks are cheaper than computers"
+// and the disk array implements the shared-memory abstraction ([1,4,10,18]).
+// We have no SAN, so we model the one property that matters for the
+// algorithms: register accesses cost *time* (network + service latency, plus
+// queueing when a disk is busy) instead of being free.
+#pragma once
+
+#include <cstdint>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace omega {
+
+struct DiskStats {
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  std::uint64_t total_queue_wait = 0;  ///< ticks spent queued behind other ops
+  SimTime busy_until = 0;
+};
+
+/// Single-server queue model of one disk: each operation occupies the disk
+/// for `service_time` ticks (+ jitter); operations arriving while the disk
+/// is busy wait their turn. Network round-trip adds a fixed latency.
+class SimDisk {
+ public:
+  SimDisk(SimDuration network_latency, SimDuration service_time,
+          SimDuration jitter_max, std::uint64_t seed);
+
+  /// Serves one operation arriving at `now`; returns its total latency
+  /// (network + queue wait + service).
+  SimDuration serve(SimTime now, bool is_write);
+
+  const DiskStats& stats() const noexcept { return stats_; }
+
+ private:
+  SimDuration network_latency_;
+  SimDuration service_time_;
+  SimDuration jitter_max_;
+  Rng rng_;
+  DiskStats stats_;
+};
+
+}  // namespace omega

@@ -1,0 +1,137 @@
+#include "san/replicated_san.h"
+
+#include <algorithm>
+
+namespace omega {
+
+ReplicatedSanMemory::ReplicatedSanMemory(Layout layout,
+                                         std::uint32_t num_processes,
+                                         ReplicatedSanConfig config)
+    : MemoryBackend(std::move(layout), num_processes),
+      config_(config),
+      disk_crashed_(config.num_disks, false),
+      next_version_(this->layout().size(), 0),
+      rng_(config.seed) {
+  OMEGA_CHECK(config.num_disks >= 1, "need at least one disk");
+  OMEGA_CHECK(config.omission_prob >= 0.0 && config.omission_prob < 1.0,
+              "omission probability out of range");
+  Rng seeder(config.seed ^ 0xFEED);
+  disks_.reserve(config.num_disks);
+  replicas_.resize(config.num_disks);
+  for (std::uint32_t d = 0; d < config.num_disks; ++d) {
+    disks_.emplace_back(config.network_latency, config.service_time,
+                        config.jitter_max, seeder.next_u64());
+    replicas_[d].resize(this->layout().size());
+  }
+}
+
+void ReplicatedSanMemory::crash_disk(std::uint32_t d) {
+  OMEGA_CHECK(d < disks_.size(), "bad disk " << d);
+  OMEGA_CHECK(disks_alive() > 1 || disk_crashed_[d],
+              "cannot crash the last disk");
+  disk_crashed_[d] = true;
+}
+
+std::uint32_t ReplicatedSanMemory::disks_alive() const {
+  std::uint32_t alive = 0;
+  for (bool c : disk_crashed_) alive += c ? 0 : 1;
+  return alive;
+}
+
+const DiskStats& ReplicatedSanMemory::disk_stats(std::uint32_t d) const {
+  OMEGA_CHECK(d < disks_.size(), "bad disk " << d);
+  return disks_[d].stats();
+}
+
+SimDuration ReplicatedSanMemory::access_cost(Cell /*c*/, bool is_write) {
+  // Fan-out to every live replica in parallel; the access completes when the
+  // slowest replica responds.
+  SimDuration worst = 0;
+  for (std::uint32_t d = 0; d < disks_.size(); ++d) {
+    if (disk_crashed_[d]) continue;
+    worst = std::max(worst, disks_[d].serve(now(), is_write));
+  }
+  return worst;
+}
+
+int ReplicatedSanMemory::pick_live_anchor() const {
+  // The "controller retries one replica synchronously" guarantee: one live
+  // disk, chosen uniformly, always participates in the access. A rotating
+  // anchor (rather than a fixed one) is what lets replicas genuinely
+  // diverge under omissions.
+  std::uint32_t alive = disks_alive();
+  OMEGA_CHECK(alive > 0, "no live disk");
+  auto pick = static_cast<std::uint32_t>(
+      rng_.uniform(0, static_cast<std::int64_t>(alive) - 1));
+  for (std::uint32_t d = 0; d < disks_.size(); ++d) {
+    if (disk_crashed_[d]) {
+      continue;
+    }
+    if (pick == 0) return static_cast<int>(d);
+    --pick;
+  }
+  OMEGA_CHECK(false, "unreachable");
+  return -1;
+}
+
+std::uint64_t ReplicatedSanMemory::load(Cell c) const {
+  // Read every reachable replica; adopt the highest version seen. At least
+  // one live disk (the anchor) always responds.
+  const int anchor = pick_live_anchor();
+  std::uint64_t best_version = 0;
+  std::uint64_t best_value = 0;
+  bool any = false;
+  std::uint64_t freshest = 0;
+  for (std::uint32_t d = 0; d < disks_.size(); ++d) {
+    if (disk_crashed_[d]) continue;
+    freshest = std::max(freshest, replicas_[d][c.index].version);
+    if (config_.omission_prob > 0.0 && static_cast<int>(d) != anchor &&
+        rng_.bernoulli(config_.omission_prob)) {
+      continue;  // this replica's response was lost
+    }
+    const Replica& r = replicas_[d][c.index];
+    if (!any || r.version > best_version) {
+      any = true;
+      best_version = r.version;
+      best_value = r.value;
+    }
+  }
+  OMEGA_CHECK(any, "no live disk replica for cell " << c.index);
+  if (best_version < freshest) ++stale_reads_;
+  if (config_.read_repair) {
+    // Anti-entropy: push the freshest observed replica back to every live
+    // disk (the controller already has the data in hand).
+    for (std::uint32_t d = 0; d < disks_.size(); ++d) {
+      if (disk_crashed_[d]) continue;
+      if (replicas_[d][c.index].version < best_version) {
+        replicas_[d][c.index] = Replica{best_version, best_value};
+      }
+    }
+  }
+  return best_value;
+}
+
+void ReplicatedSanMemory::store(Cell c, std::uint64_t v) {
+  const std::uint64_t version = ++next_version_[c.index];
+  const int anchor = pick_live_anchor();
+  bool all_reached = true;
+  for (std::uint32_t d = 0; d < disks_.size(); ++d) {
+    if (disk_crashed_[d]) continue;
+    if (config_.omission_prob > 0.0 && static_cast<int>(d) != anchor &&
+        rng_.bernoulli(config_.omission_prob)) {
+      all_reached = false;  // replica missed this write
+      continue;
+    }
+    replicas_[d][c.index] = Replica{version, v};
+  }
+  if (!all_reached) ++divergent_writes_;
+}
+
+MemoryFactory replicated_san_factory(ReplicatedSanConfig config) {
+  return [config](Layout layout, std::uint32_t n) {
+    return std::unique_ptr<MemoryBackend>(std::make_unique<ReplicatedSanMemory>(
+        std::move(layout), n, config));
+  };
+}
+
+}  // namespace omega

@@ -1,0 +1,107 @@
+// Fault-tolerant registers over a crash-prone disk array.
+//
+// The plain SanMemory stripes each register on one disk — a disk crash
+// would lose registers, which the paper's model does not allow. Real SAN
+// deployments ([1] Byzantine Disk Paxos, [9] Disk Paxos, [18] Petal)
+// replicate every block. This backend implements the classic
+// single-writer replication scheme:
+//
+//   * every logical register is replicated on ALL disks as (version, value);
+//   * a write stamps a fresh version and lands on every *reachable* disk
+//     (the owner is the only writer, so versions are totally ordered);
+//   * a read consults every reachable disk and returns the value with the
+//     highest version.
+//
+// Fault model (configurable):
+//   * disk crashes — a crashed disk never responds again. Any single
+//     surviving disk suffices for safety in this crash-only model: every
+//     completed write reached all then-reachable disks, so the freshest
+//     version is on every survivor that was reachable at write time.
+//   * per-access omissions — transient unreachability (network blips) with
+//     probability `omission_prob`. Omissions make replicas diverge, and a
+//     read may then return a *stale but previously written* value: the
+//     register degrades from atomic to regular. The paper's proofs assume
+//     atomicity; experiment E12 measures how the algorithms actually behave
+//     as staleness grows — the suspicion mechanism only ever *delays*
+//     detection, so convergence survives moderate omission rates.
+//
+// A write is guaranteed to reach at least one live disk (the SAN controller
+// retries the anchor replica synchronously), so writes are never lost
+// outright; reads always reach at least one live disk.
+#pragma once
+
+#include <vector>
+
+#include "core/factory.h"
+#include "registers/memory.h"
+#include "san/disk.h"
+
+namespace omega {
+
+struct ReplicatedSanConfig {
+  std::uint32_t num_disks = 3;
+  SimDuration network_latency = 2;
+  SimDuration service_time = 3;
+  SimDuration jitter_max = 2;
+  /// Probability that a given replica misses a given access (divergence).
+  double omission_prob = 0.0;
+  /// Controller-side anti-entropy: a read propagates the freshest
+  /// (version, value) it saw to the live replicas that answered. Without it,
+  /// a replica that missed the *last* write of a now-frozen register (e.g.
+  /// STOP[k] after p_k stops competing) stays divergent forever and keeps
+  /// injecting stale reads at a constant rate (see experiment E12).
+  bool read_repair = false;
+  std::uint64_t seed = 0xD15C2;
+};
+
+class ReplicatedSanMemory final : public MemoryBackend {
+ public:
+  ReplicatedSanMemory(Layout layout, std::uint32_t num_processes,
+                      ReplicatedSanConfig config);
+
+  /// Crashes disk `d`: it stops serving and its replicas become unreadable.
+  /// At least one disk must remain alive.
+  void crash_disk(std::uint32_t d);
+
+  std::uint32_t num_disks() const noexcept {
+    return static_cast<std::uint32_t>(disks_.size());
+  }
+  std::uint32_t disks_alive() const;
+  const DiskStats& disk_stats(std::uint32_t d) const;
+
+  /// Total accesses that returned a stale (lower-than-freshest) value.
+  std::uint64_t stale_reads() const noexcept { return stale_reads_; }
+  /// Writes that failed to reach every live replica (some omission).
+  std::uint64_t divergent_writes() const noexcept { return divergent_writes_; }
+
+  /// Cost: the slowest reachable replica (accesses fan out in parallel).
+  SimDuration access_cost(Cell c, bool is_write) override;
+
+ protected:
+  std::uint64_t load(Cell c) const override;
+  void store(Cell c, std::uint64_t v) override;
+
+ private:
+  struct Replica {
+    std::uint64_t version = 0;
+    std::uint64_t value = 0;
+  };
+
+  int pick_live_anchor() const;
+
+  ReplicatedSanConfig config_;
+  std::vector<SimDisk> disks_;
+  std::vector<bool> disk_crashed_;
+  /// replicas_[disk][cell]; mutable: reads may repair (anti-entropy is a
+  /// controller-side mechanism, not a process write).
+  mutable std::vector<std::vector<Replica>> replicas_;
+  std::vector<std::uint64_t> next_version_;  ///< per cell (owner-sequenced)
+  mutable Rng rng_;
+  mutable std::uint64_t stale_reads_ = 0;
+  std::uint64_t divergent_writes_ = 0;
+};
+
+/// MemoryFactory adapter for make_omega / make_scenario.
+MemoryFactory replicated_san_factory(ReplicatedSanConfig config);
+
+}  // namespace omega

@@ -1,0 +1,41 @@
+#include "san/san_memory.h"
+
+namespace omega {
+
+SanMemory::SanMemory(Layout layout, std::uint32_t num_processes,
+                     SanConfig config)
+    : MemoryBackend(std::move(layout), num_processes),
+      cells_(this->layout().size(), 0) {
+  OMEGA_CHECK(config.num_disks >= 1, "need at least one disk");
+  Rng seeder(config.seed);
+  disks_.reserve(config.num_disks);
+  for (std::uint32_t d = 0; d < config.num_disks; ++d) {
+    disks_.emplace_back(config.network_latency, config.service_time,
+                        config.jitter_max, seeder.next_u64());
+  }
+}
+
+SimDuration SanMemory::access_cost(Cell c, bool is_write) {
+  // Striping: consecutive cells land on different disks, so one process's
+  // register family spreads its load.
+  SimDisk& disk = disks_[c.index % disks_.size()];
+  return disk.serve(now(), is_write);
+}
+
+const DiskStats& SanMemory::disk_stats(std::uint32_t d) const {
+  OMEGA_CHECK(d < disks_.size(), "bad disk " << d);
+  return disks_[d].stats();
+}
+
+std::uint64_t SanMemory::load(Cell c) const { return cells_[c.index]; }
+
+void SanMemory::store(Cell c, std::uint64_t v) { cells_[c.index] = v; }
+
+MemoryFactory san_memory_factory(SanConfig config) {
+  return [config](Layout layout, std::uint32_t n) {
+    return std::unique_ptr<MemoryBackend>(
+        std::make_unique<SanMemory>(std::move(layout), n, config));
+  };
+}
+
+}  // namespace omega

@@ -1,0 +1,79 @@
+#include "sim/crash_plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace omega {
+
+CrashPlan CrashPlan::none(std::uint32_t n) {
+  OMEGA_CHECK(n >= 1, "empty system");
+  return CrashPlan{n};
+}
+
+CrashPlan CrashPlan::at(std::uint32_t n,
+                        std::vector<std::pair<ProcessId, SimTime>> crashes) {
+  CrashPlan plan{n};
+  for (const auto& [pid, t] : crashes) {
+    OMEGA_CHECK(pid < n, "crash of unknown p" << pid);
+    OMEGA_CHECK(t >= 0, "negative crash time");
+    plan.crash_time_[pid] = std::min(plan.crash_time_[pid], t);
+  }
+  OMEGA_CHECK(plan.num_faulty() < n, "all processes crash: no run possible");
+  return plan;
+}
+
+CrashPlan CrashPlan::random(std::uint32_t n, std::uint32_t count,
+                            SimTime window, ProcessId spared, Rng& rng) {
+  OMEGA_CHECK(count < n, "must spare at least one process");
+  OMEGA_CHECK(spared < n, "spared process out of range");
+  CrashPlan plan{n};
+  std::vector<ProcessId> pool;
+  for (ProcessId i = 0; i < n; ++i) {
+    if (i != spared) pool.push_back(i);
+  }
+  // Partial Fisher-Yates for `count` distinct victims.
+  for (std::uint32_t c = 0; c < count; ++c) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::int64_t>(c),
+                    static_cast<std::int64_t>(pool.size()) - 1));
+    std::swap(pool[c], pool[j]);
+    plan.crash_time_[pool[c]] = rng.uniform(0, window);
+  }
+  return plan;
+}
+
+SimTime CrashPlan::crash_time(ProcessId pid) const {
+  OMEGA_CHECK(pid < crash_time_.size(), "bad pid " << pid);
+  return crash_time_[pid];
+}
+
+std::vector<ProcessId> CrashPlan::correct() const {
+  std::vector<ProcessId> out;
+  for (ProcessId i = 0; i < crash_time_.size(); ++i) {
+    if (crash_time_[i] == kNever) out.push_back(i);
+  }
+  return out;
+}
+
+std::uint32_t CrashPlan::num_faulty() const {
+  std::uint32_t f = 0;
+  for (auto t : crash_time_) f += (t != kNever) ? 1 : 0;
+  return f;
+}
+
+void CrashPlan::pause_forever(ProcessId pid, SimTime t) {
+  OMEGA_CHECK(pid < pause_time_.size(), "bad pid " << pid);
+  pause_time_[pid] = std::min(pause_time_[pid], t);
+}
+
+SimTime CrashPlan::pause_time(ProcessId pid) const {
+  OMEGA_CHECK(pid < pause_time_.size(), "bad pid " << pid);
+  return pause_time_[pid];
+}
+
+SimTime CrashPlan::halt_time(ProcessId pid) const {
+  return std::min(crash_time(pid), pause_time(pid));
+}
+
+}  // namespace omega

@@ -1,0 +1,60 @@
+// Crash and pause plans. A *crash* is permanent (the paper's failure model,
+// §2.1): the process executes no step after its crash time. A *pause* stops a
+// process from stepping after a given time without marking it faulty — the
+// device used by the paper's indistinguishability arguments (Lemmas 5-6,
+// Theorem 5): an asynchronous process that is "stopped" is indistinguishable,
+// over any finite window, from a crashed one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace omega {
+
+class CrashPlan {
+ public:
+  /// No failures.
+  static CrashPlan none(std::uint32_t n);
+
+  /// Explicit (pid, time) crash list.
+  static CrashPlan at(std::uint32_t n,
+                      std::vector<std::pair<ProcessId, SimTime>> crashes);
+
+  /// `count` distinct random victims (never `spared`), crash times uniform in
+  /// [0, window]. Requires count < n.
+  static CrashPlan random(std::uint32_t n, std::uint32_t count,
+                          SimTime window, ProcessId spared, Rng& rng);
+
+  std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(crash_time_.size());
+  }
+
+  SimTime crash_time(ProcessId pid) const;
+  bool crashed_by(ProcessId pid, SimTime t) const {
+    return crash_time(pid) <= t;
+  }
+  /// Correct = never crashes (pauses do not count: a paused process is slow,
+  /// not faulty).
+  bool is_correct(ProcessId pid) const { return crash_time(pid) == kNever; }
+  std::vector<ProcessId> correct() const;
+  std::uint32_t num_faulty() const;
+
+  /// Stops `pid` from stepping at `t` without marking it faulty.
+  void pause_forever(ProcessId pid, SimTime t);
+  SimTime pause_time(ProcessId pid) const;
+
+  /// First time at which `pid` no longer steps (min of crash and pause).
+  SimTime halt_time(ProcessId pid) const;
+
+ private:
+  explicit CrashPlan(std::uint32_t n)
+      : crash_time_(n, kNever), pause_time_(n, kNever) {}
+
+  std::vector<SimTime> crash_time_;
+  std::vector<SimTime> pause_time_;
+};
+
+}  // namespace omega

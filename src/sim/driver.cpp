@@ -1,0 +1,229 @@
+#include "sim/driver.h"
+
+namespace omega {
+
+SimDriver::SimDriver(OmegaInstance instance,
+                     std::unique_ptr<ScheduleModel> schedule,
+                     std::unique_ptr<TimerModel> timer, CrashPlan plan,
+                     SimParams params)
+    : inst_(std::move(instance)),
+      schedule_(std::move(schedule)),
+      timer_(std::move(timer)),
+      plan_(std::move(plan)),
+      params_(params),
+      metrics_(static_cast<std::uint32_t>(inst_.processes.size())) {
+  OMEGA_CHECK(!inst_.processes.empty(), "driver needs >= 1 process");
+  OMEGA_CHECK(schedule_ != nullptr && timer_ != nullptr, "missing models");
+  OMEGA_CHECK(plan_.n() == inst_.processes.size(), "crash plan size mismatch");
+  inst_.memory->set_clock([this] { return now_; });
+
+  Rng root(params_.seed);
+  rt_.resize(inst_.processes.size());
+  for (ProcessId i = 0; i < rt_.size(); ++i) {
+    auto& r = rt_[i];
+    r.sched_rng = root.fork(2 * i);
+    r.timer_rng = root.fork(2 * i + 1);
+    r.heartbeat = inst_.processes[i]->task_heartbeat();
+    r.monitor = inst_.processes[i]->task_monitor();
+    r.heartbeat.start();
+    r.monitor.start();
+    arm_timer_if_waiting(i);
+    // First step after an initial schedule-chosen delay (deterministic from
+    // the seed); ties at equal times break by pid.
+    r.next_step = std::max<SimDuration>(
+        0, schedule_->next_step_delay(i, /*now=*/0, r.sched_rng));
+  }
+}
+
+OmegaProcess& SimDriver::process(ProcessId pid) {
+  OMEGA_CHECK(pid < inst_.processes.size(), "bad pid " << pid);
+  return *inst_.processes[pid];
+}
+
+ProcessId SimDriver::query_leader(ProcessId pid) {
+  OMEGA_CHECK(pid < inst_.processes.size(), "bad pid " << pid);
+  OMEGA_CHECK(!rt_[pid].halted, "leader() on a halted process");
+  return inst_.processes[pid]->leader();
+}
+
+void SimDriver::add_app_task(ProcessId pid, ProcTask task) {
+  OMEGA_CHECK(pid < rt_.size(), "bad pid " << pid);
+  OMEGA_CHECK(task.valid(), "invalid app task");
+  task.start();
+  rt_[pid].apps.push_back(std::move(task));
+}
+
+bool SimDriver::apps_done(ProcessId pid) const {
+  OMEGA_CHECK(pid < rt_.size(), "bad pid " << pid);
+  for (const auto& t : rt_[pid].apps) {
+    if (!t.done()) return false;
+  }
+  return true;
+}
+
+bool SimDriver::all_apps_done() const {
+  for (ProcessId i = 0; i < rt_.size(); ++i) {
+    if (!apps_done(i)) return false;
+  }
+  return true;
+}
+
+void SimDriver::run_until(SimTime t) {
+  for (;;) {
+    ProcessId next = kNoProcess;
+    SimTime best = kNever;
+    for (ProcessId i = 0; i < rt_.size(); ++i) {
+      if (rt_[i].halted) continue;
+      if (rt_[i].next_step < best) {
+        best = rt_[i].next_step;
+        next = i;
+      }
+    }
+    if (next == kNoProcess || best > t) break;
+    now_ = best;
+    step(next);
+  }
+  now_ = std::max(now_, t);
+}
+
+void SimDriver::step(ProcessId pid) {
+  auto& r = rt_[pid];
+  if (now_ >= plan_.halt_time(pid)) {
+    // Crash (permanent halt, §2.1) or adversarial pause: the process takes
+    // no further steps; its registers keep their last written values.
+    r.halted = true;
+    r.next_step = kNever;
+    if (trace_ != nullptr) {
+      TraceEvent te;
+      te.when = now_;
+      te.kind = TraceEventKind::kHalt;
+      te.actor = pid;
+      te.a = plan_.crashed_by(pid, now_) ? 1 : 0;
+      trace_->record(te);
+    }
+    return;
+  }
+
+  // Timer delivery has priority: "when timer_i expires" (line 13) enables
+  // task T3's scan.
+  if (r.monitor.pending() == OpKind::kWaitTimer && r.timer_armed &&
+      now_ >= r.timer_deadline) {
+    r.timer_armed = false;
+    r.monitor.resume(0);
+    arm_timer_if_waiting(pid);  // n==1 degenerate scan re-waits at once
+    schedule_next(pid, 0);
+    return;
+  }
+
+  // Otherwise the process's runnable tasks share its steps round-robin:
+  // slot 0 = monitor (when runnable: mid-scan, or burning its step-counted
+  // countdown), slot 1 = heartbeat, slots 2.. = application tasks. Fair
+  // interleaving is required — a starved T2 would never publish heartbeats
+  // and a starved T3 would never suspect anyone.
+  const std::size_t slots = 2 + r.apps.size();
+  for (std::size_t probe = 0; probe < slots; ++probe) {
+    const std::size_t slot = (r.rr + probe) % slots;
+    ProcTask* task = nullptr;
+    if (slot == 0) {
+      const OpKind k = r.monitor.pending();
+      const bool runnable =
+          k == OpKind::kRead || k == OpKind::kWrite || k == OpKind::kYield;
+      if (!runnable) continue;  // waiting on its timer (or degenerate)
+      task = &r.monitor;
+    } else if (slot == 1) {
+      task = &r.heartbeat;
+    } else {
+      task = &r.apps[slot - 2];
+      if (task->pending() == OpKind::kDone) continue;  // finished app
+    }
+    const SimDuration cost = exec_op(pid, *task);
+    if (slot == 0) arm_timer_if_waiting(pid);
+    r.rr = slot + 1;
+    schedule_next(pid, cost);
+    return;
+  }
+  // Nothing runnable (cannot happen with the eternal T2 present, but an
+  // app-only process could get here): idle step.
+  schedule_next(pid, 0);
+}
+
+SimDuration SimDriver::exec_op(ProcessId pid, ProcTask& task) {
+  MemoryBackend& mem = *inst_.memory;
+  switch (task.pending()) {
+    case OpKind::kRead: {
+      const Cell c = task.pending_cell();
+      const SimDuration cost = mem.access_cost(c, /*is_write=*/false);
+      task.resume(mem.read(pid, c));
+      return cost;
+    }
+    case OpKind::kWrite: {
+      const Cell c = task.pending_cell();
+      const SimDuration cost = mem.access_cost(c, /*is_write=*/true);
+      mem.write(pid, c, task.pending_value());
+      task.resume(0);
+      return cost;
+    }
+    case OpKind::kLeaderQuery: {
+      const ProcessId prev = metrics_.last_output(pid);
+      const ProcessId out = inst_.processes[pid]->leader();
+      metrics_.on_leader_query(pid, out, now_);
+      if (trace_ != nullptr && out != prev) {
+        TraceEvent te;
+        te.when = now_;
+        te.kind = TraceEventKind::kLeaderChange;
+        te.actor = pid;
+        te.a = prev;
+        te.b = out;
+        trace_->record(te);
+      }
+      task.resume(out);
+      return 0;
+    }
+    case OpKind::kYield:
+      task.resume(0);
+      return 0;
+    case OpKind::kWaitTimer:
+    case OpKind::kNone:
+    case OpKind::kDone:
+      break;
+  }
+  OMEGA_CHECK(false, "task of p" << pid << " has no executable pending op");
+  return 0;
+}
+
+void SimDriver::arm_timer_if_waiting(ProcessId pid) {
+  auto& r = rt_[pid];
+  if (r.monitor.pending() != OpKind::kWaitTimer || r.timer_armed) return;
+  const std::uint64_t x = inst_.processes[pid]->next_timeout();
+  SimDuration d = timer_->duration(now_, x, r.timer_rng);
+  d = std::max<SimDuration>(1, d);
+  r.timer_deadline = now_ + d;
+  r.timer_armed = true;
+  metrics_.on_timer_armed(pid, x, d, now_);
+  if (trace_ != nullptr) {
+    TraceEvent te;
+    te.when = now_;
+    te.kind = TraceEventKind::kTimerArmed;
+    te.actor = pid;
+    te.a = x;
+    te.b = static_cast<std::uint64_t>(d);
+    trace_->record(te);
+  }
+}
+
+void SimDriver::schedule_next(ProcessId pid, SimDuration access_cost) {
+  auto& r = rt_[pid];
+  SimDuration delay = schedule_->next_step_delay(pid, now_, r.sched_rng);
+  if (delay <= 0) {
+    delay = 0;
+    if (++r.zero_streak > params_.max_zero_streak) {
+      delay = 1;
+      r.zero_streak = 0;
+    }
+  } else {
+    r.zero_streak = 0;
+  }
+  r.next_step = now_ + delay + std::max<SimDuration>(0, access_cost);
+}
+
+}  // namespace omega

@@ -1,0 +1,113 @@
+// The discrete-event driver: owns an Ω instance (memory + processes), a step
+// schedule, a timer model and a crash plan, and executes the run.
+//
+// Execution model (matches §2 of the paper):
+//  * Each scheduled step of a process performs at most one shared-memory
+//    access (the pending operation of one of its tasks). The schedule decides
+//    inter-step delays — that is where asynchrony and AWB1 live.
+//  * Within a process, task T3 (monitor) has priority while it is mid-scan;
+//    otherwise T2 (heartbeat) and any application tasks round-robin. This is
+//    one legal interleaving of the paper's concurrent local tasks.
+//  * When T3 re-suspends on its timer, the driver arms the timer through the
+//    run's TimerModel with the algorithm's next_timeout() — that is where
+//    AWB2 lives.
+//  * leader() (task T1) executes synchronously at the step that requested it,
+//    with instrumented reads.
+//
+// Determinism: ties in the event order break by process id; all randomness
+// comes from per-process forks of the run seed.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/factory.h"
+#include "core/proc_task.h"
+#include "sim/crash_plan.h"
+#include "sim/metrics.h"
+#include "sim/schedule.h"
+#include "sim/timer_model.h"
+#include "sim/trace.h"
+
+namespace omega {
+
+struct SimParams {
+  std::uint64_t seed = 1;
+  /// Anti-livelock bound: after this many consecutive zero-delay steps a
+  /// process is forced to advance time by one tick. Escalating-burst
+  /// adversaries stay far below it per burst.
+  std::uint64_t max_zero_streak = 1u << 16;
+};
+
+class SimDriver {
+ public:
+  SimDriver(OmegaInstance instance, std::unique_ptr<ScheduleModel> schedule,
+            std::unique_ptr<TimerModel> timer, CrashPlan plan,
+            SimParams params = {});
+
+  /// Advances simulated time to `t`, executing every due step.
+  void run_until(SimTime t);
+  void run_for(SimDuration d) { run_until(now_ + d); }
+
+  SimTime now() const noexcept { return now_; }
+  std::uint32_t n() const noexcept {
+    return static_cast<std::uint32_t>(rt_.size());
+  }
+
+  MemoryBackend& memory() noexcept { return *inst_.memory; }
+  OmegaProcess& process(ProcessId pid);
+  Metrics& metrics() noexcept { return metrics_; }
+  const ScheduleModel& schedule() const noexcept { return *schedule_; }
+  const TimerModel& timer_model() const noexcept { return *timer_; }
+  CrashPlan& plan() noexcept { return plan_; }
+  const CrashPlan& plan() const noexcept { return plan_; }
+
+  /// Application-level leader() invocation (task T1 on behalf of the app):
+  /// instrumented like any T1 call but not recorded as a T2 sample.
+  ProcessId query_leader(ProcessId pid);
+
+  /// Attaches a trace log; the driver records leadership changes, timer
+  /// armings and halts (suspicions come from a SuspicionTracer observer).
+  void set_trace(TraceLog* trace) noexcept { trace_ = trace; }
+
+  /// Attaches an application coroutine (e.g. a consensus proposer) to `pid`;
+  /// it shares the process's steps with task T2.
+  void add_app_task(ProcessId pid, ProcTask task);
+  /// True iff every attached application task has run to completion.
+  bool all_apps_done() const;
+  /// True iff `pid`'s application tasks (if any) all completed.
+  bool apps_done(ProcessId pid) const;
+
+ private:
+  struct ProcRuntime {
+    ProcTask heartbeat;
+    ProcTask monitor;
+    std::vector<ProcTask> apps;
+    std::size_t rr = 0;  ///< round-robin cursor over heartbeat+apps
+    SimTime next_step = 0;
+    SimTime timer_deadline = kNever;
+    bool timer_armed = false;
+    bool halted = false;
+    std::uint64_t zero_streak = 0;
+    Rng sched_rng;
+    Rng timer_rng;
+  };
+
+  void step(ProcessId pid);
+  /// Executes the pending op of `task`; returns any extra access latency.
+  SimDuration exec_op(ProcessId pid, ProcTask& task);
+  void arm_timer_if_waiting(ProcessId pid);
+  void schedule_next(ProcessId pid, SimDuration access_cost);
+
+  OmegaInstance inst_;  // declared before rt_: tasks die before processes
+  std::unique_ptr<ScheduleModel> schedule_;
+  std::unique_ptr<TimerModel> timer_;
+  CrashPlan plan_;
+  SimParams params_;
+  Metrics metrics_;
+  std::vector<ProcRuntime> rt_;
+  TraceLog* trace_ = nullptr;
+  SimTime now_ = 0;
+};
+
+}  // namespace omega

@@ -1,0 +1,125 @@
+#include "sim/metrics.h"
+
+#include "common/check.h"
+
+namespace omega {
+
+Metrics::Metrics(std::uint32_t n) : per_(n) {
+  OMEGA_CHECK(n >= 1, "metrics for empty system");
+}
+
+void Metrics::on_leader_query(ProcessId pid, ProcessId output, SimTime now) {
+  OMEGA_CHECK(pid < per_.size(), "bad pid " << pid);
+  // Ω Validity: every leader() output is a process identity — checked on
+  // every single invocation of every run, not just at the end.
+  OMEGA_CHECK(output < per_.size(),
+              "leader() of p" << pid << " returned non-id " << output);
+  auto& p = per_[pid];
+  ++p.queries;
+  if (output != p.last_output) {
+    p.last_output = output;
+    p.last_change = now;
+    ++p.changes;
+    if (now >= marker_) ++p.changes_after_marker;
+  }
+}
+
+void Metrics::on_timer_armed(ProcessId pid, std::uint64_t x,
+                             SimDuration /*duration*/, SimTime /*now*/) {
+  OMEGA_CHECK(pid < per_.size(), "bad pid " << pid);
+  auto& p = per_[pid];
+  ++p.timers_armed;
+  p.max_timeout = std::max(p.max_timeout, x);
+}
+
+ConvergenceReport Metrics::convergence(const CrashPlan& plan) const {
+  ConvergenceReport rep;
+  // Consider exactly the processes that never halt (crash or pause): those
+  // are the ones whose outputs must eventually agree. (A paused process is
+  // correct but stops invoking leader(); its stale output is measured by the
+  // lower-bound experiments, not here.)
+  ProcessId agreed = kNoProcess;
+  SimTime latest = 0;
+  bool any = false;
+  for (ProcessId i = 0; i < per_.size(); ++i) {
+    if (plan.halt_time(i) != kNever) continue;
+    const auto& p = per_[i];
+    rep.total_changes += p.changes;
+    rep.changes_after_marker += p.changes_after_marker;
+    if (p.queries == 0) return rep;  // a live process never sampled: no claim
+    if (!any) {
+      agreed = p.last_output;
+      any = true;
+    } else if (p.last_output != agreed) {
+      return rep;  // live processes disagree: not converged
+    }
+    latest = std::max(latest, p.last_change);
+  }
+  if (!any || agreed == kNoProcess) return rep;
+  if (!plan.is_correct(agreed)) return rep;  // elected a crashed process
+  rep.converged = true;
+  rep.leader = agreed;
+  rep.time = latest;
+  return rep;
+}
+
+ProcessId Metrics::last_output(ProcessId pid) const {
+  OMEGA_CHECK(pid < per_.size(), "bad pid " << pid);
+  return per_[pid].last_output;
+}
+SimTime Metrics::last_change(ProcessId pid) const {
+  OMEGA_CHECK(pid < per_.size(), "bad pid " << pid);
+  return per_[pid].last_change;
+}
+std::uint64_t Metrics::queries(ProcessId pid) const {
+  OMEGA_CHECK(pid < per_.size(), "bad pid " << pid);
+  return per_[pid].queries;
+}
+std::uint64_t Metrics::changes(ProcessId pid) const {
+  OMEGA_CHECK(pid < per_.size(), "bad pid " << pid);
+  return per_[pid].changes;
+}
+std::uint64_t Metrics::timers_armed(ProcessId pid) const {
+  OMEGA_CHECK(pid < per_.size(), "bad pid " << pid);
+  return per_[pid].timers_armed;
+}
+std::uint64_t Metrics::max_timeout_param(ProcessId pid) const {
+  OMEGA_CHECK(pid < per_.size(), "bad pid " << pid);
+  return per_[pid].max_timeout;
+}
+
+WriterCensus diff_writers(const InstrumentationSnapshot& a,
+                          const InstrumentationSnapshot& b) {
+  OMEGA_CHECK(a.writes_by.size() == b.writes_by.size(),
+              "snapshot size mismatch");
+  WriterCensus c;
+  c.writes_by.resize(b.writes_by.size());
+  for (std::size_t i = 0; i < b.writes_by.size(); ++i) {
+    OMEGA_CHECK(b.writes_by[i] >= a.writes_by[i], "snapshots out of order");
+    c.writes_by[i] = b.writes_by[i] - a.writes_by[i];
+    if (c.writes_by[i] > 0) ++c.distinct_writers;
+  }
+  return c;
+}
+
+WriteGapObserver::WriteGapObserver(const Layout& layout, ProcessId target,
+                                   SimTime marker)
+    : layout_(layout), target_(target), marker_(marker) {}
+
+void WriteGapObserver::on_access(const AccessEvent& ev) {
+  if (!ev.is_write || ev.pid != target_) return;
+  if (!layout_.is_critical(ev.cell)) return;
+  ++writes_;
+  if (last_ != kNever) {
+    const SimDuration gap = ev.when - last_;
+    if (last_ >= marker_) {
+      after_.add(static_cast<std::uint64_t>(gap));
+      max_after_ = std::max(max_after_, gap);
+    } else {
+      before_.add(static_cast<std::uint64_t>(gap));
+    }
+  }
+  last_ = ev.when;
+}
+
+}  // namespace omega

@@ -1,0 +1,103 @@
+// Run metrics. Leadership is observed where the paper defines it: at the
+// outputs of leader() invocations (task T1). The driver reports every T2-loop
+// leader query here; convergence is then "the time of the last output change
+// among processes that keep taking steps", and Ω's Eventual Leadership holds
+// for a run iff the report says converged-on-a-correct-process.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/stats.h"
+#include "registers/instrumentation.h"
+#include "registers/layout.h"
+#include "sim/crash_plan.h"
+
+namespace omega {
+
+struct ConvergenceReport {
+  bool converged = false;        ///< all live samplers agree on a correct id
+  ProcessId leader = kNoProcess; ///< the common output (if converged)
+  SimTime time = kNever;         ///< last output change among live samplers
+  std::uint64_t total_changes = 0;
+  std::uint64_t changes_after_marker = 0;  ///< flap count (E8)
+};
+
+class Metrics {
+ public:
+  explicit Metrics(std::uint32_t n);
+
+  /// Reported by the driver for every leader() executed on behalf of task T2.
+  void on_leader_query(ProcessId pid, ProcessId output, SimTime now);
+
+  /// Reported by the driver whenever it arms a process timer (paper line 27).
+  void on_timer_armed(ProcessId pid, std::uint64_t x, SimDuration duration,
+                      SimTime now);
+
+  /// Changes after this time count as "flaps" (normally set to GST).
+  void set_flap_marker(SimTime t) noexcept { marker_ = t; }
+
+  ConvergenceReport convergence(const CrashPlan& plan) const;
+
+  ProcessId last_output(ProcessId pid) const;
+  SimTime last_change(ProcessId pid) const;
+  std::uint64_t queries(ProcessId pid) const;
+  std::uint64_t changes(ProcessId pid) const;
+  std::uint64_t timers_armed(ProcessId pid) const;
+  std::uint64_t max_timeout_param(ProcessId pid) const;
+
+ private:
+  struct PerProcess {
+    ProcessId last_output = kNoProcess;
+    SimTime last_change = kNever;
+    std::uint64_t queries = 0;
+    std::uint64_t changes = 0;
+    std::uint64_t changes_after_marker = 0;
+    std::uint64_t timers_armed = 0;
+    std::uint64_t max_timeout = 0;
+  };
+  std::vector<PerProcess> per_;
+  SimTime marker_ = 0;
+};
+
+/// Who wrote between two instrumentation snapshots (`a` earlier, `b` later).
+struct WriterCensus {
+  std::vector<std::uint64_t> writes_by;  ///< per process, in the window
+  std::uint32_t distinct_writers = 0;
+};
+WriterCensus diff_writers(const InstrumentationSnapshot& a,
+                          const InstrumentationSnapshot& b);
+
+/// Observer recording the gaps between consecutive writes by `target` to its
+/// *critical* registers — the quantity bounded by delta in AWB1 and depicted
+/// in the paper's Figure 3 (the sequence S of PROGRESS/STOP writes).
+class WriteGapObserver final : public AccessObserver {
+ public:
+  WriteGapObserver(const Layout& layout, ProcessId target, SimTime marker);
+
+  void on_access(const AccessEvent& ev) override;
+
+  /// Gap distributions before/after the marker (typically GST).
+  const LogHistogram& gaps_before() const noexcept { return before_; }
+  const LogHistogram& gaps_after() const noexcept { return after_; }
+  SimDuration max_gap_after() const noexcept { return max_after_; }
+  std::uint64_t writes_seen() const noexcept { return writes_; }
+
+  void set_target(ProcessId target) noexcept {
+    target_ = target;
+    last_ = kNever;
+  }
+
+ private:
+  const Layout& layout_;
+  ProcessId target_;
+  SimTime marker_;
+  SimTime last_ = kNever;
+  LogHistogram before_;
+  LogHistogram after_;
+  SimDuration max_after_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace omega

@@ -1,0 +1,127 @@
+#include "sim/scenario.h"
+
+#include <sstream>
+
+namespace omega {
+
+std::string world_name(World w) {
+  switch (w) {
+    case World::kSync:
+      return "sync";
+    case World::kAwb:
+      return "awb";
+    case World::kAdversarialAwb:
+      return "awb-adversarial";
+    case World::kEs:
+      return "ev-sync";
+  }
+  return "?";
+}
+
+std::string timer_name(TimerKind t) {
+  switch (t) {
+    case TimerKind::kPerfect:
+      return "perfect";
+    case TimerKind::kChaoticPrefix:
+      return "chaotic-prefix";
+    case TimerKind::kNonMonotone:
+      return "non-monotone";
+    case TimerKind::kSubDominating:
+      return "sub-dominating";
+  }
+  return "?";
+}
+
+std::string ScenarioConfig::label() const {
+  std::ostringstream os;
+  os << algo_name(algo) << "/n=" << n << "/" << world_name(world) << "/"
+     << timer_name(timer) << "/crashes=" << crashes << "/seed=" << seed;
+  if (cold_start) os << "/cold";
+  if (garbage_init) os << "/garbage";
+  return os.str();
+}
+
+std::unique_ptr<SimDriver> make_scenario(const ScenarioConfig& cfg,
+                                         const MemoryFactory& memory_factory) {
+  OMEGA_CHECK(cfg.timely < cfg.n, "timely id out of range");
+  Rng rng(cfg.seed ^ 0xC0FFEE);
+
+  // Instance: warm start (all candidates) unless cold. If garbage_init is
+  // set, arbitrary values are poked into every register *before* the
+  // processes are constructed (footnote 7: the algorithms are
+  // self-stabilizing w.r.t. initial register contents, and the processes
+  // seed their local mirrors from memory at construction) — the memory
+  // factory hook runs at exactly the right moment.
+  std::vector<ProcessId> initial;
+  if (!cfg.cold_start) {
+    for (ProcessId i = 0; i < cfg.n; ++i) initial.push_back(i);
+  }
+  MemoryFactory mf = [&](Layout layout, std::uint32_t n) {
+    std::unique_ptr<MemoryBackend> mem =
+        memory_factory ? memory_factory(layout, n)
+                       : std::make_unique<SimMemory>(std::move(layout), n);
+    if (cfg.garbage_init) {
+      for (std::uint32_t idx = 0; idx < mem->layout().size(); ++idx) {
+        mem->poke(Cell{idx},
+                  static_cast<std::uint64_t>(rng.uniform(
+                      0, static_cast<std::int64_t>(cfg.garbage_max))));
+      }
+    }
+    return mem;
+  };
+  OmegaInstance inst =
+      make_omega(cfg.algo, cfg.n, initial, mf, cfg.extra_registers);
+
+  // Schedule.
+  std::unique_ptr<ScheduleModel> sched;
+  switch (cfg.world) {
+    case World::kSync:
+      sched = make_synchronous_schedule();
+      break;
+    case World::kAwb:
+      sched = make_awb_schedule(cfg.n, cfg.timely, cfg.gst, cfg.delta);
+      break;
+    case World::kAdversarialAwb:
+      sched = make_adversarial_awb_schedule(
+          cfg.n, cfg.timely, cfg.gst, cfg.delta,
+          /*pause=*/64 * cfg.delta, /*initial_burst=*/16);
+      break;
+    case World::kEs:
+      sched = make_es_schedule(cfg.n, cfg.gst, cfg.delta);
+      break;
+  }
+
+  // Timer.
+  std::unique_ptr<TimerModel> timer;
+  switch (cfg.timer) {
+    case TimerKind::kPerfect:
+      timer = make_perfect_timer(cfg.timer_unit);
+      break;
+    case TimerKind::kChaoticPrefix:
+      timer = make_chaotic_prefix_timer(cfg.gst, cfg.timer_unit,
+                                        /*chaos_max=*/4 * cfg.timer_unit);
+      break;
+    case TimerKind::kNonMonotone:
+      timer = make_nonmonotone_timer(cfg.timer_unit, /*jitter=*/1.0);
+      break;
+    case TimerKind::kSubDominating:
+      timer = make_subdominating_timer(cfg.timer_unit, /*cap=*/2);
+      break;
+  }
+
+  // Crashes: random victims, never the timely process.
+  CrashPlan plan = cfg.crashes == 0
+                       ? CrashPlan::none(cfg.n)
+                       : CrashPlan::random(cfg.n, cfg.crashes,
+                                           cfg.crash_window, cfg.timely, rng);
+
+  SimParams params;
+  params.seed = cfg.seed;
+  auto driver = std::make_unique<SimDriver>(std::move(inst), std::move(sched),
+                                            std::move(timer), std::move(plan),
+                                            params);
+  driver->metrics().set_flap_marker(cfg.gst);
+  return driver;
+}
+
+}  // namespace omega

@@ -1,0 +1,73 @@
+// Canned run configurations. Tests, benches and examples all build runs the
+// same way: pick an algorithm, a world (schedule family), a timer model, a
+// crash plan and a seed; get back a ready SimDriver. Keeping the recipe in
+// one place makes every experiment reproducible from its printed config.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/factory.h"
+#include "sim/driver.h"
+
+namespace omega {
+
+/// Schedule family for a run.
+enum class World : std::uint8_t {
+  kSync,            ///< lock-step (unit delays) — easiest possible world
+  kAwb,             ///< AWB only: one timely process, others bursty
+  kAdversarialAwb,  ///< AWB only: others run escalating zero-delay bursts
+  kEs,              ///< eventually synchronous: everyone bounded after GST
+};
+
+/// Timer model family for a run.
+enum class TimerKind : std::uint8_t {
+  kPerfect,
+  kChaoticPrefix,
+  kNonMonotone,
+  kSubDominating,  ///< violates AWB2 — negative control
+};
+
+std::string world_name(World w);
+std::string timer_name(TimerKind t);
+
+struct ScenarioConfig {
+  AlgoKind algo = AlgoKind::kWriteEfficient;
+  std::uint32_t n = 8;
+  World world = World::kAwb;
+  TimerKind timer = TimerKind::kPerfect;
+
+  SimTime gst = 2000;       ///< global stabilization time of the schedule
+  SimDuration delta = 8;    ///< AWB1 bound for the timely process
+  /// Ticks per timeout unit. A deployment constant, not part of AWB: any
+  /// value converges eventually, but if the unit is below the leader's
+  /// signal re-arm period (≈ one heartbeat round ≈ 2n steps for Algorithm 2)
+  /// the suspicion counters go through a *very* long marginal warm-up in
+  /// which rare timing coincidences keep leaking suspicions and rotating the
+  /// minimum. 4·delta clears the re-arm period comfortably at these system
+  /// sizes. Experiment E11 sweeps this knob.
+  SimDuration timer_unit = 32;
+  ProcessId timely = 0;     ///< the AWB1 process (never crashed)
+
+  std::uint32_t crashes = 0;   ///< random victims (≠ timely), crash in window
+  SimTime crash_window = 1500;
+
+  bool cold_start = false;     ///< candidates_i = {i} instead of all ids
+  bool garbage_init = false;   ///< arbitrary initial register values (fn. 7)
+  std::uint64_t garbage_max = 64;
+
+  std::uint64_t seed = 1;
+
+  /// Optional application register groups declared into the same memory
+  /// (e.g. consensus ballots; see consensus/consensus.h).
+  LayoutExtension extra_registers;
+
+  std::string label() const;
+};
+
+/// Builds the fully wired driver for `cfg`. `memory_factory` defaults to
+/// SimMemory (pass the SAN factory to run over simulated network disks).
+std::unique_ptr<SimDriver> make_scenario(
+    const ScenarioConfig& cfg, const MemoryFactory& memory_factory = {});
+
+}  // namespace omega

@@ -1,0 +1,125 @@
+#include "sim/schedule.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace omega {
+
+ProfileSchedule::ProfileSchedule(SimTime gst, std::vector<StepProfile> profiles,
+                                 std::string label)
+    : gst_(gst),
+      profiles_(std::move(profiles)),
+      label_(std::move(label)),
+      burst_left_(profiles_.size(), 0),
+      burst_len_(profiles_.size(), 0) {
+  OMEGA_CHECK(!profiles_.empty(), "schedule needs >= 1 profile");
+  for (std::size_t i = 0; i < profiles_.size(); ++i) {
+    burst_len_[i] = static_cast<std::uint64_t>(
+        std::max<SimDuration>(1, profiles_[i].post_b));
+  }
+}
+
+SimDuration ProfileSchedule::next_step_delay(ProcessId pid, SimTime now,
+                                             Rng& rng) {
+  OMEGA_CHECK(pid < profiles_.size(), "bad pid " << pid);
+  const StepProfile& p = profiles_[pid];
+  if (now < gst_) {
+    if (rng.bernoulli(p.pre_pause_prob)) {
+      return rng.uniform(p.pre_hi, p.pre_pause_max);
+    }
+    return rng.uniform(p.pre_lo, p.pre_hi);
+  }
+  switch (p.post) {
+    case PostGst::kTimely:
+      // AWB1: consecutive accesses within delta — never more, no lower
+      // bound on speed is needed so we allow the full [1, delta].
+      return rng.uniform(1, std::max<SimDuration>(1, p.post_a));
+    case PostGst::kBounded:
+      return rng.uniform(1, std::max<SimDuration>(1, p.post_a));
+    case PostGst::kBursty:
+      // Mostly fast steps with recurring heavy-tailed pauses: the process is
+      // correct (infinitely many steps) but has no speed bound in either
+      // direction.
+      return rng.heavy_tail(1, std::max<SimDuration>(2, p.post_b), 0.3, 6.0);
+    case PostGst::kEscalating: {
+      auto& left = burst_left_[pid];
+      auto& len = burst_len_[pid];
+      if (left > 0) {
+        --left;
+        return 0;  // zero-delay: arbitrarily many steps per tick
+      }
+      left = len;
+      len += static_cast<std::uint64_t>(std::max<SimDuration>(1, p.post_b));
+      return std::max<SimDuration>(1, p.post_a);  // the inter-burst pause
+    }
+  }
+  OMEGA_CHECK(false, "unreachable post-gst kind");
+  return 1;
+}
+
+std::unique_ptr<ScheduleModel> make_synchronous_schedule() {
+  class Synchronous final : public ScheduleModel {
+   public:
+    SimDuration next_step_delay(ProcessId, SimTime, Rng&) override {
+      return 1;
+    }
+    std::string describe() const override { return "synchronous(1)"; }
+  };
+  return std::make_unique<Synchronous>();
+}
+
+std::unique_ptr<ScheduleModel> make_awb_schedule(std::uint32_t n,
+                                                 ProcessId timely, SimTime gst,
+                                                 SimDuration delta) {
+  OMEGA_CHECK(timely < n, "timely process out of range");
+  std::vector<StepProfile> ps(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i == timely) {
+      ps[i].post = PostGst::kTimely;
+      ps[i].post_a = delta;
+    } else {
+      ps[i].post = PostGst::kBursty;
+      ps[i].post_b = 4 * delta;
+    }
+  }
+  std::ostringstream os;
+  os << "awb(timely=p" << timely << ", gst=" << gst << ", delta=" << delta
+     << ", others=bursty)";
+  return std::make_unique<ProfileSchedule>(gst, std::move(ps), os.str());
+}
+
+std::unique_ptr<ScheduleModel> make_es_schedule(std::uint32_t n, SimTime gst,
+                                                SimDuration bound) {
+  std::vector<StepProfile> ps(n);
+  for (auto& p : ps) {
+    p.post = PostGst::kBounded;
+    p.post_a = bound;
+  }
+  std::ostringstream os;
+  os << "eventually-synchronous(gst=" << gst << ", bound=" << bound << ")";
+  return std::make_unique<ProfileSchedule>(gst, std::move(ps), os.str());
+}
+
+std::unique_ptr<ScheduleModel> make_adversarial_awb_schedule(
+    std::uint32_t n, ProcessId timely, SimTime gst, SimDuration delta,
+    SimDuration pause, SimDuration initial_burst) {
+  OMEGA_CHECK(timely < n, "timely process out of range");
+  std::vector<StepProfile> ps(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (i == timely) {
+      ps[i].post = PostGst::kTimely;
+      ps[i].post_a = delta;
+    } else {
+      ps[i].post = PostGst::kEscalating;
+      ps[i].post_a = pause;
+      ps[i].post_b = initial_burst;
+    }
+  }
+  std::ostringstream os;
+  os << "adversarial-awb(timely=p" << timely << ", gst=" << gst
+     << ", delta=" << delta << ", others=escalating-bursts)";
+  return std::make_unique<ProfileSchedule>(gst, std::move(ps), os.str());
+}
+
+}  // namespace omega

@@ -1,0 +1,110 @@
+// Step schedules: the executable form of the asynchrony model and of
+// assumption AWB1 (§2.3).
+//
+// The simulator asks the schedule, after each step of p_i at time `now`, how
+// long until p_i's next step. A step performs at most one shared-memory
+// access, so "consecutive accesses of p_ℓ complete within δ" (AWB1) is
+// literally "the schedule gives p_ℓ inter-step delays ≤ δ after GST".
+// Everything before GST — and everything about non-ℓ processes after GST —
+// may be arbitrary: pauses, bursts, even unboundedly accelerating bursts
+// (zero-delay batches), which is what separates AWB from eventual synchrony.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace omega {
+
+class ScheduleModel {
+ public:
+  virtual ~ScheduleModel() = default;
+
+  /// Delay from `now` until `pid`'s next step. May be 0 (a burst of steps at
+  /// one tick — unbounded relative speed); the driver bounds zero-streaks to
+  /// keep runs finite.
+  virtual SimDuration next_step_delay(ProcessId pid, SimTime now,
+                                      Rng& rng) = 0;
+
+  virtual std::string describe() const = 0;
+};
+
+/// Per-process behaviour after GST.
+enum class PostGst : std::uint8_t {
+  kTimely,      ///< inter-step delay uniform in [1, delta] — the AWB1 process
+  kBounded,     ///< uniform in [1, bound] — eventually-synchronous process
+  kBursty,      ///< heavy-tailed delays: mostly short, occasional long pauses
+  kEscalating,  ///< pause P, then a burst of B zero-delay steps, B growing
+                ///< linearly without bound — unbounded relative speed
+                ///< forever (kills step-counted timeouts; harmless for
+                ///< real-time timers). Linear growth keeps simulation cost
+                ///< quadratic in the horizon while still outpacing the
+                ///< +1-per-suspicion timeout adaptation.
+};
+
+/// Configuration of one process's schedule.
+struct StepProfile {
+  // Before GST: uniform delays in [pre_lo, pre_hi], plus with probability
+  // pre_pause_prob a pause up to pre_pause_max (models the fully
+  // asynchronous prefix).
+  SimDuration pre_lo = 1;
+  SimDuration pre_hi = 8;
+  double pre_pause_prob = 0.05;
+  SimDuration pre_pause_max = 200;
+
+  PostGst post = PostGst::kBounded;
+  SimDuration post_a = 1;  ///< kTimely: delta; kBounded: bound; kBursty: typical
+  SimDuration post_b = 0;  ///< kBursty: max pause; kEscalating: initial
+                           ///< burst length = per-cycle growth increment
+};
+
+/// General GST-structured schedule: arbitrary before `gst`, per-profile after.
+class ProfileSchedule final : public ScheduleModel {
+ public:
+  ProfileSchedule(SimTime gst, std::vector<StepProfile> profiles,
+                  std::string label);
+
+  SimDuration next_step_delay(ProcessId pid, SimTime now, Rng& rng) override;
+  std::string describe() const override { return label_; }
+
+  SimTime gst() const noexcept { return gst_; }
+
+ private:
+  SimTime gst_;
+  std::vector<StepProfile> profiles_;
+  std::string label_;
+  // kEscalating per-process state.
+  std::vector<std::uint64_t> burst_left_;
+  std::vector<std::uint64_t> burst_len_;
+};
+
+/// Everyone steps with unit delay from time 0 (lock-step; handy for unit
+/// tests and deterministic examples).
+std::unique_ptr<ScheduleModel> make_synchronous_schedule();
+
+/// AWB-only world: after `gst`, process `timely` is kTimely(delta) and every
+/// other process is kBursty — AWB1 holds for `timely`, nothing holds for the
+/// rest. Before gst everyone is chaotic-asynchronous.
+std::unique_ptr<ScheduleModel> make_awb_schedule(std::uint32_t n,
+                                                 ProcessId timely,
+                                                 SimTime gst,
+                                                 SimDuration delta);
+
+/// Eventually-synchronous world: after `gst` every process is kBounded(bound)
+/// — the stronger assumption of the baseline [13].
+std::unique_ptr<ScheduleModel> make_es_schedule(std::uint32_t n, SimTime gst,
+                                                SimDuration bound);
+
+/// Adversarial AWB world: after `gst`, `timely` is kTimely(delta) and all
+/// others are kEscalating — relative speeds unbounded forever. AWB still
+/// holds (only the leader's timeliness matters), eventual synchrony never
+/// does. Used by E8 to separate the assumptions.
+std::unique_ptr<ScheduleModel> make_adversarial_awb_schedule(
+    std::uint32_t n, ProcessId timely, SimTime gst, SimDuration delta,
+    SimDuration pause, SimDuration initial_burst);
+
+}  // namespace omega

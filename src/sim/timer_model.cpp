@@ -1,0 +1,125 @@
+#include "sim/timer_model.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace omega {
+
+namespace {
+
+class PerfectTimer final : public TimerModel {
+ public:
+  explicit PerfectTimer(SimDuration unit) : unit_(unit) {
+    OMEGA_CHECK(unit >= 1, "timer unit must be >= 1");
+  }
+  SimDuration duration(SimTime, std::uint64_t x, Rng&) override {
+    return std::max<SimDuration>(1, static_cast<SimDuration>(x) * unit_);
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "perfect(unit=" << unit_ << ")";
+    return os.str();
+  }
+
+ private:
+  SimDuration unit_;
+};
+
+class ChaoticPrefixTimer final : public TimerModel {
+ public:
+  ChaoticPrefixTimer(SimTime chaos_until, SimDuration unit,
+                     SimDuration chaos_max)
+      : chaos_until_(chaos_until), unit_(unit), chaos_max_(chaos_max) {
+    OMEGA_CHECK(unit >= 1 && chaos_max >= 1, "bad chaotic timer params");
+  }
+  SimDuration duration(SimTime now, std::uint64_t x, Rng& rng) override {
+    if (now < chaos_until_) {
+      // Anything goes: durations unrelated to x, often absurdly short —
+      // exactly the prefix misbehavior AWB2 tolerates.
+      return rng.uniform(1, chaos_max_);
+    }
+    return std::max<SimDuration>(1, static_cast<SimDuration>(x) * unit_);
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "chaotic-prefix(until=" << chaos_until_ << ", unit=" << unit_ << ")";
+    return os.str();
+  }
+
+ private:
+  SimTime chaos_until_;
+  SimDuration unit_;
+  SimDuration chaos_max_;
+};
+
+class NonMonotoneTimer final : public TimerModel {
+ public:
+  NonMonotoneTimer(SimDuration unit, double jitter)
+      : unit_(unit), jitter_(jitter) {
+    OMEGA_CHECK(unit >= 1 && jitter >= 0.0, "bad non-monotone timer params");
+  }
+  SimDuration duration(SimTime, std::uint64_t x, Rng& rng) override {
+    const double base = static_cast<double>(x) * static_cast<double>(unit_);
+    const double scaled = base * (1.0 + rng.uniform01() * jitter_);
+    return std::max<SimDuration>(1, static_cast<SimDuration>(scaled));
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "non-monotone(unit=" << unit_ << ", jitter=" << jitter_ << ")";
+    return os.str();
+  }
+
+ private:
+  SimDuration unit_;
+  double jitter_;
+};
+
+class SubDominatingTimer final : public TimerModel {
+ public:
+  SubDominatingTimer(SimDuration unit, std::uint64_t cap)
+      : unit_(unit), cap_(cap) {
+    OMEGA_CHECK(unit >= 1 && cap >= 1, "bad sub-dominating timer params");
+  }
+  SimDuration duration(SimTime, std::uint64_t x, Rng&) override {
+    const std::uint64_t clamped = std::min(x, cap_);
+    return std::max<SimDuration>(1,
+                                 static_cast<SimDuration>(clamped) * unit_);
+  }
+  std::string describe() const override {
+    std::ostringstream os;
+    os << "sub-dominating(unit=" << unit_ << ", cap=" << cap_
+       << ") [VIOLATES AWB2]";
+    return os.str();
+  }
+  bool satisfies_awb2() const override { return false; }
+
+ private:
+  SimDuration unit_;
+  std::uint64_t cap_;
+};
+
+}  // namespace
+
+std::unique_ptr<TimerModel> make_perfect_timer(SimDuration unit) {
+  return std::make_unique<PerfectTimer>(unit);
+}
+
+std::unique_ptr<TimerModel> make_chaotic_prefix_timer(SimTime chaos_until,
+                                                      SimDuration unit,
+                                                      SimDuration chaos_max) {
+  return std::make_unique<ChaoticPrefixTimer>(chaos_until, unit, chaos_max);
+}
+
+std::unique_ptr<TimerModel> make_nonmonotone_timer(SimDuration unit,
+                                                   double jitter) {
+  return std::make_unique<NonMonotoneTimer>(unit, jitter);
+}
+
+std::unique_ptr<TimerModel> make_subdominating_timer(SimDuration unit,
+                                                     std::uint64_t cap) {
+  return std::make_unique<SubDominatingTimer>(unit, cap);
+}
+
+}  // namespace omega

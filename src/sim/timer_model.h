@@ -1,0 +1,60 @@
+// Timer models: the executable form of assumption AWB2 (§2.3).
+//
+// When task T3 re-arms a timer with parameter x at sim time τ, the model
+// decides the real expiry duration T_R(τ, x). AWB2 requires only that after
+// some point T_R dominates an eventually-monotone, diverging function
+// f_R(τ, x) — the timer may behave arbitrarily for an arbitrary finite
+// prefix, and may be non-monotone afterwards (paper Figure 1). The models
+// below span that spectrum, plus a deliberately AWB2-violating control.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/ids.h"
+#include "common/rng.h"
+
+namespace omega {
+
+class TimerModel {
+ public:
+  virtual ~TimerModel() = default;
+
+  /// Real duration until expiry for a timer armed at `now` with parameter
+  /// `x`. Must be >= 1 (an expiry strictly in the future).
+  virtual SimDuration duration(SimTime now, std::uint64_t x, Rng& rng) = 0;
+
+  virtual std::string describe() const = 0;
+
+  /// True iff the model satisfies AWB2 (used by tests to decide which runs
+  /// must converge; the violating model is a negative control).
+  virtual bool satisfies_awb2() const { return true; }
+};
+
+/// T(τ, x) = x · unit. The textbook monotone timer — the *strongest* member
+/// of the AWB2 family.
+std::unique_ptr<TimerModel> make_perfect_timer(SimDuration unit);
+
+/// Arbitrary garbage durations in [1, chaos_max] until `chaos_until`, then
+/// x · unit. Models the "timers can behave arbitrarily during arbitrarily
+/// long (but finite) periods" clause.
+std::unique_ptr<TimerModel> make_chaotic_prefix_timer(SimTime chaos_until,
+                                                      SimDuration unit,
+                                                      SimDuration chaos_max);
+
+/// x · unit · (1 + U[0, jitter]) — never below x · unit (so it dominates
+/// f(τ,x) = x·unit) but non-monotone in arming time: a later, larger timeout
+/// can expire sooner than an earlier, smaller one. Exercises the generality
+/// of the asymptotically-well-behaved definition (paper Figure 1's wiggly
+/// T_R curve).
+std::unique_ptr<TimerModel> make_nonmonotone_timer(SimDuration unit,
+                                                   double jitter);
+
+/// min(x, cap) · unit — VIOLATES AWB2: T_R is bounded, so no diverging f_R
+/// is dominated (condition f2 fails). With this timer the suspicion counters
+/// can grow forever and leadership may never stabilize. Negative control.
+std::unique_ptr<TimerModel> make_subdominating_timer(SimDuration unit,
+                                                     std::uint64_t cap);
+
+}  // namespace omega

@@ -1,0 +1,128 @@
+#include "sim/trace.h"
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace omega {
+
+std::string trace_kind_name(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kLeaderChange:
+      return "leader-change";
+    case TraceEventKind::kSuspicion:
+      return "suspicion";
+    case TraceEventKind::kTimerArmed:
+      return "timer-armed";
+    case TraceEventKind::kHalt:
+      return "halt";
+  }
+  return "?";
+}
+
+std::string TraceEvent::describe() const {
+  std::ostringstream os;
+  os << "t=" << when << "  ";
+  switch (kind) {
+    case TraceEventKind::kLeaderChange:
+      os << "p" << actor << " leader ";
+      if (a == kNoProcess) {
+        os << "(none)";
+      } else {
+        os << "p" << a;
+      }
+      os << " -> p" << b;
+      break;
+    case TraceEventKind::kSuspicion:
+      os << "p" << actor << " suspects p" << subject << " (count " << a
+         << ")";
+      break;
+    case TraceEventKind::kTimerArmed:
+      os << "p" << actor << " arms timer x=" << a << " (fires in " << b
+         << ")";
+      break;
+    case TraceEventKind::kHalt:
+      os << "p" << actor << (a != 0 ? " CRASHES" : " pauses forever");
+      break;
+  }
+  return os.str();
+}
+
+TraceLog::TraceLog(std::size_t capacity) : capacity_(capacity) {
+  OMEGA_CHECK(capacity >= 16, "trace capacity too small");
+}
+
+void TraceLog::record(const TraceEvent& ev) {
+  ++counts_[static_cast<std::size_t>(ev.kind)];
+  if (events_.size() >= capacity_) {
+    // Drop the oldest half in one amortized move (cheap, keeps order).
+    const std::size_t keep = capacity_ / 2;
+    dropped_ += events_.size() - keep;
+    events_.erase(events_.begin(),
+                  events_.end() - static_cast<std::ptrdiff_t>(keep));
+  }
+  events_.push_back(ev);
+}
+
+std::vector<TraceEvent> TraceLog::of_kind(TraceEventKind k) const {
+  std::vector<TraceEvent> out;
+  for (const auto& ev : events_) {
+    if (ev.kind == k) out.push_back(ev);
+  }
+  return out;
+}
+
+std::uint64_t TraceLog::count(TraceEventKind k) const {
+  return counts_[static_cast<std::size_t>(k)];
+}
+
+std::string TraceLog::render(std::size_t max_lines) const {
+  std::ostringstream os;
+  const std::size_t start =
+      events_.size() > max_lines ? events_.size() - max_lines : 0;
+  if (start > 0 || dropped_ > 0) {
+    os << "... (" << (dropped_ + start) << " earlier events)\n";
+  }
+  for (std::size_t i = start; i < events_.size(); ++i) {
+    os << events_[i].describe() << '\n';
+  }
+  return os.str();
+}
+
+SuspicionTracer::SuspicionTracer(const Layout& layout, TraceLog& log)
+    : layout_(layout), log_(log) {
+  GroupId g = 0;
+  if (layout.find_group("SUSPICIONS", g)) {
+    group_ = static_cast<int>(g);
+  } else if (layout.find_group("SUSPEV", g)) {
+    group_ = static_cast<int>(g);
+  } else if (layout.find_group("SUSPICIONS_V", g)) {
+    group_ = static_cast<int>(g);
+    by_column_ = true;
+  }
+}
+
+void SuspicionTracer::on_access(const AccessEvent& ev) {
+  if (!ev.is_write || group_ < 0) return;
+  if (layout_.group_of(ev.cell) != static_cast<GroupId>(group_)) return;
+  const auto& grp = layout_.group(static_cast<GroupId>(group_));
+  const std::uint32_t off = ev.cell.index - grp.first;
+  TraceEvent te;
+  te.when = ev.when;
+  te.kind = TraceEventKind::kSuspicion;
+  te.actor = ev.pid;
+  te.subject = by_column_ ? off : off % grp.cols;
+  te.a = ev.value;
+  log_.record(te);
+}
+
+void ObserverFanout::add(AccessObserver* obs) {
+  OMEGA_CHECK(obs != nullptr, "null observer");
+  observers_.push_back(obs);
+}
+
+void ObserverFanout::on_access(const AccessEvent& ev) {
+  for (AccessObserver* obs : observers_) obs->on_access(ev);
+}
+
+}  // namespace omega

@@ -1,0 +1,88 @@
+// Structured run traces. The simulator can record the events that matter
+// when dissecting a run — leadership changes, suspicions, timer arming,
+// halts — and render them as a human-readable timeline. Used by the
+// adversary_explorer example and by tests that assert on event *sequences*
+// (e.g. "the suspicion of the old leader precedes the re-election").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/ids.h"
+#include "registers/instrumentation.h"
+#include "registers/layout.h"
+
+namespace omega {
+
+enum class TraceEventKind : std::uint8_t {
+  kLeaderChange,  ///< actor's leader() output changed: a → b
+  kSuspicion,     ///< actor wrote a suspicion counter about subject (value a)
+  kTimerArmed,    ///< actor armed its timer: parameter a, duration b
+  kHalt,          ///< actor crashed (a=1) or was paused (a=0)
+};
+
+std::string trace_kind_name(TraceEventKind k);
+
+struct TraceEvent {
+  SimTime when = 0;
+  TraceEventKind kind = TraceEventKind::kLeaderChange;
+  ProcessId actor = kNoProcess;
+  ProcessId subject = kNoProcess;  ///< suspicions: who is suspected
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+
+  std::string describe() const;
+};
+
+class TraceLog {
+ public:
+  /// Caps memory: after `capacity` events the oldest are dropped (the count
+  /// per kind keeps counting).
+  explicit TraceLog(std::size_t capacity = 1 << 16);
+
+  void record(const TraceEvent& ev);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::vector<TraceEvent> of_kind(TraceEventKind k) const;
+  std::uint64_t count(TraceEventKind k) const;
+  std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Renders the last `max_lines` events, one per line, time-ordered.
+  std::string render(std::size_t max_lines = 40) const;
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> events_;
+  std::uint64_t counts_[4] = {0, 0, 0, 0};
+  std::uint64_t dropped_ = 0;
+};
+
+/// AccessObserver adapter that records suspicion-counter writes into a
+/// TraceLog (works for SUSPICIONS, SUSPICIONS_V and SUSPEV families).
+class SuspicionTracer final : public AccessObserver {
+ public:
+  SuspicionTracer(const Layout& layout, TraceLog& log);
+
+  void on_access(const AccessEvent& ev) override;
+
+ private:
+  const Layout& layout_;
+  TraceLog& log_;
+  int group_ = -1;
+  bool by_column_ = false;  ///< nWnR vector: subject is the array index
+};
+
+/// Fan-out observer: instrumentation holds a single observer slot; this
+/// forwards each access to any number of registered observers.
+class ObserverFanout final : public AccessObserver {
+ public:
+  void add(AccessObserver* obs);
+
+  void on_access(const AccessEvent& ev) override;
+
+ private:
+  std::vector<AccessObserver*> observers_;
+};
+
+}  // namespace omega

@@ -1,0 +1,312 @@
+// Line-level unit tests of the algorithm bodies: the task coroutines are
+// driven by hand against a SimMemory, one operation at a time, so each
+// branch of the paper's pseudocode (Figures 2 and 5) is exercised and
+// observed in isolation — no scheduler, no timers, no randomness.
+#include <gtest/gtest.h>
+
+#include "core/omega_bounded.h"
+#include "core/omega_nwnr.h"
+#include "core/omega_write_efficient.h"
+#include "registers/memory.h"
+
+namespace omega {
+namespace {
+
+/// Executes `task`'s pending op against `mem` as `pid` and resumes it.
+/// LeaderQuery is answered with `leader_answer`; returns the op executed.
+OpKind drive_one(MemoryBackend& mem, ProcessId pid, ProcTask& task,
+                 std::uint64_t leader_answer) {
+  const OpKind k = task.pending();
+  switch (k) {
+    case OpKind::kRead:
+      task.resume(mem.read(pid, task.pending_cell()));
+      break;
+    case OpKind::kWrite:
+      mem.write(pid, task.pending_cell(), task.pending_value());
+      task.resume(0);
+      break;
+    case OpKind::kLeaderQuery:
+      task.resume(leader_answer);
+      break;
+    case OpKind::kYield:
+      task.resume(0);
+      break;
+    default:
+      ADD_FAILURE() << "unexpected op";
+      break;
+  }
+  return k;
+}
+
+/// Runs the monitor through exactly one full scan (from WaitTimer back to
+/// WaitTimer), executing every access.
+void run_one_scan(MemoryBackend& mem, ProcessId pid, ProcTask& monitor,
+                  std::uint64_t leader_answer = 0) {
+  ASSERT_EQ(monitor.pending(), OpKind::kWaitTimer);
+  monitor.resume(0);  // deliver expiry
+  int guard = 0;
+  while (monitor.pending() != OpKind::kWaitTimer) {
+    drive_one(mem, pid, monitor, leader_answer);
+    ASSERT_LT(++guard, 1000) << "scan did not terminate";
+  }
+}
+
+struct Fig2Fixture {
+  OmegaWriteEfficient::Shared shared;
+  SimMemory mem;
+  OmegaWriteEfficient p0;
+
+  Fig2Fixture()
+      : shared(OmegaWriteEfficient::Shared::make(3)),
+        mem(shared.layout, 3),
+        p0(mem, shared, 0, {0, 1, 2}) {}
+
+  Cell progress(ProcessId k) {
+    GroupId g = 0;
+    EXPECT_TRUE(mem.layout().find_group("PROGRESS", g));
+    return mem.layout().cell(g, k);
+  }
+  Cell stop(ProcessId k) {
+    GroupId g = 0;
+    EXPECT_TRUE(mem.layout().find_group("STOP", g));
+    return mem.layout().cell(g, k);
+  }
+  Cell susp(ProcessId j, ProcessId k) {
+    GroupId g = 0;
+    EXPECT_TRUE(mem.layout().find_group("SUSPICIONS", g));
+    return mem.layout().cell(g, j, k);
+  }
+};
+
+TEST(Fig2Heartbeat, LeaderIncrementsProgressAndClearsStop) {
+  Fig2Fixture f;
+  f.mem.poke(f.stop(0), 1);  // STOP[0] initially true
+  // Re-construct p0 so its mirror sees the poked STOP.
+  OmegaWriteEfficient p0(f.mem, f.shared, 0, {0, 1, 2});
+  ProcTask hb = p0.task_heartbeat();
+  hb.start();
+  // Lines 7-9: believes leader → writes PROGRESS, then clears STOP.
+  ASSERT_EQ(hb.pending(), OpKind::kLeaderQuery);
+  hb.resume(0);  // leader() = 0 = self
+  ASSERT_EQ(hb.pending(), OpKind::kWrite);
+  EXPECT_EQ(hb.pending_cell(), f.progress(0));
+  EXPECT_EQ(hb.pending_value(), 1u);
+  drive_one(f.mem, 0, hb, 0);
+  ASSERT_EQ(hb.pending(), OpKind::kWrite);
+  EXPECT_EQ(hb.pending_cell(), f.stop(0));
+  EXPECT_EQ(hb.pending_value(), 0u);
+  drive_one(f.mem, 0, hb, 0);
+  // Next iteration: still leader → PROGRESS again, no STOP write (already 0).
+  ASSERT_EQ(hb.pending(), OpKind::kLeaderQuery);
+  hb.resume(0);
+  ASSERT_EQ(hb.pending(), OpKind::kWrite);
+  EXPECT_EQ(hb.pending_cell(), f.progress(0));
+  EXPECT_EQ(hb.pending_value(), 2u);
+  drive_one(f.mem, 0, hb, 0);
+  ASSERT_EQ(hb.pending(), OpKind::kLeaderQuery) << "no redundant STOP write";
+}
+
+TEST(Fig2Heartbeat, DemotionWritesStopOnce) {
+  Fig2Fixture f;
+  ProcTask hb = f.p0.task_heartbeat();
+  hb.start();
+  // Not the leader (answer 2): exits the while, line 11 sets STOP := true.
+  ASSERT_EQ(hb.pending(), OpKind::kLeaderQuery);
+  hb.resume(2);
+  ASSERT_EQ(hb.pending(), OpKind::kWrite);
+  EXPECT_EQ(hb.pending_cell(), f.stop(0));
+  EXPECT_EQ(hb.pending_value(), 1u);
+  drive_one(f.mem, 0, hb, 2);
+  // Still not leader: loops back to the query with no further write.
+  ASSERT_EQ(hb.pending(), OpKind::kLeaderQuery);
+  hb.resume(2);
+  ASSERT_EQ(hb.pending(), OpKind::kLeaderQuery);
+}
+
+TEST(Fig2Monitor, FreshProgressAddsCandidate) {
+  Fig2Fixture f;
+  // p0 cold-starts with candidates {0}; p1 shows progress.
+  OmegaWriteEfficient p0(f.mem, f.shared, 0, {});
+  EXPECT_FALSE(p0.candidates().contains(1));
+  f.mem.poke(f.progress(1), 7);  // PROGRESS[1] moved (≠ last_[1] = 0)
+  ProcTask mon = p0.task_monitor();
+  mon.start();
+  run_one_scan(f.mem, 0, mon);
+  EXPECT_TRUE(p0.candidates().contains(1));   // line 18
+  EXPECT_FALSE(p0.candidates().contains(2));  // no progress, STOP=false...
+  // ...but p2 was not a candidate, so line 22's guard fails: no suspicion.
+  EXPECT_EQ(f.mem.peek(f.susp(0, 2)), 0u);
+}
+
+TEST(Fig2Monitor, StopRemovesWithoutSuspicion) {
+  Fig2Fixture f;  // warm start: candidates {0,1,2}
+  f.mem.poke(f.stop(1), 1);  // p1 stopped competing
+  ProcTask mon = f.p0.task_monitor();
+  mon.start();
+  run_one_scan(f.mem, 0, mon);
+  EXPECT_FALSE(f.p0.candidates().contains(1));  // line 21
+  EXPECT_EQ(f.mem.peek(f.susp(0, 1)), 0u) << "no suspicion on voluntary stop";
+}
+
+TEST(Fig2Monitor, SilentCandidateGetsSuspectedOnceThenDropped) {
+  Fig2Fixture f;  // candidates {0,1,2}; everyone silent, STOP=false
+  ProcTask mon = f.p0.task_monitor();
+  mon.start();
+  run_one_scan(f.mem, 0, mon);
+  // Lines 22-24: both p1 and p2 suspected and removed.
+  EXPECT_EQ(f.mem.peek(f.susp(0, 1)), 1u);
+  EXPECT_EQ(f.mem.peek(f.susp(0, 2)), 1u);
+  EXPECT_FALSE(f.p0.candidates().contains(1));
+  EXPECT_FALSE(f.p0.candidates().contains(2));
+  EXPECT_EQ(f.p0.next_timeout(), 2u);  // line 27: max row + 1
+  // Second scan: no longer candidates → no further suspicions (bounded).
+  run_one_scan(f.mem, 0, mon);
+  EXPECT_EQ(f.mem.peek(f.susp(0, 1)), 1u);
+  EXPECT_EQ(f.mem.peek(f.susp(0, 2)), 1u);
+}
+
+TEST(Fig2Leader, LexMinOnCountsThenIds) {
+  Fig2Fixture f;
+  // Totals: p0=5, p1=3, p2=3 → lexmin picks p1 (count ties broken by id).
+  f.mem.poke(f.susp(1, 0), 5);
+  f.mem.poke(f.susp(0, 1), 3);
+  f.mem.poke(f.susp(2, 2), 3);
+  EXPECT_EQ(f.p0.leader(), 1u);
+  // Column sums aggregate all rows.
+  f.mem.poke(f.susp(2, 1), 1);  // p1's total: 4
+  EXPECT_EQ(f.p0.leader(), 2u);
+}
+
+TEST(Fig2Leader, OnlyCandidatesConsidered) {
+  Fig2Fixture f;
+  OmegaWriteEfficient p0(f.mem, f.shared, 0, {2});  // candidates {0, 2}
+  f.mem.poke(f.susp(1, 1), 0);   // p1 has the lowest total but is not a
+  f.mem.poke(f.susp(1, 0), 9);   // candidate; p2 beats p0 on counts
+  f.mem.poke(f.susp(1, 2), 1);
+  EXPECT_EQ(p0.leader(), 2u);
+}
+
+TEST(Fig2Timeout, TracksOwnRowMax) {
+  Fig2Fixture f;
+  f.mem.poke(f.susp(0, 2), 41);
+  OmegaWriteEfficient p0(f.mem, f.shared, 0, {0, 1, 2});
+  EXPECT_EQ(p0.next_timeout(), 42u) << "mirror must include poked garbage";
+}
+
+// ---------------------------------------------------------------------------
+// Figure 5: the boolean handshake.
+// ---------------------------------------------------------------------------
+
+struct Fig5Fixture {
+  OmegaBounded::Shared shared;
+  SimMemory mem;
+
+  Fig5Fixture() : shared(OmegaBounded::Shared::make(2)), mem(shared.layout, 2) {}
+
+  Cell progress(ProcessId i, ProcessId k) {
+    GroupId g = 0;
+    EXPECT_TRUE(mem.layout().find_group("PROGRESS", g));
+    return mem.layout().cell(g, i, k);
+  }
+  Cell last(ProcessId i, ProcessId k) {
+    GroupId g = 0;
+    EXPECT_TRUE(mem.layout().find_group("LAST", g));
+    return mem.layout().cell(g, i, k);
+  }
+};
+
+TEST(Fig5Handshake, SignalArmAckRoundTrip) {
+  Fig5Fixture f;
+  OmegaBounded p0(f.mem, f.shared, 0, {0, 1});
+  OmegaBounded p1(f.mem, f.shared, 1, {0, 1});
+
+  // p0's heartbeat (believing leader): line 8.R2 arms the signal toward p1 —
+  // PROGRESS[0][1] := ¬LAST[0][1] = ¬0 = 1.
+  ProcTask hb = p0.task_heartbeat();
+  hb.start();
+  hb.resume(0);  // leader() = self
+  ASSERT_EQ(hb.pending(), OpKind::kRead);   // reads LAST[0][1]
+  EXPECT_EQ(hb.pending_cell(), f.last(0, 1));
+  drive_one(f.mem, 0, hb, 0);
+  ASSERT_EQ(hb.pending(), OpKind::kWrite);  // writes PROGRESS[0][1]
+  EXPECT_EQ(hb.pending_cell(), f.progress(0, 1));
+  EXPECT_EQ(hb.pending_value(), 1u);
+  drive_one(f.mem, 0, hb, 0);
+
+  // p1's monitor: sees PROGRESS[0][1] ≠ its mirror of LAST[0][1] → p0 is
+  // alive (line 17.R1) → acknowledges by equalizing (line 19.R1).
+  ProcTask mon = p1.task_monitor();
+  mon.start();
+  run_one_scan(f.mem, 1, mon);
+  EXPECT_EQ(f.mem.peek(f.last(0, 1)), 1u) << "ack must equalize the pair";
+  EXPECT_TRUE(p1.candidates().contains(0));
+
+  // A second scan with no new signal and STOP[0]=false (p0 competing):
+  // suspicion (lines 22-24).
+  GroupId susp = 0;
+  ASSERT_TRUE(f.mem.layout().find_group("SUSPICIONS", susp));
+  run_one_scan(f.mem, 1, mon);
+  EXPECT_EQ(f.mem.peek(f.mem.layout().cell(susp, 1, 0)), 1u);
+  EXPECT_FALSE(p1.candidates().contains(0));
+
+  // p0 re-arms: now ¬LAST[0][1] = ¬1 = 0 → PROGRESS toggles to 0.
+  hb.resume(0);  // leader query answered: still leader
+  ASSERT_EQ(hb.pending(), OpKind::kRead);
+  drive_one(f.mem, 0, hb, 0);
+  ASSERT_EQ(hb.pending(), OpKind::kWrite);
+  EXPECT_EQ(hb.pending_value(), 0u) << "signal must toggle, not stick";
+  drive_one(f.mem, 0, hb, 0);
+  // p1 sees the fresh signal and re-adopts p0.
+  run_one_scan(f.mem, 1, mon);
+  EXPECT_TRUE(p1.candidates().contains(0));
+}
+
+// ---------------------------------------------------------------------------
+// nWnR variant: the racy multi-writer increment (§3.5).
+// ---------------------------------------------------------------------------
+
+TEST(NwnrVariant, ConcurrentIncrementsCanLoseUpdates) {
+  // Two monitors interleaved at access granularity around the same
+  // SUSPICIONS_V cell: read(0)/read(0)/write(1)/write(1) — one increment is
+  // lost. This is inherent to read-then-write on nWnR *registers* (no
+  // fetch-and-add in the model) and exactly why the paper's matrix version
+  // keeps a row per process.
+  auto shared = OmegaNwnr::Shared::make(3);
+  SimMemory mem(shared.layout, 3);
+  OmegaNwnr p0(mem, shared, 0, {0, 1, 2});
+  OmegaNwnr p1(mem, shared, 1, {0, 1, 2});
+  GroupId sv = 0;
+  ASSERT_TRUE(mem.layout().find_group("SUSPICIONS_V", sv));
+  const Cell target = mem.layout().cell(sv, 2);  // both will suspect p2
+
+  ProcTask m0 = p0.task_monitor();
+  ProcTask m1 = p1.task_monitor();
+  m0.start();
+  m1.start();
+  m0.resume(0);
+  m1.resume(0);
+  // Drive both scans in lockstep; collect the write values to `target`.
+  std::vector<std::uint64_t> writes_to_target;
+  int guard = 0;
+  while (m0.pending() != OpKind::kWaitTimer ||
+         m1.pending() != OpKind::kWaitTimer) {
+    const std::pair<ProcTask*, ProcessId> entries[] = {{&m0, 0}, {&m1, 1}};
+    for (const auto& [task, pid] : entries) {
+      ProcTask& t = *task;
+      if (t.pending() == OpKind::kWaitTimer) continue;
+      if (t.pending() == OpKind::kWrite && t.pending_cell() == target) {
+        writes_to_target.push_back(t.pending_value());
+      }
+      drive_one(mem, pid, t, 99);
+    }
+    ASSERT_LT(++guard, 1000);
+  }
+  // Both read 0 before either wrote: both wrote 1 — a lost update.
+  ASSERT_EQ(writes_to_target.size(), 2u);
+  EXPECT_EQ(writes_to_target[0], 1u);
+  EXPECT_EQ(writes_to_target[1], 1u);
+  EXPECT_EQ(mem.peek(target), 1u) << "two suspicions, counter shows one";
+}
+
+}  // namespace
+}  // namespace omega

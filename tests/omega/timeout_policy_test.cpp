@@ -1,0 +1,90 @@
+// Timeout-policy knob (E11d): the paper's max+1 rule vs exponential growth.
+#include <gtest/gtest.h>
+
+#include "core/omega_bounded.h"
+#include "core/omega_write_efficient.h"
+#include "sim/scenario.h"
+
+namespace omega {
+namespace {
+
+TEST(TimeoutPolicy, ApplyRules) {
+  EXPECT_EQ(apply_timeout_policy(TimeoutPolicy::kMaxPlusOne, 0), 1u);
+  EXPECT_EQ(apply_timeout_policy(TimeoutPolicy::kMaxPlusOne, 41), 42u);
+  EXPECT_EQ(apply_timeout_policy(TimeoutPolicy::kDoubling, 0), 1u);
+  EXPECT_EQ(apply_timeout_policy(TimeoutPolicy::kDoubling, 5), 32u);
+  // Capped so the timer parameter cannot explode past 2^24.
+  EXPECT_EQ(apply_timeout_policy(TimeoutPolicy::kDoubling, 60), 1u << 24);
+}
+
+TEST(TimeoutPolicy, NextTimeoutFollowsPolicy) {
+  auto shared = OmegaWriteEfficient::Shared::make(3);
+  SimMemory mem(shared.layout, 3);
+  GroupId susp = 0;
+  ASSERT_TRUE(mem.layout().find_group("SUSPICIONS", susp));
+  mem.poke(mem.layout().cell(susp, 0, 2), 4);  // own-row max = 4
+  OmegaWriteEfficient p0(mem, shared, 0, {0, 1, 2});
+  EXPECT_EQ(p0.next_timeout(), 5u);  // paper default
+  p0.set_timeout_policy(TimeoutPolicy::kDoubling);
+  EXPECT_EQ(p0.next_timeout(), 16u);
+}
+
+TEST(TimeoutPolicy, DoublingStillSatisfiesOmega) {
+  // The policy only changes constants: 2^max also diverges with the row
+  // maximum, so AWB2's requirements are intact and convergence must hold.
+  for (AlgoKind algo : {AlgoKind::kWriteEfficient, AlgoKind::kBounded}) {
+    ScenarioConfig cfg;
+    cfg.algo = algo;
+    cfg.n = 5;
+    cfg.world = World::kAwb;
+    cfg.seed = 21;
+    auto d = make_scenario(cfg);
+    for (ProcessId i = 0; i < cfg.n; ++i) {
+      if (algo == AlgoKind::kWriteEfficient) {
+        dynamic_cast<OmegaWriteEfficient&>(d->process(i))
+            .set_timeout_policy(TimeoutPolicy::kDoubling);
+      } else {
+        dynamic_cast<OmegaBounded&>(d->process(i))
+            .set_timeout_policy(TimeoutPolicy::kDoubling);
+      }
+    }
+    d->run_until(300000);
+    const auto rep = d->metrics().convergence(d->plan());
+    ASSERT_TRUE(rep.converged) << algo_name(algo);
+    EXPECT_TRUE(d->plan().is_correct(rep.leader));
+  }
+}
+
+TEST(TimeoutPolicy, DoublingCutsWarmupInMarginalRegime) {
+  // fig5 with unit=8 (below the handshake re-arm period): the doubling
+  // policy needs O(log) suspicions per pair instead of O(gap/unit).
+  auto run = [](TimeoutPolicy policy) {
+    ScenarioConfig cfg;
+    cfg.algo = AlgoKind::kBounded;
+    cfg.n = 6;
+    cfg.world = World::kAwb;
+    cfg.timer_unit = 8;
+    cfg.seed = 2;
+    auto d = make_scenario(cfg);
+    for (ProcessId i = 0; i < cfg.n; ++i) {
+      dynamic_cast<OmegaBounded&>(d->process(i)).set_timeout_policy(policy);
+    }
+    d->run_until(400000);
+    GroupId g = 0;
+    EXPECT_TRUE(d->memory().layout().find_group("SUSPICIONS", g));
+    std::uint64_t total = 0;
+    for (ProcessId r = 0; r < cfg.n; ++r) {
+      for (ProcessId c = 0; c < cfg.n; ++c) {
+        total += d->memory().peek(d->memory().layout().cell(g, r, c));
+      }
+    }
+    return total;
+  };
+  const auto linear = run(TimeoutPolicy::kMaxPlusOne);
+  const auto doubling = run(TimeoutPolicy::kDoubling);
+  EXPECT_LT(doubling * 2, linear)
+      << "doubling=" << doubling << " linear=" << linear;
+}
+
+}  // namespace
+}  // namespace omega

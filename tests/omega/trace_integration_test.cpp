@@ -1,0 +1,116 @@
+// Trace integration: the driver's event stream tells the run's story in the
+// right order — tests assert on event *sequences* (e.g. the demoted leader's
+// suspicion precedes the re-election).
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+#include "sim/trace.h"
+
+namespace omega {
+namespace {
+
+TEST(TraceIntegration, RecordsAllEventKindsInARun) {
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kWriteEfficient;
+  cfg.n = 4;
+  cfg.world = World::kAwb;
+  cfg.cold_start = true;  // guarantees competition → suspicions
+  cfg.seed = 3;
+  auto d = make_scenario(cfg);
+  TraceLog log;
+  SuspicionTracer tracer(d->memory().layout(), log);
+  d->memory().instr().set_observer(&tracer);
+  d->set_trace(&log);
+  d->plan() = CrashPlan::at(4, {{3, 50000}});
+  d->run_until(150000);
+
+  EXPECT_GT(log.count(TraceEventKind::kLeaderChange), 0u);
+  EXPECT_GT(log.count(TraceEventKind::kSuspicion), 0u);
+  EXPECT_GT(log.count(TraceEventKind::kTimerArmed), 0u);
+  EXPECT_EQ(log.count(TraceEventKind::kHalt), 1u);
+  const auto halts = log.of_kind(TraceEventKind::kHalt);
+  ASSERT_EQ(halts.size(), 1u);
+  EXPECT_EQ(halts[0].actor, 3u);
+  EXPECT_EQ(halts[0].a, 1u);  // crash, not pause
+  EXPECT_GE(halts[0].when, 50000);
+}
+
+TEST(TraceIntegration, EventsAreTimeOrdered) {
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kWriteEfficient;
+  cfg.n = 4;
+  cfg.world = World::kSync;
+  auto d = make_scenario(cfg);
+  TraceLog log;
+  d->set_trace(&log);
+  d->run_until(20000);
+  for (std::size_t i = 1; i < log.events().size(); ++i) {
+    ASSERT_LE(log.events()[i - 1].when, log.events()[i].when);
+  }
+}
+
+TEST(TraceIntegration, DemotionStory) {
+  // After a settled leader is silenced: some survivor suspects it, and only
+  // after that suspicion do the survivors' outputs change — the causal story
+  // of Lemma 5, read off the trace.
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kWriteEfficient;
+  cfg.n = 4;
+  cfg.world = World::kAwb;
+  cfg.seed = 7;
+  auto d = make_scenario(cfg);
+  d->run_until(150000);
+  const auto rep = d->metrics().convergence(d->plan());
+  ASSERT_TRUE(rep.converged);
+  const ProcessId boss = rep.leader;
+
+  TraceLog log;
+  SuspicionTracer tracer(d->memory().layout(), log);
+  d->memory().instr().set_observer(&tracer);
+  d->set_trace(&log);
+  d->plan().pause_forever(boss, d->now());
+  d->run_until(d->now() + 400000);
+
+  SimTime first_suspicion_of_boss = kNever;
+  for (const auto& ev : log.of_kind(TraceEventKind::kSuspicion)) {
+    if (ev.subject == boss) {
+      first_suspicion_of_boss = std::min(first_suspicion_of_boss, ev.when);
+    }
+  }
+  ASSERT_NE(first_suspicion_of_boss, kNever)
+      << "survivors must suspect the silent leader";
+
+  SimTime first_change_away = kNever;
+  for (const auto& ev : log.of_kind(TraceEventKind::kLeaderChange)) {
+    if (ev.actor != boss && ev.a == boss) {
+      first_change_away = std::min(first_change_away, ev.when);
+    }
+  }
+  ASSERT_NE(first_change_away, kNever) << "survivors must move off the boss";
+  EXPECT_LE(first_suspicion_of_boss, first_change_away)
+      << "the suspicion must precede (cause) the demotion";
+}
+
+TEST(TraceIntegration, TimerEventsCarryGrowingParameters) {
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kWriteEfficient;
+  cfg.n = 4;
+  cfg.world = World::kAwb;
+  cfg.cold_start = true;
+  cfg.seed = 5;
+  auto d = make_scenario(cfg);
+  TraceLog log;
+  d->set_trace(&log);
+  d->run_until(100000);
+  // Timeout parameters are non-decreasing per process (max-suspicions + 1
+  // with monotone counters).
+  std::vector<std::uint64_t> last_x(4, 0);
+  for (const auto& ev : log.of_kind(TraceEventKind::kTimerArmed)) {
+    ASSERT_GE(ev.a, last_x[ev.actor]) << "timeout param shrank at p"
+                                      << ev.actor;
+    last_x[ev.actor] = ev.a;
+  }
+}
+
+}  // namespace
+}  // namespace omega

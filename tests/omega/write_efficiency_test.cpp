@@ -1,0 +1,231 @@
+// The paper's efficiency/boundedness theorems, measured:
+//   Thm. 2 — Algorithm 1: every shared variable except PROGRESS[ℓ] bounded.
+//   Thm. 3 — Algorithm 1: eventually a single writer, writing one variable.
+//   Thm. 6 — Algorithm 2: ALL shared variables bounded.
+//   Thm. 7 — Algorithm 2: eventually only PROGRESS[ℓ][·] and LAST[ℓ][·] are
+//            written (so all correct processes write forever — Cor. 1).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/scenario.h"
+
+namespace omega {
+namespace {
+
+struct Settled {
+  std::unique_ptr<SimDriver> driver;
+  ProcessId leader = kNoProcess;
+  InstrumentationSnapshot before;  ///< at the start of the settled window
+  InstrumentationSnapshot after;   ///< at the end of the run
+  std::vector<std::uint64_t> cells_before;  ///< raw contents at window start
+  std::vector<std::uint64_t> cells_after;
+};
+
+/// Runs cfg long past stabilization and snapshots a trailing window.
+Settled settle(ScenarioConfig cfg, SimTime settle_by = 200000,
+               SimDuration window = 100000) {
+  Settled s;
+  s.driver = make_scenario(cfg);
+  auto& d = *s.driver;
+  d.run_until(settle_by);
+  const auto rep0 = d.metrics().convergence(d.plan());
+  EXPECT_TRUE(rep0.converged) << cfg.label();
+  s.before = d.memory().instr().snapshot();
+  for (std::uint32_t i = 0; i < d.memory().layout().size(); ++i) {
+    s.cells_before.push_back(d.memory().peek(Cell{i}));
+  }
+  d.run_for(window);
+  const auto rep = d.metrics().convergence(d.plan());
+  EXPECT_TRUE(rep.converged) << cfg.label();
+  EXPECT_LE(rep.time, settle_by) << "leader changed inside the window";
+  s.leader = rep.leader;
+  s.after = d.memory().instr().snapshot();
+  for (std::uint32_t i = 0; i < d.memory().layout().size(); ++i) {
+    s.cells_after.push_back(d.memory().peek(Cell{i}));
+  }
+  return s;
+}
+
+ScenarioConfig fig2_cfg() {
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kWriteEfficient;
+  cfg.n = 6;
+  cfg.world = World::kAwb;
+  cfg.seed = 5;
+  return cfg;
+}
+
+ScenarioConfig fig5_cfg() {
+  ScenarioConfig cfg = fig2_cfg();
+  cfg.algo = AlgoKind::kBounded;
+  return cfg;
+}
+
+TEST(Theorem3, Fig2EventuallySingleWriter) {
+  const Settled s = settle(fig2_cfg());
+  const auto census = diff_writers(s.before, s.after);
+  EXPECT_EQ(census.distinct_writers, 1u)
+      << "after stabilization only the leader may write (Thm. 3)";
+  EXPECT_GT(census.writes_by[s.leader], 0u)
+      << "the leader must write forever (Lemma 5)";
+}
+
+TEST(Theorem3, Fig2SingleVariableWritten) {
+  const Settled s = settle(fig2_cfg());
+  const Layout& layout = s.driver->memory().layout();
+  GroupId prog = 0;
+  ASSERT_TRUE(layout.find_group("PROGRESS", prog));
+  const Cell leader_progress = layout.cell(prog, s.leader);
+  for (std::uint32_t i = 0; i < layout.size(); ++i) {
+    const auto delta = s.after.writes_to[i] - s.before.writes_to[i];
+    if (Cell{i} == leader_progress) {
+      EXPECT_GT(delta, 0u) << "PROGRESS[leader] must keep moving";
+    } else {
+      EXPECT_EQ(delta, 0u) << layout.cell_name(Cell{i})
+                           << " written after stabilization";
+    }
+  }
+}
+
+TEST(Theorem2, Fig2AllButOneVariableBounded) {
+  const Settled s = settle(fig2_cfg());
+  const Layout& layout = s.driver->memory().layout();
+  GroupId prog = 0;
+  ASSERT_TRUE(layout.find_group("PROGRESS", prog));
+  const Cell leader_progress = layout.cell(prog, s.leader);
+  for (std::uint32_t i = 0; i < layout.size(); ++i) {
+    if (Cell{i} == leader_progress) {
+      EXPECT_GT(s.cells_after[i], s.cells_before[i])
+          << "PROGRESS[leader] is the one unbounded variable";
+    } else {
+      EXPECT_EQ(s.cells_after[i], s.cells_before[i])
+          << layout.cell_name(Cell{i}) << " still changing (Thm. 2)";
+    }
+  }
+}
+
+TEST(Theorem2, Fig2TimeoutsStopIncreasing) {
+  // "even the timeout values stop increasing forever": the max timeout
+  // parameter ever armed equals the max already reached at settle time.
+  ScenarioConfig cfg = fig2_cfg();
+  auto d = make_scenario(cfg);
+  d->run_until(200000);
+  std::vector<std::uint64_t> mid;
+  for (ProcessId i = 0; i < d->n(); ++i) {
+    mid.push_back(d->metrics().max_timeout_param(i));
+  }
+  d->run_for(100000);
+  for (ProcessId i = 0; i < d->n(); ++i) {
+    EXPECT_EQ(d->metrics().max_timeout_param(i), mid[i]) << "p" << i;
+  }
+}
+
+TEST(Theorem7, Fig5OnlyHandshakeWithLeaderWritten) {
+  const Settled s = settle(fig5_cfg());
+  const Layout& layout = s.driver->memory().layout();
+  GroupId prog = 0, last = 0;
+  ASSERT_TRUE(layout.find_group("PROGRESS", prog));
+  ASSERT_TRUE(layout.find_group("LAST", last));
+  const auto& pg = layout.group(prog);
+  for (std::uint32_t i = 0; i < layout.size(); ++i) {
+    const auto delta = s.after.writes_to[i] - s.before.writes_to[i];
+    if (delta == 0) continue;
+    // Any still-written cell must be PROGRESS[ℓ][k] or LAST[ℓ][k].
+    const GroupId g = layout.group_of(Cell{i});
+    ASSERT_TRUE(g == prog || g == last)
+        << layout.cell_name(Cell{i}) << " written after stabilization";
+    const std::uint32_t off =
+        Cell{i}.index - (g == prog ? pg.first : layout.group(last).first);
+    EXPECT_EQ(off / pg.cols, s.leader)
+        << layout.cell_name(Cell{i}) << ": handshake not with the leader";
+  }
+}
+
+TEST(Corollary1, Fig5AllCorrectProcessesWriteForever) {
+  const Settled s = settle(fig5_cfg());
+  const auto census = diff_writers(s.before, s.after);
+  std::uint32_t correct = 0;
+  for (ProcessId i = 0; i < s.driver->n(); ++i) {
+    if (!s.driver->plan().is_correct(i)) continue;
+    ++correct;
+    EXPECT_GT(census.writes_by[i], 0u)
+        << "correct p" << i
+        << " stopped writing — impossible with bounded memory (Cor. 1)";
+  }
+  EXPECT_EQ(census.distinct_writers, correct);
+}
+
+TEST(Theorem6, Fig5AllRegistersBoundedBits) {
+  // Beyond "stops changing": with Algorithm 2 the *domains* are bounded —
+  // PROGRESS/LAST are booleans, STOP is boolean, SUSPICIONS froze.
+  const Settled s = settle(fig5_cfg());
+  const Layout& layout = s.driver->memory().layout();
+  GroupId prog = 0, last = 0, stop = 0, susp = 0;
+  ASSERT_TRUE(layout.find_group("PROGRESS", prog));
+  ASSERT_TRUE(layout.find_group("LAST", last));
+  ASSERT_TRUE(layout.find_group("STOP", stop));
+  ASSERT_TRUE(layout.find_group("SUSPICIONS", susp));
+  for (std::uint32_t i = 0; i < layout.size(); ++i) {
+    const GroupId g = layout.group_of(Cell{i});
+    if (g == prog || g == last || g == stop) {
+      EXPECT_LE(s.after.high_water[i], 1u)
+          << layout.cell_name(Cell{i}) << " must be boolean";
+    } else {
+      ASSERT_EQ(g, susp);
+      EXPECT_EQ(s.cells_after[i], s.cells_before[i])
+          << layout.cell_name(Cell{i}) << " suspicion counter unbounded";
+    }
+  }
+}
+
+TEST(Theorem6, Fig5HandshakeKeepsToggling) {
+  // The boundedness is not vacuous: the leader's alive-signal handshake
+  // keeps being rewritten forever (bounded values, unbounded activity).
+  const Settled s = settle(fig5_cfg());
+  const Layout& layout = s.driver->memory().layout();
+  GroupId prog = 0;
+  ASSERT_TRUE(layout.find_group("PROGRESS", prog));
+  std::uint64_t handshake_writes = 0;
+  for (ProcessId k = 0; k < s.driver->n(); ++k) {
+    if (k == s.leader) continue;
+    const Cell c = layout.cell(prog, s.leader, k);
+    handshake_writes += s.after.writes_to[c.index] -
+                        s.before.writes_to[c.index];
+  }
+  EXPECT_GT(handshake_writes, 100u);
+}
+
+TEST(Baseline, EvSyncEveryoneWritesAndHeartbeatsUnbounded) {
+  // The baseline pays both costs the paper's algorithms avoid: all processes
+  // write forever AND its HB registers grow without bound.
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kEvSync;
+  cfg.n = 6;
+  cfg.world = World::kEs;
+  cfg.seed = 5;
+  const Settled s = settle(cfg);
+  const auto census = diff_writers(s.before, s.after);
+  EXPECT_EQ(census.distinct_writers, s.driver->n());
+  const Layout& layout = s.driver->memory().layout();
+  GroupId hb = 0;
+  ASSERT_TRUE(layout.find_group("HB", hb));
+  for (ProcessId i = 0; i < s.driver->n(); ++i) {
+    const Cell c = layout.cell(hb, i);
+    EXPECT_GT(s.cells_after[c.index], s.cells_before[c.index])
+        << "HB[" << i << "] should be unbounded";
+  }
+}
+
+TEST(Theorem3, WriteEfficiencyHoldsUnderCrashes) {
+  ScenarioConfig cfg = fig2_cfg();
+  cfg.crashes = 3;
+  cfg.crash_window = 2000;
+  const Settled s = settle(cfg, 300000, 100000);
+  const auto census = diff_writers(s.before, s.after);
+  EXPECT_EQ(census.distinct_writers, 1u);
+  EXPECT_GT(census.writes_by[s.leader], 0u);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,107 @@
+// LeaderService: the downstream facade — agreed view, change callbacks,
+// fail-over notifications on real threads.
+#include "rt/leader_service.h"
+
+#include <gtest/gtest.h>
+
+#include <condition_variable>
+
+namespace omega {
+namespace {
+
+RtConfig service_config(std::uint32_t n) {
+  RtConfig cfg;
+  cfg.algo = AlgoKind::kWriteEfficient;
+  cfg.n = n;
+  cfg.tick_us = 2000;
+  cfg.pace_us = 100;
+  return cfg;
+}
+
+/// Waits (up to timeout) until the service's agreed view is a live id.
+ProcessId await_agreed(LeaderService& svc, std::int64_t timeout_us) {
+  const auto deadline = svc.driver().now_us() + timeout_us;
+  while (svc.driver().now_us() < deadline) {
+    const ProcessId a = svc.current();
+    if (a != kNoProcess) return a;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return kNoProcess;
+}
+
+TEST(LeaderService, AgreedViewEmerges) {
+  LeaderService svc(service_config(3));
+  svc.start();
+  const ProcessId agreed = await_agreed(svc, 20000000);
+  svc.stop();
+  ASSERT_NE(agreed, kNoProcess);
+  EXPECT_LT(agreed, 3u);
+  EXPECT_FALSE(svc.driver().failed()) << svc.driver().failure_message();
+}
+
+TEST(LeaderService, CallbacksFireOnTransitions) {
+  LeaderService svc(service_config(3));
+  std::mutex m;
+  std::condition_variable cv;
+  std::vector<std::pair<ProcessId, ProcessId>> seen;
+  svc.subscribe([&](ProcessId prev, ProcessId cur, std::int64_t) {
+    std::lock_guard<std::mutex> lock(m);
+    seen.emplace_back(prev, cur);
+    cv.notify_all();
+  });
+  svc.start();
+  const ProcessId first = await_agreed(svc, 20000000);
+  ASSERT_NE(first, kNoProcess);
+  {
+    std::unique_lock<std::mutex> lock(m);
+    ASSERT_TRUE(cv.wait_for(lock, std::chrono::seconds(5),
+                            [&] { return !seen.empty(); }));
+    EXPECT_EQ(seen.front().second, first);
+  }
+  // Kill the leader: expect a transition away from it (possibly through a
+  // kNoProcess disagreement phase).
+  svc.driver().crash(first);
+  {
+    std::unique_lock<std::mutex> lock(m);
+    const bool moved = cv.wait_for(lock, std::chrono::seconds(30), [&] {
+      return !seen.empty() && seen.back().second != first &&
+             seen.back().second != kNoProcess;
+    });
+    EXPECT_TRUE(moved) << "no fail-over transition observed";
+    if (moved) {
+      EXPECT_NE(seen.back().second, first);
+    }
+  }
+  svc.stop();
+  EXPECT_GE(svc.transitions(), 2u);
+}
+
+TEST(LeaderService, UnsubscribeStopsDelivery) {
+  LeaderService svc(service_config(2));
+  std::atomic<int> calls{0};
+  const auto token =
+      svc.subscribe([&](ProcessId, ProcessId, std::int64_t) { ++calls; });
+  svc.unsubscribe(token);
+  svc.start();
+  (void)await_agreed(svc, 10000000);
+  svc.stop();
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(LeaderService, IsLeaderMatchesLocalView) {
+  LeaderService svc(service_config(2));
+  svc.start();
+  const ProcessId agreed = await_agreed(svc, 10000000);
+  ASSERT_NE(agreed, kNoProcess);
+  EXPECT_TRUE(svc.is_leader(agreed));
+  svc.stop();
+}
+
+TEST(LeaderService, RejectsBadUsage) {
+  LeaderService svc(service_config(2));
+  EXPECT_THROW(svc.subscribe(nullptr), InvariantViolation);
+  svc.unsubscribe(12345);  // unknown token: no-op
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,151 @@
+// Fault-tolerant replicated-disk registers: crash-tolerance and staleness
+// semantics, plus Ω running over them.
+#include "san/replicated_san.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+#include "sim/scenario.h"
+
+namespace omega {
+namespace {
+
+Layout tiny_layout(GroupId& g) {
+  LayoutBuilder b;
+  g = b.add_array("X", 4, OwnerRule::kRowOwner, false);
+  return b.build();
+}
+
+TEST(ReplicatedSan, ReadsBackLatestWrite) {
+  GroupId g = 0;
+  ReplicatedSanConfig cfg;
+  cfg.num_disks = 3;
+  ReplicatedSanMemory mem(tiny_layout(g), 4, cfg);
+  const Cell c = mem.layout().cell(g, 1);
+  mem.write(1, c, 7);
+  mem.write(1, c, 8);
+  EXPECT_EQ(mem.read(0, c), 8u);
+  EXPECT_EQ(mem.stale_reads(), 0u);
+}
+
+TEST(ReplicatedSan, SurvivesDiskCrashes) {
+  GroupId g = 0;
+  ReplicatedSanConfig cfg;
+  cfg.num_disks = 3;
+  ReplicatedSanMemory mem(tiny_layout(g), 4, cfg);
+  const Cell c = mem.layout().cell(g, 0);
+  mem.write(0, c, 41);
+  mem.crash_disk(0);
+  EXPECT_EQ(mem.read(1, c), 41u);  // value survives on the other replicas
+  mem.write(0, c, 42);             // writes keep landing on survivors
+  mem.crash_disk(1);
+  EXPECT_EQ(mem.read(1, c), 42u);
+  EXPECT_EQ(mem.disks_alive(), 1u);
+}
+
+TEST(ReplicatedSan, CannotCrashLastDisk) {
+  GroupId g = 0;
+  ReplicatedSanConfig cfg;
+  cfg.num_disks = 2;
+  ReplicatedSanMemory mem(tiny_layout(g), 4, cfg);
+  mem.crash_disk(0);
+  EXPECT_THROW(mem.crash_disk(1), InvariantViolation);
+  mem.crash_disk(0);  // re-crashing a dead disk is a no-op
+}
+
+TEST(ReplicatedSan, OmissionsDivergeReplicasButNeverLoseWrites) {
+  GroupId g = 0;
+  ReplicatedSanConfig cfg;
+  cfg.num_disks = 3;
+  cfg.omission_prob = 0.4;
+  cfg.seed = 5;
+  ReplicatedSanMemory mem(tiny_layout(g), 4, cfg);
+  const Cell c = mem.layout().cell(g, 2);
+  std::uint64_t last_seen = 0;
+  for (std::uint64_t v = 1; v <= 500; ++v) {
+    mem.write(2, c, v);
+    const std::uint64_t got = mem.read(0, c);
+    // Staleness may return an older value, but never a never-written one
+    // and never older than what a previous *fresh* read established as the
+    // anchor guarantee floor... the weak but sound checks:
+    EXPECT_GE(got, 1u);
+    EXPECT_LE(got, v);
+    last_seen = std::max(last_seen, got);
+  }
+  EXPECT_EQ(last_seen, 500u);  // fresh values do get through
+  EXPECT_GT(mem.divergent_writes(), 0u);
+  EXPECT_GT(mem.stale_reads(), 0u);
+}
+
+TEST(ReplicatedSan, NoOmissionsMeansAtomic) {
+  GroupId g = 0;
+  ReplicatedSanConfig cfg;
+  cfg.num_disks = 4;
+  cfg.omission_prob = 0.0;
+  ReplicatedSanMemory mem(tiny_layout(g), 4, cfg);
+  const Cell c = mem.layout().cell(g, 3);
+  for (std::uint64_t v = 1; v <= 200; ++v) {
+    mem.write(3, c, v);
+    ASSERT_EQ(mem.read(0, c), v);
+  }
+  EXPECT_EQ(mem.stale_reads(), 0u);
+  EXPECT_EQ(mem.divergent_writes(), 0u);
+}
+
+TEST(ReplicatedSan, AccessCostIsWorstLiveReplica) {
+  GroupId g = 0;
+  ReplicatedSanConfig cfg;
+  cfg.num_disks = 2;
+  cfg.network_latency = 1;
+  cfg.service_time = 3;
+  cfg.jitter_max = 0;
+  ReplicatedSanMemory mem(tiny_layout(g), 4, cfg);
+  const Cell c = mem.layout().cell(g, 0);
+  EXPECT_EQ(mem.access_cost(c, true), 1 + 3);
+  // Crash one disk: cost now reflects only the survivor (which queues).
+  mem.crash_disk(0);
+  EXPECT_GE(mem.access_cost(c, true), 1 + 3);
+}
+
+TEST(ReplicatedSanOmega, ConvergesDespiteDiskCrashesMidRun) {
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kWriteEfficient;
+  cfg.n = 5;
+  cfg.world = World::kAwb;
+  cfg.seed = 14;
+  ReplicatedSanConfig san;
+  san.num_disks = 3;
+  auto d = make_scenario(cfg, replicated_san_factory(san));
+  auto& mem = dynamic_cast<ReplicatedSanMemory&>(d->memory());
+  d->run_until(100000);
+  mem.crash_disk(0);
+  d->run_until(200000);
+  mem.crash_disk(2);
+  d->run_until(500000);
+  const auto rep = d->metrics().convergence(d->plan());
+  ASSERT_TRUE(rep.converged) << "2 of 3 disks dead: registers must survive";
+  EXPECT_TRUE(d->plan().is_correct(rep.leader));
+}
+
+TEST(ReplicatedSanOmega, Fig2ToleratesPersistentOmissions) {
+  // Algorithm 1's PROGRESS counter advances every couple of steps, so a
+  // stale read would need a replica to miss ~dozens of consecutive writes —
+  // convergence survives heavy persistent omission rates.
+  ScenarioConfig cfg;
+  cfg.algo = AlgoKind::kWriteEfficient;
+  cfg.n = 5;
+  cfg.world = World::kAwb;
+  cfg.seed = 15;
+  ReplicatedSanConfig san;
+  san.num_disks = 3;
+  san.omission_prob = 0.2;
+  auto d = make_scenario(cfg, replicated_san_factory(san));
+  d->run_until(500000);
+  const auto rep = d->metrics().convergence(d->plan());
+  ASSERT_TRUE(rep.converged);
+  auto& mem = dynamic_cast<ReplicatedSanMemory&>(d->memory());
+  EXPECT_GT(mem.divergent_writes(), 0u) << "omissions should have occurred";
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,59 @@
+#include "core/candidate_set.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+TEST(CandidateSet, AlwaysContainsSelf) {
+  CandidateSet s(5, 2);
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_EQ(s.size(), 1u);
+}
+
+TEST(CandidateSet, InitialMembersAdded) {
+  CandidateSet s(5, 0, {1, 3, 3});
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_FALSE(s.contains(2));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(CandidateSet, InsertEraseIdempotent) {
+  CandidateSet s(4, 0);
+  s.insert(2);
+  s.insert(2);
+  EXPECT_EQ(s.size(), 2u);
+  s.erase(2);
+  s.erase(2);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(CandidateSet, CannotEraseSelf) {
+  CandidateSet s(4, 1);
+  EXPECT_THROW(s.erase(1), InvariantViolation);
+  EXPECT_TRUE(s.contains(1));
+}
+
+TEST(CandidateSet, MembersSortedSnapshot) {
+  CandidateSet s(6, 4, {0, 2});
+  EXPECT_EQ(s.members(), (std::vector<ProcessId>{0, 2, 4}));
+}
+
+TEST(CandidateSet, BoundsChecked) {
+  CandidateSet s(3, 0);
+  EXPECT_THROW(s.insert(3), InvariantViolation);
+  EXPECT_THROW(s.contains(99), InvariantViolation);
+  EXPECT_THROW(CandidateSet(3, 7), InvariantViolation);
+}
+
+TEST(CandidateSet, SingletonSystem) {
+  CandidateSet s(1, 0);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.members(), (std::vector<ProcessId>{0}));
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,88 @@
+#include "sim/crash_plan.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+TEST(CrashPlan, NoneHasNoFaults) {
+  const auto p = CrashPlan::none(4);
+  EXPECT_EQ(p.num_faulty(), 0u);
+  EXPECT_EQ(p.correct().size(), 4u);
+  for (ProcessId i = 0; i < 4; ++i) {
+    EXPECT_TRUE(p.is_correct(i));
+    EXPECT_EQ(p.crash_time(i), kNever);
+  }
+}
+
+TEST(CrashPlan, ExplicitCrashes) {
+  const auto p = CrashPlan::at(4, {{1, 100}, {3, 50}});
+  EXPECT_EQ(p.num_faulty(), 2u);
+  EXPECT_EQ(p.crash_time(1), 100);
+  EXPECT_EQ(p.crash_time(3), 50);
+  EXPECT_FALSE(p.crashed_by(1, 99));
+  EXPECT_TRUE(p.crashed_by(1, 100));
+  EXPECT_EQ(p.correct(), (std::vector<ProcessId>{0, 2}));
+}
+
+TEST(CrashPlan, DuplicateCrashKeepsEarliest) {
+  const auto p = CrashPlan::at(3, {{0, 200}, {0, 100}});
+  EXPECT_EQ(p.crash_time(0), 100);
+}
+
+TEST(CrashPlan, AllCrashRejected) {
+  EXPECT_THROW(CrashPlan::at(2, {{0, 1}, {1, 1}}), InvariantViolation);
+}
+
+TEST(CrashPlan, TolerateNMinusOneCrashes) {
+  // The paper's algorithms are independent of t: up to n-1 crashes allowed.
+  const auto p = CrashPlan::at(4, {{1, 1}, {2, 1}, {3, 1}});
+  EXPECT_EQ(p.num_faulty(), 3u);
+  EXPECT_EQ(p.correct(), (std::vector<ProcessId>{0}));
+}
+
+TEST(CrashPlan, RandomSparesDesignatedProcess) {
+  Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = CrashPlan::random(6, 5, 1000, /*spared=*/3, rng);
+    EXPECT_TRUE(p.is_correct(3));
+    EXPECT_EQ(p.num_faulty(), 5u);
+  }
+}
+
+TEST(CrashPlan, RandomVictimsDistinct) {
+  Rng rng(7);
+  const auto p = CrashPlan::random(8, 4, 500, 0, rng);
+  EXPECT_EQ(p.num_faulty(), 4u);
+  for (ProcessId i = 0; i < 8; ++i) {
+    if (!p.is_correct(i)) {
+      EXPECT_GE(p.crash_time(i), 0);
+      EXPECT_LE(p.crash_time(i), 500);
+    }
+  }
+}
+
+TEST(CrashPlan, RandomCannotKillEveryone) {
+  Rng rng(1);
+  EXPECT_THROW(CrashPlan::random(3, 3, 100, 0, rng), InvariantViolation);
+}
+
+TEST(CrashPlan, PauseIsNotFaulty) {
+  auto p = CrashPlan::none(3);
+  p.pause_forever(1, 300);
+  EXPECT_TRUE(p.is_correct(1));  // paused ≠ crashed
+  EXPECT_EQ(p.pause_time(1), 300);
+  EXPECT_EQ(p.halt_time(1), 300);
+  EXPECT_EQ(p.halt_time(0), kNever);
+}
+
+TEST(CrashPlan, HaltIsMinOfCrashAndPause) {
+  auto p = CrashPlan::at(3, {{1, 100}});
+  p.pause_forever(1, 200);
+  EXPECT_EQ(p.halt_time(1), 100);
+  p.pause_forever(2, 50);
+  EXPECT_EQ(p.halt_time(2), 50);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,115 @@
+#include "core/factory.h"
+
+#include <gtest/gtest.h>
+
+#include "core/omega_write_efficient.h"
+
+namespace omega {
+namespace {
+
+TEST(Factory, BuildsEveryAlgorithm) {
+  for (AlgoKind kind : all_algorithms()) {
+    OmegaInstance inst = make_omega(kind, 4);
+    EXPECT_EQ(inst.processes.size(), 4u);
+    ASSERT_NE(inst.memory, nullptr);
+    for (ProcessId i = 0; i < 4; ++i) {
+      EXPECT_EQ(inst.processes[i]->self(), i);
+      EXPECT_EQ(inst.processes[i]->n(), 4u);
+      EXPECT_EQ(inst.processes[i]->algorithm_name(), algo_name(kind));
+    }
+  }
+}
+
+TEST(Factory, LayoutFamiliesPerAlgorithm) {
+  struct Expect {
+    AlgoKind kind;
+    std::vector<std::string> groups;
+  };
+  const std::vector<Expect> expects = {
+      {AlgoKind::kWriteEfficient, {"SUSPICIONS", "PROGRESS", "STOP"}},
+      {AlgoKind::kBounded, {"SUSPICIONS", "PROGRESS", "LAST", "STOP"}},
+      {AlgoKind::kNwnr, {"SUSPICIONS_V", "PROGRESS", "STOP"}},
+      {AlgoKind::kStepClock, {"SUSPICIONS", "PROGRESS", "STOP"}},
+      {AlgoKind::kEvSync, {"HB", "SUSPEV"}},
+  };
+  for (const auto& e : expects) {
+    OmegaInstance inst = make_omega(e.kind, 3);
+    for (const auto& name : e.groups) {
+      GroupId g = 0;
+      EXPECT_TRUE(inst.memory->layout().find_group(name, g))
+          << algo_name(e.kind) << " missing " << name;
+    }
+    EXPECT_EQ(inst.memory->layout().num_groups(), e.groups.size())
+        << algo_name(e.kind);
+  }
+}
+
+TEST(Factory, ExtraRegistersAppendedToLayout) {
+  GroupId extra = 0;
+  OmegaInstance inst = make_omega(
+      AlgoKind::kWriteEfficient, 3, /*memory_factory=*/{},
+      [&extra](LayoutBuilder& b) {
+        extra = b.add_array("APP", 3, OwnerRule::kRowOwner, false);
+      });
+  GroupId found = 0;
+  ASSERT_TRUE(inst.memory->layout().find_group("APP", found));
+  EXPECT_EQ(found, extra);
+  // Omega's groups still come first and are intact.
+  GroupId susp = 0;
+  ASSERT_TRUE(inst.memory->layout().find_group("SUSPICIONS", susp));
+  EXPECT_LT(inst.memory->layout().group(susp).first,
+            inst.memory->layout().group(found).first);
+}
+
+TEST(Factory, ColdStartCandidates) {
+  OmegaInstance inst =
+      make_omega(AlgoKind::kWriteEfficient, 4, std::vector<ProcessId>{});
+  auto* p2 =
+      dynamic_cast<OmegaWriteEfficient*>(inst.processes[2].get());
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->candidates().members(), (std::vector<ProcessId>{2}));
+}
+
+TEST(Factory, WarmStartCandidates) {
+  OmegaInstance inst = make_omega(AlgoKind::kWriteEfficient, 3);
+  auto* p0 = dynamic_cast<OmegaWriteEfficient*>(inst.processes[0].get());
+  ASSERT_NE(p0, nullptr);
+  EXPECT_EQ(p0->candidates().members(), (std::vector<ProcessId>{0, 1, 2}));
+}
+
+TEST(Factory, CustomMemoryFactoryUsed) {
+  bool called = false;
+  OmegaInstance inst = make_omega(
+      AlgoKind::kBounded, 2,
+      [&called](Layout layout, std::uint32_t n) {
+        called = true;
+        return std::unique_ptr<MemoryBackend>(
+            std::make_unique<SimMemory>(std::move(layout), n));
+      });
+  EXPECT_TRUE(called);
+  EXPECT_EQ(inst.memory->num_processes(), 2u);
+}
+
+TEST(Factory, NamesAreStable) {
+  EXPECT_EQ(algo_name(AlgoKind::kWriteEfficient), "fig2-write-efficient");
+  EXPECT_EQ(algo_name(AlgoKind::kBounded), "fig5-bounded");
+  EXPECT_EQ(algo_name(AlgoKind::kNwnr), "nwnr-variant");
+  EXPECT_EQ(algo_name(AlgoKind::kStepClock), "stepclock-variant");
+  EXPECT_EQ(algo_name(AlgoKind::kEvSync), "evsync-baseline");
+  EXPECT_EQ(all_algorithms().size(), 5u);
+  EXPECT_EQ(paper_algorithms().size(), 2u);
+}
+
+TEST(Factory, RejectsBadN) {
+  EXPECT_THROW(make_omega(AlgoKind::kWriteEfficient, 0), InvariantViolation);
+  EXPECT_THROW(make_omega(AlgoKind::kWriteEfficient, kMaxProcesses + 1),
+               InvariantViolation);
+}
+
+TEST(Factory, SingletonInstanceWorks) {
+  OmegaInstance inst = make_omega(AlgoKind::kBounded, 1);
+  EXPECT_EQ(inst.processes[0]->leader(), 0u);
+}
+
+}  // namespace
+}  // namespace omega

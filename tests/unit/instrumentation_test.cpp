@@ -1,0 +1,81 @@
+#include "registers/instrumentation.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace omega {
+namespace {
+
+TEST(Instrumentation, CountsPerProcess) {
+  Instrumentation in(3, 10);
+  in.on_read(0, Cell{1}, 5, 10);
+  in.on_read(0, Cell{2}, 5, 11);
+  in.on_write(1, Cell{3}, 7, 12);
+  EXPECT_EQ(in.reads_by(0), 2u);
+  EXPECT_EQ(in.reads_by(1), 0u);
+  EXPECT_EQ(in.writes_by(1), 1u);
+  EXPECT_EQ(in.writes_by(2), 0u);
+}
+
+TEST(Instrumentation, HighWaterIsMonotoneMax) {
+  Instrumentation in(2, 4);
+  in.on_write(0, Cell{0}, 10, 0);
+  in.on_write(0, Cell{0}, 3, 1);
+  in.on_write(0, Cell{0}, 12, 2);
+  EXPECT_EQ(in.high_water(Cell{0}), 12u);
+}
+
+TEST(Instrumentation, LastWriteTimestamps) {
+  Instrumentation in(2, 4);
+  EXPECT_EQ(in.last_write_by(0), kNever);
+  in.on_write(0, Cell{0}, 1, 55);
+  EXPECT_EQ(in.last_write_by(0), 55);
+}
+
+TEST(Instrumentation, SnapshotTotals) {
+  Instrumentation in(2, 4);
+  in.on_read(0, Cell{0}, 0, 0);
+  in.on_write(1, Cell{1}, 9, 1);
+  in.on_write(1, Cell{2}, 4, 2);
+  const auto s = in.snapshot();
+  EXPECT_EQ(s.total_reads, 1u);
+  EXPECT_EQ(s.total_writes, 2u);
+  EXPECT_EQ(s.writes_by[1], 2u);
+  EXPECT_EQ(s.writes_to[1], 1u);
+  EXPECT_EQ(s.high_water[1], 9u);
+  EXPECT_EQ(s.last_write_by[0], kNever);
+}
+
+class Recorder final : public AccessObserver {
+ public:
+  void on_access(const AccessEvent& ev) override { events.push_back(ev); }
+  std::vector<AccessEvent> events;
+};
+
+TEST(Instrumentation, ObserverSeesEveryAccess) {
+  Instrumentation in(2, 4);
+  Recorder rec;
+  in.set_observer(&rec);
+  in.on_read(0, Cell{1}, 11, 100);
+  in.on_write(1, Cell{2}, 22, 200);
+  ASSERT_EQ(rec.events.size(), 2u);
+  EXPECT_FALSE(rec.events[0].is_write);
+  EXPECT_EQ(rec.events[0].value, 11u);
+  EXPECT_EQ(rec.events[0].when, 100);
+  EXPECT_TRUE(rec.events[1].is_write);
+  EXPECT_EQ(rec.events[1].pid, 1u);
+  in.set_observer(nullptr);
+  in.on_read(0, Cell{1}, 0, 300);
+  EXPECT_EQ(rec.events.size(), 2u);  // detached
+}
+
+TEST(Instrumentation, RejectsBadIds) {
+  Instrumentation in(2, 4);
+  EXPECT_THROW(in.on_read(5, Cell{0}, 0, 0), InvariantViolation);
+  EXPECT_THROW(in.on_write(0, Cell{9}, 0, 0), InvariantViolation);
+  EXPECT_THROW(in.reads_by(17), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,131 @@
+#include "registers/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace omega {
+namespace {
+
+Layout fig2_layout(std::uint32_t n) {
+  LayoutBuilder b;
+  b.add_matrix("SUSPICIONS", n, n, OwnerRule::kRowOwner, false);
+  b.add_array("PROGRESS", n, OwnerRule::kRowOwner, true);
+  b.add_array("STOP", n, OwnerRule::kRowOwner, true);
+  return b.build();
+}
+
+TEST(Layout, SizeIsSumOfGroups) {
+  const auto l = fig2_layout(4);
+  EXPECT_EQ(l.size(), 16u + 4u + 4u);
+  EXPECT_EQ(l.num_groups(), 3u);
+}
+
+TEST(Layout, CellsAreDistinct) {
+  const auto l = fig2_layout(5);
+  std::set<std::uint32_t> seen;
+  GroupId susp = 0, prog = 0, stop = 0;
+  ASSERT_TRUE(l.find_group("SUSPICIONS", susp));
+  ASSERT_TRUE(l.find_group("PROGRESS", prog));
+  ASSERT_TRUE(l.find_group("STOP", stop));
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    for (std::uint32_t c = 0; c < 5; ++c) {
+      seen.insert(l.cell(susp, r, c).index);
+    }
+    seen.insert(l.cell(prog, r).index);
+    seen.insert(l.cell(stop, r).index);
+  }
+  EXPECT_EQ(seen.size(), l.size());
+}
+
+TEST(Layout, RowOwnership) {
+  const auto l = fig2_layout(4);
+  GroupId susp = 0;
+  ASSERT_TRUE(l.find_group("SUSPICIONS", susp));
+  for (std::uint32_t r = 0; r < 4; ++r) {
+    for (std::uint32_t c = 0; c < 4; ++c) {
+      EXPECT_EQ(l.owner(l.cell(susp, r, c)), r);
+    }
+  }
+}
+
+TEST(Layout, ColOwnership) {
+  LayoutBuilder b;
+  const GroupId last = b.add_matrix("LAST", 3, 3, OwnerRule::kColOwner, false);
+  const auto l = b.build();
+  for (std::uint32_t r = 0; r < 3; ++r) {
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(l.owner(l.cell(last, r, c)), c);
+    }
+  }
+}
+
+TEST(Layout, AnyOwnership) {
+  LayoutBuilder b;
+  const GroupId g = b.add_array("SUSPICIONS_V", 4, OwnerRule::kAny, false);
+  const auto l = b.build();
+  EXPECT_EQ(l.owner(l.cell(g, 2)), kAnyProcess);
+}
+
+TEST(Layout, CriticalAttribute) {
+  const auto l = fig2_layout(3);
+  GroupId susp = 0, prog = 0;
+  ASSERT_TRUE(l.find_group("SUSPICIONS", susp));
+  ASSERT_TRUE(l.find_group("PROGRESS", prog));
+  EXPECT_FALSE(l.is_critical(l.cell(susp, 0, 1)));
+  EXPECT_TRUE(l.is_critical(l.cell(prog, 0)));
+}
+
+TEST(Layout, CellNames) {
+  const auto l = fig2_layout(3);
+  GroupId susp = 0, prog = 0;
+  ASSERT_TRUE(l.find_group("SUSPICIONS", susp));
+  ASSERT_TRUE(l.find_group("PROGRESS", prog));
+  EXPECT_EQ(l.cell_name(l.cell(susp, 1, 2)), "SUSPICIONS[1][2]");
+  EXPECT_EQ(l.cell_name(l.cell(prog, 0)), "PROGRESS[0]");
+}
+
+TEST(Layout, GroupOfRoundTrips) {
+  const auto l = fig2_layout(4);
+  GroupId stop = 0;
+  ASSERT_TRUE(l.find_group("STOP", stop));
+  const Cell c = l.cell(stop, 3);
+  EXPECT_EQ(l.group_of(c), stop);
+}
+
+TEST(Layout, OutOfRangeCellRejected) {
+  const auto l = fig2_layout(3);
+  GroupId prog = 0;
+  ASSERT_TRUE(l.find_group("PROGRESS", prog));
+  EXPECT_THROW(l.cell(prog, 3), InvariantViolation);
+  EXPECT_THROW(l.owner(Cell{l.size()}), InvariantViolation);
+}
+
+TEST(Layout, ArrayAccessOnMatrixRejected) {
+  const auto l = fig2_layout(3);
+  GroupId susp = 0;
+  ASSERT_TRUE(l.find_group("SUSPICIONS", susp));
+  EXPECT_THROW(l.cell(susp, 1), InvariantViolation);
+}
+
+TEST(Layout, DuplicateGroupNameRejected) {
+  LayoutBuilder b;
+  b.add_array("X", 2, OwnerRule::kRowOwner, false);
+  EXPECT_THROW(b.add_array("X", 2, OwnerRule::kRowOwner, false),
+               InvariantViolation);
+}
+
+TEST(Layout, EmptyGroupRejected) {
+  LayoutBuilder b;
+  EXPECT_THROW(b.add_matrix("X", 0, 3, OwnerRule::kRowOwner, false),
+               InvariantViolation);
+}
+
+TEST(Layout, FindGroupMiss) {
+  const auto l = fig2_layout(2);
+  GroupId g = 0;
+  EXPECT_FALSE(l.find_group("NO_SUCH", g));
+}
+
+}  // namespace
+}  // namespace omega

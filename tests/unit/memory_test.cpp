@@ -1,0 +1,107 @@
+#include "registers/memory.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+struct Fixture {
+  // Group ids are declared before `layout` so that make_layout's out-params
+  // are not clobbered by later member initialization.
+  GroupId owned = 0;
+  GroupId shared = 0;
+  Layout layout;
+  SimMemory mem;
+
+  static Layout make_layout(std::uint32_t n, GroupId& owned, GroupId& shared) {
+    LayoutBuilder b;
+    owned = b.add_array("OWNED", n, OwnerRule::kRowOwner, true);
+    shared = b.add_array("MW", n, OwnerRule::kAny, false);
+    return b.build();
+  }
+
+  explicit Fixture(std::uint32_t n = 4)
+      : layout(make_layout(n, owned, shared)), mem(layout, n) {}
+};
+
+TEST(Memory, ReadBackAfterWrite) {
+  Fixture f;
+  const Cell c = f.mem.layout().cell(f.owned, 1);
+  f.mem.write(1, c, 42);
+  EXPECT_EQ(f.mem.read(0, c), 42u);
+  EXPECT_EQ(f.mem.read(3, c), 42u);
+}
+
+TEST(Memory, InitiallyZero) {
+  Fixture f;
+  EXPECT_EQ(f.mem.read(0, f.mem.layout().cell(f.owned, 2)), 0u);
+}
+
+TEST(Memory, OwnershipEnforced1WnR) {
+  Fixture f;
+  const Cell c = f.mem.layout().cell(f.owned, 1);
+  EXPECT_THROW(f.mem.write(0, c, 1), InvariantViolation);
+  EXPECT_NO_THROW(f.mem.write(1, c, 1));
+}
+
+TEST(Memory, AnyOwnerAcceptsAllWriters) {
+  Fixture f;
+  const Cell c = f.mem.layout().cell(f.shared, 0);
+  for (ProcessId p = 0; p < 4; ++p) {
+    EXPECT_NO_THROW(f.mem.write(p, c, p));
+  }
+  EXPECT_EQ(f.mem.read(0, c), 3u);
+}
+
+TEST(Memory, RejectsUnknownProcess) {
+  Fixture f;
+  const Cell c = f.mem.layout().cell(f.shared, 0);
+  EXPECT_THROW(f.mem.read(99, c), InvariantViolation);
+  EXPECT_THROW(f.mem.write(99, c, 0), InvariantViolation);
+}
+
+TEST(Memory, RejectsOutOfRangeCell) {
+  Fixture f;
+  EXPECT_THROW(f.mem.read(0, Cell{10000}), InvariantViolation);
+}
+
+TEST(Memory, PokePeekBypassInstrumentation) {
+  Fixture f;
+  const Cell c = f.mem.layout().cell(f.owned, 0);
+  f.mem.poke(c, 7);
+  EXPECT_EQ(f.mem.peek(c), 7u);
+  EXPECT_EQ(f.mem.instr().writes_by(0), 0u);
+  EXPECT_EQ(f.mem.instr().reads_by(0), 0u);
+}
+
+TEST(Memory, InstrumentationCountsAccesses) {
+  Fixture f;
+  const Cell c = f.mem.layout().cell(f.owned, 2);
+  f.mem.write(2, c, 5);
+  f.mem.write(2, c, 6);
+  f.mem.read(1, c);
+  EXPECT_EQ(f.mem.instr().writes_by(2), 2u);
+  EXPECT_EQ(f.mem.instr().reads_by(1), 1u);
+  EXPECT_EQ(f.mem.instr().writes_to(c), 2u);
+  EXPECT_EQ(f.mem.instr().high_water(c), 6u);
+}
+
+TEST(Memory, ClockStampsLastWrite) {
+  Fixture f;
+  SimTime t = 100;
+  f.mem.set_clock([&t] { return t; });
+  const Cell c = f.mem.layout().cell(f.owned, 0);
+  f.mem.write(0, c, 1);
+  EXPECT_EQ(f.mem.instr().last_write_by(0), 100);
+  t = 250;
+  f.mem.write(0, c, 2);
+  EXPECT_EQ(f.mem.instr().last_write_by(0), 250);
+}
+
+TEST(Memory, DefaultAccessCostIsZero) {
+  Fixture f;
+  EXPECT_EQ(f.mem.access_cost(f.mem.layout().cell(f.owned, 0), true), 0);
+}
+
+}  // namespace
+}  // namespace omega

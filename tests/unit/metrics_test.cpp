@@ -1,0 +1,133 @@
+#include "sim/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+TEST(Metrics, TracksQueriesAndChanges) {
+  Metrics m(2);
+  m.on_leader_query(0, 1, 10);
+  m.on_leader_query(0, 1, 20);
+  m.on_leader_query(0, 0, 30);
+  EXPECT_EQ(m.queries(0), 3u);
+  EXPECT_EQ(m.changes(0), 2u);  // first output counts as a change
+  EXPECT_EQ(m.last_output(0), 0u);
+  EXPECT_EQ(m.last_change(0), 30);
+}
+
+TEST(Metrics, ConvergedWhenAllAgreeOnCorrect) {
+  Metrics m(3);
+  const auto plan = CrashPlan::none(3);
+  m.on_leader_query(0, 2, 10);
+  m.on_leader_query(1, 2, 15);
+  m.on_leader_query(2, 2, 40);
+  const auto rep = m.convergence(plan);
+  ASSERT_TRUE(rep.converged);
+  EXPECT_EQ(rep.leader, 2u);
+  EXPECT_EQ(rep.time, 40);
+}
+
+TEST(Metrics, NotConvergedOnDisagreement) {
+  Metrics m(2);
+  const auto plan = CrashPlan::none(2);
+  m.on_leader_query(0, 0, 1);
+  m.on_leader_query(1, 1, 1);
+  EXPECT_FALSE(m.convergence(plan).converged);
+}
+
+TEST(Metrics, NotConvergedWhenElectingCrashed) {
+  Metrics m(2);
+  const auto plan = CrashPlan::at(2, {{1, 5}});
+  m.on_leader_query(0, 1, 10);
+  EXPECT_FALSE(m.convergence(plan).converged);
+}
+
+TEST(Metrics, CrashedProcessesExcludedFromAgreement) {
+  Metrics m(3);
+  const auto plan = CrashPlan::at(3, {{2, 5}});
+  m.on_leader_query(0, 0, 10);
+  m.on_leader_query(1, 0, 10);
+  m.on_leader_query(2, 2, 4);  // stale pre-crash opinion — ignored
+  const auto rep = m.convergence(plan);
+  ASSERT_TRUE(rep.converged);
+  EXPECT_EQ(rep.leader, 0u);
+}
+
+TEST(Metrics, SilentLiveProcessBlocksConvergenceClaim) {
+  Metrics m(2);
+  const auto plan = CrashPlan::none(2);
+  m.on_leader_query(0, 0, 10);
+  EXPECT_FALSE(m.convergence(plan).converged);  // p1 never sampled
+}
+
+TEST(Metrics, FlapMarkerCountsLateChanges) {
+  Metrics m(1);
+  m.set_flap_marker(100);
+  const auto plan = CrashPlan::none(1);
+  m.on_leader_query(0, 0, 10);   // before marker
+  m.on_leader_query(0, 0, 150);  // no change
+  m.on_leader_query(0, 0, 200);  // no change
+  EXPECT_EQ(m.convergence(plan).changes_after_marker, 0u);
+  Metrics m2(2);
+  m2.set_flap_marker(100);
+  const auto plan2 = CrashPlan::none(2);
+  m2.on_leader_query(0, 0, 10);
+  m2.on_leader_query(0, 1, 150);  // change after marker
+  m2.on_leader_query(0, 0, 160);  // and back: two flaps
+  m2.on_leader_query(1, 0, 10);
+  EXPECT_EQ(m2.convergence(plan2).changes_after_marker, 2u);
+}
+
+TEST(Metrics, TimerArming) {
+  Metrics m(1);
+  m.on_timer_armed(0, 3, 24, 0);
+  m.on_timer_armed(0, 9, 72, 100);
+  m.on_timer_armed(0, 5, 40, 200);
+  EXPECT_EQ(m.timers_armed(0), 3u);
+  EXPECT_EQ(m.max_timeout_param(0), 9u);
+}
+
+TEST(DiffWriters, CountsWindowActivity) {
+  InstrumentationSnapshot a, b;
+  a.writes_by = {10, 5, 0};
+  b.writes_by = {25, 5, 1};
+  const auto c = diff_writers(a, b);
+  EXPECT_EQ(c.writes_by, (std::vector<std::uint64_t>{15, 0, 1}));
+  EXPECT_EQ(c.distinct_writers, 2u);
+}
+
+TEST(DiffWriters, RejectsOutOfOrderSnapshots) {
+  InstrumentationSnapshot a, b;
+  a.writes_by = {10};
+  b.writes_by = {9};
+  EXPECT_THROW(diff_writers(a, b), InvariantViolation);
+}
+
+TEST(WriteGapObserver, SplitsAtMarkerAndTracksMax) {
+  LayoutBuilder lb;
+  const GroupId crit = lb.add_array("CRIT", 2, OwnerRule::kRowOwner, true);
+  const GroupId plain = lb.add_array("PLAIN", 2, OwnerRule::kRowOwner, false);
+  const Layout layout = lb.build();
+
+  WriteGapObserver obs(layout, /*target=*/0, /*marker=*/100);
+  auto write = [&](ProcessId pid, Cell c, SimTime t) {
+    obs.on_access(AccessEvent{pid, c, 1, t, true});
+  };
+  const Cell c0 = layout.cell(crit, 0);
+  write(0, c0, 10);
+  write(0, c0, 30);   // gap 20, before marker
+  write(1, layout.cell(crit, 1), 31);  // other process: ignored
+  write(0, layout.cell(plain, 0), 32); // non-critical: ignored
+  obs.on_access(AccessEvent{0, c0, 1, 40, false});  // read: ignored
+  write(0, c0, 150);  // gap 120: last_ was before marker → "before" bucket
+  write(0, c0, 160);  // gap 10 after marker
+  write(0, c0, 200);  // gap 40 after marker
+  EXPECT_EQ(obs.writes_seen(), 5u);
+  EXPECT_EQ(obs.gaps_before().total(), 2u);
+  EXPECT_EQ(obs.gaps_after().total(), 2u);
+  EXPECT_EQ(obs.max_gap_after(), 40);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,136 @@
+// Tests of the coroutine execution shell: the contract is that a task
+// suspends at *every* shared-memory operation and that the driver fully
+// controls when operations happen and what they return.
+#include "core/proc_task.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace omega {
+namespace {
+
+ProcTask read_twice_sum(Cell a, Cell b, std::uint64_t* out) {
+  const std::uint64_t x = co_await ReadOp{a};
+  const std::uint64_t y = co_await ReadOp{b};
+  *out = x + y;
+  co_await WriteOp{a, x + y};
+}
+
+TEST(ProcTask, SuspendsAtEveryOperation) {
+  std::uint64_t out = 0;
+  ProcTask t = read_twice_sum(Cell{1}, Cell{2}, &out);
+  EXPECT_EQ(t.pending(), OpKind::kNone);  // not started
+  t.start();
+  ASSERT_EQ(t.pending(), OpKind::kRead);
+  EXPECT_EQ(t.pending_cell(), (Cell{1}));
+  t.resume(10);
+  ASSERT_EQ(t.pending(), OpKind::kRead);
+  EXPECT_EQ(t.pending_cell(), (Cell{2}));
+  t.resume(32);
+  ASSERT_EQ(t.pending(), OpKind::kWrite);
+  EXPECT_EQ(out, 42u);  // body ran up to the write suspension
+  EXPECT_EQ(t.pending_value(), 42u);
+  t.resume(0);
+  EXPECT_TRUE(t.done());
+  EXPECT_EQ(t.pending(), OpKind::kDone);
+}
+
+ProcTask all_ops() {
+  (void)co_await LeaderQueryOp{};
+  co_await WaitTimerOp{};
+  co_await YieldOp{};
+}
+
+TEST(ProcTask, AllOpKindsReported) {
+  ProcTask t = all_ops();
+  t.start();
+  EXPECT_EQ(t.pending(), OpKind::kLeaderQuery);
+  t.resume(3);
+  EXPECT_EQ(t.pending(), OpKind::kWaitTimer);
+  t.resume(0);
+  EXPECT_EQ(t.pending(), OpKind::kYield);
+  t.resume(0);
+  EXPECT_TRUE(t.done());
+}
+
+ProcTask leader_echo(std::vector<std::uint64_t>* seen) {
+  for (int i = 0; i < 3; ++i) {
+    seen->push_back(co_await LeaderQueryOp{});
+  }
+}
+
+TEST(ProcTask, ResumeValueDelivered) {
+  std::vector<std::uint64_t> seen;
+  ProcTask t = leader_echo(&seen);
+  t.start();
+  t.resume(7);
+  t.resume(8);
+  t.resume(9);
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{7, 8, 9}));
+  EXPECT_TRUE(t.done());
+}
+
+ProcTask eternal(Cell c) {
+  for (;;) {
+    co_await WriteOp{c, 1};
+  }
+}
+
+TEST(ProcTask, EternalTaskNeverDone) {
+  ProcTask t = eternal(Cell{0});
+  t.start();
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(t.pending(), OpKind::kWrite);
+    t.resume(0);
+  }
+  EXPECT_FALSE(t.done());
+}
+
+ProcTask throws_mid_way(Cell c) {
+  co_await ReadOp{c};
+  throw std::runtime_error("boom");
+}
+
+TEST(ProcTask, ExceptionPropagatesOnResume) {
+  ProcTask t = throws_mid_way(Cell{0});
+  t.start();
+  EXPECT_THROW(t.resume(0), std::runtime_error);
+  EXPECT_TRUE(t.done());
+}
+
+TEST(ProcTask, MoveTransfersOwnership) {
+  std::uint64_t out = 0;
+  ProcTask a = read_twice_sum(Cell{0}, Cell{1}, &out);
+  a.start();
+  ProcTask b = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): contract check
+  ASSERT_TRUE(b.valid());
+  b.resume(1);
+  b.resume(2);
+  EXPECT_EQ(out, 3u);
+}
+
+TEST(ProcTask, ResumeAfterDoneRejected) {
+  std::uint64_t out = 0;
+  ProcTask t = read_twice_sum(Cell{0}, Cell{1}, &out);
+  t.start();
+  t.resume(0);
+  t.resume(0);
+  t.resume(0);  // completes the write
+  EXPECT_TRUE(t.done());
+  EXPECT_THROW(t.resume(0), InvariantViolation);
+}
+
+TEST(ProcTask, DestructionMidSuspensionIsSafe) {
+  std::uint64_t out = 0;
+  {
+    ProcTask t = read_twice_sum(Cell{0}, Cell{1}, &out);
+    t.start();
+    // destroyed while suspended on the first read
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace omega

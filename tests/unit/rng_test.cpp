@@ -1,0 +1,144 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace omega {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next_u64(), b.next_u64()) << "diverged at i=" << i;
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.next_u64());
+  EXPECT_GT(seen.size(), 95u);  // not stuck
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(-3, 9);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform(5, 5), 5);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng r(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform(3, 2), InvariantViolation);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, Uniform01MeanIsCentered) {
+  Rng r(17);
+  double sum = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += r.uniform01();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng r(23);
+  int hits = 0;
+  const int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, HeavyTailWithinBounds) {
+  Rng r(29);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.heavy_tail(1, 500, 0.3);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 500);
+  }
+}
+
+TEST(Rng, HeavyTailProducesTail) {
+  Rng r(31);
+  std::int64_t max_seen = 0;
+  for (int i = 0; i < 10000; ++i) {
+    max_seen = std::max(max_seen, r.heavy_tail(1, 500, 0.5));
+  }
+  EXPECT_GE(max_seen, 100);  // escalations do occur
+}
+
+TEST(Rng, ForkIsDeterministicAndPure) {
+  Rng base(99);
+  Rng f1 = base.fork(1);
+  Rng f1_again = Rng(99).fork(1);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_EQ(f1.next_u64(), f1_again.next_u64());
+  }
+  // Forking does not perturb the parent stream.
+  Rng a(99), b(99);
+  (void)a.fork(123);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ForkStreamsDecorrelated) {
+  Rng base(99);
+  Rng f1 = base.fork(1);
+  Rng f2 = base.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (f1.next_u64() == f2.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Splitmix, KnownSequenceIsStable) {
+  // Pin the seeding path: identical binaries on any platform must produce
+  // identical runs (reproducibility contract of the whole harness).
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  ASSERT_EQ(first, 0xE220A8397B1DCDAFULL);
+}
+
+}  // namespace
+}  // namespace omega

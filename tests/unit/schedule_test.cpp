@@ -1,0 +1,118 @@
+// Schedule model tests: AWB1 is "the timely process's inter-step delays are
+// bounded by delta after GST"; everything else may be arbitrary.
+#include "sim/schedule.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+TEST(SynchronousSchedule, UnitDelays) {
+  auto s = make_synchronous_schedule();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(s->next_step_delay(0, i, rng), 1);
+    EXPECT_EQ(s->next_step_delay(7, i, rng), 1);
+  }
+}
+
+TEST(AwbSchedule, TimelyProcessBoundedAfterGst) {
+  const SimTime gst = 1000;
+  const SimDuration delta = 8;
+  auto s = make_awb_schedule(4, /*timely=*/2, gst, delta);
+  Rng rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    const auto d = s->next_step_delay(2, gst + i, rng);
+    ASSERT_GE(d, 1);
+    ASSERT_LE(d, delta) << "AWB1 violated for the timely process";
+  }
+}
+
+TEST(AwbSchedule, OthersUnboundedByDelta) {
+  const SimTime gst = 1000;
+  const SimDuration delta = 8;
+  auto s = make_awb_schedule(4, 2, gst, delta);
+  Rng rng(3);
+  SimDuration max_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    max_seen = std::max(max_seen, s->next_step_delay(0, gst + i, rng));
+  }
+  EXPECT_GT(max_seen, delta) << "non-timely process should exceed delta";
+}
+
+TEST(AwbSchedule, PreGstHasPauses) {
+  auto s = make_awb_schedule(4, 0, /*gst=*/100000, 8);
+  Rng rng(4);
+  SimDuration max_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    max_seen = std::max(max_seen, s->next_step_delay(0, 0, rng));
+  }
+  EXPECT_GT(max_seen, 8) << "pre-GST chaos should include long pauses";
+}
+
+TEST(AwbSchedule, RejectsBadTimely) {
+  EXPECT_THROW(make_awb_schedule(4, 9, 0, 8), InvariantViolation);
+}
+
+TEST(EsSchedule, EveryoneBoundedAfterGst) {
+  const SimTime gst = 500;
+  const SimDuration bound = 6;
+  auto s = make_es_schedule(5, gst, bound);
+  Rng rng(5);
+  for (ProcessId p = 0; p < 5; ++p) {
+    for (int i = 0; i < 500; ++i) {
+      const auto d = s->next_step_delay(p, gst + i, rng);
+      ASSERT_GE(d, 1);
+      ASSERT_LE(d, bound);
+    }
+  }
+}
+
+TEST(AdversarialAwbSchedule, EscalatingZeroDelayBursts) {
+  auto s = make_adversarial_awb_schedule(3, /*timely=*/0, /*gst=*/0,
+                                         /*delta=*/8, /*pause=*/64,
+                                         /*initial_burst=*/4);
+  Rng rng(6);
+  // Process 1 (escalating): expect runs of zero delays separated by pauses,
+  // with run lengths growing by the initial burst length each cycle.
+  std::vector<std::uint64_t> burst_lengths;
+  std::uint64_t current = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const auto d = s->next_step_delay(1, 10 + i, rng);
+    if (d == 0) {
+      ++current;
+    } else if (current > 0) {
+      burst_lengths.push_back(current);
+      current = 0;
+    }
+  }
+  ASSERT_GE(burst_lengths.size(), 3u);
+  EXPECT_EQ(burst_lengths[0], 4u);
+  EXPECT_EQ(burst_lengths[1], 8u);
+  EXPECT_EQ(burst_lengths[2], 12u);
+}
+
+TEST(AdversarialAwbSchedule, TimelyProcessStillTimely) {
+  auto s = make_adversarial_awb_schedule(3, 0, 0, 8, 64, 4);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto d = s->next_step_delay(0, i, rng);
+    ASSERT_GE(d, 1);
+    ASSERT_LE(d, 8);
+  }
+}
+
+TEST(ProfileSchedule, DescribeRoundtrip) {
+  auto s = make_awb_schedule(4, 1, 100, 8);
+  EXPECT_NE(s->describe().find("awb"), std::string::npos);
+  EXPECT_NE(s->describe().find("p1"), std::string::npos);
+}
+
+TEST(ProfileSchedule, BadPidRejected) {
+  auto s = make_es_schedule(3, 100, 4);
+  Rng rng(8);
+  EXPECT_THROW(s->next_step_delay(3, 0, rng), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,128 @@
+#include "common/stats.h"
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace omega {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, SingleSample) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(OnlineStats, KnownMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, NegativeValues) {
+  OnlineStats s;
+  s.add(-10.0);
+  s.add(10.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.min(), -10.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double v = std::sin(i) * 10;
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(OnlineStats, MergeWithEmpty) {
+  OnlineStats a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 3.0);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(percentile({}, 0.5), 0.0);
+  EXPECT_EQ(percentile({7.0}, 0.99), 7.0);
+}
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  std::vector<double> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 2.5);
+}
+
+TEST(Percentile, RejectsBadQuantile) {
+  EXPECT_THROW(percentile({1.0}, 1.5), InvariantViolation);
+}
+
+TEST(LogHistogram, BucketsByPowersOfTwo) {
+  LogHistogram h;
+  h.add(0);
+  h.add(1);
+  h.add(2);
+  h.add(3);
+  h.add(4);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket_count(0), 1u);  // {0}
+  EXPECT_EQ(h.bucket_count(1), 1u);  // [1,2)
+  EXPECT_EQ(h.bucket_count(2), 2u);  // [2,4)
+  EXPECT_EQ(h.bucket_count(3), 1u);  // [4,8)
+}
+
+TEST(LogHistogram, LargeValuesClampToLastBucket) {
+  LogHistogram h(8);
+  h.add(~std::uint64_t{0});
+  EXPECT_EQ(h.bucket_count(7), 1u);
+}
+
+TEST(LogHistogram, ApproxQuantile) {
+  LogHistogram h;
+  for (int i = 0; i < 90; ++i) h.add(1);   // bucket [1,2)
+  for (int i = 0; i < 10; ++i) h.add(100); // bucket [64,128)
+  EXPECT_LE(h.approx_quantile(0.5), 2u);
+  EXPECT_GE(h.approx_quantile(0.99), 100u);
+}
+
+TEST(LogHistogram, RenderShowsNonEmptyBuckets) {
+  LogHistogram h;
+  h.add(3);
+  const std::string r = h.render();
+  EXPECT_NE(r.find("[2, 4)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omega

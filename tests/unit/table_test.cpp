@@ -1,0 +1,64 @@
+#include "common/table.h"
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+TEST(AsciiTable, AlignsColumns) {
+  AsciiTable t({"algo", "n", "converged"});
+  t.add_row({"fig2", "8", "yes"});
+  t.add_row({"fig5-bounded", "32", "yes"});
+  const std::string out = t.render();
+  // Every row has the same rendered width.
+  std::size_t first_len = out.find('\n');
+  std::size_t pos = 0;
+  int lines = 0;
+  while (pos < out.size()) {
+    const auto next = out.find('\n', pos);
+    EXPECT_EQ(next - pos, first_len) << "line " << lines;
+    pos = next + 1;
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // header + rule + 2 rows
+}
+
+TEST(AsciiTable, ShortRowsPadded) {
+  AsciiTable t({"a", "b"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_NE(t.render().find("x"), std::string::npos);
+}
+
+TEST(AsciiTable, RejectsOverlongRow) {
+  AsciiTable t({"a"});
+  EXPECT_THROW(t.add_row({"1", "2"}), InvariantViolation);
+}
+
+TEST(AsciiTable, RejectsEmptyHeader) {
+  EXPECT_THROW(AsciiTable({}), InvariantViolation);
+}
+
+TEST(FmtDouble, Digits) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(2.0, 0), "2");
+}
+
+TEST(FmtCount, ThousandSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1234567), "1,234,567");
+  EXPECT_EQ(fmt_count(12), "12");
+}
+
+TEST(Banner, ContainsTitleAndLines) {
+  const std::string b = banner("E2 convergence", {"paper: Thm 1"});
+  EXPECT_NE(b.find("E2 convergence"), std::string::npos);
+  EXPECT_NE(b.find("paper: Thm 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,102 @@
+// AWB2 semantics tests: the defining property of an asymptotically
+// well-behaved timer is that after some point its duration dominates a
+// diverging function of the timeout parameter (paper §2.3, conditions f1-f3).
+#include "sim/timer_model.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+TEST(PerfectTimer, LinearInParameter) {
+  auto t = make_perfect_timer(8);
+  Rng rng(1);
+  EXPECT_EQ(t->duration(0, 1, rng), 8);
+  EXPECT_EQ(t->duration(1000, 5, rng), 40);
+  EXPECT_TRUE(t->satisfies_awb2());
+}
+
+TEST(PerfectTimer, MinimumOneTick) {
+  auto t = make_perfect_timer(1);
+  Rng rng(1);
+  EXPECT_GE(t->duration(0, 0, rng), 1);
+}
+
+TEST(ChaoticPrefixTimer, ArbitraryBeforeThreshold) {
+  auto t = make_chaotic_prefix_timer(/*chaos_until=*/1000, /*unit=*/10,
+                                     /*chaos_max=*/5);
+  Rng rng(2);
+  // During chaos, durations ignore x entirely (can be far below x*unit).
+  bool saw_below = false;
+  for (int i = 0; i < 200; ++i) {
+    const auto d = t->duration(500, /*x=*/1000, rng);
+    ASSERT_GE(d, 1);
+    ASSERT_LE(d, 5);
+    saw_below = saw_below || d < 1000 * 10;
+  }
+  EXPECT_TRUE(saw_below);
+}
+
+TEST(ChaoticPrefixTimer, DominatesAfterThreshold) {
+  auto t = make_chaotic_prefix_timer(1000, 10, 5);
+  Rng rng(3);
+  for (std::uint64_t x = 1; x < 100; x *= 3) {
+    EXPECT_GE(t->duration(1000, x, rng), static_cast<SimDuration>(10 * x));
+  }
+  EXPECT_TRUE(t->satisfies_awb2());
+}
+
+TEST(NonMonotoneTimer, AlwaysDominatesBase) {
+  auto t = make_nonmonotone_timer(/*unit=*/4, /*jitter=*/2.0);
+  Rng rng(4);
+  for (std::uint64_t x = 1; x <= 64; x *= 2) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_GE(t->duration(i, x, rng), static_cast<SimDuration>(4 * x));
+    }
+  }
+}
+
+TEST(NonMonotoneTimer, IsActuallyNonMonotone) {
+  // A later arming with a larger x can expire sooner than an earlier arming
+  // with smaller x — allowed by AWB2 (T_R only has to dominate f_R, not be
+  // monotone; paper Figure 1).
+  auto t = make_nonmonotone_timer(4, 2.0);
+  Rng rng(5);
+  bool inversion = false;
+  SimDuration prev = 0;
+  for (int i = 0; i < 200 && !inversion; ++i) {
+    const auto d_small = t->duration(i, 8, rng);
+    const auto d_large = t->duration(i + 1, 9, rng);
+    if (prev != 0 && d_large < d_small) inversion = true;
+    prev = d_small;
+  }
+  EXPECT_TRUE(inversion);
+}
+
+TEST(SubDominatingTimer, CapsAndViolatesAwb2) {
+  auto t = make_subdominating_timer(/*unit=*/10, /*cap=*/3);
+  Rng rng(6);
+  EXPECT_EQ(t->duration(0, 2, rng), 20);
+  EXPECT_EQ(t->duration(0, 1000, rng), 30);     // capped: never grows past 30
+  EXPECT_EQ(t->duration(0, 1u << 30, rng), 30); // condition f2 fails
+  EXPECT_FALSE(t->satisfies_awb2());
+}
+
+TEST(TimerModels, DescribeNonEmpty) {
+  Rng rng(7);
+  for (auto& t :
+       {make_perfect_timer(1), make_chaotic_prefix_timer(10, 1, 5),
+        make_nonmonotone_timer(1, 0.5), make_subdominating_timer(1, 2)}) {
+    EXPECT_FALSE(t->describe().empty());
+  }
+}
+
+TEST(TimerModels, RejectBadParameters) {
+  EXPECT_THROW(make_perfect_timer(0), InvariantViolation);
+  EXPECT_THROW(make_chaotic_prefix_timer(0, 0, 1), InvariantViolation);
+  EXPECT_THROW(make_nonmonotone_timer(1, -1.0), InvariantViolation);
+  EXPECT_THROW(make_subdominating_timer(1, 0), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace omega

@@ -1,0 +1,103 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+namespace omega {
+namespace {
+
+TEST(TraceLog, RecordsAndCounts) {
+  TraceLog log;
+  log.record({10, TraceEventKind::kLeaderChange, 0, kNoProcess, 1, 2});
+  log.record({20, TraceEventKind::kSuspicion, 1, 2, 3, 0});
+  log.record({30, TraceEventKind::kSuspicion, 1, 3, 1, 0});
+  EXPECT_EQ(log.events().size(), 3u);
+  EXPECT_EQ(log.count(TraceEventKind::kSuspicion), 2u);
+  EXPECT_EQ(log.count(TraceEventKind::kLeaderChange), 1u);
+  EXPECT_EQ(log.of_kind(TraceEventKind::kSuspicion).size(), 2u);
+}
+
+TEST(TraceLog, CapacityEvictsOldestButKeepsCounting) {
+  TraceLog log(16);
+  for (int i = 0; i < 100; ++i) {
+    log.record({i, TraceEventKind::kTimerArmed, 0, kNoProcess, 1, 1});
+  }
+  EXPECT_LE(log.events().size(), 16u);
+  EXPECT_EQ(log.count(TraceEventKind::kTimerArmed), 100u);
+  EXPECT_GT(log.dropped(), 0u);
+  // The retained suffix is the most recent events, in order.
+  EXPECT_EQ(log.events().back().when, 99);
+  for (std::size_t i = 1; i < log.events().size(); ++i) {
+    EXPECT_LT(log.events()[i - 1].when, log.events()[i].when);
+  }
+}
+
+TEST(TraceEvent, Describe) {
+  const TraceEvent lc{15, TraceEventKind::kLeaderChange, 3, kNoProcess, 2, 0};
+  EXPECT_EQ(lc.describe(), "t=15  p3 leader p2 -> p0");
+  const TraceEvent sus{7, TraceEventKind::kSuspicion, 1, 4, 9, 0};
+  EXPECT_EQ(sus.describe(), "t=7  p1 suspects p4 (count 9)");
+  const TraceEvent crash{3, TraceEventKind::kHalt, 2, kNoProcess, 1, 0};
+  EXPECT_EQ(crash.describe(), "t=3  p2 CRASHES");
+  const TraceEvent pause{3, TraceEventKind::kHalt, 2, kNoProcess, 0, 0};
+  EXPECT_EQ(pause.describe(), "t=3  p2 pauses forever");
+}
+
+TEST(TraceLog, RenderShowsTail) {
+  TraceLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.record({i, TraceEventKind::kTimerArmed, 0, kNoProcess, 1, 8});
+  }
+  const std::string out = log.render(3);
+  EXPECT_NE(out.find("t=9"), std::string::npos);
+  EXPECT_EQ(out.find("t=0 "), std::string::npos);
+  EXPECT_NE(out.find("earlier events"), std::string::npos);
+}
+
+TEST(SuspicionTracer, ExtractsSubjectFromMatrix) {
+  LayoutBuilder b;
+  const GroupId susp = b.add_matrix("SUSPICIONS", 4, 4,
+                                    OwnerRule::kRowOwner, false);
+  const GroupId other = b.add_array("PROGRESS", 4, OwnerRule::kRowOwner, true);
+  const Layout layout = b.build();
+  TraceLog log;
+  SuspicionTracer tracer(layout, log);
+  tracer.on_access({1, layout.cell(susp, 1, 3), 5, 100, true});
+  tracer.on_access({1, layout.cell(susp, 1, 3), 5, 100, false});  // read: no
+  tracer.on_access({1, layout.cell(other, 1), 5, 100, true});     // other: no
+  ASSERT_EQ(log.events().size(), 1u);
+  EXPECT_EQ(log.events()[0].actor, 1u);
+  EXPECT_EQ(log.events()[0].subject, 3u);
+  EXPECT_EQ(log.events()[0].a, 5u);
+}
+
+TEST(SuspicionTracer, HandlesNwnrVector) {
+  LayoutBuilder b;
+  const GroupId susp = b.add_array("SUSPICIONS_V", 4, OwnerRule::kAny, false);
+  const Layout layout = b.build();
+  TraceLog log;
+  SuspicionTracer tracer(layout, log);
+  tracer.on_access({0, layout.cell(susp, 2), 1, 5, true});
+  ASSERT_EQ(log.events().size(), 1u);
+  EXPECT_EQ(log.events()[0].subject, 2u);
+}
+
+class CountingObserver final : public AccessObserver {
+ public:
+  void on_access(const AccessEvent&) override { ++count; }
+  int count = 0;
+};
+
+TEST(ObserverFanout, ForwardsToAll) {
+  ObserverFanout fan;
+  CountingObserver a, b;
+  fan.add(&a);
+  fan.add(&b);
+  fan.on_access({0, Cell{0}, 0, 0, true});
+  fan.on_access({0, Cell{0}, 0, 0, false});
+  EXPECT_EQ(a.count, 2);
+  EXPECT_EQ(b.count, 2);
+  EXPECT_THROW(fan.add(nullptr), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace omega
