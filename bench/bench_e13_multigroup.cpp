@@ -1,0 +1,149 @@
+// E13 — beyond the paper: the multi-group leader service (src/svc).
+//
+// The paper builds one Ω instance; a production leader service (a lease
+// table à la Chubby/etcd) runs thousands of independent instances and
+// answers "who leads group G?" from a cache. This experiment sweeps
+// groups × workers over the sharded worker-pool runtime and checks the two
+// claims that make the subsystem useful:
+//
+//   1. scale-out — ≥ 1000 concurrent election groups (n=3 each) on a pool
+//      of ≤ 8 workers all elect a correct leader after their GST (here:
+//      after start, since no process crashes);
+//   2. cheap reads — cached leader() queries are answered off the election
+//      hot path; we report steps/sec of the pool and query p50/p99.
+#include <algorithm>
+#include <chrono>
+
+#include "common/rng.h"
+#include "harness.h"
+#include "svc/multigroup_service.h"
+
+namespace {
+
+std::int64_t wall_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace omega;
+  using namespace omega::bench;
+  using namespace omega::svc;
+
+  std::cout << banner(
+      "E13: multi-group leader service (sharded worker pool, svc/)",
+      {"workload: G independent fig2 groups (n=3) on a W-worker pool",
+       "measure : convergence of every group, pool steps/sec, cached",
+       "          leader() query latency p50/p99"});
+
+  Verdict verdict;
+  AsciiTable table({"groups", "workers", "converged", "conv wall ms",
+                    "steps/sec", "queries/sec", "q p50 ns", "q p99 ns"});
+
+  struct Row {
+    std::uint32_t groups;
+    std::uint32_t workers;
+  };
+  // The acceptance row is last: 1000 groups (3000 processes, 9000+
+  // registers each in their own cache-padded arrays) on an 8-worker pool.
+  const Row rows[] = {{64, 1}, {256, 2}, {1000, 4}, {1000, 8}};
+
+  for (const Row& row : rows) {
+    SvcConfig cfg;
+    cfg.workers = row.workers;
+    cfg.tick_us = 500;
+    cfg.wheel_slot_us = 256;
+    cfg.wheel_slots = 256;
+    cfg.ops_per_sweep = 8;
+    cfg.pace_us = 0;  // free-running: this is the throughput measurement
+
+    MultiGroupLeaderService service(cfg);
+    for (svc::GroupId gid = 0; gid < row.groups; ++gid) service.add_group(gid);
+    service.start();
+
+    // --- convergence: every group must reach an agreed live leader. -----
+    const std::int64_t t0_ns = wall_ns();
+    std::uint32_t converged = 0;
+    for (svc::GroupId gid = 0; gid < row.groups; ++gid) {
+      if (service.await_leader(gid, /*timeout_us=*/120000000) != kNoProcess) {
+        ++converged;
+      }
+    }
+    const double conv_ms =
+        static_cast<double>(wall_ns() - t0_ns) / 1e6;
+
+    // "Correct" with no crashes: a live leader that every process of the
+    // group names unanimously, served consistently by the cache.
+    std::uint32_t correct = 0;
+    for (svc::GroupId gid = 0; gid < row.groups; ++gid) {
+      const GroupStatus st = service.status(gid);
+      bool ok = st.view.leader != kNoProcess && st.view.leader < 3 &&
+                !st.failed && st.view.epoch >= 1;
+      for (std::size_t p = 0; ok && p < st.local_views.size(); ++p) {
+        ok = st.local_views[p] == st.view.leader && !st.crashed[p];
+      }
+      if (ok) ++correct;
+    }
+
+    // --- steps/sec of the pool while it keeps the fleet elected. --------
+    const SvcStats s0 = service.stats();
+    const std::int64_t m0_ns = wall_ns();
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    const SvcStats s1 = service.stats();
+    const double steps_per_sec =
+        static_cast<double>(s1.steps - s0.steps) /
+        (static_cast<double>(wall_ns() - m0_ns) / 1e9);
+
+    // --- cached query latency under live election traffic. --------------
+    constexpr std::uint32_t kQueries = 50000;
+    std::vector<std::int64_t> lat_ns;
+    lat_ns.reserve(kQueries);
+    Rng rng(2024);
+    std::uint64_t bad_answers = 0;
+    const std::int64_t q0_ns = wall_ns();
+    for (std::uint32_t q = 0; q < kQueries; ++q) {
+      const svc::GroupId gid = static_cast<svc::GroupId>(
+          rng.uniform(0, static_cast<std::int64_t>(row.groups) - 1));
+      const std::int64_t a = wall_ns();
+      const LeaderView v = service.leader(gid);
+      const std::int64_t b = wall_ns();
+      lat_ns.push_back(b - a);
+      if (v.leader == kNoProcess || v.leader >= 3) ++bad_answers;
+    }
+    const double queries_per_sec =
+        static_cast<double>(kQueries) /
+        (static_cast<double>(wall_ns() - q0_ns) / 1e9);
+    std::sort(lat_ns.begin(), lat_ns.end());
+    const std::int64_t p50 = lat_ns[lat_ns.size() / 2];
+    const std::int64_t p99 = lat_ns[lat_ns.size() * 99 / 100];
+
+    service.stop();
+
+    table.add_row({fmt_count(row.groups), std::to_string(row.workers),
+                   fmt_count(converged) + "/" + fmt_count(row.groups),
+                   fmt_double(conv_ms, 1), fmt_count(static_cast<std::uint64_t>(
+                                               steps_per_sec)),
+                   fmt_count(static_cast<std::uint64_t>(queries_per_sec)),
+                   fmt_count(static_cast<std::uint64_t>(p50)),
+                   fmt_count(static_cast<std::uint64_t>(p99))});
+
+    const std::string label = std::to_string(row.groups) + "g/" +
+                              std::to_string(row.workers) + "w";
+    verdict.expect(converged == row.groups,
+                   label + ": every group must converge");
+    verdict.expect(correct == row.groups,
+                   label + ": every group must agree on a correct live leader");
+    verdict.expect(bad_answers == 0,
+                   label + ": cached queries must serve a live leader");
+    verdict.expect(!service.failed(), label + ": no task may throw — " +
+                                      service.failure_message());
+  }
+
+  std::cout << table.render() << '\n';
+  return verdict.finish(
+      "1000+ election groups share a <=8-worker pool, every group elects a "
+      "correct leader, and cached leader() queries stay off the hot path");
+}

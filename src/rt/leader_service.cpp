@@ -1,6 +1,17 @@
 #include "rt/leader_service.h"
 
+#include "svc/multigroup_service.h"
+
 namespace omega {
+
+std::unique_ptr<svc::MultiGroupLeaderService> LeaderService::make_fleet(
+    const svc::SvcConfig& config) {
+  return std::make_unique<svc::MultiGroupLeaderService>(config);
+}
+
+std::unique_ptr<svc::MultiGroupLeaderService> LeaderService::make_fleet() {
+  return make_fleet(svc::SvcConfig{});
+}
 
 LeaderService::LeaderService(RtConfig config, std::int64_t poll_us)
     : driver_(config), poll_us_(poll_us) {

@@ -16,11 +16,19 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "rt/rt_driver.h"
+
+namespace omega::svc {
+// Forward declarations: the fleet entry point hands off to src/svc without
+// making every single-group user compile the pooled runtime's headers.
+struct SvcConfig;
+class MultiGroupLeaderService;
+}  // namespace omega::svc
 
 namespace omega {
 
@@ -32,6 +40,17 @@ using LeadershipCallback = std::function<void(
 
 class LeaderService {
  public:
+  /// Multi-group entry point: when an application needs leaders for many
+  /// independent election groups (a lease table, per-partition locks, ...),
+  /// thread-per-process does not scale — delegate to the pooled runtime
+  /// (src/svc), which multiplexes every group onto a fixed worker pool and
+  /// serves leader() from an epoch-validated cache. Callers include
+  /// svc/multigroup_service.h to use the returned service.
+  static std::unique_ptr<svc::MultiGroupLeaderService> make_fleet(
+      const svc::SvcConfig& config);
+  /// Fleet with default configuration (see svc::SvcConfig).
+  static std::unique_ptr<svc::MultiGroupLeaderService> make_fleet();
+
   /// `poll_us` — watcher polling period for the agreed view.
   explicit LeaderService(RtConfig config, std::int64_t poll_us = 1000);
   ~LeaderService();

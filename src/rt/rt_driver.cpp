@@ -13,10 +13,12 @@ RtDriver::RtDriver(RtConfig config) : config_(config) {
                        return std::unique_ptr<MemoryBackend>(
                            std::make_unique<AtomicMemory>(std::move(layout), n));
                      });
-  threads_.reserve(config_.n);
+  execs_.reserve(config_.n);
   for (std::uint32_t i = 0; i < config_.n; ++i) {
-    threads_.push_back(std::make_unique<ProcThread>());
+    execs_.push_back(std::make_unique<ProcExecutor>(
+        *inst_.processes[i], *inst_.memory, config_.tick_us));
   }
+  threads_.resize(config_.n);
 }
 
 RtDriver::~RtDriver() { stop(); }
@@ -28,18 +30,14 @@ std::int64_t RtDriver::now_us() const {
 }
 
 void RtDriver::add_app_task(ProcessId pid, ProcTask task) {
-  OMEGA_CHECK(pid < threads_.size(), "bad pid " << pid);
+  OMEGA_CHECK(pid < execs_.size(), "bad pid " << pid);
   OMEGA_CHECK(!started_, "add_app_task after start()");
-  OMEGA_CHECK(task.valid(), "invalid app task");
-  task.start();
-  auto& t = *threads_[pid];
-  t.apps.push_back(std::move(task));
-  t.apps_left.fetch_add(1, std::memory_order_relaxed);
+  execs_[pid]->add_app_task(std::move(task));
 }
 
 bool RtDriver::apps_done() const {
-  for (const auto& t : threads_) {
-    if (t->apps_left.load(std::memory_order_acquire) > 0) return false;
+  for (const auto& ex : execs_) {
+    if (ex->apps_left() > 0) return false;
   }
   return true;
 }
@@ -51,7 +49,7 @@ void RtDriver::start() {
   // Timestamp instrumentation in microseconds since start.
   inst_.memory->set_clock([this] { return now_us(); });
   for (std::uint32_t i = 0; i < config_.n; ++i) {
-    threads_[i]->thread = std::thread([this, i] { run_process(i); });
+    threads_[i] = std::thread([this, i] { run_process(i); });
   }
 }
 
@@ -59,30 +57,23 @@ void RtDriver::stop() {
   if (!started_) return;
   stop_flag_.store(true, std::memory_order_release);
   for (auto& t : threads_) {
-    if (t->thread.joinable()) t->thread.join();
+    if (t.joinable()) t.join();
   }
 }
 
 void RtDriver::crash(ProcessId pid) {
-  OMEGA_CHECK(pid < threads_.size(), "bad pid " << pid);
-  threads_[pid]->crash_flag.store(true, std::memory_order_release);
+  OMEGA_CHECK(pid < execs_.size(), "bad pid " << pid);
+  execs_[pid]->crash();
 }
 
 ProcessId RtDriver::leader(ProcessId pid) const {
-  OMEGA_CHECK(pid < threads_.size(), "bad pid " << pid);
-  return threads_[pid]->last_leader.load(std::memory_order_acquire);
+  OMEGA_CHECK(pid < execs_.size(), "bad pid " << pid);
+  return execs_[pid]->last_leader();
 }
 
 RtProcessStatus RtDriver::status(ProcessId pid) const {
-  OMEGA_CHECK(pid < threads_.size(), "bad pid " << pid);
-  const auto& t = *threads_[pid];
-  RtProcessStatus s;
-  s.last_leader = t.last_leader.load(std::memory_order_acquire);
-  s.leader_queries = t.queries.load(std::memory_order_relaxed);
-  s.leader_changes = t.changes.load(std::memory_order_relaxed);
-  s.last_change_us = t.last_change_us.load(std::memory_order_relaxed);
-  s.crashed = t.crash_flag.load(std::memory_order_acquire);
-  return s;
+  OMEGA_CHECK(pid < execs_.size(), "bad pid " << pid);
+  return execs_[pid]->status();
 }
 
 std::string RtDriver::failure_message() const {
@@ -91,95 +82,9 @@ std::string RtDriver::failure_message() const {
 }
 
 void RtDriver::run_process(ProcessId pid) try {
-  OmegaProcess& proc = *inst_.processes[pid];
-  MemoryBackend& mem = *inst_.memory;
-  ProcThread& me = *threads_[pid];
-
-  ProcTask heartbeat = proc.task_heartbeat();
-  ProcTask monitor = proc.task_monitor();
-  heartbeat.start();
-  monitor.start();
-
-  auto deadline = std::chrono::steady_clock::time_point::min();
-  bool timer_armed = false;
-  auto arm_if_waiting = [&] {
-    if (monitor.pending() == OpKind::kWaitTimer && !timer_armed) {
-      const std::uint64_t x = proc.next_timeout();
-      deadline = std::chrono::steady_clock::now() +
-                 std::chrono::microseconds(
-                     static_cast<std::int64_t>(x) * config_.tick_us);
-      timer_armed = true;
-    }
-  };
-  arm_if_waiting();
-
-  // Executes the pending op of `task` directly against the atomic memory.
-  auto exec = [&](ProcTask& task) {
-    switch (task.pending()) {
-      case OpKind::kRead:
-        task.resume(mem.read(pid, task.pending_cell()));
-        return;
-      case OpKind::kWrite:
-        mem.write(pid, task.pending_cell(), task.pending_value());
-        task.resume(0);
-        return;
-      case OpKind::kLeaderQuery: {
-        const ProcessId out = proc.leader();
-        me.queries.fetch_add(1, std::memory_order_relaxed);
-        if (out != me.last_leader.load(std::memory_order_relaxed)) {
-          me.last_leader.store(out, std::memory_order_release);
-          me.changes.fetch_add(1, std::memory_order_relaxed);
-          me.last_change_us.store(now_us(), std::memory_order_relaxed);
-        }
-        task.resume(out);
-        return;
-      }
-      case OpKind::kYield:
-        task.resume(0);
-        return;
-      case OpKind::kWaitTimer:
-      case OpKind::kNone:
-      case OpKind::kDone:
-        break;
-    }
-    OMEGA_CHECK(false, "rt task of p" << pid << " has no executable op");
-  };
-
-  // Round-robin over [monitor, heartbeat, app tasks...], mirroring the
-  // simulator's per-process task rotation.
-  const std::size_t slots = 2 + me.apps.size();
-  std::size_t rr = 0;
-  while (!stop_flag_.load(std::memory_order_acquire) &&
-         !me.crash_flag.load(std::memory_order_acquire)) {
-    if (monitor.pending() == OpKind::kWaitTimer && timer_armed &&
-        std::chrono::steady_clock::now() >= deadline) {
-      timer_armed = false;
-      monitor.resume(0);
-      arm_if_waiting();
-    } else {
-      for (std::size_t probe = 0; probe < slots; ++probe) {
-        const std::size_t slot = (rr + probe) % slots;
-        if (slot == 0) {
-          const OpKind mk = monitor.pending();
-          const bool runnable = mk == OpKind::kRead || mk == OpKind::kWrite ||
-                                mk == OpKind::kYield;
-          if (!runnable) continue;
-          exec(monitor);
-          arm_if_waiting();
-        } else if (slot == 1) {
-          exec(heartbeat);
-        } else {
-          ProcTask& app = me.apps[slot - 2];
-          if (app.pending() == OpKind::kDone) continue;
-          exec(app);
-          if (app.pending() == OpKind::kDone) {
-            me.apps_left.fetch_sub(1, std::memory_order_acq_rel);
-          }
-        }
-        rr = slot + 1;
-        break;
-      }
-    }
+  ProcExecutor& ex = *execs_[pid];
+  while (!stop_flag_.load(std::memory_order_acquire) && !ex.crashed()) {
+    ex.step(now_us());
     if (config_.pace_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(config_.pace_us));
     }

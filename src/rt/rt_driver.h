@@ -4,6 +4,12 @@
 // interchangeable because algorithms only ever touch memory through their
 // suspended operations.
 //
+// The per-process stepping mechanics live in ProcExecutor (proc_executor.h,
+// the Executor seam); this driver is the thread-per-process implementation
+// of that seam — it gives each executor a dedicated thread. The pooled
+// implementation, which multiplexes thousands of groups onto a fixed worker
+// pool, is svc::WorkerPool.
+//
 // AWB in this runtime: the OS scheduler provides no hard bounds, but on a
 // live machine every thread keeps getting scheduled and the leader's
 // inter-write gaps are in practice bounded — AWB1 holds statistically, and
@@ -22,6 +28,7 @@
 
 #include "core/factory.h"
 #include "core/proc_task.h"
+#include "rt/proc_executor.h"
 
 namespace omega {
 
@@ -34,16 +41,6 @@ struct RtConfig {
   /// On machines with fewer cores than processes a small pace keeps every
   /// thread scheduled regularly.
   std::int64_t pace_us = 50;
-};
-
-/// Per-process externally visible state (all atomics: safe to poll from the
-/// control thread while the process thread runs).
-struct RtProcessStatus {
-  ProcessId last_leader = kNoProcess;
-  std::uint64_t leader_queries = 0;
-  std::uint64_t leader_changes = 0;
-  std::int64_t last_change_us = -1;
-  bool crashed = false;
 };
 
 class RtDriver {
@@ -95,22 +92,12 @@ class RtDriver {
   ProcessId await_stable_leader(std::int64_t hold_us, std::int64_t timeout_us);
 
  private:
-  struct ProcThread {
-    std::thread thread;
-    std::vector<ProcTask> apps;           ///< registered before start()
-    std::atomic<std::uint32_t> apps_left{0};
-    std::atomic<bool> crash_flag{false};
-    std::atomic<std::uint32_t> last_leader{kNoProcess};
-    std::atomic<std::uint64_t> queries{0};
-    std::atomic<std::uint64_t> changes{0};
-    std::atomic<std::int64_t> last_change_us{-1};
-  };
-
   void run_process(ProcessId pid);
 
   RtConfig config_;
   OmegaInstance inst_;
-  std::vector<std::unique_ptr<ProcThread>> threads_;
+  std::vector<std::unique_ptr<ProcExecutor>> execs_;
+  std::vector<std::thread> threads_;
   std::atomic<bool> stop_flag_{false};
   std::atomic<bool> failed_{false};
   mutable std::mutex failure_mutex_;

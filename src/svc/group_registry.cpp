@@ -1,0 +1,116 @@
+#include "svc/group_registry.h"
+
+#include "common/rng.h"
+#include "rt/atomic_memory.h"
+
+namespace omega::svc {
+
+Group::Group(GroupId id_, const GroupSpec& spec_, std::int64_t tick_us,
+             const std::function<SimTime()>& clock)
+    : id(id_), spec(spec_) {
+  OMEGA_CHECK(spec.n >= 1 && spec.n <= 64,
+              "group " << id << ": svc supports 1..64 processes, got "
+                       << spec.n);
+  inst = make_omega(spec.algo, spec.n, [](Layout layout, std::uint32_t n) {
+    return std::unique_ptr<MemoryBackend>(
+        std::make_unique<AtomicMemory>(std::move(layout), n));
+  });
+  if (clock) inst.memory->set_clock(clock);
+  execs.reserve(spec.n);
+  for (std::uint32_t i = 0; i < spec.n; ++i) {
+    execs.push_back(std::make_unique<ProcExecutor>(*inst.processes[i],
+                                                   *inst.memory, tick_us));
+  }
+}
+
+ProcessId Group::agreed() const {
+  ProcessId common = kNoProcess;
+  for (const auto& ex : execs) {
+    if (ex->crashed()) continue;
+    const ProcessId view = ex->last_leader();
+    if (view == kNoProcess) return kNoProcess;  // not sampled yet
+    if (common == kNoProcess) {
+      common = view;
+    } else if (common != view) {
+      return kNoProcess;  // disagreement
+    }
+  }
+  if (common == kNoProcess || common >= spec.n) return kNoProcess;
+  if (execs[common]->crashed()) return kNoProcess;  // stale view
+  return common;
+}
+
+GroupRegistry::GroupRegistry(std::uint32_t num_shards, std::int64_t tick_us,
+                             std::function<SimTime()> clock)
+    : shards_(num_shards), tick_us_(tick_us), clock_(std::move(clock)) {
+  OMEGA_CHECK(num_shards >= 1, "registry needs at least one shard");
+  OMEGA_CHECK(tick_us >= 1, "tick must be >= 1us");
+}
+
+std::uint32_t GroupRegistry::shard_of(GroupId gid) const noexcept {
+  // Application group ids are often sequential; spread them over shards
+  // with the shared splitmix64 step (common/rng.h) as a one-shot hash.
+  std::uint64_t state = gid;
+  return static_cast<std::uint32_t>(splitmix64(state) % shards_.size());
+}
+
+std::shared_ptr<Group> GroupRegistry::add(GroupId gid, const GroupSpec& spec) {
+  auto group = std::make_shared<Group>(gid, spec, tick_us_, clock_);
+  Shard& shard = shards_[shard_of(gid)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto [it, inserted] = shard.groups.emplace(gid, group);
+    (void)it;
+    OMEGA_CHECK(inserted, "duplicate group id " << gid);
+    shard.version.fetch_add(1, std::memory_order_release);
+  }
+  total_.fetch_add(1, std::memory_order_relaxed);
+  return group;
+}
+
+bool GroupRegistry::remove(GroupId gid) {
+  Shard& shard = shards_[shard_of(gid)];
+  std::shared_ptr<Group> victim;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.groups.find(gid);
+    if (it == shard.groups.end()) return false;
+    victim = it->second;
+    shard.groups.erase(it);
+    shard.version.fetch_add(1, std::memory_order_release);
+  }
+  victim->retired.store(true, std::memory_order_release);
+  total_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::shared_ptr<Group> GroupRegistry::find(GroupId gid) const {
+  const Shard& shard = shards_[shard_of(gid)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.groups.find(gid);
+  return it == shard.groups.end() ? nullptr : it->second;
+}
+
+std::size_t GroupRegistry::size() const {
+  return total_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t GroupRegistry::shard_version(std::uint32_t shard) const {
+  OMEGA_CHECK(shard < shards_.size(), "bad shard " << shard);
+  return shards_[shard].version.load(std::memory_order_acquire);
+}
+
+void GroupRegistry::snapshot_shard(
+    std::uint32_t shard, std::vector<std::shared_ptr<Group>>& out) const {
+  OMEGA_CHECK(shard < shards_.size(), "bad shard " << shard);
+  const Shard& s = shards_[shard];
+  out.clear();
+  std::lock_guard<std::mutex> lock(s.mu);
+  out.reserve(s.groups.size());
+  for (const auto& [gid, group] : s.groups) {
+    (void)gid;
+    out.push_back(group);
+  }
+}
+
+}  // namespace omega::svc

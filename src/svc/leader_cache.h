@@ -1,0 +1,48 @@
+// Epoch-validated leader cache entry. The query frontend answers leader()
+// from this single word; the owning shard worker republishes it whenever the
+// group's agreed view changes. Packing (epoch << 32 | leader) into one
+// atomic makes a read one uncontended load — queries never observe a torn
+// (leader, epoch) pair and never touch the election's registers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "svc/svc_types.h"
+
+namespace omega::svc {
+
+// Packing: the low byte holds the leader (group sizes are capped at 64
+// processes; 0xff encodes kNoProcess), the remaining 56 bits hold the
+// epoch. 2^56 view changes cannot be exhausted in practice, so the fencing
+// token never wraps back onto a previously issued value.
+class LeaderCacheEntry {
+ public:
+  /// Query-side: one acquire load.
+  LeaderView load() const {
+    const std::uint64_t p = packed_.load(std::memory_order_acquire);
+    const std::uint8_t raw = static_cast<std::uint8_t>(p & 0xffu);
+    return LeaderView{raw == kNoLeaderByte ? kNoProcess : ProcessId{raw},
+                      p >> 8};
+  }
+
+  /// Publisher-side (single writer: the group's shard worker). Bumps the
+  /// epoch iff the leader actually changed, so an unchanged view costs no
+  /// store and cached fencing tokens stay valid across quiet sweeps.
+  /// Returns true when a new epoch was published.
+  bool publish(ProcessId leader) {
+    const std::uint8_t raw =
+        leader == kNoProcess ? kNoLeaderByte : static_cast<std::uint8_t>(leader);
+    const std::uint64_t p = packed_.load(std::memory_order_relaxed);
+    if (static_cast<std::uint8_t>(p & 0xffu) == raw) return false;
+    const std::uint64_t epoch = (p >> 8) + 1;
+    packed_.store((epoch << 8) | raw, std::memory_order_release);
+    return true;
+  }
+
+ private:
+  static constexpr std::uint8_t kNoLeaderByte = 0xff;
+  std::atomic<std::uint64_t> packed_{kNoLeaderByte};  // epoch 0, no leader
+};
+
+}  // namespace omega::svc

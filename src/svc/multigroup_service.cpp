@@ -1,0 +1,71 @@
+#include "svc/multigroup_service.h"
+
+#include <thread>
+
+namespace omega::svc {
+
+MultiGroupLeaderService::MultiGroupLeaderService(SvcConfig cfg)
+    : cfg_(cfg),
+      registry_(cfg_.workers, cfg_.tick_us,
+                [this] { return pool_.now_us(); }),
+      pool_(registry_, cfg_) {}
+
+MultiGroupLeaderService::~MultiGroupLeaderService() { stop(); }
+
+void MultiGroupLeaderService::add_group(GroupId gid, const GroupSpec& spec) {
+  registry_.add(gid, spec);
+}
+
+bool MultiGroupLeaderService::remove_group(GroupId gid) {
+  return registry_.remove(gid);
+}
+
+void MultiGroupLeaderService::start() { pool_.start(); }
+
+void MultiGroupLeaderService::stop() { pool_.stop(); }
+
+std::shared_ptr<Group> MultiGroupLeaderService::find_checked(
+    GroupId gid) const {
+  auto group = registry_.find(gid);
+  OMEGA_CHECK(group != nullptr, "unknown group id " << gid);
+  return group;
+}
+
+LeaderView MultiGroupLeaderService::leader(GroupId gid) const {
+  return find_checked(gid)->cache.load();
+}
+
+void MultiGroupLeaderService::crash(GroupId gid, ProcessId pid) {
+  auto group = find_checked(gid);
+  OMEGA_CHECK(pid < group->spec.n,
+              "bad pid " << pid << " for group " << gid);
+  group->execs[pid]->crash();
+}
+
+GroupStatus MultiGroupLeaderService::status(GroupId gid) const {
+  auto group = find_checked(gid);
+  GroupStatus s;
+  s.view = group->cache.load();
+  s.local_views.reserve(group->spec.n);
+  s.crashed.reserve(group->spec.n);
+  for (const auto& ex : group->execs) {
+    s.local_views.push_back(ex->last_leader());
+    s.crashed.push_back(ex->crashed());
+  }
+  s.failed = group->failed.load(std::memory_order_acquire);
+  return s;
+}
+
+ProcessId MultiGroupLeaderService::await_leader(GroupId gid,
+                                               std::int64_t timeout_us) const {
+  auto group = find_checked(gid);
+  const std::int64_t deadline = pool_.now_us() + timeout_us;
+  for (;;) {
+    const LeaderView v = group->cache.load();
+    if (v.leader != kNoProcess) return v.leader;
+    if (pool_.now_us() >= deadline) return kNoProcess;
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+}
+
+}  // namespace omega::svc

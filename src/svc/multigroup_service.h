@@ -1,0 +1,86 @@
+// MultiGroupLeaderService: the facade of the src/svc subsystem. One object
+// serves leader elections for thousands of independent groups — the shape
+// of a production lease manager (à la Chubby/etcd lease tables), where each
+// lease/partition/lock-namespace runs its own Ω instance and clients only
+// ever ask "who leads group G right now?".
+//
+//   MultiGroupLeaderService svc;            // 4 workers by default
+//   for (auto gid : my_leases) svc.add_group(gid);
+//   svc.start();
+//   auto view = svc.leader(my_leases[0]);   // cached: one map lookup + load
+//
+// The answer carries an epoch that increments on every change of the
+// group's agreed view, so it doubles as a fencing token: an action guarded
+// by epoch E is safe to apply only while leader(gid).epoch == E.
+//
+// Single-group deployments keep the thread-per-process LeaderService
+// (rt/leader_service.h); that class delegates fleets to this one.
+#pragma once
+
+#include <memory>
+
+#include "svc/group_registry.h"
+#include "svc/worker_pool.h"
+
+namespace omega::svc {
+
+class MultiGroupLeaderService {
+ public:
+  explicit MultiGroupLeaderService(SvcConfig cfg = {});
+  ~MultiGroupLeaderService();
+
+  MultiGroupLeaderService(const MultiGroupLeaderService&) = delete;
+  MultiGroupLeaderService& operator=(const MultiGroupLeaderService&) = delete;
+
+  // --- registration (allowed before and while running) -------------------
+
+  /// Creates group `gid` (throws InvariantViolation on a duplicate id).
+  /// The group starts electing at the next sweep of its shard's worker.
+  void add_group(GroupId gid, const GroupSpec& spec = {});
+
+  /// Retires group `gid`; its worker drops it at the next sweep. Returns
+  /// false if the id is unknown.
+  bool remove_group(GroupId gid);
+
+  bool has_group(GroupId gid) const { return registry_.find(gid) != nullptr; }
+  std::size_t num_groups() const { return registry_.size(); }
+  std::uint32_t workers() const { return cfg_.workers; }
+  std::uint32_t shard_of(GroupId gid) const { return registry_.shard_of(gid); }
+
+  // --- lifecycle ---------------------------------------------------------
+
+  void start();
+  void stop();
+
+  // --- query frontend (hot path) -----------------------------------------
+
+  /// Cached leader view of group `gid`: one shard-map lookup plus one
+  /// atomic load — never touches the group's registers. Throws
+  /// InvariantViolation for an unknown id.
+  LeaderView leader(GroupId gid) const;
+
+  // --- control plane ------------------------------------------------------
+
+  /// Simulated crash of process `pid` in group `gid`.
+  void crash(GroupId gid, ProcessId pid);
+
+  GroupStatus status(GroupId gid) const;
+
+  /// Blocks until group `gid` has an agreed cached leader, or `timeout_us`
+  /// elapses. Returns the leader, or kNoProcess on timeout.
+  ProcessId await_leader(GroupId gid, std::int64_t timeout_us) const;
+
+  SvcStats stats() const { return pool_.stats(); }
+  std::int64_t now_us() const { return pool_.now_us(); }
+  bool failed() const noexcept { return pool_.failed(); }
+  std::string failure_message() const { return pool_.failure_message(); }
+
+ private:
+  std::shared_ptr<Group> find_checked(GroupId gid) const;
+
+  SvcConfig cfg_;
+  GroupRegistry registry_;
+  WorkerPool pool_;
+};
+
+}  // namespace omega::svc

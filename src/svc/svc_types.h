@@ -1,0 +1,74 @@
+// Shared vocabulary of the multi-group leader service (src/svc): a runtime
+// that multiplexes thousands of independent Ω election groups — one
+// per lock namespace, lease table, partition, ... — onto a fixed pool of
+// worker threads, and answers leader() queries from an epoch-validated
+// cache without touching the election hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/ids.h"
+#include "core/factory.h"
+
+namespace omega::svc {
+
+/// Application-chosen key of one election group (a lease id, a partition
+/// number, a hash of a lock namespace, ...). Groups are hash-sharded onto
+/// workers by this id.
+using GroupId = std::uint64_t;
+
+/// Per-group instantiation parameters.
+struct GroupSpec {
+  AlgoKind algo = AlgoKind::kWriteEfficient;
+  std::uint32_t n = 3;  ///< processes in this group's election
+};
+
+/// Service-wide tuning knobs.
+struct SvcConfig {
+  /// Worker threads; groups are sharded across them (shard = worker).
+  std::uint32_t workers = 4;
+  /// Microseconds per timeout unit for every group's monitor timer.
+  std::int64_t tick_us = 200;
+  /// Timer-wheel slot granularity; due wakeups are batched per slot.
+  std::int64_t wheel_slot_us = 256;
+  /// Timer-wheel slot count (one wheel per worker).
+  std::uint32_t wheel_slots = 256;
+  /// Heartbeat/app operation budget per process per sweep; caps how long a
+  /// single group can hold a worker before its shard-mates get CPU.
+  std::uint32_t ops_per_sweep = 8;
+  /// Optional sleep between sweeps (microseconds); 0 = free-running. On
+  /// boxes with fewer cores than workers a small pace keeps the query
+  /// frontend and control threads responsive.
+  std::int64_t pace_us = 0;
+};
+
+/// One answer from the query frontend. `epoch` increments every time the
+/// cached leader view of the group changes (including changes to "no
+/// agreement"), so lease holders can detect staleness with one compare:
+/// a fencing token obtained at epoch E is valid iff the current epoch is
+/// still E.
+struct LeaderView {
+  ProcessId leader = kNoProcess;  ///< kNoProcess while the group disagrees
+  std::uint64_t epoch = 0;
+
+  friend bool operator==(const LeaderView&, const LeaderView&) = default;
+};
+
+/// Point-in-time observation of one group (control-plane, not hot path).
+struct GroupStatus {
+  LeaderView view;
+  std::vector<ProcessId> local_views;  ///< each process's own leader estimate
+  std::vector<bool> crashed;           ///< per-process crash flags
+  bool failed = false;  ///< a task of this group threw (model violation)
+};
+
+/// Aggregate runtime counters across all workers.
+struct SvcStats {
+  std::uint64_t steps = 0;        ///< operations executed (all tasks)
+  std::uint64_t sweeps = 0;       ///< full shard passes
+  std::uint64_t timer_fires = 0;  ///< monitor wakeups delivered
+  std::uint64_t groups = 0;       ///< groups currently registered
+};
+
+}  // namespace omega::svc

@@ -1,0 +1,51 @@
+#include "svc/timer_wheel.h"
+
+#include <algorithm>
+
+namespace omega::svc {
+
+TimerWheel::TimerWheel(std::uint32_t slots, std::int64_t slot_us)
+    : slots_(slots), slot_us_(slot_us) {
+  OMEGA_CHECK(slots >= 2, "wheel needs at least 2 slots");
+  OMEGA_CHECK(slot_us >= 1, "wheel slot must be >= 1us");
+}
+
+void TimerWheel::insert(std::int64_t deadline_us, GroupId gid, ProcessId pid) {
+  // A deadline behind the cursor would land in a slot the cursor only
+  // reaches after a full revolution; clamp it into the cursor's slot so it
+  // fires on the next advance instead.
+  const std::int64_t at = std::max(deadline_us, cursor_us_);
+  slots_[slot_of(at)].push_back(Entry{deadline_us, gid, pid});
+  ++size_;
+}
+
+void TimerWheel::advance(std::int64_t now_us, std::vector<Due>& out) {
+  if (now_us < cursor_us_ || size_ == 0) {
+    cursor_us_ = std::max(cursor_us_, now_us);
+    return;
+  }
+  const std::int64_t nslots = static_cast<std::int64_t>(slots_.size());
+  const std::int64_t first = cursor_us_ / slot_us_;
+  const std::int64_t last = now_us / slot_us_;
+  // The cursor's own slot is re-visited on every advance (entries due later
+  // within the current slot must still fire); a jump beyond one revolution
+  // degenerates to a full sweep.
+  const std::int64_t visits = std::min(last - first + 1, nslots);
+  for (std::int64_t i = 0; i < visits; ++i) {
+    auto& bucket = slots_[static_cast<std::size_t>(
+        static_cast<std::uint64_t>(first + i) % slots_.size())];
+    for (std::size_t j = 0; j < bucket.size();) {
+      if (bucket[j].deadline_us <= now_us) {
+        out.push_back(Due{bucket[j].gid, bucket[j].pid});
+        bucket[j] = bucket.back();
+        bucket.pop_back();
+        --size_;
+      } else {
+        ++j;
+      }
+    }
+  }
+  cursor_us_ = now_us;
+}
+
+}  // namespace omega::svc

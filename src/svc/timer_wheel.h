@@ -1,0 +1,66 @@
+// Hashed timer wheel. Each worker owns one and files every armed monitor
+// timeout of its shard into it, so a sweep discovers all due wakeups by
+// walking only the slots the cursor passed — O(due) instead of O(groups) —
+// and delivers them as one batch.
+//
+// Single-threaded by design (per-worker, no locks). Entries whose deadline
+// lies more than one wheel revolution ahead stay in their slot and are
+// re-examined each pass of the cursor (the classic hashed-wheel overflow
+// rule); with monitor timeouts of a few ticks this is rare.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "svc/svc_types.h"
+
+namespace omega::svc {
+
+class TimerWheel {
+ public:
+  /// A due wakeup: process `pid` of group `gid`.
+  struct Due {
+    GroupId gid = 0;
+    ProcessId pid = 0;
+  };
+
+  /// `slots` buckets of `slot_us` microseconds each; the wheel spans
+  /// slots * slot_us before entries wrap onto the overflow rule.
+  TimerWheel(std::uint32_t slots, std::int64_t slot_us);
+
+  /// Files a wakeup for (gid, pid) at `deadline_us`. Deadlines already in
+  /// the past land in the cursor's current slot and fire on the next
+  /// advance.
+  void insert(std::int64_t deadline_us, GroupId gid, ProcessId pid);
+
+  /// Moves the cursor forward to `now_us`, appending every entry whose
+  /// deadline has passed to `out` (existing contents are preserved).
+  void advance(std::int64_t now_us, std::vector<Due>& out);
+
+  /// Entries currently filed (due-but-not-yet-advanced included).
+  std::size_t size() const noexcept { return size_; }
+
+  std::int64_t span_us() const noexcept {
+    return static_cast<std::int64_t>(slots_.size()) * slot_us_;
+  }
+
+ private:
+  struct Entry {
+    std::int64_t deadline_us = 0;
+    GroupId gid = 0;
+    ProcessId pid = 0;
+  };
+
+  std::size_t slot_of(std::int64_t deadline_us) const {
+    return static_cast<std::size_t>(
+        static_cast<std::uint64_t>(deadline_us / slot_us_) % slots_.size());
+  }
+
+  std::vector<std::vector<Entry>> slots_;
+  std::int64_t slot_us_;
+  std::int64_t cursor_us_ = 0;  ///< everything before this has been swept
+  std::size_t size_ = 0;
+};
+
+}  // namespace omega::svc

@@ -1,0 +1,160 @@
+#include "svc/worker_pool.h"
+
+#include <unordered_map>
+
+namespace omega::svc {
+
+WorkerPool::WorkerPool(GroupRegistry& registry, const SvcConfig& cfg)
+    : registry_(registry), cfg_(cfg) {
+  OMEGA_CHECK(cfg_.workers >= 1, "pool needs at least one worker");
+  OMEGA_CHECK(cfg_.workers == registry_.num_shards(),
+              "worker count " << cfg_.workers << " != shard count "
+                              << registry_.num_shards());
+  OMEGA_CHECK(cfg_.ops_per_sweep >= 1, "ops_per_sweep must be >= 1");
+  workers_.reserve(cfg_.workers);
+  for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+    workers_.push_back(
+        std::make_unique<Worker>(cfg_.wheel_slots, cfg_.wheel_slot_us));
+  }
+  // The clock starts at construction, not at start(): now_us() must be a
+  // consistent timebase even for await/stats calls that race start().
+  start_time_ = std::chrono::steady_clock::now();
+}
+
+WorkerPool::~WorkerPool() { stop(); }
+
+std::int64_t WorkerPool::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - start_time_)
+      .count();
+}
+
+void WorkerPool::start() {
+  OMEGA_CHECK(!started_, "start() called twice");
+  started_ = true;
+  for (std::uint32_t w = 0; w < cfg_.workers; ++w) {
+    workers_[w]->thread = std::thread([this, w] { run_worker(w); });
+  }
+}
+
+void WorkerPool::stop() {
+  if (!started_) return;
+  stop_flag_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+SvcStats WorkerPool::stats() const {
+  SvcStats s;
+  for (const auto& w : workers_) {
+    s.steps += w->steps.load(std::memory_order_relaxed);
+    s.sweeps += w->sweeps.load(std::memory_order_relaxed);
+    s.timer_fires += w->fires.load(std::memory_order_relaxed);
+  }
+  s.groups = registry_.size();
+  return s;
+}
+
+std::string WorkerPool::failure_message() const {
+  std::lock_guard<std::mutex> lock(failure_mutex_);
+  return failure_message_;
+}
+
+void WorkerPool::mark_failed(Group& group, const char* what) {
+  group.failed.store(true, std::memory_order_release);
+  std::lock_guard<std::mutex> lock(failure_mutex_);
+  if (!failed_.exchange(true, std::memory_order_acq_rel)) {
+    failure_message_ = what;
+  }
+}
+
+void WorkerPool::run_worker(std::uint32_t w) {
+  Worker& me = *workers_[w];
+  std::vector<TimerWheel::Due> due;
+  std::unordered_map<GroupId, Group*> index;
+  std::uint64_t steps_batch = 0;
+  std::uint64_t fires_batch = 0;
+
+  while (!stop_flag_.load(std::memory_order_acquire)) {
+    // 1. Refresh the working set if the shard membership changed.
+    const std::uint64_t version = registry_.shard_version(w);
+    if (!me.snapshotted || version != me.seen_version) {
+      me.seen_version = version;
+      me.snapshotted = true;
+      registry_.snapshot_shard(w, me.groups);
+      index.clear();
+      index.reserve(me.groups.size());
+      for (const auto& g : me.groups) index.emplace(g->id, g.get());
+    }
+
+    const std::int64_t now = now_us();
+
+    // 2. Batched monitor wakeups: one wheel advance delivers every due
+    // timer of the shard; each runs a full suspicion scan and re-arms.
+    due.clear();
+    me.wheel.advance(now, due);
+    for (const auto& d : due) {
+      const auto it = index.find(d.gid);
+      if (it == index.end()) continue;  // group removed since it was filed
+      Group& g = *it->second;
+      if (g.retired.load(std::memory_order_acquire) ||
+          g.failed.load(std::memory_order_acquire)) {
+        continue;
+      }
+      // A stale entry can name a group that was removed and re-added under
+      // the same id with fewer processes; its pid may be out of range.
+      if (d.pid >= g.spec.n) continue;
+      ProcExecutor& ex = *g.execs[d.pid];
+      try {
+        const std::uint32_t scan_cap = 4 * g.spec.n + 8;
+        const std::uint32_t ops = ex.drain_monitor(now, scan_cap);
+        if (ops > 0) {
+          ++fires_batch;
+          steps_batch += ops;
+        }
+        const std::int64_t deadline = ex.poll_timer(now);
+        if (deadline != kNoDeadline) me.wheel.insert(deadline, g.id, d.pid);
+      } catch (const std::exception& e) {
+        mark_failed(g, e.what());
+      }
+    }
+
+    // 3. Cooperative heartbeat/app stepping with a per-process budget,
+    // timer arming for freshly suspended monitors, and cache publication.
+    for (const auto& gp : me.groups) {
+      Group& g = *gp;
+      if (g.retired.load(std::memory_order_acquire) ||
+          g.failed.load(std::memory_order_acquire)) {
+        continue;
+      }
+      try {
+        for (std::uint32_t pid = 0; pid < g.spec.n; ++pid) {
+          ProcExecutor& ex = *g.execs[pid];
+          if (ex.crashed()) continue;
+          for (std::uint32_t k = 0; k < cfg_.ops_per_sweep; ++k) {
+            if (!ex.step_runnable(now)) break;
+            ++steps_batch;
+          }
+          const std::int64_t deadline = ex.poll_timer(now);
+          if (deadline != kNoDeadline) me.wheel.insert(deadline, g.id, pid);
+        }
+        g.cache.publish(g.agreed());
+      } catch (const std::exception& e) {
+        mark_failed(g, e.what());
+      }
+    }
+
+    me.steps.fetch_add(steps_batch, std::memory_order_relaxed);
+    me.fires.fetch_add(fires_batch, std::memory_order_relaxed);
+    steps_batch = 0;
+    fires_batch = 0;
+    me.sweeps.fetch_add(1, std::memory_order_relaxed);
+
+    if (cfg_.pace_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(cfg_.pace_us));
+    }
+  }
+}
+
+}  // namespace omega::svc

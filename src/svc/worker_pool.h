@@ -1,0 +1,87 @@
+// The pooled implementation of the Executor seam: N workers cooperatively
+// step every election group of their shard. Each worker owns one shard of
+// the GroupRegistry (shard = worker index), a private timer wheel, and a
+// snapshot of its shard's groups that it refreshes only when the shard's
+// version moves.
+//
+// One sweep of a worker:
+//   1. refresh the working set if the shard changed (add/remove);
+//   2. advance the timer wheel and deliver the whole batch of due monitor
+//      wakeups — each wakeup runs one complete suspicion scan
+//      (ProcExecutor::drain_monitor) and re-files the next timeout;
+//   3. round-robin the shard's groups, giving every live process a bounded
+//      budget of heartbeat/app operations, arming any timer the monitor
+//      re-suspended on, and republishing the group's cached leader view.
+//
+// Operations of different groups never touch shared state (each group has
+// its own registers), so workers need no locks on the stepping path.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/group_registry.h"
+#include "svc/timer_wheel.h"
+
+namespace omega::svc {
+
+class WorkerPool {
+ public:
+  WorkerPool(GroupRegistry& registry, const SvcConfig& cfg);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Launches the workers. May be called once.
+  void start();
+  /// Stops and joins all workers. Idempotent.
+  void stop();
+
+  /// Microseconds since start().
+  std::int64_t now_us() const;
+
+  SvcStats stats() const;
+
+  /// True iff any group's task threw (model violation); the first message
+  /// is kept for diagnosis. The failed group stops being stepped; other
+  /// groups are unaffected.
+  bool failed() const noexcept {
+    return failed_.load(std::memory_order_acquire);
+  }
+  std::string failure_message() const;
+
+ private:
+  struct Worker {
+    Worker(std::uint32_t slots, std::int64_t slot_us)
+        : wheel(slots, slot_us) {}
+    std::thread thread;
+    TimerWheel wheel;
+    std::vector<std::shared_ptr<Group>> groups;  ///< shard working set
+    std::uint64_t seen_version = 0;
+    bool snapshotted = false;
+    std::atomic<std::uint64_t> steps{0};
+    std::atomic<std::uint64_t> sweeps{0};
+    std::atomic<std::uint64_t> fires{0};
+  };
+
+  void run_worker(std::uint32_t w);
+  void mark_failed(Group& group, const char* what);
+
+  GroupRegistry& registry_;
+  SvcConfig cfg_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<bool> stop_flag_{false};
+  std::atomic<bool> failed_{false};
+  mutable std::mutex failure_mutex_;
+  std::string failure_message_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point start_time_{};
+};
+
+}  // namespace omega::svc

@@ -1,0 +1,210 @@
+// MultiGroupLeaderService: K independent election groups multiplexed onto a
+// small worker pool — every group must converge to a correct agreed leader,
+// the cached view must carry fail-over through epoch bumps, and membership
+// may churn while the pool runs.
+#include "svc/multigroup_service.h"
+
+#include <gtest/gtest.h>
+
+#include "rt/leader_service.h"
+
+namespace omega::svc {
+namespace {
+
+SvcConfig small_pool(std::uint32_t workers) {
+  SvcConfig cfg;
+  cfg.workers = workers;
+  cfg.tick_us = 500;
+  cfg.wheel_slot_us = 256;
+  cfg.wheel_slots = 128;
+  cfg.ops_per_sweep = 8;
+  // This box may have a single core: a tiny pace keeps the control thread
+  // and both workers scheduled regularly.
+  cfg.pace_us = 50;
+  return cfg;
+}
+
+constexpr std::int64_t kAwaitUs = 30000000;  // generous: single-core CI box
+
+/// Eventually, all live processes of `gid` report the same live leader as
+/// the cache. Retries: right after the first cached agreement a process may
+/// still flip its view once before the group settles (Ω is *eventually*
+/// accurate), so a single snapshot can transiently disagree.
+void expect_unanimous(const MultiGroupLeaderService& svc, GroupId gid) {
+  const std::int64_t deadline = svc.now_us() + kAwaitUs;
+  GroupStatus st = svc.status(gid);
+  for (;;) {
+    bool settled = st.view.leader != kNoProcess;
+    for (std::size_t p = 0; settled && p < st.local_views.size(); ++p) {
+      if (st.crashed[p]) continue;
+      settled = st.local_views[p] == st.view.leader;
+    }
+    if (settled || svc.now_us() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    st = svc.status(gid);
+  }
+  ASSERT_NE(st.view.leader, kNoProcess) << "group " << gid << " unsettled";
+  for (std::size_t p = 0; p < st.local_views.size(); ++p) {
+    if (st.crashed[p]) continue;
+    EXPECT_EQ(st.local_views[p], st.view.leader)
+        << "group " << gid << " p" << p << " disagrees with the cache";
+  }
+}
+
+TEST(MultiGroupService, ManyGroupsConvergeOnSmallPool) {
+  constexpr std::uint32_t kGroups = 24;
+  MultiGroupLeaderService svc(small_pool(2));
+  for (GroupId gid = 0; gid < kGroups; ++gid) svc.add_group(gid);
+  EXPECT_EQ(svc.num_groups(), kGroups);
+  svc.start();
+  for (GroupId gid = 0; gid < kGroups; ++gid) {
+    const ProcessId leader = svc.await_leader(gid, kAwaitUs);
+    ASSERT_NE(leader, kNoProcess) << "group " << gid << " never converged";
+    EXPECT_LT(leader, 3u);
+    expect_unanimous(svc, gid);
+    EXPECT_GE(svc.leader(gid).epoch, 1u)
+        << "agreement must have bumped the epoch at least once";
+  }
+  // Convergence can beat the first monitor timeout (heartbeat stepping is
+  // enough for warm-start agreement); monitors fire every tick forever, so
+  // wait for the wheel to deliver at least one wakeup before stopping.
+  const std::int64_t fires_deadline = svc.now_us() + kAwaitUs;
+  while (svc.stats().timer_fires == 0 && svc.now_us() < fires_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  svc.stop();
+  EXPECT_FALSE(svc.failed()) << svc.failure_message();
+  const SvcStats stats = svc.stats();
+  EXPECT_GT(stats.steps, 0u);
+  EXPECT_GT(stats.sweeps, 0u);
+  EXPECT_GT(stats.timer_fires, 0u) << "monitor wakeups must flow via wheel";
+}
+
+TEST(MultiGroupService, MixedAlgorithmsShareOnePool) {
+  MultiGroupLeaderService svc(small_pool(2));
+  svc.add_group(0, GroupSpec{AlgoKind::kWriteEfficient, 3});
+  svc.add_group(1, GroupSpec{AlgoKind::kBounded, 3});
+  svc.add_group(2, GroupSpec{AlgoKind::kStepClock, 2});
+  svc.start();
+  for (GroupId gid = 0; gid < 3; ++gid) {
+    const ProcessId leader = svc.await_leader(gid, kAwaitUs);
+    ASSERT_NE(leader, kNoProcess)
+        << "group " << gid << " (" << static_cast<int>(gid) << ") stuck";
+    expect_unanimous(svc, gid);
+  }
+  svc.stop();
+  EXPECT_FALSE(svc.failed()) << svc.failure_message();
+}
+
+TEST(MultiGroupService, CacheEpochInvalidationOnLeaderChange) {
+  MultiGroupLeaderService svc(small_pool(2));
+  for (GroupId gid = 0; gid < 4; ++gid) svc.add_group(gid);
+  svc.start();
+  for (GroupId gid = 0; gid < 4; ++gid) {
+    ASSERT_NE(svc.await_leader(gid, kAwaitUs), kNoProcess) << "group " << gid;
+  }
+
+  // Re-read until the view is agreed: the cache can transiently flip back
+  // to kNoProcess right after await_leader during early convergence.
+  const GroupId victim = 2;
+  LeaderView before = svc.leader(victim);
+  while (before.leader == kNoProcess) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    before = svc.leader(victim);
+  }
+  const LeaderView bystander_before = svc.leader(victim + 1);
+
+  svc.crash(victim, before.leader);
+
+  // The cached view must move off the crashed leader to a new live one,
+  // and every published change must bump the epoch (fencing invalidation).
+  const std::int64_t deadline = svc.now_us() + kAwaitUs;
+  LeaderView after = svc.leader(victim);
+  while ((after.leader == before.leader || after.leader == kNoProcess) &&
+         svc.now_us() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    after = svc.leader(victim);
+  }
+  ASSERT_NE(after.leader, kNoProcess) << "no fail-over within timeout";
+  EXPECT_NE(after.leader, before.leader);
+  EXPECT_GT(after.epoch, before.epoch)
+      << "a leader change must invalidate cached epochs";
+  expect_unanimous(svc, victim);
+
+  // Groups on other shards are isolated from the fail-over.
+  const LeaderView bystander_after = svc.leader(victim + 1);
+  EXPECT_EQ(bystander_after, bystander_before)
+      << "unrelated group's cached view must not churn";
+  svc.stop();
+  EXPECT_FALSE(svc.failed()) << svc.failure_message();
+}
+
+TEST(MultiGroupService, MembershipChurnWhileRunning) {
+  MultiGroupLeaderService svc(small_pool(2));
+  for (GroupId gid = 0; gid < 4; ++gid) svc.add_group(gid);
+  svc.start();
+  for (GroupId gid = 0; gid < 4; ++gid) {
+    ASSERT_NE(svc.await_leader(gid, kAwaitUs), kNoProcess);
+  }
+
+  // Live add: the new group is picked up by its shard's worker.
+  svc.add_group(100);
+  EXPECT_EQ(svc.num_groups(), 5u);
+  EXPECT_NE(svc.await_leader(100, kAwaitUs), kNoProcess)
+      << "group added while running never converged";
+
+  // Live remove: the id disappears from the frontend; the rest keep going.
+  EXPECT_TRUE(svc.remove_group(1));
+  EXPECT_FALSE(svc.has_group(1));
+  EXPECT_THROW(svc.leader(1), InvariantViolation);
+  EXPECT_FALSE(svc.remove_group(1));
+  EXPECT_EQ(svc.num_groups(), 4u);
+  EXPECT_NE(svc.await_leader(0, kAwaitUs), kNoProcess);
+  svc.stop();
+  EXPECT_FALSE(svc.failed()) << svc.failure_message();
+}
+
+TEST(MultiGroupService, ReuseIdWithFewerProcesses) {
+  // A removed id may be re-added with a smaller n while stale timer-wheel
+  // entries for the old (larger) group are still filed; they must be
+  // discarded, not dereference past the new group's executors.
+  MultiGroupLeaderService svc(small_pool(1));
+  svc.add_group(7, GroupSpec{AlgoKind::kWriteEfficient, 6});
+  svc.start();
+  ASSERT_NE(svc.await_leader(7, kAwaitUs), kNoProcess);  // timers armed
+  EXPECT_TRUE(svc.remove_group(7));
+  svc.add_group(7, GroupSpec{AlgoKind::kWriteEfficient, 2});
+  const ProcessId leader = svc.await_leader(7, kAwaitUs);
+  ASSERT_NE(leader, kNoProcess) << "re-added group never converged";
+  EXPECT_LT(leader, 2u);
+  svc.stop();
+  EXPECT_FALSE(svc.failed()) << svc.failure_message();
+}
+
+TEST(MultiGroupService, RejectsBadUsage) {
+  MultiGroupLeaderService svc(small_pool(1));
+  svc.add_group(1);
+  EXPECT_THROW(svc.add_group(1), InvariantViolation);
+  EXPECT_THROW(svc.leader(99), InvariantViolation);
+  EXPECT_THROW(svc.crash(1, 5), InvariantViolation);
+  EXPECT_THROW(svc.crash(99, 0), InvariantViolation);
+  EXPECT_THROW(MultiGroupLeaderService(SvcConfig{.workers = 0}),
+               InvariantViolation);
+}
+
+TEST(MultiGroupService, LeaderServiceDelegatesFleets) {
+  // rt/leader_service.h's fleet entry point hands multi-group work to svc.
+  auto fleet = LeaderService::make_fleet(small_pool(2));
+  ASSERT_NE(fleet, nullptr);
+  for (GroupId gid = 0; gid < 6; ++gid) fleet->add_group(gid);
+  fleet->start();
+  for (GroupId gid = 0; gid < 6; ++gid) {
+    EXPECT_NE(fleet->await_leader(gid, kAwaitUs), kNoProcess)
+        << "fleet group " << gid;
+  }
+  fleet->stop();
+  EXPECT_FALSE(fleet->failed()) << fleet->failure_message();
+}
+
+}  // namespace
+}  // namespace omega::svc

@@ -1,0 +1,167 @@
+// GroupRegistry: hash-shard assignment, add/remove/find lifecycle, shard
+// versioning for worker refreshes, and the epoch-validated cache entry.
+#include "svc/group_registry.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace omega::svc {
+namespace {
+
+TEST(ShardAssignment, DeterministicAndInRange) {
+  GroupRegistry reg(8, 100);
+  for (GroupId gid = 0; gid < 500; ++gid) {
+    const std::uint32_t s = reg.shard_of(gid);
+    EXPECT_LT(s, 8u);
+    EXPECT_EQ(s, reg.shard_of(gid)) << "shard must be stable for gid " << gid;
+  }
+}
+
+TEST(ShardAssignment, SequentialIdsSpreadAcrossShards) {
+  // Application group ids are typically sequential; the mixer must still
+  // spread them: with 512 ids on 8 shards every shard should get a share.
+  GroupRegistry reg(8, 100);
+  std::vector<std::uint32_t> per_shard(8, 0);
+  for (GroupId gid = 0; gid < 512; ++gid) ++per_shard[reg.shard_of(gid)];
+  for (std::uint32_t s = 0; s < 8; ++s) {
+    EXPECT_GT(per_shard[s], 20u) << "shard " << s << " starved";
+    EXPECT_LT(per_shard[s], 150u) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardAssignment, IndependentOfInsertionState) {
+  GroupRegistry reg(4, 100);
+  const std::uint32_t before = reg.shard_of(42);
+  reg.add(7, GroupSpec{});
+  reg.add(42, GroupSpec{});
+  EXPECT_EQ(reg.shard_of(42), before);
+}
+
+TEST(GroupRegistry, AddFindRemoveLifecycle) {
+  GroupRegistry reg(4, 100);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_EQ(reg.find(1), nullptr);
+
+  auto g = reg.add(1, GroupSpec{AlgoKind::kWriteEfficient, 3});
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->id, 1u);
+  EXPECT_EQ(g->spec.n, 3u);
+  EXPECT_EQ(g->execs.size(), 3u);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.find(1), g);
+
+  EXPECT_FALSE(g->retired.load());
+  EXPECT_TRUE(reg.remove(1));
+  EXPECT_TRUE(g->retired.load()) << "remove must mark the group retired";
+  EXPECT_EQ(reg.find(1), nullptr);
+  EXPECT_EQ(reg.size(), 0u);
+  EXPECT_FALSE(reg.remove(1)) << "second remove reports unknown id";
+}
+
+TEST(GroupRegistry, DuplicateIdRejected) {
+  GroupRegistry reg(2, 100);
+  reg.add(5, GroupSpec{});
+  EXPECT_THROW(reg.add(5, GroupSpec{}), InvariantViolation);
+  // After removal the id is reusable.
+  EXPECT_TRUE(reg.remove(5));
+  EXPECT_NO_THROW(reg.add(5, GroupSpec{}));
+}
+
+TEST(GroupRegistry, ShardVersionBumpsOnMembershipChange) {
+  GroupRegistry reg(2, 100);
+  // Find a gid for each shard.
+  GroupId on0 = 0, on1 = 0;
+  for (GroupId gid = 0;; ++gid) {
+    if (reg.shard_of(gid) == 0) {
+      on0 = gid;
+      break;
+    }
+  }
+  for (GroupId gid = 0;; ++gid) {
+    if (reg.shard_of(gid) == 1) {
+      on1 = gid;
+      break;
+    }
+  }
+  const std::uint64_t v0 = reg.shard_version(0);
+  const std::uint64_t v1 = reg.shard_version(1);
+  reg.add(on0, GroupSpec{});
+  EXPECT_GT(reg.shard_version(0), v0);
+  EXPECT_EQ(reg.shard_version(1), v1) << "other shards must not churn";
+  reg.add(on1, GroupSpec{});
+  EXPECT_GT(reg.shard_version(1), v1);
+  const std::uint64_t v0b = reg.shard_version(0);
+  reg.remove(on0);
+  EXPECT_GT(reg.shard_version(0), v0b);
+}
+
+TEST(GroupRegistry, SnapshotReturnsShardGroupsOnly) {
+  GroupRegistry reg(2, 100);
+  std::set<GroupId> expect0, expect1;
+  for (GroupId gid = 0; gid < 16; ++gid) {
+    reg.add(gid, GroupSpec{});
+    (reg.shard_of(gid) == 0 ? expect0 : expect1).insert(gid);
+  }
+  std::vector<std::shared_ptr<Group>> snap;
+  reg.snapshot_shard(0, snap);
+  std::set<GroupId> got0;
+  for (const auto& g : snap) got0.insert(g->id);
+  EXPECT_EQ(got0, expect0);
+  reg.snapshot_shard(1, snap);
+  std::set<GroupId> got1;
+  for (const auto& g : snap) got1.insert(g->id);
+  EXPECT_EQ(got1, expect1);
+}
+
+TEST(GroupRegistry, RejectsBadConfig) {
+  EXPECT_THROW(GroupRegistry(0, 100), InvariantViolation);
+  EXPECT_THROW(GroupRegistry(2, 0), InvariantViolation);
+  GroupRegistry reg(2, 100);
+  EXPECT_THROW(reg.add(1, GroupSpec{AlgoKind::kWriteEfficient, 0}),
+               InvariantViolation);
+  EXPECT_THROW(reg.shard_version(2), InvariantViolation);
+}
+
+TEST(LeaderCache, EpochBumpsOnlyOnChange) {
+  LeaderCacheEntry entry;
+  EXPECT_EQ(entry.load(), (LeaderView{kNoProcess, 0}));
+
+  EXPECT_TRUE(entry.publish(2));
+  EXPECT_EQ(entry.load(), (LeaderView{2, 1}));
+
+  // Republishing the same leader is free: no epoch churn, cached fencing
+  // tokens stay valid.
+  EXPECT_FALSE(entry.publish(2));
+  EXPECT_EQ(entry.load(), (LeaderView{2, 1}));
+
+  // Losing agreement is itself a view change.
+  EXPECT_TRUE(entry.publish(kNoProcess));
+  EXPECT_EQ(entry.load(), (LeaderView{kNoProcess, 2}));
+
+  EXPECT_TRUE(entry.publish(0));
+  EXPECT_EQ(entry.load(), (LeaderView{0, 3}));
+}
+
+TEST(GroupAgreed, RequiresUnanimityOfLiveProcesses) {
+  GroupRegistry reg(1, 100);
+  auto g = reg.add(9, GroupSpec{AlgoKind::kWriteEfficient, 3});
+  // No process has published a view yet.
+  EXPECT_EQ(g->agreed(), kNoProcess);
+  // Drive each executor through one leader query by hand: with warm-start
+  // candidates and zero suspicions everyone elects p0.
+  for (auto& ex : g->execs) {
+    // heartbeat's first op is the LeaderQuery of the `while leader()=i` test.
+    while (ex->last_leader() == kNoProcess) {
+      ASSERT_TRUE(ex->step_runnable(0));
+    }
+  }
+  EXPECT_EQ(g->agreed(), 0u);
+  // A crashed leader invalidates the agreement even if views still name it.
+  g->execs[0]->crash();
+  EXPECT_EQ(g->agreed(), kNoProcess);
+}
+
+}  // namespace
+}  // namespace omega::svc

@@ -1,0 +1,103 @@
+// TimerWheel: batched due-wakeup delivery, slot hashing, the overflow rule
+// for deadlines beyond one revolution, and cursor monotonicity.
+#include "svc/timer_wheel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace omega::svc {
+namespace {
+
+std::vector<std::pair<GroupId, ProcessId>> drain(TimerWheel& w,
+                                                 std::int64_t now) {
+  std::vector<TimerWheel::Due> due;
+  w.advance(now, due);
+  std::vector<std::pair<GroupId, ProcessId>> out;
+  out.reserve(due.size());
+  for (const auto& d : due) out.emplace_back(d.gid, d.pid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(TimerWheel, FiresAtDeadlineNotBefore) {
+  TimerWheel w(16, 100);
+  w.insert(250, 7, 1);
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_TRUE(drain(w, 249).empty());
+  const auto due = drain(w, 250);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], (std::pair<GroupId, ProcessId>{7, 1}));
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(TimerWheel, BatchesEverythingDueInOneAdvance) {
+  TimerWheel w(16, 100);
+  for (GroupId gid = 0; gid < 10; ++gid) {
+    w.insert(100 + static_cast<std::int64_t>(gid) * 90, gid, 0);
+  }
+  const auto due = drain(w, 1000);
+  EXPECT_EQ(due.size(), 10u);
+  EXPECT_EQ(w.size(), 0u);
+}
+
+TEST(TimerWheel, EntriesWithinCurrentSlotFireOnLaterAdvance) {
+  // now and the deadline land in the same slot: the first advance must not
+  // fire it, the second (past the deadline) must — the cursor's own slot is
+  // re-examined on every advance.
+  TimerWheel w(8, 1000);
+  w.insert(900, 1, 0);
+  EXPECT_TRUE(drain(w, 500).empty()) << "same slot, not due yet";
+  const auto due = drain(w, 950);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0].first, 1u);
+}
+
+TEST(TimerWheel, OverflowBeyondOneRevolutionWaits) {
+  TimerWheel w(8, 100);  // span = 800us
+  w.insert(50, 1, 0);
+  w.insert(50 + w.span_us(), 2, 0);  // same slot, one revolution later
+  const auto first = drain(w, 60);
+  ASSERT_EQ(first.size(), 1u);
+  EXPECT_EQ(first[0].first, 1u) << "far-future entry must not fire early";
+  EXPECT_EQ(w.size(), 1u);
+  EXPECT_TRUE(drain(w, 700).empty());
+  const auto second = drain(w, 60 + w.span_us());
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].first, 2u);
+}
+
+TEST(TimerWheel, PastDeadlineFiresImmediately) {
+  TimerWheel w(8, 100);
+  (void)drain(w, 5000);  // move the cursor forward
+  w.insert(100, 3, 2);   // long overdue
+  const auto due = drain(w, 5001);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], (std::pair<GroupId, ProcessId>{3, 2}));
+}
+
+TEST(TimerWheel, LargeJumpSweepsWholeWheelOnce) {
+  TimerWheel w(8, 100);
+  for (GroupId gid = 0; gid < 8; ++gid) {
+    w.insert(static_cast<std::int64_t>(gid) * 100, gid, 0);
+  }
+  // Jump several revolutions at once: everything is due.
+  EXPECT_EQ(drain(w, 100 * 8 * 5).size(), 8u);
+}
+
+TEST(TimerWheel, TimeNeverRunsBackwards) {
+  TimerWheel w(8, 100);
+  (void)drain(w, 1000);
+  w.insert(1100, 1, 0);
+  EXPECT_TRUE(drain(w, 500).empty()) << "stale now must not fire anything";
+  const auto due = drain(w, 1100);
+  EXPECT_EQ(due.size(), 1u);
+}
+
+TEST(TimerWheel, RejectsBadConfig) {
+  EXPECT_THROW(TimerWheel(1, 100), InvariantViolation);
+  EXPECT_THROW(TimerWheel(8, 0), InvariantViolation);
+}
+
+}  // namespace
+}  // namespace omega::svc
