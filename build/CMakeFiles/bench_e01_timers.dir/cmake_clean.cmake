@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e01_timers.dir/bench/bench_e01_timers.cpp.o"
+  "CMakeFiles/bench_e01_timers.dir/bench/bench_e01_timers.cpp.o.d"
+  "bench_e01_timers"
+  "bench_e01_timers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e01_timers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

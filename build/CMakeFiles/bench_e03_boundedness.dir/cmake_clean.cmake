@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e03_boundedness.dir/bench/bench_e03_boundedness.cpp.o"
+  "CMakeFiles/bench_e03_boundedness.dir/bench/bench_e03_boundedness.cpp.o.d"
+  "bench_e03_boundedness"
+  "bench_e03_boundedness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e03_boundedness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e04_write_efficiency.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e05_bounded_algo.dir/bench/bench_e05_bounded_algo.cpp.o"
+  "CMakeFiles/bench_e05_bounded_algo.dir/bench/bench_e05_bounded_algo.cpp.o.d"
+  "bench_e05_bounded_algo"
+  "bench_e05_bounded_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e05_bounded_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

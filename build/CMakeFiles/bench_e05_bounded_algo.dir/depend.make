@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e05_bounded_algo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e07_writer_census.dir/bench/bench_e07_writer_census.cpp.o"
+  "CMakeFiles/bench_e07_writer_census.dir/bench/bench_e07_writer_census.cpp.o.d"
+  "bench_e07_writer_census"
+  "bench_e07_writer_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e07_writer_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e08_vs_evsync.dir/bench/bench_e08_vs_evsync.cpp.o"
+  "CMakeFiles/bench_e08_vs_evsync.dir/bench/bench_e08_vs_evsync.cpp.o.d"
+  "bench_e08_vs_evsync"
+  "bench_e08_vs_evsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e08_vs_evsync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e08_vs_evsync.
+# This may be replaced when dependencies are built.

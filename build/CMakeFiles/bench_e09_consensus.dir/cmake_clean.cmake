@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e09_consensus.dir/bench/bench_e09_consensus.cpp.o"
+  "CMakeFiles/bench_e09_consensus.dir/bench/bench_e09_consensus.cpp.o.d"
+  "bench_e09_consensus"
+  "bench_e09_consensus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e09_consensus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

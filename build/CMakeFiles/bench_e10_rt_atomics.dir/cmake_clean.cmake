@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_rt_atomics.dir/bench/bench_e10_rt_atomics.cpp.o"
+  "CMakeFiles/bench_e10_rt_atomics.dir/bench/bench_e10_rt_atomics.cpp.o.d"
+  "bench_e10_rt_atomics"
+  "bench_e10_rt_atomics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_rt_atomics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

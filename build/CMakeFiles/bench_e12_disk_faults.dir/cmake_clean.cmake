@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e12_disk_faults.dir/bench/bench_e12_disk_faults.cpp.o"
+  "CMakeFiles/bench_e12_disk_faults.dir/bench/bench_e12_disk_faults.cpp.o.d"
+  "bench_e12_disk_faults"
+  "bench_e12_disk_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e12_disk_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_multigroup.dir/bench/bench_e13_multigroup.cpp.o"
+  "CMakeFiles/bench_e13_multigroup.dir/bench/bench_e13_multigroup.cpp.o.d"
+  "bench_e13_multigroup"
+  "bench_e13_multigroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_multigroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

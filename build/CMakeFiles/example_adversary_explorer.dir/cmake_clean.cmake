@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_adversary_explorer.dir/examples/adversary_explorer.cpp.o"
+  "CMakeFiles/example_adversary_explorer.dir/examples/adversary_explorer.cpp.o.d"
+  "example_adversary_explorer"
+  "example_adversary_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_adversary_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

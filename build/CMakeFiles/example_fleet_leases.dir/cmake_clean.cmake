@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fleet_leases.dir/examples/fleet_leases.cpp.o"
+  "CMakeFiles/example_fleet_leases.dir/examples/fleet_leases.cpp.o.d"
+  "example_fleet_leases"
+  "example_fleet_leases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fleet_leases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

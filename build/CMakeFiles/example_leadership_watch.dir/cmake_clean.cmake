@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_leadership_watch.dir/examples/leadership_watch.cpp.o"
+  "CMakeFiles/example_leadership_watch.dir/examples/leadership_watch.cpp.o.d"
+  "example_leadership_watch"
+  "example_leadership_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_leadership_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

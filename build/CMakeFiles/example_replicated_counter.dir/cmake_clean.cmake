@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_replicated_counter.dir/examples/replicated_counter.cpp.o"
+  "CMakeFiles/example_replicated_counter.dir/examples/replicated_counter.cpp.o.d"
+  "example_replicated_counter"
+  "example_replicated_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_replicated_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_san_failover.dir/examples/san_failover.cpp.o"
+  "CMakeFiles/example_san_failover.dir/examples/san_failover.cpp.o.d"
+  "example_san_failover"
+  "example_san_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_san_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/rng.cpp" "CMakeFiles/omega.dir/src/common/rng.cpp.o" "gcc" "CMakeFiles/omega.dir/src/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "CMakeFiles/omega.dir/src/common/stats.cpp.o" "gcc" "CMakeFiles/omega.dir/src/common/stats.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "CMakeFiles/omega.dir/src/common/table.cpp.o" "gcc" "CMakeFiles/omega.dir/src/common/table.cpp.o.d"
+  "/root/repo/src/consensus/consensus.cpp" "CMakeFiles/omega.dir/src/consensus/consensus.cpp.o" "gcc" "CMakeFiles/omega.dir/src/consensus/consensus.cpp.o.d"
+  "/root/repo/src/consensus/replicated_log.cpp" "CMakeFiles/omega.dir/src/consensus/replicated_log.cpp.o" "gcc" "CMakeFiles/omega.dir/src/consensus/replicated_log.cpp.o.d"
+  "/root/repo/src/core/factory.cpp" "CMakeFiles/omega.dir/src/core/factory.cpp.o" "gcc" "CMakeFiles/omega.dir/src/core/factory.cpp.o.d"
+  "/root/repo/src/core/omega_bounded.cpp" "CMakeFiles/omega.dir/src/core/omega_bounded.cpp.o" "gcc" "CMakeFiles/omega.dir/src/core/omega_bounded.cpp.o.d"
+  "/root/repo/src/core/omega_evsync.cpp" "CMakeFiles/omega.dir/src/core/omega_evsync.cpp.o" "gcc" "CMakeFiles/omega.dir/src/core/omega_evsync.cpp.o.d"
+  "/root/repo/src/core/omega_nwnr.cpp" "CMakeFiles/omega.dir/src/core/omega_nwnr.cpp.o" "gcc" "CMakeFiles/omega.dir/src/core/omega_nwnr.cpp.o.d"
+  "/root/repo/src/core/omega_stepclock.cpp" "CMakeFiles/omega.dir/src/core/omega_stepclock.cpp.o" "gcc" "CMakeFiles/omega.dir/src/core/omega_stepclock.cpp.o.d"
+  "/root/repo/src/core/omega_write_efficient.cpp" "CMakeFiles/omega.dir/src/core/omega_write_efficient.cpp.o" "gcc" "CMakeFiles/omega.dir/src/core/omega_write_efficient.cpp.o.d"
+  "/root/repo/src/registers/instrumentation.cpp" "CMakeFiles/omega.dir/src/registers/instrumentation.cpp.o" "gcc" "CMakeFiles/omega.dir/src/registers/instrumentation.cpp.o.d"
+  "/root/repo/src/registers/layout.cpp" "CMakeFiles/omega.dir/src/registers/layout.cpp.o" "gcc" "CMakeFiles/omega.dir/src/registers/layout.cpp.o.d"
+  "/root/repo/src/registers/memory.cpp" "CMakeFiles/omega.dir/src/registers/memory.cpp.o" "gcc" "CMakeFiles/omega.dir/src/registers/memory.cpp.o.d"
+  "/root/repo/src/rt/atomic_memory.cpp" "CMakeFiles/omega.dir/src/rt/atomic_memory.cpp.o" "gcc" "CMakeFiles/omega.dir/src/rt/atomic_memory.cpp.o.d"
+  "/root/repo/src/rt/leader_service.cpp" "CMakeFiles/omega.dir/src/rt/leader_service.cpp.o" "gcc" "CMakeFiles/omega.dir/src/rt/leader_service.cpp.o.d"
+  "/root/repo/src/rt/proc_executor.cpp" "CMakeFiles/omega.dir/src/rt/proc_executor.cpp.o" "gcc" "CMakeFiles/omega.dir/src/rt/proc_executor.cpp.o.d"
+  "/root/repo/src/rt/rt_driver.cpp" "CMakeFiles/omega.dir/src/rt/rt_driver.cpp.o" "gcc" "CMakeFiles/omega.dir/src/rt/rt_driver.cpp.o.d"
+  "/root/repo/src/san/disk.cpp" "CMakeFiles/omega.dir/src/san/disk.cpp.o" "gcc" "CMakeFiles/omega.dir/src/san/disk.cpp.o.d"
+  "/root/repo/src/san/replicated_san.cpp" "CMakeFiles/omega.dir/src/san/replicated_san.cpp.o" "gcc" "CMakeFiles/omega.dir/src/san/replicated_san.cpp.o.d"
+  "/root/repo/src/san/san_memory.cpp" "CMakeFiles/omega.dir/src/san/san_memory.cpp.o" "gcc" "CMakeFiles/omega.dir/src/san/san_memory.cpp.o.d"
+  "/root/repo/src/sim/crash_plan.cpp" "CMakeFiles/omega.dir/src/sim/crash_plan.cpp.o" "gcc" "CMakeFiles/omega.dir/src/sim/crash_plan.cpp.o.d"
+  "/root/repo/src/sim/driver.cpp" "CMakeFiles/omega.dir/src/sim/driver.cpp.o" "gcc" "CMakeFiles/omega.dir/src/sim/driver.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "CMakeFiles/omega.dir/src/sim/metrics.cpp.o" "gcc" "CMakeFiles/omega.dir/src/sim/metrics.cpp.o.d"
+  "/root/repo/src/sim/scenario.cpp" "CMakeFiles/omega.dir/src/sim/scenario.cpp.o" "gcc" "CMakeFiles/omega.dir/src/sim/scenario.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "CMakeFiles/omega.dir/src/sim/schedule.cpp.o" "gcc" "CMakeFiles/omega.dir/src/sim/schedule.cpp.o.d"
+  "/root/repo/src/sim/timer_model.cpp" "CMakeFiles/omega.dir/src/sim/timer_model.cpp.o" "gcc" "CMakeFiles/omega.dir/src/sim/timer_model.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "CMakeFiles/omega.dir/src/sim/trace.cpp.o" "gcc" "CMakeFiles/omega.dir/src/sim/trace.cpp.o.d"
+  "/root/repo/src/svc/group_registry.cpp" "CMakeFiles/omega.dir/src/svc/group_registry.cpp.o" "gcc" "CMakeFiles/omega.dir/src/svc/group_registry.cpp.o.d"
+  "/root/repo/src/svc/multigroup_service.cpp" "CMakeFiles/omega.dir/src/svc/multigroup_service.cpp.o" "gcc" "CMakeFiles/omega.dir/src/svc/multigroup_service.cpp.o.d"
+  "/root/repo/src/svc/timer_wheel.cpp" "CMakeFiles/omega.dir/src/svc/timer_wheel.cpp.o" "gcc" "CMakeFiles/omega.dir/src/svc/timer_wheel.cpp.o.d"
+  "/root/repo/src/svc/worker_pool.cpp" "CMakeFiles/omega.dir/src/svc/worker_pool.cpp.o" "gcc" "CMakeFiles/omega.dir/src/svc/worker_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

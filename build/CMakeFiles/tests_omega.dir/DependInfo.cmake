@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/omega/algorithm_unit_test.cpp" "CMakeFiles/tests_omega.dir/tests/omega/algorithm_unit_test.cpp.o" "gcc" "CMakeFiles/tests_omega.dir/tests/omega/algorithm_unit_test.cpp.o.d"
+  "/root/repo/tests/omega/convergence_test.cpp" "CMakeFiles/tests_omega.dir/tests/omega/convergence_test.cpp.o" "gcc" "CMakeFiles/tests_omega.dir/tests/omega/convergence_test.cpp.o.d"
+  "/root/repo/tests/omega/driver_test.cpp" "CMakeFiles/tests_omega.dir/tests/omega/driver_test.cpp.o" "gcc" "CMakeFiles/tests_omega.dir/tests/omega/driver_test.cpp.o.d"
+  "/root/repo/tests/omega/lower_bounds_test.cpp" "CMakeFiles/tests_omega.dir/tests/omega/lower_bounds_test.cpp.o" "gcc" "CMakeFiles/tests_omega.dir/tests/omega/lower_bounds_test.cpp.o.d"
+  "/root/repo/tests/omega/properties_test.cpp" "CMakeFiles/tests_omega.dir/tests/omega/properties_test.cpp.o" "gcc" "CMakeFiles/tests_omega.dir/tests/omega/properties_test.cpp.o.d"
+  "/root/repo/tests/omega/self_stabilization_test.cpp" "CMakeFiles/tests_omega.dir/tests/omega/self_stabilization_test.cpp.o" "gcc" "CMakeFiles/tests_omega.dir/tests/omega/self_stabilization_test.cpp.o.d"
+  "/root/repo/tests/omega/timeout_policy_test.cpp" "CMakeFiles/tests_omega.dir/tests/omega/timeout_policy_test.cpp.o" "gcc" "CMakeFiles/tests_omega.dir/tests/omega/timeout_policy_test.cpp.o.d"
+  "/root/repo/tests/omega/trace_integration_test.cpp" "CMakeFiles/tests_omega.dir/tests/omega/trace_integration_test.cpp.o" "gcc" "CMakeFiles/tests_omega.dir/tests/omega/trace_integration_test.cpp.o.d"
+  "/root/repo/tests/omega/write_efficiency_test.cpp" "CMakeFiles/tests_omega.dir/tests/omega/write_efficiency_test.cpp.o" "gcc" "CMakeFiles/tests_omega.dir/tests/omega/write_efficiency_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/omega.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_omega.dir/tests/omega/algorithm_unit_test.cpp.o"
+  "CMakeFiles/tests_omega.dir/tests/omega/algorithm_unit_test.cpp.o.d"
+  "CMakeFiles/tests_omega.dir/tests/omega/convergence_test.cpp.o"
+  "CMakeFiles/tests_omega.dir/tests/omega/convergence_test.cpp.o.d"
+  "CMakeFiles/tests_omega.dir/tests/omega/driver_test.cpp.o"
+  "CMakeFiles/tests_omega.dir/tests/omega/driver_test.cpp.o.d"
+  "CMakeFiles/tests_omega.dir/tests/omega/lower_bounds_test.cpp.o"
+  "CMakeFiles/tests_omega.dir/tests/omega/lower_bounds_test.cpp.o.d"
+  "CMakeFiles/tests_omega.dir/tests/omega/properties_test.cpp.o"
+  "CMakeFiles/tests_omega.dir/tests/omega/properties_test.cpp.o.d"
+  "CMakeFiles/tests_omega.dir/tests/omega/self_stabilization_test.cpp.o"
+  "CMakeFiles/tests_omega.dir/tests/omega/self_stabilization_test.cpp.o.d"
+  "CMakeFiles/tests_omega.dir/tests/omega/timeout_policy_test.cpp.o"
+  "CMakeFiles/tests_omega.dir/tests/omega/timeout_policy_test.cpp.o.d"
+  "CMakeFiles/tests_omega.dir/tests/omega/trace_integration_test.cpp.o"
+  "CMakeFiles/tests_omega.dir/tests/omega/trace_integration_test.cpp.o.d"
+  "CMakeFiles/tests_omega.dir/tests/omega/write_efficiency_test.cpp.o"
+  "CMakeFiles/tests_omega.dir/tests/omega/write_efficiency_test.cpp.o.d"
+  "tests_omega"
+  "tests_omega.pdb"
+  "tests_omega[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_omega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/system/consensus_test.cpp" "CMakeFiles/tests_system.dir/tests/system/consensus_test.cpp.o" "gcc" "CMakeFiles/tests_system.dir/tests/system/consensus_test.cpp.o.d"
+  "/root/repo/tests/system/leader_service_test.cpp" "CMakeFiles/tests_system.dir/tests/system/leader_service_test.cpp.o" "gcc" "CMakeFiles/tests_system.dir/tests/system/leader_service_test.cpp.o.d"
+  "/root/repo/tests/system/multigroup_service_test.cpp" "CMakeFiles/tests_system.dir/tests/system/multigroup_service_test.cpp.o" "gcc" "CMakeFiles/tests_system.dir/tests/system/multigroup_service_test.cpp.o.d"
+  "/root/repo/tests/system/replicated_log_test.cpp" "CMakeFiles/tests_system.dir/tests/system/replicated_log_test.cpp.o" "gcc" "CMakeFiles/tests_system.dir/tests/system/replicated_log_test.cpp.o.d"
+  "/root/repo/tests/system/replicated_san_test.cpp" "CMakeFiles/tests_system.dir/tests/system/replicated_san_test.cpp.o" "gcc" "CMakeFiles/tests_system.dir/tests/system/replicated_san_test.cpp.o.d"
+  "/root/repo/tests/system/rt_test.cpp" "CMakeFiles/tests_system.dir/tests/system/rt_test.cpp.o" "gcc" "CMakeFiles/tests_system.dir/tests/system/rt_test.cpp.o.d"
+  "/root/repo/tests/system/san_test.cpp" "CMakeFiles/tests_system.dir/tests/system/san_test.cpp.o" "gcc" "CMakeFiles/tests_system.dir/tests/system/san_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/omega.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

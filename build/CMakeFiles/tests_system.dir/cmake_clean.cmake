@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tests_system.dir/tests/system/consensus_test.cpp.o"
+  "CMakeFiles/tests_system.dir/tests/system/consensus_test.cpp.o.d"
+  "CMakeFiles/tests_system.dir/tests/system/leader_service_test.cpp.o"
+  "CMakeFiles/tests_system.dir/tests/system/leader_service_test.cpp.o.d"
+  "CMakeFiles/tests_system.dir/tests/system/multigroup_service_test.cpp.o"
+  "CMakeFiles/tests_system.dir/tests/system/multigroup_service_test.cpp.o.d"
+  "CMakeFiles/tests_system.dir/tests/system/replicated_log_test.cpp.o"
+  "CMakeFiles/tests_system.dir/tests/system/replicated_log_test.cpp.o.d"
+  "CMakeFiles/tests_system.dir/tests/system/replicated_san_test.cpp.o"
+  "CMakeFiles/tests_system.dir/tests/system/replicated_san_test.cpp.o.d"
+  "CMakeFiles/tests_system.dir/tests/system/rt_test.cpp.o"
+  "CMakeFiles/tests_system.dir/tests/system/rt_test.cpp.o.d"
+  "CMakeFiles/tests_system.dir/tests/system/san_test.cpp.o"
+  "CMakeFiles/tests_system.dir/tests/system/san_test.cpp.o.d"
+  "tests_system"
+  "tests_system.pdb"
+  "tests_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tests_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

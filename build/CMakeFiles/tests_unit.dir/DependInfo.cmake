@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/unit/candidate_set_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/candidate_set_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/candidate_set_test.cpp.o.d"
+  "/root/repo/tests/unit/crash_plan_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/crash_plan_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/crash_plan_test.cpp.o.d"
+  "/root/repo/tests/unit/factory_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/factory_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/factory_test.cpp.o.d"
+  "/root/repo/tests/unit/group_registry_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/group_registry_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/group_registry_test.cpp.o.d"
+  "/root/repo/tests/unit/instrumentation_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/instrumentation_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/instrumentation_test.cpp.o.d"
+  "/root/repo/tests/unit/layout_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/layout_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/layout_test.cpp.o.d"
+  "/root/repo/tests/unit/memory_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/memory_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/memory_test.cpp.o.d"
+  "/root/repo/tests/unit/metrics_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/metrics_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/metrics_test.cpp.o.d"
+  "/root/repo/tests/unit/proc_task_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/proc_task_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/proc_task_test.cpp.o.d"
+  "/root/repo/tests/unit/rng_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/rng_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/rng_test.cpp.o.d"
+  "/root/repo/tests/unit/scenario_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/scenario_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/scenario_test.cpp.o.d"
+  "/root/repo/tests/unit/schedule_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/schedule_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/schedule_test.cpp.o.d"
+  "/root/repo/tests/unit/stats_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/stats_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/stats_test.cpp.o.d"
+  "/root/repo/tests/unit/table_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/table_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/table_test.cpp.o.d"
+  "/root/repo/tests/unit/timer_model_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/timer_model_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/timer_model_test.cpp.o.d"
+  "/root/repo/tests/unit/timer_wheel_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/timer_wheel_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/timer_wheel_test.cpp.o.d"
+  "/root/repo/tests/unit/trace_test.cpp" "CMakeFiles/tests_unit.dir/tests/unit/trace_test.cpp.o" "gcc" "CMakeFiles/tests_unit.dir/tests/unit/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/omega.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
