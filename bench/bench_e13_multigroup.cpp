@@ -11,8 +11,16 @@
 //      after start, since no process crashes);
 //   2. cheap reads — cached leader() queries are answered off the election
 //      hot path; we report steps/sec of the pool and query p50/p99.
+//
+// Since the epoch-listener seam landed (src/net PR), the bench also
+// measures push notification latency: crash a leader and time how long
+// until the epoch-change callback reports a new live leader — the same
+// path the network watch hub rides. The original columns are untouched
+// and remain the baseline.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <memory>
 
 #include "common/rng.h"
 #include "harness.h"
@@ -42,6 +50,16 @@ int main() {
   Verdict verdict;
   AsciiTable table({"groups", "workers", "converged", "conv wall ms",
                     "steps/sec", "queries/sec", "q p50 ns", "q p99 ns"});
+  AsciiTable notif_table({"groups", "workers", "fail-overs", "notif p50 ms",
+                          "notif p99 ms"});
+
+  /// Last view pushed through the epoch listener for one group, with its
+  /// arrival timestamp (written by the shard worker, polled by main).
+  struct NotifSlot {
+    std::atomic<std::uint64_t> epoch{0};
+    std::atomic<ProcessId> leader{kNoProcess};
+    std::atomic<std::int64_t> t_ns{0};
+  };
 
   struct Row {
     std::uint32_t groups;
@@ -62,6 +80,19 @@ int main() {
 
     MultiGroupLeaderService service(cfg);
     for (svc::GroupId gid = 0; gid < row.groups; ++gid) service.add_group(gid);
+
+    // Epoch-change push seam: every published transition lands here, off
+    // the polling path — the same feed the network watch hub subscribes to.
+    auto slots = std::make_unique<NotifSlot[]>(row.groups);
+    service.set_epoch_listener(
+        [&slots, groups = row.groups](svc::GroupId gid,
+                                      const LeaderView& view) {
+          if (gid >= groups) return;
+          NotifSlot& slot = slots[gid];
+          slot.epoch.store(view.epoch, std::memory_order_relaxed);
+          slot.leader.store(view.leader, std::memory_order_relaxed);
+          slot.t_ns.store(wall_ns(), std::memory_order_release);
+        });
     service.start();
 
     // --- convergence: every group must reach an agreed live leader. -----
@@ -120,6 +151,61 @@ int main() {
     const std::int64_t p50 = lat_ns[lat_ns.size() / 2];
     const std::int64_t p99 = lat_ns[lat_ns.size() * 99 / 100];
 
+    // --- push notification latency: crash K leaders, time the listener.
+    // The fail-overs run concurrently; each group's latency is its own
+    // crash → callback-with-new-live-leader interval.
+    constexpr std::uint32_t kFailovers = 16;
+    std::vector<ProcessId> old_leader(kFailovers, kNoProcess);
+    std::vector<std::int64_t> crash_ns(kFailovers, 0);
+    for (std::uint32_t k = 0; k < kFailovers; ++k) {
+      const svc::GroupId gid = k;  // distinct groups, spread over shards
+      LeaderView v = service.leader(gid);
+      while (v.leader == kNoProcess) {  // transient disagreement: re-read
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        v = service.leader(gid);
+      }
+      old_leader[k] = v.leader;
+      crash_ns[k] = wall_ns();
+      service.crash(gid, v.leader);
+    }
+    std::vector<std::int64_t> notif_ns;
+    std::uint32_t notified = 0;
+    const std::int64_t notif_deadline = wall_ns() + 120000000000LL;
+    for (std::uint32_t k = 0; k < kFailovers; ++k) {
+      const NotifSlot& slot = slots[k];
+      for (;;) {
+        const std::int64_t t = slot.t_ns.load(std::memory_order_acquire);
+        const ProcessId leader = slot.leader.load(std::memory_order_relaxed);
+        if (t > crash_ns[k] && leader != kNoProcess &&
+            leader != old_leader[k]) {
+          notif_ns.push_back(t - crash_ns[k]);
+          ++notified;
+          break;
+        }
+        if (wall_ns() > notif_deadline) break;
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    }
+    std::sort(notif_ns.begin(), notif_ns.end());
+    notif_table.add_row(
+        {fmt_count(row.groups), std::to_string(row.workers),
+         fmt_count(notified) + "/" + fmt_count(kFailovers),
+         notif_ns.empty()
+             ? "-"
+             : fmt_double(
+                   static_cast<double>(notif_ns[notif_ns.size() / 2]) / 1e6,
+                   2),
+         notif_ns.empty()
+             ? "-"
+             : fmt_double(static_cast<double>(
+                              notif_ns[notif_ns.size() * 99 / 100]) /
+                              1e6,
+                          2)});
+    verdict.expect(notified == kFailovers,
+                   std::to_string(row.groups) + "g/" +
+                       std::to_string(row.workers) +
+                       "w: every fail-over must be pushed to the listener");
+
     service.stop();
 
     table.add_row({fmt_count(row.groups), std::to_string(row.workers),
@@ -143,6 +229,9 @@ int main() {
   }
 
   std::cout << table.render() << '\n';
+  std::cout << "epoch-change push notification (crash -> listener callback "
+               "naming a new live leader):\n"
+            << notif_table.render() << '\n';
   return verdict.finish(
       "1000+ election groups share a <=8-worker pool, every group elects a "
       "correct leader, and cached leader() queries stay off the hot path");

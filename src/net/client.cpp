@@ -1,0 +1,234 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+namespace omega::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::~Client() { close(); }
+
+void Client::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  // A Client may reconnect after close(): drop every remnant of the old
+  // stream — half-received frames, a terminal corrupt flag, events from
+  // subscriptions that died with the connection.
+  in_ = FrameDecoder{};
+  events_.clear();
+  next_req_id_ = 1;
+}
+
+void Client::connect(const std::string& host, std::uint16_t port,
+                     int timeout_ms) {
+  if (fd_ >= 0) throw NetError("already connected");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad address: " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  // Non-blocking connect so the timeout is enforceable.
+  const int flags = fcntl(fd_, F_GETFL, 0);
+  fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    close();
+    throw_errno("connect");
+  }
+  if (rc != 0) {
+    pollfd pfd{fd_, POLLOUT, 0};
+    rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc <= 0) {
+      close();
+      throw NetError("connect timeout");
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      close();
+      errno = err;
+      throw_errno("connect");
+    }
+  }
+  fcntl(fd_, F_SETFL, flags);  // back to blocking; waits go through poll()
+  int one = 1;
+  (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::send_all(const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Client::fill(int timeout_ms) {
+  // EINTR (a signal in the host application) must consume budget, not
+  // fabricate a timeout: retry with the remaining time until the deadline.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    const int remaining = std::max<int>(
+        0, static_cast<int>(
+               std::chrono::duration_cast<std::chrono::milliseconds>(
+                   deadline - now)
+                   .count()));
+    pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, remaining);
+    if (rc < 0) {
+      if (errno == EINTR) {
+        if (std::chrono::steady_clock::now() >= deadline) return false;
+        continue;
+      }
+      throw_errno("poll");
+    }
+    if (rc == 0) return false;
+    std::uint8_t buf[8192];
+    const ssize_t n = ::recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) throw NetError("server closed the connection");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;  // readiness evaporated; re-poll with what's left
+      }
+      throw_errno("recv");
+    }
+    in_.feed(buf, static_cast<std::size_t>(n));
+    if (in_.corrupt()) throw NetError("oversized frame from server");
+    return true;
+  }
+}
+
+std::optional<Frame> Client::pop_frame() {
+  const std::uint8_t* payload = nullptr;
+  std::size_t len = 0;
+  if (!in_.next(payload, len)) return std::nullopt;
+  Frame f;
+  if (decode_payload(payload, len, f) != DecodeResult::kOk) {
+    throw NetError("malformed frame from server");
+  }
+  return f;
+}
+
+Frame Client::call(MsgType type, std::optional<WireGroupId> gid) {
+  if (fd_ < 0) throw NetError("not connected");
+  const std::uint64_t id = next_req_id_++;
+  out_.clear();
+  encode_request(out_, type, id, gid);
+  send_all(out_.data(), out_.size());
+
+  for (;;) {
+    while (std::optional<Frame> f = pop_frame()) {
+      if (f->header.type == MsgType::kEvent) {
+        events_.push_back(
+            Event{f->view.gid,
+                  svc::LeaderView{f->view.leader, f->view.epoch}});
+        continue;
+      }
+      if (f->header.req_id != id || f->header.type != type) {
+        // Request/response pairing is broken (e.g. a late reply to a
+        // call that previously timed out): the stream cannot be
+        // resynchronized, so don't leave a poisoned connection behind.
+        close();
+        throw NetError("response does not match the outstanding request");
+      }
+      return *f;
+    }
+    if (!fill(kResponseTimeoutMs)) {
+      // The response may still arrive later and would desynchronize every
+      // subsequent call; a timed-out connection is only safe to abandon.
+      close();
+      throw NetError("timed out waiting for a response");
+    }
+  }
+}
+
+Client::Result Client::leader(svc::GroupId gid) {
+  const Frame f = call(MsgType::kLeader, gid);
+  return Result{f.header.status, f.view.gid,
+                svc::LeaderView{f.view.leader, f.view.epoch}};
+}
+
+Client::Result Client::watch(svc::GroupId gid) {
+  const Frame f = call(MsgType::kWatch, gid);
+  return Result{f.header.status, f.view.gid,
+                svc::LeaderView{f.view.leader, f.view.epoch}};
+}
+
+Client::Result Client::unwatch(svc::GroupId gid) {
+  const Frame f = call(MsgType::kUnwatch, gid);
+  return Result{f.header.status, f.view.gid,
+                svc::LeaderView{f.view.leader, f.view.epoch}};
+}
+
+void Client::ping() {
+  const Frame f = call(MsgType::kPing, std::nullopt);
+  if (f.header.status != Status::kOk) throw NetError("ping rejected");
+}
+
+StatsBody Client::stats() {
+  const Frame f = call(MsgType::kStats, std::nullopt);
+  if (f.header.status != Status::kOk || !f.has_body) {
+    throw NetError("stats rejected");
+  }
+  return f.stats;
+}
+
+std::optional<Client::Event> Client::next_event(int timeout_ms) {
+  if (!events_.empty()) {
+    const Event e = events_.front();
+    events_.pop_front();
+    return e;
+  }
+  if (fd_ < 0) throw NetError("not connected");
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    while (std::optional<Frame> f = pop_frame()) {
+      if (f->header.type == MsgType::kEvent) {
+        return Event{f->view.gid,
+                     svc::LeaderView{f->view.leader, f->view.epoch}};
+      }
+      // A non-event frame with no outstanding request is a protocol bug.
+      throw NetError("unexpected response frame while waiting for events");
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count());
+    if (remaining <= 0) return std::nullopt;
+    if (!fill(remaining)) {
+      if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
+    }
+  }
+}
+
+}  // namespace omega::net

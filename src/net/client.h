@@ -1,0 +1,104 @@
+// net::Client — blocking client of the LeaderServer wire protocol.
+//
+// One Client wraps one TCP connection and is meant for exactly one thread
+// (the classic lease-holder pattern: query, fence on the epoch, renew).
+// Requests are strictly one-at-a-time; server-pushed EVENT frames that
+// arrive interleaved with a response are queued internally and surfaced
+// through next_event(), so a caller can hold watches and still issue
+// queries on the same connection.
+//
+// Errors: socket-level failures and protocol violations throw NetError;
+// application-level conditions (unknown group) come back as a Status in
+// the result so callers can distinguish "the server is gone" from "you
+// asked about a group that does not exist".
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "net/frame.h"
+#include "svc/svc_types.h"
+
+namespace omega::net {
+
+/// Transport or protocol failure on the client connection.
+class NetError : public std::runtime_error {
+ public:
+  explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class Client {
+ public:
+  /// A decoded answer to LEADER/WATCH/UNWATCH.
+  struct Result {
+    Status status = Status::kOk;
+    svc::GroupId gid = 0;
+    svc::LeaderView view;  ///< meaningful for kOk LEADER/WATCH answers
+
+    bool ok() const noexcept { return status == Status::kOk; }
+  };
+
+  /// One epoch transition pushed by the server.
+  struct Event {
+    svc::GroupId gid = 0;
+    svc::LeaderView view;
+  };
+
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (throws NetError on refusal/timeout).
+  void connect(const std::string& host, std::uint16_t port,
+               int timeout_ms = 5000);
+  bool connected() const noexcept { return fd_ >= 0; }
+  void close();
+
+  /// Point query: who leads `gid`? The epoch in the result is the fencing
+  /// token to validate cached authority against.
+  Result leader(svc::GroupId gid);
+
+  /// Subscribes to `gid`'s epoch changes; the result is the current
+  /// snapshot. Transitions racing the subscription may be delivered both
+  /// in the snapshot and as an event — dedupe by epoch.
+  Result watch(svc::GroupId gid);
+
+  Result unwatch(svc::GroupId gid);
+
+  /// Round-trip liveness probe.
+  void ping();
+
+  StatsBody stats();
+
+  /// Returns the next pushed event, waiting up to `timeout_ms` (0 = only
+  /// drain already-received frames). nullopt on timeout.
+  std::optional<Event> next_event(int timeout_ms);
+
+ private:
+  /// Sends the request and reads frames until the response with `id`
+  /// arrives; events encountered on the way are queued.
+  Frame call(MsgType type, std::optional<WireGroupId> gid);
+
+  void send_all(const std::uint8_t* data, std::size_t len);
+  /// Reads one socket chunk into the decoder, waiting up to `timeout_ms`.
+  /// Returns false on timeout; throws on EOF/error.
+  bool fill(int timeout_ms);
+  /// Pops the next complete frame out of the decoder, if any.
+  std::optional<Frame> pop_frame();
+
+  int fd_ = -1;
+  std::uint64_t next_req_id_ = 1;
+  FrameDecoder in_;
+  std::deque<Event> events_;
+  std::vector<std::uint8_t> out_;
+
+  /// Response wait budget; generous because CI boxes can stall for a while.
+  static constexpr int kResponseTimeoutMs = 30000;
+};
+
+}  // namespace omega::net

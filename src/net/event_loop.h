@@ -1,0 +1,91 @@
+// EventLoop: one epoll instance driven by one thread. Edge-triggered
+// registration (EPOLLET) keeps the number of epoll_wait wakeups at one per
+// readiness transition instead of one per byte batch; handlers therefore
+// must drain their fd until EAGAIN on every callback.
+//
+// Cross-thread input arrives through post(): any thread may enqueue a task
+// and the loop is woken through an eventfd. This is how svc worker threads
+// hand epoch-change notifications to the IO thread that owns the watching
+// connections — the loop thread is the only one that ever touches
+// connection state, so the server needs no per-connection locks.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace omega::net {
+
+class EventLoop {
+ public:
+  /// Invoked on the loop thread with the epoll event mask of the fd.
+  using IoHandler = std::function<void(std::uint32_t events)>;
+  using Task = std::function<void()>;
+
+  EventLoop();
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` edge-triggered for `events` (EPOLLIN/EPOLLOUT/...).
+  /// Loop thread only (or before run()). The fd is not owned: the caller
+  /// closes it after remove_fd().
+  void add_fd(int fd, std::uint32_t events, IoHandler handler);
+
+  /// Changes the armed event mask of a registered fd. Loop thread only.
+  void mod_fd(int fd, std::uint32_t events);
+
+  /// Unregisters the fd. Loop thread only. Pending events already
+  /// harvested for this fd are discarded, even if it is re-registered in
+  /// the same dispatch batch (registrations are keyed by a generation
+  /// token, not the raw fd, so a recycled fd cannot receive stale events).
+  void remove_fd(int fd);
+
+  /// Enqueues `task` to run on the loop thread and wakes it. Any thread.
+  void post(Task task);
+
+  /// Runs until stop(); call from the thread that owns the loop.
+  void run();
+
+  /// Signals run() to return after the current iteration. Any thread.
+  void stop();
+
+  /// Runs tasks that were still queued when run() returned (e.g. a
+  /// connection handed over right as the server stopped). Only call when
+  /// no thread is inside run() — typically after joining the loop thread,
+  /// at which point the caller's thread is the loop's sole owner.
+  void drain_pending();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Registration {
+    int fd = -1;
+    IoHandler handler;
+  };
+
+  void wake();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> running_{false};
+
+  /// Registration token → handler; epoll events carry the token in
+  /// data.u64 so a closed+recycled fd never dispatches to the old handler.
+  std::unordered_map<std::uint64_t, Registration> handlers_;
+  std::unordered_map<int, std::uint64_t> token_of_fd_;
+  std::uint64_t next_token_ = 1;
+
+  std::mutex tasks_mu_;
+  std::vector<Task> tasks_;
+};
+
+}  // namespace omega::net

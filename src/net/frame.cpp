@@ -1,0 +1,185 @@
+#include "net/frame.h"
+
+namespace omega::net {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+/// Reserves the length prefix, returns its offset for patching.
+std::size_t begin_frame(std::vector<std::uint8_t>& out,
+                        const FrameHeader& h) {
+  const std::size_t len_at = out.size();
+  put_u32(out, 0);  // patched by end_frame
+  put_u8(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(h.type));
+  put_u8(out, static_cast<std::uint8_t>(h.status));
+  put_u64(out, h.req_id);
+  return len_at;
+}
+
+void end_frame(std::vector<std::uint8_t>& out, std::size_t len_at) {
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(out.size() - len_at - 4);
+  out[len_at + 0] = static_cast<std::uint8_t>(payload_len);
+  out[len_at + 1] = static_cast<std::uint8_t>(payload_len >> 8);
+  out[len_at + 2] = static_cast<std::uint8_t>(payload_len >> 16);
+  out[len_at + 3] = static_cast<std::uint8_t>(payload_len >> 24);
+}
+
+}  // namespace
+
+void encode_request(std::vector<std::uint8_t>& out, MsgType type,
+                    std::uint64_t req_id, std::optional<WireGroupId> gid) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{type, Status::kOk, req_id});
+  if (gid) put_u64(out, *gid);
+  end_frame(out, at);
+}
+
+void encode_view_frame(std::vector<std::uint8_t>& out, MsgType type,
+                       Status status, std::uint64_t req_id,
+                       const ViewBody& view) {
+  const std::size_t at = begin_frame(out, FrameHeader{type, status, req_id});
+  put_u64(out, view.gid);
+  put_u32(out, view.leader);
+  put_u64(out, view.epoch);
+  end_frame(out, at);
+}
+
+void encode_simple_response(std::vector<std::uint8_t>& out, MsgType type,
+                            Status status, std::uint64_t req_id) {
+  const std::size_t at = begin_frame(out, FrameHeader{type, status, req_id});
+  end_frame(out, at);
+}
+
+void encode_gid_response(std::vector<std::uint8_t>& out, MsgType type,
+                         Status status, std::uint64_t req_id,
+                         WireGroupId gid) {
+  const std::size_t at = begin_frame(out, FrameHeader{type, status, req_id});
+  put_u64(out, gid);
+  end_frame(out, at);
+}
+
+void encode_stats_response(std::vector<std::uint8_t>& out,
+                           std::uint64_t req_id, const StatsBody& stats) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{MsgType::kStats, Status::kOk, req_id});
+  put_u64(out, stats.connections);
+  put_u64(out, stats.queries);
+  put_u64(out, stats.watches);
+  put_u64(out, stats.events);
+  put_u64(out, stats.groups);
+  put_u64(out, stats.io_threads);
+  end_frame(out, at);
+}
+
+DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
+                            Frame& out) {
+  out = Frame{};
+  if (len < kHeaderBytes) return DecodeResult::kBadLength;
+  if (data[0] != kMagic || data[1] != kVersion) return DecodeResult::kBadMagic;
+  out.header.type = static_cast<MsgType>(data[2]);
+  out.header.status = static_cast<Status>(data[3]);
+  out.header.req_id = get_u64(data + 4);
+  const std::uint8_t* body = data + kHeaderBytes;
+  const std::size_t body_len = len - kHeaderBytes;
+
+  switch (out.header.type) {
+    case MsgType::kLeader:
+    case MsgType::kWatch:
+    case MsgType::kUnwatch:
+    case MsgType::kEvent: {
+      // gid is always present; leader+epoch only in responses/events (a
+      // 8-byte body is a request, a >=20-byte body carries the view).
+      if (body_len < 8) return DecodeResult::kBadBody;
+      out.view.gid = get_u64(body);
+      out.has_body = true;
+      if (body_len >= 20) {
+        out.view.leader = get_u32(body + 8);
+        out.view.epoch = get_u64(body + 12);
+      } else if (out.header.type == MsgType::kEvent) {
+        return DecodeResult::kBadBody;  // pushes always carry the view
+      }
+      return DecodeResult::kOk;
+    }
+    case MsgType::kPing:
+      return DecodeResult::kOk;
+    case MsgType::kStats: {
+      // < 48 bytes cannot be a v1 response; treat it as a request (a
+      // future revision may append request fields — ignore them) so the
+      // forward-compatibility rule holds for STATS too.
+      if (body_len < 48) return DecodeResult::kOk;
+      out.stats.connections = get_u64(body);
+      out.stats.queries = get_u64(body + 8);
+      out.stats.watches = get_u64(body + 16);
+      out.stats.events = get_u64(body + 24);
+      out.stats.groups = get_u64(body + 32);
+      out.stats.io_threads = get_u64(body + 40);
+      out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    default:
+      // Unknown type: header decoded, no body — lets a server answer
+      // kUnsupported and a client skip frames from a newer server.
+      return DecodeResult::kOk;
+  }
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t len) {
+  if (corrupt_) return;
+  // Compact once the consumed prefix dominates, so a long-lived connection
+  // does not grow its buffer without bound.
+  if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+bool FrameDecoder::next(const std::uint8_t*& payload, std::size_t& len) {
+  if (corrupt_) return false;
+  if (buf_.size() - pos_ < 4) return false;
+  const std::uint8_t* p = buf_.data() + pos_;
+  const std::uint32_t payload_len = get_u32(p);
+  if (payload_len > kMaxPayloadBytes) {
+    corrupt_ = true;
+    return false;
+  }
+  if (buf_.size() - pos_ < 4 + static_cast<std::size_t>(payload_len)) {
+    return false;
+  }
+  payload = p + 4;
+  len = payload_len;
+  pos_ += 4 + payload_len;
+  return true;
+}
+
+}  // namespace omega::net

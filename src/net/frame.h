@@ -1,0 +1,164 @@
+// Wire protocol of the leader-query front-end (src/net): length-prefixed
+// binary frames over TCP.
+//
+//   frame    := u32 payload_len (LE) | payload
+//   payload  := header | body
+//   header   := u8 magic (0xA9) | u8 version (1) | u8 type | u8 status
+//               | u64 req_id (LE)
+//
+// All integers are little-endian. `req_id` is chosen by the client and
+// echoed verbatim in the matching response; server-pushed EVENT frames
+// carry req_id 0. `status` is 0 in requests and a Status code in
+// responses. Payloads are capped at kMaxPayloadBytes — a peer announcing
+// more is a protocol error and the connection is closed.
+//
+// Message bodies (v1):
+//   LEADER  req: u64 gid          resp: u64 gid | u32 leader | u64 epoch
+//   WATCH   req: u64 gid          resp: like LEADER (the initial snapshot)
+//   UNWATCH req: u64 gid          resp: u64 gid
+//   PING    req: (empty)          resp: (empty)
+//   STATS   req: (empty)          resp: 6 × u64 (see StatsBody)
+//   EVENT   (server push only):   u64 gid | u32 leader | u64 epoch
+//
+// `leader` is the ProcessId on the wire, with kNoProcess (0xffffffff)
+// meaning "no agreed leader right now". `epoch` is the fencing token: it
+// increments on every change of the group's agreed view, so a client
+// holding a lease obtained at epoch E must treat any frame for that group
+// with a larger epoch as an invalidation.
+//
+// Versioning: bumping kVersion invalidates old peers loudly (decode
+// rejects the frame) instead of silently misparsing; body decoders accept
+// trailing bytes they do not understand so a future minor revision can
+// append fields without breaking v1 readers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace omega::net {
+
+inline constexpr std::uint8_t kMagic = 0xA9;
+inline constexpr std::uint8_t kVersion = 1;
+
+/// Hard cap on a frame's payload; v1 bodies are tiny, so anything larger
+/// is garbage or an attack, not a message.
+inline constexpr std::uint32_t kMaxPayloadBytes = 4096;
+
+/// Bytes of the fixed header inside the payload.
+inline constexpr std::size_t kHeaderBytes = 1 + 1 + 1 + 1 + 8;
+
+enum class MsgType : std::uint8_t {
+  kLeader = 1,   ///< point query: who leads group G?
+  kWatch = 2,    ///< subscribe to G's epoch changes (resp = snapshot)
+  kUnwatch = 3,  ///< drop the subscription
+  kPing = 4,     ///< liveness / RTT probe
+  kStats = 5,    ///< server counters
+  kEvent = 6,    ///< server push: G's agreed view changed
+};
+
+enum class Status : std::uint8_t {
+  kOk = 0,
+  kUnknownGroup = 1,  ///< gid not registered with the service
+  kBadRequest = 2,    ///< body malformed for the declared type
+  kUnsupported = 3,   ///< type unknown to this server version
+};
+
+struct FrameHeader {
+  MsgType type = MsgType::kPing;
+  Status status = Status::kOk;
+  std::uint64_t req_id = 0;
+};
+
+/// Group id on the wire (matches svc::GroupId's representation).
+using WireGroupId = std::uint64_t;
+
+/// Body of LEADER/WATCH responses and EVENT pushes.
+struct ViewBody {
+  WireGroupId gid = 0;
+  ProcessId leader = kNoProcess;
+  std::uint64_t epoch = 0;
+};
+
+/// Body of a STATS response.
+struct StatsBody {
+  std::uint64_t connections = 0;    ///< currently open connections
+  std::uint64_t queries = 0;        ///< LEADER requests served
+  std::uint64_t watches = 0;        ///< active (gid, connection) watches
+  std::uint64_t events = 0;         ///< EVENT frames pushed
+  std::uint64_t groups = 0;         ///< groups registered with the service
+  std::uint64_t io_threads = 0;     ///< serving event loops
+};
+
+/// A decoded frame: header plus whichever body the type carries. Bodies
+/// the type does not use stay default-initialized.
+struct Frame {
+  FrameHeader header;
+  ViewBody view;    ///< kLeader/kWatch/kUnwatch (gid only in requests)
+  StatsBody stats;  ///< kStats responses
+  bool has_body = false;  ///< a gid/view/stats body was present
+};
+
+// --- encoding --------------------------------------------------------------
+// Encoders append one complete frame (length prefix included) to `out`,
+// so a caller can batch several frames into one write buffer.
+
+void encode_request(std::vector<std::uint8_t>& out, MsgType type,
+                    std::uint64_t req_id, std::optional<WireGroupId> gid);
+
+void encode_view_frame(std::vector<std::uint8_t>& out, MsgType type,
+                       Status status, std::uint64_t req_id,
+                       const ViewBody& view);
+
+void encode_simple_response(std::vector<std::uint8_t>& out, MsgType type,
+                            Status status, std::uint64_t req_id);
+
+void encode_gid_response(std::vector<std::uint8_t>& out, MsgType type,
+                         Status status, std::uint64_t req_id, WireGroupId gid);
+
+void encode_stats_response(std::vector<std::uint8_t>& out,
+                           std::uint64_t req_id, const StatsBody& stats);
+
+// --- decoding --------------------------------------------------------------
+
+enum class DecodeResult {
+  kOk,
+  kBadMagic,     ///< wrong magic or version byte
+  kBadLength,    ///< payload shorter than the fixed header
+  kBadBody,      ///< body too short for the declared type
+};
+
+/// Decodes one payload (the bytes after the length prefix) into `out`.
+/// Trailing bytes beyond the recognized body are ignored (forward
+/// compatibility); unknown types decode with has_body=false so the server
+/// can answer kUnsupported instead of dropping the connection.
+DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
+                            Frame& out);
+
+/// Incremental stream reassembler: feed() raw TCP bytes, then drain
+/// complete payloads with next(). Rejects oversized length prefixes.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the stream.
+  void feed(const std::uint8_t* data, std::size_t len);
+
+  /// If a complete frame is buffered, sets `payload`/`len` to its payload
+  /// bytes (valid until the next feed()/next() call) and returns true.
+  /// Returns false when more bytes are needed.
+  bool next(const std::uint8_t*& payload, std::size_t& len);
+
+  /// True once a length prefix exceeded kMaxPayloadBytes; the stream is
+  /// unrecoverable and the connection must be closed.
+  bool corrupt() const noexcept { return corrupt_; }
+
+  std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;  ///< consumed prefix of buf_
+  bool corrupt_ = false;
+};
+
+}  // namespace omega::net

@@ -1,0 +1,417 @@
+#include "net/leader_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+#include "common/check.h"
+
+namespace omega::net {
+
+namespace {
+
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  // Best effort: latency tuning, not correctness.
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+LeaderServer::LeaderServer(svc::MultiGroupLeaderService& service,
+                           NetConfig cfg)
+    : service_(service), cfg_(std::move(cfg)) {
+  OMEGA_CHECK(cfg_.io_threads >= 1 && cfg_.io_threads <= 64,
+              "io_threads must be in [1, 64], got " << cfg_.io_threads);
+  loops_.reserve(cfg_.io_threads);
+  for (std::uint32_t i = 0; i < cfg_.io_threads; ++i) {
+    loops_.push_back(std::make_unique<Loop>());
+  }
+  std::vector<EventLoop*> raw;
+  raw.reserve(loops_.size());
+  for (auto& l : loops_) raw.push_back(&l->loop);
+  hub_ = std::make_unique<WatchHub>(
+      std::move(raw), [this](std::uint32_t loop, svc::GroupId gid,
+                             svc::LeaderView view) {
+        deliver_event(loop, gid, view);
+      });
+  open_listener();
+  reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
+LeaderServer::~LeaderServer() {
+  stop();
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (reserve_fd_ >= 0) ::close(reserve_fd_);
+}
+
+void LeaderServer::open_listener() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  OMEGA_CHECK(listen_fd_ >= 0, "socket: errno " << errno);
+  int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  OMEGA_CHECK(inet_pton(AF_INET, cfg_.bind_address.c_str(),
+                        &addr.sin_addr) == 1,
+              "bad bind address " << cfg_.bind_address);
+  OMEGA_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr) == 0,
+              "bind " << cfg_.bind_address << ":" << cfg_.port << ": errno "
+                      << errno);
+  OMEGA_CHECK(::listen(listen_fd_, 256) == 0, "listen: errno " << errno);
+  socklen_t len = sizeof addr;
+  OMEGA_CHECK(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          &len) == 0,
+              "getsockname: errno " << errno);
+  port_ = ntohs(addr.sin_port);
+}
+
+void LeaderServer::start() {
+  OMEGA_CHECK(!started_, "start() called twice");
+  started_ = true;
+  for (std::uint32_t i = 0; i < cfg_.io_threads; ++i) {
+    Loop* l = loops_[i].get();
+    l->thread = std::thread([l] { l->loop.run(); });
+  }
+  // The acceptor lives on loop 0. Registered via post() so the add_fd
+  // happens on the loop thread (EventLoop registration is loop-confined).
+  loops_[0]->loop.post([this] {
+    loops_[0]->loop.add_fd(listen_fd_, EPOLLIN,
+                           [this](std::uint32_t) { on_accept(); });
+  });
+  service_.set_epoch_listener(
+      [this](svc::GroupId gid, const svc::LeaderView& view) {
+        hub_->publish(gid, view);
+      });
+}
+
+void LeaderServer::stop() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // Workers must stop calling into the hub before the loops go away.
+  service_.set_epoch_listener({});
+  for (auto& l : loops_) l->loop.stop();
+  for (auto& l : loops_) {
+    if (l->thread.joinable()) l->thread.join();
+  }
+  // Loop threads are gone: connection state is safe to touch from here.
+  // Drain once more first — an acceptor racing the shutdown may have
+  // posted an adoption task after its target loop's final drain; running
+  // it here lands the fd in l.conns so the cleanup below closes it.
+  for (auto& l : loops_) l->loop.drain_pending();
+  for (auto& l : loops_) {
+    for (auto& [fd, conn] : l->conns) ::close(conn->fd);
+    l->conns.clear();
+    l->watchers.clear();
+  }
+}
+
+NetServerStats LeaderServer::stats() const {
+  NetServerStats s;
+  for (const auto& l : loops_) {
+    s.accepted += l->counters.accepted.load(std::memory_order_relaxed);
+    s.closed += l->counters.closed.load(std::memory_order_relaxed);
+    s.queries += l->counters.queries.load(std::memory_order_relaxed);
+    s.watches += l->counters.watches.load(std::memory_order_relaxed);
+    s.events += l->counters.events.load(std::memory_order_relaxed);
+    s.protocol_errors +=
+        l->counters.protocol_errors.load(std::memory_order_relaxed);
+    s.slow_closed += l->counters.slow_closed.load(std::memory_order_relaxed);
+  }
+  s.connections = open_connections_.load(std::memory_order_relaxed);
+  return s;
+}
+
+StatsBody LeaderServer::stats_body() const {
+  const NetServerStats s = stats();
+  StatsBody b;
+  b.connections = s.connections;
+  b.queries = s.queries;
+  b.watches = s.watches;
+  b.events = s.events;
+  b.groups = service_.num_groups();
+  b.io_threads = cfg_.io_threads;
+  return b;
+}
+
+void LeaderServer::on_accept() {
+  // Edge-triggered: accept until the backlog is drained.
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if ((errno == EMFILE || errno == ENFILE) && reserve_fd_ >= 0) {
+        // Out of fds: momentarily release the reserve so the queued
+        // connection can be accepted and shed — the client gets a prompt
+        // reset instead of hanging in a backlog whose readiness edge has
+        // already been consumed.
+        ::close(reserve_fd_);
+        const int shed = ::accept4(listen_fd_, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+        if (shed >= 0) ::close(shed);
+        reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+        continue;
+      }
+      return;  // unexpected accept error: drop the batch, stay alive
+    }
+    if (open_connections_.load(std::memory_order_relaxed) >=
+        cfg_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    set_tcp_nodelay(fd);
+    open_connections_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t target = next_loop_;
+    next_loop_ = (next_loop_ + 1) % cfg_.io_threads;
+    if (target == 0) {
+      adopt_connection(0, fd);
+    } else {
+      loops_[target]->loop.post(
+          [this, target, fd] { adopt_connection(target, fd); });
+    }
+  }
+}
+
+void LeaderServer::adopt_connection(std::uint32_t loop_idx, int fd) {
+  Loop& l = *loops_[loop_idx];
+  auto conn = std::make_unique<Connection>();
+  conn->fd = fd;
+  conn->loop = loop_idx;
+  l.conns.emplace(fd, std::move(conn));
+  l.counters.accepted.fetch_add(1, std::memory_order_relaxed);
+  l.loop.add_fd(fd, EPOLLIN, [this, loop_idx, fd](std::uint32_t events) {
+    on_io(loop_idx, fd, events);
+  });
+}
+
+void LeaderServer::drop_watch(Loop& l, Connection& c, svc::GroupId gid) {
+  hub_->remove_watch(gid, c.loop);
+  const auto it = l.watchers.find(gid);
+  if (it != l.watchers.end()) {
+    auto& v = it->second;
+    v.erase(std::remove(v.begin(), v.end(), &c), v.end());
+    if (v.empty()) l.watchers.erase(it);
+  }
+  l.counters.watches.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void LeaderServer::close_connection(Loop& l, Connection& c) {
+  for (const svc::GroupId gid : c.watches) drop_watch(l, c, gid);
+  l.loop.remove_fd(c.fd);
+  ::close(c.fd);
+  l.counters.closed.fetch_add(1, std::memory_order_relaxed);
+  open_connections_.fetch_sub(1, std::memory_order_relaxed);
+  l.conns.erase(c.fd);  // destroys c — must be last
+}
+
+bool LeaderServer::flush(Loop& l, Connection& c) {
+  while (c.out_pos < c.out.size()) {
+    const ssize_t n = ::send(c.fd, c.out.data() + c.out_pos,
+                             c.out.size() - c.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      c.out_pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Backpressure: a peer that stops reading while responses/events
+      // keep queueing gets disconnected rather than growing the buffer.
+      if (c.out.size() - c.out_pos > cfg_.max_outbuf_bytes) {
+        l.counters.slow_closed.fetch_add(1, std::memory_order_relaxed);
+        close_connection(l, c);
+        return false;
+      }
+      if (!c.want_write) {
+        c.want_write = true;
+        l.loop.mod_fd(c.fd, EPOLLIN | EPOLLOUT);
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    close_connection(l, c);
+    return false;
+  }
+  c.out.clear();
+  c.out_pos = 0;
+  if (c.want_write) {
+    c.want_write = false;
+    l.loop.mod_fd(c.fd, EPOLLIN);
+  }
+  return true;
+}
+
+void LeaderServer::on_io(std::uint32_t loop_idx, int fd,
+                         std::uint32_t events) {
+  Loop& l = *loops_[loop_idx];
+  const auto it = l.conns.find(fd);
+  if (it == l.conns.end()) return;  // closed earlier in this batch
+  Connection& c = *it->second;
+
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_connection(l, c);
+    return;
+  }
+  if (events & EPOLLOUT) {
+    if (!flush(l, c)) return;
+  }
+  if (!(events & EPOLLIN)) return;
+
+  // Edge-triggered: drain the socket. Frames are handled as they complete,
+  // responses accumulate in c.out and are flushed once per readiness batch.
+  // Two bounds protect the loop from a peer that sends at line rate
+  // without reading replies: the output buffer is flushed (and, via the
+  // backpressure check in flush(), possibly closed) whenever it exceeds
+  // the cap, and one callback drains at most kReadBudget bytes before
+  // re-posting itself so shard-mates on this loop still get served.
+  constexpr std::size_t kReadBudget = 256 * 1024;
+  std::size_t drained = 0;
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(c.fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      c.in.feed(buf, static_cast<std::size_t>(n));
+      const std::uint8_t* payload = nullptr;
+      std::size_t len = 0;
+      while (c.in.next(payload, len)) {
+        Frame frame;
+        const DecodeResult r = decode_payload(payload, len, frame);
+        if (r != DecodeResult::kOk) {
+          l.counters.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+          close_connection(l, c);
+          return;
+        }
+        if (!handle_frame(l, c, frame)) return;
+      }
+      if (c.in.corrupt()) {
+        l.counters.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        close_connection(l, c);
+        return;
+      }
+      if (c.out.size() - c.out_pos > cfg_.max_outbuf_bytes) {
+        if (!flush(l, c)) return;  // closed: slow consumer over the cap
+      }
+      drained += static_cast<std::size_t>(n);
+      if (drained >= kReadBudget) {
+        // Yield the loop; the edge is not lost because we re-invoke
+        // ourselves (the task runs after the current dispatch batch).
+        flush(l, c);
+        l.loop.post([this, loop_idx, fd] { on_io(loop_idx, fd, EPOLLIN); });
+        return;
+      }
+      if (static_cast<std::size_t>(n) < sizeof buf) break;  // drained
+      continue;
+    }
+    if (n == 0) {  // orderly peer close
+      close_connection(l, c);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(l, c);
+    return;
+  }
+  flush(l, c);
+}
+
+bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
+  const std::uint64_t id = frame.header.req_id;
+  // decode_payload guarantees a gid body for the three group-addressed
+  // types (a short body is kBadBody and closed the connection in on_io),
+  // so frame.view.gid is always valid below.
+  switch (frame.header.type) {
+    case MsgType::kLeader: {
+      l.counters.queries.fetch_add(1, std::memory_order_relaxed);
+      svc::LeaderView view;
+      if (!service_.try_leader(frame.view.gid, view)) {
+        encode_gid_response(c.out, MsgType::kLeader, Status::kUnknownGroup,
+                            id, frame.view.gid);
+        return true;
+      }
+      encode_view_frame(c.out, MsgType::kLeader, Status::kOk, id,
+                        ViewBody{frame.view.gid, view.leader, view.epoch});
+      return true;
+    }
+    case MsgType::kWatch: {
+      const svc::GroupId gid = frame.view.gid;
+      // Subscribe *before* reading the snapshot so a concurrent epoch
+      // change is never lost (it may be duplicated; clients dedupe).
+      const bool fresh = c.watches.insert(gid).second;
+      if (fresh) {
+        hub_->add_watch(gid, c.loop);
+        l.watchers[gid].push_back(&c);
+        l.counters.watches.fetch_add(1, std::memory_order_relaxed);
+      }
+      svc::LeaderView view;
+      if (!service_.try_leader(gid, view)) {
+        if (fresh) {  // roll the subscription back: nothing to watch
+          drop_watch(l, c, gid);
+          c.watches.erase(gid);
+        }
+        encode_gid_response(c.out, MsgType::kWatch, Status::kUnknownGroup,
+                            id, gid);
+        return true;
+      }
+      encode_view_frame(c.out, MsgType::kWatch, Status::kOk, id,
+                        ViewBody{gid, view.leader, view.epoch});
+      return true;
+    }
+    case MsgType::kUnwatch: {
+      const svc::GroupId gid = frame.view.gid;
+      if (c.watches.erase(gid) > 0) drop_watch(l, c, gid);
+      encode_gid_response(c.out, MsgType::kUnwatch, Status::kOk, id, gid);
+      return true;
+    }
+    case MsgType::kPing:
+      encode_simple_response(c.out, MsgType::kPing, Status::kOk, id);
+      return true;
+    case MsgType::kStats:
+      encode_stats_response(c.out, id, stats_body());
+      return true;
+    case MsgType::kEvent:
+      // EVENT is strictly server -> client; a peer sending one is broken,
+      // and echoing the type back would emit a body-less EVENT frame our
+      // own decoder rejects. Treat it as a protocol violation.
+      l.counters.protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      close_connection(l, c);
+      return false;
+    default:
+      encode_simple_response(c.out, frame.header.type, Status::kUnsupported,
+                             id);
+      return true;
+  }
+}
+
+void LeaderServer::deliver_event(std::uint32_t loop_idx, svc::GroupId gid,
+                                 svc::LeaderView view) {
+  Loop& l = *loops_[loop_idx];
+  const auto it = l.watchers.find(gid);
+  if (it == l.watchers.end()) return;  // last watcher left before delivery
+  // Snapshot fds, not pointers: flushing one target can close a
+  // connection (backpressure), and a freed sibling must be detected by
+  // key lookup, never by dereferencing its pointer.
+  std::vector<int> target_fds;
+  target_fds.reserve(it->second.size());
+  for (const Connection* c : it->second) target_fds.push_back(c->fd);
+  for (const int fd : target_fds) {
+    const auto cit = l.conns.find(fd);
+    if (cit == l.conns.end()) continue;  // closed earlier in this delivery
+    Connection& c = *cit->second;
+    encode_view_frame(c.out, MsgType::kEvent, Status::kOk, /*req_id=*/0,
+                      ViewBody{gid, view.leader, view.epoch});
+    l.counters.events.fetch_add(1, std::memory_order_relaxed);
+    flush(l, c);
+  }
+}
+
+}  // namespace omega::net

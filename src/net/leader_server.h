@@ -1,0 +1,149 @@
+// LeaderServer: the TCP front-end of the multi-group leader service.
+//
+// Topology: one listening socket (owned by loop 0, which doubles as the
+// acceptor) and N independent IO threads, each running one epoll
+// EventLoop. Accepted connections are assigned to loops round-robin; from
+// then on every byte of that connection is handled by exactly one thread,
+// so connection state needs no locks.
+//
+// Hot path: a LEADER request is answered entirely on the IO thread that
+// read it — registry shard-map lookup plus one atomic LeaderCacheEntry
+// load (svc::MultiGroupLeaderService::try_leader) — with no hop to any
+// other thread. Watches are push-based: start() installs the svc epoch
+// listener, so a shard worker that publishes a new view hands (gid, view)
+// to the WatchHub, which posts one delivery task per interested loop; the
+// loop writes EVENT frames to its watching connections.
+//
+// Lifecycle: construct (binds + listens, so port() is valid immediately),
+// start() (spawns the IO threads and installs the epoch listener), stop()
+// (uninstalls the listener, stops loops, closes every socket). The server
+// must be stopped before the MultiGroupLeaderService it serves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "net/watch_hub.h"
+#include "svc/multigroup_service.h"
+
+namespace omega::net {
+
+struct NetConfig {
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  std::uint32_t io_threads = 1;
+  /// Accepted connections beyond this are closed immediately (fd budget).
+  std::uint32_t max_connections = 4096;
+  /// Backpressure: a connection whose unsent output (queued responses +
+  /// watch events behind a peer that stopped reading) exceeds this is
+  /// closed — one slow consumer must not grow server memory unboundedly.
+  std::size_t max_outbuf_bytes = 1 << 20;
+};
+
+/// Aggregate server counters (see frame.h StatsBody for the wire form).
+struct NetServerStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t connections = 0;  ///< currently open
+  std::uint64_t queries = 0;
+  std::uint64_t watches = 0;  ///< active (gid, connection) pairs
+  std::uint64_t events = 0;   ///< EVENT frames written
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t slow_closed = 0;  ///< closed for exceeding max_outbuf_bytes
+};
+
+class LeaderServer {
+ public:
+  /// Binds and listens immediately (throws InvariantViolation on failure),
+  /// but serves nothing until start().
+  LeaderServer(svc::MultiGroupLeaderService& service, NetConfig cfg = {});
+  ~LeaderServer();
+
+  LeaderServer(const LeaderServer&) = delete;
+  LeaderServer& operator=(const LeaderServer&) = delete;
+
+  /// Spawns the IO threads and installs the epoch listener. Once.
+  void start();
+
+  /// Stops IO threads, closes all connections, clears the epoch listener.
+  /// Idempotent.
+  void stop();
+
+  /// The bound port (resolves cfg.port == 0 to the kernel-chosen one).
+  std::uint16_t port() const noexcept { return port_; }
+
+  NetServerStats stats() const;
+
+ private:
+  /// One accepted connection; owned by exactly one loop's thread.
+  struct Connection {
+    int fd = -1;
+    std::uint32_t loop = 0;
+    FrameDecoder in;
+    std::vector<std::uint8_t> out;  ///< unsent bytes [out_pos, end)
+    std::size_t out_pos = 0;
+    bool want_write = false;  ///< EPOLLOUT currently armed
+    std::unordered_set<svc::GroupId> watches;
+  };
+
+  /// Per-IO-thread state. Only `counters` is read cross-thread.
+  struct Loop {
+    EventLoop loop;
+    std::thread thread;
+    std::unordered_map<int, std::unique_ptr<Connection>> conns;
+    /// gid → connections on this loop watching it (loop-confined).
+    std::unordered_map<svc::GroupId, std::vector<Connection*>> watchers;
+    struct Counters {
+      std::atomic<std::uint64_t> accepted{0};
+      std::atomic<std::uint64_t> closed{0};
+      std::atomic<std::uint64_t> queries{0};
+      std::atomic<std::uint64_t> watches{0};  ///< current, not cumulative
+      std::atomic<std::uint64_t> events{0};
+      std::atomic<std::uint64_t> protocol_errors{0};
+      std::atomic<std::uint64_t> slow_closed{0};
+    } counters;
+  };
+
+  void open_listener();
+  void on_accept();
+  void adopt_connection(std::uint32_t loop_idx, int fd);
+  void on_io(std::uint32_t loop_idx, int fd, std::uint32_t events);
+  /// Returns false if the frame was a protocol violation and the
+  /// connection was closed (the caller must stop touching `c`).
+  bool handle_frame(Loop& l, Connection& c, const Frame& frame);
+  void deliver_event(std::uint32_t loop_idx, svc::GroupId gid,
+                     svc::LeaderView view);
+  /// Writes as much of c.out as the socket takes; arms/disarms EPOLLOUT.
+  /// Returns false if the connection died.
+  bool flush(Loop& l, Connection& c);
+  void close_connection(Loop& l, Connection& c);
+  /// Drops one (gid, connection) subscription from the hub and the loop's
+  /// watcher list (does not touch c.watches — callers own that set).
+  void drop_watch(Loop& l, Connection& c, svc::GroupId gid);
+  StatsBody stats_body() const;
+
+  svc::MultiGroupLeaderService& service_;
+  NetConfig cfg_;
+  int listen_fd_ = -1;
+  /// Sacrificial fd released under EMFILE so the backlog can be accepted
+  /// and shed (closed) instead of hanging: with EPOLLET, connections left
+  /// in the backlog would never re-announce themselves.
+  int reserve_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::unique_ptr<WatchHub> hub_;
+  std::uint32_t next_loop_ = 0;  ///< round-robin assignment (loop 0 only)
+  std::atomic<std::uint64_t> open_connections_{0};
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace omega::net

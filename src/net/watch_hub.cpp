@@ -1,0 +1,56 @@
+#include "net/watch_hub.h"
+
+#include "common/check.h"
+
+namespace omega::net {
+
+WatchHub::WatchHub(std::vector<EventLoop*> loops, Deliver deliver)
+    : loops_(std::move(loops)), deliver_(std::move(deliver)) {
+  OMEGA_CHECK(!loops_.empty(), "watch hub needs at least one loop");
+  OMEGA_CHECK(loops_.size() <= 64, "publish() packs loops into a u64 mask");
+  OMEGA_CHECK(deliver_ != nullptr, "watch hub needs a delivery sink");
+}
+
+void WatchHub::add_watch(svc::GroupId gid, std::uint32_t loop) {
+  OMEGA_CHECK(loop < loops_.size(), "bad loop index " << loop);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& counts = watched_[gid];
+  if (counts.empty()) counts.resize(loops_.size(), 0);
+  ++counts[loop];
+}
+
+void WatchHub::remove_watch(svc::GroupId gid, std::uint32_t loop) {
+  OMEGA_CHECK(loop < loops_.size(), "bad loop index " << loop);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = watched_.find(gid);
+  if (it == watched_.end()) return;  // already gone (idempotent close paths)
+  auto& counts = it->second;
+  if (counts[loop] > 0) --counts[loop];
+  for (const std::uint32_t c : counts) {
+    if (c > 0) return;
+  }
+  watched_.erase(it);
+}
+
+void WatchHub::publish(svc::GroupId gid, const svc::LeaderView& view) {
+  published_.fetch_add(1, std::memory_order_relaxed);
+  // Snapshot the interested loops under the lock, post outside it: post()
+  // takes each loop's task mutex and we never want to hold two locks.
+  std::uint64_t interested = 0;  // bitmask; loops are few (≤ 64)
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = watched_.find(gid);
+    if (it == watched_.end()) return;
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      if (it->second[i] > 0) interested |= std::uint64_t{1} << i;
+    }
+  }
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    if (!(interested & (std::uint64_t{1} << i))) continue;
+    deliveries_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t loop = static_cast<std::uint32_t>(i);
+    loops_[i]->post([this, loop, gid, view] { deliver_(loop, gid, view); });
+  }
+}
+
+}  // namespace omega::net

@@ -1,0 +1,73 @@
+// WatchHub: routes svc epoch-change notifications to the IO loops whose
+// connections watch the changed group.
+//
+// Split of responsibilities: the hub only knows, per group, *which loops*
+// have at least one subscriber (a small refcount array per gid); which
+// *connections* on a loop watch a group is loop-confined state owned by
+// the server. publish() — called from svc worker threads via the
+// GroupRegistry epoch listener — therefore does one short map lookup and
+// then posts a delivery task to each interested loop; everything touching
+// connection state runs on that loop's thread. Epoch changes are rare
+// relative to queries, so the single hub mutex is not a hot lock.
+//
+// Delivery semantics are at-least-once relative to the WATCH snapshot: a
+// subscriber is registered *before* the snapshot is read, so a transition
+// racing the subscription shows up either in the snapshot, as an event, or
+// both — never neither. Clients deduplicate by epoch.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "svc/svc_types.h"
+
+namespace omega::net {
+
+class WatchHub {
+ public:
+  /// `deliver` runs on the interested loop's thread with (loop index, gid,
+  /// view); the server uses it to fan out EVENT frames to that loop's
+  /// watching connections.
+  using Deliver =
+      std::function<void(std::uint32_t, svc::GroupId, svc::LeaderView)>;
+
+  WatchHub(std::vector<EventLoop*> loops, Deliver deliver);
+
+  /// Registers one more watcher of `gid` living on `loop`. Called by the
+  /// loop thread while handling a WATCH request, *before* it reads the
+  /// snapshot (see delivery semantics above).
+  void add_watch(svc::GroupId gid, std::uint32_t loop);
+
+  /// Drops one watcher of `gid` on `loop` (UNWATCH or connection close).
+  void remove_watch(svc::GroupId gid, std::uint32_t loop);
+
+  /// Epoch-listener target: fans the transition out to every loop with a
+  /// live subscriber. Called from svc worker threads — cost is one mutex,
+  /// one lookup, and one post() per interested loop.
+  void publish(svc::GroupId gid, const svc::LeaderView& view);
+
+  std::uint64_t published() const noexcept {
+    return published_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t deliveries() const noexcept {
+    return deliveries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<EventLoop*> loops_;
+  Deliver deliver_;
+
+  std::mutex mu_;
+  /// gid → per-loop subscriber refcounts (entry erased when all zero).
+  std::unordered_map<svc::GroupId, std::vector<std::uint32_t>> watched_;
+
+  std::atomic<std::uint64_t> published_{0};   ///< publish() calls seen
+  std::atomic<std::uint64_t> deliveries_{0};  ///< per-loop posts made
+};
+
+}  // namespace omega::net

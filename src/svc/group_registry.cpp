@@ -113,4 +113,17 @@ void GroupRegistry::snapshot_shard(
   }
 }
 
+void GroupRegistry::set_epoch_listener(EpochListener listener) {
+  // Unique lock: waits for every notify holding the shared side to leave
+  // its callback, making the swap a completion barrier (see header).
+  std::unique_lock<std::shared_mutex> lock(listener_mu_);
+  listener_ = std::move(listener);
+}
+
+void GroupRegistry::notify_epoch_change(GroupId gid,
+                                        const LeaderView& view) const {
+  std::shared_lock<std::shared_mutex> lock(listener_mu_);
+  if (listener_) listener_(gid, view);
+}
+
 }  // namespace omega::svc

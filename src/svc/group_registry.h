@@ -9,6 +9,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -78,6 +79,23 @@ class GroupRegistry {
   void snapshot_shard(std::uint32_t shard,
                       std::vector<std::shared_ptr<Group>>& out) const;
 
+  // --- epoch-change seam ---------------------------------------------------
+
+  /// Installs (or clears, with an empty function) the listener that
+  /// `notify_epoch_change` fans out to. Safe to call at any time, including
+  /// while the worker pool is running — and it is a barrier: by the time
+  /// it returns, no in-flight invocation of the *previous* listener is
+  /// still running, so a consumer may tear down the state its callback
+  /// captured right after clearing it.
+  void set_epoch_listener(EpochListener listener);
+
+  /// Called by the shard worker that just published a new cached view for
+  /// `gid`. Invokes the installed listener (if any) under a shared lock
+  /// (concurrent notifies don't serialize; only a listener swap excludes
+  /// them); exceptions from the listener are treated as a model violation
+  /// and propagate to the worker's failure handling.
+  void notify_epoch_change(GroupId gid, const LeaderView& view) const;
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -89,6 +107,11 @@ class GroupRegistry {
   std::int64_t tick_us_;
   std::function<SimTime()> clock_;
   std::atomic<std::size_t> total_{0};
+
+  /// Reader/writer split: notifiers hold the shared side across the
+  /// callback so a swap (unique side) doubles as a completion barrier.
+  mutable std::shared_mutex listener_mu_;
+  EpochListener listener_;
 };
 
 }  // namespace omega::svc

@@ -35,6 +35,13 @@ LeaderView MultiGroupLeaderService::leader(GroupId gid) const {
   return find_checked(gid)->cache.load();
 }
 
+bool MultiGroupLeaderService::try_leader(GroupId gid, LeaderView& out) const {
+  const auto group = registry_.find(gid);
+  if (!group) return false;
+  out = group->cache.load();
+  return true;
+}
+
 void MultiGroupLeaderService::crash(GroupId gid, ProcessId pid) {
   auto group = find_checked(gid);
   OMEGA_CHECK(pid < group->spec.n,

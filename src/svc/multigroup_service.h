@@ -59,6 +59,17 @@ class MultiGroupLeaderService {
   /// InvariantViolation for an unknown id.
   LeaderView leader(GroupId gid) const;
 
+  /// Non-throwing variant for serving frontends: returns false (leaving
+  /// `out` untouched) when `gid` is unknown instead of throwing, so a
+  /// remote query for a bogus id costs no exception on the server.
+  bool try_leader(GroupId gid, LeaderView& out) const;
+
+  /// Installs (or clears) the epoch-change push listener; see
+  /// GroupRegistry::set_epoch_listener for the threading contract.
+  void set_epoch_listener(EpochListener listener) {
+    registry_.set_epoch_listener(std::move(listener));
+  }
+
   // --- control plane ------------------------------------------------------
 
   /// Simulated crash of process `pid` in group `gid`.

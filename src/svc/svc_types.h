@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/ids.h"
@@ -41,6 +42,16 @@ struct SvcConfig {
   /// boxes with fewer cores than workers a small pace keeps the query
   /// frontend and control threads responsive.
   std::int64_t pace_us = 0;
+  /// Niceness the workers give themselves at start (0 = inherit). Once a
+  /// fleet is converged, stepping is pure maintenance: on machines where
+  /// the pool shares cores with serving threads (the net front-end, an
+  /// application), a high niceness keeps sweep bursts from sitting in
+  /// front of latency-sensitive work — the scheduler preempts the worker
+  /// almost immediately instead of letting it finish its timeslice.
+  /// Raising one's own niceness needs no privilege. Linux-only; ignored
+  /// elsewhere. Pick timeouts (`tick_us`) with enough margin over the
+  /// *deprioritized* sweep interval, or monitors will suspect live peers.
+  int worker_nice = 0;
 };
 
 /// One answer from the query frontend. `epoch` increments every time the
@@ -54,6 +65,15 @@ struct LeaderView {
 
   friend bool operator==(const LeaderView&, const LeaderView&) = default;
 };
+
+/// Push seam for epoch transitions: invoked by the owning shard worker
+/// right after it publishes a new cached view (i.e. `epoch` just moved).
+/// Consumers (the network watch hub, benches) get transitions pushed to
+/// them instead of polling `leader()`. The callback runs on the worker's
+/// stepping path, so it must be cheap and must never block on work that
+/// itself waits for this worker — hand off to another thread for anything
+/// heavier than enqueue+wake.
+using EpochListener = std::function<void(GroupId, const LeaderView&)>;
 
 /// Point-in-time observation of one group (control-plane, not hot path).
 struct GroupStatus {

@@ -2,6 +2,12 @@
 
 #include <unordered_map>
 
+#ifdef __linux__
+#include <sys/resource.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
 namespace omega::svc {
 
 WorkerPool::WorkerPool(GroupRegistry& registry, const SvcConfig& cfg)
@@ -70,6 +76,15 @@ void WorkerPool::mark_failed(Group& group, const char* what) {
 }
 
 void WorkerPool::run_worker(std::uint32_t w) {
+#ifdef __linux__
+  if (cfg_.worker_nice > 0) {
+    // Per-thread niceness: only this worker is deprioritized, not the
+    // process. Raising one's own niceness cannot fail for permissions.
+    (void)setpriority(PRIO_PROCESS,
+                      static_cast<id_t>(syscall(SYS_gettid)),
+                      cfg_.worker_nice);
+  }
+#endif
   Worker& me = *workers_[w];
   std::vector<TimerWheel::Due> due;
   std::unordered_map<GroupId, Group*> index;
@@ -139,7 +154,12 @@ void WorkerPool::run_worker(std::uint32_t w) {
           const std::int64_t deadline = ex.poll_timer(now);
           if (deadline != kNoDeadline) me.wheel.insert(deadline, g.id, pid);
         }
-        g.cache.publish(g.agreed());
+        // publish() returning true means the epoch just moved: push the
+        // transition through the registry's listener seam (watch hub,
+        // benches) instead of making consumers poll the cache.
+        if (g.cache.publish(g.agreed())) {
+          registry_.notify_epoch_change(g.id, g.cache.load());
+        }
       } catch (const std::exception& e) {
         mark_failed(g, e.what());
       }

@@ -11,7 +11,9 @@
 //      (ProcExecutor::drain_monitor) and re-files the next timeout;
 //   3. round-robin the shard's groups, giving every live process a bounded
 //      budget of heartbeat/app operations, arming any timer the monitor
-//      re-suspended on, and republishing the group's cached leader view.
+//      re-suspended on, and republishing the group's cached leader view —
+//      pushing the transition through the registry's epoch listener
+//      whenever the published view (and hence the epoch) actually moved.
 //
 // Operations of different groups never touch shared state (each group has
 // its own registers), so workers need no locks on the stepping path.

@@ -1,0 +1,125 @@
+// LeaderCacheEntry (svc/leader_cache.h): the single packed word the query
+// frontend serves from. Covers epoch invalidation (every visible change
+// bumps the epoch) and stale-read rejection (a fencing token taken at
+// epoch E fails validation after any change) — paths the system tests only
+// exercise indirectly through full elections.
+#include "svc/leader_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace omega::svc {
+namespace {
+
+TEST(LeaderCache, StartsWithNoLeaderAtEpochZero) {
+  LeaderCacheEntry cache;
+  const LeaderView v = cache.load();
+  EXPECT_EQ(v.leader, kNoProcess);
+  EXPECT_EQ(v.epoch, 0u);
+}
+
+TEST(LeaderCache, PublishBumpsEpochOnlyOnChange) {
+  LeaderCacheEntry cache;
+  EXPECT_TRUE(cache.publish(ProcessId{2}));
+  LeaderView v = cache.load();
+  EXPECT_EQ(v.leader, 2u);
+  EXPECT_EQ(v.epoch, 1u);
+
+  // Republishing the same leader is the quiet-sweep fast path: no store,
+  // no epoch movement, cached fencing tokens stay valid.
+  EXPECT_FALSE(cache.publish(ProcessId{2}));
+  v = cache.load();
+  EXPECT_EQ(v.epoch, 1u);
+
+  EXPECT_TRUE(cache.publish(ProcessId{5}));
+  v = cache.load();
+  EXPECT_EQ(v.leader, 5u);
+  EXPECT_EQ(v.epoch, 2u);
+}
+
+TEST(LeaderCache, LosingAgreementIsAnEpochChange) {
+  // leader → no-leader → leader again: each transition must invalidate,
+  // otherwise a lease holder could survive an interregnum unnoticed.
+  LeaderCacheEntry cache;
+  ASSERT_TRUE(cache.publish(ProcessId{1}));
+  ASSERT_TRUE(cache.publish(kNoProcess));
+  LeaderView v = cache.load();
+  EXPECT_EQ(v.leader, kNoProcess);
+  EXPECT_EQ(v.epoch, 2u);
+  ASSERT_TRUE(cache.publish(ProcessId{1}));
+  v = cache.load();
+  EXPECT_EQ(v.leader, 1u);
+  EXPECT_EQ(v.epoch, 3u);
+  EXPECT_FALSE(cache.publish(ProcessId{1}));
+}
+
+TEST(LeaderCache, StaleFencingTokenIsRejected) {
+  // The contract lease holders rely on: authority obtained at epoch E is
+  // valid iff the current epoch still equals E.
+  LeaderCacheEntry cache;
+  cache.publish(ProcessId{0});
+  const LeaderView token = cache.load();  // holder caches (leader 0, ep 1)
+  EXPECT_EQ(cache.load().epoch, token.epoch);  // still valid
+
+  cache.publish(ProcessId{3});  // fail-over
+  const LeaderView now = cache.load();
+  EXPECT_NE(now.epoch, token.epoch) << "stale token must fail the compare";
+  EXPECT_NE(now, token);
+
+  // Even a fail-back to the original leader must not revalidate the old
+  // token — it names a different reign.
+  cache.publish(ProcessId{0});
+  EXPECT_NE(cache.load().epoch, token.epoch);
+}
+
+TEST(LeaderCache, SupportsTheFullProcessRange) {
+  // The packing reserves one byte for the leader; svc caps groups at 64
+  // processes, so ids 0..63 and kNoProcess must all survive the trip.
+  LeaderCacheEntry cache;
+  std::uint64_t expected_epoch = 0;
+  for (ProcessId pid = 0; pid < 64; ++pid) {
+    ASSERT_TRUE(cache.publish(pid));
+    const LeaderView v = cache.load();
+    EXPECT_EQ(v.leader, pid);
+    EXPECT_EQ(v.epoch, ++expected_epoch);
+  }
+}
+
+TEST(LeaderCache, ReadersNeverObserveTornPairs) {
+  // Single-writer/multi-reader torture: the reader must only ever see
+  // (leader, epoch) pairs the writer actually published — leader follows
+  // deterministically from epoch parity here — and epochs must be
+  // monotone. A torn read or a non-atomic publish would break both.
+  LeaderCacheEntry cache;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::thread reader([&] {
+    std::uint64_t last_epoch = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const LeaderView v = cache.load();
+      if (v.epoch < last_epoch) violations.fetch_add(1);
+      last_epoch = v.epoch;
+      if (v.epoch == 0) {
+        if (v.leader != kNoProcess) violations.fetch_add(1);
+      } else {
+        const ProcessId expect =
+            (v.epoch % 2 == 1) ? ProcessId{7} : ProcessId{33};
+        if (v.leader != expect) violations.fetch_add(1);
+      }
+    }
+  });
+
+  for (int i = 0; i < 200000; ++i) {
+    cache.publish(i % 2 == 0 ? ProcessId{7} : ProcessId{33});
+  }
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(cache.load().epoch, 200000u);
+}
+
+}  // namespace
+}  // namespace omega::svc
