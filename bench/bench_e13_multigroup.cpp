@@ -36,7 +36,7 @@ std::int64_t wall_ns() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omega;
   using namespace omega::bench;
   using namespace omega::svc;
@@ -48,6 +48,8 @@ int main() {
        "          leader() query latency p50/p99"});
 
   Verdict verdict;
+  JsonReport json;
+  json.set_str("bench", "e13_multigroup");
   AsciiTable table({"groups", "workers", "converged", "conv wall ms",
                     "steps/sec", "queries/sec", "q p50 ns", "q p99 ns"});
   AsciiTable notif_table({"groups", "workers", "fail-overs", "notif p50 ms",
@@ -205,6 +207,13 @@ int main() {
                    std::to_string(row.groups) + "g/" +
                        std::to_string(row.workers) +
                        "w: every fail-over must be pushed to the listener");
+    if (!notif_ns.empty()) {
+      json.set("notif_p50_ms",
+               static_cast<double>(notif_ns[notif_ns.size() / 2]) / 1e6);
+      json.set("notif_p99_ms",
+               static_cast<double>(notif_ns[notif_ns.size() * 99 / 100]) /
+                   1e6);
+    }
 
     service.stop();
 
@@ -218,6 +227,14 @@ int main() {
 
     const std::string label = std::to_string(row.groups) + "g/" +
                               std::to_string(row.workers) + "w";
+    // The last (largest) sweep provides the archived perf numbers.
+    json.set("groups", std::uint64_t{row.groups});
+    json.set("workers", std::uint64_t{row.workers});
+    json.set("conv_wall_ms", conv_ms);
+    json.set("steps_per_sec", steps_per_sec);
+    json.set("queries_per_sec", queries_per_sec);
+    json.set("query_p50_ns", p50);
+    json.set("query_p99_ns", p99);
     verdict.expect(converged == row.groups,
                    label + ": every group must converge");
     verdict.expect(correct == row.groups,
@@ -232,6 +249,7 @@ int main() {
   std::cout << "epoch-change push notification (crash -> listener callback "
                "naming a new live leader):\n"
             << notif_table.render() << '\n';
+  json.write(json_path_from_args(argc, argv));
   return verdict.finish(
       "1000+ election groups share a <=8-worker pool, every group elects a "
       "correct leader, and cached leader() queries stay off the hot path");

@@ -155,8 +155,10 @@ LoadResult run_load(std::uint16_t port, std::uint32_t connections,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace omega::svc;
+  JsonReport json;
+  json.set_str("bench", "e14_netserve");
 
   std::cout << banner(
       "E14: epoll RPC front-end (src/net) — leader queries + watches",
@@ -236,6 +238,11 @@ int main() {
                    label + ": no task may throw — " +
                        service.failure_message());
     if (row.acceptance) {
+      json.set("conns", std::uint64_t{row.conns});
+      json.set("groups", std::uint64_t{row.groups});
+      json.set("queries_per_sec", load.qps);
+      json.set("rtt_p50_us", static_cast<double>(load.p50_ns) / 1e3);
+      json.set("rtt_p99_us", static_cast<double>(load.p99_ns) / 1e3);
       // Shared CI runners can't promise loopback throughput; with
       // OMEGA_E14_PERF_ADVISORY set, the perf targets are reported but
       // only the correctness checks above gate the verdict.
@@ -344,6 +351,12 @@ int main() {
          fmt_double(static_cast<double>(last - first) / 1e6, 2)});
     std::cout << "\nwatch fan-out (leader crash pushed to subscribers):\n"
               << watch_table.render();
+    if (first >= 0) {
+      json.set("watch_crash_to_first_ms",
+               static_cast<double>(first - crash_ns) / 1e6);
+      json.set("watch_fanout_spread_ms",
+               static_cast<double>(last - first) / 1e6);
+    }
 
     for (auto& w : watchers) w->close();
     server.stop();
@@ -351,6 +364,7 @@ int main() {
   }
 
   std::cout << table.render() << '\n';
+  json.write(json_path_from_args(argc, argv));
   return verdict.finish(
       "the epoll front-end serves >= 100k leader queries/s over loopback "
       "with p99 < 1ms at 64 conns x 1000 groups, and watchers observe "

@@ -1,11 +1,16 @@
-// Shared helpers for the experiment binaries (bench_e01..e11). Every
+// Shared helpers for the experiment binaries (bench_e01..e15). Every
 // experiment prints: the paper artifact it reproduces, the workload, a
 // results table, and a PASS/FAIL verdict comparing the measured shape with
-// the paper's claim. Binaries run with no arguments and bounded runtime.
+// the paper's claim. Binaries run with no arguments and bounded runtime;
+// passing `--json <path>` additionally writes the headline numbers as a
+// flat JSON object so CI can archive a perf trajectory across commits.
 #pragma once
 
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
@@ -85,5 +90,77 @@ class Verdict {
 };
 
 inline std::string yes_no(bool b) { return b ? "yes" : "no"; }
+
+/// Machine-readable results sink: a flat {key: number|string} object,
+/// written where `--json <path>` pointed. Keys are emitted in insertion
+/// order so diffs between runs stay line-stable.
+class JsonReport {
+ public:
+  void set(const std::string& key, double value) {
+    std::ostringstream os;
+    os << value;
+    upsert(key, os.str());
+  }
+  void set(const std::string& key, std::uint64_t value) {
+    upsert(key, std::to_string(value));
+  }
+  void set(const std::string& key, std::int64_t value) {
+    upsert(key, std::to_string(value));
+  }
+  void set(const std::string& key, bool value) {
+    upsert(key, value ? "true" : "false");
+  }
+  void set_str(const std::string& key, const std::string& value) {
+    std::string escaped = "\"";
+    for (const char c : value) {
+      if (c == '"' || c == '\\') escaped += '\\';
+      escaped += c;
+    }
+    escaped += '"';
+    upsert(key, escaped);
+  }
+
+  /// Writes the object to `path` ("" = disabled); false on IO failure.
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot write json report to " << path << '\n';
+      return false;
+    }
+    out << "{\n";
+    for (std::size_t i = 0; i < items_.size(); ++i) {
+      out << "  \"" << items_[i].first << "\": " << items_[i].second;
+      if (i + 1 < items_.size()) out << ',';
+      out << '\n';
+    }
+    out << "}\n";
+    return out.good();
+  }
+
+ private:
+  /// Repeated set() of a key overwrites in place (benches sweep several
+  /// configurations and archive the last/acceptance one).
+  void upsert(const std::string& key, std::string value) {
+    for (auto& [k, v] : items_) {
+      if (k == key) {
+        v = std::move(value);
+        return;
+      }
+    }
+    items_.emplace_back(key, std::move(value));
+  }
+
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+/// Extracts the `--json <path>` flag; "" when absent. Unknown flags are
+/// left for the bench to reject (today none take other arguments).
+inline std::string json_path_from_args(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--json") return argv[i + 1];
+  }
+  return "";
+}
 
 }  // namespace omega::bench

@@ -1,0 +1,74 @@
+// Replicated-log quickstart: stand up a 3-replica log group served over
+// TCP, append a handful of commands with dedup keys, survive a leader
+// crash mid-stream, and read the log back.
+//
+//   $ ./example_smr_append
+//
+// This is the paper's headline application (leader-based state-machine
+// replication on Ω) running live: the same consensus proposers that run
+// under the simulator drive real std::atomic registers on the svc worker
+// pool, and clients reach them through the epoll front-end.
+#include <iostream>
+
+#include "net/client.h"
+#include "net/leader_server.h"
+#include "smr/smr_service.h"
+
+int main() {
+  using namespace omega;
+
+  svc::SvcConfig cfg;
+  cfg.workers = 2;
+  cfg.tick_us = 20000;
+  cfg.ops_per_sweep = 32;
+  cfg.pace_us = 100;
+  svc::MultiGroupLeaderService service(cfg);
+
+  smr::SmrService smr(service);
+  constexpr svc::GroupId kLog = 1;
+  smr::SmrSpec spec;
+  spec.n = 3;
+  spec.capacity = 256;
+  spec.window = 8;
+  smr.add_log(kLog, spec);
+
+  net::LeaderServer server(service, net::NetConfig{});
+  server.serve_log(smr);
+  server.start();
+  service.start();
+
+  const ProcessId leader = service.await_leader(kLog, 30000000);
+  std::cout << "log group " << kLog << " elected p" << leader << "\n";
+
+  net::Client client;
+  client.connect("127.0.0.1", server.port());
+  client.enable_auto_reconnect();  // appends survive server hiccups
+
+  // Appends are idempotent by (client, seq): a retry after a lost ack
+  // returns the original commit index instead of appending twice.
+  constexpr std::uint64_t kMe = 42;
+  for (std::uint64_t seq = 0; seq < 5; ++seq) {
+    const auto r = client.append_retry(kLog, kMe, seq, 1000 + seq);
+    std::cout << "append seq " << seq << " -> index " << r.index << "\n";
+  }
+
+  // Kill the leader; the next append rides the kNotLeader retry loop
+  // until Ω elects a successor that drives the slot to decision.
+  std::cout << "crashing leader p" << leader << "...\n";
+  service.crash(kLog, leader);
+  const auto r = client.append_retry(kLog, kMe, 5, 1005);
+  // The commit proves a new leader took over; the cached *agreed* view
+  // may republish a moment later, so await it for the printout.
+  std::cout << "append seq 5 -> index " << r.index << " under new leader p"
+            << service.await_leader(kLog, 30000000) << "\n";
+
+  const auto page = client.read_log(kLog, 0, 16);
+  std::cout << "log (commit index " << page.commit_index << "):";
+  for (const auto v : page.entries) std::cout << ' ' << v;
+  std::cout << "\n";
+
+  client.close();
+  server.stop();
+  service.stop();
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "consensus/log_pump.h"
+
+namespace omega {
+
+LogPump::LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window)
+    : log_(log), host_(host), window_(window) {
+  OMEGA_CHECK(window_ >= 1, "pump window must be >= 1");
+  OMEGA_CHECK(host_.n() == log_.n(), "host has " << host_.n()
+                                                 << " replicas, log wants "
+                                                 << log_.n());
+}
+
+std::uint32_t LogPump::tick(const std::function<std::uint64_t()>& supply,
+                            std::vector<Commit>& commits) {
+  // 1. Harvest in slot order: a later slot may already be decided, but it
+  // is not visible until every earlier slot is (log order = slot order).
+  std::uint32_t newly = 0;
+  while (committed_ < started_) {
+    const auto v = log_.decided(host_.memory(), committed_);
+    if (!v.has_value()) break;
+    commits.push_back(Commit{committed_, *v});
+    ++committed_;
+    ++newly;
+  }
+
+  // 2. Refill the window. A slot is only started when some replica is live
+  // to drive it — with nobody live the command would be parked in a slot
+  // no proposer will ever finish, while leaving it with the supplier lets
+  // it commit once replicas come back.
+  while (started_ < log_.capacity() && started_ - committed_ < window_) {
+    bool any_live = false;
+    for (ProcessId i = 0; i < host_.n() && !any_live; ++i) {
+      any_live = host_.live(i);
+    }
+    if (!any_live) break;
+    const std::uint64_t cmd = supply();
+    if (cmd == kNoCommand) break;
+    OMEGA_CHECK(cmd >= 1 && cmd < kLogNoOp,
+                "command " << cmd << " out of range");
+    for (ProcessId i = 0; i < host_.n(); ++i) {
+      if (!host_.live(i)) continue;
+      host_.spawn(i, log_.slot(started_).proposer(i, cmd,
+                                                  [](std::uint64_t) {}));
+    }
+    ++started_;
+  }
+  return newly;
+}
+
+}  // namespace omega

@@ -1,0 +1,99 @@
+// Driver-agnostic replicated-log pumping.
+//
+// ReplicatedLog::pump used to be welded to SimDriver: it spawned proposers,
+// then *blocked* inside driver.run_for until the slot decided. A live
+// runtime (svc::WorkerPool stepping executors on real threads) cannot block
+// like that — the thread that notices a decision is the same thread that
+// must keep stepping the proposers. So the slot mechanics are factored out
+// here into an *incremental* state machine:
+//
+//   * PumpHost — the seam between the pump and whatever executes tasks.
+//     The simulator implements it with SimDriver::add_app_task; the live
+//     service implements it with ProcExecutor::add_app_task on the group's
+//     executors (see smr::LogGroup).
+//   * LogPump  — owns the slot cursors. Each tick() harvests decided slots
+//     *in slot order* (the log order) and keeps up to `window` slots in
+//     flight, pulling one command per new slot from a supplier. Pipelining
+//     is safe because the log order is the slot order, not the decision
+//     order: slot s+1 may decide before slot s, but it is not *applied*
+//     until s has been.
+//
+// Forwarding, as in leader-based SMR: every live replica proposes the same
+// command for a slot (the supplier's choice), and whichever process Ω has
+// elected drives it to decision. Because all proposers of a slot propose
+// the same value, the slot always decides the command assigned to it, and
+// commits therefore pop the supplier's commands in FIFO order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "consensus/replicated_log.h"
+
+namespace omega {
+
+/// "No command pending" sentinel for the pump's command supplier.
+inline constexpr std::uint64_t kNoCommand = 0;
+
+/// Execution seam: where the pump's proposer coroutines run. All calls are
+/// made from the pump owner's thread (the sim loop, or the owning shard
+/// worker in the live service).
+class PumpHost {
+ public:
+  virtual ~PumpHost() = default;
+
+  /// Replica count of the group (== the log's n).
+  virtual std::uint32_t n() const = 0;
+
+  /// Whether replica `i` can currently execute steps (not crashed/halted).
+  virtual bool live(ProcessId i) const = 0;
+
+  /// Hands a proposer coroutine to replica `i`'s execution stream.
+  virtual void spawn(ProcessId i, ProcTask task) = 0;
+
+  /// The memory the log's registers live in (for decision-board reads).
+  virtual MemoryBackend& memory() = 0;
+};
+
+class LogPump {
+ public:
+  struct Commit {
+    std::uint32_t slot = 0;
+    std::uint64_t value = 0;
+  };
+
+  /// `window` — how many slots may be in flight (spawned, not yet
+  /// harvested) at once. 1 reproduces the strictly sequential pump; the
+  /// live service pipelines (16..64) to overlap consensus rounds.
+  LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window = 1);
+
+  LogPump(const LogPump&) = delete;
+  LogPump& operator=(const LogPump&) = delete;
+
+  /// One pump step. Appends newly decided slots (in slot order) to
+  /// `commits` and returns how many were appended; then, while the window
+  /// has room and capacity remains, pulls commands from `supply` (which
+  /// returns kNoCommand when nothing is pending) and spawns one proposer
+  /// per live replica for each. Never blocks.
+  std::uint32_t tick(const std::function<std::uint64_t()>& supply,
+                     std::vector<Commit>& commits);
+
+  /// Slots harvested so far (== the next slot to be applied).
+  std::uint32_t committed() const noexcept { return committed_; }
+  /// Slots started so far (== the next slot to be assigned a command).
+  std::uint32_t started() const noexcept { return started_; }
+  std::uint32_t in_flight() const noexcept { return started_ - committed_; }
+  /// True once every slot has been assigned; further commands can never be
+  /// placed and should be rejected upstream.
+  bool exhausted() const noexcept { return started_ == log_.capacity(); }
+
+ private:
+  ReplicatedLog& log_;
+  PumpHost& host_;
+  const std::uint32_t window_;
+  std::uint32_t committed_ = 0;
+  std::uint32_t started_ = 0;
+};
+
+}  // namespace omega

@@ -2,10 +2,36 @@
 
 #include <algorithm>
 
+#include "consensus/log_pump.h"
+
 namespace omega {
 
+namespace {
+
+/// PumpHost over the discrete-event simulator: proposers become app tasks
+/// of the simulated processes; liveness follows the crash plan.
+class SimPumpHost final : public PumpHost {
+ public:
+  explicit SimPumpHost(SimDriver& driver) : driver_(driver) {}
+
+  std::uint32_t n() const override { return driver_.n(); }
+  bool live(ProcessId i) const override {
+    return !driver_.plan().crashed_by(i, driver_.now());
+  }
+  void spawn(ProcessId i, ProcTask task) override {
+    driver_.add_app_task(i, std::move(task));
+  }
+  MemoryBackend& memory() override { return driver_.memory(); }
+
+ private:
+  SimDriver& driver_;
+};
+
+}  // namespace
+
 ReplicatedLog::ReplicatedLog(std::uint32_t n, std::uint32_t capacity) : n_(n) {
-  OMEGA_CHECK(capacity >= 1 && capacity <= 4096, "bad capacity " << capacity);
+  OMEGA_CHECK(capacity >= 1 && capacity <= 65536,
+              "bad capacity " << capacity);
   slots_.reserve(capacity);
   for (std::uint32_t s = 0; s < capacity; ++s) {
     slots_.emplace_back(n, "L" + std::to_string(s));
@@ -69,48 +95,54 @@ std::vector<std::uint64_t> ReplicatedLog::pump(
 
   // Command forwarding (as in leader-based SMR): per slot, every replica
   // proposes the globally oldest unplaced command, chosen round-robin over
-  // the replicas so no submitter is starved. Whoever Ω has elected then
-  // drives exactly that command to decision — without forwarding, only the
-  // leader's own submissions would ever enter the log.
+  // the replicas so no submitter is starved. The supplier peeks; cursors
+  // only advance when the command actually commits.
   ProcessId rr = 0;
-  for (std::uint32_t s = 0; s < capacity() && pending_total() > 0; ++s) {
-    std::uint64_t proposal = kLogNoOp;
+  auto supply = [&]() -> std::uint64_t {
     for (std::uint32_t probe = 0; probe < n_; ++probe) {
       const ProcessId owner = (rr + probe) % n_;
       if (driver.now() >= driver.plan().halt_time(owner)) continue;
       if (next[owner] < commands[owner].size()) {
-        proposal = commands[owner][next[owner]];
         rr = owner + 1;
-        break;
+        return commands[owner][next[owner]];
       }
     }
-    if (proposal == kLogNoOp) break;  // nothing pending among live replicas
-    // Decisions are read back from the shared decision board rather than
-    // through the callback (the board is the authoritative, crash-safe
-    // record).
-    for (ProcessId i = 0; i < n_; ++i) {
-      if (driver.plan().crashed_by(i, driver.now())) continue;
-      driver.add_app_task(
-          i, slots_[s].proposer(i, proposal, [](std::uint64_t) {}));
-    }
+    return kNoCommand;  // nothing pending among live replicas
+  };
+
+  SimPumpHost host(driver);
+  LogPump pump(*this, host, /*window=*/1);
+  std::vector<LogPump::Commit> commits;
+
+  while (pending_total() > 0 && !pump.exhausted() &&
+         driver.now() < deadline) {
+    commits.clear();
+    pump.tick(supply, commits);
+    if (pump.in_flight() == 0 && commits.empty()) break;  // nothing to drive
     // Run until every live proposer finished this slot (they all decide
     // once any decision is on the board) or the deadline passes.
-    while (!live_apps_done() && driver.now() < deadline) {
+    while (pump.in_flight() > 0 && !live_apps_done() &&
+           driver.now() < deadline) {
       driver.run_for(1000);
     }
-    const auto outcome = decided(driver.memory(), s);
-    if (!outcome.has_value()) break;  // deadline hit mid-slot
-    if (*outcome != kLogNoOp) {
-      log.push_back(*outcome);
+    if (pump.in_flight() > 0) {
+      // Harvest what the run decided; a deadline hit mid-slot leaves the
+      // slot undecided and ends the pump below.
+      const std::uint32_t before = pump.committed();
+      pump.tick([] { return kNoCommand; }, commits);
+      if (pump.committed() == before) break;  // deadline hit mid-slot
+    }
+    for (const auto& c : commits) {
+      if (c.value == kLogNoOp) continue;
+      log.push_back(c.value);
       // The winner advances its cursor.
       for (ProcessId i = 0; i < n_; ++i) {
-        if (next[i] < commands[i].size() && commands[i][next[i]] == *outcome) {
+        if (next[i] < commands[i].size() && commands[i][next[i]] == c.value) {
           ++next[i];
           break;
         }
       }
     }
-    if (driver.now() >= deadline) break;
   }
   return log;
 }

@@ -13,7 +13,9 @@
 // The pump() helper orchestrates a SimDriver-based run: it attaches one
 // proposer per live process per slot, runs the simulation until the slot
 // decides everywhere, and feeds the next slot. Commands must be unique
-// non-zero values (callers typically encode (replica, seq)).
+// non-zero values (callers typically encode (replica, seq)). The slot
+// mechanics behind pump() are driver-agnostic (consensus/log_pump.h); the
+// live runtime pumps the same log incrementally through smr::LogGroup.
 #pragma once
 
 #include <cstdint>
@@ -37,6 +39,7 @@ class ReplicatedLog {
   /// Binds every slot once the layout exists.
   void bind(const Layout& layout);
 
+  std::uint32_t n() const noexcept { return n_; }
   std::uint32_t capacity() const noexcept {
     return static_cast<std::uint32_t>(slots_.size());
   }

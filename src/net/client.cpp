@@ -12,6 +12,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace omega::net {
 
@@ -19,6 +20,16 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw NetError(what + ": " + std::strerror(errno));
+}
+
+/// Backoff for attempt `k` (0-based) under `p`, with jitter from `rng`.
+int backoff_ms(const RetryPolicy& p, int k, Rng& rng) {
+  std::int64_t ms = p.base_ms;
+  for (int i = 0; i < k && ms < p.cap_ms; ++i) ms *= 2;
+  ms = std::min<std::int64_t>(ms, p.cap_ms);
+  const double j = p.jitter <= 0 ? 0.0 : rng.uniform01() * p.jitter;
+  return static_cast<int>(ms + static_cast<std::int64_t>(
+                                   static_cast<double>(ms) * j));
 }
 
 }  // namespace
@@ -41,11 +52,18 @@ void Client::close() {
 void Client::connect(const std::string& host, std::uint16_t port,
                      int timeout_ms) {
   if (fd_ >= 0) throw NetError("already connected");
+  host_ = host;
+  port_ = port;
+  connect_timeout_ms_ = timeout_ms;
+  dial(timeout_ms);
+}
+
+void Client::dial(int timeout_ms) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    throw NetError("bad address: " + host);
+  addr.sin_port = htons(port_);
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad address: " + host_);
   }
   fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd_ < 0) throw_errno("socket");
@@ -76,6 +94,33 @@ void Client::connect(const std::string& host, std::uint16_t port,
   fcntl(fd_, F_SETFL, flags);  // back to blocking; waits go through poll()
   int one = 1;
   (void)setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+void Client::reconnect() {
+  if (fd_ >= 0) return;
+  if (host_.empty()) throw NetError("no remembered endpoint to reconnect");
+  for (int attempt = 0;; ++attempt) {
+    try {
+      dial(connect_timeout_ms_);
+      return;
+    } catch (const NetError&) {
+      if (attempt + 1 >= policy_.max_attempts) throw;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        backoff_ms(policy_, attempt, backoff_rng_)));
+  }
+}
+
+void Client::enable_auto_reconnect(RetryPolicy policy) {
+  auto_reconnect_ = true;
+  policy_ = policy;
+  backoff_rng_ = Rng(policy.seed);
+}
+
+void Client::ensure_connected() {
+  if (fd_ >= 0) return;
+  if (!auto_reconnect_) throw NetError("not connected");
+  reconnect();
 }
 
 void Client::send_all(const std::uint8_t* data, std::size_t len) {
@@ -138,21 +183,48 @@ std::optional<Frame> Client::pop_frame() {
   return f;
 }
 
+bool Client::queue_event(const Frame& f) {
+  Event e;
+  if (f.header.type == MsgType::kEvent) {
+    e.kind = Event::Kind::kLeaderChange;
+    e.gid = f.view.gid;
+    e.view = svc::LeaderView{f.view.leader, f.view.epoch};
+  } else if (f.header.type == MsgType::kCommitEvent) {
+    e.kind = Event::Kind::kCommit;
+    e.gid = f.commit.gid;
+    e.index = f.commit.index;
+    e.value = f.commit.value;
+  } else {
+    return false;
+  }
+  // A subscriber that issues requests without draining next_event() must
+  // not grow memory forever (a busy commit watch pushes one event per
+  // applied entry group-wide): keep the newest kMaxQueuedEvents, drop the
+  // oldest. Consumers already resynchronize by epoch/index.
+  if (events_.size() >= kMaxQueuedEvents) events_.pop_front();
+  events_.push_back(e);
+  return true;
+}
+
 Frame Client::call(MsgType type, std::optional<WireGroupId> gid) {
-  if (fd_ < 0) throw NetError("not connected");
+  ensure_connected();
   const std::uint64_t id = next_req_id_++;
   out_.clear();
   encode_request(out_, type, id, gid);
+  return call_encoded(type, id);
+}
+
+Frame Client::call_encoded(MsgType type, std::uint64_t id,
+                           int response_timeout_ms) {
   send_all(out_.data(), out_.size());
 
+  // One deadline across every socket wait: interleaved pushes must not
+  // extend the response budget.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(response_timeout_ms);
   for (;;) {
     while (std::optional<Frame> f = pop_frame()) {
-      if (f->header.type == MsgType::kEvent) {
-        events_.push_back(
-            Event{f->view.gid,
-                  svc::LeaderView{f->view.leader, f->view.epoch}});
-        continue;
-      }
+      if (queue_event(*f)) continue;
       if (f->header.req_id != id || f->header.type != type) {
         // Request/response pairing is broken (e.g. a late reply to a
         // call that previously timed out): the stream cannot be
@@ -162,7 +234,11 @@ Frame Client::call(MsgType type, std::optional<WireGroupId> gid) {
       }
       return *f;
     }
-    if (!fill(kResponseTimeoutMs)) {
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    if (remaining <= 0 || !fill(remaining)) {
       // The response may still arrive later and would desynchronize every
       // subsequent call; a timed-out connection is only safe to abandon.
       close();
@@ -189,6 +265,112 @@ Client::Result Client::unwatch(svc::GroupId gid) {
                 svc::LeaderView{f.view.leader, f.view.epoch}};
 }
 
+Client::AppendResult Client::append(svc::GroupId gid, std::uint64_t client,
+                                    std::uint64_t seq, std::uint64_t command,
+                                    int response_timeout_ms) {
+  ensure_connected();
+  const std::uint64_t id = next_req_id_++;
+  out_.clear();
+  AppendReqBody req;
+  req.gid = gid;
+  req.client = client;
+  req.seq = seq;
+  req.command = command;
+  encode_append_request(out_, id, req);
+  const Frame f = call_encoded(MsgType::kAppend, id, response_timeout_ms);
+  AppendResult r;
+  r.status = f.header.status;
+  r.index = f.append_resp.index;
+  r.view = svc::LeaderView{f.append_resp.leader, f.append_resp.epoch};
+  return r;
+}
+
+Client::AppendResult Client::append_retry(svc::GroupId gid,
+                                          std::uint64_t client,
+                                          std::uint64_t seq,
+                                          std::uint64_t command,
+                                          int timeout_ms) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::string last_error = "append timed out";
+  for (int attempt = 0;; ++attempt) {
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    if (remaining <= 0) throw NetError("append_retry: " + last_error);
+    try {
+      // Redial here — one bounded attempt per loop iteration — rather
+      // than through reconnect()'s own multi-dial backoff, so the
+      // caller's budget caps every wait in this function.
+      if (fd_ < 0 && auto_reconnect_) {
+        dial(std::min(connect_timeout_ms_, remaining));
+      }
+      // Each attempt spends at most the remaining budget waiting for its
+      // acknowledgement, so the caller's timeout is honored even when a
+      // single response stalls.
+      const AppendResult r = append(gid, client, seq, command,
+                                    std::min(remaining, kResponseTimeoutMs));
+      // kNotLeader ("wait for the next leader") and kOverloaded ("intake
+      // full, retry later") are transient: back off and ask again — the
+      // dedup key keeps the retries idempotent. Everything else is an
+      // answer (including kOk with the committed index for a duplicate).
+      if (r.status != Status::kNotLeader && r.status != Status::kOverloaded) {
+        return r;
+      }
+      last_error = r.status == Status::kNotLeader ? "no agreed leader"
+                                                  : "server overloaded";
+    } catch (const NetError& e) {
+      // Transport failure (server restart, timeout, partial write): the
+      // stream is not trustworthy — drop it. The next append() redials
+      // if auto-reconnect is on; otherwise the error is final.
+      close();
+      if (!auto_reconnect_) throw;
+      last_error = e.what();
+    }
+    const int left = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    if (left <= 0) throw NetError("append_retry: " + last_error);
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        std::min(left, backoff_ms(policy_, attempt, backoff_rng_))));
+  }
+}
+
+Client::LogView Client::read_log(svc::GroupId gid, std::uint64_t from,
+                                 std::uint32_t max) {
+  ensure_connected();
+  const std::uint64_t id = next_req_id_++;
+  out_.clear();
+  ReadLogReqBody req;
+  req.gid = gid;
+  req.from = from;
+  req.max = max;
+  encode_readlog_request(out_, id, req);
+  const Frame f = call_encoded(MsgType::kReadLog, id);
+  LogView v;
+  v.status = f.header.status;
+  if (f.header.status == Status::kOk) {
+    v.commit_index = f.readlog_resp.commit_index;
+    v.entries = f.readlog_resp.entries;
+  }
+  return v;
+}
+
+Client::AppendResult Client::commit_watch(svc::GroupId gid) {
+  const Frame f = call(MsgType::kCommitWatch, gid);
+  AppendResult r;
+  r.status = f.header.status;
+  r.index = f.commit.index;  // commit-index snapshot
+  return r;
+}
+
+Client::Result Client::commit_unwatch(svc::GroupId gid) {
+  const Frame f = call(MsgType::kCommitUnwatch, gid);
+  return Result{f.header.status, f.commit.gid, svc::LeaderView{}};
+}
+
 void Client::ping() {
   const Frame f = call(MsgType::kPing, std::nullopt);
   if (f.header.status != Status::kOk) throw NetError("ping rejected");
@@ -213,9 +395,10 @@ std::optional<Client::Event> Client::next_event(int timeout_ms) {
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
     while (std::optional<Frame> f = pop_frame()) {
-      if (f->header.type == MsgType::kEvent) {
-        return Event{f->view.gid,
-                     svc::LeaderView{f->view.leader, f->view.epoch}};
+      if (queue_event(*f)) {
+        const Event e = events_.front();
+        events_.pop_front();
+        return e;
       }
       // A non-event frame with no outstanding request is a protocol bug.
       throw NetError("unexpected response frame while waiting for events");

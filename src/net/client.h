@@ -2,15 +2,30 @@
 //
 // One Client wraps one TCP connection and is meant for exactly one thread
 // (the classic lease-holder pattern: query, fence on the epoch, renew).
-// Requests are strictly one-at-a-time; server-pushed EVENT frames that
-// arrive interleaved with a response are queued internally and surfaced
-// through next_event(), so a caller can hold watches and still issue
-// queries on the same connection.
+// Requests are strictly one-at-a-time; server-pushed EVENT/COMMIT_EVENT
+// frames that arrive interleaved with a response are queued internally and
+// surfaced through next_event(), so a caller can hold watches and still
+// issue queries on the same connection.
+//
+// Reconnects: a timeout or a desynchronized response poisons the stream,
+// so the client closes the socket (the server's late answer must never be
+// matched to a later request). With enable_auto_reconnect(), the next
+// call redials the remembered endpoint under capped exponential backoff
+// with jitter — so a caller's retry loop survives a server restart
+// without its own dial logic. Subscriptions (watches) die with the
+// connection and are NOT re-established; re-watch after reconnecting.
+//
+// Appends: append() submits one command with the (client, seq) dedup key
+// and blocks until the commit acknowledgement. append_retry() adds the
+// standard SMR client loop on top — kNotLeader and transport errors are
+// retried with backoff, and the dedup key makes the retries idempotent:
+// the command lands in the log exactly once even if the original
+// submission actually committed.
 //
 // Errors: socket-level failures and protocol violations throw NetError;
-// application-level conditions (unknown group) come back as a Status in
-// the result so callers can distinguish "the server is gone" from "you
-// asked about a group that does not exist".
+// application-level conditions (unknown group, not-leader, stale seq)
+// come back as a Status in the result so callers can distinguish "the
+// server is gone" from "the server said no".
 #pragma once
 
 #include <cstdint>
@@ -18,7 +33,9 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
+#include "common/rng.h"
 #include "net/frame.h"
 #include "svc/svc_types.h"
 
@@ -28,6 +45,17 @@ namespace omega::net {
 class NetError : public std::runtime_error {
  public:
   explicit NetError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Backoff schedule for automatic redials (and append_retry pauses):
+/// attempt k sleeps min(base_ms << k, cap_ms), plus up to `jitter` of
+/// itself (uniform), so a thundering herd of clients spreads out.
+struct RetryPolicy {
+  int base_ms = 10;
+  int cap_ms = 1000;
+  int max_attempts = 8;
+  double jitter = 0.5;
+  std::uint64_t seed = 0x5EEDCAFEULL;
 };
 
 class Client {
@@ -41,10 +69,31 @@ class Client {
     bool ok() const noexcept { return status == Status::kOk; }
   };
 
-  /// One epoch transition pushed by the server.
+  /// One server push: an epoch transition (kLeaderChange, `view` valid)
+  /// or an applied log entry (kCommit, `index`/`value` valid).
   struct Event {
+    enum class Kind : std::uint8_t { kLeaderChange, kCommit };
+    Kind kind = Kind::kLeaderChange;
     svc::GroupId gid = 0;
     svc::LeaderView view;
+    std::uint64_t index = 0;
+    std::uint64_t value = 0;
+  };
+
+  /// A decoded APPEND answer.
+  struct AppendResult {
+    Status status = Status::kOk;
+    std::uint64_t index = 0;  ///< commit position (kOk only)
+    svc::LeaderView view;     ///< leader hint (kNotLeader redirects)
+
+    bool ok() const noexcept { return status == Status::kOk; }
+  };
+
+  /// A decoded READ_LOG answer.
+  struct LogView {
+    Status status = Status::kOk;
+    std::uint64_t commit_index = 0;
+    std::vector<std::uint64_t> entries;
   };
 
   Client() = default;
@@ -53,11 +102,21 @@ class Client {
   Client(const Client&) = delete;
   Client& operator=(const Client&) = delete;
 
-  /// Connects (throws NetError on refusal/timeout).
+  /// Connects (throws NetError on refusal/timeout) and remembers the
+  /// endpoint for reconnect()/auto-reconnect.
   void connect(const std::string& host, std::uint16_t port,
                int timeout_ms = 5000);
   bool connected() const noexcept { return fd_ >= 0; }
   void close();
+
+  /// Redials the remembered endpoint under `policy` backoff; throws
+  /// NetError once max_attempts dials failed. No-op when connected.
+  void reconnect();
+
+  /// From now on, any call made while disconnected redials first (see the
+  /// header comment). Off by default: existing callers keep the strict
+  /// "a dead connection throws" behaviour.
+  void enable_auto_reconnect(RetryPolicy policy = {});
 
   /// Point query: who leads `gid`? The epoch in the result is the fencing
   /// token to validate cached authority against.
@@ -69,6 +128,33 @@ class Client {
   Result watch(svc::GroupId gid);
 
   Result unwatch(svc::GroupId gid);
+
+  /// Appends `command` (in [1, 65534]) to `gid`'s replicated log under the
+  /// (client, seq) dedup key; blocks until the commit acknowledgement (or
+  /// a rejection Status), waiting at most `response_timeout_ms`. One
+  /// shot: no retries, no redials.
+  AppendResult append(svc::GroupId gid, std::uint64_t client,
+                      std::uint64_t seq, std::uint64_t command,
+                      int response_timeout_ms = kResponseTimeoutMs);
+
+  /// The standard SMR client loop: append() retried under the reconnect
+  /// policy until it commits, a non-retryable Status comes back, or
+  /// `timeout_ms` elapses (then throws NetError). Every wait — redial,
+  /// response, backoff — is clamped to the remaining budget, so the
+  /// timeout is honored to within one clamped connect attempt.
+  /// kNotLeader and transport errors back off and retry — idempotent by
+  /// the dedup key.
+  AppendResult append_retry(svc::GroupId gid, std::uint64_t client,
+                            std::uint64_t seq, std::uint64_t command,
+                            int timeout_ms = 30000);
+
+  /// Reads up to `max` applied entries of `gid`'s log starting at `from`.
+  LogView read_log(svc::GroupId gid, std::uint64_t from, std::uint32_t max);
+
+  /// Subscribes to `gid`'s commit pushes; `index` in the result is the
+  /// commit-index snapshot (entries below it are readable via read_log).
+  AppendResult commit_watch(svc::GroupId gid);
+  Result commit_unwatch(svc::GroupId gid);
 
   /// Round-trip liveness probe.
   void ping();
@@ -83,6 +169,15 @@ class Client {
   /// Sends the request and reads frames until the response with `id`
   /// arrives; events encountered on the way are queued.
   Frame call(MsgType type, std::optional<WireGroupId> gid);
+  /// Same loop for a pre-encoded request in out_ (APPEND/READ_LOG);
+  /// `response_timeout_ms` bounds the wait (append_retry passes its
+  /// remaining budget).
+  Frame call_encoded(MsgType type, std::uint64_t id,
+                     int response_timeout_ms = kResponseTimeoutMs);
+  /// Redials if auto-reconnect is on and the connection is down.
+  void ensure_connected();
+  /// One dial to the remembered endpoint (throws NetError).
+  void dial(int timeout_ms);
 
   void send_all(const std::uint8_t* data, std::size_t len);
   /// Reads one socket chunk into the decoder, waiting up to `timeout_ms`.
@@ -90,6 +185,8 @@ class Client {
   bool fill(int timeout_ms);
   /// Pops the next complete frame out of the decoder, if any.
   std::optional<Frame> pop_frame();
+  /// Queues a pushed frame; true if `f` was one.
+  bool queue_event(const Frame& f);
 
   int fd_ = -1;
   std::uint64_t next_req_id_ = 1;
@@ -97,8 +194,19 @@ class Client {
   std::deque<Event> events_;
   std::vector<std::uint8_t> out_;
 
-  /// Response wait budget; generous because CI boxes can stall for a while.
+  std::string host_;
+  std::uint16_t port_ = 0;
+  int connect_timeout_ms_ = 5000;
+  bool auto_reconnect_ = false;
+  RetryPolicy policy_;
+  Rng backoff_rng_{0x5EEDCAFEULL};
+
+  /// Response wait budget; generous because CI boxes can stall for a
+  /// while, and a commit acknowledgement legitimately waits for consensus.
   static constexpr int kResponseTimeoutMs = 30000;
+  /// Bound on buffered pushes: beyond it the oldest event is dropped
+  /// (subscribers resynchronize by epoch/commit index).
+  static constexpr std::size_t kMaxQueuedEvents = 65536;
 };
 
 }  // namespace omega::net

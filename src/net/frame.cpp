@@ -1,5 +1,7 @@
 #include "net/frame.h"
 
+#include "common/check.h"
+
 namespace omega::net {
 namespace {
 
@@ -97,6 +99,76 @@ void encode_stats_response(std::vector<std::uint8_t>& out,
   put_u64(out, stats.events);
   put_u64(out, stats.groups);
   put_u64(out, stats.io_threads);
+  put_u64(out, stats.appends);
+  put_u64(out, stats.commit_events);
+  put_u64(out, stats.log_reads);
+  end_frame(out, at);
+}
+
+void encode_append_request(std::vector<std::uint8_t>& out,
+                           std::uint64_t req_id, const AppendReqBody& body) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kAppend, Status::kOk, req_id});
+  put_u64(out, body.gid);
+  put_u64(out, body.client);
+  put_u64(out, body.seq);
+  put_u64(out, body.command);
+  end_frame(out, at);
+}
+
+void encode_append_response(std::vector<std::uint8_t>& out, Status status,
+                            std::uint64_t req_id, const AppendRespBody& body) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kAppend, status, req_id});
+  put_u64(out, body.gid);
+  put_u64(out, body.index);
+  put_u32(out, body.leader);
+  put_u64(out, body.epoch);
+  end_frame(out, at);
+}
+
+void encode_readlog_request(std::vector<std::uint8_t>& out,
+                            std::uint64_t req_id, const ReadLogReqBody& body) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kReadLog, Status::kOk, req_id});
+  put_u64(out, body.gid);
+  put_u64(out, body.from);
+  put_u32(out, body.max);
+  end_frame(out, at);
+}
+
+void encode_readlog_response(std::vector<std::uint8_t>& out,
+                             std::uint64_t req_id, WireGroupId gid,
+                             std::uint64_t commit_index,
+                             const std::vector<std::uint64_t>& entries) {
+  OMEGA_CHECK(entries.size() <= kMaxLogEntries,
+              "readlog page too large: " << entries.size());
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kReadLog, Status::kOk, req_id});
+  put_u64(out, gid);
+  put_u64(out, commit_index);
+  put_u32(out, static_cast<std::uint32_t>(entries.size()));
+  for (const std::uint64_t v : entries) put_u64(out, v);
+  end_frame(out, at);
+}
+
+void encode_commit_snapshot(std::vector<std::uint8_t>& out, Status status,
+                            std::uint64_t req_id, WireGroupId gid,
+                            std::uint64_t commit_index) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{MsgType::kCommitWatch, status, req_id});
+  put_u64(out, gid);
+  put_u64(out, commit_index);
+  end_frame(out, at);
+}
+
+void encode_commit_event(std::vector<std::uint8_t>& out, WireGroupId gid,
+                         std::uint64_t index, std::uint64_t value) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{MsgType::kCommitEvent, Status::kOk, /*req_id=*/0});
+  put_u64(out, gid);
+  put_u64(out, index);
+  put_u64(out, value);
   end_frame(out, at);
 }
 
@@ -142,6 +214,73 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
       out.stats.events = get_u64(body + 24);
       out.stats.groups = get_u64(body + 32);
       out.stats.io_threads = get_u64(body + 40);
+      if (body_len >= 72) {  // v1.1 extension fields
+        out.stats.appends = get_u64(body + 48);
+        out.stats.commit_events = get_u64(body + 56);
+        out.stats.log_reads = get_u64(body + 64);
+      }
+      out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kAppend: {
+      // Role-based decode: a request is 32 bytes (gid, client, seq,
+      // command), a response 28 (gid, index, leader, epoch). Fill every
+      // interpretation the length allows; the consumer knows its side.
+      if (body_len < 28) return DecodeResult::kBadBody;
+      out.append_resp.gid = get_u64(body);
+      out.append_resp.index = get_u64(body + 8);
+      out.append_resp.leader = get_u32(body + 16);
+      out.append_resp.epoch = get_u64(body + 20);
+      if (body_len >= 32) {
+        out.append_req.gid = get_u64(body);
+        out.append_req.client = get_u64(body + 8);
+        out.append_req.seq = get_u64(body + 16);
+        out.append_req.command = get_u64(body + 24);
+        out.has_append_req = true;
+      }
+      out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kReadLog: {
+      // Request: gid | from(8) | max(4) = 20 bytes. Response: gid |
+      // commit_index(8) | count(4) | count × u64 — but *error* responses
+      // carry the gid alone, so only the gid is mandatory. Fixed parts
+      // fill both interpretations; the entry list is only parsed when
+      // `count` is consistent with the body length (a request's `max`
+      // will not be, unless it is 0 — and then the list is empty anyway).
+      if (body_len < 8) return DecodeResult::kBadBody;
+      out.readlog_req.gid = get_u64(body);
+      out.readlog_resp.gid = out.readlog_req.gid;
+      if (body_len >= 20) {
+        out.readlog_req.from = get_u64(body + 8);
+        out.readlog_req.max = get_u32(body + 16);
+        out.has_readlog_req = true;
+        out.readlog_resp.commit_index = out.readlog_req.from;
+        const std::uint32_t count = out.readlog_req.max;
+        if (count <= kMaxLogEntries &&
+            body_len >= 20 + std::size_t{count} * 8) {
+          out.readlog_resp.entries.reserve(count);
+          for (std::uint32_t i = 0; i < count; ++i) {
+            out.readlog_resp.entries.push_back(get_u64(body + 20 + i * 8));
+          }
+        }
+      }
+      out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kCommitWatch:
+    case MsgType::kCommitUnwatch:
+    case MsgType::kCommitEvent: {
+      // gid always; +index in kCommitWatch responses; +index,value in
+      // pushes (which, like kEvent, must carry their full body).
+      if (body_len < 8) return DecodeResult::kBadBody;
+      out.commit.gid = get_u64(body);
+      if (body_len >= 16) out.commit.index = get_u64(body + 8);
+      if (body_len >= 24) {
+        out.commit.value = get_u64(body + 16);
+      } else if (out.header.type == MsgType::kCommitEvent) {
+        return DecodeResult::kBadBody;
+      }
       out.has_body = true;
       return DecodeResult::kOk;
     }

@@ -17,8 +17,26 @@
 //   WATCH   req: u64 gid          resp: like LEADER (the initial snapshot)
 //   UNWATCH req: u64 gid          resp: u64 gid
 //   PING    req: (empty)          resp: (empty)
-//   STATS   req: (empty)          resp: 6 × u64 (see StatsBody)
+//   STATS   req: (empty)          resp: 9 × u64 (see StatsBody; the first
+//           six fields are the v1.0 body — old readers ignore the rest)
 //   EVENT   (server push only):   u64 gid | u32 leader | u64 epoch
+//
+// Replicated-log bodies (v1.1, see README "Replicated log service"):
+//   APPEND       req: u64 gid | u64 client | u64 seq | u64 command
+//                resp: u64 gid | u64 index | u32 leader | u64 epoch
+//                (index valid for kOk; leader/epoch are the redirect hint
+//                for kNotLeader)
+//   READ_LOG     req: u64 gid | u64 from | u32 max
+//                resp: u64 gid | u64 commit_index | u32 count | count × u64
+//   COMMIT_WATCH req: u64 gid     resp: u64 gid | u64 commit_index
+//   COMMIT_UNWATCH req: u64 gid   resp: u64 gid
+//   COMMIT_EVENT (server push):   u64 gid | u64 index | u64 value
+//
+// APPEND and READ_LOG are the two types whose request and response bodies
+// can have overlapping lengths, so their decode is *role-based*: the
+// decoder fills both interpretations when the length allows and the
+// consumer reads the one matching its side of the connection (a server
+// only ever receives requests, a client only responses).
 //
 // `leader` is the ProcessId on the wire, with kNoProcess (0xffffffff)
 // meaning "no agreed leader right now". `epoch` is the fencing token: it
@@ -57,6 +75,11 @@ enum class MsgType : std::uint8_t {
   kPing = 4,     ///< liveness / RTT probe
   kStats = 5,    ///< server counters
   kEvent = 6,    ///< server push: G's agreed view changed
+  kAppend = 7,        ///< append a command to G's replicated log
+  kReadLog = 8,       ///< page of applied log entries
+  kCommitWatch = 9,   ///< subscribe to G's commit pushes (resp = snapshot)
+  kCommitUnwatch = 10,  ///< drop the commit subscription
+  kCommitEvent = 11,  ///< server push: an entry of G's log was applied
 };
 
 enum class Status : std::uint8_t {
@@ -64,6 +87,10 @@ enum class Status : std::uint8_t {
   kUnknownGroup = 1,  ///< gid not registered with the service
   kBadRequest = 2,    ///< body malformed for the declared type
   kUnsupported = 3,   ///< type unknown to this server version
+  kNotLeader = 4,     ///< group has no agreed leader; redirect/back off
+  kStaleSeq = 5,      ///< append seq older than the client's latest
+  kOverloaded = 6,    ///< command intake full; retry later
+  kLogFull = 7,       ///< the log's slot capacity is exhausted
 };
 
 struct FrameHeader {
@@ -82,7 +109,9 @@ struct ViewBody {
   std::uint64_t epoch = 0;
 };
 
-/// Body of a STATS response.
+/// Body of a STATS response. The first six fields are the v1.0 body; the
+/// rest were appended in v1.1 (old readers skip them as trailing bytes,
+/// and the decoder leaves them zero for v1.0 peers).
 struct StatsBody {
   std::uint64_t connections = 0;    ///< currently open connections
   std::uint64_t queries = 0;        ///< LEADER requests served
@@ -90,15 +119,67 @@ struct StatsBody {
   std::uint64_t events = 0;         ///< EVENT frames pushed
   std::uint64_t groups = 0;         ///< groups registered with the service
   std::uint64_t io_threads = 0;     ///< serving event loops
+  std::uint64_t appends = 0;        ///< APPEND requests accepted
+  std::uint64_t commit_events = 0;  ///< COMMIT_EVENT frames pushed
+  std::uint64_t log_reads = 0;      ///< READ_LOG requests served
 };
 
+/// kAppend request body.
+struct AppendReqBody {
+  WireGroupId gid = 0;
+  std::uint64_t client = 0;   ///< dedup-key half 1: client session id
+  std::uint64_t seq = 0;      ///< dedup-key half 2: per-client sequence
+  std::uint64_t command = 0;  ///< value to append, in [1, 65534]
+};
+
+/// kAppend response body.
+struct AppendRespBody {
+  WireGroupId gid = 0;
+  std::uint64_t index = 0;        ///< commit position (kOk only)
+  ProcessId leader = kNoProcess;  ///< redirect hint (kNotLeader)
+  std::uint64_t epoch = 0;
+};
+
+/// kReadLog request body.
+struct ReadLogReqBody {
+  WireGroupId gid = 0;
+  std::uint64_t from = 0;  ///< first index wanted
+  std::uint32_t max = 0;   ///< page size (server caps at kMaxLogEntries)
+};
+
+/// kReadLog response body (entries follow the fixed part on the wire).
+struct ReadLogRespBody {
+  WireGroupId gid = 0;
+  std::uint64_t commit_index = 0;
+  std::vector<std::uint64_t> entries;
+};
+
+/// kCommitWatch responses (index only) and kCommitEvent pushes.
+struct CommitBody {
+  WireGroupId gid = 0;
+  std::uint64_t index = 0;
+  std::uint64_t value = 0;  ///< kCommitEvent only
+};
+
+/// Server-side page cap for READ_LOG (the payload cap allows ~500).
+inline constexpr std::uint32_t kMaxLogEntries = 256;
+
 /// A decoded frame: header plus whichever body the type carries. Bodies
-/// the type does not use stay default-initialized.
+/// the type does not use stay default-initialized. For kAppend/kReadLog
+/// both the request and the response interpretation are filled when the
+/// body is long enough (role-based decode — see the protocol comment).
 struct Frame {
   FrameHeader header;
   ViewBody view;    ///< kLeader/kWatch/kUnwatch (gid only in requests)
   StatsBody stats;  ///< kStats responses
-  bool has_body = false;  ///< a gid/view/stats body was present
+  AppendReqBody append_req;    ///< kAppend requests (body >= 32 bytes)
+  AppendRespBody append_resp;  ///< kAppend responses (body >= 28 bytes)
+  ReadLogReqBody readlog_req;    ///< kReadLog requests
+  ReadLogRespBody readlog_resp;  ///< kReadLog responses
+  CommitBody commit;  ///< kCommitWatch responses / kCommitEvent pushes
+  bool has_body = false;        ///< a typed body was present
+  bool has_append_req = false;  ///< body long enough for AppendReqBody
+  bool has_readlog_req = false;  ///< body long enough for ReadLogReqBody
 };
 
 // --- encoding --------------------------------------------------------------
@@ -120,6 +201,31 @@ void encode_gid_response(std::vector<std::uint8_t>& out, MsgType type,
 
 void encode_stats_response(std::vector<std::uint8_t>& out,
                            std::uint64_t req_id, const StatsBody& stats);
+
+void encode_append_request(std::vector<std::uint8_t>& out,
+                           std::uint64_t req_id, const AppendReqBody& body);
+
+void encode_append_response(std::vector<std::uint8_t>& out, Status status,
+                            std::uint64_t req_id, const AppendRespBody& body);
+
+void encode_readlog_request(std::vector<std::uint8_t>& out,
+                            std::uint64_t req_id, const ReadLogReqBody& body);
+
+/// `entries` capped by the caller (kMaxLogEntries keeps the frame far
+/// under kMaxPayloadBytes).
+void encode_readlog_response(std::vector<std::uint8_t>& out,
+                             std::uint64_t req_id, WireGroupId gid,
+                             std::uint64_t commit_index,
+                             const std::vector<std::uint64_t>& entries);
+
+/// kCommitWatch response carrying the commit-index snapshot.
+void encode_commit_snapshot(std::vector<std::uint8_t>& out, Status status,
+                            std::uint64_t req_id, WireGroupId gid,
+                            std::uint64_t commit_index);
+
+/// kCommitEvent push (req_id 0, like kEvent).
+void encode_commit_event(std::vector<std::uint8_t>& out, WireGroupId gid,
+                         std::uint64_t index, std::uint64_t value);
 
 // --- decoding --------------------------------------------------------------
 

@@ -38,12 +38,23 @@ LeaderServer::LeaderServer(svc::MultiGroupLeaderService& service,
   raw.reserve(loops_.size());
   for (auto& l : loops_) raw.push_back(&l->loop);
   hub_ = std::make_unique<WatchHub>(
-      std::move(raw), [this](std::uint32_t loop, svc::GroupId gid,
-                             svc::LeaderView view) {
+      std::move(raw),
+      [this](std::uint32_t loop, svc::GroupId gid, svc::LeaderView view) {
         deliver_event(loop, gid, view);
+      },
+      [this](std::uint32_t loop, svc::GroupId gid, std::uint64_t index,
+             std::uint64_t value) {
+        deliver_commit_event(loop, gid, index, value);
       });
+  append_sink_ = std::make_shared<AppendSink>();
+  append_sink_->server = this;
   open_listener();
   reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+}
+
+void LeaderServer::serve_log(smr::SmrService& smr) {
+  OMEGA_CHECK(!started_, "serve_log() after start()");
+  smr_ = &smr;
 }
 
 LeaderServer::~LeaderServer() {
@@ -93,13 +104,25 @@ void LeaderServer::start() {
       [this](svc::GroupId gid, const svc::LeaderView& view) {
         hub_->publish(gid, view);
       });
+  if (smr_ != nullptr) {
+    smr_->set_commit_listener(
+        [this](svc::GroupId gid, std::uint64_t index, std::uint64_t value) {
+          hub_->publish_commit(gid, index, value);
+        });
+  }
 }
 
 void LeaderServer::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
-  // Workers must stop calling into the hub before the loops go away.
+  // Workers must stop calling into the hub before the loops go away, and
+  // append completions that fire from now on must become no-ops.
   service_.set_epoch_listener({});
+  if (smr_ != nullptr) smr_->set_commit_listener({});
+  {
+    std::lock_guard<std::mutex> lock(append_sink_->mu);
+    append_sink_->server = nullptr;
+  }
   for (auto& l : loops_) l->loop.stop();
   for (auto& l : loops_) {
     if (l->thread.joinable()) l->thread.join();
@@ -113,6 +136,7 @@ void LeaderServer::stop() {
     for (auto& [fd, conn] : l->conns) ::close(conn->fd);
     l->conns.clear();
     l->watchers.clear();
+    l->commit_watchers.clear();
   }
 }
 
@@ -127,6 +151,10 @@ NetServerStats LeaderServer::stats() const {
     s.protocol_errors +=
         l->counters.protocol_errors.load(std::memory_order_relaxed);
     s.slow_closed += l->counters.slow_closed.load(std::memory_order_relaxed);
+    s.appends += l->counters.appends.load(std::memory_order_relaxed);
+    s.commit_events +=
+        l->counters.commit_events.load(std::memory_order_relaxed);
+    s.log_reads += l->counters.log_reads.load(std::memory_order_relaxed);
   }
   s.connections = open_connections_.load(std::memory_order_relaxed);
   return s;
@@ -141,6 +169,9 @@ StatsBody LeaderServer::stats_body() const {
   b.events = s.events;
   b.groups = service_.num_groups();
   b.io_threads = cfg_.io_threads;
+  b.appends = s.appends;
+  b.commit_events = s.commit_events;
+  b.log_reads = s.log_reads;
   return b;
 }
 
@@ -189,6 +220,7 @@ void LeaderServer::adopt_connection(std::uint32_t loop_idx, int fd) {
   auto conn = std::make_unique<Connection>();
   conn->fd = fd;
   conn->loop = loop_idx;
+  conn->serial = next_serial_.fetch_add(1, std::memory_order_relaxed);
   l.conns.emplace(fd, std::move(conn));
   l.counters.accepted.fetch_add(1, std::memory_order_relaxed);
   l.loop.add_fd(fd, EPOLLIN, [this, loop_idx, fd](std::uint32_t events) {
@@ -196,19 +228,33 @@ void LeaderServer::adopt_connection(std::uint32_t loop_idx, int fd) {
   });
 }
 
-void LeaderServer::drop_watch(Loop& l, Connection& c, svc::GroupId gid) {
-  hub_->remove_watch(gid, c.loop);
-  const auto it = l.watchers.find(gid);
-  if (it != l.watchers.end()) {
+void LeaderServer::unlink_watcher(Loop& l, WatcherMap& map, Connection& c,
+                                  svc::GroupId gid) {
+  const auto it = map.find(gid);
+  if (it != map.end()) {
     auto& v = it->second;
     v.erase(std::remove(v.begin(), v.end(), &c), v.end());
-    if (v.empty()) l.watchers.erase(it);
+    if (v.empty()) map.erase(it);
   }
   l.counters.watches.fetch_sub(1, std::memory_order_relaxed);
 }
 
+void LeaderServer::drop_watch(Loop& l, Connection& c, svc::GroupId gid) {
+  hub_->remove_watch(gid, c.loop);
+  unlink_watcher(l, l.watchers, c, gid);
+}
+
+void LeaderServer::drop_commit_watch(Loop& l, Connection& c,
+                                     svc::GroupId gid) {
+  hub_->remove_commit_watch(gid, c.loop);
+  unlink_watcher(l, l.commit_watchers, c, gid);
+}
+
 void LeaderServer::close_connection(Loop& l, Connection& c) {
   for (const svc::GroupId gid : c.watches) drop_watch(l, c, gid);
+  for (const svc::GroupId gid : c.commit_watches) {
+    drop_commit_watch(l, c, gid);
+  }
   l.loop.remove_fd(c.fd);
   ::close(c.fd);
   l.counters.closed.fetch_add(1, std::memory_order_relaxed);
@@ -378,9 +424,114 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
     case MsgType::kStats:
       encode_stats_response(c.out, id, stats_body());
       return true;
+    case MsgType::kAppend: {
+      AppendRespBody resp;
+      resp.gid = frame.append_resp.gid;
+      if (smr_ == nullptr) {
+        encode_append_response(c.out, Status::kUnsupported, id, resp);
+        return true;
+      }
+      if (!frame.has_append_req) {
+        encode_append_response(c.out, Status::kBadRequest, id, resp);
+        return true;
+      }
+      const AppendReqBody& req = frame.append_req;
+      resp.gid = req.gid;
+      svc::LeaderView view;
+      if (!service_.try_leader(req.gid, view) || !smr_->has_log(req.gid)) {
+        encode_append_response(c.out, Status::kUnknownGroup, id, resp);
+        return true;
+      }
+      resp.leader = view.leader;
+      resp.epoch = view.epoch;
+      if (view.leader == kNoProcess) {
+        // No agreed leader right now: tell the client to back off and
+        // retry against the (possibly new) leader instead of parking the
+        // command in a queue that may not drain for a while.
+        encode_append_response(c.out, Status::kNotLeader, id, resp);
+        return true;
+      }
+      l.counters.appends.fetch_add(1, std::memory_order_relaxed);
+      // Asynchronous completion: park (loop, fd, serial, req_id) in the
+      // callback; the owning shard worker fires it at commit and it posts
+      // the response back to this loop. The sink makes completions that
+      // outlive the serving phase no-ops.
+      const auto sink = append_sink_;
+      const std::uint32_t loop_idx = c.loop;
+      const int fd = c.fd;
+      const std::uint64_t serial = c.serial;
+      const svc::GroupId gid = req.gid;
+      smr_->append(req.gid, req.client, req.seq, req.command,
+                   [sink, loop_idx, fd, serial, id, gid](
+                       smr::AppendOutcome outcome, std::uint64_t index) {
+                     std::lock_guard<std::mutex> lock(sink->mu);
+                     LeaderServer* s = sink->server;
+                     if (s == nullptr) return;  // server already stopped
+                     s->loops_[loop_idx]->loop.post(
+                         [s, loop_idx, fd, serial, id, gid, outcome, index] {
+                           s->complete_append(loop_idx, fd, serial, id, gid,
+                                              outcome, index);
+                         });
+                   });
+      return true;
+    }
+    case MsgType::kReadLog: {
+      const WireGroupId gid = frame.readlog_req.gid;
+      if (smr_ == nullptr) {
+        encode_gid_response(c.out, MsgType::kReadLog, Status::kUnsupported,
+                            id, gid);
+        return true;
+      }
+      if (!frame.has_readlog_req) {  // gid-only body: truncated request
+        encode_gid_response(c.out, MsgType::kReadLog, Status::kBadRequest,
+                            id, gid);
+        return true;
+      }
+      smr::LogGroup::Snapshot snap;
+      const std::uint32_t max =
+          std::min<std::uint32_t>(frame.readlog_req.max, kMaxLogEntries);
+      if (!smr_->read_log(gid, frame.readlog_req.from, max, snap)) {
+        encode_gid_response(c.out, MsgType::kReadLog, Status::kUnknownGroup,
+                            id, gid);
+        return true;
+      }
+      l.counters.log_reads.fetch_add(1, std::memory_order_relaxed);
+      encode_readlog_response(c.out, id, gid, snap.commit_index,
+                              snap.entries);
+      return true;
+    }
+    case MsgType::kCommitWatch: {
+      const svc::GroupId gid = frame.commit.gid;
+      if (smr_ == nullptr || !smr_->has_log(gid)) {
+        encode_commit_snapshot(c.out,
+                               smr_ == nullptr ? Status::kUnsupported
+                                               : Status::kUnknownGroup,
+                               id, gid, 0);
+        return true;
+      }
+      // Subscribe before the snapshot, as with WATCH: a commit racing the
+      // subscription shows up in the snapshot, as an event, or both.
+      const bool fresh = c.commit_watches.insert(gid).second;
+      if (fresh) {
+        hub_->add_commit_watch(gid, c.loop);
+        l.commit_watchers[gid].push_back(&c);
+        l.counters.watches.fetch_add(1, std::memory_order_relaxed);
+      }
+      encode_commit_snapshot(c.out, Status::kOk, id, gid,
+                             smr_->commit_index(gid));
+      return true;
+    }
+    case MsgType::kCommitUnwatch: {
+      const svc::GroupId gid = frame.commit.gid;
+      if (c.commit_watches.erase(gid) > 0) drop_commit_watch(l, c, gid);
+      encode_gid_response(c.out, MsgType::kCommitUnwatch, Status::kOk, id,
+                          gid);
+      return true;
+    }
     case MsgType::kEvent:
-      // EVENT is strictly server -> client; a peer sending one is broken,
-      // and echoing the type back would emit a body-less EVENT frame our
+    case MsgType::kCommitEvent:
+      // Pushes are strictly server -> client; a peer sending one is
+      // broken, and echoing the type back would emit a body-less push our
       // own decoder rejects. Treat it as a protocol violation.
       l.counters.protocol_errors.fetch_add(1, std::memory_order_relaxed);
       close_connection(l, c);
@@ -392,11 +543,12 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
   }
 }
 
-void LeaderServer::deliver_event(std::uint32_t loop_idx, svc::GroupId gid,
-                                 svc::LeaderView view) {
-  Loop& l = *loops_[loop_idx];
-  const auto it = l.watchers.find(gid);
-  if (it == l.watchers.end()) return;  // last watcher left before delivery
+void LeaderServer::fan_out(
+    Loop& l, WatcherMap& map, svc::GroupId gid,
+    std::atomic<std::uint64_t>& counter,
+    const std::function<void(std::vector<std::uint8_t>&)>& encode) {
+  const auto it = map.find(gid);
+  if (it == map.end()) return;  // last watcher left before delivery
   // Snapshot fds, not pointers: flushing one target can close a
   // connection (backpressure), and a freed sibling must be detected by
   // key lookup, never by dereferencing its pointer.
@@ -407,11 +559,78 @@ void LeaderServer::deliver_event(std::uint32_t loop_idx, svc::GroupId gid,
     const auto cit = l.conns.find(fd);
     if (cit == l.conns.end()) continue;  // closed earlier in this delivery
     Connection& c = *cit->second;
-    encode_view_frame(c.out, MsgType::kEvent, Status::kOk, /*req_id=*/0,
-                      ViewBody{gid, view.leader, view.epoch});
-    l.counters.events.fetch_add(1, std::memory_order_relaxed);
+    encode(c.out);
+    counter.fetch_add(1, std::memory_order_relaxed);
     flush(l, c);
   }
+}
+
+void LeaderServer::deliver_commit_event(std::uint32_t loop_idx,
+                                        svc::GroupId gid, std::uint64_t index,
+                                        std::uint64_t value) {
+  Loop& l = *loops_[loop_idx];
+  fan_out(l, l.commit_watchers, gid, l.counters.commit_events,
+          [&](std::vector<std::uint8_t>& out) {
+            encode_commit_event(out, gid, index, value);
+          });
+}
+
+void LeaderServer::complete_append(std::uint32_t loop_idx, int fd,
+                                   std::uint64_t serial, std::uint64_t req_id,
+                                   svc::GroupId gid,
+                                   smr::AppendOutcome outcome,
+                                   std::uint64_t index) {
+  Loop& l = *loops_[loop_idx];
+  const auto it = l.conns.find(fd);
+  if (it == l.conns.end()) return;  // connection died while waiting
+  Connection& c = *it->second;
+  if (c.serial != serial) return;  // fd recycled: different connection
+  AppendRespBody resp;
+  resp.gid = gid;
+  Status status = Status::kOk;
+  switch (outcome) {
+    case smr::AppendOutcome::kCommitted:
+      resp.index = index;
+      break;
+    case smr::AppendOutcome::kAccepted:
+      // Completions never fire with kAccepted; defensively treat it as a
+      // server error the client should retry.
+      status = Status::kOverloaded;
+      break;
+    case smr::AppendOutcome::kStaleSeq:
+      status = Status::kStaleSeq;
+      break;
+    case smr::AppendOutcome::kQueueFull:
+      status = Status::kOverloaded;
+      break;
+    case smr::AppendOutcome::kLogFull:
+      status = Status::kLogFull;
+      break;
+    case smr::AppendOutcome::kAborted:
+      status = Status::kUnknownGroup;  // the log went away under us
+      break;
+    case smr::AppendOutcome::kBadCommand:
+      status = Status::kBadRequest;
+      break;
+  }
+  svc::LeaderView view;
+  if (service_.try_leader(gid, view)) {
+    resp.leader = view.leader;
+    resp.epoch = view.epoch;
+  }
+  encode_append_response(c.out, status, req_id, resp);
+  flush(l, c);
+}
+
+void LeaderServer::deliver_event(std::uint32_t loop_idx, svc::GroupId gid,
+                                 svc::LeaderView view) {
+  Loop& l = *loops_[loop_idx];
+  fan_out(l, l.watchers, gid, l.counters.events,
+          [&](std::vector<std::uint8_t>& out) {
+            encode_view_frame(out, MsgType::kEvent, Status::kOk,
+                              /*req_id=*/0,
+                              ViewBody{gid, view.leader, view.epoch});
+          });
 }
 
 }  // namespace omega::net

@@ -14,14 +14,25 @@
 // to the WatchHub, which posts one delivery task per interested loop; the
 // loop writes EVENT frames to its watching connections.
 //
+// Replicated-log serving (optional, via serve_log()): APPEND commands are
+// handed to the SmrService and answered *asynchronously* — the IO thread
+// parks the request (loop, connection serial, req_id) inside the append
+// completion, and when the owning shard worker commits the command the
+// completion posts the response back to the connection's loop. A
+// connection serial guards against fd reuse between park and completion.
+// READ_LOG is answered synchronously from the applied log; COMMIT_WATCH
+// mirrors WATCH on the hub's commit channel.
+//
 // Lifecycle: construct (binds + listens, so port() is valid immediately),
 // start() (spawns the IO threads and installs the epoch listener), stop()
-// (uninstalls the listener, stops loops, closes every socket). The server
-// must be stopped before the MultiGroupLeaderService it serves.
+// (uninstalls the listeners, detaches pending append completions, stops
+// loops, closes every socket). The server must be stopped before the
+// MultiGroupLeaderService/SmrService it serves.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -32,6 +43,7 @@
 #include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/watch_hub.h"
+#include "smr/smr_service.h"
 #include "svc/multigroup_service.h"
 
 namespace omega::net {
@@ -58,6 +70,9 @@ struct NetServerStats {
   std::uint64_t events = 0;   ///< EVENT frames written
   std::uint64_t protocol_errors = 0;
   std::uint64_t slow_closed = 0;  ///< closed for exceeding max_outbuf_bytes
+  std::uint64_t appends = 0;        ///< APPEND requests accepted into the log
+  std::uint64_t commit_events = 0;  ///< COMMIT_EVENT frames written
+  std::uint64_t log_reads = 0;      ///< READ_LOG requests served
 };
 
 class LeaderServer {
@@ -69,6 +84,11 @@ class LeaderServer {
 
   LeaderServer(const LeaderServer&) = delete;
   LeaderServer& operator=(const LeaderServer&) = delete;
+
+  /// Attaches the replicated-log service this server fronts. Must be
+  /// called before start(); without it the log frame types answer
+  /// kUnsupported.
+  void serve_log(smr::SmrService& smr);
 
   /// Spawns the IO threads and installs the epoch listener. Once.
   void start();
@@ -87,20 +107,28 @@ class LeaderServer {
   struct Connection {
     int fd = -1;
     std::uint32_t loop = 0;
+    /// Monotonic per-server id: append completions address connections by
+    /// (loop, fd, serial) so a recycled fd never receives a stale answer.
+    std::uint64_t serial = 0;
     FrameDecoder in;
     std::vector<std::uint8_t> out;  ///< unsent bytes [out_pos, end)
     std::size_t out_pos = 0;
     bool want_write = false;  ///< EPOLLOUT currently armed
     std::unordered_set<svc::GroupId> watches;
+    std::unordered_set<svc::GroupId> commit_watches;
   };
+
+  /// gid → connections on a loop subscribed to one push channel
+  /// (loop-confined).
+  using WatcherMap = std::unordered_map<svc::GroupId, std::vector<Connection*>>;
 
   /// Per-IO-thread state. Only `counters` is read cross-thread.
   struct Loop {
     EventLoop loop;
     std::thread thread;
     std::unordered_map<int, std::unique_ptr<Connection>> conns;
-    /// gid → connections on this loop watching it (loop-confined).
-    std::unordered_map<svc::GroupId, std::vector<Connection*>> watchers;
+    WatcherMap watchers;         ///< epoch channel (WATCH)
+    WatcherMap commit_watchers;  ///< commit channel (COMMIT_WATCH)
     struct Counters {
       std::atomic<std::uint64_t> accepted{0};
       std::atomic<std::uint64_t> closed{0};
@@ -109,7 +137,19 @@ class LeaderServer {
       std::atomic<std::uint64_t> events{0};
       std::atomic<std::uint64_t> protocol_errors{0};
       std::atomic<std::uint64_t> slow_closed{0};
+      std::atomic<std::uint64_t> appends{0};
+      std::atomic<std::uint64_t> commit_events{0};
+      std::atomic<std::uint64_t> log_reads{0};
     } counters;
+  };
+
+  /// Handle shared with in-flight append completions. A completion that
+  /// outlives the serving phase (command commits after stop(), or never)
+  /// must become a no-op: stop() nulls `server` under the mutex, and the
+  /// completion only posts while holding it.
+  struct AppendSink {
+    std::mutex mu;
+    LeaderServer* server = nullptr;
   };
 
   void open_listener();
@@ -121,16 +161,39 @@ class LeaderServer {
   bool handle_frame(Loop& l, Connection& c, const Frame& frame);
   void deliver_event(std::uint32_t loop_idx, svc::GroupId gid,
                      svc::LeaderView view);
+  void deliver_commit_event(std::uint32_t loop_idx, svc::GroupId gid,
+                            std::uint64_t index, std::uint64_t value);
+  /// Runs on the connection's loop thread when its append committed (or
+  /// failed); drops silently if the connection is gone or recycled.
+  void complete_append(std::uint32_t loop_idx, int fd, std::uint64_t serial,
+                       std::uint64_t req_id, svc::GroupId gid,
+                       smr::AppendOutcome outcome, std::uint64_t index);
   /// Writes as much of c.out as the socket takes; arms/disarms EPOLLOUT.
   /// Returns false if the connection died.
   bool flush(Loop& l, Connection& c);
   void close_connection(Loop& l, Connection& c);
   /// Drops one (gid, connection) subscription from the hub and the loop's
-  /// watcher list (does not touch c.watches — callers own that set).
+  /// watcher list (does not touch c.watches/c.commit_watches — callers
+  /// own those sets).
   void drop_watch(Loop& l, Connection& c, svc::GroupId gid);
+  void drop_commit_watch(Loop& l, Connection& c, svc::GroupId gid);
+  /// Shared body of the two drops: unlinks `c` from `map[gid]` and
+  /// decrements the watch gauge.
+  void unlink_watcher(Loop& l, WatcherMap& map, Connection& c,
+                      svc::GroupId gid);
+  /// Shared body of the two delivery paths: writes one `encode`d push to
+  /// every connection in `map[gid]`, counting each on `counter` — with
+  /// the fd-snapshot discipline (flushing one target can close a
+  /// sibling, which must be detected by key lookup, never by pointer).
+  void fan_out(Loop& l, WatcherMap& map, svc::GroupId gid,
+               std::atomic<std::uint64_t>& counter,
+               const std::function<void(std::vector<std::uint8_t>&)>& encode);
   StatsBody stats_body() const;
 
   svc::MultiGroupLeaderService& service_;
+  smr::SmrService* smr_ = nullptr;
+  std::shared_ptr<AppendSink> append_sink_;
+  std::atomic<std::uint64_t> next_serial_{1};
   NetConfig cfg_;
   int listen_fd_ = -1;
   /// Sacrificial fd released under EMFILE so the backlog can be accepted

@@ -4,52 +4,89 @@
 
 namespace omega::net {
 
-WatchHub::WatchHub(std::vector<EventLoop*> loops, Deliver deliver)
-    : loops_(std::move(loops)), deliver_(std::move(deliver)) {
+WatchHub::WatchHub(std::vector<EventLoop*> loops, Deliver deliver,
+                   DeliverCommit deliver_commit)
+    : loops_(std::move(loops)),
+      deliver_(std::move(deliver)),
+      deliver_commit_(std::move(deliver_commit)) {
   OMEGA_CHECK(!loops_.empty(), "watch hub needs at least one loop");
   OMEGA_CHECK(loops_.size() <= 64, "publish() packs loops into a u64 mask");
   OMEGA_CHECK(deliver_ != nullptr, "watch hub needs a delivery sink");
 }
 
-void WatchHub::add_watch(svc::GroupId gid, std::uint32_t loop) {
+void WatchHub::add(Channel& ch, svc::GroupId gid, std::uint32_t loop) {
   OMEGA_CHECK(loop < loops_.size(), "bad loop index " << loop);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto& counts = watched_[gid];
+  std::lock_guard<std::mutex> lock(ch.mu);
+  auto& counts = ch.watched[gid];
   if (counts.empty()) counts.resize(loops_.size(), 0);
   ++counts[loop];
 }
 
-void WatchHub::remove_watch(svc::GroupId gid, std::uint32_t loop) {
+void WatchHub::remove(Channel& ch, svc::GroupId gid, std::uint32_t loop) {
   OMEGA_CHECK(loop < loops_.size(), "bad loop index " << loop);
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = watched_.find(gid);
-  if (it == watched_.end()) return;  // already gone (idempotent close paths)
+  std::lock_guard<std::mutex> lock(ch.mu);
+  const auto it = ch.watched.find(gid);
+  if (it == ch.watched.end()) return;  // already gone (idempotent closes)
   auto& counts = it->second;
   if (counts[loop] > 0) --counts[loop];
   for (const std::uint32_t c : counts) {
     if (c > 0) return;
   }
-  watched_.erase(it);
+  ch.watched.erase(it);
+}
+
+std::uint64_t WatchHub::interested(Channel& ch, svc::GroupId gid) {
+  std::uint64_t mask = 0;  // loops are few (≤ 64)
+  std::lock_guard<std::mutex> lock(ch.mu);
+  const auto it = ch.watched.find(gid);
+  if (it == ch.watched.end()) return 0;
+  for (std::size_t i = 0; i < it->second.size(); ++i) {
+    if (it->second[i] > 0) mask |= std::uint64_t{1} << i;
+  }
+  return mask;
+}
+
+void WatchHub::add_watch(svc::GroupId gid, std::uint32_t loop) {
+  add(epochs_, gid, loop);
+}
+
+void WatchHub::remove_watch(svc::GroupId gid, std::uint32_t loop) {
+  remove(epochs_, gid, loop);
 }
 
 void WatchHub::publish(svc::GroupId gid, const svc::LeaderView& view) {
   published_.fetch_add(1, std::memory_order_relaxed);
   // Snapshot the interested loops under the lock, post outside it: post()
   // takes each loop's task mutex and we never want to hold two locks.
-  std::uint64_t interested = 0;  // bitmask; loops are few (≤ 64)
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = watched_.find(gid);
-    if (it == watched_.end()) return;
-    for (std::size_t i = 0; i < it->second.size(); ++i) {
-      if (it->second[i] > 0) interested |= std::uint64_t{1} << i;
-    }
-  }
+  const std::uint64_t mask = interested(epochs_, gid);
   for (std::size_t i = 0; i < loops_.size(); ++i) {
-    if (!(interested & (std::uint64_t{1} << i))) continue;
+    if (!(mask & (std::uint64_t{1} << i))) continue;
     deliveries_.fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t loop = static_cast<std::uint32_t>(i);
     loops_[i]->post([this, loop, gid, view] { deliver_(loop, gid, view); });
+  }
+}
+
+void WatchHub::add_commit_watch(svc::GroupId gid, std::uint32_t loop) {
+  add(commits_, gid, loop);
+}
+
+void WatchHub::remove_commit_watch(svc::GroupId gid, std::uint32_t loop) {
+  remove(commits_, gid, loop);
+}
+
+void WatchHub::publish_commit(svc::GroupId gid, std::uint64_t index,
+                              std::uint64_t value) {
+  OMEGA_CHECK(deliver_commit_ != nullptr, "no commit delivery sink");
+  commits_published_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t mask = interested(commits_, gid);
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    if (!(mask & (std::uint64_t{1} << i))) continue;
+    deliveries_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t loop = static_cast<std::uint32_t>(i);
+    loops_[i]->post([this, loop, gid, index, value] {
+      deliver_commit_(loop, gid, index, value);
+    });
   }
 }
 

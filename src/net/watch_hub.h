@@ -36,7 +36,14 @@ class WatchHub {
   using Deliver =
       std::function<void(std::uint32_t, svc::GroupId, svc::LeaderView)>;
 
-  WatchHub(std::vector<EventLoop*> loops, Deliver deliver);
+  /// Commit-channel sibling: (loop index, gid, applied index, value),
+  /// fanned out as COMMIT_EVENT frames.
+  using DeliverCommit = std::function<void(std::uint32_t, svc::GroupId,
+                                           std::uint64_t, std::uint64_t)>;
+
+  /// `deliver_commit` may be empty when the server serves no log.
+  WatchHub(std::vector<EventLoop*> loops, Deliver deliver,
+           DeliverCommit deliver_commit = {});
 
   /// Registers one more watcher of `gid` living on `loop`. Called by the
   /// loop thread while handling a WATCH request, *before* it reads the
@@ -51,23 +58,46 @@ class WatchHub {
   /// one lookup, and one post() per interested loop.
   void publish(svc::GroupId gid, const svc::LeaderView& view);
 
+  /// Commit-channel mirror of the three calls above; subscriptions are
+  /// independent of the epoch channel (same delivery semantics: register
+  /// before snapshot, dedupe by index).
+  void add_commit_watch(svc::GroupId gid, std::uint32_t loop);
+  void remove_commit_watch(svc::GroupId gid, std::uint32_t loop);
+  void publish_commit(svc::GroupId gid, std::uint64_t index,
+                      std::uint64_t value);
+
   std::uint64_t published() const noexcept {
     return published_.load(std::memory_order_relaxed);
   }
   std::uint64_t deliveries() const noexcept {
     return deliveries_.load(std::memory_order_relaxed);
   }
+  std::uint64_t commits_published() const noexcept {
+    return commits_published_.load(std::memory_order_relaxed);
+  }
 
  private:
+  /// One subscription channel: per-gid, per-loop refcounts.
+  struct Channel {
+    std::mutex mu;
+    std::unordered_map<svc::GroupId, std::vector<std::uint32_t>> watched;
+  };
+
+  void add(Channel& ch, svc::GroupId gid, std::uint32_t loop);
+  void remove(Channel& ch, svc::GroupId gid, std::uint32_t loop);
+  /// Bitmask of loops with a live subscriber, under the channel lock.
+  std::uint64_t interested(Channel& ch, svc::GroupId gid);
+
   std::vector<EventLoop*> loops_;
   Deliver deliver_;
+  DeliverCommit deliver_commit_;
 
-  std::mutex mu_;
-  /// gid → per-loop subscriber refcounts (entry erased when all zero).
-  std::unordered_map<svc::GroupId, std::vector<std::uint32_t>> watched_;
+  Channel epochs_;
+  Channel commits_;
 
   std::atomic<std::uint64_t> published_{0};   ///< publish() calls seen
   std::atomic<std::uint64_t> deliveries_{0};  ///< per-loop posts made
+  std::atomic<std::uint64_t> commits_published_{0};
 };
 
 }  // namespace omega::net

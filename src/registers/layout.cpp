@@ -17,9 +17,8 @@ GroupId LayoutBuilder::add_matrix(std::string name, std::uint32_t rows,
   OMEGA_CHECK(rows > 0 && cols > 0, "empty register group " << name);
   OMEGA_CHECK(rows <= kMaxProcesses && cols <= kMaxProcesses,
               "group " << name << " exceeds kMaxProcesses");
-  for (const auto& g : groups_) {
-    OMEGA_CHECK(g.name != name, "duplicate register group " << name);
-  }
+  OMEGA_CHECK(names_.insert(name).second,
+              "duplicate register group " << name);
   RegisterGroup g;
   g.name = std::move(name);
   g.first = next_;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/check.h"
@@ -56,6 +57,9 @@ class LayoutBuilder {
 
  private:
   std::vector<RegisterGroup> groups_;
+  /// Names seen so far; a replicated log declares two groups per slot, so
+  /// the duplicate check must not be a linear scan per declaration.
+  std::unordered_set<std::string> names_;
   std::uint32_t next_ = 0;
 };
 

@@ -19,6 +19,13 @@ void ProcExecutor::add_app_task(ProcTask task) {
   apps_left_.fetch_add(1, std::memory_order_acq_rel);
 }
 
+std::size_t ProcExecutor::reap_apps() {
+  const std::size_t before = apps_.size();
+  std::erase_if(apps_, [](const ProcTask& t) { return t.done(); });
+  if (apps_.size() != before) rr_ = 0;  // cursor may point past the end
+  return before - apps_.size();
+}
+
 RtProcessStatus ProcExecutor::status() const {
   RtProcessStatus s;
   s.last_leader = last_leader_.load(std::memory_order_acquire);

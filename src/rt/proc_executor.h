@@ -54,11 +54,19 @@ class ProcExecutor {
 
   /// Registers an application coroutine to run interleaved with the Ω
   /// tasks; its LeaderQuery ops are answered by this process's leader().
-  /// Owner thread only (drivers call it before handing the executor over).
+  /// Owner thread only — either before the executor is handed to a driver,
+  /// or from code already running on the owning thread (e.g. a GroupPump
+  /// spawning proposers during its sweep hook).
   void add_app_task(ProcTask task);
   std::uint32_t apps_left() const {
     return apps_left_.load(std::memory_order_acquire);
   }
+
+  /// Releases completed application tasks (owner thread only) and returns
+  /// how many were dropped. Long-lived executors that keep receiving tasks
+  /// (the SMR pump spawns one proposer per slot) must reap, or the
+  /// round-robin scan pays for every finished frame forever.
+  std::size_t reap_apps();
 
   // --- stepping (owner thread only) -------------------------------------
 

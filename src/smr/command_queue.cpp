@@ -1,0 +1,132 @@
+#include "smr/command_queue.h"
+
+#include "common/check.h"
+
+namespace omega::smr {
+
+CommandQueue::CommandQueue(std::size_t max_pending)
+    : max_pending_(max_pending) {
+  OMEGA_CHECK(max_pending_ >= 1, "queue needs capacity >= 1");
+}
+
+void CommandQueue::take(Entry& e, std::vector<AppendCompletion>& out) {
+  for (auto& c : e.completions) {
+    if (c) out.push_back(std::move(c));
+  }
+  e.completions.clear();
+}
+
+CommandQueue::SubmitResult CommandQueue::submit(std::uint64_t client,
+                                                std::uint64_t seq,
+                                                std::uint64_t command,
+                                                AppendCompletion done) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Session& sess = sessions_[client];
+  if (sess.any && seq == sess.last_seq) {
+    if (sess.committed) {
+      return SubmitResult{AppendOutcome::kCommitted, sess.last_index};
+    }
+    // Retry of the still-pending newest seq: attach to the original entry
+    // (scan the two small queues back-to-front; retries target recent
+    // entries, and duplicates are rare relative to the consensus work).
+    for (auto queue : {&inflight_, &pending_}) {
+      for (auto it = queue->rbegin(); it != queue->rend(); ++it) {
+        if (it->client == client && it->seq == seq) {
+          if (it->command != command) {
+            // A "retry" that changes the command is a client bug, but it
+            // arrives over the network — answer it, never throw on the
+            // serving thread.
+            return SubmitResult{AppendOutcome::kBadCommand, 0};
+          }
+          if (done) it->completions.push_back(std::move(done));
+          return SubmitResult{AppendOutcome::kAccepted, 0};
+        }
+      }
+    }
+    // The entry was aborted between the session update and now; treat the
+    // retry as a fresh submission below.
+  } else if (sess.any && seq < sess.last_seq) {
+    return SubmitResult{AppendOutcome::kStaleSeq, 0};
+  }
+  if (pending_.size() >= max_pending_) {
+    return SubmitResult{AppendOutcome::kQueueFull, 0};
+  }
+  sess.any = true;
+  sess.last_seq = seq;
+  sess.committed = false;
+  Entry e;
+  e.client = client;
+  e.seq = seq;
+  e.command = command;
+  if (done) e.completions.push_back(std::move(done));
+  pending_.push_back(std::move(e));
+  return SubmitResult{AppendOutcome::kAccepted, 0};
+}
+
+std::uint64_t CommandQueue::pull() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return 0;
+  inflight_.push_back(std::move(pending_.front()));
+  pending_.pop_front();
+  return inflight_.back().command;
+}
+
+CommandQueue::CommitRecord CommandQueue::commit_front(std::uint64_t index) {
+  std::vector<AppendCompletion> fire;
+  CommitRecord rec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    OMEGA_CHECK(!inflight_.empty(), "commit with nothing in flight");
+    Entry& e = inflight_.front();
+    rec.client = e.client;
+    rec.seq = e.seq;
+    rec.command = e.command;
+    Session& sess = sessions_[e.client];
+    if (sess.any && sess.last_seq == e.seq) {
+      sess.committed = true;
+      sess.last_index = index;
+    }
+    take(e, fire);
+    inflight_.pop_front();
+  }
+  // Completions run outside the lock: they post to IO loops and must not
+  // nest under the queue mutex.
+  for (auto& c : fire) c(AppendOutcome::kCommitted, index);
+  return rec;
+}
+
+void CommandQueue::abort_pending(AppendOutcome outcome) {
+  std::vector<AppendCompletion> fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& e : pending_) take(e, fire);
+    pending_.clear();
+  }
+  for (auto& c : fire) c(outcome, 0);
+}
+
+void CommandQueue::abort_all(AppendOutcome outcome) {
+  std::vector<AppendCompletion> fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& e : pending_) take(e, fire);
+    for (auto& e : inflight_) take(e, fire);
+    pending_.clear();
+    // In-flight entries stay: their slots may still decide (a sweep can
+    // race this call), and commit_front must find the matching entry.
+    // Their waiters have been answered; the late commit fires nothing.
+  }
+  for (auto& c : fire) c(outcome, 0);
+}
+
+std::size_t CommandQueue::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+std::size_t CommandQueue::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_.size();
+}
+
+}  // namespace omega::smr

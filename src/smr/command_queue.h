@@ -1,0 +1,127 @@
+// CommandQueue: the client-facing intake of one replicated-log group.
+//
+// Clients submit commands tagged with a (client, seq) dedup key; the pump
+// (owner worker) pulls them in FIFO order and assigns each to a consensus
+// slot. Because every replica proposes the same command for a slot and
+// slots are harvested in order, commits pop pulled entries strictly FIFO —
+// commit_front() consumes the oldest in-flight entry and fires its
+// completions.
+//
+// Dedup contract (the classic SMR client-session rule): per client, `seq`
+// is monotonically increasing, and the retry window is the *latest* seq —
+// a client that did not see an append's answer (timeout, reconnect after a
+// leader restart) resubmits the same (client, seq, command) and gets the
+// original outcome: the already-committed index if the first copy made it,
+// or a completion attached to the still-pending copy. Submitting seq ≤ an
+// older seq than the latest is rejected as stale. Multiple *distinct*
+// outstanding seqs per client are accepted (pipelining), but only the
+// newest is retry-safe.
+//
+// Threading: submit() may be called from any thread (the server's IO
+// threads); pull()/commit_front()/abort_* belong to the pump owner. One
+// mutex guards everything — the queue is not the hot path (the consensus
+// rounds are).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.h"
+
+namespace omega::smr {
+
+/// Client-visible outcome of an append.
+enum class AppendOutcome : std::uint8_t {
+  kCommitted,  ///< committed; `index` is the log position
+  kAccepted,   ///< queued; the completion fires when it commits
+  kStaleSeq,   ///< seq older than the client's latest (outside dedup window)
+  kQueueFull,  ///< intake bounded; retry later
+  kLogFull,    ///< the group's slot capacity is exhausted
+  kAborted,    ///< group torn down before the command committed
+  kBadCommand, ///< command out of range, or a retry that changed it
+};
+
+/// Fired exactly once per accepted submission, either synchronously from
+/// submit() (duplicate of a committed entry) or later on the pump owner's
+/// thread. `index` is meaningful for kCommitted only.
+using AppendCompletion =
+    std::function<void(AppendOutcome outcome, std::uint64_t index)>;
+
+class CommandQueue {
+ public:
+  explicit CommandQueue(std::size_t max_pending);
+
+  struct SubmitResult {
+    AppendOutcome outcome = AppendOutcome::kAccepted;
+    std::uint64_t index = 0;  ///< valid when outcome == kCommitted
+  };
+
+  /// Any thread. When the result is kAccepted the completion is retained
+  /// and fires at commit (or abort); for every other outcome — including
+  /// kCommitted duplicates — the caller already has the answer and the
+  /// completion is NOT retained. `command` must be in [1, kLogNoOp); range
+  /// checking is the caller's job (the queue stores what it is given).
+  SubmitResult submit(std::uint64_t client, std::uint64_t seq,
+                      std::uint64_t command, AppendCompletion done);
+
+  // --- pump side (owner thread) ------------------------------------------
+
+  /// Next command to assign to a slot (moves the entry to the in-flight
+  /// queue); 0 when nothing is pending.
+  std::uint64_t pull();
+
+  struct CommitRecord {
+    std::uint64_t client = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t command = 0;
+  };
+
+  /// The oldest in-flight entry committed at `index`: records the client
+  /// session's outcome, fires the entry's completions, and returns the
+  /// entry for the commit-event fan-out.
+  CommitRecord commit_front(std::uint64_t index);
+
+  /// Fails every entry that has not been pulled yet (log capacity
+  /// exhausted): completions fire with `outcome`.
+  void abort_pending(AppendOutcome outcome);
+
+  /// Teardown: answers every waiter — pending and in-flight — with
+  /// `outcome`. Pending entries are dropped; in-flight entries stay (their
+  /// slots may still decide under a racing sweep, and commit_front must
+  /// find them) but their late commits fire nothing.
+  void abort_all(AppendOutcome outcome);
+
+  std::size_t pending() const;
+  std::size_t in_flight() const;
+
+ private:
+  struct Entry {
+    std::uint64_t client = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t command = 0;
+    std::vector<AppendCompletion> completions;
+  };
+
+  /// Per-client session state for the dedup window.
+  struct Session {
+    std::uint64_t last_seq = 0;    ///< newest seq ever submitted
+    std::uint64_t last_index = 0;  ///< commit index of last_seq, if committed
+    bool committed = false;        ///< last_seq has committed
+    bool any = false;              ///< a seq was ever submitted
+  };
+
+  /// Collects an entry's completions for firing outside the lock.
+  static void take(Entry& e, std::vector<AppendCompletion>& out);
+
+  mutable std::mutex mu_;
+  std::size_t max_pending_;
+  std::deque<Entry> pending_;
+  std::deque<Entry> inflight_;
+  std::unordered_map<std::uint64_t, Session> sessions_;
+};
+
+}  // namespace omega::smr

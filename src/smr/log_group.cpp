@@ -1,0 +1,92 @@
+#include "smr/log_group.h"
+
+#include <algorithm>
+
+namespace omega::smr {
+
+LogGroup::LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook)
+    : gid_(gid),
+      spec_(spec),
+      log_(spec.n, spec.capacity),
+      queue_(spec.max_pending),
+      hook_(std::move(hook)) {
+  OMEGA_CHECK(spec_.window >= 1 && spec_.window <= spec_.capacity,
+              "bad pump window " << spec_.window);
+  applied_.reserve(std::min<std::uint32_t>(spec_.capacity, 4096));
+}
+
+void LogGroup::attach(svc::Group& g) {
+  OMEGA_CHECK(g.spec.n == spec_.n,
+              "group n " << g.spec.n << " != log n " << spec_.n);
+  log_.bind(g.inst.memory->layout());
+  host_.g_ = &g;
+  pump_ = std::make_unique<LogPump>(log_, host_, spec_.window);
+}
+
+void LogGroup::on_sweep(svc::Group& g, std::int64_t /*now_us*/) {
+  OMEGA_CHECK(pump_ != nullptr && host_.g_ == &g, "on_sweep before attach");
+  scratch_.clear();
+  pump_->tick([this] { return queue_.pull(); }, scratch_);
+  if (!scratch_.empty()) {
+    for (const auto& c : scratch_) {
+      std::uint64_t index = 0;
+      {
+        std::lock_guard<std::mutex> lock(applied_mu_);
+        index = applied_.size();
+        applied_.push_back(c.value);
+      }
+      commit_index_.store(index + 1, std::memory_order_release);
+      const CommandQueue::CommitRecord rec = queue_.commit_front(index);
+      OMEGA_CHECK(rec.command == c.value,
+                  "slot " << c.slot << " decided " << c.value
+                          << " but the oldest in-flight command is "
+                          << rec.command);
+      {
+        std::shared_lock<std::shared_mutex> lock(hook_mu_);
+        if (hook_) hook_(index, c.value, rec.client, rec.seq);
+      }
+    }
+    // Finished proposer frames pile up one per slot per replica: reap so
+    // the executors' round-robin scan stays O(live tasks).
+    for (auto& ex : g.execs) ex->reap_apps();
+  }
+  if (pump_->exhausted()) {
+    log_full_.store(true, std::memory_order_release);
+    // Whatever the pump can no longer place must not wait forever.
+    if (pump_->in_flight() == 0) queue_.abort_all(AppendOutcome::kLogFull);
+    else queue_.abort_pending(AppendOutcome::kLogFull);
+  }
+}
+
+void LogGroup::read(std::uint64_t from, std::uint32_t max,
+                    Snapshot& out) const {
+  out.entries.clear();
+  std::lock_guard<std::mutex> lock(applied_mu_);
+  out.commit_index = applied_.size();
+  for (std::uint64_t i = from; i < applied_.size() && out.entries.size() < max;
+       ++i) {
+    out.entries.push_back(applied_[static_cast<std::size_t>(i)]);
+  }
+}
+
+std::optional<std::uint64_t> LogGroup::decided_by(ProcessId pid,
+                                                  std::uint32_t slot) const {
+  OMEGA_CHECK(host_.g_ != nullptr, "decided_by before attach");
+  OMEGA_CHECK(pid < spec_.n, "bad replica " << pid);
+  std::uint64_t v = 0;
+  if (!log_.slot(slot).read_decision(*host_.g_->inst.memory, pid, v)) {
+    return std::nullopt;
+  }
+  return v;
+}
+
+void LogGroup::abort(AppendOutcome outcome) { queue_.abort_all(outcome); }
+
+void LogGroup::clear_hook() {
+  // Unique lock: waits out any sweep currently inside the hook, so the
+  // caller may free the state the hook captured right after returning.
+  std::unique_lock<std::shared_mutex> lock(hook_mu_);
+  hook_ = {};
+}
+
+}  // namespace omega::smr

@@ -1,0 +1,138 @@
+// LogGroup: one live replicated-log group — a ReplicatedLog bound to the
+// real rt::AtomicMemory of an svc election group, pumped incrementally on
+// the group's owning shard worker.
+//
+// This is the paper's headline application running on the live runtime:
+// the Ω instance the group already runs for leader election *is* the
+// oracle the log's proposers consult (LeaderQueryOp answers come from the
+// co-located election), so the elected leader drives consensus slots to
+// decision while followers forward — exactly the SimDriver construction of
+// consensus/replicated_log.h, now serving real clients.
+//
+// Wiring (done by SmrService): the LogGroup is handed to the svc registry
+// as GroupSpec{extra_registers = declare(), pump = this}; the Group
+// constructor calls attach() to bind the log against the built layout, and
+// every worker sweep calls on_sweep() to run one LogPump tick — harvest
+// decided slots, apply them to the in-memory state machine, fire client
+// completions and the commit hook, refill the proposer window from the
+// CommandQueue, and reap finished proposer frames.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "consensus/log_pump.h"
+#include "smr/command_queue.h"
+#include "svc/group_registry.h"
+
+namespace omega::smr {
+
+/// Per-log instantiation parameters.
+struct SmrSpec {
+  AlgoKind algo = AlgoKind::kWriteEfficient;
+  std::uint32_t n = 3;          ///< replicas
+  std::uint32_t capacity = 1024;  ///< consensus slots (hard log length)
+  std::uint32_t window = 16;      ///< pipelined in-flight slots
+  std::size_t max_pending = 4096; ///< CommandQueue intake bound
+};
+
+/// Invoked on the owning worker for every applied entry, right after the
+/// entry's own completions fired. Same contract as svc::EpochListener:
+/// cheap, non-blocking, hand anything heavier to another thread.
+using CommitHook = std::function<void(std::uint64_t index,
+                                      std::uint64_t value,
+                                      std::uint64_t client,
+                                      std::uint64_t seq)>;
+
+class LogGroup final : public svc::GroupPump {
+ public:
+  LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook);
+
+  svc::GroupId gid() const noexcept { return gid_; }
+  const SmrSpec& spec() const noexcept { return spec_; }
+  CommandQueue& queue() noexcept { return queue_; }
+
+  /// LayoutExtension body for GroupSpec::extra_registers.
+  void declare(LayoutBuilder& b) { log_.declare(b); }
+
+  // --- svc::GroupPump ------------------------------------------------------
+
+  void attach(svc::Group& g) override;
+  void on_sweep(svc::Group& g, std::int64_t now_us) override;
+
+  // --- read side (any thread) ----------------------------------------------
+
+  /// Number of applied entries (the log index space is [0, commit_index)).
+  std::uint64_t commit_index() const noexcept {
+    return commit_index_.load(std::memory_order_acquire);
+  }
+
+  /// True once every slot has been assigned a command; new submissions are
+  /// rejected with kLogFull upstream.
+  bool log_full() const noexcept {
+    return log_full_.load(std::memory_order_acquire);
+  }
+
+  struct Snapshot {
+    std::uint64_t commit_index = 0;
+    std::vector<std::uint64_t> entries;  ///< [from, from + entries.size())
+  };
+
+  /// Copies up to `max` applied entries starting at `from`.
+  void read(std::uint64_t from, std::uint32_t max, Snapshot& out) const;
+
+  /// Replica `pid`'s own decision-board entry for `slot` (agreement
+  /// checking in tests; uninstrumented peeks).
+  std::optional<std::uint64_t> decided_by(ProcessId pid,
+                                          std::uint32_t slot) const;
+
+  /// Tears the queue down (fires kAborted for everything still waiting).
+  void abort(AppendOutcome outcome = AppendOutcome::kAborted);
+
+  /// Detaches the commit hook — a barrier: on return, no in-flight
+  /// invocation is still running. The owning SmrService calls this before
+  /// it dies, because the svc Group (which outlives it via
+  /// GroupSpec::pump) would otherwise keep firing the hook into a freed
+  /// service on later sweeps.
+  void clear_hook();
+
+ private:
+  /// PumpHost over the group's executors (owner-thread calls only).
+  class ExecHost final : public PumpHost {
+   public:
+    std::uint32_t n() const override { return g_->spec.n; }
+    bool live(ProcessId i) const override { return !g_->execs[i]->crashed(); }
+    void spawn(ProcessId i, ProcTask task) override {
+      g_->execs[i]->add_app_task(std::move(task));
+    }
+    MemoryBackend& memory() override { return *g_->inst.memory; }
+
+    svc::Group* g_ = nullptr;
+  };
+
+  const svc::GroupId gid_;
+  const SmrSpec spec_;
+  ReplicatedLog log_;
+  CommandQueue queue_;
+  /// Reader/writer split as in GroupRegistry's listener seam: on_sweep
+  /// holds the shared side across the call, clear_hook's unique lock
+  /// doubles as a completion barrier.
+  mutable std::shared_mutex hook_mu_;
+  CommitHook hook_;
+
+  ExecHost host_;
+  std::unique_ptr<LogPump> pump_;  ///< created at attach()
+  std::vector<LogPump::Commit> scratch_;  ///< per-sweep commit buffer
+
+  mutable std::mutex applied_mu_;
+  std::vector<std::uint64_t> applied_;
+  std::atomic<std::uint64_t> commit_index_{0};
+  std::atomic<bool> log_full_{false};
+};
+
+}  // namespace omega::smr

@@ -11,16 +11,22 @@ Group::Group(GroupId id_, const GroupSpec& spec_, std::int64_t tick_us,
   OMEGA_CHECK(spec.n >= 1 && spec.n <= 64,
               "group " << id << ": svc supports 1..64 processes, got "
                        << spec.n);
-  inst = make_omega(spec.algo, spec.n, [](Layout layout, std::uint32_t n) {
-    return std::unique_ptr<MemoryBackend>(
-        std::make_unique<AtomicMemory>(std::move(layout), n));
-  });
+  inst = make_omega(
+      spec.algo, spec.n,
+      [](Layout layout, std::uint32_t n) {
+        return std::unique_ptr<MemoryBackend>(
+            std::make_unique<AtomicMemory>(std::move(layout), n));
+      },
+      spec.extra_registers);
   if (clock) inst.memory->set_clock(clock);
   execs.reserve(spec.n);
   for (std::uint32_t i = 0; i < spec.n; ++i) {
     execs.push_back(std::make_unique<ProcExecutor>(*inst.processes[i],
                                                    *inst.memory, tick_us));
   }
+  // The pump binds its registers before the group becomes visible to any
+  // worker (registration happens after construction, under the shard lock).
+  if (spec.pump) spec.pump->attach(*this);
 }
 
 ProcessId Group::agreed() const {

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/ids.h"
@@ -19,10 +20,33 @@ namespace omega::svc {
 /// workers by this id.
 using GroupId = std::uint64_t;
 
+struct Group;  // defined in group_registry.h
+
+/// Seam for application subsystems that ride a group's executors (the
+/// replicated log in src/smr is the canonical one). attach() is invoked
+/// from the Group constructor — after the Ω instance and executors exist,
+/// before the group is visible to any worker — so the pump can bind its
+/// registers and stash the group. on_sweep() runs on the owning shard
+/// worker once per sweep, after the group was stepped; that worker is the
+/// executors' owner thread, so the pump may spawn app tasks and reap
+/// finished ones there. Exceptions escaping on_sweep are model violations
+/// and fail the group like any task throw.
+class GroupPump {
+ public:
+  virtual ~GroupPump() = default;
+  virtual void attach(Group& g) = 0;
+  virtual void on_sweep(Group& g, std::int64_t now_us) = 0;
+};
+
 /// Per-group instantiation parameters.
 struct GroupSpec {
   AlgoKind algo = AlgoKind::kWriteEfficient;
   std::uint32_t n = 3;  ///< processes in this group's election
+  /// Optional application registers declared into the group's memory (the
+  /// factory's LayoutExtension hook), e.g. a replicated log's slots.
+  LayoutExtension extra_registers{};
+  /// Optional application pump stepped by the owning worker (see above).
+  std::shared_ptr<GroupPump> pump{};
 };
 
 /// Service-wide tuning knobs.

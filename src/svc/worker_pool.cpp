@@ -160,6 +160,9 @@ void WorkerPool::run_worker(std::uint32_t w) {
         if (g.cache.publish(g.agreed())) {
           registry_.notify_epoch_change(g.id, g.cache.load());
         }
+        // Application pump (e.g. the SMR log): runs on this worker — the
+        // executors' owner thread — so it may spawn/reap app tasks.
+        if (g.spec.pump) g.spec.pump->on_sweep(g, now);
       } catch (const std::exception& e) {
         mark_failed(g, e.what());
       }

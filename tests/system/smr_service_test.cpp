@@ -1,0 +1,228 @@
+// End-to-end tests of the live replicated state machine (src/smr): TCP
+// appends through LeaderServer -> SmrService -> LogPump -> consensus slots
+// on real AtomicMemory, client-retry idempotency via (client, seq) dedup
+// keys, replica agreement on the decision boards, commit-watch pushes, and
+// survival of a leader crash mid-stream.
+#include "smr/smr_service.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "net/client.h"
+#include "net/leader_server.h"
+
+namespace omega::smr {
+namespace {
+
+using svc::GroupId;
+using svc::MultiGroupLeaderService;
+using svc::SvcConfig;
+
+constexpr std::int64_t kAwaitUs = 60000000;  // generous: single-core CI box
+
+SvcConfig fast_pool() {
+  SvcConfig cfg;
+  cfg.workers = 2;
+  cfg.tick_us = 20000;  // 20ms detection granularity: fast failover tests
+  cfg.wheel_slot_us = 1024;
+  cfg.wheel_slots = 256;
+  cfg.ops_per_sweep = 32;
+  cfg.pace_us = 100;  // leave CPU for IO threads + clients on small boxes
+  return cfg;
+}
+
+/// Service + smr + server + ready log group.
+struct Rig {
+  explicit Rig(GroupId gid, SmrSpec spec = {}) : gid_(gid) {
+    svc = std::make_unique<MultiGroupLeaderService>(fast_pool());
+    smr = std::make_unique<SmrService>(*svc);
+    smr->add_log(gid, spec);
+    net::NetConfig net_cfg;
+    net_cfg.io_threads = 1;
+    server = std::make_unique<net::LeaderServer>(*svc, net_cfg);
+    server->serve_log(*smr);
+    server->start();
+    svc->start();
+    EXPECT_NE(svc->await_leader(gid, kAwaitUs), kNoProcess)
+        << "log group must elect a leader";
+  }
+
+  ~Rig() {
+    server->stop();
+    svc->stop();
+  }
+
+  void connect(net::Client& c) { c.connect("127.0.0.1", server->port()); }
+
+  GroupId gid_;
+  std::unique_ptr<MultiGroupLeaderService> svc;
+  std::unique_ptr<SmrService> smr;
+  std::unique_ptr<net::LeaderServer> server;
+};
+
+TEST(SmrService, AppendsCommitInOrderAndReadBack) {
+  Rig rig(1);
+  net::Client c;
+  rig.connect(c);
+  for (std::uint64_t seq = 0; seq < 20; ++seq) {
+    const auto r = c.append_retry(1, /*client=*/7, seq, 100 + seq,
+                                  /*timeout_ms=*/60000);
+    ASSERT_TRUE(r.ok()) << "append " << seq << " status "
+                        << static_cast<int>(r.status);
+    EXPECT_EQ(r.index, seq) << "commits must be dense and ordered";
+  }
+  const auto page = c.read_log(1, 0, 256);
+  ASSERT_EQ(page.status, net::Status::kOk);
+  EXPECT_EQ(page.commit_index, 20u);
+  ASSERT_EQ(page.entries.size(), 20u);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(page.entries[i], 100 + i) << "entry " << i;
+  }
+}
+
+TEST(SmrService, DedupMakesClientRetriesIdempotent) {
+  Rig rig(2);
+  net::Client c;
+  rig.connect(c);
+  const auto first = c.append_retry(2, /*client=*/9, /*seq=*/5, 42, 60000);
+  ASSERT_TRUE(first.ok());
+  // A retry of the same (client, seq) — as after a lost ack — must return
+  // the original commit index and MUST NOT append a second copy.
+  const auto retry = c.append(2, 9, 5, 42);
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry.index, first.index);
+  // An older seq is outside the dedup window: rejected as stale.
+  const auto stale = c.append(2, 9, 4, 41);
+  EXPECT_EQ(stale.status, net::Status::kStaleSeq);
+  // The log holds exactly one copy.
+  const auto page = c.read_log(2, 0, 256);
+  EXPECT_EQ(page.commit_index, 1u);
+  ASSERT_EQ(page.entries.size(), 1u);
+  EXPECT_EQ(page.entries[0], 42u);
+}
+
+TEST(SmrService, ReplicasAgreeOnEveryDecidedSlot) {
+  Rig rig(3);
+  net::Client c;
+  rig.connect(c);
+  constexpr std::uint64_t kAppends = 30;
+  for (std::uint64_t seq = 0; seq < kAppends; ++seq) {
+    ASSERT_TRUE(c.append_retry(3, 11, seq, 1 + (seq % 65533), 60000).ok());
+  }
+  // Every replica's decision board must name the same value for every
+  // decided slot (agreement), and the decided prefix must equal the
+  // applied log (validity of the apply order).
+  const auto page = c.read_log(3, 0, 256);
+  ASSERT_EQ(page.entries.size(), kAppends);
+  for (std::uint32_t slot = 0; slot < kAppends; ++slot) {
+    std::optional<std::uint64_t> agreed;
+    for (ProcessId pid = 0; pid < 3; ++pid) {
+      const auto d = rig.smr->decided_by(3, pid, slot);
+      if (!d.has_value()) continue;  // this replica is a laggard here
+      if (agreed.has_value()) {
+        EXPECT_EQ(*agreed, *d) << "replicas disagree on slot " << slot;
+      }
+      agreed = d;
+    }
+    ASSERT_TRUE(agreed.has_value()) << "slot " << slot << " undecided";
+    EXPECT_EQ(*agreed, page.entries[slot])
+        << "applied entry diverges from the decision board at " << slot;
+  }
+}
+
+TEST(SmrService, SurvivesLeaderCrashMidStream) {
+  Rig rig(4);
+  net::Client c;
+  rig.connect(c);
+  c.enable_auto_reconnect();
+  for (std::uint64_t seq = 0; seq < 5; ++seq) {
+    ASSERT_TRUE(c.append_retry(4, 13, seq, 200 + seq, 60000).ok());
+  }
+  const ProcessId doomed = rig.svc->leader(4).leader;
+  ASSERT_NE(doomed, kNoProcess);
+  rig.svc->crash(4, doomed);
+  // Appends keep working through kNotLeader retries; the dedup key keeps
+  // them idempotent even if a pre-crash submission actually committed.
+  for (std::uint64_t seq = 5; seq < 10; ++seq) {
+    const auto r = c.append_retry(4, 13, seq, 200 + seq, 60000);
+    ASSERT_TRUE(r.ok()) << "post-crash append " << seq;
+  }
+  const auto page = c.read_log(4, 0, 256);
+  EXPECT_EQ(page.commit_index, 10u);
+  ASSERT_EQ(page.entries.size(), 10u);
+  std::set<std::uint64_t> seen(page.entries.begin(), page.entries.end());
+  EXPECT_EQ(seen.size(), 10u) << "no duplicates under crash + retry";
+  EXPECT_NE(rig.svc->leader(4).leader, doomed) << "a new leader took over";
+}
+
+TEST(SmrService, CommitWatchPushesAppliedEntries) {
+  Rig rig(5);
+  net::Client watcher;
+  rig.connect(watcher);
+  const auto snap = watcher.commit_watch(5);
+  ASSERT_TRUE(snap.ok());
+  const std::uint64_t base = snap.index;
+
+  net::Client writer;
+  rig.connect(writer);
+  std::thread appender([&] {
+    for (std::uint64_t seq = 0; seq < 4; ++seq) {
+      ASSERT_TRUE(writer.append_retry(5, 17, seq, 300 + seq, 60000).ok());
+    }
+  });
+  // Every applied entry must arrive as a push, in order, without the
+  // watcher sending a byte.
+  std::uint64_t expect_index = base;
+  while (expect_index < base + 4) {
+    const auto ev = watcher.next_event(/*timeout_ms=*/60000);
+    ASSERT_TRUE(ev.has_value()) << "push timed out at " << expect_index;
+    if (ev->kind != net::Client::Event::Kind::kCommit) continue;
+    ASSERT_EQ(ev->gid, 5u);
+    EXPECT_EQ(ev->index, expect_index);
+    EXPECT_EQ(ev->value, 300 + (expect_index - base));
+    ++expect_index;
+  }
+  appender.join();
+  // Unsubscribe and verify silence.
+  ASSERT_EQ(watcher.commit_unwatch(5).status, net::Status::kOk);
+  ASSERT_TRUE(writer.append_retry(5, 17, 4, 304, 60000).ok());
+  const auto quiet = watcher.next_event(/*timeout_ms=*/300);
+  EXPECT_FALSE(quiet.has_value()) << "no pushes after commit_unwatch";
+}
+
+TEST(SmrService, RejectsBadAndUnknownTraffic) {
+  Rig rig(6);
+  net::Client c;
+  rig.connect(c);
+  // Unknown group.
+  EXPECT_EQ(c.append(99, 1, 0, 7).status, net::Status::kUnknownGroup);
+  EXPECT_EQ(c.read_log(99, 0, 16).status, net::Status::kUnknownGroup);
+  EXPECT_EQ(c.commit_watch(99).status, net::Status::kUnknownGroup);
+  // Command outside the 16-bit consensus value range.
+  EXPECT_EQ(c.append(6, 1, 0, 0).status, net::Status::kBadRequest);
+  EXPECT_EQ(c.append(6, 1, 0, 1u << 20).status, net::Status::kBadRequest);
+  // The connection survived all of it.
+  c.ping();
+}
+
+TEST(SmrService, LogFullIsReportedNotHung) {
+  SmrSpec tiny;
+  tiny.capacity = 4;
+  tiny.window = 2;
+  Rig rig(7, tiny);
+  net::Client c;
+  rig.connect(c);
+  for (std::uint64_t seq = 0; seq < 4; ++seq) {
+    ASSERT_TRUE(c.append_retry(7, 3, seq, 10 + seq, 60000).ok());
+  }
+  // Capacity exhausted: the answer is a prompt kLogFull, not a hang.
+  const auto full = c.append(7, 3, 4, 99);
+  EXPECT_EQ(full.status, net::Status::kLogFull);
+  const auto page = c.read_log(7, 0, 16);
+  EXPECT_EQ(page.commit_index, 4u);
+}
+
+}  // namespace
+}  // namespace omega::smr

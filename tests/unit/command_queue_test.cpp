@@ -1,0 +1,126 @@
+// CommandQueue: FIFO pull order, (client, seq) dedup window semantics,
+// completion firing, capacity bounds, abort paths.
+#include "smr/command_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace omega::smr {
+namespace {
+
+struct Fired {
+  AppendOutcome outcome;
+  std::uint64_t index;
+};
+
+AppendCompletion capture(std::vector<Fired>& into) {
+  return [&into](AppendOutcome oc, std::uint64_t idx) {
+    into.push_back(Fired{oc, idx});
+  };
+}
+
+TEST(CommandQueue, PullsInSubmissionOrderAndCommitsFifo) {
+  CommandQueue q(16);
+  std::vector<Fired> fired;
+  ASSERT_EQ(q.submit(1, 0, 100, capture(fired)).outcome,
+            AppendOutcome::kAccepted);
+  ASSERT_EQ(q.submit(2, 0, 200, capture(fired)).outcome,
+            AppendOutcome::kAccepted);
+  ASSERT_EQ(q.submit(1, 1, 101, capture(fired)).outcome,
+            AppendOutcome::kAccepted);
+  EXPECT_EQ(q.pull(), 100u);
+  EXPECT_EQ(q.pull(), 200u);
+  EXPECT_EQ(q.pull(), 101u);
+  EXPECT_EQ(q.pull(), 0u) << "drained";
+
+  const auto r0 = q.commit_front(0);
+  EXPECT_EQ(r0.client, 1u);
+  EXPECT_EQ(r0.command, 100u);
+  const auto r1 = q.commit_front(1);
+  EXPECT_EQ(r1.client, 2u);
+  const auto r2 = q.commit_front(2);
+  EXPECT_EQ(r2.seq, 1u);
+  ASSERT_EQ(fired.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(fired[i].outcome, AppendOutcome::kCommitted);
+    EXPECT_EQ(fired[i].index, i);
+  }
+}
+
+TEST(CommandQueue, DedupWindowIsTheLatestSeq) {
+  CommandQueue q(16);
+  std::vector<Fired> fired;
+  ASSERT_EQ(q.submit(7, 5, 42, capture(fired)).outcome,
+            AppendOutcome::kAccepted);
+
+  // Retry while still pending: attach, do not duplicate.
+  std::vector<Fired> retry_fired;
+  EXPECT_EQ(q.submit(7, 5, 42, capture(retry_fired)).outcome,
+            AppendOutcome::kAccepted);
+  EXPECT_EQ(q.pending(), 1u) << "retry must not enqueue a second entry";
+
+  // Older seq: stale.
+  EXPECT_EQ(q.submit(7, 4, 41, {}).outcome, AppendOutcome::kStaleSeq);
+
+  EXPECT_EQ(q.pull(), 42u);
+  q.commit_front(9);
+  ASSERT_EQ(fired.size(), 1u);
+  ASSERT_EQ(retry_fired.size(), 1u);
+  EXPECT_EQ(retry_fired[0].index, 9u) << "both waiters learn the index";
+
+  // Retry after commit: immediate answer with the original index.
+  const auto dup = q.submit(7, 5, 42, {});
+  EXPECT_EQ(dup.outcome, AppendOutcome::kCommitted);
+  EXPECT_EQ(dup.index, 9u);
+
+  // The next seq proceeds normally.
+  EXPECT_EQ(q.submit(7, 6, 43, {}).outcome, AppendOutcome::kAccepted);
+}
+
+TEST(CommandQueue, RetryWithDifferentCommandIsRejectedNotFatal) {
+  // This arrives over the network (a buggy client), so it must be an
+  // answer, never a throw on the serving thread.
+  CommandQueue q(16);
+  ASSERT_EQ(q.submit(3, 1, 10, {}).outcome, AppendOutcome::kAccepted);
+  EXPECT_EQ(q.submit(3, 1, 11, {}).outcome, AppendOutcome::kBadCommand);
+  // The original entry is untouched.
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.pull(), 10u);
+}
+
+TEST(CommandQueue, BoundsPendingIntake) {
+  CommandQueue q(2);
+  EXPECT_EQ(q.submit(1, 0, 1, {}).outcome, AppendOutcome::kAccepted);
+  EXPECT_EQ(q.submit(2, 0, 2, {}).outcome, AppendOutcome::kAccepted);
+  EXPECT_EQ(q.submit(3, 0, 3, {}).outcome, AppendOutcome::kQueueFull);
+  // Pulling frees a slot (the bound is on *pending*, not in-flight).
+  EXPECT_EQ(q.pull(), 1u);
+  EXPECT_EQ(q.submit(3, 0, 3, {}).outcome, AppendOutcome::kAccepted);
+}
+
+TEST(CommandQueue, AbortFiresEveryWaiter) {
+  CommandQueue q(16);
+  std::vector<Fired> fired;
+  q.submit(1, 0, 1, capture(fired));
+  q.submit(2, 0, 2, capture(fired));
+  ASSERT_EQ(q.pull(), 1u);  // one in flight, one pending
+  q.abort_pending(AppendOutcome::kLogFull);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0].outcome, AppendOutcome::kLogFull);
+  q.abort_all(AppendOutcome::kAborted);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[1].outcome, AppendOutcome::kAborted);
+  EXPECT_EQ(q.pending(), 0u);
+  // The in-flight entry survives (its slot may still decide under a
+  // racing sweep) but its late commit answers nobody.
+  EXPECT_EQ(q.in_flight(), 1u);
+  const auto rec = q.commit_front(0);
+  EXPECT_EQ(rec.command, 1u);
+  ASSERT_EQ(fired.size(), 2u) << "aborted waiters must not fire again";
+}
+
+}  // namespace
+}  // namespace omega::smr

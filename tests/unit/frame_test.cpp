@@ -208,5 +208,120 @@ TEST(Frame, TrailingBytesAreForwardCompatible) {
   EXPECT_EQ(frames[0].view.epoch, 5u);
 }
 
+TEST(Frame, AppendRequestAndResponseRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  AppendReqBody req;
+  req.gid = 9;
+  req.client = 0xAABBCCDDEE;
+  req.seq = 77;
+  req.command = 65000;
+  encode_append_request(buf, 5, req);
+  AppendRespBody resp;
+  resp.gid = 9;
+  resp.index = 123456789;
+  resp.leader = 2;
+  resp.epoch = 42;
+  encode_append_response(buf, Status::kOk, 5, resp);
+  const auto frames = decode_stream(buf, 3);  // odd chunking on purpose
+  ASSERT_EQ(frames.size(), 2u);
+  // Role-based decode: the request interpretation is only available on
+  // the 32-byte request frame.
+  ASSERT_TRUE(frames[0].has_append_req);
+  EXPECT_EQ(frames[0].append_req.gid, 9u);
+  EXPECT_EQ(frames[0].append_req.client, 0xAABBCCDDEEull);
+  EXPECT_EQ(frames[0].append_req.seq, 77u);
+  EXPECT_EQ(frames[0].append_req.command, 65000u);
+  EXPECT_FALSE(frames[1].has_append_req);
+  EXPECT_EQ(frames[1].append_resp.gid, 9u);
+  EXPECT_EQ(frames[1].append_resp.index, 123456789u);
+  EXPECT_EQ(frames[1].append_resp.leader, 2u);
+  EXPECT_EQ(frames[1].append_resp.epoch, 42u);
+}
+
+TEST(Frame, NotLeaderResponseCarriesTheRedirectHint) {
+  std::vector<std::uint8_t> buf;
+  AppendRespBody resp;
+  resp.gid = 4;
+  resp.leader = kNoProcess;
+  resp.epoch = 17;
+  encode_append_response(buf, Status::kNotLeader, 8, resp);
+  const auto frames = decode_stream(buf, buf.size());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.status, Status::kNotLeader);
+  EXPECT_EQ(frames[0].append_resp.leader, kNoProcess);
+  EXPECT_EQ(frames[0].append_resp.epoch, 17u);
+}
+
+TEST(Frame, ReadLogRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  ReadLogReqBody req;
+  req.gid = 2;
+  req.from = 100;
+  req.max = 3;
+  encode_readlog_request(buf, 6, req);
+  encode_readlog_response(buf, 6, 2, /*commit_index=*/103,
+                          {11, 22, 33});
+  const auto frames = decode_stream(buf, 7);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].readlog_req.gid, 2u);
+  EXPECT_EQ(frames[0].readlog_req.from, 100u);
+  EXPECT_EQ(frames[0].readlog_req.max, 3u);
+  EXPECT_TRUE(frames[0].readlog_resp.entries.empty())
+      << "a request's `max` must not be misread as an entry count";
+  EXPECT_EQ(frames[1].readlog_resp.commit_index, 103u);
+  ASSERT_EQ(frames[1].readlog_resp.entries.size(), 3u);
+  EXPECT_EQ(frames[1].readlog_resp.entries[0], 11u);
+  EXPECT_EQ(frames[1].readlog_resp.entries[2], 33u);
+}
+
+TEST(Frame, CommitWatchAndEventRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  encode_request(buf, MsgType::kCommitWatch, 3, WireGroupId{5});
+  encode_commit_snapshot(buf, Status::kOk, 3, 5, /*commit_index=*/40);
+  encode_commit_event(buf, 5, /*index=*/41, /*value=*/777);
+  const auto frames = decode_stream(buf, 1);  // byte-at-a-time
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].commit.gid, 5u);
+  EXPECT_EQ(frames[1].commit.index, 40u);
+  EXPECT_EQ(frames[2].header.type, MsgType::kCommitEvent);
+  EXPECT_EQ(frames[2].header.req_id, 0u);
+  EXPECT_EQ(frames[2].commit.index, 41u);
+  EXPECT_EQ(frames[2].commit.value, 777u);
+}
+
+TEST(Frame, CommitEventWithoutFullBodyIsMalformed) {
+  // Like kEvent: pushes must carry their complete body.
+  std::vector<std::uint8_t> buf;
+  encode_gid_response(buf, MsgType::kCommitEvent, Status::kOk, 0, 5);
+  Frame f;
+  EXPECT_EQ(decode_payload(buf.data() + 4, buf.size() - 4, f),
+            DecodeResult::kBadBody);
+}
+
+TEST(Frame, StatsV11FieldsRoundTripAndOldBodiesStayZero) {
+  std::vector<std::uint8_t> buf;
+  StatsBody stats;
+  stats.queries = 5;
+  stats.appends = 9;
+  stats.commit_events = 4;
+  stats.log_reads = 2;
+  encode_stats_response(buf, 1, stats);
+  const auto frames = decode_stream(buf, buf.size());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].stats.appends, 9u);
+  EXPECT_EQ(frames[0].stats.commit_events, 4u);
+  EXPECT_EQ(frames[0].stats.log_reads, 2u);
+
+  // A v1.0 stats body (48 bytes) decodes with the new fields zeroed.
+  std::vector<std::uint8_t> old(buf.begin(), buf.end());
+  old[0] -= 24;  // shrink the length prefix by the three new fields
+  old.resize(old.size() - 24);
+  Frame f;
+  EXPECT_EQ(decode_payload(old.data() + 4, old.size() - 4, f),
+            DecodeResult::kOk);
+  EXPECT_EQ(f.stats.queries, 5u);
+  EXPECT_EQ(f.stats.appends, 0u);
+}
+
 }  // namespace
 }  // namespace omega::net
