@@ -1,32 +1,34 @@
 // E15 — beyond the paper: the live replicated state machine (src/smr)
-// served over the TCP front-end.
+// served over the TCP front-end, with per-slot batching (group commit).
 //
 // E14 measured the *read* path (leader queries); this experiment measures
 // the *write* path the paper's introduction motivates: clients append
 // commands over TCP, the Ω-elected leader drives consensus slots to
 // decision on the svc worker pool, commits are acknowledged to the
-// submitting client and pushed to COMMIT_WATCH subscribers. Then we kill
-// the leader mid-stream and measure how long the log stays unavailable.
+// submitting client and pushed to COMMIT_WATCH subscribers. PR 3 capped at
+// the slot rate (one command per consensus slot); this revision sweeps the
+// batch knob B ∈ {1, 16, 64} — each slot decides a batch descriptor and
+// the loadgen pipelines appends so the batched server can be saturated —
+// then kills the leader mid-stream and measures how long the log stays
+// unavailable.
 //
 // Claims checked:
-//   1. throughput — ≥ 10k appends/s sustained through the TCP path at
-//      3 replicas × 64 closed-loop client connections, every append
-//      acknowledged with its unique commit index;
-//   2. failover  — after a forced leader crash, the first post-crash
+//   1. batching — ≥ 80k appends/s sustained through the TCP path at B=64,
+//      3 replicas × 64 pipelined connections (≥ 4× the unbatched PR 3
+//      rate), every append acknowledged with its unique commit index;
+//   2. latency  — batching is latency-neutral at low load: the B=1
+//      closed-loop p50 stays within PR 3's 3.3 ms;
+//   3. failover — after a forced leader crash, the first post-crash
 //      commit lands in < 1 s (clients only retry on kNotLeader; the
 //      dedup keys keep the retries idempotent);
-//   3. the log read back over READ_LOG equals the acknowledged commits.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
+//   4. the log read back over READ_LOG equals the acknowledged commits.
 #include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -46,76 +48,73 @@ std::int64_t wall_ns() {
       .count();
 }
 
-constexpr svc::GroupId kGid = 7;
-
-/// One closed-loop appender connection (raw socket, one outstanding
-/// APPEND). Commands cycle through [1, 65534]; seq advances only on kOk.
-struct AppendConn {
-  int fd = -1;
-  net::FrameDecoder in;
-  std::uint64_t client_id = 0;
-  std::uint64_t seq = 0;
-  std::int64_t sent_ns = 0;
-};
-
-int connect_loopback(std::uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  OMEGA_CHECK(fd >= 0, "socket: errno " << errno);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(port);
-  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  OMEGA_CHECK(
-      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0,
-      "connect: errno " << errno);
-  int one = 1;
-  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
-  return fd;
+/// One log group per swept batch size (fresh slot space per run).
+constexpr svc::GroupId gid_of(std::uint32_t max_batch) {
+  return 100 + max_batch;
 }
 
-std::uint64_t command_of(const AppendConn& c) {
+std::uint64_t command_of(std::uint64_t client, std::uint64_t seq) {
   // Unique-ish 16-bit payload; uniqueness across the log is not required
   // (dedup is by (client, seq)), only the [1, 65534] range is.
-  return 1 + ((c.client_id * 131 + c.seq) % 65533);
-}
-
-void send_append(AppendConn& c, std::vector<std::uint8_t>& buf) {
-  buf.clear();
-  net::AppendReqBody req;
-  req.gid = kGid;
-  req.client = c.client_id;
-  req.seq = c.seq;
-  req.command = command_of(c);
-  net::encode_append_request(buf, /*req_id=*/1, req);
-  c.sent_ns = wall_ns();
-  const ssize_t n = ::send(c.fd, buf.data(), buf.size(), MSG_NOSIGNAL);
-  OMEGA_CHECK(n == static_cast<ssize_t>(buf.size()),
-              "short send: " << n << " errno " << errno);
+  return 1 + ((client * 131 + seq) % 65533);
 }
 
 struct LoadResult {
   double qps = 0;
   std::int64_t p50_ns = 0;
   std::int64_t p99_ns = 0;
+  std::int64_t p999_ns = 0;
   std::uint64_t committed = 0;
   std::uint64_t not_leader = 0;
   std::uint64_t bad_answers = 0;
 };
 
-/// Runs the closed loop until `target` appends committed or `deadline_ms`
-/// elapsed. `stop` (optional) aborts early. kNotLeader answers re-send the
-/// same (client, seq) — the dedup key makes that idempotent.
-LoadResult run_appenders(std::uint16_t port, std::uint32_t connections,
+/// One pipelined appender connection: up to `depth` outstanding appends,
+/// submitted with net::Client::append_async and harvested with
+/// next_append_result. Outstanding requests are tracked in a tiny linear
+/// table (depth is single digits; hashing would cost more than the scan).
+struct AppendConn {
+  struct Outstanding {
+    std::uint64_t req_id = 0;
+    std::uint64_t seq = 0;
+    std::int64_t sent_ns = 0;
+  };
+  net::Client client;
+  std::uint64_t client_id = 0;
+  std::uint64_t next_seq = 0;
+  std::vector<Outstanding> outstanding;
+
+  Outstanding take(std::uint64_t req_id) {
+    for (auto it = outstanding.begin(); it != outstanding.end(); ++it) {
+      if (it->req_id == req_id) {
+        const Outstanding o = *it;
+        *it = outstanding.back();
+        outstanding.pop_back();
+        return o;
+      }
+    }
+    OMEGA_CHECK(false, "unknown req id " << req_id);
+    return {};
+  }
+};
+
+/// Runs the pipelined closed loop against `gid` until `target` appends
+/// committed or `deadline_ms` elapsed. `stop` (optional) aborts early.
+/// kNotLeader answers re-submit: with depth == 1 the *same* (client, seq)
+/// — the idempotent failover retry — and with deeper pipelines a fresh
+/// seq (pipelined seqs must stay monotone; under a stable leader
+/// kNotLeader does not occur anyway).
+LoadResult run_appenders(std::uint16_t port, svc::GroupId gid,
+                         std::uint32_t connections, std::uint32_t depth,
                          std::uint64_t target, int deadline_ms,
                          std::uint64_t first_client_id,
                          const std::atomic<bool>* stop = nullptr) {
   std::vector<AppendConn> conns(connections);
   std::vector<pollfd> pfds(connections);
-  std::vector<std::uint8_t> buf;
   for (std::uint32_t i = 0; i < connections; ++i) {
-    conns[i].fd = connect_loopback(port);
+    conns[i].client.connect("127.0.0.1", port);
     conns[i].client_id = first_client_id + i;
-    pfds[i] = pollfd{conns[i].fd, POLLIN, 0};
+    pfds[i] = pollfd{conns[i].client.native_handle(), POLLIN, 0};
   }
 
   std::vector<std::int64_t> lat_ns;
@@ -123,9 +122,18 @@ LoadResult run_appenders(std::uint16_t port, std::uint32_t connections,
   LoadResult result;
   const std::int64_t t0 = wall_ns();
   const std::int64_t deadline = t0 + std::int64_t{deadline_ms} * 1000000;
-  for (auto& c : conns) send_append(c, buf);
 
-  std::uint8_t rbuf[8192];
+  auto top_up = [&](AppendConn& c) {
+    while (c.outstanding.size() < depth) {
+      const std::uint64_t seq = c.next_seq++;
+      const std::int64_t now = wall_ns();
+      const std::uint64_t req = c.client.append_async(
+          gid, c.client_id, seq, command_of(c.client_id, seq));
+      c.outstanding.push_back(AppendConn::Outstanding{req, seq, now});
+    }
+  };
+  for (auto& c : conns) top_up(c);
+
   while (result.committed < target && wall_ns() < deadline &&
          (stop == nullptr || !stop->load(std::memory_order_relaxed))) {
     const int n = ::poll(pfds.data(), pfds.size(), 50);
@@ -134,41 +142,34 @@ LoadResult run_appenders(std::uint16_t port, std::uint32_t connections,
     for (std::uint32_t i = 0; i < connections; ++i) {
       if (!(pfds[i].revents & POLLIN)) continue;
       AppendConn& c = conns[i];
-      const ssize_t r = ::recv(c.fd, rbuf, sizeof rbuf, 0);
-      OMEGA_CHECK(r > 0,
-                  "append connection died: ret " << r << " errno " << errno);
-      c.in.feed(rbuf, static_cast<std::size_t>(r));
-      const std::uint8_t* payload = nullptr;
-      std::size_t len = 0;
-      while (c.in.next(payload, len)) {
-        net::Frame f;
-        OMEGA_CHECK(net::decode_payload(payload, len, f) ==
-                        net::DecodeResult::kOk,
-                    "malformed response");
-        if (f.header.type != net::MsgType::kAppend) continue;  // push frame
-        if (f.header.status == net::Status::kOk) {
-          lat_ns.push_back(now - c.sent_ns);
+      for (;;) {
+        const auto a = c.client.next_append_result(/*timeout_ms=*/0);
+        if (!a.has_value()) break;
+        const AppendConn::Outstanding o = c.take(a->req_id);
+        if (a->result.status == net::Status::kOk) {
+          lat_ns.push_back(now - o.sent_ns);
           ++result.committed;
-          ++c.seq;
-        } else if (f.header.status == net::Status::kNotLeader) {
-          ++result.not_leader;  // same seq: retry is deduplicated
+        } else if (a->result.status == net::Status::kNotLeader) {
+          ++result.not_leader;
+          if (depth == 1) {
+            // Re-issue the same (client, seq): idempotent by the dedup
+            // key even if the original actually committed.
+            c.next_seq = o.seq;
+          }
         } else {
           ++result.bad_answers;
         }
-        send_append(c, buf);
       }
+      top_up(c);
     }
   }
   const std::int64_t t1 = wall_ns();
-  for (auto& c : conns) ::close(c.fd);
 
   result.qps = static_cast<double>(result.committed) /
                (static_cast<double>(t1 - t0) / 1e9);
-  if (!lat_ns.empty()) {
-    std::sort(lat_ns.begin(), lat_ns.end());
-    result.p50_ns = lat_ns[lat_ns.size() / 2];
-    result.p99_ns = lat_ns[lat_ns.size() * 99 / 100];
-  }
+  result.p50_ns = percentile_ns(lat_ns, 0.50);
+  result.p99_ns = percentile_ns(lat_ns, 0.99);
+  result.p999_ns = percentile_ns(lat_ns, 0.999);
   return result;
 }
 
@@ -180,9 +181,10 @@ int main(int argc, char** argv) {
 
   std::cout << banner(
       "E15: live replicated state machine (src/smr) over TCP",
-      {"workload: closed-loop APPEND commands over loopback TCP,",
-       "          64 connections x 1 log group (n=3 replicas, fig2 algo)",
-       "measure : sustained appends/sec, commit-ack RTT p50/p99,",
+      {"workload: pipelined APPEND commands over loopback TCP,",
+       "          64 connections x 1 log group (n=3 replicas, fig2 algo),",
+       "          batch sweep B in {1, 16, 64} commands per consensus slot",
+       "measure : sustained appends/sec, commit-ack RTT p50/p99/p99.9,",
        "          leader-crash -> first post-failover commit"});
 
   Verdict verdict;
@@ -191,28 +193,25 @@ int main(int argc, char** argv) {
       std::getenv("OMEGA_E15_PERF_ADVISORY") != nullptr;
 
   SvcConfig cfg;
-  // One free-running worker drives the single log group as fast as the
-  // consensus rounds allow; a mild niceness keeps the IO thread and the
-  // load generator responsive on small boxes. The tick gives failure
-  // detection ~0.1s granularity — heartbeats land every few sweeps, so a
-  // live leader is never suspected, and a dead one is replaced fast
-  // enough to meet the <1s failover claim with margin.
+  // One worker drives the log groups; a mild niceness keeps the IO
+  // thread and the load generator responsive on small boxes, and a short
+  // sweep pace stops the idle half of each sweep (heartbeat stepping)
+  // from spinning a core the batched ack path needs — free-running
+  // sweeps cost ~35% of the B=64 rate on a single-core box, while 50µs
+  // adds well under a millisecond to the B=1 commit path. The tick gives
+  // failure detection ~0.1s granularity — heartbeats land every few
+  // sweeps, so a live leader is never suspected, and a dead one is
+  // replaced fast enough to meet the <1s failover claim with margin.
   cfg.workers = 1;
   cfg.tick_us = 100000;
   cfg.wheel_slot_us = 4096;
   cfg.wheel_slots = 256;
   cfg.ops_per_sweep = 64;
-  cfg.pace_us = 0;
+  cfg.pace_us = 50;
   cfg.worker_nice = 10;
 
   MultiGroupLeaderService service(cfg);
   smr::SmrService smr(service);
-  smr::SmrSpec spec;
-  spec.n = 3;
-  spec.capacity = 49152;
-  spec.window = 64;
-  spec.max_pending = 8192;
-  smr.add_log(kGid, spec);
 
   net::NetConfig net_cfg;
   net_cfg.io_threads = 1;
@@ -221,66 +220,161 @@ int main(int argc, char** argv) {
   server.start();
   service.start();
 
-  const ProcessId first_leader =
-      service.await_leader(kGid, /*timeout_us=*/120000000);
-  verdict.expect(first_leader != kNoProcess,
-                 "the log group must elect before the load starts");
+  // --- phase A: append throughput across the batch sweep. ------------------
+  // One group per configuration, created at its phase and retired right
+  // after its read-back (below): on small boxes an *idle* group still
+  // costs election stepping every sweep, which would bleed CPU into the
+  // other rows' measurements. B=1 runs the PR 3 configuration (depth 1:
+  // one outstanding append per connection) so its p50 is comparable
+  // across PRs; the batched runs pipeline 8 per connection to keep the
+  // batch pipeline fed.
+  struct SweepRow {
+    std::uint32_t b = 0;
+    std::uint64_t target = 0;
+    std::uint32_t depth = 0;
+    std::uint32_t window = 0;
+    LoadResult load;
+  };
+  // Window scales *down* as the batch scales up: group commit only pays
+  // off when freed slots find a backlog, and a wide-open window seals
+  // batches of one command (the adaptive flush never waits). B=1 keeps
+  // PR 3's window-64 pipeline; the batched rows run a few slots deep and
+  // let the batch, not the window, carry the parallelism.
+  std::vector<SweepRow> rows{{1, 24000, 1, 64, {}},
+                             {16, 48000, 8, 8, {}},
+                             {64, 96000, 16, 4, {}}};
 
-  // --- phase A: sustained append throughput. ------------------------------
-  constexpr std::uint64_t kTarget = 24000;
-  const LoadResult load = run_appenders(server.port(), /*connections=*/64,
-                                        kTarget, /*deadline_ms=*/20000,
-                                        /*first_client_id=*/1);
-  AsciiTable table({"conns", "committed", "appends/sec", "ack p50 us",
-                    "ack p99 us", "not-leader", "bad"});
-  table.add_row({"64", fmt_count(load.committed),
-                 fmt_count(static_cast<std::uint64_t>(load.qps)),
-                 fmt_double(static_cast<double>(load.p50_ns) / 1e3, 1),
-                 fmt_double(static_cast<double>(load.p99_ns) / 1e3, 1),
-                 fmt_count(load.not_leader), fmt_count(load.bad_answers)});
+  /// Pages the whole applied log of `gid` back over READ_LOG and checks
+  /// it covers every acknowledged append.
+  const auto reconcile = [&](svc::GroupId gid, std::uint64_t acked,
+                             const std::string& label) -> std::uint64_t {
+    std::uint64_t read_back = 0;
+    std::uint64_t commit_index = 0;
+    net::Client reader;
+    reader.connect("127.0.0.1", server.port());
+    std::uint64_t from = 0;
+    for (;;) {
+      const net::Client::LogView page = reader.read_log(gid, from, 256);
+      verdict.expect(page.status == net::Status::kOk,
+                     label + ": read_log must succeed");
+      commit_index = page.commit_index;
+      read_back += page.entries.size();
+      from += page.entries.size();
+      if (page.entries.empty()) break;
+    }
+    verdict.expect(commit_index >= acked,
+                   label + ": commit index (" + fmt_count(commit_index) +
+                       ") must cover every acknowledged append (" +
+                       fmt_count(acked) + ")");
+    verdict.expect(read_back == commit_index,
+                   label + ": read_log must page out exactly commit_index "
+                           "entries");
+    return commit_index;
+  };
+
+  AsciiTable table({"B", "depth", "committed", "appends/sec", "ack p50 us",
+                    "ack p99 us", "ack p99.9 us", "not-leader", "bad"});
+  for (auto& row : rows) {
+    smr::SmrSpec spec;
+    spec.n = 3;
+    spec.capacity = 49152;
+    spec.window = row.window;
+    spec.max_pending = 8192;
+    spec.max_batch = row.b;
+    spec.session_ttl_us = 60000000;  // 60s: idle loadgen sessions expire
+    smr.add_log(gid_of(row.b), spec);
+    const ProcessId leader =
+        service.await_leader(gid_of(row.b), /*timeout_us=*/120000000);
+    verdict.expect(leader != kNoProcess,
+                   "the log group must elect before the load starts");
+
+    row.load = run_appenders(server.port(), gid_of(row.b),
+                             /*connections=*/64, row.depth, row.target,
+                             /*deadline_ms=*/30000,
+                             /*first_client_id=*/1 + 1000 * row.b);
+    table.add_row({std::to_string(row.b), std::to_string(row.depth),
+                   fmt_count(row.load.committed),
+                   fmt_count(static_cast<std::uint64_t>(row.load.qps)),
+                   fmt_double(static_cast<double>(row.load.p50_ns) / 1e3, 1),
+                   fmt_double(static_cast<double>(row.load.p99_ns) / 1e3, 1),
+                   fmt_double(static_cast<double>(row.load.p999_ns) / 1e3, 1),
+                   fmt_count(row.load.not_leader),
+                   fmt_count(row.load.bad_answers)});
+    verdict.expect(row.load.bad_answers == 0,
+                   "every append must be acknowledged (ok or not-leader)");
+    verdict.expect(row.load.committed > 0, "appends must commit");
+    const std::string target_msg =
+        "B=" + std::to_string(row.b) +
+        ": the full target must commit inside the deadline (got " +
+        fmt_count(row.load.committed) + "/" + fmt_count(row.target) + ")";
+    // >=: the pipelined harvest can overshoot by a few in-flight acks.
+    if (perf_advisory) {  // shared runners: correctness gates, speed reports
+      if (row.load.committed < row.target) {
+        std::cout << "  [ADVISORY] " << target_msg << '\n';
+      }
+    } else {
+      verdict.expect(row.load.committed >= row.target, target_msg);
+    }
+    const std::string prefix = "b" + std::to_string(row.b) + "_";
+    json.set(prefix + "appends_per_sec", row.load.qps);
+    json.set(prefix + "ack_p50_us",
+             static_cast<double>(row.load.p50_ns) / 1e3);
+    json.set(prefix + "ack_p99_us",
+             static_cast<double>(row.load.p99_ns) / 1e3);
+    json.set(prefix + "ack_p999_us",
+             static_cast<double>(row.load.p999_ns) / 1e3);
+    json.set(prefix + "committed", row.load.committed);
+    // Reconcile now, then retire the group — except B=64, which phase B
+    // (failover) and the final reconcile still need.
+    if (row.b != 64) {
+      reconcile(gid_of(row.b), row.load.committed,
+                "B=" + std::to_string(row.b));
+      smr.remove_log(gid_of(row.b));
+    }
+  }
   std::cout << table.render();
-
-  verdict.expect(load.bad_answers == 0,
-                 "every append must be acknowledged (ok or not-leader)");
-  verdict.expect(load.committed > 0, "appends must commit");
   verdict.expect(!service.failed(),
                  "no task may throw — " + service.failure_message());
-  const std::string target_msg =
-      "the full target must commit inside the deadline (got " +
-      fmt_count(load.committed) + "/" + fmt_count(kTarget) + ")";
+
+  const LoadResult& base = rows[0].load;   // B=1
+  const LoadResult& best = rows[2].load;   // B=64
   const std::string qps_msg =
-      ">= 10k appends/s through the TCP path (got " +
-      fmt_count(static_cast<std::uint64_t>(load.qps)) + ")";
-  if (perf_advisory) {  // shared runners: correctness gates, speed reports
-    if (load.committed < kTarget) {
-      std::cout << "  [ADVISORY] " << target_msg << '\n';
+      ">= 80k appends/s through the TCP path at B=64 (got " +
+      fmt_count(static_cast<std::uint64_t>(best.qps)) + ")";
+  const std::string p50_msg =
+      "B=1 ack p50 within PR 3's 3.3ms (got " +
+      fmt_double(static_cast<double>(base.p50_ns) / 1e6, 2) + "ms)";
+  if (perf_advisory) {
+    if (best.qps < 80000.0) std::cout << "  [ADVISORY] " << qps_msg << '\n';
+    if (base.p50_ns > 3300000) {
+      std::cout << "  [ADVISORY] " << p50_msg << '\n';
     }
-    if (load.qps < 10000.0) std::cout << "  [ADVISORY] " << qps_msg << '\n';
   } else {
-    verdict.expect(load.committed == kTarget, target_msg);
-    verdict.expect(load.qps >= 10000.0, qps_msg);
+    verdict.expect(best.qps >= 80000.0, qps_msg);
+    verdict.expect(base.p50_ns <= 3300000, p50_msg);
   }
 
   // --- phase B: leader crash -> first post-failover commit. ----------------
-  // A commit watcher observes the log purely via push; appenders keep
-  // hammering (retrying on kNotLeader) in a background thread while the
-  // main thread kills the leader and waits for the first commit whose
-  // index is beyond the pre-crash commit index.
+  // Run on the B=64 group. A commit watcher observes the log purely via
+  // push; appenders keep hammering (retrying on kNotLeader) in a
+  // background thread while the main thread kills the leader and waits
+  // for the first commit whose index is beyond the pre-crash commit index.
+  const svc::GroupId kFailGid = gid_of(64);
   net::Client watcher;
   watcher.connect("127.0.0.1", server.port());
-  const net::Client::AppendResult snap = watcher.commit_watch(kGid);
+  const net::Client::AppendResult snap = watcher.commit_watch(kFailGid);
   verdict.expect(snap.ok(), "commit watch subscription must succeed");
 
   std::atomic<bool> stop_load{false};
   LoadResult failover_load;
   std::thread appenders([&] {
-    // The commit target bounds phase B's slot consumption: 24000 (phase
-    // A) + 12000 + the marker fit the 49152-slot capacity with margin
-    // even on hardware fast enough to outrun the failover windows.
-    failover_load = run_appenders(server.port(), /*connections=*/16,
+    // Depth 1: the failover loop re-submits the same (client, seq) on
+    // kNotLeader, which is only idempotent with one outstanding append.
+    failover_load = run_appenders(server.port(), kFailGid,
+                                  /*connections=*/16, /*depth=*/1,
                                   /*target=*/12000,
                                   /*deadline_ms=*/30000,
-                                  /*first_client_id=*/1001, &stop_load);
+                                  /*first_client_id=*/90001, &stop_load);
   });
 
   // Let the post-subscription load commit something, then pull the rug.
@@ -301,11 +395,11 @@ int main(int argc, char** argv) {
   // after the crash.
   while (watcher.next_event(/*timeout_ms=*/0).has_value()) {
   }
-  const ProcessId doomed = service.leader(kGid).leader;
+  const ProcessId doomed = service.leader(kFailGid).leader;
   verdict.expect(doomed != kNoProcess, "a leader must exist to crash");
-  const std::uint64_t pre_crash_index = smr.commit_index(kGid);
+  const std::uint64_t pre_crash_index = smr.commit_index(kFailGid);
   const std::int64_t crash_ns = wall_ns();
-  service.crash(kGid, doomed);
+  service.crash(kFailGid, doomed);
 
   // The honest availability metric: a command submitted *after* the crash,
   // driven through kNotLeader retries (idempotent by its dedup key) until
@@ -317,7 +411,7 @@ int main(int argc, char** argv) {
   std::uint64_t marker_index = 0;
   try {
     const net::Client::AppendResult mr = marker.append_retry(
-        kGid, /*client=*/424242, /*seq=*/1, /*command=*/777,
+        kFailGid, /*client=*/424242, /*seq=*/1, /*command=*/777,
         /*timeout_ms=*/25000);
     if (mr.ok()) {
       first_commit_ns = wall_ns();
@@ -357,7 +451,7 @@ int main(int argc, char** argv) {
   AsciiTable ftable({"crashed leader", "new leader", "failover ms",
                      "commits during failover run"});
   ftable.add_row({std::to_string(doomed),
-                  std::to_string(service.leader(kGid).leader),
+                  std::to_string(service.leader(kFailGid).leader),
                   fmt_double(failover_ms, 1),
                   fmt_count(failover_load.committed)});
   std::cout << "\nfailover (leader crash under append load):\n"
@@ -376,48 +470,34 @@ int main(int argc, char** argv) {
     verdict.expect(failover_ms >= 0 && failover_ms < 1000.0, failover_msg);
   }
 
-  // --- phase C: read the log back and reconcile. ---------------------------
-  const std::uint64_t total_committed =
-      load.committed + failover_load.committed;
-  std::uint64_t read_back = 0;
-  std::uint64_t commit_index = 0;
-  {
-    net::Client reader;
-    reader.connect("127.0.0.1", server.port());
-    std::uint64_t from = 0;
-    for (;;) {
-      const net::Client::LogView page = reader.read_log(kGid, from, 256);
-      verdict.expect(page.status == net::Status::kOk,
-                     "read_log must succeed");
-      commit_index = page.commit_index;
-      read_back += page.entries.size();
-      from += page.entries.size();
-      if (page.entries.empty()) break;
-    }
-  }
-  verdict.expect(commit_index >= total_committed,
-                 "commit index (" + fmt_count(commit_index) +
-                     ") must cover every acknowledged append (" +
-                     fmt_count(total_committed) + ")");
-  verdict.expect(read_back == commit_index,
-                 "read_log must page out exactly commit_index entries");
+  // --- phase C: read the failover log back and reconcile (the other two
+  // swept groups were reconciled and retired inside the sweep).
+  const std::uint64_t commit_index =
+      reconcile(kFailGid,
+                rows[2].load.committed + failover_load.committed + 1,
+                "B=64+failover");  // + 1: the marker append
+  json.set("commit_index", commit_index);
 
   watcher.close();
   server.stop();
   service.stop();
 
   json.set_str("bench", "e15_smr");
-  json.set("appends_per_sec", load.qps);
-  json.set("ack_p50_us", static_cast<double>(load.p50_ns) / 1e3);
-  json.set("ack_p99_us", static_cast<double>(load.p99_ns) / 1e3);
-  json.set("committed", load.committed);
+  // Headline keys keep their PR 3 names so the perf trajectory stays
+  // diffable: appends_per_sec is the best swept configuration (B=64),
+  // ack percentiles are the closed-loop B=1 run.
+  json.set("appends_per_sec", best.qps);
+  json.set("ack_p50_us", static_cast<double>(base.p50_ns) / 1e3);
+  json.set("ack_p99_us", static_cast<double>(base.p99_ns) / 1e3);
+  json.set("committed", base.committed + rows[1].load.committed +
+                            rows[2].load.committed);
   json.set("failover_ms", failover_ms);
-  json.set("commit_index", commit_index);
   json.write(json_path);
 
   std::cout << '\n';
   return verdict.finish(
-      "the live SMR subsystem sustains >= 10k TCP appends/s at 3 replicas "
-      "x 64 connections, and after a forced leader crash the first commit "
-      "lands in < 1s");
+      "slot batching multiplies the live SMR write path: >= 80k TCP "
+      "appends/s at B=64 (3 replicas x 64 pipelined connections), B=1 p50 "
+      "within PR 3's 3.3ms, and after a forced leader crash the first "
+      "commit lands in < 1s");
 }

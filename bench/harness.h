@@ -6,6 +6,8 @@
 // flat JSON object so CI can archive a perf trajectory across commits.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -90,6 +92,19 @@ class Verdict {
 };
 
 inline std::string yes_no(bool b) { return b ? "yes" : "no"; }
+
+/// Percentile of a latency sample (p in [0, 1], e.g. 0.999 for p99.9 —
+/// the tail that batching-induced stalls show up in first). Sorts in
+/// place; returns 0 for an empty sample.
+inline std::int64_t percentile_ns(std::vector<std::int64_t>& sample,
+                                  double p) {
+  if (sample.empty()) return 0;
+  std::sort(sample.begin(), sample.end());
+  std::size_t idx = static_cast<std::size_t>(
+      p * static_cast<double>(sample.size()));
+  if (idx >= sample.size()) idx = sample.size() - 1;
+  return sample[idx];
+}
 
 /// Machine-readable results sink: a flat {key: number|string} object,
 /// written where `--json <path>` pointed. Keys are emitted in insertion

@@ -29,7 +29,8 @@ int main() {
   smr::SmrSpec spec;
   spec.n = 3;
   spec.capacity = 256;
-  spec.window = 8;
+  spec.window = 4;
+  spec.max_batch = 16;  // group commit: up to 16 commands per slot
   smr.add_log(kLog, spec);
 
   net::LeaderServer server(service, net::NetConfig{});
@@ -52,14 +53,25 @@ int main() {
     std::cout << "append seq " << seq << " -> index " << r.index << "\n";
   }
 
+  // Pipelined appends share consensus slots (group commit): submit a
+  // burst without waiting, then harvest acknowledgements by req_id.
+  for (std::uint64_t seq = 5; seq < 13; ++seq) {
+    client.append_async(kLog, kMe, seq, 1000 + seq);
+  }
+  while (client.outstanding_appends() > 0) {
+    const auto ack = client.next_append_result(/*timeout_ms=*/10000);
+    if (!ack.has_value()) break;
+    std::cout << "pipelined ack -> index " << ack->result.index << "\n";
+  }
+
   // Kill the leader; the next append rides the kNotLeader retry loop
   // until Ω elects a successor that drives the slot to decision.
   std::cout << "crashing leader p" << leader << "...\n";
   service.crash(kLog, leader);
-  const auto r = client.append_retry(kLog, kMe, 5, 1005);
+  const auto r = client.append_retry(kLog, kMe, 13, 1013);
   // The commit proves a new leader took over; the cached *agreed* view
   // may republish a moment later, so await it for the printout.
-  std::cout << "append seq 5 -> index " << r.index << " under new leader p"
+  std::cout << "append seq 13 -> index " << r.index << " under new leader p"
             << service.await_leader(kLog, 30000000) << "\n";
 
   const auto page = client.read_log(kLog, 0, 16);

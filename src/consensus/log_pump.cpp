@@ -2,15 +2,103 @@
 
 namespace omega {
 
-LogPump::LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window)
-    : log_(log), host_(host), window_(window) {
+namespace {
+
+/// Descriptor layout: bit 0..6 count, bit 7..14 checksum.
+constexpr std::uint64_t kCountBits = 7;
+constexpr std::uint64_t kCountMask = (1u << kCountBits) - 1;
+
+}  // namespace
+
+std::uint64_t encode_batch_descriptor(std::uint32_t count,
+                                      std::uint8_t checksum) {
+  OMEGA_CHECK(count >= 1 && count <= kMaxBatchCommands,
+              "batch count " << count << " out of range");
+  return (static_cast<std::uint64_t>(checksum) << kCountBits) | count;
+}
+
+void decode_batch_descriptor(std::uint64_t descriptor, std::uint32_t& count,
+                             std::uint8_t& checksum) {
+  count = static_cast<std::uint32_t>(descriptor & kCountMask);
+  checksum = static_cast<std::uint8_t>(descriptor >> kCountBits);
+  OMEGA_CHECK(count >= 1 && descriptor < kLogNoOp &&
+                  (descriptor >> (kCountBits + 8)) == 0,
+              "malformed batch descriptor " << descriptor);
+}
+
+std::uint8_t batch_checksum(const std::uint64_t* cmds, std::uint32_t count) {
+  // Order-sensitive so a rotated/reordered buffer row is caught too.
+  std::uint32_t acc = 0;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    acc = acc * 31 + static_cast<std::uint32_t>(cmds[i] & 0xFFFF) + 1;
+  }
+  return static_cast<std::uint8_t>(acc ^ (acc >> 8) ^ (acc >> 16));
+}
+
+BatchBuffer::BatchBuffer(std::string tag, std::uint32_t rows,
+                         std::uint32_t cols)
+    : tag_(std::move(tag)), rows_(rows), cols_(cols) {
+  OMEGA_CHECK(rows_ >= 1 && cols_ >= 1, "empty batch buffer " << tag_);
+  OMEGA_CHECK(cols_ <= kMaxBatchCommands,
+              "batch buffer " << tag_ << " cols " << cols_
+                              << " exceed the descriptor's count range");
+}
+
+void BatchBuffer::declare(LayoutBuilder& b) {
+  OMEGA_CHECK(!declared_, "batch buffer " << tag_ << " declared twice");
+  b.add_buffer(tag_ + "BAT", rows_, cols_);
+  declared_ = true;
+}
+
+void BatchBuffer::bind(const Layout& layout) {
+  OMEGA_CHECK(declared_, "bind before declare");
+  GroupId g = 0;
+  OMEGA_CHECK(layout.find_group(tag_ + "BAT", g),
+              "layout is missing " << tag_ << "BAT");
+  base_ = layout.cell(g, 0, 0).index;
+}
+
+void BatchBuffer::store(MemoryBackend& mem, std::uint32_t row,
+                        std::uint32_t col, std::uint64_t v) const {
+  OMEGA_CHECK(base_ != kNoBase, "batch buffer " << tag_ << " not bound");
+  OMEGA_CHECK(row < rows_ && col < cols_, "batch cell out of range");
+  mem.poke(Cell{base_ + row * cols_ + col}, v);
+}
+
+std::uint64_t BatchBuffer::load(MemoryBackend& mem, std::uint32_t row,
+                                std::uint32_t col) const {
+  OMEGA_CHECK(base_ != kNoBase, "batch buffer " << tag_ << " not bound");
+  OMEGA_CHECK(row < rows_ && col < cols_, "batch cell out of range");
+  return mem.peek(Cell{base_ + row * cols_ + col});
+}
+
+LogPump::LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window,
+                 BatchPolicy batch)
+    : log_(log), host_(host), window_(window), batch_(batch) {
   OMEGA_CHECK(window_ >= 1, "pump window must be >= 1");
   OMEGA_CHECK(host_.n() == log_.n(), "host has " << host_.n()
                                                  << " replicas, log wants "
                                                  << log_.n());
+  OMEGA_CHECK(batch_.max_batch >= 1 && batch_.max_batch <= kMaxBatchCommands,
+              "max_batch " << batch_.max_batch << " out of range");
+  if (batch_.max_batch > 1) {
+    OMEGA_CHECK(batch_.buffer != nullptr,
+                "batched pump needs a batch buffer");
+    OMEGA_CHECK(batch_.buffer->cols() >= batch_.max_batch,
+                "batch buffer holds " << batch_.buffer->cols()
+                                      << " commands per row, max_batch is "
+                                      << batch_.max_batch);
+    // A row is reused `rows` slots later; with rows >= window the previous
+    // tenant has always been harvested by then.
+    OMEGA_CHECK(batch_.buffer->rows() >= window_,
+                "batch ring of " << batch_.buffer->rows()
+                                 << " rows cannot back a window of "
+                                 << window_);
+    scratch_.reserve(batch_.max_batch);
+  }
 }
 
-std::uint32_t LogPump::tick(const std::function<std::uint64_t()>& supply,
+std::uint32_t LogPump::tick(BatchSource& source,
                             std::vector<Commit>& commits) {
   // 1. Harvest in slot order: a later slot may already be decided, but it
   // is not visible until every earlier slot is (log order = slot order).
@@ -18,33 +106,111 @@ std::uint32_t LogPump::tick(const std::function<std::uint64_t()>& supply,
   while (committed_ < started_) {
     const auto v = log_.decided(host_.memory(), committed_);
     if (!v.has_value()) break;
-    commits.push_back(Commit{committed_, *v});
+    if (batch_.max_batch == 1) {
+      commits.push_back(Commit{committed_, *v});
+      ++newly;
+    } else {
+      // The decided value names a batch: expand it from the spill row in
+      // FIFO order, after checking the descriptor still matches the
+      // contents it was sealed over.
+      std::uint32_t count = 0;
+      std::uint8_t checksum = 0;
+      decode_batch_descriptor(*v, count, checksum);
+      OMEGA_CHECK(count <= batch_.max_batch,
+                  "slot " << committed_ << " decided a batch of " << count
+                          << ", max_batch is " << batch_.max_batch);
+      const std::uint32_t row = committed_ % batch_.buffer->rows();
+      scratch_.clear();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        scratch_.push_back(batch_.buffer->load(host_.memory(), row, i));
+      }
+      OMEGA_CHECK(batch_checksum(scratch_.data(), count) == checksum,
+                  "slot " << committed_
+                          << ": batch buffer does not match its descriptor");
+      for (std::uint32_t i = 0; i < count; ++i) {
+        commits.push_back(Commit{committed_, scratch_[i]});
+        ++newly;
+      }
+    }
     ++committed_;
-    ++newly;
   }
 
   // 2. Refill the window. A slot is only started when some replica is live
-  // to drive it — with nobody live the command would be parked in a slot
-  // no proposer will ever finish, while leaving it with the supplier lets
-  // it commit once replicas come back.
+  // to drive it — with nobody live the commands would be parked in a slot
+  // no proposer will ever finish, while leaving them with the supplier
+  // lets them commit once replicas come back. Adaptive flush: the slot is
+  // sealed with whatever is pending right now (1..max_batch commands) —
+  // never waiting to fill up — so a lone command at low load pays no
+  // batching delay, and a backlog under full windows drains max_batch per
+  // freed slot.
   while (started_ < log_.capacity() && started_ - committed_ < window_) {
     bool any_live = false;
     for (ProcessId i = 0; i < host_.n() && !any_live; ++i) {
       any_live = host_.live(i);
     }
     if (!any_live) break;
-    const std::uint64_t cmd = supply();
-    if (cmd == kNoCommand) break;
-    OMEGA_CHECK(cmd >= 1 && cmd < kLogNoOp,
-                "command " << cmd << " out of range");
+    scratch_.clear();
+    const std::uint32_t count = source.pull(batch_.max_batch, scratch_);
+    if (count == 0) break;
+    OMEGA_CHECK(count <= batch_.max_batch && scratch_.size() == count,
+                "supplier returned " << count << "/" << scratch_.size()
+                                     << " commands, max_batch is "
+                                     << batch_.max_batch);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      OMEGA_CHECK(scratch_[i] >= 1 && scratch_[i] < kLogNoOp,
+                  "command " << scratch_[i] << " out of range");
+    }
+    std::uint64_t value = 0;
+    if (batch_.max_batch == 1) {
+      value = scratch_[0];
+    } else {
+      const std::uint32_t row = started_ % batch_.buffer->rows();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        batch_.buffer->store(host_.memory(), row, i, scratch_[i]);
+      }
+      value = encode_batch_descriptor(
+          count, batch_checksum(scratch_.data(), count));
+    }
     for (ProcessId i = 0; i < host_.n(); ++i) {
       if (!host_.live(i)) continue;
-      host_.spawn(i, log_.slot(started_).proposer(i, cmd,
+      host_.spawn(i, log_.slot(started_).proposer(i, value,
                                                   [](std::uint64_t) {}));
     }
     ++started_;
   }
   return newly;
+}
+
+namespace {
+
+/// Adapts the single-command supplier to the batch seam (max == 1 always,
+/// enforced by the wrapper tick below).
+class FnSource final : public BatchSource {
+ public:
+  explicit FnSource(const std::function<std::uint64_t()>& supply)
+      : supply_(supply) {}
+
+  std::uint32_t pull(std::uint32_t /*max*/,
+                     std::vector<std::uint64_t>& out) override {
+    const std::uint64_t cmd = supply_();
+    if (cmd == kNoCommand) return 0;
+    out.push_back(cmd);
+    return 1;
+  }
+
+ private:
+  const std::function<std::uint64_t()>& supply_;
+};
+
+}  // namespace
+
+std::uint32_t LogPump::tick(const std::function<std::uint64_t()>& supply,
+                            std::vector<Commit>& commits) {
+  OMEGA_CHECK(batch_.max_batch == 1,
+              "single-command tick on a pump with max_batch "
+                  << batch_.max_batch);
+  FnSource source(supply);
+  return tick(source, commits);
 }
 
 }  // namespace omega

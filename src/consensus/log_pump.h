@@ -13,20 +13,38 @@
 //     executors (see smr::LogGroup).
 //   * LogPump  — owns the slot cursors. Each tick() harvests decided slots
 //     *in slot order* (the log order) and keeps up to `window` slots in
-//     flight, pulling one command per new slot from a supplier. Pipelining
-//     is safe because the log order is the slot order, not the decision
-//     order: slot s+1 may decide before slot s, but it is not *applied*
-//     until s has been.
+//     flight, pulling commands from a supplier for each new slot.
+//     Pipelining is safe because the log order is the slot order, not the
+//     decision order: slot s+1 may decide before slot s, but it is not
+//     *applied* until s has been.
+//
+// Batching (group commit): one consensus round per *command* caps the log
+// at the slot rate, so a slot may instead decide a whole batch. The
+// supplier drains up to `max_batch` commands into a BatchBuffer row (a
+// shared spill region declared next to the log's registers — all replicas
+// see it, as everything in the paper's shared-memory model), and the slot's
+// proposers agree on the packed descriptor (count, checksum) instead of the
+// command itself. Harvest decodes the descriptor, validates the checksum
+// against the buffer, and expands the batch back into per-command commits
+// in FIFO order. With max_batch == 1 no buffer is touched and the proposed
+// value IS the command — byte-for-byte the unbatched pump.
+//
+// Flush policy is adaptive by construction: a slot is proposed as soon as
+// the window has room and *anything* is pending (no wait to fill a batch),
+// so batching is latency-neutral at low load; while every window slot is
+// in flight, arrivals accumulate in the supplier and the next free slot
+// drains up to max_batch of them at once.
 //
 // Forwarding, as in leader-based SMR: every live replica proposes the same
-// command for a slot (the supplier's choice), and whichever process Ω has
+// value for a slot (the supplier's choice), and whichever process Ω has
 // elected drives it to decision. Because all proposers of a slot propose
-// the same value, the slot always decides the command assigned to it, and
+// the same value, the slot always decides the value assigned to it, and
 // commits therefore pop the supplier's commands in FIFO order.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "consensus/replicated_log.h"
@@ -35,6 +53,22 @@ namespace omega {
 
 /// "No command pending" sentinel for the pump's command supplier.
 inline constexpr std::uint64_t kNoCommand = 0;
+
+/// Hard cap on commands per slot: the descriptor packs the count into 7
+/// bits next to an 8-bit checksum, keeping every descriptor inside the
+/// 16-bit consensus value range (and distinct from kLogNoOp).
+inline constexpr std::uint32_t kMaxBatchCommands = 127;
+
+/// Packs a batch descriptor for a decided slot: count in the low 7 bits,
+/// checksum above it. The result is always in [1, 32767] ⊂ [1, kLogNoOp).
+std::uint64_t encode_batch_descriptor(std::uint32_t count,
+                                      std::uint8_t checksum);
+void decode_batch_descriptor(std::uint64_t descriptor, std::uint32_t& count,
+                             std::uint8_t& checksum);
+
+/// Order-sensitive 8-bit fold of a batch's commands; cheap corruption
+/// tripwire for the buffer-descriptor pairing.
+std::uint8_t batch_checksum(const std::uint64_t* cmds, std::uint32_t count);
 
 /// Execution seam: where the pump's proposer coroutines run. All calls are
 /// made from the pump owner's thread (the sim loop, or the owning shard
@@ -56,26 +90,89 @@ class PumpHost {
   virtual MemoryBackend& memory() = 0;
 };
 
+/// Pull seam between the pump and the command intake: moves up to `max`
+/// pending commands (FIFO, each in [1, kLogNoOp)) into `out` — appended,
+/// not replaced — and returns how many it moved. Returning fewer than
+/// `max` (including 0) simply seals a smaller batch; it does not end the
+/// stream.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+  virtual std::uint32_t pull(std::uint32_t max,
+                             std::vector<std::uint64_t>& out) = 0;
+};
+
+/// The per-slot batch spill: a ring of `rows` buffers of `cols` commands
+/// each, living in the group's shared memory (slot s uses row s % rows).
+/// Row reuse is safe once rows >= the pump window: a row is only
+/// overwritten `rows` slots later, and by then its slot has been
+/// harvested. Accessed uninstrumented (peek/poke) by the pump owner
+/// thread only — the descriptor, not the buffer, is what consensus
+/// orders.
+class BatchBuffer {
+ public:
+  BatchBuffer(std::string tag, std::uint32_t rows, std::uint32_t cols);
+
+  /// Declares the "<tag>BAT" spill group; call from the LayoutExtension.
+  void declare(LayoutBuilder& b);
+  /// Resolves the group to concrete cells once the layout is built.
+  void bind(const Layout& layout);
+
+  std::uint32_t rows() const noexcept { return rows_; }
+  std::uint32_t cols() const noexcept { return cols_; }
+
+  void store(MemoryBackend& mem, std::uint32_t row, std::uint32_t col,
+             std::uint64_t v) const;
+  std::uint64_t load(MemoryBackend& mem, std::uint32_t row,
+                     std::uint32_t col) const;
+
+ private:
+  static constexpr std::uint32_t kNoBase = 0xFFFFFFFFu;
+
+  std::string tag_;
+  std::uint32_t rows_;
+  std::uint32_t cols_;
+  bool declared_ = false;
+  std::uint32_t base_ = kNoBase;  ///< flat cell index of [0][0]
+};
+
+/// Batch configuration. max_batch == 1 (the default) proposes raw
+/// commands and needs no buffer; max_batch > 1 requires a bound
+/// BatchBuffer with cols >= max_batch and rows >= the pump window.
+/// (Namespace-scope so it can be a default argument below; addressed as
+/// LogPump::BatchPolicy by callers.)
+struct PumpBatchPolicy {
+  std::uint32_t max_batch = 1;
+  const BatchBuffer* buffer = nullptr;
+};
+
 class LogPump {
  public:
   struct Commit {
     std::uint32_t slot = 0;
-    std::uint64_t value = 0;
+    std::uint64_t value = 0;  ///< the command (batches arrive expanded)
   };
+
+  using BatchPolicy = PumpBatchPolicy;
 
   /// `window` — how many slots may be in flight (spawned, not yet
   /// harvested) at once. 1 reproduces the strictly sequential pump; the
   /// live service pipelines (16..64) to overlap consensus rounds.
-  LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window = 1);
+  LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window = 1,
+          BatchPolicy batch = {});
 
   LogPump(const LogPump&) = delete;
   LogPump& operator=(const LogPump&) = delete;
 
-  /// One pump step. Appends newly decided slots (in slot order) to
-  /// `commits` and returns how many were appended; then, while the window
-  /// has room and capacity remains, pulls commands from `supply` (which
-  /// returns kNoCommand when nothing is pending) and spawns one proposer
-  /// per live replica for each. Never blocks.
+  /// One pump step. Appends the commands of newly decided slots (in slot
+  /// order, batches expanded FIFO) to `commits` and returns how many were
+  /// appended; then, while the window has room and capacity remains,
+  /// drains up to max_batch commands per new slot from `source` and
+  /// spawns one proposer per live replica. Never blocks.
+  std::uint32_t tick(BatchSource& source, std::vector<Commit>& commits);
+
+  /// Single-command convenience: `supply` returns one command (kNoCommand
+  /// when nothing is pending). Requires max_batch == 1.
   std::uint32_t tick(const std::function<std::uint64_t()>& supply,
                      std::vector<Commit>& commits);
 
@@ -84,6 +181,7 @@ class LogPump {
   /// Slots started so far (== the next slot to be assigned a command).
   std::uint32_t started() const noexcept { return started_; }
   std::uint32_t in_flight() const noexcept { return started_ - committed_; }
+  std::uint32_t max_batch() const noexcept { return batch_.max_batch; }
   /// True once every slot has been assigned; further commands can never be
   /// placed and should be rejected upstream.
   bool exhausted() const noexcept { return started_ == log_.capacity(); }
@@ -92,8 +190,31 @@ class LogPump {
   ReplicatedLog& log_;
   PumpHost& host_;
   const std::uint32_t window_;
+  const BatchPolicy batch_;
   std::uint32_t committed_ = 0;
   std::uint32_t started_ = 0;
+  std::vector<std::uint64_t> scratch_;  ///< per-slot pull buffer
+};
+
+/// PumpHost over the discrete-event simulator (SimDriver comes in via
+/// replicated_log.h): proposers become app tasks of the simulated
+/// processes; liveness follows the crash plan. Used by
+/// ReplicatedLog::pump and by tests that drive a LogPump directly.
+class SimPumpHost final : public PumpHost {
+ public:
+  explicit SimPumpHost(SimDriver& driver) : driver_(driver) {}
+
+  std::uint32_t n() const override { return driver_.n(); }
+  bool live(ProcessId i) const override {
+    return !driver_.plan().crashed_by(i, driver_.now());
+  }
+  void spawn(ProcessId i, ProcTask task) override {
+    driver_.add_app_task(i, std::move(task));
+  }
+  MemoryBackend& memory() override { return driver_.memory(); }
+
+ private:
+  SimDriver& driver_;
 };
 
 }  // namespace omega

@@ -6,29 +6,6 @@
 
 namespace omega {
 
-namespace {
-
-/// PumpHost over the discrete-event simulator: proposers become app tasks
-/// of the simulated processes; liveness follows the crash plan.
-class SimPumpHost final : public PumpHost {
- public:
-  explicit SimPumpHost(SimDriver& driver) : driver_(driver) {}
-
-  std::uint32_t n() const override { return driver_.n(); }
-  bool live(ProcessId i) const override {
-    return !driver_.plan().crashed_by(i, driver_.now());
-  }
-  void spawn(ProcessId i, ProcTask task) override {
-    driver_.add_app_task(i, std::move(task));
-  }
-  MemoryBackend& memory() override { return driver_.memory(); }
-
- private:
-  SimDriver& driver_;
-};
-
-}  // namespace
-
 ReplicatedLog::ReplicatedLog(std::uint32_t n, std::uint32_t capacity) : n_(n) {
   OMEGA_CHECK(capacity >= 1 && capacity <= 65536,
               "bad capacity " << capacity);

@@ -43,9 +43,12 @@ void Client::close() {
   }
   // A Client may reconnect after close(): drop every remnant of the old
   // stream — half-received frames, a terminal corrupt flag, events from
-  // subscriptions that died with the connection.
+  // subscriptions that died with the connection, acknowledgements of
+  // appends that will never arrive.
   in_ = FrameDecoder{};
   events_.clear();
+  outstanding_appends_.clear();
+  done_appends_.clear();
   next_req_id_ = 1;
 }
 
@@ -214,17 +217,35 @@ Frame Client::call(MsgType type, std::optional<WireGroupId> gid) {
   return call_encoded(type, id);
 }
 
+bool Client::absorb(const Frame& f) {
+  if (queue_event(f)) return true;
+  if (f.header.type == MsgType::kAppend &&
+      outstanding_appends_.erase(f.header.req_id) > 0) {
+    done_appends_.push_back(AsyncAppend{f.header.req_id, to_append_result(f)});
+    return true;
+  }
+  return false;
+}
+
+Client::AppendResult Client::to_append_result(const Frame& f) {
+  AppendResult r;
+  r.status = f.header.status;
+  r.index = f.append_resp.index;
+  r.view = svc::LeaderView{f.append_resp.leader, f.append_resp.epoch};
+  return r;
+}
+
 Frame Client::call_encoded(MsgType type, std::uint64_t id,
                            int response_timeout_ms) {
   send_all(out_.data(), out_.size());
 
-  // One deadline across every socket wait: interleaved pushes must not
-  // extend the response budget.
+  // One deadline across every socket wait: interleaved pushes and async
+  // append acknowledgements must not extend the response budget.
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(response_timeout_ms);
   for (;;) {
     while (std::optional<Frame> f = pop_frame()) {
-      if (queue_event(*f)) continue;
+      if (absorb(*f)) continue;
       if (f->header.req_id != id || f->header.type != type) {
         // Request/response pairing is broken (e.g. a late reply to a
         // call that previously timed out): the stream cannot be
@@ -265,9 +286,8 @@ Client::Result Client::unwatch(svc::GroupId gid) {
                 svc::LeaderView{f.view.leader, f.view.epoch}};
 }
 
-Client::AppendResult Client::append(svc::GroupId gid, std::uint64_t client,
-                                    std::uint64_t seq, std::uint64_t command,
-                                    int response_timeout_ms) {
+std::uint64_t Client::append_async(svc::GroupId gid, std::uint64_t client,
+                                   std::uint64_t seq, std::uint64_t command) {
   ensure_connected();
   const std::uint64_t id = next_req_id_++;
   out_.clear();
@@ -277,12 +297,80 @@ Client::AppendResult Client::append(svc::GroupId gid, std::uint64_t client,
   req.seq = seq;
   req.command = command;
   encode_append_request(out_, id, req);
-  const Frame f = call_encoded(MsgType::kAppend, id, response_timeout_ms);
-  AppendResult r;
-  r.status = f.header.status;
-  r.index = f.append_resp.index;
-  r.view = svc::LeaderView{f.append_resp.leader, f.append_resp.epoch};
-  return r;
+  send_all(out_.data(), out_.size());
+  outstanding_appends_.insert(id);
+  return id;
+}
+
+std::optional<Client::AsyncAppend> Client::next_append_result(
+    int timeout_ms) {
+  if (!done_appends_.empty()) {
+    const AsyncAppend a = done_appends_.front();
+    done_appends_.pop_front();
+    return a;
+  }
+  if (fd_ < 0 || outstanding_appends_.empty()) return std::nullopt;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    while (std::optional<Frame> f = pop_frame()) {
+      if (!absorb(*f)) {
+        // No blocking request is outstanding here, so any non-push,
+        // non-append-answer frame means the stream is desynchronized.
+        close();
+        throw NetError("unexpected frame while draining append results");
+      }
+    }
+    if (!done_appends_.empty()) {
+      const AsyncAppend a = done_appends_.front();
+      done_appends_.pop_front();
+      return a;
+    }
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    // A timeout here is not a protocol failure: the answers are matched
+    // by req_id whenever they do arrive, so the connection stays usable.
+    if (remaining < 0) return std::nullopt;
+    if (!fill(remaining)) return std::nullopt;
+  }
+}
+
+Client::AppendResult Client::append(svc::GroupId gid, std::uint64_t client,
+                                    std::uint64_t seq, std::uint64_t command,
+                                    int response_timeout_ms) {
+  // The blocking form is the pipelined form plus "wait for this one".
+  const std::uint64_t id = append_async(gid, client, seq, command);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(response_timeout_ms);
+  for (;;) {
+    while (std::optional<Frame> f = pop_frame()) {
+      if (absorb(*f)) continue;
+      // absorb() matched every live async id (including ours), so this
+      // frame answers nothing we asked: the stream cannot be
+      // resynchronized.
+      close();
+      throw NetError("response does not match the outstanding request");
+    }
+    for (auto it = done_appends_.begin(); it != done_appends_.end(); ++it) {
+      if (it->req_id == id) {
+        const AppendResult r = it->result;
+        done_appends_.erase(it);
+        return r;
+      }
+    }
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    if (remaining <= 0 || !fill(remaining)) {
+      // The response may still arrive later and would desynchronize every
+      // subsequent call; a timed-out connection is only safe to abandon.
+      close();
+      throw NetError("timed out waiting for a response");
+    }
+  }
 }
 
 Client::AppendResult Client::append_retry(svc::GroupId gid,
@@ -395,13 +483,16 @@ std::optional<Client::Event> Client::next_event(int timeout_ms) {
                         std::chrono::milliseconds(timeout_ms);
   for (;;) {
     while (std::optional<Frame> f = pop_frame()) {
-      if (queue_event(*f)) {
+      if (!absorb(*f)) {
+        // A non-event, non-append frame with no outstanding request is a
+        // protocol bug.
+        throw NetError("unexpected response frame while waiting for events");
+      }
+      if (!events_.empty()) {
         const Event e = events_.front();
         events_.pop_front();
         return e;
       }
-      // A non-event frame with no outstanding request is a protocol bug.
-      throw NetError("unexpected response frame while waiting for events");
     }
     const auto now = std::chrono::steady_clock::now();
     const int remaining = static_cast<int>(

@@ -22,6 +22,16 @@
 // the command lands in the log exactly once even if the original
 // submission actually committed.
 //
+// Pipelining: append_async() submits without waiting, so N appends can be
+// outstanding on one connection (the server answers each when its command
+// commits — possibly out of order, e.g. a rejection overtaking an earlier
+// pending commit). Harvest acknowledgements with next_append_result().
+// Responses are matched to submissions by req_id, so pipelined appends
+// coexist with blocking calls on the same connection: a blocking call that
+// encounters an async append's answer stashes it instead of treating the
+// stream as desynchronized. The blocking append() is itself a wrapper —
+// submit, then wait for that one req_id.
+//
 // Errors: socket-level failures and protocol violations throw NetError;
 // application-level conditions (unknown group, not-leader, stale seq)
 // come back as a Status in the result so callers can distinguish "the
@@ -33,6 +43,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -132,10 +143,40 @@ class Client {
   /// Appends `command` (in [1, 65534]) to `gid`'s replicated log under the
   /// (client, seq) dedup key; blocks until the commit acknowledgement (or
   /// a rejection Status), waiting at most `response_timeout_ms`. One
-  /// shot: no retries, no redials.
+  /// shot: no retries, no redials. Acknowledgements of *other* (async)
+  /// appends arriving first are stashed for next_append_result().
   AppendResult append(svc::GroupId gid, std::uint64_t client,
                       std::uint64_t seq, std::uint64_t command,
                       int response_timeout_ms = kResponseTimeoutMs);
+
+  /// One completed pipelined append: `req_id` is append_async's return.
+  struct AsyncAppend {
+    std::uint64_t req_id = 0;
+    AppendResult result;
+  };
+
+  /// Submits an append without waiting for the acknowledgement and
+  /// returns its req_id. Any number may be outstanding; the server
+  /// answers each when its command commits (or is rejected).
+  std::uint64_t append_async(svc::GroupId gid, std::uint64_t client,
+                             std::uint64_t seq, std::uint64_t command);
+
+  /// Returns the next completed pipelined append — in completion order,
+  /// not submission order — waiting up to `timeout_ms` (0 = only drain
+  /// already-received frames). nullopt on timeout or when nothing is
+  /// outstanding; the connection survives a timeout (late answers are
+  /// still matched by req_id).
+  std::optional<AsyncAppend> next_append_result(int timeout_ms);
+
+  /// Pipelined appends submitted and not yet harvested.
+  std::size_t outstanding_appends() const noexcept {
+    return outstanding_appends_.size();
+  }
+
+  /// The connection's fd, for callers multiplexing many clients with
+  /// poll/epoll (e.g. a load generator); -1 when disconnected. Do not
+  /// read or write it directly.
+  int native_handle() const noexcept { return fd_; }
 
   /// The standard SMR client loop: append() retried under the reconnect
   /// policy until it commits, a non-retryable Status comes back, or
@@ -187,12 +228,20 @@ class Client {
   std::optional<Frame> pop_frame();
   /// Queues a pushed frame; true if `f` was one.
   bool queue_event(const Frame& f);
+  /// Absorbs a frame that is not the current blocking call's response:
+  /// pushed events and answers to outstanding async appends are queued;
+  /// returns false if the frame is neither (the caller decides whether
+  /// that is its response or a desync).
+  bool absorb(const Frame& f);
+  static AppendResult to_append_result(const Frame& f);
 
   int fd_ = -1;
   std::uint64_t next_req_id_ = 1;
   FrameDecoder in_;
   std::deque<Event> events_;
   std::vector<std::uint8_t> out_;
+  std::unordered_set<std::uint64_t> outstanding_appends_;
+  std::deque<AsyncAppend> done_appends_;
 
   std::string host_;
   std::uint16_t port_ = 0;

@@ -42,9 +42,9 @@ LeaderServer::LeaderServer(svc::MultiGroupLeaderService& service,
       [this](std::uint32_t loop, svc::GroupId gid, svc::LeaderView view) {
         deliver_event(loop, gid, view);
       },
-      [this](std::uint32_t loop, svc::GroupId gid, std::uint64_t index,
-             std::uint64_t value) {
-        deliver_commit_event(loop, gid, index, value);
+      [this](std::uint32_t loop, svc::GroupId gid, std::uint64_t first_index,
+             const std::vector<std::uint64_t>& values) {
+        deliver_commit_batch(loop, gid, first_index, values);
       });
   append_sink_ = std::make_shared<AppendSink>();
   append_sink_->server = this;
@@ -106,8 +106,9 @@ void LeaderServer::start() {
       });
   if (smr_ != nullptr) {
     smr_->set_commit_listener(
-        [this](svc::GroupId gid, std::uint64_t index, std::uint64_t value) {
-          hub_->publish_commit(gid, index, value);
+        [this](svc::GroupId gid, std::uint64_t first_index,
+               const std::vector<std::uint64_t>& values) {
+          hub_->publish_commit_batch(gid, first_index, values);
         });
   }
 }
@@ -453,25 +454,25 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
       }
       l.counters.appends.fetch_add(1, std::memory_order_relaxed);
       // Asynchronous completion: park (loop, fd, serial, req_id) in the
-      // callback; the owning shard worker fires it at commit and it posts
-      // the response back to this loop. The sink makes completions that
-      // outlive the serving phase no-ops.
+      // callback; the owning shard worker fires it at commit and it lands
+      // the acknowledgement in this loop's mailbox (batched wakeup). The
+      // sink makes completions that outlive the serving phase no-ops.
       const auto sink = append_sink_;
       const std::uint32_t loop_idx = c.loop;
-      const int fd = c.fd;
-      const std::uint64_t serial = c.serial;
-      const svc::GroupId gid = req.gid;
+      PendingAck ack;
+      ack.fd = c.fd;
+      ack.serial = c.serial;
+      ack.req_id = id;
+      ack.gid = req.gid;
       smr_->append(req.gid, req.client, req.seq, req.command,
-                   [sink, loop_idx, fd, serial, id, gid](
-                       smr::AppendOutcome outcome, std::uint64_t index) {
+                   [sink, loop_idx, ack](smr::AppendOutcome outcome,
+                                         std::uint64_t index) mutable {
                      std::lock_guard<std::mutex> lock(sink->mu);
                      LeaderServer* s = sink->server;
                      if (s == nullptr) return;  // server already stopped
-                     s->loops_[loop_idx]->loop.post(
-                         [s, loop_idx, fd, serial, id, gid, outcome, index] {
-                           s->complete_append(loop_idx, fd, serial, id, gid,
-                                              outcome, index);
-                         });
+                     ack.outcome = outcome;
+                     ack.index = index;
+                     s->enqueue_ack(loop_idx, ack);
                    });
       return true;
     }
@@ -545,7 +546,7 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
 
 void LeaderServer::fan_out(
     Loop& l, WatcherMap& map, svc::GroupId gid,
-    std::atomic<std::uint64_t>& counter,
+    std::atomic<std::uint64_t>& counter, std::uint64_t frames,
     const std::function<void(std::vector<std::uint8_t>&)>& encode) {
   const auto it = map.find(gid);
   if (it == map.end()) return;  // last watcher left before delivery
@@ -560,72 +561,109 @@ void LeaderServer::fan_out(
     if (cit == l.conns.end()) continue;  // closed earlier in this delivery
     Connection& c = *cit->second;
     encode(c.out);
-    counter.fetch_add(1, std::memory_order_relaxed);
+    counter.fetch_add(frames, std::memory_order_relaxed);
     flush(l, c);
   }
 }
 
-void LeaderServer::deliver_commit_event(std::uint32_t loop_idx,
-                                        svc::GroupId gid, std::uint64_t index,
-                                        std::uint64_t value) {
+void LeaderServer::deliver_commit_batch(
+    std::uint32_t loop_idx, svc::GroupId gid, std::uint64_t first_index,
+    const std::vector<std::uint64_t>& values) {
   Loop& l = *loops_[loop_idx];
-  fan_out(l, l.commit_watchers, gid, l.counters.commit_events,
+  // The whole batch lands in each subscriber's buffer before its one
+  // flush — a 64-command slot costs a watcher one syscall, not 64.
+  fan_out(l, l.commit_watchers, gid, l.counters.commit_events, values.size(),
           [&](std::vector<std::uint8_t>& out) {
-            encode_commit_event(out, gid, index, value);
+            for (std::size_t i = 0; i < values.size(); ++i) {
+              encode_commit_event(out, gid, first_index + i, values[i]);
+            }
           });
 }
 
-void LeaderServer::complete_append(std::uint32_t loop_idx, int fd,
-                                   std::uint64_t serial, std::uint64_t req_id,
-                                   svc::GroupId gid,
-                                   smr::AppendOutcome outcome,
-                                   std::uint64_t index) {
+void LeaderServer::enqueue_ack(std::uint32_t loop_idx,
+                               const PendingAck& ack) {
   Loop& l = *loops_[loop_idx];
-  const auto it = l.conns.find(fd);
-  if (it == l.conns.end()) return;  // connection died while waiting
-  Connection& c = *it->second;
-  if (c.serial != serial) return;  // fd recycled: different connection
-  AppendRespBody resp;
-  resp.gid = gid;
-  Status status = Status::kOk;
-  switch (outcome) {
-    case smr::AppendOutcome::kCommitted:
-      resp.index = index;
-      break;
-    case smr::AppendOutcome::kAccepted:
-      // Completions never fire with kAccepted; defensively treat it as a
-      // server error the client should retry.
-      status = Status::kOverloaded;
-      break;
-    case smr::AppendOutcome::kStaleSeq:
-      status = Status::kStaleSeq;
-      break;
-    case smr::AppendOutcome::kQueueFull:
-      status = Status::kOverloaded;
-      break;
-    case smr::AppendOutcome::kLogFull:
-      status = Status::kLogFull;
-      break;
-    case smr::AppendOutcome::kAborted:
-      status = Status::kUnknownGroup;  // the log went away under us
-      break;
-    case smr::AppendOutcome::kBadCommand:
-      status = Status::kBadRequest;
-      break;
+  bool need_post = false;
+  {
+    std::lock_guard<std::mutex> lock(l.ack_mu);
+    l.acks.push_back(ack);
+    need_post = !l.ack_drain_scheduled;
+    l.ack_drain_scheduled = true;
   }
-  svc::LeaderView view;
-  if (service_.try_leader(gid, view)) {
-    resp.leader = view.leader;
-    resp.epoch = view.epoch;
+  // One wakeup per backlog: every acknowledgement that lands before the
+  // drain task runs rides the same post.
+  if (need_post) {
+    l.loop.post([this, loop_idx] { drain_acks(loop_idx); });
   }
-  encode_append_response(c.out, status, req_id, resp);
-  flush(l, c);
+}
+
+void LeaderServer::drain_acks(std::uint32_t loop_idx) {
+  Loop& l = *loops_[loop_idx];
+  {
+    std::lock_guard<std::mutex> lock(l.ack_mu);
+    l.ack_scratch.swap(l.acks);
+    l.ack_drain_scheduled = false;
+  }
+  // Pass 1: encode every acknowledgement into its connection's buffer.
+  // Nothing closes a connection here, so raw Connection lookups are safe.
+  std::vector<int> touched;
+  for (const PendingAck& ack : l.ack_scratch) {
+    const auto it = l.conns.find(ack.fd);
+    if (it == l.conns.end()) continue;  // connection died while waiting
+    Connection& c = *it->second;
+    if (c.serial != ack.serial) continue;  // fd recycled: different conn
+    AppendRespBody resp;
+    resp.gid = ack.gid;
+    Status status = Status::kOk;
+    switch (ack.outcome) {
+      case smr::AppendOutcome::kCommitted:
+        resp.index = ack.index;
+        break;
+      case smr::AppendOutcome::kAccepted:
+        // Completions never fire with kAccepted; defensively treat it as
+        // a server error the client should retry.
+        status = Status::kOverloaded;
+        break;
+      case smr::AppendOutcome::kStaleSeq:
+        status = Status::kStaleSeq;
+        break;
+      case smr::AppendOutcome::kQueueFull:
+        status = Status::kOverloaded;
+        break;
+      case smr::AppendOutcome::kLogFull:
+        status = Status::kLogFull;
+        break;
+      case smr::AppendOutcome::kAborted:
+        status = Status::kUnknownGroup;  // the log went away under us
+        break;
+      case smr::AppendOutcome::kBadCommand:
+        status = Status::kBadRequest;
+        break;
+    }
+    svc::LeaderView view;
+    if (service_.try_leader(ack.gid, view)) {
+      resp.leader = view.leader;
+      resp.epoch = view.epoch;
+    }
+    if (c.out.empty()) touched.push_back(ack.fd);
+    encode_append_response(c.out, status, ack.req_id, resp);
+  }
+  l.ack_scratch.clear();
+  // Pass 2: one flush per touched connection — with the fd-snapshot
+  // discipline (flushing one target can close a sibling, which must be
+  // detected by key lookup). A connection whose buffer was already
+  // non-empty has a flush pending elsewhere (EPOLLOUT or its reader).
+  for (const int fd : touched) {
+    const auto it = l.conns.find(fd);
+    if (it == l.conns.end()) continue;
+    flush(l, *it->second);
+  }
 }
 
 void LeaderServer::deliver_event(std::uint32_t loop_idx, svc::GroupId gid,
                                  svc::LeaderView view) {
   Loop& l = *loops_[loop_idx];
-  fan_out(l, l.watchers, gid, l.counters.events,
+  fan_out(l, l.watchers, gid, l.counters.events, /*frames=*/1,
           [&](std::vector<std::uint8_t>& out) {
             encode_view_frame(out, MsgType::kEvent, Status::kOk,
                               /*req_id=*/0,

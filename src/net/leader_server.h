@@ -122,13 +122,32 @@ class LeaderServer {
   /// (loop-confined).
   using WatcherMap = std::unordered_map<svc::GroupId, std::vector<Connection*>>;
 
-  /// Per-IO-thread state. Only `counters` is read cross-thread.
+  /// One parked append acknowledgement awaiting delivery on its loop.
+  struct PendingAck {
+    int fd = -1;
+    std::uint64_t serial = 0;
+    std::uint64_t req_id = 0;
+    svc::GroupId gid = 0;
+    smr::AppendOutcome outcome = smr::AppendOutcome::kAborted;
+    std::uint64_t index = 0;
+  };
+
+  /// Per-IO-thread state. Only `counters` and the ack mailbox are touched
+  /// cross-thread.
   struct Loop {
     EventLoop loop;
     std::thread thread;
     std::unordered_map<int, std::unique_ptr<Connection>> conns;
     WatcherMap watchers;         ///< epoch channel (WATCH)
     WatcherMap commit_watchers;  ///< commit channel (COMMIT_WATCH)
+    /// Ack mailbox: completions (owning shard worker) append here and
+    /// schedule at most ONE drain task — a 64-command batch costs the
+    /// loop one wakeup and each touched connection one flush, instead of
+    /// one task + one send() per acknowledgement.
+    std::mutex ack_mu;
+    std::vector<PendingAck> acks;      ///< guarded by ack_mu
+    bool ack_drain_scheduled = false;  ///< guarded by ack_mu
+    std::vector<PendingAck> ack_scratch;  ///< loop-thread-only
     struct Counters {
       std::atomic<std::uint64_t> accepted{0};
       std::atomic<std::uint64_t> closed{0};
@@ -161,13 +180,19 @@ class LeaderServer {
   bool handle_frame(Loop& l, Connection& c, const Frame& frame);
   void deliver_event(std::uint32_t loop_idx, svc::GroupId gid,
                      svc::LeaderView view);
-  void deliver_commit_event(std::uint32_t loop_idx, svc::GroupId gid,
-                            std::uint64_t index, std::uint64_t value);
-  /// Runs on the connection's loop thread when its append committed (or
-  /// failed); drops silently if the connection is gone or recycled.
-  void complete_append(std::uint32_t loop_idx, int fd, std::uint64_t serial,
-                       std::uint64_t req_id, svc::GroupId gid,
-                       smr::AppendOutcome outcome, std::uint64_t index);
+  /// One delivery per applied batch: encodes COMMIT_EVENT frames for
+  /// every entry into each subscriber's buffer and flushes once.
+  void deliver_commit_batch(std::uint32_t loop_idx, svc::GroupId gid,
+                            std::uint64_t first_index,
+                            const std::vector<std::uint64_t>& values);
+  /// Called from an append completion (owning shard worker): parks the
+  /// acknowledgement in the loop's mailbox and wakes the loop at most
+  /// once per backlog.
+  void enqueue_ack(std::uint32_t loop_idx, const PendingAck& ack);
+  /// Runs on the loop thread: encodes every parked acknowledgement into
+  /// its connection's buffer (dropping silently if the connection is gone
+  /// or its fd recycled), then flushes each touched connection once.
+  void drain_acks(std::uint32_t loop_idx);
   /// Writes as much of c.out as the socket takes; arms/disarms EPOLLOUT.
   /// Returns false if the connection died.
   bool flush(Loop& l, Connection& c);
@@ -181,12 +206,13 @@ class LeaderServer {
   /// decrements the watch gauge.
   void unlink_watcher(Loop& l, WatcherMap& map, Connection& c,
                       svc::GroupId gid);
-  /// Shared body of the two delivery paths: writes one `encode`d push to
-  /// every connection in `map[gid]`, counting each on `counter` — with
-  /// the fd-snapshot discipline (flushing one target can close a
-  /// sibling, which must be detected by key lookup, never by pointer).
+  /// Shared body of the two delivery paths: writes one `encode`d push
+  /// (which may hold several frames) to every connection in `map[gid]`,
+  /// bumping `counter` by `frames` per target — with the fd-snapshot
+  /// discipline (flushing one target can close a sibling, which must be
+  /// detected by key lookup, never by pointer).
   void fan_out(Loop& l, WatcherMap& map, svc::GroupId gid,
-               std::atomic<std::uint64_t>& counter,
+               std::atomic<std::uint64_t>& counter, std::uint64_t frames,
                const std::function<void(std::vector<std::uint8_t>&)>& encode);
   StatsBody stats_body() const;
 

@@ -1,5 +1,7 @@
 #include "net/watch_hub.h"
 
+#include <memory>
+
 #include "common/check.h"
 
 namespace omega::net {
@@ -75,19 +77,30 @@ void WatchHub::remove_commit_watch(svc::GroupId gid, std::uint32_t loop) {
   remove(commits_, gid, loop);
 }
 
-void WatchHub::publish_commit(svc::GroupId gid, std::uint64_t index,
-                              std::uint64_t value) {
+void WatchHub::publish_commit_batch(
+    svc::GroupId gid, std::uint64_t first_index,
+    const std::vector<std::uint64_t>& values) {
   OMEGA_CHECK(deliver_commit_ != nullptr, "no commit delivery sink");
-  commits_published_.fetch_add(1, std::memory_order_relaxed);
+  if (values.empty()) return;
+  commits_published_.fetch_add(values.size(), std::memory_order_relaxed);
   const std::uint64_t mask = interested(commits_, gid);
+  if (mask == 0) return;
+  // One copy of the batch, shared by every interested loop's task.
+  const auto shared =
+      std::make_shared<const std::vector<std::uint64_t>>(values);
   for (std::size_t i = 0; i < loops_.size(); ++i) {
     if (!(mask & (std::uint64_t{1} << i))) continue;
     deliveries_.fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t loop = static_cast<std::uint32_t>(i);
-    loops_[i]->post([this, loop, gid, index, value] {
-      deliver_commit_(loop, gid, index, value);
+    loops_[i]->post([this, loop, gid, first_index, shared] {
+      deliver_commit_(loop, gid, first_index, *shared);
     });
   }
+}
+
+void WatchHub::publish_commit(svc::GroupId gid, std::uint64_t index,
+                              std::uint64_t value) {
+  publish_commit_batch(gid, index, {value});
 }
 
 }  // namespace omega::net

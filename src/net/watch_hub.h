@@ -36,10 +36,14 @@ class WatchHub {
   using Deliver =
       std::function<void(std::uint32_t, svc::GroupId, svc::LeaderView)>;
 
-  /// Commit-channel sibling: (loop index, gid, applied index, value),
-  /// fanned out as COMMIT_EVENT frames.
-  using DeliverCommit = std::function<void(std::uint32_t, svc::GroupId,
-                                           std::uint64_t, std::uint64_t)>;
+  /// Commit-channel sibling: (loop index, gid, first applied index,
+  /// values applied at first, first+1, ...) — a whole applied batch per
+  /// delivery, fanned out as one COMMIT_EVENT frame per entry. Batched so
+  /// a 64-command slot costs each interested loop ONE post (one task-queue
+  /// lock, one eventfd wakeup), not 64.
+  using DeliverCommit =
+      std::function<void(std::uint32_t, svc::GroupId, std::uint64_t,
+                         const std::vector<std::uint64_t>&)>;
 
   /// `deliver_commit` may be empty when the server serves no log.
   WatchHub(std::vector<EventLoop*> loops, Deliver deliver,
@@ -60,9 +64,13 @@ class WatchHub {
 
   /// Commit-channel mirror of the three calls above; subscriptions are
   /// independent of the epoch channel (same delivery semantics: register
-  /// before snapshot, dedupe by index).
+  /// before snapshot, dedupe by index). publish_commit_batch shares one
+  /// copy of `values` across every interested loop; the single-entry
+  /// publish_commit is a convenience wrapper over it.
   void add_commit_watch(svc::GroupId gid, std::uint32_t loop);
   void remove_commit_watch(svc::GroupId gid, std::uint32_t loop);
+  void publish_commit_batch(svc::GroupId gid, std::uint64_t first_index,
+                            const std::vector<std::uint64_t>& values);
   void publish_commit(svc::GroupId gid, std::uint64_t index,
                       std::uint64_t value);
 

@@ -31,6 +31,12 @@ GroupId LayoutBuilder::add_matrix(std::string name, std::uint32_t rows,
   return static_cast<GroupId>(groups_.size() - 1);
 }
 
+GroupId LayoutBuilder::add_buffer(std::string name, std::uint32_t rows,
+                                  std::uint32_t cols) {
+  return add_matrix(std::move(name), rows, cols, OwnerRule::kAny,
+                    /*critical=*/false);
+}
+
 Layout LayoutBuilder::build() {
   Layout l;
   l.groups_ = groups_;

@@ -53,6 +53,12 @@ class LayoutBuilder {
   GroupId add_matrix(std::string name, std::uint32_t rows, std::uint32_t cols,
                      OwnerRule rule, bool critical);
 
+  /// Bulk spill region `name[rows][cols]`: multi-writer, never critical.
+  /// For data plane buffers that ride alongside the model's registers
+  /// (e.g. a replicated log's per-slot batch buffers) — AWB1 accounting
+  /// ignores them, and any process may write any cell.
+  GroupId add_buffer(std::string name, std::uint32_t rows, std::uint32_t cols);
+
   Layout build();
 
  private:

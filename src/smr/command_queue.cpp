@@ -1,12 +1,16 @@
 #include "smr/command_queue.h"
 
+#include <unordered_set>
+
 #include "common/check.h"
 
 namespace omega::smr {
 
-CommandQueue::CommandQueue(std::size_t max_pending)
-    : max_pending_(max_pending) {
+CommandQueue::CommandQueue(std::size_t max_pending,
+                           std::int64_t session_ttl_us)
+    : max_pending_(max_pending), session_ttl_us_(session_ttl_us) {
   OMEGA_CHECK(max_pending_ >= 1, "queue needs capacity >= 1");
+  OMEGA_CHECK(session_ttl_us_ >= 0, "negative session TTL");
 }
 
 void CommandQueue::take(Entry& e, std::vector<AppendCompletion>& out) {
@@ -22,6 +26,7 @@ CommandQueue::SubmitResult CommandQueue::submit(std::uint64_t client,
                                                 AppendCompletion done) {
   std::unique_lock<std::mutex> lock(mu_);
   Session& sess = sessions_[client];
+  sess.last_active_us = now_us_;
   if (sess.any && seq == sess.last_seq) {
     if (sess.committed) {
       return SubmitResult{AppendOutcome::kCommitted, sess.last_index};
@@ -71,28 +76,60 @@ std::uint64_t CommandQueue::pull() {
   return inflight_.back().command;
 }
 
+std::uint32_t CommandQueue::pull_batch(std::uint32_t max,
+                                       std::vector<std::uint64_t>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint32_t moved = 0;
+  while (moved < max && !pending_.empty()) {
+    inflight_.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+    out.push_back(inflight_.back().command);
+    ++moved;
+  }
+  return moved;
+}
+
 CommandQueue::CommitRecord CommandQueue::commit_front(std::uint64_t index) {
-  std::vector<AppendCompletion> fire;
-  CommitRecord rec;
+  std::vector<CommitRecord> recs;
+  commit_batch(index, 1, recs);
+  return recs.front();
+}
+
+void CommandQueue::commit_batch(std::uint64_t first_index, std::uint32_t count,
+                                std::vector<CommitRecord>& recs) {
+  // (completion, index) pairs collected under the lock, fired outside it:
+  // completions post to IO loops and must not nest under the queue mutex.
+  std::vector<std::pair<AppendCompletion, std::uint64_t>> fire;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    OMEGA_CHECK(!inflight_.empty(), "commit with nothing in flight");
-    Entry& e = inflight_.front();
-    rec.client = e.client;
-    rec.seq = e.seq;
-    rec.command = e.command;
-    Session& sess = sessions_[e.client];
-    if (sess.any && sess.last_seq == e.seq) {
-      sess.committed = true;
-      sess.last_index = index;
+    OMEGA_CHECK(inflight_.size() >= count,
+                "commit of " << count << " with " << inflight_.size()
+                             << " in flight");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t index = first_index + i;
+      Entry& e = inflight_.front();
+      CommitRecord rec;
+      rec.client = e.client;
+      rec.seq = e.seq;
+      rec.command = e.command;
+      recs.push_back(rec);
+      Session& sess = sessions_[e.client];
+      // A commit is session activity: restamp so the TTL runs from the
+      // commit, not from the submit — submit stamps with the *previous*
+      // sweep's clock (0 before the first sweep), and an entry that sat
+      // queued must not surface with its retry window pre-expired.
+      sess.last_active_us = now_us_;
+      if (sess.any && sess.last_seq == e.seq) {
+        sess.committed = true;
+        sess.last_index = index;
+      }
+      for (auto& c : e.completions) {
+        if (c) fire.emplace_back(std::move(c), index);
+      }
+      inflight_.pop_front();
     }
-    take(e, fire);
-    inflight_.pop_front();
   }
-  // Completions run outside the lock: they post to IO loops and must not
-  // nest under the queue mutex.
-  for (auto& c : fire) c(AppendOutcome::kCommitted, index);
-  return rec;
+  for (auto& [c, index] : fire) c(AppendOutcome::kCommitted, index);
 }
 
 void CommandQueue::abort_pending(AppendOutcome outcome) {
@@ -117,6 +154,40 @@ void CommandQueue::abort_all(AppendOutcome outcome) {
     // Their waiters have been answered; the late commit fires nothing.
   }
   for (auto& c : fire) c(outcome, 0);
+}
+
+void CommandQueue::evict_idle_sessions(std::int64_t now_us) {
+  if (session_ttl_us_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  now_us_ = now_us;
+  // Full-map scans are O(sessions): amortize to a few per TTL. The extra
+  // grace this grants an almost-expired session is harmless.
+  if (now_us - last_scan_us_ < session_ttl_us_ / 4 + 1) return;
+  last_scan_us_ = now_us;
+  // A session with queued work is live no matter how old its stamp: its
+  // commit must still find the session to record the dedup outcome.
+  std::unordered_set<std::uint64_t> busy;
+  for (const auto& e : pending_) busy.insert(e.client);
+  for (const auto& e : inflight_) busy.insert(e.client);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (now_us - it->second.last_active_us >= session_ttl_us_ &&
+        busy.find(it->first) == busy.end()) {
+      it = sessions_.erase(it);
+      ++evicted_;
+    } else {
+      ++it;
+    }
+  }
+}
+
+CommandQueue::Stats CommandQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.pending = pending_.size();
+  s.in_flight = inflight_.size();
+  s.sessions = sessions_.size();
+  s.evicted = evicted_;
+  return s;
 }
 
 std::size_t CommandQueue::pending() const {

@@ -1,11 +1,12 @@
 // CommandQueue: the client-facing intake of one replicated-log group.
 //
 // Clients submit commands tagged with a (client, seq) dedup key; the pump
-// (owner worker) pulls them in FIFO order and assigns each to a consensus
-// slot. Because every replica proposes the same command for a slot and
-// slots are harvested in order, commits pop pulled entries strictly FIFO —
-// commit_front() consumes the oldest in-flight entry and fires its
-// completions.
+// (owner worker) pulls them in FIFO order — one at a time (pull) or up to
+// a batch at once (pull_batch) — and assigns them to consensus slots.
+// Because every replica proposes the same value for a slot and slots are
+// harvested in order, commits pop pulled entries strictly FIFO —
+// commit_front()/commit_batch() consume the oldest in-flight entries and
+// fire their completions.
 //
 // Dedup contract (the classic SMR client-session rule): per client, `seq`
 // is monotonically increasing, and the retry window is the *latest* seq —
@@ -17,10 +18,19 @@
 // outstanding seqs per client are accepted (pipelining), but only the
 // newest is retry-safe.
 //
+// Session bound: the dedup map grows one Session per client ever seen, so
+// a long-lived group serving churning clients needs eviction. With a
+// non-zero `session_ttl_us`, the pump sweep calls evict_idle_sessions();
+// sessions idle past the TTL whose client has nothing pending or in
+// flight are dropped (and counted in stats().evicted). An evicted
+// client's late retry is indistinguishable from a fresh submission — the
+// standard at-most-once-window tradeoff of bounded session tables — so
+// pick a TTL comfortably above the client retry horizon.
+//
 // Threading: submit() may be called from any thread (the server's IO
-// threads); pull()/commit_front()/abort_* belong to the pump owner. One
-// mutex guards everything — the queue is not the hot path (the consensus
-// rounds are).
+// threads); pull*/commit_*/abort_*/evict_idle_sessions belong to the pump
+// owner. One mutex guards everything — the queue is not the hot path (the
+// consensus rounds are).
 #pragma once
 
 #include <cstdint>
@@ -53,7 +63,9 @@ using AppendCompletion =
 
 class CommandQueue {
  public:
-  explicit CommandQueue(std::size_t max_pending);
+  /// `session_ttl_us` == 0 disables eviction (sessions live forever).
+  explicit CommandQueue(std::size_t max_pending,
+                        std::int64_t session_ttl_us = 0);
 
   struct SubmitResult {
     AppendOutcome outcome = AppendOutcome::kAccepted;
@@ -74,6 +86,10 @@ class CommandQueue {
   /// queue); 0 when nothing is pending.
   std::uint64_t pull();
 
+  /// Batch form: moves up to `max` pending entries to the in-flight queue
+  /// and appends their commands to `out` in FIFO order; returns the count.
+  std::uint32_t pull_batch(std::uint32_t max, std::vector<std::uint64_t>& out);
+
   struct CommitRecord {
     std::uint64_t client = 0;
     std::uint64_t seq = 0;
@@ -85,6 +101,13 @@ class CommandQueue {
   /// entry for the commit-event fan-out.
   CommitRecord commit_front(std::uint64_t index);
 
+  /// Batch form: the oldest `count` in-flight entries committed at
+  /// `first_index`, `first_index + 1`, ... Appends one record per entry to
+  /// `recs` and fires every completion (outside the lock, in FIFO order) —
+  /// the whole batch is acknowledged with one lock acquisition.
+  void commit_batch(std::uint64_t first_index, std::uint32_t count,
+                    std::vector<CommitRecord>& recs);
+
   /// Fails every entry that has not been pulled yet (log capacity
   /// exhausted): completions fire with `outcome`.
   void abort_pending(AppendOutcome outcome);
@@ -94,6 +117,21 @@ class CommandQueue {
   /// slots may still decide under a racing sweep, and commit_front must
   /// find them) but their late commits fire nothing.
   void abort_all(AppendOutcome outcome);
+
+  /// Pump-sweep session expiry (no-op when session_ttl_us == 0): drops
+  /// every session idle since before `now_us - ttl` whose client has no
+  /// pending or in-flight entry. `now_us` must be monotone across calls —
+  /// it also timestamps subsequent submits. Scans are internally
+  /// rate-limited to ~1/4 TTL, so calling once per sweep is fine.
+  void evict_idle_sessions(std::int64_t now_us);
+
+  struct Stats {
+    std::size_t pending = 0;
+    std::size_t in_flight = 0;
+    std::size_t sessions = 0;        ///< dedup map size
+    std::uint64_t evicted = 0;       ///< sessions dropped by TTL, ever
+  };
+  Stats stats() const;
 
   std::size_t pending() const;
   std::size_t in_flight() const;
@@ -112,6 +150,7 @@ class CommandQueue {
     std::uint64_t last_index = 0;  ///< commit index of last_seq, if committed
     bool committed = false;        ///< last_seq has committed
     bool any = false;              ///< a seq was ever submitted
+    std::int64_t last_active_us = 0;  ///< sweep-clock time of last touch
   };
 
   /// Collects an entry's completions for firing outside the lock.
@@ -119,6 +158,10 @@ class CommandQueue {
 
   mutable std::mutex mu_;
   std::size_t max_pending_;
+  std::int64_t session_ttl_us_;
+  std::int64_t now_us_ = 0;        ///< last sweep clock seen (under mu_)
+  std::int64_t last_scan_us_ = 0;  ///< last eviction scan (under mu_)
+  std::uint64_t evicted_ = 0;
   std::deque<Entry> pending_;
   std::deque<Entry> inflight_;
   std::unordered_map<std::uint64_t, Session> sessions_;

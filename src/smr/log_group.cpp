@@ -8,10 +8,18 @@ LogGroup::LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook)
     : gid_(gid),
       spec_(spec),
       log_(spec.n, spec.capacity),
-      queue_(spec.max_pending),
+      queue_(spec.max_pending, spec.session_ttl_us),
+      source_(queue_),
       hook_(std::move(hook)) {
   OMEGA_CHECK(spec_.window >= 1 && spec_.window <= spec_.capacity,
               "bad pump window " << spec_.window);
+  OMEGA_CHECK(spec_.max_batch >= 1 && spec_.max_batch <= kMaxBatchCommands,
+              "bad max_batch " << spec_.max_batch);
+  if (spec_.max_batch > 1) {
+    // The ring must cover the pipelined window (see BatchBuffer's reuse
+    // argument); one row per in-flight slot is exactly that.
+    batch_.emplace("LOG", spec_.window, spec_.max_batch);
+  }
   applied_.reserve(std::min<std::uint32_t>(spec_.capacity, 4096));
 }
 
@@ -19,32 +27,49 @@ void LogGroup::attach(svc::Group& g) {
   OMEGA_CHECK(g.spec.n == spec_.n,
               "group n " << g.spec.n << " != log n " << spec_.n);
   log_.bind(g.inst.memory->layout());
+  if (batch_.has_value()) batch_->bind(g.inst.memory->layout());
   host_.g_ = &g;
-  pump_ = std::make_unique<LogPump>(log_, host_, spec_.window);
+  pump_ = std::make_unique<LogPump>(
+      log_, host_, spec_.window,
+      LogPump::BatchPolicy{spec_.max_batch,
+                           batch_.has_value() ? &*batch_ : nullptr});
 }
 
-void LogGroup::on_sweep(svc::Group& g, std::int64_t /*now_us*/) {
+void LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
   OMEGA_CHECK(pump_ != nullptr && host_.g_ == &g, "on_sweep before attach");
+  // Advance the queue's session clock *before* the harvest below stamps
+  // committed sessions with it: on a group added to a long-running pool,
+  // the first sweep's commits would otherwise be stamped with a stale (0)
+  // clock and their retry windows would expire on the next scan. Entries
+  // still queued or in flight are busy and never evicted regardless.
+  queue_.evict_idle_sessions(now_us);
   scratch_.clear();
-  pump_->tick([this] { return queue_.pull(); }, scratch_);
+  pump_->tick(source_, scratch_);
   if (!scratch_.empty()) {
-    for (const auto& c : scratch_) {
-      std::uint64_t index = 0;
-      {
-        std::lock_guard<std::mutex> lock(applied_mu_);
-        index = applied_.size();
-        applied_.push_back(c.value);
-      }
-      commit_index_.store(index + 1, std::memory_order_release);
-      const CommandQueue::CommitRecord rec = queue_.commit_front(index);
-      OMEGA_CHECK(rec.command == c.value,
-                  "slot " << c.slot << " decided " << c.value
+    // Apply the sweep's whole harvest as one batch: one applied-log lock,
+    // one commit-index publish, one queue lock for every completion, one
+    // hook invocation for the push fan-out.
+    const std::uint32_t count = static_cast<std::uint32_t>(scratch_.size());
+    values_.clear();
+    for (const auto& c : scratch_) values_.push_back(c.value);
+    std::uint64_t first = 0;
+    {
+      std::lock_guard<std::mutex> lock(applied_mu_);
+      first = applied_.size();
+      applied_.insert(applied_.end(), values_.begin(), values_.end());
+    }
+    commit_index_.store(first + count, std::memory_order_release);
+    recs_.clear();
+    queue_.commit_batch(first, count, recs_);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      OMEGA_CHECK(recs_[i].command == values_[i],
+                  "slot " << scratch_[i].slot << " decided " << values_[i]
                           << " but the oldest in-flight command is "
-                          << rec.command);
-      {
-        std::shared_lock<std::shared_mutex> lock(hook_mu_);
-        if (hook_) hook_(index, c.value, rec.client, rec.seq);
-      }
+                          << recs_[i].command);
+    }
+    {
+      std::shared_lock<std::shared_mutex> lock(hook_mu_);
+      if (hook_) hook_(first, values_, recs_);
     }
     // Finished proposer frames pile up one per slot per replica: reap so
     // the executors' round-robin scan stays O(live tasks).

@@ -9,13 +9,23 @@
 // decision while followers forward — exactly the SimDriver construction of
 // consensus/replicated_log.h, now serving real clients.
 //
+// Batching (SmrSpec::max_batch > 1): each consensus slot decides a batch
+// descriptor instead of a single command — the sweep drains up to
+// max_batch queued commands into the group's shared BatchBuffer ring (a
+// spill region declared next to the log's slot registers), seals the
+// batch, and the slot's proposers agree on (count, checksum). Commits
+// apply and acknowledge the whole batch in FIFO order with one queue lock
+// and one commit-hook invocation. max_batch == 1 (the default) keeps the
+// unbatched pump byte-for-byte, including the layout.
+//
 // Wiring (done by SmrService): the LogGroup is handed to the svc registry
 // as GroupSpec{extra_registers = declare(), pump = this}; the Group
 // constructor calls attach() to bind the log against the built layout, and
 // every worker sweep calls on_sweep() to run one LogPump tick — harvest
 // decided slots, apply them to the in-memory state machine, fire client
 // completions and the commit hook, refill the proposer window from the
-// CommandQueue, and reap finished proposer frames.
+// CommandQueue, reap finished proposer frames, and expire idle dedup
+// sessions.
 #pragma once
 
 #include <atomic>
@@ -39,15 +49,23 @@ struct SmrSpec {
   std::uint32_t capacity = 1024;  ///< consensus slots (hard log length)
   std::uint32_t window = 16;      ///< pipelined in-flight slots
   std::size_t max_pending = 4096; ///< CommandQueue intake bound
+  /// Commands decided per consensus slot (1..kMaxBatchCommands). 1 keeps
+  /// the classic one-command-per-slot pump (and its exact layout); larger
+  /// values group-commit: same slot rate, max_batch× the append rate.
+  std::uint32_t max_batch = 1;
+  /// Dedup-session expiry for idle clients (0 = keep forever). See
+  /// command_queue.h for the retry-window tradeoff.
+  std::int64_t session_ttl_us = 0;
 };
 
-/// Invoked on the owning worker for every applied entry, right after the
-/// entry's own completions fired. Same contract as svc::EpochListener:
-/// cheap, non-blocking, hand anything heavier to another thread.
-using CommitHook = std::function<void(std::uint64_t index,
-                                      std::uint64_t value,
-                                      std::uint64_t client,
-                                      std::uint64_t seq)>;
+/// Invoked on the owning worker once per applied batch, right after the
+/// batch's own append completions fired: entries `values[i]` / `recs[i]`
+/// were applied at index `first_index + i`. Same contract as
+/// svc::EpochListener: cheap, non-blocking, hand anything heavier to
+/// another thread.
+using CommitHook = std::function<void(
+    std::uint64_t first_index, const std::vector<std::uint64_t>& values,
+    const std::vector<CommandQueue::CommitRecord>& recs)>;
 
 class LogGroup final : public svc::GroupPump {
  public:
@@ -58,7 +76,10 @@ class LogGroup final : public svc::GroupPump {
   CommandQueue& queue() noexcept { return queue_; }
 
   /// LayoutExtension body for GroupSpec::extra_registers.
-  void declare(LayoutBuilder& b) { log_.declare(b); }
+  void declare(LayoutBuilder& b) {
+    log_.declare(b);
+    if (batch_.has_value()) batch_->declare(b);
+  }
 
   // --- svc::GroupPump ------------------------------------------------------
 
@@ -72,7 +93,7 @@ class LogGroup final : public svc::GroupPump {
     return commit_index_.load(std::memory_order_acquire);
   }
 
-  /// True once every slot has been assigned a command; new submissions are
+  /// True once every slot has been assigned commands; new submissions are
   /// rejected with kLogFull upstream.
   bool log_full() const noexcept {
     return log_full_.load(std::memory_order_acquire);
@@ -87,7 +108,8 @@ class LogGroup final : public svc::GroupPump {
   void read(std::uint64_t from, std::uint32_t max, Snapshot& out) const;
 
   /// Replica `pid`'s own decision-board entry for `slot` (agreement
-  /// checking in tests; uninstrumented peeks).
+  /// checking in tests; uninstrumented peeks). With batching the decided
+  /// value is the batch descriptor, not a command.
   std::optional<std::uint64_t> decided_by(ProcessId pid,
                                           std::uint32_t slot) const;
 
@@ -115,10 +137,25 @@ class LogGroup final : public svc::GroupPump {
     svc::Group* g_ = nullptr;
   };
 
+  /// BatchSource over the command queue (owner-thread calls only).
+  class QueueSource final : public BatchSource {
+   public:
+    explicit QueueSource(CommandQueue& q) : q_(q) {}
+    std::uint32_t pull(std::uint32_t max,
+                       std::vector<std::uint64_t>& out) override {
+      return q_.pull_batch(max, out);
+    }
+
+   private:
+    CommandQueue& q_;
+  };
+
   const svc::GroupId gid_;
   const SmrSpec spec_;
   ReplicatedLog log_;
+  std::optional<BatchBuffer> batch_;  ///< engaged iff max_batch > 1
   CommandQueue queue_;
+  QueueSource source_;
   /// Reader/writer split as in GroupRegistry's listener seam: on_sweep
   /// holds the shared side across the call, clear_hook's unique lock
   /// doubles as a completion barrier.
@@ -128,6 +165,8 @@ class LogGroup final : public svc::GroupPump {
   ExecHost host_;
   std::unique_ptr<LogPump> pump_;  ///< created at attach()
   std::vector<LogPump::Commit> scratch_;  ///< per-sweep commit buffer
+  std::vector<std::uint64_t> values_;     ///< per-sweep applied values
+  std::vector<CommandQueue::CommitRecord> recs_;  ///< per-sweep records
 
   mutable std::mutex applied_mu_;
   std::vector<std::uint64_t> applied_;

@@ -21,8 +21,11 @@ SmrService::~SmrService() {
 void SmrService::add_log(svc::GroupId gid, const SmrSpec& spec) {
   auto lg = std::make_shared<LogGroup>(
       gid, spec,
-      [this, gid](std::uint64_t index, std::uint64_t value, std::uint64_t,
-                  std::uint64_t) { notify_commit(gid, index, value); });
+      [this, gid](std::uint64_t first_index,
+                  const std::vector<std::uint64_t>& values,
+                  const std::vector<CommandQueue::CommitRecord>&) {
+        notify_commit(gid, first_index, values);
+      });
   {
     std::unique_lock<std::shared_mutex> lock(logs_mu_);
     const auto [it, inserted] = logs_.emplace(gid, lg);
@@ -111,6 +114,11 @@ std::uint64_t SmrService::commit_index(svc::GroupId gid) const {
   return lg ? lg->commit_index() : 0;
 }
 
+CommandQueue::Stats SmrService::queue_stats(svc::GroupId gid) const {
+  const auto lg = find(gid);
+  return lg ? lg->queue().stats() : CommandQueue::Stats{};
+}
+
 std::optional<std::uint64_t> SmrService::decided_by(svc::GroupId gid,
                                                     ProcessId pid,
                                                     std::uint32_t slot) const {
@@ -124,10 +132,11 @@ void SmrService::set_commit_listener(CommitListener listener) {
   listener_ = std::move(listener);
 }
 
-void SmrService::notify_commit(svc::GroupId gid, std::uint64_t index,
-                               std::uint64_t value) const {
+void SmrService::notify_commit(
+    svc::GroupId gid, std::uint64_t first_index,
+    const std::vector<std::uint64_t>& values) const {
   std::shared_lock<std::shared_mutex> lock(listener_mu_);
-  if (listener_) listener_(gid, index, value);
+  if (listener_) listener_(gid, first_index, values);
 }
 
 }  // namespace omega::smr

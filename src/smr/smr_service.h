@@ -30,11 +30,14 @@
 
 namespace omega::smr {
 
-/// Push seam for applied entries: (gid, index, value), invoked on the
-/// owning worker right after the entry's append completions. The net
-/// front-end fans this out to COMMIT_WATCH subscribers.
-using CommitListener = std::function<void(
-    svc::GroupId gid, std::uint64_t index, std::uint64_t value)>;
+/// Push seam for applied entries: one invocation per applied *batch* —
+/// `values[i]` was applied at index `first_index + i` — on the owning
+/// worker right after the batch's append completions. The net front-end
+/// fans this out to COMMIT_WATCH subscribers (one post per loop per
+/// batch, not per entry).
+using CommitListener =
+    std::function<void(svc::GroupId gid, std::uint64_t first_index,
+                       const std::vector<std::uint64_t>& values)>;
 
 class SmrService {
  public:
@@ -74,6 +77,10 @@ class SmrService {
   /// Applied-entry count (0 for unknown gids).
   std::uint64_t commit_index(svc::GroupId gid) const;
 
+  /// Intake/session counters of the group's command queue (zeros for
+  /// unknown gids) — surfaces the dedup-map bound and TTL evictions.
+  CommandQueue::Stats queue_stats(svc::GroupId gid) const;
+
   /// Installs (or clears) the commit push listener. Barrier semantics as
   /// with svc's epoch listener: on return, no in-flight invocation of the
   /// previous listener is still running.
@@ -89,8 +96,8 @@ class SmrService {
 
  private:
   std::shared_ptr<LogGroup> find(svc::GroupId gid) const;
-  void notify_commit(svc::GroupId gid, std::uint64_t index,
-                     std::uint64_t value) const;
+  void notify_commit(svc::GroupId gid, std::uint64_t first_index,
+                     const std::vector<std::uint64_t>& values) const;
 
   svc::MultiGroupLeaderService& svc_;
 

@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -120,6 +121,110 @@ TEST(CommandQueue, AbortFiresEveryWaiter) {
   const auto rec = q.commit_front(0);
   EXPECT_EQ(rec.command, 1u);
   ASSERT_EQ(fired.size(), 2u) << "aborted waiters must not fire again";
+}
+
+TEST(CommandQueue, PullBatchMovesFifoAndCommitBatchAcksEveryEntry) {
+  CommandQueue q(16);
+  std::vector<Fired> fired;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(q.submit(/*client=*/10 + i, /*seq=*/0, /*command=*/50 + i,
+                       capture(fired))
+                  .outcome,
+              AppendOutcome::kAccepted);
+  }
+  std::vector<std::uint64_t> batch;
+  EXPECT_EQ(q.pull_batch(3, batch), 3u);
+  EXPECT_EQ(batch, (std::vector<std::uint64_t>{50, 51, 52}));
+  EXPECT_EQ(q.pending(), 2u);
+  EXPECT_EQ(q.in_flight(), 3u);
+  // A short queue seals a short batch.
+  EXPECT_EQ(q.pull_batch(8, batch), 2u);
+  EXPECT_EQ(batch.size(), 5u) << "pull_batch appends, not replaces";
+  EXPECT_EQ(q.pull_batch(8, batch), 0u) << "drained";
+
+  std::vector<CommandQueue::CommitRecord> recs;
+  q.commit_batch(/*first_index=*/100, /*count=*/5, recs);
+  ASSERT_EQ(recs.size(), 5u);
+  ASSERT_EQ(fired.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(recs[i].command, 50 + i) << "records in FIFO order";
+    EXPECT_EQ(fired[i].outcome, AppendOutcome::kCommitted);
+    EXPECT_EQ(fired[i].index, 100 + i) << "per-entry indexes are dense";
+  }
+  // The sessions recorded their outcomes: duplicates answer immediately.
+  const auto dup = q.submit(12, 0, 52, {});
+  EXPECT_EQ(dup.outcome, AppendOutcome::kCommitted);
+  EXPECT_EQ(dup.index, 102u);
+}
+
+TEST(CommandQueue, EvictsIdleSessionsButNeverBusyOnes) {
+  CommandQueue q(16, /*session_ttl_us=*/1000);
+  // Client 1 commits and goes idle; client 2 stays queued.
+  ASSERT_EQ(q.submit(1, 7, 11, {}).outcome, AppendOutcome::kAccepted);
+  ASSERT_EQ(q.submit(2, 1, 22, {}).outcome, AppendOutcome::kAccepted);
+  EXPECT_EQ(q.pull(), 11u);
+  q.commit_front(0);
+  EXPECT_EQ(q.stats().sessions, 2u);
+
+  q.evict_idle_sessions(/*now_us=*/5000);
+  const auto s = q.stats();
+  EXPECT_EQ(s.evicted, 1u) << "idle committed session expires";
+  EXPECT_EQ(s.sessions, 1u) << "the busy session must survive";
+  // Client 2's dedup window is intact...
+  EXPECT_EQ(q.submit(2, 0, 9, {}).outcome, AppendOutcome::kStaleSeq);
+  // ...while client 1's is gone: a very late retry is indistinguishable
+  // from a fresh submission (the documented TTL tradeoff).
+  EXPECT_EQ(q.submit(1, 7, 11, {}).outcome, AppendOutcome::kAccepted);
+}
+
+TEST(CommandQueue, EvictionScansAreRateLimited) {
+  CommandQueue q(16, /*session_ttl_us=*/1000);
+  ASSERT_EQ(q.submit(1, 0, 5, {}).outcome, AppendOutcome::kAccepted);
+  EXPECT_EQ(q.pull(), 5u);
+  q.commit_front(0);
+  q.evict_idle_sessions(2000);  // scans (and evicts client 1)
+  EXPECT_EQ(q.stats().evicted, 1u);
+  ASSERT_EQ(q.submit(3, 0, 6, {}).outcome, AppendOutcome::kAccepted);
+  EXPECT_EQ(q.pull(), 6u);
+  q.commit_front(1);
+  // Within a quarter TTL of the last scan: no pass is made, even though
+  // client 3 is now idle and (by stamp age) expired.
+  q.evict_idle_sessions(2100);
+  EXPECT_EQ(q.stats().sessions, 1u);
+  // Past the rate limit the scan runs.
+  q.evict_idle_sessions(10000);
+  EXPECT_EQ(q.stats().sessions, 0u);
+  EXPECT_EQ(q.stats().evicted, 2u);
+}
+
+TEST(CommandQueue, CommitRefreshesTheSessionStamp) {
+  // Regression: a session created against a stale clock (submit stamps
+  // with the *previous* sweep's time — 0 before the first sweep) must not
+  // surface from its commit with the retry window already expired. The
+  // commit itself restamps the session.
+  CommandQueue q(16, /*session_ttl_us=*/1000);
+  q.evict_idle_sessions(5000);  // sweep clock advances to 5000
+  ASSERT_EQ(q.submit(1, 0, 5, {}).outcome, AppendOutcome::kAccepted);
+  EXPECT_EQ(q.pull(), 5u);
+  q.evict_idle_sessions(5400);  // busy: protected; clock now 5400
+  q.commit_front(0);            // stamps the session with 5400
+  q.evict_idle_sessions(6100);  // idle 700us < ttl: must survive
+  EXPECT_EQ(q.stats().sessions, 1u)
+      << "the TTL must run from the commit, not the submission";
+  const auto dup = q.submit(1, 0, 5, {});
+  EXPECT_EQ(dup.outcome, AppendOutcome::kCommitted) << "retry window intact";
+  q.evict_idle_sessions(9000);  // idle past the ttl: now it goes
+  EXPECT_EQ(q.stats().sessions, 0u);
+}
+
+TEST(CommandQueue, ZeroTtlNeverEvicts) {
+  CommandQueue q(16);  // ttl 0 = sessions live forever
+  ASSERT_EQ(q.submit(1, 0, 5, {}).outcome, AppendOutcome::kAccepted);
+  EXPECT_EQ(q.pull(), 5u);
+  q.commit_front(0);
+  q.evict_idle_sessions(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(q.stats().sessions, 1u);
+  EXPECT_EQ(q.stats().evicted, 0u);
 }
 
 }  // namespace

@@ -32,8 +32,9 @@ struct HubRig {
           epoch_hits[loop].fetch_add(1, std::memory_order_relaxed);
         },
         [this](std::uint32_t loop, svc::GroupId, std::uint64_t,
-               std::uint64_t) {
-          commit_hits[loop].fetch_add(1, std::memory_order_relaxed);
+               const std::vector<std::uint64_t>& values) {
+          commit_hits[loop].fetch_add(values.size(),
+                                      std::memory_order_relaxed);
         });
     for (std::uint32_t i = 0; i < n_loops; ++i) {
       threads[i] = std::thread([this, i] { loops[i].run(); });
