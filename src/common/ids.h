@@ -24,6 +24,14 @@ inline constexpr ProcessId kAnyProcess = kNoProcess - 1;
 /// O(n^2) in shared cells, so this is a sanity bound, not a design limit.
 inline constexpr std::uint32_t kMaxProcesses = 4096;
 
+/// Locality masks for multi-process deployments (bit p ⇒ replica p runs in
+/// this OS process). The shared convention — used by svc::GroupSpec,
+/// smr::SmrSpec and the register mirror — is that 0 means "all local"
+/// (the classic single-process deployment).
+inline constexpr bool local_mask_covers(std::uint64_t mask, ProcessId p) {
+  return mask == 0 || (p < 64 && ((mask >> p) & 1u) != 0);
+}
+
 /// Simulated time, in abstract "ticks". The simulator is a discrete-event
 /// system: every shared-memory access and timer expiry happens at a tick.
 /// Signed so that durations/differences are safe to form.

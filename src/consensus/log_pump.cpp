@@ -4,41 +4,61 @@ namespace omega {
 
 namespace {
 
-/// Descriptor layout: bit 0..6 count, bit 7..14 checksum.
+/// Descriptor layout: bit 0..6 count, bit 7..12 sealer replica id.
 constexpr std::uint64_t kCountBits = 7;
 constexpr std::uint64_t kCountMask = (1u << kCountBits) - 1;
+constexpr std::uint64_t kSealerBits = 6;
+constexpr std::uint64_t kSealerMask = (1u << kSealerBits) - 1;
+
+/// Bounded seqlock retries per harvest before stalling to the next tick.
+constexpr int kPayloadReadAttempts = 4;
 
 }  // namespace
 
-std::uint64_t encode_batch_descriptor(std::uint32_t count,
-                                      std::uint8_t checksum) {
+std::uint64_t encode_batch_descriptor(std::uint32_t count, ProcessId sealer) {
   OMEGA_CHECK(count >= 1 && count <= kMaxBatchCommands,
               "batch count " << count << " out of range");
-  return (static_cast<std::uint64_t>(checksum) << kCountBits) | count;
+  OMEGA_CHECK(sealer <= kSealerMask, "sealer " << sealer << " out of range");
+  return (static_cast<std::uint64_t>(sealer) << kCountBits) | count;
 }
 
 void decode_batch_descriptor(std::uint64_t descriptor, std::uint32_t& count,
-                             std::uint8_t& checksum) {
+                             ProcessId& sealer) {
   count = static_cast<std::uint32_t>(descriptor & kCountMask);
-  checksum = static_cast<std::uint8_t>(descriptor >> kCountBits);
+  sealer = static_cast<ProcessId>((descriptor >> kCountBits) & kSealerMask);
   OMEGA_CHECK(count >= 1 && descriptor < kLogNoOp &&
-                  (descriptor >> (kCountBits + 8)) == 0,
+                  (descriptor >> (kCountBits + kSealerBits)) == 0,
               "malformed batch descriptor " << descriptor);
 }
 
-std::uint8_t batch_checksum(const std::uint64_t* cmds, std::uint32_t count) {
+std::uint32_t batch_checksum(const std::uint64_t* cmds, std::uint32_t count) {
   // Order-sensitive so a rotated/reordered buffer row is caught too.
-  std::uint32_t acc = 0;
+  std::uint32_t acc = 0x811C9DC5u;  // FNV-1a style fold
   for (std::uint32_t i = 0; i < count; ++i) {
-    acc = acc * 31 + static_cast<std::uint32_t>(cmds[i] & 0xFFFF) + 1;
+    acc = (acc ^ static_cast<std::uint32_t>(cmds[i] & 0xFFFF)) * 0x01000193u;
+    acc = (acc ^ (acc >> 15)) + 1;
   }
-  return static_cast<std::uint8_t>(acc ^ (acc >> 8) ^ (acc >> 16));
+  return acc;
 }
 
-BatchBuffer::BatchBuffer(std::string tag, std::uint32_t rows,
-                         std::uint32_t cols)
-    : tag_(std::move(tag)), rows_(rows), cols_(cols) {
-  OMEGA_CHECK(rows_ >= 1 && cols_ >= 1, "empty batch buffer " << tag_);
+std::uint64_t pack_seal(std::uint32_t slot, std::uint32_t checksum) {
+  return (static_cast<std::uint64_t>(slot) + 1) << 32 | checksum;
+}
+
+std::uint64_t seal_slot(std::uint64_t seal) {
+  const std::uint64_t hi = seal >> 32;
+  return hi == 0 ? kNoSealedSlot : hi - 1;
+}
+
+std::uint32_t seal_checksum(std::uint64_t seal) {
+  return static_cast<std::uint32_t>(seal);
+}
+
+BatchBuffer::BatchBuffer(std::string tag, std::uint32_t banks,
+                         std::uint32_t rows, std::uint32_t cols)
+    : tag_(std::move(tag)), banks_(banks), rows_(rows), cols_(cols) {
+  OMEGA_CHECK(banks_ >= 1 && rows_ >= 1 && cols_ >= 1,
+              "empty batch buffer " << tag_);
   OMEGA_CHECK(cols_ <= kMaxBatchCommands,
               "batch buffer " << tag_ << " cols " << cols_
                               << " exceed the descriptor's count range");
@@ -46,7 +66,10 @@ BatchBuffer::BatchBuffer(std::string tag, std::uint32_t rows,
 
 void BatchBuffer::declare(LayoutBuilder& b) {
   OMEGA_CHECK(!declared_, "batch buffer " << tag_ << " declared twice");
-  b.add_buffer(tag_ + "BAT", rows_, cols_);
+  // One matrix row per (bank, ring row); column 0 is the seal cell, the
+  // commands follow. Keeping it one group keeps the layout identical on
+  // every process of a mirrored deployment by construction.
+  b.add_buffer(tag_ + "BAT", banks_ * rows_, 1 + cols_);
   declared_ = true;
 }
 
@@ -58,18 +81,34 @@ void BatchBuffer::bind(const Layout& layout) {
   base_ = layout.cell(g, 0, 0).index;
 }
 
-void BatchBuffer::store(MemoryBackend& mem, std::uint32_t row,
-                        std::uint32_t col, std::uint64_t v) const {
+std::uint32_t BatchBuffer::cell_index(std::uint32_t bank, std::uint32_t row,
+                                      std::uint32_t col) const {
   OMEGA_CHECK(base_ != kNoBase, "batch buffer " << tag_ << " not bound");
-  OMEGA_CHECK(row < rows_ && col < cols_, "batch cell out of range");
-  mem.poke(Cell{base_ + row * cols_ + col}, v);
+  OMEGA_CHECK(bank < banks_ && row < rows_ && col < 1 + cols_,
+              "batch cell out of range");
+  return base_ + (bank * rows_ + row) * (1 + cols_) + col;
 }
 
-std::uint64_t BatchBuffer::load(MemoryBackend& mem, std::uint32_t row,
-                                std::uint32_t col) const {
-  OMEGA_CHECK(base_ != kNoBase, "batch buffer " << tag_ << " not bound");
-  OMEGA_CHECK(row < rows_ && col < cols_, "batch cell out of range");
-  return mem.peek(Cell{base_ + row * cols_ + col});
+void BatchBuffer::store_cmd(MemoryBackend& mem, std::uint32_t bank,
+                            std::uint32_t row, std::uint32_t col,
+                            std::uint64_t v) const {
+  mem.poke(Cell{cell_index(bank, row, 1 + col)}, v);
+}
+
+std::uint64_t BatchBuffer::load_cmd(MemoryBackend& mem, std::uint32_t bank,
+                                    std::uint32_t row,
+                                    std::uint32_t col) const {
+  return mem.peek(Cell{cell_index(bank, row, 1 + col)});
+}
+
+void BatchBuffer::store_seal(MemoryBackend& mem, std::uint32_t bank,
+                             std::uint32_t row, std::uint64_t seal) const {
+  mem.poke(Cell{cell_index(bank, row, 0)}, seal);
+}
+
+std::uint64_t BatchBuffer::load_seal(MemoryBackend& mem, std::uint32_t bank,
+                                     std::uint32_t row) const {
+  return mem.peek(Cell{cell_index(bank, row, 0)});
 }
 
 LogPump::LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window,
@@ -94,46 +133,122 @@ LogPump::LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window,
                 "batch ring of " << batch_.buffer->rows()
                                  << " rows cannot back a window of "
                                  << window_);
+    OMEGA_CHECK(batch_.sealer < batch_.buffer->banks(),
+                "sealer " << batch_.sealer << " has no bank in a "
+                          << batch_.buffer->banks() << "-bank buffer");
     scratch_.reserve(batch_.max_batch);
   }
 }
 
-std::uint32_t LogPump::tick(BatchSource& source,
-                            std::vector<Commit>& commits) {
+bool LogPump::read_payload(std::uint32_t s, std::uint64_t descriptor,
+                           std::uint32_t& count, ProcessId& sealer) {
+  decode_batch_descriptor(descriptor, count, sealer);
+  OMEGA_CHECK(count <= batch_.max_batch,
+              "slot " << s << " decided a batch of " << count
+                      << ", max_batch is " << batch_.max_batch);
+  OMEGA_CHECK(sealer < batch_.buffer->banks(),
+              "slot " << s << " decided sealer " << sealer
+                      << ", buffer has " << batch_.buffer->banks()
+                      << " banks");
+  const std::uint32_t row = s % batch_.buffer->rows();
+  MemoryBackend& mem = host_.memory();
+  for (int attempt = 0; attempt < kPayloadReadAttempts; ++attempt) {
+    const std::uint64_t seal = batch_.buffer->load_seal(mem, sealer, row);
+    const std::uint64_t sealed_for = seal_slot(seal);
+    if (sealed_for == kNoSealedSlot || sealed_for < s) {
+      // The sealer's push stream has not delivered this row yet (the
+      // decision became visible through another replica's board first).
+      // FIFO streams guarantee it eventually will; stall this tick.
+      return false;
+    }
+    OMEGA_CHECK(sealed_for == s,
+                "slot " << s << ": spill row already reused for slot "
+                        << sealed_for
+                        << " — this mirror lagged past the ring");
+    scratch_.clear();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      scratch_.push_back(batch_.buffer->load_cmd(mem, sealer, row, i));
+    }
+    // Re-read the seal: an in-flight push batch may have landed between
+    // the loads (seqlock discipline); retry on movement or a checksum
+    // mismatch — both mean "row application raced us", never corruption,
+    // because a settled FIFO prefix containing the seal contains the rows.
+    if (batch_.buffer->load_seal(mem, sealer, row) != seal) continue;
+    if (batch_checksum(scratch_.data(), count) != seal_checksum(seal)) {
+      continue;
+    }
+    return true;
+  }
+  return false;
+}
+
+std::uint32_t LogPump::tick(BatchSource& source, std::vector<Commit>& commits,
+                            bool repush_remote) {
   // 1. Harvest in slot order: a later slot may already be decided, but it
   // is not visible until every earlier slot is (log order = slot order).
+  // The probe runs past started_ too — in a mirrored deployment another
+  // process's pump may seal and decide slots this pump never started.
   std::uint32_t newly = 0;
-  while (committed_ < started_) {
+  bool stalled = false;
+  while (committed_ < log_.capacity() && !stalled) {
     const auto v = log_.decided(host_.memory(), committed_);
     if (!v.has_value()) break;
-    if (batch_.max_batch == 1) {
-      commits.push_back(Commit{committed_, *v});
-      ++newly;
-    } else {
-      // The decided value names a batch: expand it from the spill row in
-      // FIFO order, after checking the descriptor still matches the
-      // contents it was sealed over.
-      std::uint32_t count = 0;
-      std::uint8_t checksum = 0;
-      decode_batch_descriptor(*v, count, checksum);
-      OMEGA_CHECK(count <= batch_.max_batch,
-                  "slot " << committed_ << " decided a batch of " << count
-                          << ", max_batch is " << batch_.max_batch);
-      const std::uint32_t row = committed_ % batch_.buffer->rows();
-      scratch_.clear();
-      for (std::uint32_t i = 0; i < count; ++i) {
-        scratch_.push_back(batch_.buffer->load(host_.memory(), row, i));
-      }
-      OMEGA_CHECK(batch_checksum(scratch_.data(), count) == checksum,
-                  "slot " << committed_
-                          << ": batch buffer does not match its descriptor");
-      for (std::uint32_t i = 0; i < count; ++i) {
-        commits.push_back(Commit{committed_, scratch_[i]});
+    const std::uint32_t s = committed_;
+    if (!local_seals_.empty() && local_seals_.front().slot == s &&
+        local_seals_.front().value == *v) {
+      // This pump's batch decided: commit from the ledger (no payload
+      // re-read — the sealed commands are authoritative by checksum).
+      Seal& mine = local_seals_.front();
+      for (const std::uint64_t cmd : mine.cmds) {
+        commits.push_back(Commit{s, cmd, true, mine.ticket});
         ++newly;
       }
+      local_seals_.pop_front();
+      ++committed_;
+      continue;
+    }
+    if (!local_seals_.empty() && local_seals_.front().slot == s) {
+      // Decided against this pump's seal: another sealer won the slot
+      // (failover contention). The displaced batch re-proposes at the
+      // next free slot — exactly once, ledger entry moves wholesale.
+      resubmit_.push_back(std::move(local_seals_.front()));
+      local_seals_.pop_front();
+    }
+    // Remote-sealed slot (or a displaced one being read back).
+    if (batch_.max_batch == 1) {
+      commits.push_back(Commit{s, *v, false, 0});
+      ++newly;
+      ++committed_;
+      continue;
+    }
+    std::uint32_t count = 0;
+    ProcessId sealer = kNoProcess;
+    if (!read_payload(s, *v, count, sealer)) {
+      ++payload_stalls_;
+      stalled = true;
+      break;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      commits.push_back(Commit{s, scratch_[i], false, 0});
+      ++newly;
+    }
+    if (repush_remote && sealer != batch_.sealer) {
+      // Adopted from a (possibly dead) sealer: re-publish the payload on
+      // this process's own push stream — commands first, seal last, the
+      // same order every mirror relies on — so peers whose stream from
+      // the original sealer was cut short still converge.
+      const std::uint32_t row = s % batch_.buffer->rows();
+      MemoryBackend& mem = host_.memory();
+      for (std::uint32_t i = 0; i < count; ++i) {
+        batch_.buffer->store_cmd(mem, sealer, row, i, scratch_[i]);
+      }
+      batch_.buffer->store_seal(mem, sealer, row,
+                                pack_seal(s, batch_checksum(scratch_.data(),
+                                                            count)));
     }
     ++committed_;
   }
+  if (committed_ > started_) started_ = committed_;
 
   // 2. Refill the window. A slot is only started when some replica is live
   // to drive it — with nobody live the commands would be parked in a slot
@@ -142,40 +257,56 @@ std::uint32_t LogPump::tick(BatchSource& source,
   // sealed with whatever is pending right now (1..max_batch commands) —
   // never waiting to fill up — so a lone command at low load pays no
   // batching delay, and a backlog under full windows drains max_batch per
-  // freed slot.
+  // freed slot. Displaced batches re-propose before fresh pulls.
   while (started_ < log_.capacity() && started_ - committed_ < window_) {
     bool any_live = false;
     for (ProcessId i = 0; i < host_.n() && !any_live; ++i) {
       any_live = host_.live(i);
     }
     if (!any_live) break;
-    scratch_.clear();
-    const std::uint32_t count = source.pull(batch_.max_batch, scratch_);
-    if (count == 0) break;
-    OMEGA_CHECK(count <= batch_.max_batch && scratch_.size() == count,
-                "supplier returned " << count << "/" << scratch_.size()
-                                     << " commands, max_batch is "
-                                     << batch_.max_batch);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      OMEGA_CHECK(scratch_[i] >= 1 && scratch_[i] < kLogNoOp,
-                  "command " << scratch_[i] << " out of range");
+    Seal seal;
+    if (!resubmit_.empty()) {
+      seal = std::move(resubmit_.front());
+      resubmit_.pop_front();
+    } else {
+      scratch_.clear();
+      seal.ticket = 0;
+      const std::uint32_t count =
+          source.pull(batch_.max_batch, scratch_, seal.ticket);
+      if (count == 0) break;
+      OMEGA_CHECK(count <= batch_.max_batch && scratch_.size() == count,
+                  "supplier returned " << count << "/" << scratch_.size()
+                                       << " commands, max_batch is "
+                                       << batch_.max_batch);
+      seal.cmds = scratch_;
     }
-    std::uint64_t value = 0;
+    for (const std::uint64_t cmd : seal.cmds) {
+      OMEGA_CHECK(cmd >= 1 && cmd < kLogNoOp,
+                  "command " << cmd << " out of range");
+    }
+    const std::uint32_t count = static_cast<std::uint32_t>(seal.cmds.size());
+    seal.slot = started_;
     if (batch_.max_batch == 1) {
-      value = scratch_[0];
+      seal.value = seal.cmds[0];
     } else {
       const std::uint32_t row = started_ % batch_.buffer->rows();
       for (std::uint32_t i = 0; i < count; ++i) {
-        batch_.buffer->store(host_.memory(), row, i, scratch_[i]);
+        batch_.buffer->store_cmd(host_.memory(), batch_.sealer, row, i,
+                                 seal.cmds[i]);
       }
-      value = encode_batch_descriptor(
-          count, batch_checksum(scratch_.data(), count));
+      // Seal after the rows: a FIFO mirror that can see the seal already
+      // has the commands.
+      batch_.buffer->store_seal(
+          host_.memory(), batch_.sealer, row,
+          pack_seal(started_, batch_checksum(seal.cmds.data(), count)));
+      seal.value = encode_batch_descriptor(count, batch_.sealer);
     }
     for (ProcessId i = 0; i < host_.n(); ++i) {
       if (!host_.live(i)) continue;
-      host_.spawn(i, log_.slot(started_).proposer(i, value,
+      host_.spawn(i, log_.slot(started_).proposer(i, seal.value,
                                                   [](std::uint64_t) {}));
     }
+    local_seals_.push_back(std::move(seal));
     ++started_;
   }
   return newly;
@@ -190,8 +321,9 @@ class FnSource final : public BatchSource {
   explicit FnSource(const std::function<std::uint64_t()>& supply)
       : supply_(supply) {}
 
-  std::uint32_t pull(std::uint32_t /*max*/,
-                     std::vector<std::uint64_t>& out) override {
+  std::uint32_t pull(std::uint32_t /*max*/, std::vector<std::uint64_t>& out,
+                     std::uint64_t& ticket) override {
+    ticket = 0;
     const std::uint64_t cmd = supply_();
     if (cmd == kNoCommand) return 0;
     out.push_back(cmd);

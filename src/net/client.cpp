@@ -105,12 +105,47 @@ void Client::reconnect() {
   for (int attempt = 0;; ++attempt) {
     try {
       dial(connect_timeout_ms_);
-      return;
+      break;
     } catch (const NetError&) {
       if (attempt + 1 >= policy_.max_attempts) throw;
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(
         backoff_ms(policy_, attempt, backoff_rng_)));
+  }
+  resubscribe();
+}
+
+void Client::resubscribe(int response_timeout_ms) {
+  // Subscriptions died with the old connection; re-issue them on the new
+  // one so watchers survive a server restart without their own dial
+  // logic. The snapshot responses are absorbed here (the caller's watch
+  // state machine already dedupes by epoch/commit index); a connection
+  // that dies mid-resubscribe surfaces as the NetError of the caller's
+  // own request, exactly like any other transport failure.
+  // `response_timeout_ms` budgets the WHOLE batch, not each
+  // subscription — a caller with a deadline (append_retry) must not
+  // wait subscriptions x budget against a stalling server.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(response_timeout_ms);
+  const auto remaining_ms = [&deadline] {
+    return static_cast<int>(std::max<std::int64_t>(
+        1, std::chrono::duration_cast<std::chrono::milliseconds>(
+               deadline - std::chrono::steady_clock::now())
+               .count()));
+  };
+  for (const svc::GroupId gid : std::vector<svc::GroupId>(
+           watched_gids_.begin(), watched_gids_.end())) {
+    const std::uint64_t id = next_req_id_++;
+    out_.clear();
+    encode_request(out_, MsgType::kWatch, id, gid);
+    (void)call_encoded(MsgType::kWatch, id, remaining_ms());
+  }
+  for (const svc::GroupId gid : std::vector<svc::GroupId>(
+           commit_watched_gids_.begin(), commit_watched_gids_.end())) {
+    const std::uint64_t id = next_req_id_++;
+    out_.clear();
+    encode_request(out_, MsgType::kCommitWatch, id, gid);
+    (void)call_encoded(MsgType::kCommitWatch, id, remaining_ms());
   }
 }
 
@@ -276,11 +311,13 @@ Client::Result Client::leader(svc::GroupId gid) {
 
 Client::Result Client::watch(svc::GroupId gid) {
   const Frame f = call(MsgType::kWatch, gid);
+  if (f.header.status == Status::kOk) watched_gids_.insert(gid);
   return Result{f.header.status, f.view.gid,
                 svc::LeaderView{f.view.leader, f.view.epoch}};
 }
 
 Client::Result Client::unwatch(svc::GroupId gid) {
+  watched_gids_.erase(gid);
   const Frame f = call(MsgType::kUnwatch, gid);
   return Result{f.header.status, f.view.gid,
                 svc::LeaderView{f.view.leader, f.view.epoch}};
@@ -392,7 +429,11 @@ Client::AppendResult Client::append_retry(svc::GroupId gid,
       // than through reconnect()'s own multi-dial backoff, so the
       // caller's budget caps every wait in this function.
       if (fd_ < 0 && auto_reconnect_) {
+        // Both the dial and the re-subscriptions live inside the
+        // caller's remaining budget — append_retry's contract is that
+        // every wait is clamped to it.
         dial(std::min(connect_timeout_ms_, remaining));
+        resubscribe(std::max(1, remaining));
       }
       // Each attempt spends at most the remaining budget waiting for its
       // acknowledgement, so the caller's timeout is honored even when a
@@ -448,6 +489,7 @@ Client::LogView Client::read_log(svc::GroupId gid, std::uint64_t from,
 
 Client::AppendResult Client::commit_watch(svc::GroupId gid) {
   const Frame f = call(MsgType::kCommitWatch, gid);
+  if (f.header.status == Status::kOk) commit_watched_gids_.insert(gid);
   AppendResult r;
   r.status = f.header.status;
   r.index = f.commit.index;  // commit-index snapshot
@@ -455,8 +497,24 @@ Client::AppendResult Client::commit_watch(svc::GroupId gid) {
 }
 
 Client::Result Client::commit_unwatch(svc::GroupId gid) {
+  commit_watched_gids_.erase(gid);
   const Frame f = call(MsgType::kCommitUnwatch, gid);
   return Result{f.header.status, f.commit.gid, svc::LeaderView{}};
+}
+
+Client::SessionInfo Client::open_session(svc::GroupId gid,
+                                         std::uint64_t client) {
+  ensure_connected();
+  const std::uint64_t id = next_req_id_++;
+  out_.clear();
+  encode_session_open(out_, Status::kOk, id, gid, client);
+  const Frame f = call_encoded(MsgType::kSessionOpen, id);
+  SessionInfo info;
+  info.status = f.header.status;
+  if (f.header.status == Status::kOk) {
+    info.ttl_us = static_cast<std::int64_t>(f.session.ttl_us);
+  }
+  return info;
 }
 
 void Client::ping() {

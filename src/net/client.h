@@ -12,8 +12,11 @@
 // matched to a later request). With enable_auto_reconnect(), the next
 // call redials the remembered endpoint under capped exponential backoff
 // with jitter — so a caller's retry loop survives a server restart
-// without its own dial logic. Subscriptions (watches) die with the
-// connection and are NOT re-established; re-watch after reconnecting.
+// without its own dial logic. Subscriptions (WATCH and COMMIT_WATCH) are
+// re-issued automatically on every reconnect, so watchers keep receiving
+// pushes across a server restart; transitions spanning the outage arrive
+// via the re-subscription snapshots (dedupe by epoch/commit index, as
+// with any watch).
 //
 // Appends: append() submits one command with the (client, seq) dedup key
 // and blocks until the commit acknowledgement. append_retry() adds the
@@ -197,6 +200,21 @@ class Client {
   AppendResult commit_watch(svc::GroupId gid);
   Result commit_unwatch(svc::GroupId gid);
 
+  /// SESSION_OPEN handshake answer.
+  struct SessionInfo {
+    Status status = Status::kOk;
+    std::int64_t ttl_us = 0;  ///< dedup-session TTL (0 = never evicted)
+
+    bool ok() const noexcept { return status == Status::kOk; }
+  };
+
+  /// (Re)opens this client's dedup session on `gid` and learns the
+  /// server's session TTL. Required before appending with seq > 1 as the
+  /// first submission on a TTL-bounded group, and after an append
+  /// answered kSessionEvicted (the retry window was lost; re-open and
+  /// continue with fresh seqs).
+  SessionInfo open_session(svc::GroupId gid, std::uint64_t client);
+
   /// Round-trip liveness probe.
   void ping();
 
@@ -217,6 +235,10 @@ class Client {
                      int response_timeout_ms = kResponseTimeoutMs);
   /// Redials if auto-reconnect is on and the connection is down.
   void ensure_connected();
+  /// Re-issues every tracked WATCH/COMMIT_WATCH on a fresh connection;
+  /// each snapshot wait is bounded by `response_timeout_ms` so callers
+  /// with a budget (append_retry) can clamp the whole redial.
+  void resubscribe(int response_timeout_ms = kResponseTimeoutMs);
   /// One dial to the remembered endpoint (throws NetError).
   void dial(int timeout_ms);
 
@@ -242,6 +264,9 @@ class Client {
   std::vector<std::uint8_t> out_;
   std::unordered_set<std::uint64_t> outstanding_appends_;
   std::deque<AsyncAppend> done_appends_;
+  /// Live subscriptions, by channel — re-issued after every reconnect.
+  std::unordered_set<svc::GroupId> watched_gids_;
+  std::unordered_set<svc::GroupId> commit_watched_gids_;
 
   std::string host_;
   std::uint16_t port_ = 0;

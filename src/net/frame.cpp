@@ -172,6 +172,48 @@ void encode_commit_event(std::vector<std::uint8_t>& out, WireGroupId gid,
   end_frame(out, at);
 }
 
+void encode_reg_hello(std::vector<std::uint8_t>& out, Status status,
+                      std::uint64_t req_id, std::uint32_t node) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kRegHello, status, req_id});
+  put_u32(out, node);
+  end_frame(out, at);
+}
+
+void encode_reg_push(std::vector<std::uint8_t>& out, WireGroupId gid,
+                     std::uint64_t seq, const RegCellUpdate* cells,
+                     std::uint32_t count) {
+  OMEGA_CHECK(count >= 1 && count <= kMaxPushCells,
+              "push frame of " << count << " cells out of range");
+  const std::size_t at = begin_frame(
+      out, FrameHeader{MsgType::kRegPush, Status::kOk, /*req_id=*/0});
+  put_u64(out, gid);
+  put_u64(out, seq);
+  put_u32(out, count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    put_u32(out, cells[i].cell);
+    put_u64(out, cells[i].value);
+  }
+  end_frame(out, at);
+}
+
+void encode_reg_ack(std::vector<std::uint8_t>& out, std::uint64_t seq) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{MsgType::kRegAck, Status::kOk, /*req_id=*/0});
+  put_u64(out, seq);
+  end_frame(out, at);
+}
+
+void encode_session_open(std::vector<std::uint8_t>& out, Status status,
+                         std::uint64_t req_id, WireGroupId gid,
+                         std::uint64_t client_or_ttl) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kSessionOpen, status, req_id});
+  put_u64(out, gid);
+  put_u64(out, client_or_ttl);
+  end_frame(out, at);
+}
+
 DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
                             Frame& out) {
   out = Frame{};
@@ -281,6 +323,45 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
       } else if (out.header.type == MsgType::kCommitEvent) {
         return DecodeResult::kBadBody;
       }
+      out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kRegHello: {
+      if (body_len < 4) return DecodeResult::kBadBody;
+      out.reg_hello.node = get_u32(body);
+      out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kRegPush: {
+      if (body_len < 20) return DecodeResult::kBadBody;
+      out.reg_push.gid = get_u64(body);
+      out.reg_push.seq = get_u64(body + 8);
+      const std::uint32_t count = get_u32(body + 16);
+      if (count > kMaxPushCells ||
+          body_len < 20 + std::size_t{count} * 12) {
+        return DecodeResult::kBadBody;
+      }
+      out.reg_push.cells.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        const std::uint8_t* p = body + 20 + i * 12;
+        out.reg_push.cells.push_back(RegCellUpdate{get_u32(p), get_u64(p + 4)});
+      }
+      out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kRegAck: {
+      if (body_len < 8) return DecodeResult::kBadBody;
+      out.reg_ack.seq = get_u64(body);
+      out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kSessionOpen: {
+      // Request (gid, client) and response (gid, ttl_us) share the
+      // 16-byte layout; the consumer reads the field for its side.
+      if (body_len < 16) return DecodeResult::kBadBody;
+      out.session.gid = get_u64(body);
+      out.session.client = get_u64(body + 8);
+      out.session.ttl_us = out.session.client;
       out.has_body = true;
       return DecodeResult::kOk;
     }

@@ -32,6 +32,25 @@
 //   COMMIT_UNWATCH req: u64 gid   resp: u64 gid
 //   COMMIT_EVENT (server push):   u64 gid | u64 index | u64 value
 //
+// Register-mirror bodies (v1.2, the multi-process transport — see
+// README "Multi-node deployment" and net/register_peer.h):
+//   REG_HELLO    req: u32 node            resp: u32 node (the peer's)
+//                opens a push stream: every later REG_PUSH on this
+//                connection is from `node`'s locally-owned registers.
+//   REG_PUSH     one-way (req_id 0): u64 gid | u64 seq | u32 count
+//                | count × (u32 cell | u64 value)
+//                FIFO per stream; `seq` increments per frame per stream.
+//   REG_ACK      one-way (req_id 0): u64 seq — cumulative: every push of
+//                this stream up to `seq` is applied at the receiver.
+//
+// Session bodies (v1.2):
+//   SESSION_OPEN req: u64 gid | u64 client
+//                resp: u64 gid | u64 ttl_us (0 = sessions never expire)
+//                (re)opens the client's dedup session; appends from a
+//                client whose session was TTL-evicted answer
+//                kSessionEvicted until the client re-opens (instead of
+//                silently treating a retry as a fresh command).
+//
 // APPEND and READ_LOG are the two types whose request and response bodies
 // can have overlapping lengths, so their decode is *role-based*: the
 // decoder fills both interpretations when the length allows and the
@@ -80,6 +99,10 @@ enum class MsgType : std::uint8_t {
   kCommitWatch = 9,   ///< subscribe to G's commit pushes (resp = snapshot)
   kCommitUnwatch = 10,  ///< drop the commit subscription
   kCommitEvent = 11,  ///< server push: an entry of G's log was applied
+  kRegHello = 12,     ///< open a register push stream (v1.2)
+  kRegPush = 13,      ///< pushed register updates, FIFO per stream (v1.2)
+  kRegAck = 14,       ///< cumulative apply acknowledgement (v1.2)
+  kSessionOpen = 15,  ///< (re)open a dedup session; resp carries the TTL
 };
 
 enum class Status : std::uint8_t {
@@ -91,6 +114,7 @@ enum class Status : std::uint8_t {
   kStaleSeq = 5,      ///< append seq older than the client's latest
   kOverloaded = 6,    ///< command intake full; retry later
   kLogFull = 7,       ///< the log's slot capacity is exhausted
+  kSessionEvicted = 8,  ///< dedup session expired; SESSION_OPEN to resume
 };
 
 struct FrameHeader {
@@ -164,6 +188,41 @@ struct CommitBody {
 /// Server-side page cap for READ_LOG (the payload cap allows ~500).
 inline constexpr std::uint32_t kMaxLogEntries = 256;
 
+/// One pushed register update (v1.2).
+struct RegCellUpdate {
+  std::uint32_t cell = 0;
+  std::uint64_t value = 0;
+};
+
+/// kRegHello requests and responses (u32 node either way).
+struct RegHelloBody {
+  std::uint32_t node = 0;
+};
+
+/// kRegPush one-way frames.
+struct RegPushBody {
+  WireGroupId gid = 0;
+  std::uint64_t seq = 0;  ///< per-stream frame counter, starts at 1
+  std::vector<RegCellUpdate> cells;
+};
+
+/// kRegAck one-way frames (cumulative per stream).
+struct RegAckBody {
+  std::uint64_t seq = 0;
+};
+
+/// kSessionOpen requests (gid, client) and responses (gid, ttl_us) —
+/// role-based like APPEND: both interpretations share the layout.
+struct SessionOpenBody {
+  WireGroupId gid = 0;
+  std::uint64_t client = 0;  ///< request interpretation
+  std::uint64_t ttl_us = 0;  ///< response interpretation (same bytes)
+};
+
+/// Cells per REG_PUSH frame (keeps the frame well inside kMaxPayloadBytes;
+/// a flush larger than this is split into several frames).
+inline constexpr std::uint32_t kMaxPushCells = 256;
+
 /// A decoded frame: header plus whichever body the type carries. Bodies
 /// the type does not use stay default-initialized. For kAppend/kReadLog
 /// both the request and the response interpretation are filled when the
@@ -177,6 +236,10 @@ struct Frame {
   ReadLogReqBody readlog_req;    ///< kReadLog requests
   ReadLogRespBody readlog_resp;  ///< kReadLog responses
   CommitBody commit;  ///< kCommitWatch responses / kCommitEvent pushes
+  RegHelloBody reg_hello;      ///< kRegHello
+  RegPushBody reg_push;        ///< kRegPush
+  RegAckBody reg_ack;          ///< kRegAck
+  SessionOpenBody session;     ///< kSessionOpen (role-based)
   bool has_body = false;        ///< a typed body was present
   bool has_append_req = false;  ///< body long enough for AppendReqBody
   bool has_readlog_req = false;  ///< body long enough for ReadLogReqBody
@@ -226,6 +289,24 @@ void encode_commit_snapshot(std::vector<std::uint8_t>& out, Status status,
 /// kCommitEvent push (req_id 0, like kEvent).
 void encode_commit_event(std::vector<std::uint8_t>& out, WireGroupId gid,
                          std::uint64_t index, std::uint64_t value);
+
+/// kRegHello request (node = the dialling node's id) or response
+/// (status + the answering node's id).
+void encode_reg_hello(std::vector<std::uint8_t>& out, Status status,
+                      std::uint64_t req_id, std::uint32_t node);
+
+/// kRegPush one-way frame; `cells` must hold at most kMaxPushCells.
+void encode_reg_push(std::vector<std::uint8_t>& out, WireGroupId gid,
+                     std::uint64_t seq,
+                     const RegCellUpdate* cells, std::uint32_t count);
+
+/// kRegAck one-way frame.
+void encode_reg_ack(std::vector<std::uint8_t>& out, std::uint64_t seq);
+
+/// kSessionOpen request (client) / response (ttl_us) — same layout.
+void encode_session_open(std::vector<std::uint8_t>& out, Status status,
+                         std::uint64_t req_id, WireGroupId gid,
+                         std::uint64_t client_or_ttl);
 
 // --- decoding --------------------------------------------------------------
 

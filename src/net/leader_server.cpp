@@ -452,6 +452,14 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
         encode_append_response(c.out, Status::kNotLeader, id, resp);
         return true;
       }
+      if (!smr_->hosts_replica(req.gid, view.leader)) {
+        // Multi-node deployment and the elected leader lives on another
+        // node: redirect with the hint (the pid maps to a node in the
+        // client's topology) instead of queueing a command this node's
+        // pump would never seal.
+        encode_append_response(c.out, Status::kNotLeader, id, resp);
+        return true;
+      }
       l.counters.appends.fetch_add(1, std::memory_order_relaxed);
       // Asynchronous completion: park (loop, fd, serial, req_id) in the
       // callback; the owning shard worker fires it at commit and it lands
@@ -527,6 +535,21 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
       if (c.commit_watches.erase(gid) > 0) drop_commit_watch(l, c, gid);
       encode_gid_response(c.out, MsgType::kCommitUnwatch, Status::kOk, id,
                           gid);
+      return true;
+    }
+    case MsgType::kSessionOpen: {
+      const WireGroupId gid = frame.session.gid;
+      if (smr_ == nullptr) {
+        encode_session_open(c.out, Status::kUnsupported, id, gid, 0);
+        return true;
+      }
+      std::int64_t ttl_us = 0;
+      if (!smr_->open_session(gid, frame.session.client, ttl_us)) {
+        encode_session_open(c.out, Status::kUnknownGroup, id, gid, 0);
+        return true;
+      }
+      encode_session_open(c.out, Status::kOk, id, gid,
+                          static_cast<std::uint64_t>(ttl_us));
       return true;
     }
     case MsgType::kEvent:
@@ -638,6 +661,9 @@ void LeaderServer::drain_acks(std::uint32_t loop_idx) {
         break;
       case smr::AppendOutcome::kBadCommand:
         status = Status::kBadRequest;
+        break;
+      case smr::AppendOutcome::kSessionEvicted:
+        status = Status::kSessionEvicted;
         break;
     }
     svc::LeaderView view;

@@ -1,0 +1,651 @@
+#include "net/register_peer.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/timerfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace omega::net {
+
+namespace {
+
+constexpr std::size_t kLagRingSize = 8192;
+/// Unacked pushes tracked for lag sampling; beyond it the oldest sample
+/// is dropped (measurement only, never correctness).
+constexpr std::size_t kMaxSentTimes = 65536;
+
+void set_tcp_nodelay(int fd) {
+  int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+MirrorTransport::MirrorTransport(MirrorConfig cfg) : cfg_(std::move(cfg)) {
+  OMEGA_CHECK(cfg_.reconnect_ms >= 1, "reconnect cadence must be >= 1ms");
+  for (const auto& p : cfg_.peers) {
+    OMEGA_CHECK(p.node != cfg_.node,
+                "peer list names this node (" << cfg_.node << ")");
+    auto peer = std::make_unique<RegisterPeer>();
+    peer->cfg = p;
+    peers_.push_back(std::move(peer));
+  }
+  pending_.resize(peers_.size());
+  lag_ring_.reserve(kLagRingSize);
+  open_listener();
+}
+
+MirrorTransport::~MirrorTransport() { stop(); }
+
+void MirrorTransport::open_listener() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  OMEGA_CHECK(listen_fd_ >= 0, "socket: errno " << errno);
+  int one = 1;
+  (void)setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  OMEGA_CHECK(inet_pton(AF_INET, cfg_.bind_address.c_str(),
+                        &addr.sin_addr) == 1,
+              "bad bind address " << cfg_.bind_address);
+  OMEGA_CHECK(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr) == 0,
+              "bind " << cfg_.bind_address << ":" << cfg_.port << ": errno "
+                      << errno);
+  OMEGA_CHECK(::listen(listen_fd_, 64) == 0, "listen: errno " << errno);
+  socklen_t len = sizeof addr;
+  OMEGA_CHECK(getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                          &len) == 0,
+              "getsockname: errno " << errno);
+  port_ = ntohs(addr.sin_port);
+}
+
+void MirrorTransport::add_group(svc::GroupId gid, MirroredMemory* mem) {
+  OMEGA_CHECK(mem != nullptr, "null mirror for group " << gid);
+  {
+    std::lock_guard<std::mutex> lock(groups_mu_);
+    auto [it, inserted] = groups_.emplace(gid, GroupState{});
+    OMEGA_CHECK(inserted, "duplicate mirror group " << gid);
+    it->second.mem = mem;
+    it->second.dirty.assign(mem->layout().size(), false);
+  }
+  if (started_ && !stopped_.load(std::memory_order_acquire)) {
+    // A group added mid-flight missed every stream's history. Cut all
+    // streams: peers redial us (and we them), and both directions resync
+    // by snapshot — the one mechanism that always converges.
+    loop_.post([this] {
+      std::vector<int> fds;
+      fds.reserve(inbound_.size());
+      for (const auto& [fd, c] : inbound_) fds.push_back(fd);
+      for (int fd : fds) close_inbound(fd);
+      for (auto& p : peers_) {
+        if (p->fd >= 0) disconnect_peer(*p);
+      }
+    });
+  }
+}
+
+void MirrorTransport::remove_group(svc::GroupId gid) {
+  std::lock_guard<std::mutex> lock(groups_mu_);
+  groups_.erase(gid);
+}
+
+void MirrorTransport::force_resync() {
+  if (!started_ || stopped_.load(std::memory_order_acquire)) return;
+  loop_.post([this] {
+    if (stopped_.load(std::memory_order_acquire)) return;
+    std::vector<int> fds;
+    fds.reserve(inbound_.size());
+    for (const auto& [fd, c] : inbound_) fds.push_back(fd);
+    for (const int fd : fds) close_inbound(fd);
+    for (auto& p : peers_) {
+      if (p->fd >= 0) disconnect_peer(*p);
+    }
+    counters_.resyncs.fetch_add(1, std::memory_order_relaxed);
+  });
+}
+
+void MirrorTransport::start() {
+  OMEGA_CHECK(!started_, "start() called twice");
+  started_ = true;
+  timer_fd_ = ::timerfd_create(CLOCK_MONOTONIC, TFD_NONBLOCK | TFD_CLOEXEC);
+  OMEGA_CHECK(timer_fd_ >= 0, "timerfd_create: errno " << errno);
+  itimerspec spec{};
+  spec.it_interval.tv_sec = cfg_.reconnect_ms / 1000;
+  spec.it_interval.tv_nsec = (cfg_.reconnect_ms % 1000) * 1000000L;
+  spec.it_value = spec.it_interval;
+  OMEGA_CHECK(::timerfd_settime(timer_fd_, 0, &spec, nullptr) == 0,
+              "timerfd_settime: errno " << errno);
+  thread_ = std::thread([this] { loop_.run(); });
+  loop_.post([this] {
+    loop_.add_fd(listen_fd_, EPOLLIN, [this](std::uint32_t) { on_accept(); });
+    loop_.add_fd(timer_fd_, EPOLLIN, [this](std::uint32_t) {
+      std::uint64_t ticks = 0;
+      while (::read(timer_fd_, &ticks, sizeof ticks) > 0) {
+      }
+      on_timer();
+    });
+    on_timer();  // first dial round without waiting a tick
+  });
+}
+
+void MirrorTransport::stop() {
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  // A transport that never start()ed still owns the listener (bound in
+  // the constructor): fall through to the fd cleanup either way.
+  if (started_) {
+    loop_.stop();
+    if (thread_.joinable()) thread_.join();
+    loop_.drain_pending();
+  }
+  for (auto& p : peers_) {
+    if (p->fd >= 0) {
+      ::close(p->fd);
+      p->fd = -1;
+    }
+    p->connected.store(false, std::memory_order_release);
+  }
+  for (auto& [fd, c] : inbound_) {
+    (void)c;
+    ::close(fd);
+  }
+  inbound_.clear();
+  if (timer_fd_ >= 0) {
+    ::close(timer_fd_);
+    timer_fd_ = -1;
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+std::int64_t MirrorTransport::now_ns() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// --- write path (worker threads) -------------------------------------------
+
+void MirrorTransport::on_local_write(svc::GroupId gid, Cell c,
+                                     std::uint64_t v) {
+  if (peers_.empty()) return;
+  // Mark the snapshot-domain bit first, outside pending_mu_: either the
+  // write's queue entry survives a concurrent snapshot reset (pushed
+  // normally) or it was dropped — and then the store already happened
+  // before the snapshot's peek, so the value rides the snapshot. Keeping
+  // the two locks un-nested keeps workers and the IO thread from
+  // funneling through one lock pair on the heartbeat-write hot path.
+  {
+    std::lock_guard<std::mutex> glock(groups_mu_);
+    const auto it = groups_.find(gid);
+    if (it != groups_.end() && c.index < it->second.dirty.size()) {
+      it->second.dirty[c.index] = true;
+    }
+  }
+  bool schedule = false;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    for (std::size_t i = 0; i < peers_.size(); ++i) {
+      if (!peers_[i]->connected.load(std::memory_order_acquire)) continue;
+      auto& q = pending_[i];
+      // Adjacent dedup: a re-write of the cell at the queue's tail cannot
+      // reorder across any other cell — the only coalescing that keeps
+      // the stream order-equivalent to the owners' write order.
+      if (!q.empty() && q.back().gid == gid && q.back().cell == c.index) {
+        q.back().value = v;
+        counters_.coalesced.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        q.push_back(PendingWrite{gid, c.index, v});
+      }
+    }
+    if (!flush_scheduled_) {
+      flush_scheduled_ = true;
+      schedule = true;
+    }
+  }
+  if (schedule) {
+    loop_.post([this] {
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        flush_scheduled_ = false;
+      }
+      if (!stopped_.load(std::memory_order_acquire)) flush_peers();
+    });
+  }
+}
+
+void MirrorTransport::snapshot_into(std::vector<PendingWrite>& out) {
+  std::lock_guard<std::mutex> glock(groups_mu_);
+  for (const auto& [gid, gs] : groups_) {
+    for (std::uint32_t i = 0; i < gs.dirty.size(); ++i) {
+      if (!gs.dirty[i]) continue;
+      out.push_back(PendingWrite{gid, i, gs.mem->peek(Cell{i})});
+    }
+  }
+}
+
+// --- outbound streams (loop thread) ----------------------------------------
+
+void MirrorTransport::on_timer() {
+  for (auto& p : peers_) {
+    if (p->fd < 0) dial(*p);
+  }
+  flush_peers();
+}
+
+void MirrorTransport::dial(RegisterPeer& p) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                          0);
+  if (fd < 0) return;  // fd pressure; retry next tick
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(p.cfg.port);
+  if (inet_pton(AF_INET, p.cfg.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return;
+  }
+  const int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof addr);
+  if (rc != 0 && errno != EINPROGRESS) {
+    ::close(fd);
+    return;  // refused; retry next tick
+  }
+  set_tcp_nodelay(fd);
+  p.fd = fd;
+  p.hello_sent = false;
+  if (p.ever_connected) {
+    counters_.reconnects.fetch_add(1, std::memory_order_relaxed);
+  }
+  loop_.add_fd(fd, EPOLLIN | EPOLLOUT,
+               [this, peer = &p](std::uint32_t events) {
+                 on_peer_io(*peer, events);
+               });
+}
+
+void MirrorTransport::disconnect_peer(RegisterPeer& p) {
+  if (p.fd < 0) return;
+  loop_.remove_fd(p.fd);
+  ::close(p.fd);
+  p.fd = -1;
+  p.connected.store(false, std::memory_order_release);
+  p.backlog.store(0, std::memory_order_relaxed);
+  p.hello_sent = false;
+  p.in = FrameDecoder{};
+  p.out.clear();
+  p.out_pos = 0;
+  p.want_write = false;
+  p.sent_seq = 0;
+  p.acked_seq = 0;
+  p.sent_times.clear();
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    if (peers_[i].get() == &p) {
+      pending_[i].clear();
+      break;
+    }
+  }
+}
+
+void MirrorTransport::on_peer_io(RegisterPeer& p, std::uint32_t events) {
+  if (p.fd < 0) return;
+  if (!p.hello_sent) {
+    // First writability: the non-blocking connect resolved.
+    int err = 0;
+    socklen_t len = sizeof err;
+    if (getsockopt(p.fd, SOL_SOCKET, SO_ERROR, &err, &len) != 0 || err != 0) {
+      disconnect_peer(p);
+      return;
+    }
+    encode_reg_hello(p.out, Status::kOk, /*req_id=*/1, cfg_.node);
+    p.hello_sent = true;
+    p.ever_connected = true;
+    // Seed the stream with a snapshot, then let live writes flow. The
+    // connected flag flips first so racing writers either land in the
+    // queue behind the snapshot or are already covered by it (their
+    // store precedes our peek).
+    p.connected.store(true, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      for (std::size_t i = 0; i < peers_.size(); ++i) {
+        if (peers_[i].get() != &p) continue;
+        pending_[i].clear();
+        snapshot_into(pending_[i]);
+        break;
+      }
+    }
+    counters_.snapshots.fetch_add(1, std::memory_order_relaxed);
+    flush_peers();
+  }
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    disconnect_peer(p);
+    return;
+  }
+  if (events & EPOLLIN) {
+    std::uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::read(p.fd, buf, sizeof buf);
+      if (n > 0) {
+        p.in.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        disconnect_peer(p);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      disconnect_peer(p);
+      return;
+    }
+    const std::uint8_t* payload = nullptr;
+    std::size_t len = 0;
+    while (p.in.next(payload, len)) {
+      Frame f;
+      if (decode_payload(payload, len, f) != DecodeResult::kOk) {
+        disconnect_peer(p);
+        return;
+      }
+      handle_peer_frame(p, f);
+    }
+    if (p.in.corrupt()) {
+      disconnect_peer(p);
+      return;
+    }
+  }
+  if (events & EPOLLOUT) {
+    if (!flush_out(p.fd, p.out, p.out_pos, p.want_write)) {
+      disconnect_peer(p);
+      return;
+    }
+  }
+}
+
+void MirrorTransport::handle_peer_frame(RegisterPeer& p, const Frame& f) {
+  switch (f.header.type) {
+    case MsgType::kRegAck: {
+      const std::uint64_t seq = f.reg_ack.seq;
+      if (seq <= p.acked_seq || seq > p.sent_seq) return;  // stale/garbled
+      p.acked_seq = seq;
+      p.backlog.store(p.sent_seq - p.acked_seq, std::memory_order_relaxed);
+      counters_.acked_frames.fetch_add(1, std::memory_order_relaxed);
+      const std::int64_t now = now_ns();
+      std::size_t drop = 0;
+      std::int64_t last_lag = -1;
+      while (drop < p.sent_times.size() && p.sent_times[drop].first <= seq) {
+        last_lag = now - p.sent_times[drop].second;
+        ++drop;
+      }
+      if (drop > 0) {
+        p.sent_times.erase(p.sent_times.begin(),
+                           p.sent_times.begin() +
+                               static_cast<std::ptrdiff_t>(drop));
+      }
+      if (last_lag >= 0) {
+        std::lock_guard<std::mutex> lock(lag_mu_);
+        if (lag_ring_.size() < kLagRingSize) {
+          lag_ring_.push_back(last_lag);
+        } else {
+          lag_ring_[lag_next_] = last_lag;
+          lag_next_ = (lag_next_ + 1) % kLagRingSize;
+        }
+      }
+      return;
+    }
+    case MsgType::kRegHello:
+      return;  // the peer's hello response; nothing to do
+    default:
+      return;  // future frame types: ignore (forward compatibility)
+  }
+}
+
+void MirrorTransport::flush_peers() {
+  if (stopped_.load(std::memory_order_acquire)) return;
+  std::vector<PendingWrite> batch;
+  for (std::size_t i = 0; i < peers_.size(); ++i) {
+    RegisterPeer& p = *peers_[i];
+    if (p.fd < 0 || !p.hello_sent) continue;
+    batch.clear();
+    {
+      std::lock_guard<std::mutex> lock(pending_mu_);
+      batch.swap(pending_[i]);
+    }
+    std::size_t at = 0;
+    std::vector<RegCellUpdate> cells;
+    while (at < batch.size()) {
+      // One frame: a run of updates of the same group, up to the cap.
+      const svc::GroupId gid = batch[at].gid;
+      cells.clear();
+      while (at < batch.size() && batch[at].gid == gid &&
+             cells.size() < kMaxPushCells) {
+        cells.push_back(RegCellUpdate{batch[at].cell, batch[at].value});
+        ++at;
+      }
+      ++p.sent_seq;
+      encode_reg_push(p.out, gid, p.sent_seq, cells.data(),
+                      static_cast<std::uint32_t>(cells.size()));
+      if (p.sent_times.size() < kMaxSentTimes) {
+        p.sent_times.emplace_back(p.sent_seq, now_ns());
+      }
+      counters_.pushed_frames.fetch_add(1, std::memory_order_relaxed);
+      counters_.pushed_cells.fetch_add(cells.size(),
+                                       std::memory_order_relaxed);
+    }
+    p.backlog.store(p.sent_seq - p.acked_seq, std::memory_order_relaxed);
+    if (p.out.size() - p.out_pos > cfg_.max_outbuf_bytes) {
+      // Slow peer: cut it; reconnect resyncs by snapshot.
+      disconnect_peer(p);
+      continue;
+    }
+    if (!flush_out(p.fd, p.out, p.out_pos, p.want_write)) {
+      disconnect_peer(p);
+    }
+  }
+}
+
+// --- inbound streams (loop thread) -----------------------------------------
+
+void MirrorTransport::on_accept() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays armed
+    }
+    set_tcp_nodelay(fd);
+    auto c = std::make_unique<Inbound>();
+    c->fd = fd;
+    inbound_.emplace(fd, std::move(c));
+    loop_.add_fd(fd, EPOLLIN, [this, fd](std::uint32_t events) {
+      on_inbound_io(fd, events);
+    });
+  }
+}
+
+void MirrorTransport::close_inbound(int fd) {
+  const auto it = inbound_.find(fd);
+  if (it == inbound_.end()) return;
+  loop_.remove_fd(fd);
+  ::close(fd);
+  inbound_.erase(it);
+}
+
+void MirrorTransport::on_inbound_io(int fd, std::uint32_t events) {
+  const auto it = inbound_.find(fd);
+  if (it == inbound_.end()) return;
+  Inbound& c = *it->second;
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    close_inbound(fd);
+    return;
+  }
+  if (events & EPOLLIN) {
+    std::uint8_t buf[16384];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n > 0) {
+        c.in.feed(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        close_inbound(fd);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_inbound(fd);
+      return;
+    }
+    const std::uint8_t* payload = nullptr;
+    std::size_t len = 0;
+    while (c.in.next(payload, len)) {
+      Frame f;
+      if (decode_payload(payload, len, f) != DecodeResult::kOk) {
+        close_inbound(fd);
+        return;
+      }
+      handle_inbound_frame(c, f);
+      if (inbound_.find(fd) == inbound_.end()) return;  // closed inside
+    }
+    if (c.in.corrupt()) {
+      close_inbound(fd);
+      return;
+    }
+  }
+  if (events & EPOLLOUT) {
+    if (!flush_out(c.fd, c.out, c.out_pos, c.want_write)) {
+      close_inbound(fd);
+      return;
+    }
+  }
+}
+
+void MirrorTransport::handle_inbound_frame(Inbound& c, const Frame& f) {
+  switch (f.header.type) {
+    case MsgType::kRegHello: {
+      if (!f.has_body) {
+        close_inbound(c.fd);
+        return;
+      }
+      c.node = f.reg_hello.node;
+      encode_reg_hello(c.out, Status::kOk, f.header.req_id, cfg_.node);
+      break;
+    }
+    case MsgType::kRegPush: {
+      if (!f.has_body) {
+        close_inbound(c.fd);
+        return;
+      }
+      {
+        std::lock_guard<std::mutex> lock(groups_mu_);
+        const auto it = groups_.find(f.reg_push.gid);
+        if (it != groups_.end()) {
+          MirroredMemory& mem = *it->second.mem;
+          // In frame order, which is the sender's write order: this is
+          // the FIFO application the mirror's regularity argument needs.
+          for (const auto& u : f.reg_push.cells) {
+            mem.apply_push(Cell{u.cell}, u.value);
+          }
+          counters_.applied_cells.fetch_add(f.reg_push.cells.size(),
+                                            std::memory_order_relaxed);
+        }
+        // Unknown gid: the group is not registered here (yet); the
+        // stream stays FIFO, the frame is acked — registration cuts
+        // streams and resyncs, so nothing is silently lost.
+      }
+      counters_.applied_frames.fetch_add(1, std::memory_order_relaxed);
+      encode_reg_ack(c.out, f.reg_push.seq);
+      break;
+    }
+    default:
+      break;  // ignore anything else on a mirror stream
+  }
+  if (!flush_out(c.fd, c.out, c.out_pos, c.want_write)) {
+    close_inbound(c.fd);
+  }
+}
+
+// --- shared ---------------------------------------------------------------
+
+bool MirrorTransport::flush_out(int fd, std::vector<std::uint8_t>& out,
+                                std::size_t& pos, bool& want_write) {
+  while (pos < out.size()) {
+    const ssize_t n = ::send(fd, out.data() + pos, out.size() - pos,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      if (!want_write) {
+        want_write = true;
+        loop_.mod_fd(fd, EPOLLIN | EPOLLOUT);
+      }
+      return true;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  out.clear();
+  pos = 0;
+  if (want_write) {
+    want_write = false;
+    loop_.mod_fd(fd, EPOLLIN);
+  }
+  return true;
+}
+
+// --- observation -----------------------------------------------------------
+
+std::uint64_t MirrorTransport::max_unacked_frames() const {
+  std::uint64_t deepest = 0;
+  for (const auto& p : peers_) {
+    if (!p->connected.load(std::memory_order_acquire)) continue;
+    deepest = std::max(deepest, p->backlog.load(std::memory_order_relaxed));
+  }
+  return deepest;
+}
+
+std::uint64_t MirrorTransport::connected_peers() const {
+  std::uint64_t n = 0;
+  for (const auto& p : peers_) {
+    if (p->connected.load(std::memory_order_acquire)) ++n;
+  }
+  return n;
+}
+
+MirrorStats MirrorTransport::stats() const {
+  MirrorStats s;
+  s.pushed_frames = counters_.pushed_frames.load(std::memory_order_relaxed);
+  s.pushed_cells = counters_.pushed_cells.load(std::memory_order_relaxed);
+  s.acked_frames = counters_.acked_frames.load(std::memory_order_relaxed);
+  s.applied_frames = counters_.applied_frames.load(std::memory_order_relaxed);
+  s.applied_cells = counters_.applied_cells.load(std::memory_order_relaxed);
+  s.coalesced = counters_.coalesced.load(std::memory_order_relaxed);
+  s.reconnects = counters_.reconnects.load(std::memory_order_relaxed);
+  s.snapshots = counters_.snapshots.load(std::memory_order_relaxed);
+  s.resyncs = counters_.resyncs.load(std::memory_order_relaxed);
+  s.connected_peers = connected_peers();
+  s.max_unacked = max_unacked_frames();
+  return s;
+}
+
+void MirrorTransport::lag_samples(std::vector<std::int64_t>& out) const {
+  std::lock_guard<std::mutex> lock(lag_mu_);
+  out.assign(lag_ring_.begin(), lag_ring_.end());
+}
+
+}  // namespace omega::net

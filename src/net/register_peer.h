@@ -1,0 +1,243 @@
+// Register push transport (wire protocol v1.2): the network half of the
+// multi-process register mirror (registers/mirror.h).
+//
+// Topology: every node runs one MirrorTransport — one epoll EventLoop on
+// its own thread owning (a) a listening socket that accepts *inbound*
+// push streams from peers and (b) one RegisterPeer per remote node, the
+// *outbound* stream. A stream opens with REG_HELLO (the sender's node
+// id), then carries REG_PUSH frames — batches of (cell, value) updates of
+// one group — strictly FIFO; the receiver applies each frame in order to
+// the group's MirroredMemory and answers REG_ACK (cumulative frame seq)
+// on the same connection.
+//
+// Write path: the MirroredMemory's write observer calls on_local_write()
+// from the owning worker thread for every store to a cell this node is
+// responsible for. The transport appends the update to each peer's
+// pending queue (coalescing immediate re-writes of the same cell — the
+// only elision that cannot reorder across cells) and schedules at most
+// one flush task per backlog, so a burst of writes costs the loop one
+// wakeup. A flush drains the queue into REG_PUSH frames of up to
+// kMaxPushCells updates, so dirty cells coalesce into few syscalls.
+//
+// Ordering guarantee: one stream per (sender, receiver) pair, appended in
+// write order, flushed in order, applied in order ⇒ every mirror holds a
+// prefix of each sender's write sequence. That is the whole correctness
+// story of the mirror (per-cell monotonicity AND cross-cell
+// happens-before of a single node, e.g. "spill rows before their seal").
+//
+// Reconnects: an outbound stream that drops redials on a timer; on
+// (re)connect the peer's queue is rebuilt as a *snapshot* — the current
+// value of every cell this node ever wrote — so the receiver converges
+// regardless of what the dead connection lost. (A snapshot is a legal
+// stream: it is a suffix-compressed replay of the sender's history, and
+// per-cell values are monotone-refreshed to the sender's present.)
+//
+// Flow control: acks bound the sender's view of receiver lag.
+// max_unacked_frames() is the deepest (sent - acked) backlog over the
+// connected peers; the SMR pump stalls sealing new batches above a
+// threshold so a mirror can never lag past the spill ring. Ack round
+// trips double as the push-lag measurement surfaced in bench_e16.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/event_loop.h"
+#include "net/frame.h"
+#include "registers/mirror.h"
+#include "svc/svc_types.h"
+
+namespace omega::net {
+
+/// One remote node of the mirror mesh.
+struct MirrorPeerConfig {
+  std::uint32_t node = 0;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< the peer's MirrorTransport listen port
+};
+
+struct MirrorConfig {
+  std::uint32_t node = 0;  ///< this node's id (unique across the mesh)
+  std::string bind_address = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+  std::vector<MirrorPeerConfig> peers;
+  /// Redial cadence for dropped outbound streams (also the granularity of
+  /// the transport's internal timer).
+  int reconnect_ms = 100;
+  /// A peer whose unsent bytes exceed this is cut and resynced by
+  /// snapshot on reconnect (one slow peer must not grow memory forever).
+  std::size_t max_outbuf_bytes = 32u << 20;
+};
+
+struct MirrorStats {
+  std::uint64_t pushed_frames = 0;
+  std::uint64_t pushed_cells = 0;
+  std::uint64_t acked_frames = 0;
+  std::uint64_t applied_frames = 0;  ///< inbound pushes applied
+  std::uint64_t applied_cells = 0;
+  std::uint64_t coalesced = 0;   ///< writes absorbed by adjacent dedup
+  std::uint64_t reconnects = 0;  ///< outbound dials after the first
+  std::uint64_t snapshots = 0;   ///< snapshot resyncs sent
+  std::uint64_t resyncs = 0;     ///< force_resync() hammer drops
+  std::uint64_t connected_peers = 0;
+  std::uint64_t max_unacked = 0;  ///< current deepest per-peer backlog
+};
+
+class MirrorTransport {
+ public:
+  explicit MirrorTransport(MirrorConfig cfg);
+  ~MirrorTransport();
+
+  MirrorTransport(const MirrorTransport&) = delete;
+  MirrorTransport& operator=(const MirrorTransport&) = delete;
+
+  /// The bound listen port (valid immediately after construction).
+  std::uint16_t port() const noexcept { return port_; }
+
+  /// Registers a group's mirror: inbound pushes for `gid` apply to `mem`,
+  /// and on_local_write(gid, ...) becomes legal. `mem` must outlive the
+  /// transport or be removed first. Any thread, also while running.
+  void add_group(svc::GroupId gid, MirroredMemory* mem);
+  void remove_group(svc::GroupId gid);
+
+  /// Spawns the loop thread and starts dialling peers. Once.
+  void start();
+  /// Stops the loop, closes every stream. Idempotent.
+  void stop();
+
+  /// Write-observer entry point (owning worker thread): forward one local
+  /// store to every peer, FIFO. The caller filters with
+  /// MirroredMemory::should_push.
+  void on_local_write(svc::GroupId gid, Cell c, std::uint64_t v);
+
+  /// Deepest (sent - acked) push-frame backlog over *connected* peers —
+  /// the pump's flow-control signal. Disconnected peers don't count (they
+  /// resync by snapshot).
+  std::uint64_t max_unacked_frames() const;
+
+  /// Cuts every stream (inbound and outbound) so both directions rebuild
+  /// with fresh snapshots — the big hammer a node reaches for when its
+  /// mirror looks wedged (e.g. a decided slot whose payload never
+  /// arrives). Safe anytime; any thread.
+  void force_resync();
+
+  std::uint64_t connected_peers() const;
+
+  MirrorStats stats() const;
+
+  /// Copies the recent ack round-trip samples (nanoseconds, newest-last;
+  /// bounded ring). The bench derives push-lag percentiles from these.
+  void lag_samples(std::vector<std::int64_t>& out) const;
+
+ private:
+  struct PendingWrite {
+    svc::GroupId gid = 0;
+    std::uint32_t cell = 0;
+    std::uint64_t value = 0;
+  };
+
+  /// One outbound push stream (loop thread only, except `pending` and the
+  /// connected/backlog atomics).
+  struct RegisterPeer {
+    MirrorPeerConfig cfg;
+    int fd = -1;
+    bool hello_sent = false;
+    FrameDecoder in;  ///< carries the peer's REG_ACK frames
+    std::vector<std::uint8_t> out;
+    std::size_t out_pos = 0;
+    bool want_write = false;
+    std::uint64_t sent_seq = 0;
+    std::uint64_t acked_seq = 0;
+    bool ever_connected = false;  ///< a hello was sent at least once
+    /// (seq, send time ns) of unacked pushes, for the lag samples.
+    std::vector<std::pair<std::uint64_t, std::int64_t>> sent_times;
+    std::atomic<bool> connected{false};
+    std::atomic<std::uint64_t> backlog{0};  ///< sent - acked
+  };
+
+  /// One accepted inbound stream (loop thread only).
+  struct Inbound {
+    int fd = -1;
+    std::uint32_t node = kNoNode;
+    FrameDecoder in;
+    std::vector<std::uint8_t> out;  ///< hello response + acks
+    std::size_t out_pos = 0;
+    bool want_write = false;
+  };
+
+  struct GroupState {
+    MirroredMemory* mem = nullptr;
+    /// Cells this node ever wrote (snapshot domain on reconnect).
+    std::vector<bool> dirty;
+  };
+
+  static constexpr std::uint32_t kNoNode = 0xFFFFFFFFu;
+
+  void open_listener();
+  void on_accept();
+  void on_inbound_io(int fd, std::uint32_t events);
+  void on_peer_io(RegisterPeer& p, std::uint32_t events);
+  void handle_inbound_frame(Inbound& c, const Frame& f);
+  void handle_peer_frame(RegisterPeer& p, const Frame& f);
+  /// Dials a peer (non-blocking connect); loop thread.
+  void dial(RegisterPeer& p);
+  void on_timer();
+  /// Drops the outbound stream; it will redial on the next timer tick.
+  void disconnect_peer(RegisterPeer& p);
+  void close_inbound(int fd);
+  /// Drains every peer's pending queue into push frames and flushes.
+  void flush_peers();
+  /// Seeds `p.pending` with a full snapshot of every registered group
+  /// (call with pending_mu_ held).
+  void snapshot_into(std::vector<PendingWrite>& out);
+  /// Writes as much buffered output as the socket takes. False = died.
+  bool flush_out(int fd, std::vector<std::uint8_t>& out, std::size_t& pos,
+                 bool& want_write);
+  std::int64_t now_ns() const;
+
+  MirrorConfig cfg_;
+  EventLoop loop_;
+  std::thread thread_;
+  int listen_fd_ = -1;
+  int timer_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool started_ = false;
+  std::atomic<bool> stopped_{false};
+
+  /// Group registry (workers + loop thread).
+  mutable std::mutex groups_mu_;
+  std::unordered_map<svc::GroupId, GroupState> groups_;
+
+  /// Pending write queues, one per peer, appended by worker threads.
+  mutable std::mutex pending_mu_;
+  std::vector<std::vector<PendingWrite>> pending_;  ///< index = peer index
+  bool flush_scheduled_ = false;
+
+  std::vector<std::unique_ptr<RegisterPeer>> peers_;
+  std::unordered_map<int, std::unique_ptr<Inbound>> inbound_;
+
+  /// Ack RTT ring (loop thread writes, stats readers copy under mutex).
+  mutable std::mutex lag_mu_;
+  std::vector<std::int64_t> lag_ring_;
+  std::size_t lag_next_ = 0;
+
+  struct Counters {
+    std::atomic<std::uint64_t> pushed_frames{0};
+    std::atomic<std::uint64_t> pushed_cells{0};
+    std::atomic<std::uint64_t> acked_frames{0};
+    std::atomic<std::uint64_t> applied_frames{0};
+    std::atomic<std::uint64_t> applied_cells{0};
+    std::atomic<std::uint64_t> coalesced{0};
+    std::atomic<std::uint64_t> reconnects{0};
+    std::atomic<std::uint64_t> snapshots{0};
+    std::atomic<std::uint64_t> resyncs{0};
+  } counters_;
+};
+
+}  // namespace omega::net

@@ -31,6 +31,7 @@ void MemoryBackend::write(ProcessId writer, Cell c, std::uint64_t v) {
                                   << owner);
   ++fallback_ticks_;
   store(c, v);
+  if (observer_) observer_(c, v);
   instr_.on_write(writer, c, v, now());
 }
 

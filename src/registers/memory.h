@@ -3,11 +3,22 @@
 // and routes every access through the instrumentation layer. Concrete
 // storage:
 //
-//   * SimMemory    — plain cells; the discrete-event simulator serializes all
-//                    accesses, so atomicity/linearizability hold trivially
-//                    (the linearization point is the event's tick).
-//   * AtomicMemory — std::atomic cells on real threads (src/rt/).
-//   * SanMemory    — SimMemory + per-access disk latency (src/san/).
+//   * SimMemory      — plain cells; the discrete-event simulator serializes
+//                      all accesses, so atomicity/linearizability hold
+//                      trivially (the linearization point is the event's
+//                      tick).
+//   * AtomicMemory   — std::atomic cells on real threads (src/rt/).
+//   * SanMemory      — SimMemory + per-access disk latency (src/san/).
+//   * MirroredMemory — AtomicMemory cells where remote owners' values arrive
+//                      by pushed updates (src/registers/mirror.h) — the
+//                      multi-process transport seam.
+//
+// Transport seam: a backend may carry a *write observer* that fires after
+// every store made through the public API (write() and poke() alike, so
+// data-plane spill regions replicate with the model's registers). The
+// observer runs on the writing thread, which is the cell owner's execution
+// stream — so observing in call order gives exactly the single-writer FIFO
+// order a push-based mirror needs to preserve regular register semantics.
 #pragma once
 
 #include <cstdint>
@@ -41,9 +52,26 @@ class MemoryBackend {
 
   /// Uninstrumented, unchecked access for initialization (the algorithms are
   /// self-stabilizing w.r.t. initial register contents — paper footnote 7 —
-  /// so tests poke arbitrary garbage) and post-mortem inspection.
+  /// so tests poke arbitrary garbage) and post-mortem inspection. Pokes
+  /// still fire the write observer: data-plane buffers written through
+  /// poke (the batch spill ring) must replicate like any other cell.
   std::uint64_t peek(Cell c) const { return load(c); }
-  void poke(Cell c, std::uint64_t v) { store(c, v); }
+  void poke(Cell c, std::uint64_t v) {
+    store(c, v);
+    if (observer_) observer_(c, v);
+  }
+
+  /// Observer fired (on the writing thread, after the store is visible
+  /// locally) for every store made through write()/poke(). One writer per
+  /// 1WnR cell ⇒ the observed per-cell sequence is the owner's program
+  /// order; forwarding it FIFO preserves per-cell monotonicity (regular
+  /// semantics) at every mirror. Install before the backend is shared
+  /// across threads; empty function clears.
+  using WriteObserver = std::function<void(Cell, std::uint64_t)>;
+  void set_write_observer(WriteObserver obs) { observer_ = std::move(obs); }
+  bool has_write_observer() const noexcept {
+    return static_cast<bool>(observer_);
+  }
 
   Instrumentation& instr() noexcept { return instr_; }
   const Instrumentation& instr() const noexcept { return instr_; }
@@ -68,6 +96,7 @@ class MemoryBackend {
   Instrumentation instr_;
   std::function<SimTime()> clock_;
   SimTime fallback_ticks_ = 0;
+  WriteObserver observer_;
 };
 
 /// Plain single-threaded storage for the discrete-event simulator.

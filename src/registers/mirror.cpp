@@ -1,0 +1,39 @@
+#include "registers/mirror.h"
+
+#include "common/check.h"
+
+namespace omega {
+
+MirroredMemory::MirroredMemory(Layout layout, std::uint32_t num_processes,
+                               std::uint64_t local_mask)
+    : MemoryBackend(std::move(layout), num_processes),
+      cells_(this->layout().size()),
+      local_mask_(local_mask == 0 ? all_local_mask(num_processes)
+                                  : local_mask) {
+  OMEGA_CHECK(num_processes <= 64,
+              "mirror locality mask covers 64 replicas, group has "
+                  << num_processes);
+  for (ProcessId p = 0; p < num_processes; ++p) {
+    if (!is_local(p)) has_remote_ = true;
+  }
+}
+
+bool MirroredMemory::should_push(Cell c) const {
+  if (!has_remote_) return false;
+  const ProcessId owner = layout().owner(c);
+  if (owner == kAnyProcess) return true;  // data-plane spill, sealer's node
+  return is_local(owner);
+}
+
+void MirroredMemory::apply_push(Cell c, std::uint64_t v) {
+  OMEGA_CHECK(c.index < layout().size(), "pushed cell out of range");
+  cells_.store(c.index, v);
+}
+
+std::uint64_t MirroredMemory::load(Cell c) const { return cells_.load(c.index); }
+
+void MirroredMemory::store(Cell c, std::uint64_t v) {
+  cells_.store(c.index, v);
+}
+
+}  // namespace omega

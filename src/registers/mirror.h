@@ -1,0 +1,91 @@
+// MirroredMemory — the multi-process register backend.
+//
+// The paper's model is shared-memory 1WnR atomic registers; every backend
+// so far keeps all n replicas of a group in one address space. This one
+// splits a group across OS processes ("nodes"): each node holds a complete
+// cell array, but only the cells owned by *locally hosted* replicas are
+// written here — every other owner's cells are refreshed by updates pushed
+// over TCP (net/register_peer.h) and applied through apply_push().
+//
+// Semantics. A 1WnR cell has exactly one writer, and that writer's stores
+// reach each mirror over one FIFO stream, applied in order. Each mirror
+// therefore sees a *prefix* of the owner's write sequence: reads are
+// per-cell monotonic and never invent values — regular registers with
+// bounded staleness. That is exactly the register grade the paper's
+// timeliness analysis needs (the heartbeat/counter arguments use
+// monotonicity, never read-read atomicity), so the Ω algorithms run
+// unchanged. Cross-cell ordering of a single owner is also preserved
+// (one stream, applied in order), which is what the batch spill ring
+// relies on: the sealer pokes a slot's rows before its seal cell, so a
+// mirror that can see the seal already has the rows.
+//
+// Locality is a per-process bitmask over replica ids (svc::GroupSpec's
+// local_mask uses the same encoding; n <= 64 everywhere in svc). With all
+// replicas local, no push stream exists and MirroredMemory is
+// register-for-register AtomicMemory — same storage, same orders — so the
+// single-process path is unaffected (tests pin this down).
+//
+// Threading: load/store race apply_push (IO thread) on the same cells;
+// AtomicCellArray makes every access seq_cst. Multi-writer (kAny) cells
+// are written by whichever node's pump owns them by convention (the batch
+// ring's per-sealer banks); apply_push does not re-check ownership — the
+// transport only forwards what a peer's owner actually wrote.
+#pragma once
+
+#include <cstdint>
+
+#include "registers/memory.h"
+#include "rt/atomic_memory.h"
+
+namespace omega {
+
+/// "Every replica is local" mask for `n` replicas (n <= 64).
+inline std::uint64_t all_local_mask(std::uint32_t n) {
+  return n >= 64 ? ~std::uint64_t{0} : ((std::uint64_t{1} << n) - 1);
+}
+
+class MirroredMemory final : public MemoryBackend {
+ public:
+  /// `local_mask` — bit p set iff replica p executes in this process.
+  /// 0 is treated as "all local" (the svc convention).
+  MirroredMemory(Layout layout, std::uint32_t num_processes,
+                 std::uint64_t local_mask);
+
+  bool is_local(ProcessId p) const noexcept {
+    return p < 64 && ((local_mask_ >> p) & 1u) != 0;
+  }
+  std::uint64_t local_mask() const noexcept { return local_mask_; }
+  /// True iff some replica lives in another process (a push stream exists).
+  bool has_remote() const noexcept { return has_remote_; }
+
+  /// Whether a store to `c` by this process must be forwarded to peers:
+  /// locally-owned 1WnR cells always; kAny cells too (data-plane spill —
+  /// only ever written by the process that currently seals them).
+  bool should_push(Cell c) const;
+
+  /// Applies one pushed update from a remote owner's FIFO stream. IO
+  /// thread. Never fires the write observer (no echo back to the wire)
+  /// and never instruments (the write was instrumented at its origin).
+  void apply_push(Cell c, std::uint64_t v);
+
+  /// Invoked first thing in the destructor — the hook that unregisters
+  /// this mirror from its transport, so a retired group can never leave
+  /// a dangling pointer behind in the push path.
+  void set_teardown(std::function<void()> fn) { teardown_ = std::move(fn); }
+
+  ~MirroredMemory() override {
+    if (teardown_) teardown_();
+  }
+
+ protected:
+  std::uint64_t load(Cell c) const override;
+  void store(Cell c, std::uint64_t v) override;
+
+ private:
+  AtomicCellArray cells_;
+  std::uint64_t local_mask_;
+  bool has_remote_ = false;
+  std::function<void()> teardown_;
+};
+
+}  // namespace omega

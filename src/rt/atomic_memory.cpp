@@ -6,12 +6,8 @@ AtomicMemory::AtomicMemory(Layout layout, std::uint32_t num_processes)
     : MemoryBackend(std::move(layout), num_processes),
       cells_(this->layout().size()) {}
 
-std::uint64_t AtomicMemory::load(Cell c) const {
-  return cells_[c.index].value.load(std::memory_order_seq_cst);
-}
+std::uint64_t AtomicMemory::load(Cell c) const { return cells_.load(c.index); }
 
-void AtomicMemory::store(Cell c, std::uint64_t v) {
-  cells_[c.index].value.store(v, std::memory_order_seq_cst);
-}
+void AtomicMemory::store(Cell c, std::uint64_t v) { cells_.store(c.index, v); }
 
 }  // namespace omega

@@ -7,14 +7,44 @@
 //
 // Cells are padded to cache lines so that one process's heartbeat writes do
 // not false-share with its neighbours' registers.
+//
+// The storage itself (AtomicCellArray) is factored out of the backend so
+// the multi-process mirror (registers/mirror.h) can reuse it: a mirror's
+// local cells need the same cross-thread atomicity — the IO thread applying
+// pushed updates races the shard worker reading — and the same padding.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "registers/memory.h"
 
 namespace omega {
+
+/// Flat array of cache-line-padded seq_cst atomic cells. Safe for any mix
+/// of concurrent readers and writers per cell (the register model's own
+/// single-writer discipline is enforced a layer up, in MemoryBackend).
+class AtomicCellArray {
+ public:
+  explicit AtomicCellArray(std::uint32_t size) : cells_(size) {}
+
+  std::uint64_t load(std::uint32_t i) const {
+    return cells_[i].value.load(std::memory_order_seq_cst);
+  }
+  void store(std::uint32_t i, std::uint64_t v) {
+    cells_[i].value.store(v, std::memory_order_seq_cst);
+  }
+  std::uint32_t size() const noexcept {
+    return static_cast<std::uint32_t>(cells_.size());
+  }
+
+ private:
+  struct alignas(64) PaddedCell {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::vector<PaddedCell> cells_;
+};
 
 class AtomicMemory final : public MemoryBackend {
  public:
@@ -25,10 +55,7 @@ class AtomicMemory final : public MemoryBackend {
   void store(Cell c, std::uint64_t v) override;
 
  private:
-  struct alignas(64) PaddedCell {
-    std::atomic<std::uint64_t> value{0};
-  };
-  std::vector<PaddedCell> cells_;
+  AtomicCellArray cells_;
 };
 
 }  // namespace omega

@@ -20,11 +20,27 @@ void CommandQueue::take(Entry& e, std::vector<AppendCompletion>& out) {
   e.completions.clear();
 }
 
+std::int64_t CommandQueue::open_session(std::uint64_t client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Session& sess = sessions_[client];
+  sess.last_active_us = now_us_;
+  return session_ttl_us_;
+}
+
 CommandQueue::SubmitResult CommandQueue::submit(std::uint64_t client,
                                                 std::uint64_t seq,
                                                 std::uint64_t command,
                                                 AppendCompletion done) {
   std::unique_lock<std::mutex> lock(mu_);
+  if (session_ttl_us_ > 0 && seq > 1 &&
+      sessions_.find(client) == sessions_.end()) {
+    // Mid-stream seq from a client we have no session for: with eviction
+    // enabled this means the session was TTL-dropped (or never opened).
+    // Accepting would silently treat a retry of an already-committed
+    // command as fresh — answer explicitly instead; the client re-opens
+    // and re-synchronizes its seq space.
+    return SubmitResult{AppendOutcome::kSessionEvicted, 0};
+  }
   Session& sess = sessions_[client];
   sess.last_active_us = now_us_;
   if (sess.any && seq == sess.last_seq) {
@@ -44,6 +60,18 @@ CommandQueue::SubmitResult CommandQueue::submit(std::uint64_t client,
             return SubmitResult{AppendOutcome::kBadCommand, 0};
           }
           if (done) it->completions.push_back(std::move(done));
+          return SubmitResult{AppendOutcome::kAccepted, 0};
+        }
+      }
+    }
+    for (auto& [ticket, batch] : owned_) {
+      (void)ticket;
+      for (auto& e : batch) {
+        if (e.client == client && e.seq == seq) {
+          if (e.command != command) {
+            return SubmitResult{AppendOutcome::kBadCommand, 0};
+          }
+          if (done) e.completions.push_back(std::move(done));
           return SubmitResult{AppendOutcome::kAccepted, 0};
         }
       }
@@ -89,10 +117,69 @@ std::uint32_t CommandQueue::pull_batch(std::uint32_t max,
   return moved;
 }
 
+std::uint32_t CommandQueue::pull_batch_owned(std::uint32_t max,
+                                             std::vector<std::uint64_t>& out,
+                                             std::uint64_t& ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pending_.empty()) return 0;
+  ticket = next_ticket_++;
+  auto& batch = owned_[ticket];
+  std::uint32_t moved = 0;
+  while (moved < max && !pending_.empty()) {
+    batch.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+    out.push_back(batch.back().command);
+    ++moved;
+  }
+  owned_entries_ += moved;
+  return moved;
+}
+
 CommandQueue::CommitRecord CommandQueue::commit_front(std::uint64_t index) {
   std::vector<CommitRecord> recs;
   commit_batch(index, 1, recs);
   return recs.front();
+}
+
+void CommandQueue::commit_entry_locked(
+    Entry& e, std::uint64_t index, std::vector<CommitRecord>& recs,
+    std::vector<std::pair<AppendCompletion, std::uint64_t>>& fire) {
+  CommitRecord rec;
+  rec.client = e.client;
+  rec.seq = e.seq;
+  rec.command = e.command;
+  recs.push_back(rec);
+  Session& sess = sessions_[e.client];
+  // A commit is session activity: restamp so the TTL runs from the
+  // commit, not from the submit — submit stamps with the *previous*
+  // sweep's clock (0 before the first sweep), and an entry that sat
+  // queued must not surface with its retry window pre-expired.
+  sess.last_active_us = now_us_;
+  if (sess.any && sess.last_seq == e.seq) {
+    sess.committed = true;
+    sess.last_index = index;
+  }
+  for (auto& c : e.completions) {
+    if (c) fire.emplace_back(std::move(c), index);
+  }
+}
+
+void CommandQueue::commit_owned(std::uint64_t ticket,
+                                std::uint64_t first_index,
+                                std::vector<CommitRecord>& recs) {
+  std::vector<std::pair<AppendCompletion, std::uint64_t>> fire;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = owned_.find(ticket);
+    OMEGA_CHECK(it != owned_.end(), "commit of unknown ticket " << ticket);
+    std::uint64_t index = first_index;
+    for (auto& e : it->second) {
+      commit_entry_locked(e, index++, recs, fire);
+    }
+    owned_entries_ -= it->second.size();
+    owned_.erase(it);
+  }
+  for (auto& [c, index] : fire) c(AppendOutcome::kCommitted, index);
 }
 
 void CommandQueue::commit_batch(std::uint64_t first_index, std::uint32_t count,
@@ -106,26 +193,7 @@ void CommandQueue::commit_batch(std::uint64_t first_index, std::uint32_t count,
                 "commit of " << count << " with " << inflight_.size()
                              << " in flight");
     for (std::uint32_t i = 0; i < count; ++i) {
-      const std::uint64_t index = first_index + i;
-      Entry& e = inflight_.front();
-      CommitRecord rec;
-      rec.client = e.client;
-      rec.seq = e.seq;
-      rec.command = e.command;
-      recs.push_back(rec);
-      Session& sess = sessions_[e.client];
-      // A commit is session activity: restamp so the TTL runs from the
-      // commit, not from the submit — submit stamps with the *previous*
-      // sweep's clock (0 before the first sweep), and an entry that sat
-      // queued must not surface with its retry window pre-expired.
-      sess.last_active_us = now_us_;
-      if (sess.any && sess.last_seq == e.seq) {
-        sess.committed = true;
-        sess.last_index = index;
-      }
-      for (auto& c : e.completions) {
-        if (c) fire.emplace_back(std::move(c), index);
-      }
+      commit_entry_locked(inflight_.front(), first_index + i, recs, fire);
       inflight_.pop_front();
     }
   }
@@ -148,10 +216,15 @@ void CommandQueue::abort_all(AppendOutcome outcome) {
     std::lock_guard<std::mutex> lock(mu_);
     for (auto& e : pending_) take(e, fire);
     for (auto& e : inflight_) take(e, fire);
+    for (auto& [ticket, batch] : owned_) {
+      (void)ticket;
+      for (auto& e : batch) take(e, fire);
+    }
     pending_.clear();
-    // In-flight entries stay: their slots may still decide (a sweep can
-    // race this call), and commit_front must find the matching entry.
-    // Their waiters have been answered; the late commit fires nothing.
+    // In-flight/owned entries stay: their slots may still decide (a sweep
+    // can race this call), and commit_front/commit_owned must find the
+    // matching entries. Their waiters have been answered; the late commit
+    // fires nothing.
   }
   for (auto& c : fire) c(outcome, 0);
 }
@@ -169,6 +242,10 @@ void CommandQueue::evict_idle_sessions(std::int64_t now_us) {
   std::unordered_set<std::uint64_t> busy;
   for (const auto& e : pending_) busy.insert(e.client);
   for (const auto& e : inflight_) busy.insert(e.client);
+  for (const auto& [ticket, batch] : owned_) {
+    (void)ticket;
+    for (const auto& e : batch) busy.insert(e.client);
+  }
   for (auto it = sessions_.begin(); it != sessions_.end();) {
     if (now_us - it->second.last_active_us >= session_ttl_us_ &&
         busy.find(it->first) == busy.end()) {
@@ -184,7 +261,7 @@ CommandQueue::Stats CommandQueue::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   Stats s;
   s.pending = pending_.size();
-  s.in_flight = inflight_.size();
+  s.in_flight = inflight_.size() + owned_entries_;
   s.sessions = sessions_.size();
   s.evicted = evicted_;
   return s;
@@ -197,7 +274,12 @@ std::size_t CommandQueue::pending() const {
 
 std::size_t CommandQueue::in_flight() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return inflight_.size();
+  return inflight_.size() + owned_entries_;
+}
+
+bool CommandQueue::has_work() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !pending_.empty() || !inflight_.empty() || owned_entries_ > 0;
 }
 
 }  // namespace omega::smr

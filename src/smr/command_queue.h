@@ -53,6 +53,7 @@ enum class AppendOutcome : std::uint8_t {
   kLogFull,    ///< the group's slot capacity is exhausted
   kAborted,    ///< group torn down before the command committed
   kBadCommand, ///< command out of range, or a retry that changed it
+  kSessionEvicted,  ///< dedup session TTL-expired; open_session to resume
 };
 
 /// Fired exactly once per accepted submission, either synchronously from
@@ -77,8 +78,19 @@ class CommandQueue {
   /// kCommitted duplicates — the caller already has the answer and the
   /// completion is NOT retained. `command` must be in [1, kLogNoOp); range
   /// checking is the caller's job (the queue stores what it is given).
+  ///
+  /// Eviction visibility: with a nonzero TTL, a submission at seq > 1
+  /// from a client with no session answers kSessionEvicted — a client
+  /// mid-stream whose session was dropped must learn its retry window is
+  /// gone instead of having the retry silently double-commit. Fresh
+  /// clients start at seq 1 or call open_session() first.
   SubmitResult submit(std::uint64_t client, std::uint64_t seq,
                       std::uint64_t command, AppendCompletion done);
+
+  /// (Re)creates the client's dedup session (idempotent) and returns the
+  /// eviction TTL in microseconds (0 = never). Any thread. The SESSION_OPEN
+  /// handshake lands here.
+  std::int64_t open_session(std::uint64_t client);
 
   // --- pump side (owner thread) ------------------------------------------
 
@@ -89,6 +101,16 @@ class CommandQueue {
   /// Batch form: moves up to `max` pending entries to the in-flight queue
   /// and appends their commands to `out` in FIFO order; returns the count.
   std::uint32_t pull_batch(std::uint32_t max, std::vector<std::uint64_t>& out);
+
+  /// Ticketed form for deployments where commits can resolve out of pull
+  /// order (multi-node failover re-proposals): moves up to `max` pending
+  /// entries into an internal *owned* batch keyed by a fresh ticket
+  /// (returned via `ticket`, never 0) instead of the FIFO in-flight
+  /// queue. The batch is resolved as a whole by commit_owned(), or by the
+  /// abort paths.
+  std::uint32_t pull_batch_owned(std::uint32_t max,
+                                 std::vector<std::uint64_t>& out,
+                                 std::uint64_t& ticket);
 
   struct CommitRecord {
     std::uint64_t client = 0;
@@ -106,6 +128,13 @@ class CommandQueue {
   /// `recs` and fires every completion (outside the lock, in FIFO order) —
   /// the whole batch is acknowledged with one lock acquisition.
   void commit_batch(std::uint64_t first_index, std::uint32_t count,
+                    std::vector<CommitRecord>& recs);
+
+  /// Owned-batch commit: the entries pulled under `ticket` committed at
+  /// `first_index`, ... — records the session outcomes, appends one
+  /// record per entry to `recs`, fires the completions (outside the
+  /// lock, batch order) and releases the ticket.
+  void commit_owned(std::uint64_t ticket, std::uint64_t first_index,
                     std::vector<CommitRecord>& recs);
 
   /// Fails every entry that has not been pulled yet (log capacity
@@ -127,7 +156,7 @@ class CommandQueue {
 
   struct Stats {
     std::size_t pending = 0;
-    std::size_t in_flight = 0;
+    std::size_t in_flight = 0;       ///< FIFO in-flight + owned entries
     std::size_t sessions = 0;        ///< dedup map size
     std::uint64_t evicted = 0;       ///< sessions dropped by TTL, ever
   };
@@ -135,6 +164,9 @@ class CommandQueue {
 
   std::size_t pending() const;
   std::size_t in_flight() const;
+  /// Anything pending or in flight (one lock; the pump's pacing signal).
+  bool has_work() const;
+  std::int64_t session_ttl_us() const noexcept { return session_ttl_us_; }
 
  private:
   struct Entry {
@@ -156,14 +188,23 @@ class CommandQueue {
   /// Collects an entry's completions for firing outside the lock.
   static void take(Entry& e, std::vector<AppendCompletion>& out);
 
+  /// Commits one entry's session outcome and collects its completions
+  /// (under mu_).
+  void commit_entry_locked(
+      Entry& e, std::uint64_t index, std::vector<CommitRecord>& recs,
+      std::vector<std::pair<AppendCompletion, std::uint64_t>>& fire);
+
   mutable std::mutex mu_;
   std::size_t max_pending_;
   std::int64_t session_ttl_us_;
   std::int64_t now_us_ = 0;        ///< last sweep clock seen (under mu_)
   std::int64_t last_scan_us_ = 0;  ///< last eviction scan (under mu_)
   std::uint64_t evicted_ = 0;
+  std::uint64_t next_ticket_ = 1;
   std::deque<Entry> pending_;
   std::deque<Entry> inflight_;
+  std::unordered_map<std::uint64_t, std::vector<Entry>> owned_;
+  std::size_t owned_entries_ = 0;  ///< total entries across owned_
   std::unordered_map<std::uint64_t, Session> sessions_;
 };
 

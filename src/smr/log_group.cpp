@@ -4,21 +4,54 @@
 
 namespace omega::smr {
 
+namespace {
+
+ProcessId lowest_local(const SmrSpec& spec) {
+  for (ProcessId p = 0; p < spec.n; ++p) {
+    if (spec.is_local(p)) return p;
+  }
+  return 0;
+}
+
+bool is_multi_node(const SmrSpec& spec) {
+  if (spec.local_mask == 0) return false;
+  for (ProcessId p = 0; p < spec.n; ++p) {
+    if (!spec.is_local(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 LogGroup::LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook)
     : gid_(gid),
       spec_(spec),
+      multi_node_(is_multi_node(spec)),
+      sealer_(lowest_local(spec)),
       log_(spec.n, spec.capacity),
       queue_(spec.max_pending, spec.session_ttl_us),
-      source_(queue_),
+      source_(*this),
       hook_(std::move(hook)) {
   OMEGA_CHECK(spec_.window >= 1 && spec_.window <= spec_.capacity,
               "bad pump window " << spec_.window);
   OMEGA_CHECK(spec_.max_batch >= 1 && spec_.max_batch <= kMaxBatchCommands,
               "bad max_batch " << spec_.max_batch);
+  // Multi-node needs the descriptor to NAME its sealer (failover
+  // contention resolves by sealer identity). A raw max_batch == 1
+  // command carries no sealer, so two nodes sealing the same command
+  // value for one slot would both claim it — batch mode is mandatory.
+  OMEGA_CHECK(!multi_node_ || spec_.max_batch >= 2,
+              "multi-node logs need max_batch >= 2 (the batch descriptor "
+              "carries the sealer identity)");
   if (spec_.max_batch > 1) {
     // The ring must cover the pipelined window (see BatchBuffer's reuse
-    // argument); one row per in-flight slot is exactly that.
-    batch_.emplace("LOG", spec_.window, spec_.max_batch);
+    // argument). Multi-node: one bank per potential sealer — competing
+    // sealers never overwrite each other — plus slack rows so mirrors
+    // may trail the sealer by up to the flow-control stall threshold.
+    const std::uint32_t banks = multi_node_ ? spec_.n : 1;
+    const std::uint32_t rows =
+        spec_.window + (multi_node_ ? spec_.ring_slack : 0);
+    batch_.emplace("LOG", banks, rows, spec_.max_batch);
   }
   applied_.reserve(std::min<std::uint32_t>(spec_.capacity, 4096));
 }
@@ -32,10 +65,11 @@ void LogGroup::attach(svc::Group& g) {
   pump_ = std::make_unique<LogPump>(
       log_, host_, spec_.window,
       LogPump::BatchPolicy{spec_.max_batch,
-                           batch_.has_value() ? &*batch_ : nullptr});
+                           batch_.has_value() ? &*batch_ : nullptr,
+                           multi_node_ ? sealer_ : ProcessId{0}});
 }
 
-void LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
+bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
   OMEGA_CHECK(pump_ != nullptr && host_.g_ == &g, "on_sweep before attach");
   // Advance the queue's session clock *before* the harvest below stamps
   // committed sessions with it: on a group added to a long-running pool,
@@ -43,12 +77,24 @@ void LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
   // clock and their retry windows would expire on the next scan. Entries
   // still queued or in flight are busy and never evicted regardless.
   queue_.evict_idle_sessions(now_us);
+  if (multi_node_) {
+    // Leadership and flow-control gates, sampled once per sweep: only
+    // the node hosting the agreed leader seals fresh batches, and only
+    // while no connected mirror trails past the flow-control threshold.
+    const svc::LeaderView view = g.cache.load();
+    leader_local_ =
+        view.leader != kNoProcess && spec_.is_local(view.leader);
+    seal_ok_ = leader_local_ &&
+               (!spec_.mirror_backlog ||
+                spec_.mirror_backlog() <= spec_.max_unacked_push);
+  }
   scratch_.clear();
-  pump_->tick(source_, scratch_);
+  pump_->tick(source_, scratch_, /*repush_remote=*/multi_node_ &&
+                                     leader_local_);
   if (!scratch_.empty()) {
     // Apply the sweep's whole harvest as one batch: one applied-log lock,
-    // one commit-index publish, one queue lock for every completion, one
-    // hook invocation for the push fan-out.
+    // one commit-index publish, batched queue acknowledgement, one hook
+    // invocation for the push fan-out.
     const std::uint32_t count = static_cast<std::uint32_t>(scratch_.size());
     values_.clear();
     for (const auto& c : scratch_) values_.push_back(c.value);
@@ -60,12 +106,16 @@ void LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
     }
     commit_index_.store(first + count, std::memory_order_release);
     recs_.clear();
-    queue_.commit_batch(first, count, recs_);
-    for (std::uint32_t i = 0; i < count; ++i) {
-      OMEGA_CHECK(recs_[i].command == values_[i],
-                  "slot " << scratch_[i].slot << " decided " << values_[i]
-                          << " but the oldest in-flight command is "
-                          << recs_[i].command);
+    if (multi_node_) {
+      apply_commits_multi(first);
+    } else {
+      queue_.commit_batch(first, count, recs_);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        OMEGA_CHECK(recs_[i].command == values_[i],
+                    "slot " << scratch_[i].slot << " decided " << values_[i]
+                            << " but the oldest in-flight command is "
+                            << recs_[i].command);
+      }
     }
     {
       std::shared_lock<std::shared_mutex> lock(hook_mu_);
@@ -73,13 +123,68 @@ void LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
     }
     // Finished proposer frames pile up one per slot per replica: reap so
     // the executors' round-robin scan stays O(live tasks).
-    for (auto& ex : g.execs) ex->reap_apps();
+    for (auto& ex : g.execs) {
+      if (ex) ex->reap_apps();
+    }
+  }
+  if (multi_node_ && spec_.mirror_resync) {
+    // Watchdog: a decided slot whose payload stays unreadable means some
+    // stream is wedged in a way FIFO retries cannot fix (half-dead TCP,
+    // a cut that never surfaced). Force the transport to rebuild its
+    // streams — snapshots always converge — instead of stalling forever.
+    if (!scratch_.empty()) {
+      stall_since_us_ = 0;
+      stall_marker_ = pump_->payload_stalls();
+    } else if (pump_->payload_stalls() > stall_marker_) {
+      if (stall_since_us_ == 0) {
+        stall_since_us_ = now_us;
+      } else if (now_us - stall_since_us_ >= spec_.mirror_stall_resync_us) {
+        spec_.mirror_resync();
+        stall_since_us_ = 0;
+        stall_marker_ = pump_->payload_stalls();
+      }
+    }
   }
   if (pump_->exhausted()) {
     log_full_.store(true, std::memory_order_release);
     // Whatever the pump can no longer place must not wait forever.
     if (pump_->in_flight() == 0) queue_.abort_all(AppendOutcome::kLogFull);
     else queue_.abort_pending(AppendOutcome::kLogFull);
+  }
+  // Pacing signal: this sweep either harvested commits or still has
+  // commands queued/in flight that want fast sweeps.
+  return !scratch_.empty() || queue_.has_work();
+}
+
+void LogGroup::apply_commits_multi(std::uint64_t first) {
+  // Resolve completions run by run: commits of one ticket are one slot's
+  // batch and arrive contiguously; remote-sealed entries carry no local
+  // bookkeeping (their sealer acknowledges its own clients).
+  const std::size_t count = scratch_.size();
+  std::size_t i = 0;
+  while (i < count) {
+    if (scratch_[i].local && scratch_[i].ticket != 0) {
+      const std::uint64_t ticket = scratch_[i].ticket;
+      std::size_t j = i;
+      while (j < count && scratch_[j].local && scratch_[j].ticket == ticket) {
+        ++j;
+      }
+      const std::size_t before = recs_.size();
+      queue_.commit_owned(ticket, first + i, recs_);
+      OMEGA_CHECK(recs_.size() - before == j - i,
+                  "ticket " << ticket << " resolved " << (recs_.size() - before)
+                            << " entries, slot batch has " << (j - i));
+      for (std::size_t k = i; k < j; ++k) {
+        OMEGA_CHECK(recs_[before + k - i].command == values_[k],
+                    "ticket " << ticket << " command mismatch at index "
+                              << (first + k));
+      }
+      i = j;
+    } else {
+      recs_.push_back(
+          CommandQueue::CommitRecord{0, 0, scratch_[i].value});
+      ++i;
+    }
   }
 }
 

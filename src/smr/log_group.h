@@ -1,5 +1,5 @@
 // LogGroup: one live replicated-log group — a ReplicatedLog bound to the
-// real rt::AtomicMemory of an svc election group, pumped incrementally on
+// real register backend of an svc election group, pumped incrementally on
 // the group's owning shard worker.
 //
 // This is the paper's headline application running on the live runtime:
@@ -13,10 +13,35 @@
 // descriptor instead of a single command — the sweep drains up to
 // max_batch queued commands into the group's shared BatchBuffer ring (a
 // spill region declared next to the log's slot registers), seals the
-// batch, and the slot's proposers agree on (count, checksum). Commits
+// batch, and the slot's proposers agree on (count, sealer). Commits
 // apply and acknowledge the whole batch in FIFO order with one queue lock
 // and one commit-hook invocation. max_batch == 1 (the default) keeps the
 // unbatched pump byte-for-byte, including the layout.
+//
+// Multi-node deployment (SmrSpec::local_mask): replicas of the group are
+// split across OS processes over pushed register mirrors
+// (registers/mirror.h + net/register_peer.h). Each process's LogGroup
+// pumps only its local replicas:
+//   * the node hosting the elected leader *seals* — it drains its own
+//     CommandQueue into spill rows (ticketed owned batches, so
+//     acknowledgements survive failover re-proposals) and proposes;
+//   * follower nodes pump in observer mode — they harvest slots decided
+//     elsewhere (values arrive through the mirror) and apply them to
+//     their own copy of the state machine, so READ_LOG and COMMIT_WATCH
+//     are served identically on every node; their intake stays gated
+//     (the net front-end answers kNotLeader with the leader hint);
+//   * across a failover, batches the dead leader sealed are adopted and
+//     re-pushed by the new leader, and batches the new leader sealed
+//     that lost their slot are re-proposed exactly once (see
+//     consensus/log_pump.h for the ledger mechanics);
+//   * sealing is flow-controlled by the mirror transport: when a
+//     connected peer's unacked push backlog exceeds max_unacked_push,
+//     the pump stops sealing new batches so no mirror can lag past the
+//     spill ring.
+// Dedup sessions remain node-local: a client whose command committed
+// under a leader that then died can observe a duplicate if it retries
+// against the new leader (the classic async-replication window; closing
+// it means writing session state through the log itself — future work).
 //
 // Wiring (done by SmrService): the LogGroup is handed to the svc registry
 // as GroupSpec{extra_registers = declare(), pump = this}; the Group
@@ -56,13 +81,42 @@ struct SmrSpec {
   /// Dedup-session expiry for idle clients (0 = keep forever). See
   /// command_queue.h for the retry-window tradeoff.
   std::int64_t session_ttl_us = 0;
+  /// Replicas hosted by THIS process (bit p). 0 = all local (the
+  /// single-process deployment). Must agree with the svc GroupSpec the
+  /// log is registered under (SmrService forwards it).
+  std::uint64_t local_mask = 0;
+  /// Storage override forwarded to the svc group (the multi-node runtime
+  /// installs a MirroredMemory factory wired to the push transport).
+  MemoryFactory memory_factory{};
+  /// Flow-control probe: current deepest unacked push backlog (frames)
+  /// over connected mirror peers — net::MirrorTransport::
+  /// max_unacked_frames. Empty = no flow control (single-process).
+  std::function<std::uint64_t()> mirror_backlog{};
+  /// Sealing stalls while mirror_backlog() exceeds this.
+  std::uint64_t max_unacked_push = 128;
+  /// Self-healing hook: invoked when a decided slot's payload has not
+  /// become readable for mirror_stall_resync_us (a wedged stream), to
+  /// make the transport rebuild its streams with fresh snapshots —
+  /// net::MirrorTransport::force_resync. Empty = wait indefinitely.
+  std::function<void()> mirror_resync{};
+  std::int64_t mirror_stall_resync_us = 2000000;
+  /// Extra spill-ring rows beyond the window in multi-node mode: the
+  /// slack a lagging mirror may trail the sealer by before the
+  /// flow-control stall kicks in.
+  std::uint32_t ring_slack = 64;
+
+  bool is_local(ProcessId p) const noexcept {
+    return local_mask_covers(local_mask, p);
+  }
 };
 
 /// Invoked on the owning worker once per applied batch, right after the
 /// batch's own append completions fired: entries `values[i]` / `recs[i]`
 /// were applied at index `first_index + i`. Same contract as
 /// svc::EpochListener: cheap, non-blocking, hand anything heavier to
-/// another thread.
+/// another thread. For entries committed by a remote node's pump, `recs`
+/// carries {0, 0, command} — the (client, seq) bookkeeping lives with the
+/// sealer.
 using CommitHook = std::function<void(
     std::uint64_t first_index, const std::vector<std::uint64_t>& values,
     const std::vector<CommandQueue::CommitRecord>& recs)>;
@@ -75,6 +129,10 @@ class LogGroup final : public svc::GroupPump {
   const SmrSpec& spec() const noexcept { return spec_; }
   CommandQueue& queue() noexcept { return queue_; }
 
+  /// True iff replica `pid` executes in this process.
+  bool hosts(ProcessId pid) const noexcept { return spec_.is_local(pid); }
+  bool multi_node() const noexcept { return multi_node_; }
+
   /// LayoutExtension body for GroupSpec::extra_registers.
   void declare(LayoutBuilder& b) {
     log_.declare(b);
@@ -84,7 +142,7 @@ class LogGroup final : public svc::GroupPump {
   // --- svc::GroupPump ------------------------------------------------------
 
   void attach(svc::Group& g) override;
-  void on_sweep(svc::Group& g, std::int64_t now_us) override;
+  bool on_sweep(svc::Group& g, std::int64_t now_us) override;
 
   // --- read side (any thread) ----------------------------------------------
 
@@ -125,10 +183,14 @@ class LogGroup final : public svc::GroupPump {
 
  private:
   /// PumpHost over the group's executors (owner-thread calls only).
+  /// live() is false for replicas hosted on other nodes, so proposers
+  /// only spawn on local execution streams.
   class ExecHost final : public PumpHost {
    public:
     std::uint32_t n() const override { return g_->spec.n; }
-    bool live(ProcessId i) const override { return !g_->execs[i]->crashed(); }
+    bool live(ProcessId i) const override {
+      return g_->execs[i] != nullptr && !g_->execs[i]->crashed();
+    }
     void spawn(ProcessId i, ProcTask task) override {
       g_->execs[i]->add_app_task(std::move(task));
     }
@@ -137,25 +199,44 @@ class LogGroup final : public svc::GroupPump {
     svc::Group* g_ = nullptr;
   };
 
-  /// BatchSource over the command queue (owner-thread calls only).
+  /// BatchSource over the command queue. Single-process: plain FIFO
+  /// pull (ticket 0, commits pop in order). Multi-node: ticketed owned
+  /// batches, gated on local leadership and mirror flow control.
   class QueueSource final : public BatchSource {
    public:
-    explicit QueueSource(CommandQueue& q) : q_(q) {}
-    std::uint32_t pull(std::uint32_t max,
-                       std::vector<std::uint64_t>& out) override {
-      return q_.pull_batch(max, out);
+    explicit QueueSource(LogGroup& lg) : lg_(lg) {}
+    std::uint32_t pull(std::uint32_t max, std::vector<std::uint64_t>& out,
+                       std::uint64_t& ticket) override {
+      if (!lg_.multi_node_) {
+        ticket = 0;
+        return lg_.queue_.pull_batch(max, out);
+      }
+      if (!lg_.seal_ok_) return 0;
+      return lg_.queue_.pull_batch_owned(max, out, ticket);
     }
 
    private:
-    CommandQueue& q_;
+    LogGroup& lg_;
   };
+
+  /// Applies a sweep's harvest in multi-node mode: local (ticketed) runs
+  /// acknowledge their owned batches, remote runs apply silently.
+  void apply_commits_multi(std::uint64_t first);
 
   const svc::GroupId gid_;
   const SmrSpec spec_;
+  const bool multi_node_;
+  const ProcessId sealer_;  ///< lowest local replica: this node's bank
   ReplicatedLog log_;
   std::optional<BatchBuffer> batch_;  ///< engaged iff max_batch > 1
   CommandQueue queue_;
   QueueSource source_;
+  bool seal_ok_ = true;       ///< per-sweep: may pull fresh batches
+  bool leader_local_ = true;  ///< per-sweep: elected leader lives here
+  /// Payload-stall watchdog (multi-node): when the pump reports stalls
+  /// without commit progress for too long, fire the resync hook.
+  std::uint64_t stall_marker_ = 0;   ///< payload_stalls at last progress
+  std::int64_t stall_since_us_ = 0;  ///< 0 = not currently stalled
   /// Reader/writer split as in GroupRegistry's listener seam: on_sweep
   /// holds the shared side across the call, clear_hook's unique lock
   /// doubles as a completion barrier.

@@ -1,0 +1,123 @@
+#include "smr/node.h"
+
+#include "registers/mirror.h"
+
+namespace omega::smr {
+
+std::uint64_t NodeTopology::local_mask(std::uint32_t n) const {
+  OMEGA_CHECK(!nodes.empty(), "empty topology");
+  OMEGA_CHECK(n <= 64, "mirror deployments support up to 64 replicas");
+  std::uint64_t mask = 0;
+  for (ProcessId p = 0; p < n; ++p) {
+    if (node_of(p) == self) mask |= std::uint64_t{1} << p;
+  }
+  return mask;
+}
+
+const NodeEndpoint* NodeTopology::endpoint_of_replica(ProcessId pid) const {
+  const std::uint32_t node = node_of(pid);
+  for (const auto& e : nodes) {
+    if (e.node == node) return &e;
+  }
+  return nullptr;
+}
+
+net::MirrorConfig SmrNode::mirror_config(const NodeTopology& topo) {
+  OMEGA_CHECK(topo.self < topo.nodes.size(),
+              "self " << topo.self << " outside the topology");
+  net::MirrorConfig cfg;
+  cfg.node = topo.self;
+  for (std::uint32_t i = 0; i < topo.nodes.size(); ++i) {
+    const NodeEndpoint& e = topo.nodes[i];
+    OMEGA_CHECK(e.node == i, "topology nodes must be dense: entry "
+                                 << i << " has id " << e.node);
+    if (i == topo.self) {
+      cfg.bind_address = e.host;
+      cfg.port = e.mirror_port;
+    } else {
+      cfg.peers.push_back(
+          net::MirrorPeerConfig{e.node, e.host, e.mirror_port});
+    }
+  }
+  return cfg;
+}
+
+SmrNode::SmrNode(NodeTopology topo, svc::SvcConfig svc_cfg,
+                 net::NetConfig net_cfg)
+    : topo_(std::move(topo)),
+      mirror_(mirror_config(topo_)),
+      svc_(svc_cfg),
+      smr_(svc_) {
+  net_cfg.bind_address = topo_.nodes[topo_.self].host;
+  net_cfg.port = topo_.nodes[topo_.self].serve_port;
+  server_ = std::make_unique<net::LeaderServer>(svc_, net_cfg);
+  server_->serve_log(smr_);
+}
+
+SmrNode::~SmrNode() { stop(); }
+
+void SmrNode::add_log(svc::GroupId gid, SmrSpec spec) {
+  OMEGA_CHECK(spec.local_mask == 0 && !spec.memory_factory,
+              "SmrNode derives locality and storage from the topology");
+  const std::uint64_t mask = topo_.local_mask(spec.n);
+  // A mask of 0 here means the placement rule put no replica on this
+  // node (more nodes than replicas) — but 0 is the shared "all local"
+  // convention downstream, so accepting it would spin up a disconnected
+  // private copy of the whole group (split brain). Refuse loudly; such
+  // nodes simply do not host this log.
+  OMEGA_CHECK(mask != 0,
+              "node " << topo_.self << " hosts no replica of group " << gid
+                      << " (n=" << spec.n << ", " << topo_.num_nodes()
+                      << " nodes): add the log only on hosting nodes");
+  spec.local_mask = mask;
+  // If the whole group happens to land on this node (more nodes than
+  // replica slots used, or a 1-node topology), the mirror degenerates to
+  // plain local storage and no push traffic exists for it — but keep the
+  // MirroredMemory backend so the deployment story is uniform.
+  net::MirrorTransport* transport = &mirror_;
+  spec.memory_factory = [transport, gid, mask](Layout layout,
+                                               std::uint32_t n) {
+    auto mem =
+        std::make_unique<MirroredMemory>(std::move(layout), n, mask);
+    if (mem->has_remote()) {
+      MirroredMemory* raw = mem.get();
+      transport->add_group(gid, raw);
+      // Unregister before the cells die: a log retired at runtime must
+      // never leave the transport's push path a dangling pointer (the
+      // transport outlives every group by SmrNode's member order).
+      raw->set_teardown(
+          [transport, gid] { transport->remove_group(gid); });
+      raw->set_write_observer(
+          [transport, gid, raw](Cell c, std::uint64_t v) {
+            if (raw->should_push(c)) transport->on_local_write(gid, c, v);
+          });
+    }
+    return mem;
+  };
+  spec.mirror_backlog = [transport] {
+    return transport->max_unacked_frames();
+  };
+  spec.mirror_resync = [transport] { transport->force_resync(); };
+  smr_.add_log(gid, spec);
+}
+
+void SmrNode::start() {
+  OMEGA_CHECK(!started_, "start() called twice");
+  started_ = true;
+  mirror_.start();
+  svc_.start();
+  server_->start();
+}
+
+void SmrNode::stop() {
+  if (!started_) return;
+  // Server first (stops serving + uninstalls listeners), then the worker
+  // pool (stops stepping — and with it every write-observer call), then
+  // the mirror streams.
+  server_->stop();
+  svc_.stop();
+  mirror_.stop();
+  started_ = false;
+}
+
+}  // namespace omega::smr

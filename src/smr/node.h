@@ -1,0 +1,117 @@
+// SmrNode: one OS process of a multi-node replicated-log deployment.
+//
+// Assembly (the topology is shared, verbatim, by every node):
+//
+//   smr::NodeTopology topo;
+//   topo.self = 0;                       // my entry in `nodes`
+//   topo.nodes = {{0, "127.0.0.1", 7000, 7100},
+//                 {1, "127.0.0.1", 7001, 7101},
+//                 {2, "127.0.0.1", 7002, 7102}};
+//   smr::SmrNode node(topo);
+//   node.add_log(42, {.n = 3, .capacity = 4096, .max_batch = 64});
+//   node.start();                        // serving + mirroring
+//
+// Replica placement is deterministic: replica p of an n-replica group
+// lives on node p % nodes.size(), so every process derives the same
+// locality mask from the same topology and the group layouts agree cell
+// for cell (which is what the pushed mirrors rely on).
+//
+// What one node runs:
+//   * a MirrorTransport (net/register_peer.h) — pushes every local
+//     register write to the peers, applies their pushes into the groups'
+//     MirroredMemory;
+//   * a MultiGroupLeaderService stepping only the locally-hosted
+//     replicas (svc::GroupSpec::local_mask);
+//   * an SmrService whose LogGroups seal when the elected leader is
+//     local and observe otherwise (smr/log_group.h);
+//   * a LeaderServer on `serve_port` answering the v1 client protocol —
+//     appends commit on the leader node; elsewhere they answer
+//     kNotLeader with the leader pid, which the client maps back to a
+//     node via the shared topology (node_of / endpoint helpers).
+//
+// Every node serves READ_LOG, COMMIT_WATCH and LEADER queries over its
+// own mirror — reads scale with nodes; appends go to the leader.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/leader_server.h"
+#include "net/register_peer.h"
+#include "smr/smr_service.h"
+
+namespace omega::smr {
+
+/// One node's addresses in the shared topology.
+struct NodeEndpoint {
+  std::uint32_t node = 0;         ///< dense id, unique, == index in `nodes`
+  std::string host = "127.0.0.1";
+  std::uint16_t serve_port = 0;   ///< LeaderServer (clients)
+  std::uint16_t mirror_port = 0;  ///< MirrorTransport (peers)
+};
+
+struct NodeTopology {
+  std::uint32_t self = 0;
+  std::vector<NodeEndpoint> nodes;
+
+  std::uint32_t num_nodes() const noexcept {
+    return static_cast<std::uint32_t>(nodes.size());
+  }
+  /// Node hosting replica `pid` of an n-replica group.
+  std::uint32_t node_of(ProcessId pid) const noexcept {
+    return pid % num_nodes();
+  }
+  /// This process's locality mask for an n-replica group.
+  std::uint64_t local_mask(std::uint32_t n) const;
+  /// Serving endpoint of the node hosting replica `pid` (nullptr if the
+  /// topology is malformed).
+  const NodeEndpoint* endpoint_of_replica(ProcessId pid) const;
+};
+
+class SmrNode {
+ public:
+  /// Binds the mirror and serving sockets immediately (ports readable
+  /// right away); serves nothing until start(). `svc_cfg`/`net_cfg` tune
+  /// the worker pool and the client front-end as in single-process use.
+  explicit SmrNode(NodeTopology topo, svc::SvcConfig svc_cfg = {},
+                   net::NetConfig net_cfg = {});
+  ~SmrNode();
+
+  SmrNode(const SmrNode&) = delete;
+  SmrNode& operator=(const SmrNode&) = delete;
+
+  /// Creates the log group on this node. Call with the SAME gid and spec
+  /// on every node (capacity/window/max_batch shape the shared layout);
+  /// local_mask/memory_factory are derived here and must be left empty.
+  /// Add every log before start() — the mirrors resync on later adds,
+  /// but the cold-start path is the tested one.
+  void add_log(svc::GroupId gid, SmrSpec spec);
+
+  void start();
+  void stop();
+
+  const NodeTopology& topology() const noexcept { return topo_; }
+  std::uint16_t client_port() const noexcept { return server_->port(); }
+  std::uint16_t mirror_port() const noexcept { return mirror_.port(); }
+
+  svc::MultiGroupLeaderService& service() noexcept { return svc_; }
+  SmrService& smr() noexcept { return smr_; }
+  net::MirrorTransport& mirror() noexcept { return mirror_; }
+  net::LeaderServer& server() noexcept { return *server_; }
+
+ private:
+  static net::MirrorConfig mirror_config(const NodeTopology& topo);
+
+  NodeTopology topo_;
+  /// Destruction order (reverse of declaration): server, smr, svc, then
+  /// the transport last — group memories reference it via their write
+  /// observers until the svc groups die.
+  net::MirrorTransport mirror_;
+  svc::MultiGroupLeaderService svc_;
+  SmrService smr_;
+  std::unique_ptr<net::LeaderServer> server_;
+  bool started_ = false;
+};
+
+}  // namespace omega::smr

@@ -37,6 +37,8 @@ void SmrService::add_log(svc::GroupId gid, const SmrSpec& spec) {
   gspec.n = spec.n;
   gspec.extra_registers = [lg](LayoutBuilder& b) { lg->declare(b); };
   gspec.pump = lg;
+  gspec.local_mask = spec.local_mask;
+  gspec.memory_factory = spec.memory_factory;
   try {
     svc_.add_group(gid, gspec);
   } catch (...) {
@@ -117,6 +119,21 @@ std::uint64_t SmrService::commit_index(svc::GroupId gid) const {
 CommandQueue::Stats SmrService::queue_stats(svc::GroupId gid) const {
   const auto lg = find(gid);
   return lg ? lg->queue().stats() : CommandQueue::Stats{};
+}
+
+bool SmrService::open_session(svc::GroupId gid, std::uint64_t client,
+                              std::int64_t& ttl_us) {
+  const auto lg = find(gid);
+  if (!lg) return false;
+  ttl_us = lg->queue().open_session(client);
+  return true;
+}
+
+bool SmrService::hosts_replica(svc::GroupId gid, ProcessId pid) const {
+  const auto lg = find(gid);
+  // Unknown gids answer true: the append path has already resolved the
+  // group, and single-process deployments host everything.
+  return lg ? lg->hosts(pid) : true;
 }
 
 std::optional<std::uint64_t> SmrService::decided_by(svc::GroupId gid,

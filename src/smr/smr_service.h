@@ -81,6 +81,16 @@ class SmrService {
   /// unknown gids) — surfaces the dedup-map bound and TTL evictions.
   CommandQueue::Stats queue_stats(svc::GroupId gid) const;
 
+  /// SESSION_OPEN handshake: (re)creates `client`'s dedup session and
+  /// reports the group's eviction TTL. False if the gid is unknown.
+  bool open_session(svc::GroupId gid, std::uint64_t client,
+                    std::int64_t& ttl_us);
+
+  /// Whether replica `pid` of the log executes in this process (true for
+  /// single-process groups and unknown gids) — the front-end's
+  /// redirect-to-leader-node gate.
+  bool hosts_replica(svc::GroupId gid, ProcessId pid) const;
+
   /// Installs (or clears) the commit push listener. Barrier semantics as
   /// with svc's epoch listener: on return, no in-flight invocation of the
   /// previous listener is still running.

@@ -11,18 +11,27 @@ Group::Group(GroupId id_, const GroupSpec& spec_, std::int64_t tick_us,
   OMEGA_CHECK(spec.n >= 1 && spec.n <= 64,
               "group " << id << ": svc supports 1..64 processes, got "
                        << spec.n);
-  inst = make_omega(
-      spec.algo, spec.n,
-      [](Layout layout, std::uint32_t n) {
-        return std::unique_ptr<MemoryBackend>(
-            std::make_unique<AtomicMemory>(std::move(layout), n));
-      },
-      spec.extra_registers);
+  bool any_local = false;
+  for (ProcessId p = 0; p < spec.n; ++p) any_local |= spec.is_local(p);
+  OMEGA_CHECK(any_local, "group " << id << ": no replica is hosted here");
+  const MemoryFactory factory =
+      spec.memory_factory
+          ? spec.memory_factory
+          : [](Layout layout, std::uint32_t n) {
+              return std::unique_ptr<MemoryBackend>(
+                  std::make_unique<AtomicMemory>(std::move(layout), n));
+            };
+  inst = make_omega(spec.algo, spec.n, factory, spec.extra_registers);
   if (clock) inst.memory->set_clock(clock);
+  // Only locally-hosted replicas execute here; remote replicas keep a
+  // nullptr slot so pid indexing stays uniform across deployments. Their
+  // registers are refreshed by the mirror transport instead of by steps.
   execs.reserve(spec.n);
   for (std::uint32_t i = 0; i < spec.n; ++i) {
-    execs.push_back(std::make_unique<ProcExecutor>(*inst.processes[i],
-                                                   *inst.memory, tick_us));
+    execs.push_back(spec.is_local(i)
+                        ? std::make_unique<ProcExecutor>(*inst.processes[i],
+                                                         *inst.memory, tick_us)
+                        : nullptr);
   }
   // The pump binds its registers before the group becomes visible to any
   // worker (registration happens after construction, under the shard lock).
@@ -30,9 +39,13 @@ Group::Group(GroupId id_, const GroupSpec& spec_, std::int64_t tick_us,
 }
 
 ProcessId Group::agreed() const {
+  // Agreement is judged over the replicas hosted HERE: in a multi-node
+  // deployment each node publishes the view its own Ω replicas hold (the
+  // oracle's per-process output), and cross-node consistency follows from
+  // Ω's eventual agreement, not from peeking at remote executors.
   ProcessId common = kNoProcess;
   for (const auto& ex : execs) {
-    if (ex->crashed()) continue;
+    if (!ex || ex->crashed()) continue;
     const ProcessId view = ex->last_leader();
     if (view == kNoProcess) return kNoProcess;  // not sampled yet
     if (common == kNoProcess) {
@@ -42,7 +55,9 @@ ProcessId Group::agreed() const {
     }
   }
   if (common == kNoProcess || common >= spec.n) return kNoProcess;
-  if (execs[common]->crashed()) return kNoProcess;  // stale view
+  // A locally-hosted leader that crashed is a stale view; a remote leader
+  // is taken at the local Ω's word (its crash would surface as suspicion).
+  if (execs[common] && execs[common]->crashed()) return kNoProcess;
   return common;
 }
 

@@ -46,6 +46,9 @@ void MultiGroupLeaderService::crash(GroupId gid, ProcessId pid) {
   auto group = find_checked(gid);
   OMEGA_CHECK(pid < group->spec.n,
               "bad pid " << pid << " for group " << gid);
+  OMEGA_CHECK(group->execs[pid] != nullptr,
+              "pid " << pid << " of group " << gid
+                     << " is hosted on another node; crash it there");
   group->execs[pid]->crash();
 }
 
@@ -56,8 +59,10 @@ GroupStatus MultiGroupLeaderService::status(GroupId gid) const {
   s.local_views.reserve(group->spec.n);
   s.crashed.reserve(group->spec.n);
   for (const auto& ex : group->execs) {
-    s.local_views.push_back(ex->last_leader());
-    s.crashed.push_back(ex->crashed());
+    // Remote replicas report "never sampled / not crashed" — this node
+    // has no executor to ask.
+    s.local_views.push_back(ex ? ex->last_leader() : kNoProcess);
+    s.crashed.push_back(ex ? ex->crashed() : false);
   }
   s.failed = group->failed.load(std::memory_order_acquire);
   return s;

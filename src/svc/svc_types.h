@@ -29,13 +29,16 @@ struct Group;  // defined in group_registry.h
 /// registers and stash the group. on_sweep() runs on the owning shard
 /// worker once per sweep, after the group was stepped; that worker is the
 /// executors' owner thread, so the pump may spawn app tasks and reap
-/// finished ones there. Exceptions escaping on_sweep are model violations
-/// and fail the group like any task throw.
+/// finished ones there. Its return value is the adaptive-pacing traffic
+/// signal: true when the sweep found application work (commits harvested,
+/// commands queued or in flight), false for a pure-maintenance sweep —
+/// see SvcConfig::max_pace_us. Exceptions escaping on_sweep are model
+/// violations and fail the group like any task throw.
 class GroupPump {
  public:
   virtual ~GroupPump() = default;
   virtual void attach(Group& g) = 0;
-  virtual void on_sweep(Group& g, std::int64_t now_us) = 0;
+  virtual bool on_sweep(Group& g, std::int64_t now_us) = 0;
 };
 
 /// Per-group instantiation parameters.
@@ -47,6 +50,21 @@ struct GroupSpec {
   LayoutExtension extra_registers{};
   /// Optional application pump stepped by the owning worker (see above).
   std::shared_ptr<GroupPump> pump{};
+  /// Replicas hosted by THIS process (bit p set ⇒ replica p executes
+  /// here). 0 means "all local" — the classic single-process deployment.
+  /// With remote replicas, only local ones get executors (the rest are
+  /// nullptr slots in Group::execs), the group's memory should be a
+  /// MirroredMemory wired to a push transport (see memory_factory), and
+  /// agreement is judged over the local replicas' Ω views.
+  std::uint64_t local_mask = 0;
+  /// Optional storage override for the group's registers (defaults to
+  /// rt::AtomicMemory). The multi-node runtime installs a factory that
+  /// builds a MirroredMemory and registers it with the mirror transport.
+  MemoryFactory memory_factory{};
+
+  bool is_local(ProcessId p) const noexcept {
+    return local_mask_covers(local_mask, p);
+  }
 };
 
 /// Service-wide tuning knobs.
@@ -66,6 +84,17 @@ struct SvcConfig {
   /// boxes with fewer cores than workers a small pace keeps the query
   /// frontend and control threads responsive.
   std::int64_t pace_us = 0;
+  /// Adaptive sweep pacing: when > pace_us, a sweep that harvests nothing
+  /// — no timer fires, no epoch movement, no application-pump traffic —
+  /// doubles the worker's sleep from pace_us up to this cap, and any
+  /// harvest snaps it back to pace_us. Converged idle groups then cost
+  /// heartbeat writes at the backed-off cadence instead of a spinning
+  /// core (the sweep spin costs ~35% of batched SMR throughput on a
+  /// single-core box), while traffic keeps the fast pace. Pick it with
+  /// margin under the monitor timeout (tick_us × the algorithm's timeout
+  /// value), or the slowed heartbeats will look like crashes. 0 disables
+  /// (fixed pace_us, the pre-adaptive behaviour).
+  std::int64_t max_pace_us = 0;
   /// Niceness the workers give themselves at start (0 = inherit). Once a
   /// fleet is converged, stepping is pure maintenance: on machines where
   /// the pool shares cores with serving threads (the net front-end, an
@@ -113,6 +142,7 @@ struct SvcStats {
   std::uint64_t sweeps = 0;       ///< full shard passes
   std::uint64_t timer_fires = 0;  ///< monitor wakeups delivered
   std::uint64_t groups = 0;       ///< groups currently registered
+  std::int64_t max_pace_us = 0;   ///< deepest current adaptive back-off
 };
 
 }  // namespace omega::svc

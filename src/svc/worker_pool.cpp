@@ -1,5 +1,6 @@
 #include "svc/worker_pool.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #ifdef __linux__
@@ -57,6 +58,8 @@ SvcStats WorkerPool::stats() const {
     s.steps += w->steps.load(std::memory_order_relaxed);
     s.sweeps += w->sweeps.load(std::memory_order_relaxed);
     s.timer_fires += w->fires.load(std::memory_order_relaxed);
+    s.max_pace_us = std::max(s.max_pace_us,
+                             w->pace_us.load(std::memory_order_relaxed));
   }
   s.groups = registry_.size();
   return s;
@@ -90,8 +93,16 @@ void WorkerPool::run_worker(std::uint32_t w) {
   std::unordered_map<GroupId, Group*> index;
   std::uint64_t steps_batch = 0;
   std::uint64_t fires_batch = 0;
+  // Adaptive pace state: the current sleep, doubling toward max_pace_us
+  // across quiet sweeps and snapping back to pace_us on any harvest.
+  const bool adaptive = cfg_.max_pace_us > cfg_.pace_us;
+  std::int64_t pace = cfg_.pace_us;
 
   while (!stop_flag_.load(std::memory_order_acquire)) {
+    // Quiet until proven busy: timer fires, epoch movement, or pump
+    // traffic below all count as harvest; bare heartbeat/maintenance
+    // steps do not (they are exactly the spin worth backing off).
+    bool harvested = false;
     // 1. Refresh the working set if the shard membership changed.
     const std::uint64_t version = registry_.shard_version(w);
     if (!me.snapshotted || version != me.seen_version) {
@@ -118,8 +129,9 @@ void WorkerPool::run_worker(std::uint32_t w) {
         continue;
       }
       // A stale entry can name a group that was removed and re-added under
-      // the same id with fewer processes; its pid may be out of range.
-      if (d.pid >= g.spec.n) continue;
+      // the same id with fewer processes; its pid may be out of range (or
+      // hosted on another node under a different locality mask).
+      if (d.pid >= g.spec.n || !g.execs[d.pid]) continue;
       ProcExecutor& ex = *g.execs[d.pid];
       try {
         const std::uint32_t scan_cap = 4 * g.spec.n + 8;
@@ -127,6 +139,7 @@ void WorkerPool::run_worker(std::uint32_t w) {
         if (ops > 0) {
           ++fires_batch;
           steps_batch += ops;
+          harvested = true;
         }
         const std::int64_t deadline = ex.poll_timer(now);
         if (deadline != kNoDeadline) me.wheel.insert(deadline, g.id, d.pid);
@@ -145,6 +158,7 @@ void WorkerPool::run_worker(std::uint32_t w) {
       }
       try {
         for (std::uint32_t pid = 0; pid < g.spec.n; ++pid) {
+          if (!g.execs[pid]) continue;  // hosted on another node
           ProcExecutor& ex = *g.execs[pid];
           if (ex.crashed()) continue;
           for (std::uint32_t k = 0; k < cfg_.ops_per_sweep; ++k) {
@@ -159,10 +173,12 @@ void WorkerPool::run_worker(std::uint32_t w) {
         // benches) instead of making consumers poll the cache.
         if (g.cache.publish(g.agreed())) {
           registry_.notify_epoch_change(g.id, g.cache.load());
+          harvested = true;
         }
         // Application pump (e.g. the SMR log): runs on this worker — the
-        // executors' owner thread — so it may spawn/reap app tasks.
-        if (g.spec.pump) g.spec.pump->on_sweep(g, now);
+        // executors' owner thread — so it may spawn/reap app tasks. Its
+        // return value is the pump-traffic half of the pacing signal.
+        if (g.spec.pump && g.spec.pump->on_sweep(g, now)) harvested = true;
       } catch (const std::exception& e) {
         mark_failed(g, e.what());
       }
@@ -174,8 +190,17 @@ void WorkerPool::run_worker(std::uint32_t w) {
     fires_batch = 0;
     me.sweeps.fetch_add(1, std::memory_order_relaxed);
 
-    if (cfg_.pace_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(cfg_.pace_us));
+    if (adaptive) {
+      if (harvested) {
+        pace = cfg_.pace_us;
+      } else {
+        pace = pace > 0 ? std::min<std::int64_t>(pace * 2, cfg_.max_pace_us)
+                        : std::min<std::int64_t>(64, cfg_.max_pace_us);
+      }
+      me.pace_us.store(pace, std::memory_order_relaxed);
+    }
+    if (pace > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(pace));
     }
   }
 }

@@ -70,6 +70,8 @@ class WorkerPool {
     std::atomic<std::uint64_t> steps{0};
     std::atomic<std::uint64_t> sweeps{0};
     std::atomic<std::uint64_t> fires{0};
+    /// Current adaptive sleep (== cfg.pace_us unless backed off).
+    std::atomic<std::int64_t> pace_us{0};
   };
 
   void run_worker(std::uint32_t w);

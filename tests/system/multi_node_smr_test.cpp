@@ -1,0 +1,286 @@
+// Three OS processes, one replicated log: each child runs an SmrNode
+// (one replica + mirror transport + TCP front-end); the parent is a pure
+// protocol client. Verifies the ISSUE-5 acceptance behaviour end to end:
+// appends commit on every node in FIFO order, and SIGKILL of the leader
+// process elects a new leader that serves appends.
+//
+// fork() happens before any thread exists in this test binary (gtest
+// discovery runs each TEST in its own process), so the children may
+// safely construct the full threaded runtime.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "smr/node.h"
+
+namespace omega::smr {
+namespace {
+
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+constexpr svc::GroupId kGid = 42;
+
+NodeTopology make_topology() {
+  NodeTopology topo;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    topo.nodes.push_back(NodeEndpoint{i, "127.0.0.1", pick_free_port(),
+                                      pick_free_port()});
+  }
+  return topo;
+}
+
+SmrSpec test_spec() {
+  SmrSpec spec;
+  spec.n = 3;
+  spec.capacity = 512;
+  spec.window = 4;
+  spec.max_batch = 8;
+  return spec;
+}
+
+/// Child body: build the node, run until killed.
+[[noreturn]] void run_node(const NodeTopology& base, std::uint32_t self) {
+  try {
+    NodeTopology topo = base;
+    topo.self = self;
+    svc::SvcConfig scfg;
+    scfg.workers = 1;
+    // Millisecond-scale ticks: cross-process heartbeats ride TCP, and on
+    // a shared single-core box the monitors need margin over scheduling
+    // noise. Adaptive pace keeps three idle nodes off the one core.
+    scfg.tick_us = 1000;
+    scfg.pace_us = 200;
+    scfg.max_pace_us = 2000;
+    SmrNode node(topo, scfg);
+    node.add_log(kGid, test_spec());
+    node.start();
+    for (;;) {
+      // A failed group (model violation) would otherwise stall silently:
+      // surface it loudly so a stuck parent-side deadline is diagnosable.
+      if (node.service().failed()) {
+        std::fprintf(stderr, "node %u FAILED: %s\n", self,
+                     node.service().failure_message().c_str());
+        _exit(2);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "node %u threw: %s\n", self, e.what());
+    _exit(1);
+  } catch (...) {
+    _exit(1);
+  }
+  _exit(0);
+}
+
+class Cluster {
+ public:
+  Cluster() : topo_(make_topology()) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const pid_t pid = fork();
+      if (pid == 0) run_node(topo_, i);
+      pids_.push_back(pid);
+    }
+  }
+
+  ~Cluster() {
+    for (const pid_t pid : pids_) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+    for (const pid_t pid : pids_) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+  const NodeTopology& topo() const { return topo_; }
+
+  void kill_node(std::uint32_t node) {
+    ::kill(pids_[node], SIGKILL);
+    ::waitpid(pids_[node], nullptr, 0);
+    pids_[node] = -1;
+    dead_.push_back(node);
+  }
+
+  bool alive(std::uint32_t node) const { return pids_[node] > 0; }
+
+  /// Blocking connect with retries (children need time to bind+serve).
+  void connect(net::Client& c, std::uint32_t node, int deadline_s = 60) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadline_s);
+    for (;;) {
+      try {
+        c.connect("127.0.0.1", topo_.nodes[node].serve_port, 2000);
+        c.enable_auto_reconnect();
+        return;
+      } catch (const net::NetError&) {
+        if (std::chrono::steady_clock::now() >= deadline) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+  }
+
+  /// Waits until some ALIVE node reports an agreed leader hosted on an
+  /// alive node; returns the leader's replica id (kNoProcess on timeout).
+  ProcessId await_leader(int deadline_s) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadline_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (std::uint32_t node = 0; node < 3; ++node) {
+        if (!alive(node)) continue;
+        try {
+          net::Client c;
+          connect(c, node, 5);
+          const auto r = c.leader(kGid);
+          if (r.ok() && r.view.leader != kNoProcess &&
+              alive(topo_.node_of(r.view.leader))) {
+            return r.view.leader;
+          }
+        } catch (const net::NetError&) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return kNoProcess;
+  }
+
+ private:
+  NodeTopology topo_;
+  std::vector<pid_t> pids_;
+  std::vector<std::uint32_t> dead_;
+};
+
+/// Appends via whatever node currently leads, following NotLeader hints.
+void append_until_committed(Cluster& cluster, std::uint64_t client,
+                            std::uint64_t seq, std::uint64_t cmd,
+                            int deadline_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(deadline_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ProcessId leader = cluster.await_leader(deadline_s);
+    ASSERT_NE(leader, kNoProcess) << "no leader elected in time";
+    const std::uint32_t node = cluster.topo().node_of(leader);
+    try {
+      net::Client c;
+      cluster.connect(c, node, 10);
+      const auto r = c.append_retry(kGid, client, seq, cmd, 15000);
+      if (r.ok()) return;
+    } catch (const net::NetError&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  FAIL() << "append of " << cmd << " did not commit in " << deadline_s
+         << "s";
+}
+
+TEST(MultiNodeSmr, FifoCommitsOnAllNodesAndSigkillFailover) {
+  Cluster cluster;
+
+  // Phase 1: a stable leader emerges across three OS processes (the Ω
+  // heartbeats travel the register mirror).
+  const ProcessId first_leader = cluster.await_leader(120);
+  ASSERT_NE(first_leader, kNoProcess);
+
+  // Phase 2: a batch of appends commits...
+  constexpr std::uint64_t kFirst = 20;
+  for (std::uint64_t i = 0; i < kFirst; ++i) {
+    append_until_committed(cluster, /*client=*/1, /*seq=*/1 + i, 500 + i,
+                           120);
+  }
+
+  // ...and becomes visible on EVERY node, in FIFO order (followers apply
+  // through their mirrors).
+  for (std::uint32_t node = 0; node < 3; ++node) {
+    net::Client c;
+    cluster.connect(c, node);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    net::Client::LogView page;
+    for (;;) {
+      page = c.read_log(kGid, 0, 256);
+      if (page.status == net::Status::kOk && page.commit_index >= kFirst) {
+        break;
+      }
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "node " << node << " never caught up (commit_index "
+          << page.commit_index << ")";
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    ASSERT_GE(page.entries.size(), kFirst);
+    for (std::uint64_t i = 0; i < kFirst; ++i) {
+      EXPECT_EQ(page.entries[i], 500 + i)
+          << "node " << node << " diverges at index " << i;
+    }
+  }
+
+  // Phase 3: SIGKILL the leader's process; the survivors must elect a
+  // new leader that serves appends.
+  const std::uint32_t dead = cluster.topo().node_of(first_leader);
+  cluster.kill_node(dead);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    append_until_committed(cluster, /*client=*/2, /*seq=*/1 + i, 900 + i,
+                           180);
+  }
+
+  // The surviving nodes agree on the full log, old prefix intact.
+  std::vector<std::uint64_t> logs[3];
+  for (std::uint32_t node = 0; node < 3; ++node) {
+    if (!cluster.alive(node)) continue;
+    net::Client c;
+    cluster.connect(c, node);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    for (;;) {
+      const auto page = c.read_log(kGid, 0, 256);
+      if (page.status == net::Status::kOk &&
+          page.commit_index >= kFirst + 5) {
+        logs[node] = page.entries;
+        break;
+      }
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+          << "survivor " << node << " never converged";
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    for (std::uint64_t i = 0; i < kFirst; ++i) {
+      EXPECT_EQ(logs[node][i], 500 + i) << "prefix rewritten on " << node;
+    }
+  }
+  std::vector<const std::vector<std::uint64_t>*> survivors;
+  for (std::uint32_t node = 0; node < 3; ++node) {
+    if (cluster.alive(node)) survivors.push_back(&logs[node]);
+  }
+  ASSERT_EQ(survivors.size(), 2u);
+  const std::size_t common =
+      std::min(survivors[0]->size(), survivors[1]->size());
+  for (std::size_t i = 0; i < common; ++i) {
+    EXPECT_EQ((*survivors[0])[i], (*survivors[1])[i])
+        << "survivors disagree at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace omega::smr

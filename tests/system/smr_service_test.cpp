@@ -348,6 +348,69 @@ TEST(SmrService, IdleSessionsAreEvictedAndCounted) {
   EXPECT_EQ(rig.smr->queue_stats(10).sessions, 1u);
 }
 
+TEST(SmrService, SessionOpenHandshakeAndExplicitEviction) {
+  SmrSpec spec;
+  spec.capacity = 64;
+  spec.session_ttl_us = 1500000;  // 1.5s: evictable within the test
+  Rig rig(11, spec);
+  net::Client c;
+  rig.connect(c);
+
+  // The handshake reports the TTL and licenses mid-stream seqs.
+  const auto info = c.open_session(11, /*client=*/77);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.ttl_us, spec.session_ttl_us);
+  ASSERT_TRUE(c.append_retry(11, 77, /*seq=*/5, /*command=*/21, 60000).ok());
+
+  // Without a session, a mid-stream seq is refused explicitly — the
+  // client must know its retry window is gone, not double-commit.
+  const auto refused = c.append(11, /*client=*/78, /*seq=*/9, 22);
+  EXPECT_EQ(refused.status, net::Status::kSessionEvicted);
+
+  // Go idle past the TTL (any append would restamp the session): once
+  // the pump sweep evicts it, the next mid-stream append answers
+  // kSessionEvicted until the client re-opens.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (rig.smr->queue_stats(11).sessions > 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "session never evicted";
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  const auto late = c.append(11, 77, /*seq=*/6, /*command=*/23);
+  EXPECT_EQ(late.status, net::Status::kSessionEvicted)
+      << "the lost retry window must be explicit";
+  ASSERT_TRUE(c.open_session(11, 77).ok());
+  EXPECT_TRUE(c.append_retry(11, 77, /*seq=*/100, /*command=*/24, 60000).ok())
+      << "re-opened session must accept fresh seqs";
+}
+
+TEST(SmrService, CommitWatchSurvivesReconnect) {
+  Rig rig(12);
+  net::Client c;
+  rig.connect(c);
+  c.enable_auto_reconnect();
+  ASSERT_TRUE(c.commit_watch(12).ok());
+  // The connection dies (server restart, timeout, desync — close() is
+  // the deterministic stand-in); the next call redials AND re-issues the
+  // subscription, so the commit push for the new append still arrives.
+  c.close();
+  ASSERT_TRUE(c.append_retry(12, /*client=*/5, /*seq=*/1, /*command=*/31,
+                             60000)
+                  .ok());
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  bool saw = false;
+  while (!saw && std::chrono::steady_clock::now() < deadline) {
+    const auto ev = c.next_event(/*timeout_ms=*/500);
+    if (ev.has_value() && ev->kind == net::Client::Event::Kind::kCommit &&
+        ev->value == 31) {
+      saw = true;
+    }
+  }
+  EXPECT_TRUE(saw) << "the re-subscribed watch must push the commit";
+}
+
 TEST(SmrService, LogFullIsReportedNotHung) {
   SmrSpec tiny;
   tiny.capacity = 4;

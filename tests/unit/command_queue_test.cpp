@@ -159,6 +159,8 @@ TEST(CommandQueue, PullBatchMovesFifoAndCommitBatchAcksEveryEntry) {
 
 TEST(CommandQueue, EvictsIdleSessionsButNeverBusyOnes) {
   CommandQueue q(16, /*session_ttl_us=*/1000);
+  // Mid-stream seqs need a session first (SESSION_OPEN handshake).
+  EXPECT_EQ(q.open_session(1), 1000);
   // Client 1 commits and goes idle; client 2 stays queued.
   ASSERT_EQ(q.submit(1, 7, 11, {}).outcome, AppendOutcome::kAccepted);
   ASSERT_EQ(q.submit(2, 1, 22, {}).outcome, AppendOutcome::kAccepted);
@@ -172,9 +174,22 @@ TEST(CommandQueue, EvictsIdleSessionsButNeverBusyOnes) {
   EXPECT_EQ(s.sessions, 1u) << "the busy session must survive";
   // Client 2's dedup window is intact...
   EXPECT_EQ(q.submit(2, 0, 9, {}).outcome, AppendOutcome::kStaleSeq);
-  // ...while client 1's is gone: a very late retry is indistinguishable
-  // from a fresh submission (the documented TTL tradeoff).
+  // ...while client 1's is gone — and the loss is EXPLICIT: the late
+  // retry answers kSessionEvicted instead of silently double-committing.
+  EXPECT_EQ(q.submit(1, 7, 11, {}).outcome, AppendOutcome::kSessionEvicted);
+  // Re-opening acknowledges the lost window and restores service.
+  EXPECT_EQ(q.open_session(1), 1000);
   EXPECT_EQ(q.submit(1, 7, 11, {}).outcome, AppendOutcome::kAccepted);
+}
+
+TEST(CommandQueue, SessionEvictedOnlyGatesMidStreamSeqs) {
+  CommandQueue q(16, /*session_ttl_us=*/1000);
+  // Fresh clients starting at seq 1 never need the handshake...
+  EXPECT_EQ(q.submit(9, 1, 5, {}).outcome, AppendOutcome::kAccepted);
+  // ...and TTL-free queues never gate at all (no eviction to surface).
+  CommandQueue forever(16, /*session_ttl_us=*/0);
+  EXPECT_EQ(forever.submit(9, 42, 5, {}).outcome, AppendOutcome::kAccepted);
+  EXPECT_EQ(forever.open_session(10), 0) << "TTL 0 reported as 'never'";
 }
 
 TEST(CommandQueue, EvictionScansAreRateLimited) {

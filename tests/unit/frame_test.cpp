@@ -323,5 +323,64 @@ TEST(Frame, StatsV11FieldsRoundTripAndOldBodiesStayZero) {
   EXPECT_EQ(f.stats.appends, 0u);
 }
 
+TEST(Frame, RegMirrorFramesRoundTrip) {
+  // v1.2 mirror stream: HELLO, a PUSH of three cells, the cumulative ACK.
+  std::vector<std::uint8_t> buf;
+  encode_reg_hello(buf, Status::kOk, /*req_id=*/1, /*node=*/2);
+  const RegCellUpdate cells[3] = {{10, 100}, {11, 0}, {65535, 1ull << 40}};
+  encode_reg_push(buf, /*gid=*/42, /*seq=*/7, cells, 3);
+  encode_reg_ack(buf, /*seq=*/7);
+  const auto frames = decode_stream(buf, buf.size());
+  ASSERT_EQ(frames.size(), 3u);
+
+  EXPECT_EQ(frames[0].header.type, MsgType::kRegHello);
+  EXPECT_EQ(frames[0].reg_hello.node, 2u);
+
+  EXPECT_EQ(frames[1].header.type, MsgType::kRegPush);
+  EXPECT_EQ(frames[1].header.req_id, 0u) << "pushes are one-way";
+  EXPECT_EQ(frames[1].reg_push.gid, 42u);
+  EXPECT_EQ(frames[1].reg_push.seq, 7u);
+  ASSERT_EQ(frames[1].reg_push.cells.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(frames[1].reg_push.cells[i].cell, cells[i].cell);
+    EXPECT_EQ(frames[1].reg_push.cells[i].value, cells[i].value);
+  }
+
+  EXPECT_EQ(frames[2].header.type, MsgType::kRegAck);
+  EXPECT_EQ(frames[2].reg_ack.seq, 7u);
+}
+
+TEST(Frame, RegPushRejectsOverAndUnderCountedBodies) {
+  std::vector<std::uint8_t> buf;
+  const RegCellUpdate cells[2] = {{1, 2}, {3, 4}};
+  encode_reg_push(buf, 1, 1, cells, 2);
+  // Claim three cells but carry two: the count must be validated against
+  // the body length, never trusted.
+  buf[4 + kHeaderBytes + 16] = 3;
+  Frame f;
+  EXPECT_EQ(decode_payload(buf.data() + 4, buf.size() - 4, f),
+            DecodeResult::kBadBody);
+  // A count above the frame cap is rejected outright.
+  buf[4 + kHeaderBytes + 16] = static_cast<std::uint8_t>(255);
+  buf[4 + kHeaderBytes + 17] = 1;  // 511 > kMaxPushCells
+  EXPECT_EQ(decode_payload(buf.data() + 4, buf.size() - 4, f),
+            DecodeResult::kBadBody);
+  EXPECT_THROW(encode_reg_push(buf, 1, 1, cells, 0), std::exception);
+}
+
+TEST(Frame, SessionOpenRoundTripsBothRoles) {
+  std::vector<std::uint8_t> buf;
+  encode_session_open(buf, Status::kOk, /*req_id=*/9, /*gid=*/5,
+                      /*client_or_ttl=*/1234567);
+  encode_session_open(buf, Status::kSessionEvicted, 10, 5, 0);
+  const auto frames = decode_stream(buf, buf.size());
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0].header.type, MsgType::kSessionOpen);
+  EXPECT_EQ(frames[0].session.gid, 5u);
+  EXPECT_EQ(frames[0].session.client, 1234567u) << "request role";
+  EXPECT_EQ(frames[0].session.ttl_us, 1234567u) << "response role";
+  EXPECT_EQ(frames[1].header.status, Status::kSessionEvicted);
+}
+
 }  // namespace
 }  // namespace omega::net

@@ -22,8 +22,9 @@ class VecSource final : public BatchSource {
   explicit VecSource(std::vector<std::uint64_t> cmds)
       : q_(cmds.begin(), cmds.end()) {}
 
-  std::uint32_t pull(std::uint32_t max,
-                     std::vector<std::uint64_t>& out) override {
+  std::uint32_t pull(std::uint32_t max, std::vector<std::uint64_t>& out,
+                     std::uint64_t& ticket) override {
+    ticket = ++next_ticket_;
     std::uint32_t granted = 0;
     while (granted < max && !q_.empty()) {
       out.push_back(q_.front());
@@ -40,6 +41,7 @@ class VecSource final : public BatchSource {
  private:
   std::deque<std::uint64_t> q_;
   std::vector<std::uint32_t> grants_;
+  std::uint64_t next_ticket_ = 0;
 };
 
 /// One sim-backed pump: scenario, log, optional batch ring, pump.
@@ -51,7 +53,7 @@ struct Rig {
     cfg.n = n;
     cfg.world = World::kAwb;
     cfg.seed = seed;
-    if (max_batch > 1) buffer.emplace("T", window, max_batch);
+    if (max_batch > 1) buffer.emplace("T", /*banks=*/1, window, max_batch);
     cfg.extra_registers = [this](LayoutBuilder& b) {
       log.declare(b);
       if (buffer.has_value()) buffer->declare(b);
@@ -143,29 +145,36 @@ TEST(LogPump, WindowFullIsBackpressureNotLoss) {
 
 TEST(LogPump, DescriptorCodecRoundTripsAndValidates) {
   for (std::uint32_t count : {1u, 2u, 64u, 127u}) {
-    for (std::uint8_t sum : {std::uint8_t{0}, std::uint8_t{0x7F},
-                             std::uint8_t{0xFF}}) {
-      const std::uint64_t d = encode_batch_descriptor(count, sum);
+    for (ProcessId sealer : {ProcessId{0}, ProcessId{5}, ProcessId{63}}) {
+      const std::uint64_t d = encode_batch_descriptor(count, sealer);
       EXPECT_GE(d, 1u);
       EXPECT_LT(d, kLogNoOp) << "descriptors must stay proposable";
       std::uint32_t count_out = 0;
-      std::uint8_t sum_out = 0;
-      decode_batch_descriptor(d, count_out, sum_out);
+      ProcessId sealer_out = kNoProcess;
+      decode_batch_descriptor(d, count_out, sealer_out);
       EXPECT_EQ(count_out, count);
-      EXPECT_EQ(sum_out, sum);
+      EXPECT_EQ(sealer_out, sealer);
     }
   }
   std::uint32_t c = 0;
-  std::uint8_t s = 0;
+  ProcessId s = 0;
   EXPECT_THROW(decode_batch_descriptor(0, c, s), std::exception)
       << "count 0 is malformed";
   EXPECT_THROW(encode_batch_descriptor(128, 0), std::exception)
       << "count above kMaxBatchCommands must be rejected";
+  EXPECT_THROW(encode_batch_descriptor(1, 64), std::exception)
+      << "sealer beyond the 6-bit field must be rejected";
 
   // The checksum is order-sensitive: a reordered buffer is caught.
   const std::uint64_t a[2] = {11, 12};
   const std::uint64_t b[2] = {12, 11};
   EXPECT_NE(batch_checksum(a, 2), batch_checksum(b, 2));
+
+  // Seal cells: slot stamp + checksum round-trip; 0 means "never sealed".
+  EXPECT_EQ(seal_slot(0), kNoSealedSlot);
+  const std::uint64_t seal = pack_seal(/*slot=*/7, /*checksum=*/0xDEADBEEF);
+  EXPECT_EQ(seal_slot(seal), 7u);
+  EXPECT_EQ(seal_checksum(seal), 0xDEADBEEFu);
 }
 
 TEST(LogPump, BatchOfOneEqualsLegacySingleCommandPump) {

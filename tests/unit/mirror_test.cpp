@@ -1,0 +1,292 @@
+// MirroredMemory + register-push transport torture tests: single-process
+// equivalence with AtomicMemory, write-observer FIFO (stores and pokes),
+// per-cell monotonicity of pushed heartbeat counters under arbitrary
+// cross-owner interleavings, torn-batch injection (a decision visible
+// before its spill rows must stall the pump, never misread), and the
+// MirrorTransport loopback path with dirty-cell snapshots on connect.
+#include "registers/mirror.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "consensus/log_pump.h"
+#include "net/register_peer.h"
+#include "rt/atomic_memory.h"
+
+namespace omega {
+namespace {
+
+Layout small_layout(std::uint32_t n) {
+  LayoutBuilder b;
+  b.add_array("HB", n, OwnerRule::kRowOwner, /*critical=*/true);
+  b.add_matrix("SUS", n, n, OwnerRule::kRowOwner, /*critical=*/false);
+  b.add_buffer("SPILL", 2, 4);
+  return b.build();
+}
+
+TEST(MirroredMemory, ZeroRemoteNodesReproducesAtomicMemory) {
+  const std::uint32_t n = 3;
+  AtomicMemory atomic(small_layout(n), n);
+  MirroredMemory all_local(small_layout(n), n, /*local_mask=*/0);
+  MirroredMemory full_mask(small_layout(n), n, all_local_mask(n));
+  EXPECT_FALSE(all_local.has_remote());
+  EXPECT_FALSE(full_mask.has_remote());
+
+  // Drive the same access sequence through all three backends: the
+  // mirror with no remote nodes must be register-for-register identical.
+  const Layout& l = atomic.layout();
+  for (std::uint32_t round = 0; round < 8; ++round) {
+    for (ProcessId p = 0; p < n; ++p) {
+      for (MemoryBackend* m :
+           std::initializer_list<MemoryBackend*>{&atomic, &all_local,
+                                                 &full_mask}) {
+        m->write(p, l.cell(0, p), 100 * round + p);
+        m->write(p, l.cell(1, p, (p + round) % n), round);
+        m->poke(l.cell(2, round % 2, p), 7000 + round);
+        EXPECT_EQ(m->read(p, l.cell(0, (p + 1) % n)),
+                  atomic.read(p, l.cell(0, (p + 1) % n)));
+      }
+    }
+  }
+  for (std::uint32_t i = 0; i < l.size(); ++i) {
+    ASSERT_EQ(atomic.peek(Cell{i}), all_local.peek(Cell{i}))
+        << "diverged at " << l.cell_name(Cell{i});
+    ASSERT_EQ(atomic.peek(Cell{i}), full_mask.peek(Cell{i}));
+  }
+  // No remote ⇒ nothing to push, ever.
+  EXPECT_FALSE(all_local.should_push(l.cell(0, 0)));
+}
+
+TEST(MirroredMemory, WriteObserverSeesStoresAndPokesInProgramOrder) {
+  const std::uint32_t n = 2;
+  MirroredMemory mem(small_layout(n), n, /*local_mask=*/0b01);
+  ASSERT_TRUE(mem.has_remote());
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> seen;
+  mem.set_write_observer([&](Cell c, std::uint64_t v) {
+    seen.emplace_back(c.index, v);
+  });
+  const Layout& l = mem.layout();
+  mem.write(0, l.cell(0, 0), 1);       // owned store
+  mem.poke(l.cell(2, 0, 1), 42);       // data-plane poke
+  mem.write(0, l.cell(1, 0, 1), 9);    // another owned store
+  mem.poke(l.cell(2, 0, 2), 43);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], std::make_pair(l.cell(0, 0).index, std::uint64_t{1}));
+  EXPECT_EQ(seen[1], std::make_pair(l.cell(2, 0, 1).index, std::uint64_t{42}));
+  EXPECT_EQ(seen[2], std::make_pair(l.cell(1, 0, 1).index, std::uint64_t{9}));
+  EXPECT_EQ(seen[3], std::make_pair(l.cell(2, 0, 2).index, std::uint64_t{43}));
+
+  // apply_push must NOT echo into the observer (no feedback loops).
+  mem.apply_push(l.cell(0, 1), 77);
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(mem.peek(l.cell(0, 1)), 77u);
+
+  // Push responsibility: local 1WnR cells and kAny spill cells, never a
+  // remote owner's cells.
+  EXPECT_TRUE(mem.should_push(l.cell(0, 0)));
+  EXPECT_TRUE(mem.should_push(l.cell(2, 1, 3)));
+  EXPECT_FALSE(mem.should_push(l.cell(0, 1)));
+}
+
+TEST(MirroredMemory, PushedHeartbeatsStayMonotonePerCellAcrossOwnerInterleavings) {
+  // Two remote owners push heartbeat increments; their streams interleave
+  // arbitrarily at the receiver. Per-cell (per-owner) order is preserved
+  // because each stream is applied FIFO — the receiver's reads of any one
+  // cell must be monotone no matter how the two streams mesh.
+  const std::uint32_t n = 3;
+  MirroredMemory mem(small_layout(n), n, /*local_mask=*/0b001);
+  const Layout& l = mem.layout();
+  const Cell hb1 = l.cell(0, 1);
+  const Cell hb2 = l.cell(0, 2);
+  std::vector<std::uint64_t> s1, s2;
+  for (std::uint64_t v = 1; v <= 200; ++v) s1.push_back(v);
+  for (std::uint64_t v = 1; v <= 200; ++v) s2.push_back(v * 3);
+
+  std::uint64_t last1 = 0, last2 = 0;
+  std::size_t i1 = 0, i2 = 0;
+  std::uint64_t mix = 0x9E3779B97F4A7C15ull;
+  while (i1 < s1.size() || i2 < s2.size()) {
+    mix ^= mix << 13;
+    mix ^= mix >> 7;
+    mix ^= mix << 17;
+    // Arbitrary interleaving, including long runs of one stream.
+    const bool pick1 = i2 >= s2.size() || (i1 < s1.size() && (mix & 3) != 0);
+    if (pick1) {
+      mem.apply_push(hb1, s1[i1++]);
+    } else {
+      mem.apply_push(hb2, s2[i2++]);
+    }
+    const std::uint64_t r1 = mem.read(0, hb1);
+    const std::uint64_t r2 = mem.read(0, hb2);
+    EXPECT_GE(r1, last1) << "heartbeat cell went backwards";
+    EXPECT_GE(r2, last2) << "heartbeat cell went backwards";
+    last1 = r1;
+    last2 = r2;
+  }
+  EXPECT_EQ(last1, 200u);
+  EXPECT_EQ(last2, 600u);
+}
+
+/// Pump host for a follower that never proposes: harvest-only.
+class ObserverHost final : public PumpHost {
+ public:
+  ObserverHost(std::uint32_t n, MemoryBackend& mem) : n_(n), mem_(mem) {}
+  std::uint32_t n() const override { return n_; }
+  bool live(ProcessId) const override { return false; }
+  void spawn(ProcessId, ProcTask) override {
+    FAIL() << "observer pump must not spawn proposers";
+  }
+  MemoryBackend& memory() override { return mem_; }
+
+ private:
+  std::uint32_t n_;
+  MemoryBackend& mem_;
+};
+
+class NullSource final : public BatchSource {
+ public:
+  std::uint32_t pull(std::uint32_t, std::vector<std::uint64_t>&,
+                     std::uint64_t&) override {
+    return 0;
+  }
+};
+
+TEST(MirrorPump, TornBatchDescriptorBeforeRowsStallsThenRecovers) {
+  // A follower whose mirror shows a decided descriptor but not yet the
+  // spill rows (reordered injection — in production impossible within
+  // one FIFO stream, but decisions can arrive via ANOTHER node's stream
+  // first) must stall, not misread; once the rows and seal arrive the
+  // slot harvests with the exact sealed payload.
+  const std::uint32_t n = 2;
+  const std::uint32_t window = 2, max_batch = 3;
+  ReplicatedLog log(n, /*capacity=*/8);
+  BatchBuffer buffer("LOG", /*banks=*/n, /*rows=*/window, max_batch);
+  LayoutBuilder b;
+  log.declare(b);
+  buffer.declare(b);
+  Layout layout = b.build();
+
+  // Leader-side image: seal a 3-command batch for slot 0 in bank 0 and
+  // decide the slot, recording every store in write order.
+  MirroredMemory leader(layout, n, /*local_mask=*/0b01);
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> stream;
+  leader.set_write_observer([&](Cell c, std::uint64_t v) {
+    if (leader.should_push(c)) stream.emplace_back(c.index, v);
+  });
+  log.bind(layout);
+  buffer.bind(layout);
+  const std::uint64_t cmds[3] = {111, 222, 333};
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    buffer.store_cmd(leader, 0, 0, i, cmds[i]);
+  }
+  buffer.store_seal(leader, 0, 0, pack_seal(0, batch_checksum(cmds, 3)));
+  const std::uint64_t descriptor = encode_batch_descriptor(3, /*sealer=*/0);
+  GroupId dec_group = 0;
+  ASSERT_TRUE(layout.find_group("L0DEC", dec_group));
+  const Cell dec0 = layout.cell(dec_group, 0);
+  leader.poke(dec0, (1ull << 32) | descriptor);  // decided-bit | value
+
+  // Follower: apply the DECISION first (as if it arrived via another
+  // replica's stream), rows withheld.
+  MirroredMemory follower(layout, n, /*local_mask=*/0b10);
+  ObserverHost host(n, follower);
+  LogPump pump(log, host, window,
+               LogPump::BatchPolicy{max_batch, &buffer, /*sealer=*/1});
+  follower.apply_push(dec0, (1ull << 32) | descriptor);
+
+  NullSource source;
+  std::vector<LogPump::Commit> commits;
+  EXPECT_EQ(pump.tick(source, commits), 0u) << "must stall on torn batch";
+  EXPECT_EQ(pump.committed(), 0u);
+  EXPECT_GE(pump.payload_stalls(), 1u);
+
+  // Now deliver the leader's stream (rows before seal, its write order).
+  for (const auto& [cell, value] : stream) {
+    if (cell == dec0.index) continue;  // already applied out of order
+    follower.apply_push(Cell{cell}, value);
+  }
+  EXPECT_EQ(pump.tick(source, commits), 3u);
+  ASSERT_EQ(commits.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(commits[i].slot, 0u);
+    EXPECT_EQ(commits[i].value, cmds[i]);
+    EXPECT_FALSE(commits[i].local) << "sealed elsewhere";
+  }
+  EXPECT_EQ(pump.committed(), 1u);
+  EXPECT_EQ(pump.started(), 1u) << "observer harvest fast-forwards cursors";
+}
+
+TEST(MirrorTransport, LoopbackPushesApplyInOrderWithSnapshotOnConnect) {
+  const std::uint32_t n = 2;
+  Layout layout = small_layout(n);
+
+  // Node 0 hosts replica 0, node 1 hosts replica 1. Build B first so A
+  // knows its port; neither is started yet.
+  net::MirrorConfig cfg_b;
+  cfg_b.node = 1;
+  net::MirrorTransport tb(cfg_b);  // listener bound at construction
+
+  net::MirrorConfig cfg_a;
+  cfg_a.node = 0;
+  cfg_a.reconnect_ms = 20;
+  cfg_a.peers.push_back(net::MirrorPeerConfig{1, "127.0.0.1", tb.port()});
+  net::MirrorTransport ta(cfg_a);
+
+  MirroredMemory ma(layout, n, 0b01);
+  MirroredMemory mb(layout, n, 0b10);
+  ta.add_group(7, &ma);
+  tb.add_group(7, &mb);
+  ma.set_write_observer([&](Cell c, std::uint64_t v) {
+    if (ma.should_push(c)) ta.on_local_write(7, c, v);
+  });
+
+  // Writes BEFORE the streams exist only mark cells dirty — the connect
+  // snapshot must still deliver them.
+  const Cell hb0 = layout.cell(0, 0);
+  ma.write(0, hb0, 41);
+
+  ta.start();
+  tb.start();
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (mb.peek(hb0) != 41 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(mb.peek(hb0), 41u) << "snapshot-on-connect must deliver";
+  EXPECT_GE(ta.stats().snapshots, 1u);
+
+  // Live pushes: a run of heartbeat increments arrives monotonically.
+  for (std::uint64_t v = 42; v <= 200; ++v) ma.write(0, hb0, v);
+  std::uint64_t last = mb.peek(hb0);
+  while (mb.peek(hb0) != 200 && std::chrono::steady_clock::now() < deadline) {
+    const std::uint64_t cur = mb.peek(hb0);
+    EXPECT_GE(cur, last);
+    last = cur;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(mb.peek(hb0), 200u);
+
+  // Acks flowed back: backlog drains and lag samples exist.
+  const auto ack_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (ta.max_unacked_frames() > 0 &&
+         std::chrono::steady_clock::now() < ack_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(ta.max_unacked_frames(), 0u);
+  std::vector<std::int64_t> lags;
+  ta.lag_samples(lags);
+  EXPECT_FALSE(lags.empty());
+  EXPECT_EQ(ta.connected_peers(), 1u);
+
+  ta.stop();
+  tb.stop();
+}
+
+}  // namespace
+}  // namespace omega
