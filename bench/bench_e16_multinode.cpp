@@ -28,6 +28,7 @@
 // before any thread exists, so the children can build the full threaded
 // runtime (worker pool, epoll loops, mirror streams).
 #include <arpa/inet.h>
+#include <dirent.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <signal.h>
@@ -45,6 +46,7 @@
 
 #include "harness.h"
 #include "net/client.h"
+#include "obs/metrics.h"
 #include "smr/node.h"
 
 namespace {
@@ -269,6 +271,27 @@ LoadResult run_appenders(std::uint16_t port, std::uint64_t target,
   return result;
 }
 
+/// True when some `omega_trace_*.txt` in `dir` contains `needle` — the
+/// flight-recorder dump a surviving node writes when it takes over.
+bool trace_dump_contains(const std::string& dir, const std::string& needle) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return false;
+  bool found = false;
+  while (const dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name.rfind("omega_trace_", 0) != 0) continue;
+    std::ifstream in(dir + "/" + name);
+    std::stringstream body;
+    body << in.rdbuf();
+    if (body.str().find(needle) != std::string::npos) {
+      found = true;
+      break;
+    }
+  }
+  ::closedir(d);
+  return found;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -286,6 +309,17 @@ int main(int argc, char** argv) {
 
   Verdict verdict;
   JsonReport json;
+
+  // Children inherit the flight-recorder dump directory: next to the
+  // --json artifact so CI archives traces with the numbers. An external
+  // OMEGA_TRACE_DIR wins (overwrite=0).
+  {
+    std::string trace_dir = ".";
+    const auto slash = json_path.rfind('/');
+    if (slash != std::string::npos) trace_dir = json_path.substr(0, slash);
+    ::setenv("OMEGA_TRACE_DIR", trace_dir.c_str(), /*overwrite=*/0);
+  }
+  const std::string trace_dir = std::getenv("OMEGA_TRACE_DIR");
 
   Cluster cluster;
   for (std::uint32_t i = 0; i < kNodes; ++i) {
@@ -437,6 +471,28 @@ int main(int argc, char** argv) {
   }
   json.set("failover_ms", failover_ms);
 
+  // The surviving new leader dumped its flight recorder at takeover —
+  // a merged trace whose failover_ticket events are the forensic record
+  // of the displaced batches. Poll briefly: the dump is written on the
+  // survivor's sweep thread, not our clock.
+  {
+    bool dumped = false;
+    const auto dump_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(15);
+    while (!dumped && std::chrono::steady_clock::now() < dump_deadline) {
+      dumped = trace_dump_contains(trace_dir, "failover_ticket");
+      if (!dumped) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+    }
+    verdict.expect(dumped,
+                   "a flight-recorder dump with failover_ticket events "
+                   "must appear in " + trace_dir);
+    std::cout << "  flight-recorder dump with failover_ticket events: "
+              << (dumped ? "present" : "MISSING") << " (" << trace_dir
+              << ")\n";
+  }
+
   // --- phase D: survivor convergence. --------------------------------------
   std::vector<std::vector<std::uint64_t>> logs(kNodes);
   for (std::uint32_t node = 0; node < kNodes; ++node) {
@@ -475,6 +531,65 @@ int main(int argc, char** argv) {
   verdict.expect(common > load.committed,
                  "the shared log must cover the pre-crash commits");
   json.set("survivor_log_len", static_cast<std::uint64_t>(common));
+
+  // --- phase E: scrape v1.3 METRICS off a survivor. ------------------------
+  // The stage histograms cross the wire here (paged METRICS frames), not
+  // an in-process scrape: the numbers below prove the live cluster's
+  // instrumentation end to end, post-failover.
+  {
+    std::uint32_t survivor_node = kNodes;
+    for (std::uint32_t node = 0; node < kNodes; ++node) {
+      if (cluster.alive(node)) {
+        survivor_node = node;
+        break;
+      }
+    }
+    net::Client c;
+    connect_retry(cluster, c, survivor_node, 30);
+    const auto m = c.metrics();
+    verdict.expect(m.ok() && !m.metrics.empty(),
+                   "a survivor must answer the v1.3 METRICS scrape");
+    AsciiTable stage_table({"stage (survivor)", "samples", "p50 us",
+                            "p99 us"});
+    const auto report_stage = [&](const char* metric, const char* key,
+                                  const char* label) {
+      const obs::MetricSample* s = m.find(metric);
+      if (s == nullptr) return;
+      stage_table.add_row(
+          {label, fmt_count(static_cast<std::uint64_t>(s->value)),
+           fmt_double(static_cast<double>(s->quantile(0.5)) / 1e3, 1),
+           fmt_double(static_cast<double>(s->quantile(0.99)) / 1e3, 1)});
+      json.set(std::string(key) + "_p50_us",
+               static_cast<double>(s->quantile(0.5)) / 1e3);
+      json.set(std::string(key) + "_p99_us",
+               static_cast<double>(s->quantile(0.99)) / 1e3);
+      json.set(std::string(key) + "_samples",
+               static_cast<std::uint64_t>(s->value));
+    };
+    report_stage("smr.seal_to_decide_ns", "seal_to_decide", "seal->decide");
+    report_stage("smr.decide_to_apply_ns", "decide_to_apply",
+                 "decide->apply");
+    report_stage("net.ack_flush_ns", "ack_flush", "ack flush");
+    report_stage("mirror.push_lag_ns", "mirror_push_lag", "mirror push lag");
+    std::cout << "\npipeline stage latencies (METRICS scrape, survivor node "
+              << survivor_node << "):\n"
+              << stage_table.render();
+    const obs::MetricSample* applies = m.find("smr.decide_to_apply_ns");
+    verdict.expect(applies != nullptr && applies->value > 0,
+                   "the survivor's apply histogram must have samples");
+    if (!json_path.empty()) {
+      const auto slash = json_path.rfind('/');
+      const std::string prom_path =
+          (slash == std::string::npos ? std::string()
+                                      : json_path.substr(0, slash + 1)) +
+          "METRICS_e16.prom";
+      std::ofstream prom(prom_path);
+      if (prom) {
+        prom << obs::render_prometheus(m.metrics);
+        std::cout << "metrics snapshot: " << prom_path << '\n';
+      }
+    }
+  }
 
   json.set_str("bench", "e16_multinode");
   json.write(json_path);

@@ -1,0 +1,262 @@
+// omega_top — a live metrics dashboard over the v1.3 METRICS frame.
+//
+//   $ ./example_omega_top                       # self-hosted 3-node demo
+//   $ ./example_omega_top HOST:PORT [...]       # watch a running cluster
+//   $ ./example_omega_top --once HOST:PORT      # one snapshot, no refresh
+//
+// Each refresh scrapes every endpoint's metric registry (paged METRICS
+// requests, merged by net::Client::metrics()) and renders one row per
+// node: append/query traffic, consensus queue depth, and the p50/p99 of
+// the pipeline's stage histograms (seal->decide, decide->apply,
+// ack-flush, mirror push lag) — the same numbers bench_e15/e16 report,
+// read live off a serving cluster.
+//
+// With no endpoints, the example forks the three-process SmrNode cluster
+// of example_multi_node_smr, drives a background append load at the
+// elected leader, and watches itself for a few refreshes.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/table.h"
+#include "net/client.h"
+#include "smr/node.h"
+
+using namespace omega;
+
+namespace {
+
+constexpr svc::GroupId kGid = 9;
+
+struct Endpoint {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+std::string fmt_us(double ns) {
+  std::ostringstream os;
+  os.precision(1);
+  os << std::fixed << ns / 1000.0;
+  return os.str();
+}
+
+std::int64_t sample_value(const net::Client::MetricsResult& m,
+                          const std::string& name) {
+  const obs::MetricSample* s = m.find(name);
+  return s != nullptr ? s->value : 0;
+}
+
+std::string quantiles(const net::Client::MetricsResult& m,
+                      const std::string& name) {
+  const obs::MetricSample* s = m.find(name);
+  if (s == nullptr || s->value == 0) return "-";
+  return fmt_us(static_cast<double>(s->quantile(0.5))) + "/" +
+         fmt_us(static_cast<double>(s->quantile(0.99)));
+}
+
+/// One dashboard frame over every endpoint. `prev_appends` carries the
+/// last refresh's APPEND counters for the derived rate column.
+void render(const std::vector<Endpoint>& eps,
+            std::vector<std::int64_t>& prev_appends, double interval_s,
+            bool clear) {
+  if (clear) std::cout << "\x1b[2J\x1b[H";
+  AsciiTable table({"node", "appends", "app/s", "queries", "queue",
+                    "sessions", "seal->dec p50/p99 us", "dec->apply us",
+                    "ack-flush us", "push-lag us"});
+  prev_appends.resize(eps.size(), 0);
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    const std::string label =
+        eps[i].host + ":" + std::to_string(eps[i].port);
+    net::Client c;
+    net::Client::MetricsResult m;
+    try {
+      c.connect(eps[i].host, eps[i].port, 2000);
+      m = c.metrics();
+    } catch (const net::NetError& e) {
+      table.add_row({label, "(down)", "-", "-", "-", "-", "-", "-", "-",
+                     "-"});
+      continue;
+    }
+    const std::int64_t appends = sample_value(m, "net.frames.append");
+    const std::int64_t rate =
+        interval_s > 0 && prev_appends[i] > 0
+            ? static_cast<std::int64_t>(
+                  static_cast<double>(appends - prev_appends[i]) /
+                  interval_s)
+            : 0;
+    prev_appends[i] = appends;
+    table.add_row(
+        {label, std::to_string(appends), std::to_string(rate),
+         std::to_string(sample_value(m, "net.frames.leader")),
+         std::to_string(sample_value(m, "smr.queue_pending")) + "+" +
+             std::to_string(sample_value(m, "smr.queue_in_flight")),
+         std::to_string(sample_value(m, "smr.sessions")),
+         quantiles(m, "smr.seal_to_decide_ns"),
+         quantiles(m, "smr.decide_to_apply_ns"),
+         quantiles(m, "net.ack_flush_ns"),
+         quantiles(m, "mirror.push_lag_ns")});
+  }
+  std::cout << table.render() << std::flush;
+}
+
+// --- self-hosted demo cluster (no endpoints given) -------------------------
+
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  socklen_t len = sizeof addr;
+  getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+[[noreturn]] void run_node(const smr::NodeTopology& base,
+                           std::uint32_t self) {
+  try {
+    smr::NodeTopology topo = base;
+    topo.self = self;
+    svc::SvcConfig scfg;
+    scfg.workers = 1;
+    scfg.tick_us = 20000;
+    scfg.pace_us = 200;
+    scfg.max_pace_us = 2000;
+    scfg.worker_nice = 5;
+    smr::SmrNode node(topo, scfg);
+    smr::SmrSpec spec;
+    spec.n = 3;
+    spec.capacity = 8192;
+    spec.window = 4;
+    spec.max_batch = 8;
+    node.add_log(kGid, spec);
+    node.start();
+    for (;;) ::pause();
+  } catch (const std::exception& e) {
+    std::cerr << "node " << self << " died: " << e.what() << '\n';
+    _exit(1);
+  }
+}
+
+void append_load(const smr::NodeTopology& topo, std::atomic<bool>& stop) {
+  net::Client c;
+  c.enable_auto_reconnect();
+  // The freshly-forked nodes need a moment to bind: retry, don't die.
+  for (;;) {
+    if (stop.load(std::memory_order_acquire)) return;
+    try {
+      c.connect("127.0.0.1", topo.nodes[0].serve_port, 2000);
+      break;
+    } catch (const net::NetError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  }
+  std::uint64_t seq = 0;
+  std::uint32_t at = 0;
+  while (!stop.load(std::memory_order_acquire)) {
+    try {
+      ++seq;
+      const auto r = c.append(kGid, /*client=*/11, seq, 1 + (seq % 1000),
+                              /*response_timeout_ms=*/2000);
+      if (r.status == net::Status::kNotLeader &&
+          r.view.leader != kNoProcess) {
+        at = topo.node_of(r.view.leader);
+        c.close();
+        c.connect("127.0.0.1", topo.nodes[at].serve_port, 2000);
+      }
+    } catch (const net::NetError&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool once = false;
+  int interval_ms = 1000;
+  int rounds = 0;  // 0 = forever (demo mode overrides to a few)
+  std::vector<Endpoint> eps;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    } else if (arg == "--rounds" && i + 1 < argc) {
+      rounds = std::atoi(argv[++i]);
+    } else {
+      const auto colon = arg.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "usage: " << argv[0]
+                  << " [--once] [--interval MS] [--rounds N] "
+                     "[HOST:PORT ...]\n";
+        return 2;
+      }
+      eps.push_back(Endpoint{
+          arg.substr(0, colon),
+          static_cast<std::uint16_t>(std::atoi(arg.c_str() + colon + 1))});
+    }
+  }
+
+  std::vector<pid_t> pids;
+  std::atomic<bool> stop{false};
+  std::thread load;
+  smr::NodeTopology topo;
+  const bool demo = eps.empty();
+  if (demo) {
+    std::cout << banner("omega_top: self-hosted 3-node demo",
+                        {"forking 3 SmrNode processes + an append load",
+                         "pass HOST:PORT endpoints to watch a real "
+                         "cluster instead"});
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      topo.nodes.push_back(smr::NodeEndpoint{
+          i, "127.0.0.1", pick_free_port(), pick_free_port()});
+    }
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const pid_t pid = fork();
+      if (pid == 0) run_node(topo, i);
+      pids.push_back(pid);
+      eps.push_back(Endpoint{"127.0.0.1", topo.nodes[i].serve_port});
+    }
+    load = std::thread([&] { append_load(topo, stop); });
+    if (rounds == 0) rounds = 8;
+  }
+
+  std::vector<std::int64_t> prev_appends;
+  const double interval_s = interval_ms / 1000.0;
+  for (int round = 0; once ? round < 1 : (rounds == 0 || round < rounds);
+       ++round) {
+    if (round > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    render(eps, prev_appends, round > 0 ? interval_s : 0.0,
+           /*clear=*/!once && !demo);
+  }
+
+  if (demo) {
+    stop.store(true, std::memory_order_release);
+    if (load.joinable()) load.join();
+    for (const pid_t pid : pids) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+    for (const pid_t pid : pids) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+  }
+  return 0;
+}

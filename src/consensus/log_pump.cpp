@@ -1,8 +1,18 @@
 #include "consensus/log_pump.h"
 
+#include <chrono>
+
+#include "obs/flight_recorder.h"
+
 namespace omega {
 
 namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Descriptor layout: bit 0..6 count, bit 7..12 sealer replica id.
 constexpr std::uint64_t kCountBits = 7;
@@ -138,6 +148,8 @@ LogPump::LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window,
                           << batch_.buffer->banks() << "-bank buffer");
     scratch_.reserve(batch_.max_batch);
   }
+  seal_to_decide_hist_ = &obs::histogram("smr.seal_to_decide_ns");
+  failover_ctr_ = &obs::counter("smr.failover_tickets");
 }
 
 bool LogPump::read_payload(std::uint32_t s, std::uint64_t descriptor,
@@ -199,6 +211,14 @@ std::uint32_t LogPump::tick(BatchSource& source, std::vector<Commit>& commits,
       // This pump's batch decided: commit from the ledger (no payload
       // re-read — the sealed commands are authoritative by checksum).
       Seal& mine = local_seals_.front();
+      if (mine.sealed_ns > 0) {
+        const std::int64_t now = steady_ns();
+        if (now > mine.sealed_ns) {
+          seal_to_decide_hist_->record(
+              static_cast<std::uint64_t>(now - mine.sealed_ns));
+        }
+      }
+      obs::trace(obs::TraceEvent::kSlotDecide, s, mine.cmds.size());
       for (const std::uint64_t cmd : mine.cmds) {
         commits.push_back(Commit{s, cmd, true, mine.ticket});
         ++newly;
@@ -211,11 +231,15 @@ std::uint32_t LogPump::tick(BatchSource& source, std::vector<Commit>& commits,
       // Decided against this pump's seal: another sealer won the slot
       // (failover contention). The displaced batch re-proposes at the
       // next free slot — exactly once, ledger entry moves wholesale.
+      failover_ctr_->add();
+      obs::trace(obs::TraceEvent::kFailoverTicket, s,
+                 local_seals_.front().ticket);
       resubmit_.push_back(std::move(local_seals_.front()));
       local_seals_.pop_front();
     }
     // Remote-sealed slot (or a displaced one being read back).
     if (batch_.max_batch == 1) {
+      obs::trace(obs::TraceEvent::kSlotDecide, s, 1);
       commits.push_back(Commit{s, *v, false, 0});
       ++newly;
       ++committed_;
@@ -228,6 +252,7 @@ std::uint32_t LogPump::tick(BatchSource& source, std::vector<Commit>& commits,
       stalled = true;
       break;
     }
+    obs::trace(obs::TraceEvent::kSlotDecide, s, count);
     for (std::uint32_t i = 0; i < count; ++i) {
       commits.push_back(Commit{s, scratch_[i], false, 0});
       ++newly;
@@ -286,6 +311,8 @@ std::uint32_t LogPump::tick(BatchSource& source, std::vector<Commit>& commits,
     }
     const std::uint32_t count = static_cast<std::uint32_t>(seal.cmds.size());
     seal.slot = started_;
+    if (seal.sealed_ns == 0) seal.sealed_ns = steady_ns();
+    obs::trace(obs::TraceEvent::kBatchSeal, started_, count);
     if (batch_.max_batch == 1) {
       seal.value = seal.cmds[0];
     } else {

@@ -75,6 +75,7 @@
 #include <vector>
 
 #include "consensus/replicated_log.h"
+#include "obs/metrics.h"
 
 namespace omega {
 
@@ -264,6 +265,10 @@ class LogPump {
     std::uint64_t value = 0;  ///< proposed value (descriptor or raw command)
     std::uint64_t ticket = 0;
     std::vector<std::uint64_t> cmds;
+    /// Seal time; harvest records seal -> decide into smr.seal_to_decide_ns
+    /// (kept across re-proposals, so a displaced batch's latency spans the
+    /// failover it survived).
+    std::int64_t sealed_ns = 0;
   };
 
   /// Reads slot `s`'s payload out of the spill row named by `descriptor`
@@ -282,6 +287,11 @@ class LogPump {
   std::vector<std::uint64_t> scratch_;  ///< per-slot pull buffer
   std::deque<Seal> local_seals_;        ///< in-flight batches this pump sealed
   std::deque<Seal> resubmit_;           ///< displaced batches to re-propose
+
+  /// obs instruments, resolved once at construction (tick never touches
+  /// the registry lock).
+  obs::Histogram* seal_to_decide_hist_ = nullptr;  ///< smr.seal_to_decide_ns
+  obs::Counter* failover_ctr_ = nullptr;  ///< smr.failover_tickets
 };
 
 /// PumpHost over the discrete-event simulator (SimDriver comes in via

@@ -530,6 +530,37 @@ StatsBody Client::stats() {
   return f.stats;
 }
 
+const obs::MetricSample* Client::MetricsResult::find(
+    const std::string& name) const noexcept {
+  for (const obs::MetricSample& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+Client::MetricsResult Client::metrics() {
+  MetricsResult r;
+  std::uint32_t start = 0;
+  for (;;) {
+    ensure_connected();
+    const std::uint64_t id = next_req_id_++;
+    out_.clear();
+    encode_metrics_request(out_, id, MetricsReqBody{start});
+    const Frame f = call_encoded(MsgType::kMetrics, id);
+    r.status = f.header.status;
+    if (f.header.status != Status::kOk) return r;
+    if (!f.has_metrics_resp) throw NetError("metrics response without body");
+    const MetricsRespBody& page = f.metrics_resp;
+    for (const obs::MetricSample& m : page.metrics) r.metrics.push_back(m);
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(page.metrics.size());
+    // The registry only ever grows, so pages never shrink `total`; an
+    // empty page below total would loop forever — treat it as done.
+    if (count == 0 || page.start + count >= page.total) return r;
+    start = page.start + count;
+  }
+}
+
 std::optional<Client::Event> Client::next_event(int timeout_ms) {
   if (!events_.empty()) {
     const Event e = events_.front();

@@ -220,6 +220,20 @@ class Client {
 
   StatsBody stats();
 
+  /// A complete METRICS scrape (all pages merged).
+  struct MetricsResult {
+    Status status = Status::kOk;
+    std::vector<obs::MetricSample> metrics;
+
+    bool ok() const noexcept { return status == Status::kOk; }
+    /// The sample named `name`, or nullptr.
+    const obs::MetricSample* find(const std::string& name) const noexcept;
+  };
+
+  /// Scrapes the server's metric registry (v1.3 METRICS), transparently
+  /// following the pagination until every sample has been fetched.
+  MetricsResult metrics();
+
   /// Returns the next pushed event, waiting up to `timeout_ms` (0 = only
   /// drain already-received frames). nullopt on timeout.
   std::optional<Event> next_event(int timeout_ms);

@@ -1,5 +1,7 @@
 #include "net/frame.h"
 
+#include <algorithm>
+
 #include "common/check.h"
 
 namespace omega::net {
@@ -214,6 +216,51 @@ void encode_session_open(std::vector<std::uint8_t>& out, Status status,
   end_frame(out, at);
 }
 
+std::size_t metrics_record_wire_size(const obs::MetricSample& m) noexcept {
+  const std::size_t name_len = std::min<std::size_t>(m.name.size(), 255);
+  return 1 + 1 + name_len + 8 + 8 + 1 + m.buckets.size() * 9;
+}
+
+void encode_metrics_request(std::vector<std::uint8_t>& out,
+                            std::uint64_t req_id,
+                            const MetricsReqBody& body) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kMetrics, Status::kOk, req_id});
+  put_u32(out, body.start);
+  end_frame(out, at);
+}
+
+void encode_metrics_response(std::vector<std::uint8_t>& out, Status status,
+                             std::uint64_t req_id,
+                             const MetricsRespBody& body) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kMetrics, status, req_id});
+  put_u32(out, body.total);
+  put_u32(out, body.start);
+  put_u32(out, static_cast<std::uint32_t>(body.metrics.size()));
+  for (const obs::MetricSample& m : body.metrics) {
+    put_u8(out, static_cast<std::uint8_t>(m.kind));
+    const std::size_t name_len = std::min<std::size_t>(m.name.size(), 255);
+    put_u8(out, static_cast<std::uint8_t>(name_len));
+    out.insert(out.end(), m.name.begin(),
+               m.name.begin() + static_cast<std::ptrdiff_t>(name_len));
+    put_u64(out, static_cast<std::uint64_t>(m.value));
+    put_u64(out, m.sum);
+    OMEGA_CHECK(m.buckets.size() <= obs::kHistogramBuckets,
+                "metric " << m.name << " has " << m.buckets.size()
+                          << " buckets");
+    put_u8(out, static_cast<std::uint8_t>(m.buckets.size()));
+    for (const auto& [b, n] : m.buckets) {
+      put_u8(out, b);
+      put_u64(out, n);
+    }
+  }
+  OMEGA_CHECK(out.size() - at - 4 <= kMaxPayloadBytes,
+              "metrics page overflows the payload cap: "
+                  << (out.size() - at - 4));
+  end_frame(out, at);
+}
+
 DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
                             Frame& out) {
   out = Frame{};
@@ -363,6 +410,45 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
       out.session.client = get_u64(body + 8);
       out.session.ttl_us = out.session.client;
       out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kMetrics: {
+      // Role-based by length, like STATS: a request is the 4-byte start
+      // index, a response at least total|start|count (12 bytes).
+      if (body_len < 4) return DecodeResult::kBadBody;
+      out.metrics_req.start = get_u32(body);
+      out.has_body = true;
+      if (body_len < 12) return DecodeResult::kOk;
+      out.metrics_resp.total = get_u32(body);
+      out.metrics_resp.start = get_u32(body + 4);
+      const std::uint32_t count = get_u32(body + 8);
+      std::size_t off = 12;
+      out.metrics_resp.metrics.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (body_len < off + 2) return DecodeResult::kBadBody;
+        obs::MetricSample m;
+        m.kind = static_cast<obs::MetricSample::Kind>(body[off]);
+        const std::size_t name_len = body[off + 1];
+        off += 2;
+        if (body_len < off + name_len + 17) return DecodeResult::kBadBody;
+        m.name.assign(reinterpret_cast<const char*>(body + off), name_len);
+        off += name_len;
+        m.value = static_cast<std::int64_t>(get_u64(body + off));
+        m.sum = get_u64(body + off + 8);
+        const std::size_t nbuckets = body[off + 16];
+        off += 17;
+        if (nbuckets > obs::kHistogramBuckets ||
+            body_len < off + nbuckets * 9) {
+          return DecodeResult::kBadBody;
+        }
+        m.buckets.reserve(nbuckets);
+        for (std::size_t b = 0; b < nbuckets; ++b) {
+          m.buckets.emplace_back(body[off], get_u64(body + off + 1));
+          off += 9;
+        }
+        out.metrics_resp.metrics.push_back(std::move(m));
+      }
+      out.has_metrics_resp = true;
       return DecodeResult::kOk;
     }
     default:

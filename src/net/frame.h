@@ -51,6 +51,23 @@
 //                kSessionEvicted until the client re-opens (instead of
 //                silently treating a retry as a fresh command).
 //
+// Observability bodies (v1.3 — see README "Observability"):
+//   METRICS      req: u32 start — index of the first metric wanted, in
+//                the server's name-sorted scrape order (0 for the first
+//                page).
+//                resp: u32 total | u32 start | u32 count | count × record
+//                record := u8 kind (0 counter, 1 gauge, 2 histogram)
+//                        | u8 name_len | name_len × name byte
+//                        | u64 value (i64 two's complement; histogram:
+//                          sample count) | u64 sum (histograms, else 0)
+//                        | u8 nbuckets | nbuckets × (u8 bucket, u64 count)
+//                Histogram buckets are sparse (non-zero only, ascending;
+//                bucket b covers [2^(b-1), 2^b - 1], bucket 0 is {0}).
+//                The server packs as many whole records per page as fit
+//                kMaxPayloadBytes; the client re-requests from
+//                start + count until total is covered. STATS is untouched
+//                and stays byte-compatible.
+//
 // APPEND and READ_LOG are the two types whose request and response bodies
 // can have overlapping lengths, so their decode is *role-based*: the
 // decoder fills both interpretations when the length allows and the
@@ -74,6 +91,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/metrics.h"
 
 namespace omega::net {
 
@@ -103,6 +121,7 @@ enum class MsgType : std::uint8_t {
   kRegPush = 13,      ///< pushed register updates, FIFO per stream (v1.2)
   kRegAck = 14,       ///< cumulative apply acknowledgement (v1.2)
   kSessionOpen = 15,  ///< (re)open a dedup session; resp carries the TTL
+  kMetrics = 16,      ///< paged scrape of the obs metric registry (v1.3)
 };
 
 enum class Status : std::uint8_t {
@@ -223,6 +242,25 @@ struct SessionOpenBody {
 /// a flush larger than this is split into several frames).
 inline constexpr std::uint32_t kMaxPushCells = 256;
 
+/// kMetrics request body (v1.3): first metric index wanted.
+struct MetricsReqBody {
+  std::uint32_t start = 0;
+};
+
+/// kMetrics response body: one page of the name-sorted scrape. `metrics`
+/// reuses obs::MetricSample verbatim, so server, client and renderers
+/// share one record type.
+struct MetricsRespBody {
+  std::uint32_t total = 0;  ///< metrics in the full scrape
+  std::uint32_t start = 0;  ///< index of metrics.front() in that scrape
+  std::vector<obs::MetricSample> metrics;
+};
+
+/// Wire bytes one metric record occupies inside a kMetrics response —
+/// the server's pagination arithmetic (names longer than 255 bytes are
+/// truncated on encode and sized as truncated here).
+std::size_t metrics_record_wire_size(const obs::MetricSample& m) noexcept;
+
 /// A decoded frame: header plus whichever body the type carries. Bodies
 /// the type does not use stay default-initialized. For kAppend/kReadLog
 /// both the request and the response interpretation are filled when the
@@ -240,9 +278,12 @@ struct Frame {
   RegPushBody reg_push;        ///< kRegPush
   RegAckBody reg_ack;          ///< kRegAck
   SessionOpenBody session;     ///< kSessionOpen (role-based)
+  MetricsReqBody metrics_req;    ///< kMetrics requests (4-byte body)
+  MetricsRespBody metrics_resp;  ///< kMetrics responses (>= 12 bytes)
   bool has_body = false;        ///< a typed body was present
   bool has_append_req = false;  ///< body long enough for AppendReqBody
   bool has_readlog_req = false;  ///< body long enough for ReadLogReqBody
+  bool has_metrics_resp = false;  ///< body parsed as a metrics page
 };
 
 // --- encoding --------------------------------------------------------------
@@ -307,6 +348,17 @@ void encode_reg_ack(std::vector<std::uint8_t>& out, std::uint64_t seq);
 void encode_session_open(std::vector<std::uint8_t>& out, Status status,
                          std::uint64_t req_id, WireGroupId gid,
                          std::uint64_t client_or_ttl);
+
+/// kMetrics request (v1.3).
+void encode_metrics_request(std::vector<std::uint8_t>& out,
+                            std::uint64_t req_id,
+                            const MetricsReqBody& body);
+
+/// kMetrics response page; the caller sizes the page with
+/// metrics_record_wire_size so the frame stays inside kMaxPayloadBytes.
+void encode_metrics_response(std::vector<std::uint8_t>& out, Status status,
+                             std::uint64_t req_id,
+                             const MetricsRespBody& body);
 
 // --- decoding --------------------------------------------------------------
 

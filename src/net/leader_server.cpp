@@ -10,8 +10,10 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 
 namespace omega::net {
 
@@ -21,6 +23,35 @@ void set_tcp_nodelay(int fd) {
   int one = 1;
   // Best effort: latency tuning, not correctness.
   (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Metric-name suffix per wire type byte (index 0 = unknown fallback).
+const char* frame_metric_name(std::size_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kLeader: return "net.frames.leader";
+    case MsgType::kWatch: return "net.frames.watch";
+    case MsgType::kUnwatch: return "net.frames.unwatch";
+    case MsgType::kPing: return "net.frames.ping";
+    case MsgType::kStats: return "net.frames.stats";
+    case MsgType::kEvent: return "net.frames.event";
+    case MsgType::kAppend: return "net.frames.append";
+    case MsgType::kReadLog: return "net.frames.read_log";
+    case MsgType::kCommitWatch: return "net.frames.commit_watch";
+    case MsgType::kCommitUnwatch: return "net.frames.commit_unwatch";
+    case MsgType::kCommitEvent: return "net.frames.commit_event";
+    case MsgType::kRegHello: return "net.frames.reg_hello";
+    case MsgType::kRegPush: return "net.frames.reg_push";
+    case MsgType::kRegAck: return "net.frames.reg_ack";
+    case MsgType::kSessionOpen: return "net.frames.session_open";
+    case MsgType::kMetrics: return "net.frames.metrics";
+    default: return "net.frames.other";
+  }
 }
 
 }  // namespace
@@ -48,6 +79,10 @@ LeaderServer::LeaderServer(svc::MultiGroupLeaderService& service,
       });
   append_sink_ = std::make_shared<AppendSink>();
   append_sink_->server = this;
+  for (std::size_t t = 0; t < kFrameCounterSlots; ++t) {
+    frame_counters_[t] = &obs::counter(frame_metric_name(t));
+  }
+  ack_flush_hist_ = &obs::histogram("net.ack_flush_ns");
   open_listener();
   reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 }
@@ -373,6 +408,9 @@ void LeaderServer::on_io(std::uint32_t loop_idx, int fd,
 
 bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
   const std::uint64_t id = frame.header.req_id;
+  const auto type_byte =
+      static_cast<std::size_t>(frame.header.type);
+  frame_counters_[type_byte < kFrameCounterSlots ? type_byte : 0]->add();
   // decode_payload guarantees a gid body for the three group-addressed
   // types (a short body is kBadBody and closed the connection in on_io),
   // so frame.view.gid is always valid below.
@@ -461,6 +499,7 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
         return true;
       }
       l.counters.appends.fetch_add(1, std::memory_order_relaxed);
+      obs::trace(obs::TraceEvent::kAppendEnqueue, req.gid, req.client);
       // Asynchronous completion: park (loop, fd, serial, req_id) in the
       // callback; the owning shard worker fires it at commit and it lands
       // the acknowledgement in this loop's mailbox (batched wakeup). The
@@ -552,6 +591,26 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
                           static_cast<std::uint64_t>(ttl_us));
       return true;
     }
+    case MsgType::kMetrics: {
+      // Paged scrape of the process-wide obs registry (v1.3). Each page
+      // re-scrapes — the set is name-sorted, so pagination is stable as
+      // long as no new metric registers mid-scrape (first scrape on a
+      // warm server has seen every registration already).
+      const std::vector<obs::MetricSample> samples = obs::scrape();
+      MetricsRespBody resp;
+      resp.total = static_cast<std::uint32_t>(samples.size());
+      resp.start = std::min<std::uint32_t>(frame.metrics_req.start,
+                                           resp.total);
+      std::size_t bytes = kHeaderBytes + 12;
+      for (std::size_t i = resp.start; i < samples.size(); ++i) {
+        const std::size_t sz = metrics_record_wire_size(samples[i]);
+        if (bytes + sz > kMaxPayloadBytes) break;
+        bytes += sz;
+        resp.metrics.push_back(samples[i]);
+      }
+      encode_metrics_response(c.out, Status::kOk, id, resp);
+      return true;
+    }
     case MsgType::kEvent:
     case MsgType::kCommitEvent:
       // Pushes are strictly server -> client; a peer sending one is
@@ -603,9 +662,9 @@ void LeaderServer::deliver_commit_batch(
           });
 }
 
-void LeaderServer::enqueue_ack(std::uint32_t loop_idx,
-                               const PendingAck& ack) {
+void LeaderServer::enqueue_ack(std::uint32_t loop_idx, PendingAck ack) {
   Loop& l = *loops_[loop_idx];
+  ack.enqueue_ns = steady_ns();
   bool need_post = false;
   {
     std::lock_guard<std::mutex> lock(l.ack_mu);
@@ -630,7 +689,12 @@ void LeaderServer::drain_acks(std::uint32_t loop_idx) {
   // Pass 1: encode every acknowledgement into its connection's buffer.
   // Nothing closes a connection here, so raw Connection lookups are safe.
   std::vector<int> touched;
+  const std::int64_t drain_ns = steady_ns();
   for (const PendingAck& ack : l.ack_scratch) {
+    if (ack.enqueue_ns > 0 && drain_ns > ack.enqueue_ns) {
+      ack_flush_hist_->record(
+          static_cast<std::uint64_t>(drain_ns - ack.enqueue_ns));
+    }
     const auto it = l.conns.find(ack.fd);
     if (it == l.conns.end()) continue;  // connection died while waiting
     Connection& c = *it->second;
@@ -674,6 +738,8 @@ void LeaderServer::drain_acks(std::uint32_t loop_idx) {
     if (c.out.empty()) touched.push_back(ack.fd);
     encode_append_response(c.out, status, ack.req_id, resp);
   }
+  obs::trace(obs::TraceEvent::kAckFlush, l.ack_scratch.size(),
+             touched.size());
   l.ack_scratch.clear();
   // Pass 2: one flush per touched connection — with the fd-snapshot
   // discipline (flushing one target can close a sibling, which must be

@@ -43,6 +43,7 @@
 #include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/watch_hub.h"
+#include "obs/metrics.h"
 #include "smr/smr_service.h"
 #include "svc/multigroup_service.h"
 
@@ -130,6 +131,9 @@ class LeaderServer {
     svc::GroupId gid = 0;
     smr::AppendOutcome outcome = smr::AppendOutcome::kAborted;
     std::uint64_t index = 0;
+    /// Mailbox entry time; drain_acks records mailbox -> wire-encode into
+    /// the net.ack_flush_ns histogram.
+    std::int64_t enqueue_ns = 0;
   };
 
   /// Per-IO-thread state. Only `counters` and the ack mailbox are touched
@@ -188,7 +192,7 @@ class LeaderServer {
   /// Called from an append completion (owning shard worker): parks the
   /// acknowledgement in the loop's mailbox and wakes the loop at most
   /// once per backlog.
-  void enqueue_ack(std::uint32_t loop_idx, const PendingAck& ack);
+  void enqueue_ack(std::uint32_t loop_idx, PendingAck ack);
   /// Runs on the loop thread: encodes every parked acknowledgement into
   /// its connection's buffer (dropping silently if the connection is gone
   /// or its fd recycled), then flushes each touched connection once.
@@ -218,6 +222,12 @@ class LeaderServer {
 
   svc::MultiGroupLeaderService& service_;
   smr::SmrService* smr_ = nullptr;
+  /// Per-frame-type obs counters ("net.frames.<type>"), indexed by the
+  /// wire type byte; [0] is the fallback for unknown types. Resolved once
+  /// at construction so the dispatch path never touches the registry lock.
+  static constexpr std::size_t kFrameCounterSlots = 17;
+  obs::Counter* frame_counters_[kFrameCounterSlots] = {};
+  obs::Histogram* ack_flush_hist_ = nullptr;  ///< net.ack_flush_ns
   std::shared_ptr<AppendSink> append_sink_;
   std::atomic<std::uint64_t> next_serial_{1};
   NetConfig cfg_;

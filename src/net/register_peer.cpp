@@ -14,6 +14,7 @@
 #include <cstring>
 
 #include "common/check.h"
+#include "obs/flight_recorder.h"
 
 namespace omega::net {
 
@@ -23,6 +24,8 @@ constexpr std::size_t kLagRingSize = 8192;
 /// Unacked pushes tracked for lag sampling; beyond it the oldest sample
 /// is dropped (measurement only, never correctness).
 constexpr std::size_t kMaxSentTimes = 65536;
+/// One in N pushed frames is time-stamped for the lag measurement.
+constexpr std::uint64_t kLagSampleEvery = 16;
 
 void set_tcp_nodelay(int fd) {
   int one = 1;
@@ -42,6 +45,27 @@ MirrorTransport::MirrorTransport(MirrorConfig cfg) : cfg_(std::move(cfg)) {
   }
   pending_.resize(peers_.size());
   lag_ring_.reserve(kLagRingSize);
+  push_lag_hist_ = &obs::histogram("mirror.push_lag_ns");
+  obs::Registry& reg = obs::Registry::instance();
+  gauge_ids_.push_back(reg.register_gauge("mirror.pushed_frames", [this] {
+    return static_cast<std::int64_t>(
+        counters_.pushed_frames.load(std::memory_order_relaxed));
+  }));
+  gauge_ids_.push_back(reg.register_gauge("mirror.acked_frames", [this] {
+    return static_cast<std::int64_t>(
+        counters_.acked_frames.load(std::memory_order_relaxed));
+  }));
+  gauge_ids_.push_back(reg.register_gauge("mirror.reconnects", [this] {
+    return static_cast<std::int64_t>(
+        counters_.reconnects.load(std::memory_order_relaxed));
+  }));
+  gauge_ids_.push_back(reg.register_gauge("mirror.resyncs", [this] {
+    return static_cast<std::int64_t>(
+        counters_.resyncs.load(std::memory_order_relaxed));
+  }));
+  gauge_ids_.push_back(reg.register_gauge("mirror.max_unacked", [this] {
+    return static_cast<std::int64_t>(max_unacked_frames());
+  }));
   open_listener();
 }
 
@@ -113,6 +137,7 @@ void MirrorTransport::force_resync() {
       if (p->fd >= 0) disconnect_peer(*p);
     }
     counters_.resyncs.fetch_add(1, std::memory_order_relaxed);
+    obs::trace(obs::TraceEvent::kMirrorResync, cfg_.node, 0);
   });
 }
 
@@ -142,6 +167,10 @@ void MirrorTransport::start() {
 
 void MirrorTransport::stop() {
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  for (const std::uint64_t id : gauge_ids_) {
+    obs::Registry::instance().unregister_gauge(id);
+  }
+  gauge_ids_.clear();
   // A transport that never start()ed still owns the listener (bound in
   // the constructor): fall through to the fd cleanup either way.
   if (started_) {
@@ -394,6 +423,8 @@ void MirrorTransport::handle_peer_frame(RegisterPeer& p, const Frame& f) {
                                static_cast<std::ptrdiff_t>(drop));
       }
       if (last_lag >= 0) {
+        push_lag_hist_->record(static_cast<std::uint64_t>(last_lag));
+        obs::trace(obs::TraceEvent::kMirrorAck, p.cfg.node, seq);
         std::lock_guard<std::mutex> lock(lag_mu_);
         if (lag_ring_.size() < kLagRingSize) {
           lag_ring_.push_back(last_lag);
@@ -436,8 +467,10 @@ void MirrorTransport::flush_peers() {
       ++p.sent_seq;
       encode_reg_push(p.out, gid, p.sent_seq, cells.data(),
                       static_cast<std::uint32_t>(cells.size()));
-      if (p.sent_times.size() < kMaxSentTimes) {
+      if ((p.sent_seq == 1 || p.sent_seq % kLagSampleEvery == 0) &&
+          p.sent_times.size() < kMaxSentTimes) {
         p.sent_times.emplace_back(p.sent_seq, now_ns());
+        obs::trace(obs::TraceEvent::kMirrorPush, gid, p.sent_seq);
       }
       counters_.pushed_frames.fetch_add(1, std::memory_order_relaxed);
       counters_.pushed_cells.fetch_add(cells.size(),

@@ -50,6 +50,7 @@
 
 #include "net/event_loop.h"
 #include "net/frame.h"
+#include "obs/metrics.h"
 #include "registers/mirror.h"
 #include "svc/svc_types.h"
 
@@ -155,7 +156,10 @@ class MirrorTransport {
     std::uint64_t sent_seq = 0;
     std::uint64_t acked_seq = 0;
     bool ever_connected = false;  ///< a hello was sent at least once
-    /// (seq, send time ns) of unacked pushes, for the lag samples.
+    /// (seq, send time ns) of *sampled* unacked pushes: every
+    /// kLagSampleEvery-th frame is stamped here, so the lag measurement
+    /// costs the push hot path one branch (and the ack path takes lag_mu_
+    /// only when a sampled frame is covered, ~1/N of acks).
     std::vector<std::pair<std::uint64_t, std::int64_t>> sent_times;
     std::atomic<bool> connected{false};
     std::atomic<std::uint64_t> backlog{0};  ///< sent - acked
@@ -226,6 +230,11 @@ class MirrorTransport {
   mutable std::mutex lag_mu_;
   std::vector<std::int64_t> lag_ring_;
   std::size_t lag_next_ = 0;
+
+  /// mirror.push_lag_ns (resolved once; the ack path records lock-free).
+  obs::Histogram* push_lag_hist_ = nullptr;
+  /// Registered mirror.* gauge ids, unregistered in stop().
+  std::vector<std::uint64_t> gauge_ids_;
 
   struct Counters {
     std::atomic<std::uint64_t> pushed_frames{0};

@@ -1,0 +1,186 @@
+#include "obs/flight_recorder.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace omega::obs {
+namespace {
+
+std::int64_t now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// One thread's ring. Every field is a relaxed atomic so concurrent
+/// dump reads are defined (possibly torn across fields, never UB).
+struct Ring {
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 1 + head value at write time
+    std::atomic<std::uint64_t> ts{0};
+    std::atomic<std::uint64_t> code{0};
+    std::atomic<std::uint64_t> a{0};
+    std::atomic<std::uint64_t> b{0};
+  };
+  std::uint32_t thread_index = 0;
+  std::atomic<std::uint64_t> head{0};  ///< events ever recorded
+  Slot slots[kTraceRingSize];
+
+  void record(TraceEvent ev, std::uint64_t a, std::uint64_t b) noexcept {
+    const std::uint64_t seq = head.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots[seq % kTraceRingSize];
+    s.seq.store(seq + 1, std::memory_order_relaxed);
+    s.ts.store(static_cast<std::uint64_t>(now_ns()),
+               std::memory_order_relaxed);
+    s.code.store(static_cast<std::uint64_t>(ev), std::memory_order_relaxed);
+    s.a.store(a, std::memory_order_relaxed);
+    s.b.store(b, std::memory_order_relaxed);
+  }
+};
+
+struct Recorder {
+  std::mutex mu;  ///< guards rings registration + dump bookkeeping
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::string dir;
+  std::atomic<std::int64_t> last_dump_ns{0};
+  std::atomic<std::uint64_t> dump_seq{0};
+};
+
+Recorder& recorder() {
+  static Recorder r;
+  return r;
+}
+
+Ring& this_thread_ring() {
+  // The shared_ptr holder keeps the ring alive in the global list after
+  // the thread exits, so its tail stays dumpable.
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    Recorder& rec = recorder();
+    std::lock_guard<std::mutex> lock(rec.mu);
+    r->thread_index = static_cast<std::uint32_t>(rec.rings.size());
+    rec.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+struct Line {
+  std::uint64_t ts;
+  std::uint32_t thread_index;
+  TraceEvent ev;
+  std::uint64_t a, b;
+};
+
+}  // namespace
+
+const char* trace_event_name(TraceEvent ev) noexcept {
+  switch (ev) {
+    case TraceEvent::kAppendEnqueue: return "append_enqueue";
+    case TraceEvent::kBatchSeal: return "batch_seal";
+    case TraceEvent::kSlotDecide: return "slot_decide";
+    case TraceEvent::kBatchApply: return "batch_apply";
+    case TraceEvent::kAckFlush: return "ack_flush";
+    case TraceEvent::kMirrorPush: return "mirror_push";
+    case TraceEvent::kMirrorAck: return "mirror_ack";
+    case TraceEvent::kEpochChange: return "epoch_change";
+    case TraceEvent::kSessionEvict: return "session_evict";
+    case TraceEvent::kFailoverTicket: return "failover_ticket";
+    case TraceEvent::kMirrorResync: return "mirror_resync";
+    case TraceEvent::kWatchdogFire: return "watchdog_fire";
+  }
+  return "unknown";
+}
+
+void trace(TraceEvent ev, std::uint64_t a, std::uint64_t b) noexcept {
+  this_thread_ring().record(ev, a, b);
+}
+
+std::string render_trace() {
+  Recorder& rec = recorder();
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    std::lock_guard<std::mutex> lock(rec.mu);
+    rings = rec.rings;
+  }
+  std::vector<Line> lines;
+  for (const auto& ring : rings) {
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t n = std::min<std::uint64_t>(head, kTraceRingSize);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const Ring::Slot& s = ring->slots[i];
+      const std::uint64_t seq = s.seq.load(std::memory_order_relaxed);
+      if (seq == 0) continue;  // never written
+      Line ln;
+      ln.ts = s.ts.load(std::memory_order_relaxed);
+      ln.thread_index = ring->thread_index;
+      ln.ev = static_cast<TraceEvent>(
+          s.code.load(std::memory_order_relaxed) & 0xFF);
+      ln.a = s.a.load(std::memory_order_relaxed);
+      ln.b = s.b.load(std::memory_order_relaxed);
+      lines.push_back(ln);
+    }
+  }
+  std::sort(lines.begin(), lines.end(),
+            [](const Line& x, const Line& y) { return x.ts < y.ts; });
+  std::ostringstream os;
+  for (const Line& ln : lines) {
+    os << ln.ts << " t" << ln.thread_index << ' '
+       << trace_event_name(ln.ev) << " a=" << ln.a << " b=" << ln.b
+       << '\n';
+  }
+  return os.str();
+}
+
+void set_trace_dir(std::string dir) {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.mu);
+  rec.dir = std::move(dir);
+}
+
+std::string dump_trace(const std::string& reason, bool force) {
+  Recorder& rec = recorder();
+  const std::int64_t now = now_ns();
+  std::int64_t last = rec.last_dump_ns.load(std::memory_order_relaxed);
+  if (!force && last != 0 && now - last < 1000000000) return "";
+  if (!rec.last_dump_ns.compare_exchange_strong(
+          last, now, std::memory_order_relaxed)) {
+    if (!force) return "";  // lost the race: someone else is dumping
+    rec.last_dump_ns.store(now, std::memory_order_relaxed);
+  }
+
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> lock(rec.mu);
+    dir = rec.dir;
+  }
+  if (dir.empty()) {
+    if (const char* env = std::getenv("OMEGA_TRACE_DIR")) dir = env;
+  }
+  if (dir.empty()) dir = ".";
+
+  const std::uint64_t n =
+      rec.dump_seq.fetch_add(1, std::memory_order_relaxed);
+  std::ostringstream path;
+  path << dir << "/omega_trace_" << ::getpid() << '_' << n << ".txt";
+
+  const std::string body = render_trace();
+  std::FILE* f = std::fopen(path.str().c_str(), "w");
+  if (!f) return "";
+  std::fprintf(f, "# omega flight recorder dump\n# reason: %s\n# pid: %d\n",
+               reason.c_str(), ::getpid());
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  return path.str();
+}
+
+}  // namespace omega::obs

@@ -1,0 +1,67 @@
+// Flight recorder: an always-on, per-thread ring of timestamped protocol
+// events, cheap enough to leave enabled on every hot path (one relaxed
+// ring-slot write, no locks, no allocation), dumped as a merged
+// time-ordered text trace when something goes wrong — a mirror-stall
+// watchdog fires, a failover displaces sealed batches, or a test/tool
+// asks explicitly. The dump answers "what were the last few milliseconds
+// of protocol activity on this node" after the fact, which logs sampled
+// at human rates cannot.
+//
+// Threading: each thread records into its own fixed-size ring of relaxed
+// std::atomic<u64> fields (TSan-clean by construction). The dumper walks
+// every ring without stopping writers, so an event being overwritten
+// concurrently can surface with mixed fields — the trace is best-effort
+// forensics, not a journal. Rings are owned by shared_ptr and outlive
+// their threads, so short-lived threads' tails stay dumpable.
+//
+// Dump destination: $OMEGA_TRACE_DIR (or set_trace_dir()), default the
+// working directory; files are named omega_trace_<pid>_<n>.txt. Dumps
+// are rate-limited (min 1 s apart unless forced) so a watchdog firing
+// every sweep cannot flood the disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace omega::obs {
+
+/// Protocol event vocabulary. `a`/`b` are per-event operands (see
+/// render_trace's column legend; typically gid/slot/index/count).
+enum class TraceEvent : std::uint8_t {
+  kAppendEnqueue = 0,  ///< a=gid, b=client — command accepted for a slot
+  kBatchSeal,          ///< a=slot, b=command count — local seal published
+  kSlotDecide,         ///< a=slot, b=command count — slot harvested decided
+  kBatchApply,         ///< a=first index, b=count — commits applied
+  kAckFlush,           ///< a=acks flushed, b=connections touched
+  kMirrorPush,         ///< a=peer node, b=seq — sampled push frame
+  kMirrorAck,          ///< a=peer node, b=acked seq
+  kEpochChange,        ///< a=gid, b=new leader pid (u32 max = none)
+  kSessionEvict,       ///< a=gid, b=sessions evicted so far
+  kFailoverTicket,     ///< a=gid/slot, b=ticket — displaced batch re-proposal
+  kMirrorResync,       ///< a=peer node (u32 max = all), b=0
+  kWatchdogFire,       ///< a=gid, b=stalled microseconds
+};
+
+const char* trace_event_name(TraceEvent ev) noexcept;
+
+/// Records one event into the calling thread's ring. Safe from any
+/// thread, any time, including during a concurrent dump.
+void trace(TraceEvent ev, std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+
+/// Renders every thread's ring merged and sorted by timestamp (ns since
+/// an arbitrary per-process origin). One line per event:
+///   <ts_ns> t<thread> <event> a=<a> b=<b>
+std::string render_trace();
+
+/// Writes render_trace() plus a reason header to the trace directory.
+/// Returns the file path, or "" when rate-limited (min 1 s between dumps
+/// unless `force`) or the file could not be written.
+std::string dump_trace(const std::string& reason, bool force = false);
+
+/// Overrides the dump directory (else $OMEGA_TRACE_DIR, else ".").
+void set_trace_dir(std::string dir);
+
+/// Ring capacity per thread (events).
+inline constexpr std::uint32_t kTraceRingSize = 4096;
+
+}  // namespace omega::obs

@@ -1,0 +1,194 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace omega::obs {
+
+std::uint32_t this_thread_stripe() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t stripe =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterStripes;
+  return stripe;
+}
+
+std::uint32_t Histogram::bucket_of(std::uint64_t v) noexcept {
+  if (v == 0) return 0;
+  std::uint32_t b = static_cast<std::uint32_t>(std::bit_width(v));
+  if (b >= kHistogramBuckets) b = kHistogramBuckets - 1;
+  return b;
+}
+
+std::uint64_t Histogram::bucket_upper(std::uint32_t b) noexcept {
+  if (b == 0) return 0;
+  if (b >= kHistogramBuckets - 1) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << b) - 1;
+}
+
+std::uint64_t MetricSample::quantile(double q) const noexcept {
+  if (kind != Kind::kHistogram || value <= 0) return 0;
+  const auto total = static_cast<std::uint64_t>(value);
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  std::uint64_t seen = 0;
+  for (const auto& [b, n] : buckets) {
+    seen += n;
+    if (seen > rank) return Histogram::bucket_upper(b);
+  }
+  return buckets.empty() ? 0 : Histogram::bucket_upper(buckets.back().first);
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Values are pointers so references handed out stay stable; entries are
+  // never erased (names are a small static vocabulary).
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms;
+  struct GaugeEntry {
+    std::string name;
+    std::function<std::int64_t()> fn;
+  };
+  std::map<std::uint64_t, GaugeEntry> gauges;
+  std::uint64_t next_gauge_id = 1;
+};
+
+Registry& Registry::instance() {
+  static Registry r;
+  return r;
+}
+
+Registry::Impl& Registry::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.counters[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto& slot = im.histograms[name];
+  if (!slot) slot.reset(new Histogram());
+  return *slot;
+}
+
+std::uint64_t Registry::register_gauge(const std::string& name,
+                                       std::function<std::int64_t()> fn) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  const std::uint64_t id = im.next_gauge_id++;
+  im.gauges.emplace(id, Impl::GaugeEntry{name, std::move(fn)});
+  return id;
+}
+
+void Registry::unregister_gauge(std::uint64_t id) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  im.gauges.erase(id);
+}
+
+std::vector<MetricSample> Registry::scrape() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  // Gauges first: sum registrations per name into a sorted map.
+  std::map<std::string, std::int64_t> gauge_values;
+  for (const auto& [id, g] : im.gauges) {
+    (void)id;
+    gauge_values[g.name] += g.fn ? g.fn() : 0;
+  }
+
+  std::vector<MetricSample> out;
+  out.reserve(im.counters.size() + im.histograms.size() +
+              gauge_values.size());
+  for (const auto& [name, c] : im.counters) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<std::int64_t>(c->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, v] : gauge_values) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = v;
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, h] : im.histograms) {
+    MetricSample s;
+    s.name = name;
+    s.kind = MetricSample::Kind::kHistogram;
+    // Per-bucket totals are summed before count so a racing record()
+    // can only make count lag the buckets, never exceed them... either
+    // way both are relaxed snapshots; consumers treat them as ~instant.
+    std::uint64_t count = 0;
+    for (std::uint32_t b = 0; b < kHistogramBuckets; ++b) {
+      const std::uint64_t n =
+          h->buckets_[b].load(std::memory_order_relaxed);
+      if (n == 0) continue;
+      s.buckets.emplace_back(static_cast<std::uint8_t>(b), n);
+      count += n;
+    }
+    s.value = static_cast<std::int64_t>(count);
+    s.sum = h->sum_.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+namespace {
+
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.' || c == '-') c = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_prometheus(const std::vector<MetricSample>& samples) {
+  std::ostringstream os;
+  for (const MetricSample& s : samples) {
+    const std::string n = prom_name(s.name);
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        os << "# TYPE " << n << " counter\n" << n << ' ' << s.value << '\n';
+        break;
+      case MetricSample::Kind::kGauge:
+        os << "# TYPE " << n << " gauge\n" << n << ' ' << s.value << '\n';
+        break;
+      case MetricSample::Kind::kHistogram: {
+        os << "# TYPE " << n << " histogram\n";
+        std::uint64_t cum = 0;
+        for (const auto& [b, cnt] : s.buckets) {
+          cum += cnt;
+          os << n << "_bucket{le=\"" << Histogram::bucket_upper(b) << "\"} "
+             << cum << '\n';
+        }
+        os << n << "_bucket{le=\"+Inf\"} " << cum << '\n';
+        os << n << "_sum " << s.sum << '\n';
+        os << n << "_count " << s.value << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+}  // namespace omega::obs

@@ -1,0 +1,167 @@
+// Unified runtime metrics: a process-global registry of named counters,
+// callback gauges and log-bucketed latency histograms, designed so the
+// *write* path never takes a lock or touches shared cache lines it does
+// not own:
+//
+//   * Counter — per-thread-striped relaxed atomics (cache-line padded);
+//     add() is one fetch_add on the calling thread's stripe, value() sums
+//     the stripes at scrape time.
+//   * Histogram — the same power-of-two bucketing as
+//     common/stats.h::LogHistogram (bucket = bit_width of the value), but
+//     with per-bucket relaxed atomics so any thread can record() without
+//     coordination. Quantiles are bucket-resolution estimates (the upper
+//     bound of the bucket holding the target rank — within 2x of the
+//     exact percentile by construction).
+//   * Callback gauges — a registered std::function sampled at scrape
+//     time. Multiple registrations under one name SUM (so e.g. every
+//     LogGroup contributes to one "smr.queue_pending" without per-group
+//     metric cardinality); unregister by the returned id before the
+//     callback's captures die.
+//
+// Registration (the only mutex) is get-or-create by name and happens once
+// per call site; handles stay valid for the process lifetime (metrics are
+// never erased). The registry is a process-wide singleton: in-process
+// multi-server tests therefore see aggregated values, while a real
+// multi-node deployment (one process per node, smr::SmrNode) scrapes true
+// per-node metrics — exactly what the v1.3 METRICS frame transports.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace omega::obs {
+
+/// Histogram bucket count: bucket b >= 1 covers [2^(b-1), 2^b - 1],
+/// bucket 0 is exactly {0}. 64 buckets cover the full u64 range and a
+/// bucket index always fits a u8 (the wire encoding relies on this).
+inline constexpr std::uint32_t kHistogramBuckets = 64;
+
+/// Counter stripe count; threads are assigned stripes round-robin.
+inline constexpr std::uint32_t kCounterStripes = 16;
+
+/// Index of the calling thread's counter stripe (assigned once per
+/// thread, round-robin, so colliding threads are the exception).
+std::uint32_t this_thread_stripe() noexcept;
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    stripes_[this_thread_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    std::uint64_t sum = 0;
+    for (const auto& s : stripes_) sum += s.v.load(std::memory_order_relaxed);
+    return sum;
+  }
+
+ private:
+  friend class Registry;
+  Counter() = default;
+  struct alignas(64) Stripe {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Stripe stripes_[kCounterStripes];
+};
+
+class Histogram {
+ public:
+  /// Bucket of `v`: 0 for 0, else bit_width(v) clamped to the top bucket
+  /// (same math as common/stats.h::LogHistogram).
+  static std::uint32_t bucket_of(std::uint64_t v) noexcept;
+  /// Largest value bucket `b` can hold (0 for bucket 0, 2^b - 1 else,
+  /// saturating at the top bucket).
+  static std::uint64_t bucket_upper(std::uint32_t b) noexcept;
+
+  void record(std::uint64_t v) noexcept {
+    buckets_[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Registry;
+  Histogram() = default;
+  std::atomic<std::uint64_t> buckets_[kHistogramBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One scraped metric — also the payload record of the v1.3 METRICS
+/// frame and the input to the Prometheus renderer, so server, client and
+/// tools share a single vocabulary. Histograms are sparse: only non-zero
+/// buckets appear, as (bucket index, count) pairs sorted by index.
+struct MetricSample {
+  enum class Kind : std::uint8_t {
+    kCounter = 0,
+    kGauge = 1,
+    kHistogram = 2,
+  };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// Counter/gauge value; for histograms, the total sample count.
+  std::int64_t value = 0;
+  /// Histograms only: sum of recorded values.
+  std::uint64_t sum = 0;
+  /// Histograms only: non-zero (bucket, count) pairs, ascending bucket.
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> buckets;
+
+  friend bool operator==(const MetricSample&, const MetricSample&) = default;
+
+  /// Bucket-resolution quantile estimate (histograms): the upper bound of
+  /// the bucket containing the q-th ranked sample; 0 when empty.
+  std::uint64_t quantile(double q) const noexcept;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry.
+  static Registry& instance();
+
+  /// Get-or-create by name. The returned reference is valid for the
+  /// process lifetime; call once per site and cache it.
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Registers a gauge callback under `name`; multiple registrations of
+  /// one name sum at scrape. Returns an id for unregister_gauge — call it
+  /// before anything the callback captures is destroyed.
+  std::uint64_t register_gauge(const std::string& name,
+                               std::function<std::int64_t()> fn);
+  void unregister_gauge(std::uint64_t id);
+
+  /// Point-in-time snapshot of every metric, sorted by name (counters
+  /// and histograms merged across stripes, gauges sampled and summed).
+  std::vector<MetricSample> scrape() const;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// Shorthands for the common call sites.
+inline Counter& counter(const std::string& name) {
+  return Registry::instance().counter(name);
+}
+inline Histogram& histogram(const std::string& name) {
+  return Registry::instance().histogram(name);
+}
+inline std::vector<MetricSample> scrape() {
+  return Registry::instance().scrape();
+}
+
+/// Prometheus text exposition of a scrape ('.' in names becomes '_';
+/// histograms render as cumulative `_bucket{le=...}` series plus `_sum`
+/// and `_count`). Works on any sample set — a local scrape or one paged
+/// over the wire from a remote node.
+std::string render_prometheus(const std::vector<MetricSample>& samples);
+
+}  // namespace omega::obs

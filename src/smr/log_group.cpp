@@ -1,10 +1,19 @@
 #include "smr/log_group.h"
 
 #include <algorithm>
+#include <chrono>
+
+#include "obs/flight_recorder.h"
 
 namespace omega::smr {
 
 namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 ProcessId lowest_local(const SmrSpec& spec) {
   for (ProcessId p = 0; p < spec.n; ++p) {
@@ -54,6 +63,26 @@ LogGroup::LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook)
     batch_.emplace("LOG", banks, rows, spec_.max_batch);
   }
   applied_.reserve(std::min<std::uint32_t>(spec_.capacity, 4096));
+  apply_hist_ = &obs::histogram("smr.decide_to_apply_ns");
+  obs::Registry& reg = obs::Registry::instance();
+  gauge_ids_.push_back(reg.register_gauge("smr.queue_pending", [this] {
+    return static_cast<std::int64_t>(queue_.stats().pending);
+  }));
+  gauge_ids_.push_back(reg.register_gauge("smr.queue_in_flight", [this] {
+    return static_cast<std::int64_t>(queue_.stats().in_flight);
+  }));
+  gauge_ids_.push_back(reg.register_gauge("smr.sessions", [this] {
+    return static_cast<std::int64_t>(queue_.stats().sessions);
+  }));
+  gauge_ids_.push_back(reg.register_gauge("smr.sessions_evicted", [this] {
+    return static_cast<std::int64_t>(queue_.stats().evicted);
+  }));
+}
+
+LogGroup::~LogGroup() {
+  for (const std::uint64_t id : gauge_ids_) {
+    obs::Registry::instance().unregister_gauge(id);
+  }
 }
 
 void LogGroup::attach(svc::Group& g) {
@@ -77,6 +106,14 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
   // clock and their retry windows would expire on the next scan. Entries
   // still queued or in flight are busy and never evicted regardless.
   queue_.evict_idle_sessions(now_us);
+  {
+    const std::uint64_t evicted = queue_.stats().evicted;
+    if (evicted > last_evicted_) {
+      obs::trace(obs::TraceEvent::kSessionEvict, gid_,
+                 evicted - last_evicted_);
+      last_evicted_ = evicted;
+    }
+  }
   if (multi_node_) {
     // Leadership and flow-control gates, sampled once per sweep: only
     // the node hosting the agreed leader seals fresh batches, and only
@@ -87,6 +124,20 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
     seal_ok_ = leader_local_ &&
                (!spec_.mirror_backlog ||
                 spec_.mirror_backlog() <= spec_.max_unacked_push);
+    if (leader_local_ && !was_leader_local_ &&
+        last_remote_leader_ != kNoProcess) {
+      // This node just took over from a distinct remote leader — the
+      // failover window the flight recorder exists for. Dump the merged
+      // trace now, while the takeover's ticket/reseal events are still
+      // in the rings.
+      obs::trace(obs::TraceEvent::kFailoverTicket, gid_,
+                 last_remote_leader_);
+      obs::dump_trace("failover");
+    }
+    was_leader_local_ = leader_local_;
+    if (view.leader != kNoProcess && !spec_.is_local(view.leader)) {
+      last_remote_leader_ = view.leader;
+    }
   }
   scratch_.clear();
   pump_->tick(source_, scratch_, /*repush_remote=*/multi_node_ &&
@@ -95,6 +146,7 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
     // Apply the sweep's whole harvest as one batch: one applied-log lock,
     // one commit-index publish, batched queue acknowledgement, one hook
     // invocation for the push fan-out.
+    const std::int64_t apply_start = steady_ns();
     const std::uint32_t count = static_cast<std::uint32_t>(scratch_.size());
     values_.clear();
     for (const auto& c : scratch_) values_.push_back(c.value);
@@ -126,6 +178,9 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
     for (auto& ex : g.execs) {
       if (ex) ex->reap_apps();
     }
+    apply_hist_->record(
+        static_cast<std::uint64_t>(steady_ns() - apply_start));
+    obs::trace(obs::TraceEvent::kBatchApply, first, count);
   }
   if (multi_node_ && spec_.mirror_resync) {
     // Watchdog: a decided slot whose payload stays unreadable means some
@@ -139,6 +194,9 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
       if (stall_since_us_ == 0) {
         stall_since_us_ = now_us;
       } else if (now_us - stall_since_us_ >= spec_.mirror_stall_resync_us) {
+        obs::trace(obs::TraceEvent::kWatchdogFire, gid_,
+                   pump_->payload_stalls());
+        obs::dump_trace("mirror-stall-watchdog");
         spec_.mirror_resync();
         stall_since_us_ = 0;
         stall_marker_ = pump_->payload_stalls();

@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "consensus/log_pump.h"
+#include "obs/metrics.h"
 #include "smr/command_queue.h"
 #include "svc/group_registry.h"
 
@@ -124,6 +125,7 @@ using CommitHook = std::function<void(
 class LogGroup final : public svc::GroupPump {
  public:
   LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook);
+  ~LogGroup();
 
   svc::GroupId gid() const noexcept { return gid_; }
   const SmrSpec& spec() const noexcept { return spec_; }
@@ -253,6 +255,18 @@ class LogGroup final : public svc::GroupPump {
   std::vector<std::uint64_t> applied_;
   std::atomic<std::uint64_t> commit_index_{0};
   std::atomic<bool> log_full_{false};
+
+  /// obs wiring: decide -> apply latency (resolved once), queue-depth
+  /// gauges (registered per group, summed by name at scrape), and the
+  /// failover/eviction trace state.
+  obs::Histogram* apply_hist_ = nullptr;  ///< smr.decide_to_apply_ns
+  std::vector<std::uint64_t> gauge_ids_;
+  std::uint64_t last_evicted_ = 0;  ///< sessions_evicted at last sweep
+  /// Last agreed leader that was NOT local (kNoProcess until one is
+  /// seen): a false -> true leader_local_ edge after one existed is a
+  /// failover onto this node, worth a flight-recorder dump.
+  ProcessId last_remote_leader_ = kNoProcess;
+  bool was_leader_local_ = false;
 };
 
 }  // namespace omega::smr

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/flight_recorder.h"
+
 #ifdef __linux__
 #include <sys/resource.h>
 #include <sys/syscall.h>
@@ -26,9 +28,25 @@ WorkerPool::WorkerPool(GroupRegistry& registry, const SvcConfig& cfg)
   // The clock starts at construction, not at start(): now_us() must be a
   // consistent timebase even for await/stats calls that race start().
   start_time_ = std::chrono::steady_clock::now();
+  steps_ctr_ = &obs::counter("svc.steps");
+  sweeps_ctr_ = &obs::counter("svc.sweeps");
+  fires_ctr_ = &obs::counter("svc.timer_fires");
+  sweep_hist_ = &obs::histogram("svc.sweep_ns");
+  pace_gauge_id_ =
+      obs::Registry::instance().register_gauge("svc.max_pace_us", [this] {
+        std::int64_t deepest = 0;
+        for (const auto& w : workers_) {
+          deepest = std::max(deepest,
+                             w->pace_us.load(std::memory_order_relaxed));
+        }
+        return deepest;
+      });
 }
 
-WorkerPool::~WorkerPool() { stop(); }
+WorkerPool::~WorkerPool() {
+  stop();
+  obs::Registry::instance().unregister_gauge(pace_gauge_id_);
+}
 
 std::int64_t WorkerPool::now_us() const {
   return std::chrono::duration_cast<std::chrono::microseconds>(
@@ -99,6 +117,7 @@ void WorkerPool::run_worker(std::uint32_t w) {
   std::int64_t pace = cfg_.pace_us;
 
   while (!stop_flag_.load(std::memory_order_acquire)) {
+    const auto sweep_start = std::chrono::steady_clock::now();
     // Quiet until proven busy: timer fires, epoch movement, or pump
     // traffic below all count as harvest; bare heartbeat/maintenance
     // steps do not (they are exactly the spin worth backing off).
@@ -172,7 +191,9 @@ void WorkerPool::run_worker(std::uint32_t w) {
         // transition through the registry's listener seam (watch hub,
         // benches) instead of making consumers poll the cache.
         if (g.cache.publish(g.agreed())) {
-          registry_.notify_epoch_change(g.id, g.cache.load());
+          const LeaderView view = g.cache.load();
+          obs::trace(obs::TraceEvent::kEpochChange, g.id, view.epoch);
+          registry_.notify_epoch_change(g.id, view);
           harvested = true;
         }
         // Application pump (e.g. the SMR log): runs on this worker — the
@@ -186,9 +207,18 @@ void WorkerPool::run_worker(std::uint32_t w) {
 
     me.steps.fetch_add(steps_batch, std::memory_order_relaxed);
     me.fires.fetch_add(fires_batch, std::memory_order_relaxed);
+    // One batched add per sweep into the obs registry — the counters cost
+    // the hot loop two relaxed fetch_adds, not one per step.
+    if (steps_batch > 0) steps_ctr_->add(steps_batch);
+    if (fires_batch > 0) fires_ctr_->add(fires_batch);
+    sweeps_ctr_->add(1);
     steps_batch = 0;
     fires_batch = 0;
     me.sweeps.fetch_add(1, std::memory_order_relaxed);
+    sweep_hist_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - sweep_start)
+            .count()));
 
     if (adaptive) {
       if (harvested) {

@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "svc/group_registry.h"
 #include "svc/timer_wheel.h"
 
@@ -86,6 +87,14 @@ class WorkerPool {
   std::string failure_message_;
   bool started_ = false;
   std::chrono::steady_clock::time_point start_time_{};
+
+  /// obs instruments, resolved once so the sweep loop never touches the
+  /// registry lock. Counters are bumped with per-sweep batch totals.
+  obs::Counter* steps_ctr_ = nullptr;    ///< svc.steps
+  obs::Counter* sweeps_ctr_ = nullptr;   ///< svc.sweeps
+  obs::Counter* fires_ctr_ = nullptr;    ///< svc.timer_fires
+  obs::Histogram* sweep_hist_ = nullptr;  ///< svc.sweep_ns
+  std::uint64_t pace_gauge_id_ = 0;       ///< svc.max_pace_us
 };
 
 }  // namespace omega::svc

@@ -1,0 +1,155 @@
+// v1.3 METRICS codec (net/frame.h): request/response round-trips with
+// sparse histogram buckets and negative gauges, role selection by body
+// length, pagination arithmetic, and rejection of truncated records.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace omega::net {
+namespace {
+
+std::vector<Frame> decode_all(const std::vector<std::uint8_t>& bytes) {
+  FrameDecoder dec;
+  dec.feed(bytes.data(), bytes.size());
+  std::vector<Frame> frames;
+  const std::uint8_t* payload = nullptr;
+  std::size_t len = 0;
+  while (dec.next(payload, len)) {
+    Frame f;
+    EXPECT_EQ(decode_payload(payload, len, f), DecodeResult::kOk);
+    frames.push_back(f);
+  }
+  return frames;
+}
+
+obs::MetricSample counter_sample(std::string name, std::int64_t value) {
+  obs::MetricSample m;
+  m.name = std::move(name);
+  m.kind = obs::MetricSample::Kind::kCounter;
+  m.value = value;
+  return m;
+}
+
+TEST(MetricsFrame, RequestRoundTrip) {
+  std::vector<std::uint8_t> buf;
+  encode_metrics_request(buf, /*req_id=*/7, MetricsReqBody{123});
+  const auto frames = decode_all(buf);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].header.type, MsgType::kMetrics);
+  EXPECT_EQ(frames[0].header.req_id, 7u);
+  ASSERT_TRUE(frames[0].has_body);
+  EXPECT_FALSE(frames[0].has_metrics_resp);  // 4-byte body = request role
+  EXPECT_EQ(frames[0].metrics_req.start, 123u);
+}
+
+TEST(MetricsFrame, ResponseRoundTripAllKinds) {
+  MetricsRespBody body;
+  body.total = 5;
+  body.start = 2;
+  body.metrics.push_back(counter_sample("net.frames.append", 80000));
+  obs::MetricSample gauge;
+  gauge.name = "test.negative_gauge";
+  gauge.kind = obs::MetricSample::Kind::kGauge;
+  gauge.value = -42;  // i64 survives the u64 wire field
+  body.metrics.push_back(gauge);
+  obs::MetricSample hist;
+  hist.name = "smr.seal_to_decide_ns";
+  hist.kind = obs::MetricSample::Kind::kHistogram;
+  hist.value = 11;
+  hist.sum = 987654;
+  hist.buckets = {{10, 4}, {11, 6}, {63, 1}};  // sparse, gaps allowed
+  body.metrics.push_back(hist);
+
+  std::vector<std::uint8_t> buf;
+  encode_metrics_response(buf, Status::kOk, /*req_id=*/9, body);
+  const auto frames = decode_all(buf);
+  ASSERT_EQ(frames.size(), 1u);
+  const Frame& f = frames[0];
+  EXPECT_EQ(f.header.type, MsgType::kMetrics);
+  EXPECT_EQ(f.header.status, Status::kOk);
+  ASSERT_TRUE(f.has_metrics_resp);
+  EXPECT_EQ(f.metrics_resp.total, 5u);
+  EXPECT_EQ(f.metrics_resp.start, 2u);
+  ASSERT_EQ(f.metrics_resp.metrics.size(), 3u);
+  EXPECT_EQ(f.metrics_resp.metrics[0], body.metrics[0]);
+  EXPECT_EQ(f.metrics_resp.metrics[1], body.metrics[1]);
+  EXPECT_EQ(f.metrics_resp.metrics[2], body.metrics[2]);
+}
+
+TEST(MetricsFrame, EmptyPageRoundTrip) {
+  // A scrape of an empty registry answers total=0 with no records; the
+  // 12-byte body must still decode as a response, not a request.
+  MetricsRespBody body;
+  std::vector<std::uint8_t> buf;
+  encode_metrics_response(buf, Status::kOk, 1, body);
+  const auto frames = decode_all(buf);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_TRUE(frames[0].has_metrics_resp);
+  EXPECT_EQ(frames[0].metrics_resp.total, 0u);
+  EXPECT_TRUE(frames[0].metrics_resp.metrics.empty());
+}
+
+TEST(MetricsFrame, RecordWireSizeMatchesEncoding) {
+  obs::MetricSample hist;
+  hist.name = "x.y";
+  hist.kind = obs::MetricSample::Kind::kHistogram;
+  hist.buckets = {{1, 2}, {3, 4}};
+  MetricsRespBody body;
+  body.total = 1;
+  body.metrics.push_back(hist);
+  std::vector<std::uint8_t> buf;
+  encode_metrics_response(buf, Status::kOk, 1, body);
+  // frame = u32 len | 12-byte header | u32 total | u32 start | u32 count
+  //         | the one record
+  EXPECT_EQ(buf.size(),
+            4 + kHeaderBytes + 12 + metrics_record_wire_size(hist));
+}
+
+TEST(MetricsFrame, TruncatedRecordRejected) {
+  MetricsRespBody body;
+  body.total = 1;
+  body.metrics.push_back(counter_sample("truncate.me", 5));
+  std::vector<std::uint8_t> buf;
+  encode_metrics_response(buf, Status::kOk, 3, body);
+  // Clip the payload mid-record, re-stamp the length prefix, and expect
+  // the decoder to call the body bad rather than read past the end.
+  const std::size_t payload_len = buf.size() - 4 - 6;
+  Frame f;
+  EXPECT_EQ(decode_payload(buf.data() + 4, payload_len, f),
+            DecodeResult::kBadBody);
+}
+
+TEST(MetricsFrame, CountBeyondPayloadRejected) {
+  MetricsRespBody body;
+  body.total = 2;
+  body.metrics.push_back(counter_sample("only.one", 1));
+  std::vector<std::uint8_t> buf;
+  encode_metrics_response(buf, Status::kOk, 4, body);
+  // Corrupt the count field (third u32 after the header) to claim a
+  // second record that is not there.
+  const std::size_t count_at = 4 + kHeaderBytes + 8;
+  buf[count_at] = 2;
+  Frame f;
+  EXPECT_EQ(decode_payload(buf.data() + 4, buf.size() - 4, f),
+            DecodeResult::kBadBody);
+}
+
+TEST(MetricsFrame, LongNameTruncatedTo255) {
+  obs::MetricSample m = counter_sample(std::string(300, 'n'), 1);
+  MetricsRespBody body;
+  body.total = 1;
+  body.metrics.push_back(m);
+  std::vector<std::uint8_t> buf;
+  encode_metrics_response(buf, Status::kOk, 5, body);
+  const auto frames = decode_all(buf);
+  ASSERT_EQ(frames.size(), 1u);
+  ASSERT_TRUE(frames[0].has_metrics_resp);
+  ASSERT_EQ(frames[0].metrics_resp.metrics.size(), 1u);
+  EXPECT_EQ(frames[0].metrics_resp.metrics[0].name, std::string(255, 'n'));
+}
+
+}  // namespace
+}  // namespace omega::net
