@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <unordered_map>
 
 namespace omega::net {
 
@@ -540,6 +541,12 @@ const obs::MetricSample* Client::MetricsResult::find(
 
 Client::MetricsResult Client::metrics() {
   MetricsResult r;
+  // Each page re-scrapes the name-sorted registry, so a metric registering
+  // mid-scrape (lazy registration on a just-started node) can shift indices
+  // between pages and repeat a name. Dedupe by name, keeping the later —
+  // fresher — sample; a shift can still drop a name from this scrape, which
+  // the next scrape picks up.
+  std::unordered_map<std::string, std::size_t> by_name;
   std::uint32_t start = 0;
   for (;;) {
     ensure_connected();
@@ -551,7 +558,14 @@ Client::MetricsResult Client::metrics() {
     if (f.header.status != Status::kOk) return r;
     if (!f.has_metrics_resp) throw NetError("metrics response without body");
     const MetricsRespBody& page = f.metrics_resp;
-    for (const obs::MetricSample& m : page.metrics) r.metrics.push_back(m);
+    for (const obs::MetricSample& m : page.metrics) {
+      const auto [it, fresh] = by_name.emplace(m.name, r.metrics.size());
+      if (fresh) {
+        r.metrics.push_back(m);
+      } else {
+        r.metrics[it->second] = m;
+      }
+    }
     const std::uint32_t count =
         static_cast<std::uint32_t>(page.metrics.size());
     // The registry only ever grows, so pages never shrink `total`; an

@@ -217,8 +217,9 @@ void encode_session_open(std::vector<std::uint8_t>& out, Status status,
 }
 
 std::size_t metrics_record_wire_size(const obs::MetricSample& m) noexcept {
-  const std::size_t name_len = std::min<std::size_t>(m.name.size(), 255);
-  return 1 + 1 + name_len + 8 + 8 + 1 + m.buckets.size() * 9;
+  // Names are checked <= 255 bytes at registration and again at encode, so
+  // the size needs no clamping here.
+  return 1 + 1 + m.name.size() + 8 + 8 + 1 + m.buckets.size() * 9;
 }
 
 void encode_metrics_request(std::vector<std::uint8_t>& out,
@@ -240,10 +241,13 @@ void encode_metrics_response(std::vector<std::uint8_t>& out, Status status,
   put_u32(out, static_cast<std::uint32_t>(body.metrics.size()));
   for (const obs::MetricSample& m : body.metrics) {
     put_u8(out, static_cast<std::uint8_t>(m.kind));
-    const std::size_t name_len = std::min<std::size_t>(m.name.size(), 255);
-    put_u8(out, static_cast<std::uint8_t>(name_len));
-    out.insert(out.end(), m.name.begin(),
-               m.name.begin() + static_cast<std::ptrdiff_t>(name_len));
+    // Truncating here would make the scraped name differ from the registry
+    // name (and let two long names collide into one record); the vocabulary
+    // is static, so a too-long name is a programming error.
+    OMEGA_CHECK(m.name.size() <= 255,
+                "metric name exceeds wire limit: " << m.name);
+    put_u8(out, static_cast<std::uint8_t>(m.name.size()));
+    out.insert(out.end(), m.name.begin(), m.name.end());
     put_u64(out, static_cast<std::uint64_t>(m.value));
     put_u64(out, m.sum);
     OMEGA_CHECK(m.buckets.size() <= obs::kHistogramBuckets,
@@ -422,6 +426,11 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
       out.metrics_resp.total = get_u32(body);
       out.metrics_resp.start = get_u32(body + 4);
       const std::uint32_t count = get_u32(body + 8);
+      // `count` is wire-controlled: reject counts the body cannot possibly
+      // hold (each record is >= 19 bytes: kind|name_len|value|sum|nbuckets)
+      // before reserve(), or a 12-byte frame with count=0xFFFFFFFF turns
+      // into a multi-hundred-GB allocation request.
+      if (count > (body_len - 12) / 19) return DecodeResult::kBadBody;
       std::size_t off = 12;
       out.metrics_resp.metrics.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {

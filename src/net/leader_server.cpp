@@ -593,9 +593,10 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
     }
     case MsgType::kMetrics: {
       // Paged scrape of the process-wide obs registry (v1.3). Each page
-      // re-scrapes — the set is name-sorted, so pagination is stable as
-      // long as no new metric registers mid-scrape (first scrape on a
-      // warm server has seen every registration already).
+      // re-scrapes the name-sorted set, so a metric registering mid-scrape
+      // (lazy registration during startup ramp) can shift indices between
+      // pages; Client::metrics() dedupes by name and the scrape is
+      // best-effort until every registration has happened once.
       const std::vector<obs::MetricSample> samples = obs::scrape();
       MetricsRespBody resp;
       resp.total = static_cast<std::uint32_t>(samples.size());

@@ -7,7 +7,19 @@
 #include <mutex>
 #include <sstream>
 
+#include "common/check.h"
+
 namespace omega::obs {
+
+namespace {
+// The METRICS wire format carries names as a u8-length string; catching an
+// oversized name at registration keeps encode_metrics_response from ever
+// having to truncate (which would desync scraped names from the registry).
+void check_name(const std::string& name) {
+  OMEGA_CHECK(name.size() <= 255,
+              "metric name exceeds the 255-byte wire limit: " << name);
+}
+}  // namespace
 
 std::uint32_t this_thread_stripe() noexcept {
   static std::atomic<std::uint32_t> next{0};
@@ -67,6 +79,7 @@ Registry::Impl& Registry::impl() const {
 }
 
 Counter& Registry::counter(const std::string& name) {
+  check_name(name);
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
   auto& slot = im.counters[name];
@@ -75,6 +88,7 @@ Counter& Registry::counter(const std::string& name) {
 }
 
 Histogram& Registry::histogram(const std::string& name) {
+  check_name(name);
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
   auto& slot = im.histograms[name];
@@ -84,6 +98,7 @@ Histogram& Registry::histogram(const std::string& name) {
 
 std::uint64_t Registry::register_gauge(const std::string& name,
                                        std::function<std::int64_t()> fn) {
+  check_name(name);
   Impl& im = impl();
   std::lock_guard<std::mutex> lock(im.mu);
   const std::uint64_t id = im.next_gauge_id++;

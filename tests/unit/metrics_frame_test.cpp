@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/check.h"
+
 #include <string>
 #include <vector>
 
@@ -137,18 +139,32 @@ TEST(MetricsFrame, CountBeyondPayloadRejected) {
             DecodeResult::kBadBody);
 }
 
-TEST(MetricsFrame, LongNameTruncatedTo255) {
-  obs::MetricSample m = counter_sample(std::string(300, 'n'), 1);
+TEST(MetricsFrame, CountBombRejectedBeforeReserve) {
+  // A minimal 12-byte response body claiming count=0xFFFFFFFF must be
+  // rejected by arithmetic, not by attempting a ~80 GB reserve() whose
+  // bad_alloc would escape the server IO loop.
+  MetricsRespBody body;
+  std::vector<std::uint8_t> buf;
+  encode_metrics_response(buf, Status::kOk, 4, body);
+  const std::size_t count_at = 4 + kHeaderBytes + 8;
+  buf[count_at] = 0xFF;
+  buf[count_at + 1] = 0xFF;
+  buf[count_at + 2] = 0xFF;
+  buf[count_at + 3] = 0xFF;
+  Frame f;
+  EXPECT_EQ(decode_payload(buf.data() + 4, buf.size() - 4, f),
+            DecodeResult::kBadBody);
+}
+
+TEST(MetricsFrame, LongNameRejectedAtEncode) {
+  // Silent truncation would desync the scraped name from the registry
+  // name (and collide distinct long names); the encoder refuses instead.
   MetricsRespBody body;
   body.total = 1;
-  body.metrics.push_back(m);
+  body.metrics.push_back(counter_sample(std::string(300, 'n'), 1));
   std::vector<std::uint8_t> buf;
-  encode_metrics_response(buf, Status::kOk, 5, body);
-  const auto frames = decode_all(buf);
-  ASSERT_EQ(frames.size(), 1u);
-  ASSERT_TRUE(frames[0].has_metrics_resp);
-  ASSERT_EQ(frames[0].metrics_resp.metrics.size(), 1u);
-  EXPECT_EQ(frames[0].metrics_resp.metrics[0].name, std::string(255, 'n'));
+  EXPECT_THROW(encode_metrics_response(buf, Status::kOk, 5, body),
+               InvariantViolation);
 }
 
 }  // namespace

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.h"
 #include "common/stats.h"
 
 namespace omega::obs {
@@ -36,6 +37,16 @@ TEST(ObsMetrics, CounterConcurrentWriters) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsMetrics, OversizedNameRejectedAtRegistration) {
+  // Names ride the wire as u8-length strings; catching a >255-byte name
+  // here keeps the METRICS encoder from ever needing to truncate.
+  const std::string long_name(256, 'x');
+  EXPECT_THROW(counter(long_name), InvariantViolation);
+  EXPECT_THROW(histogram(long_name), InvariantViolation);
+  EXPECT_THROW(Registry::instance().register_gauge(long_name, nullptr),
+               InvariantViolation);
 }
 
 TEST(ObsMetrics, CounterNamedGetOrCreate) {
