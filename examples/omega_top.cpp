@@ -3,6 +3,7 @@
 //   $ ./example_omega_top                       # self-hosted 3-node demo
 //   $ ./example_omega_top HOST:PORT [...]       # watch a running cluster
 //   $ ./example_omega_top --once HOST:PORT      # one snapshot, no refresh
+//   $ ./example_omega_top trace HOST:PORT [...] # stitch causal traces
 //
 // Each refresh scrapes every endpoint's metric registry (paged METRICS
 // requests, merged by net::Client::metrics()) and renders one row per
@@ -10,6 +11,13 @@
 // the pipeline's stage histograms (seal->decide, decide->apply,
 // ack-flush, mirror push lag) — the same numbers bench_e15/e16 report,
 // read live off a serving cluster.
+//
+// The `trace` mode scrapes every endpoint's flight-recorder rings over
+// the v1.4 TRACE_DUMP frame instead, joins the records by trace id
+// (obs::stitch), and prints each append's cross-process causal chain —
+// enqueue on the leader, seal/decide/apply, mirror push, follower apply,
+// commit fan-out — on one wall-clock timeline, with a per-hop latency
+// summary at the end.
 //
 // With no endpoints, the example forks the three-process SmrNode cluster
 // of example_multi_node_smr, drives a background append load at the
@@ -21,6 +29,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -32,6 +41,7 @@
 
 #include "common/table.h"
 #include "net/client.h"
+#include "obs/trace_stitch.h"
 #include "smr/node.h"
 
 using namespace omega;
@@ -111,6 +121,109 @@ void render(const std::vector<Endpoint>& eps,
   std::cout << table.render() << std::flush;
 }
 
+// --- trace stitch mode -----------------------------------------------------
+
+/// Scrapes every endpoint's flight recorder (v1.4 TRACE_DUMP), stitches
+/// the records into per-append causal chains, prints the timelines and a
+/// per-hop latency summary. Endpoint index doubles as the node label.
+int run_trace_stitch(const std::vector<Endpoint>& eps) {
+  std::vector<obs::NodeTrace> nodes;
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    const std::string label =
+        eps[i].host + ":" + std::to_string(eps[i].port);
+    net::Client c;
+    try {
+      c.connect(eps[i].host, eps[i].port, 2000);
+      net::Client::TraceDumpResult d = c.trace_dump();
+      if (d.status != net::Status::kOk) {
+        std::cerr << "n" << i << " " << label
+                  << ": TRACE_DUMP refused\n";
+        continue;
+      }
+      std::cout << "n" << i << " " << label << ": " << d.records.size()
+                << " records, realtime offset "
+                << d.realtime_offset_ns / 1000000 << "ms\n";
+      nodes.push_back(obs::NodeTrace{static_cast<std::uint32_t>(i),
+                                     d.realtime_offset_ns,
+                                     std::move(d.records)});
+    } catch (const net::NetError& e) {
+      std::cerr << "n" << i << " " << label << ": down (" << e.what()
+                << ")\n";
+    }
+  }
+  const std::vector<obs::StitchedTrace> traces = obs::stitch(nodes);
+  if (traces.empty()) {
+    std::cout << "no traced appends recorded\n";
+    return nodes.empty() ? 1 : 0;
+  }
+  std::cout << '\n' << obs::render_stitched(traces);
+
+  // Per-hop latency summary across every stitched append.
+  using obs::TraceEvent;
+  struct HopStat {
+    const char* label;
+    TraceEvent from;
+    TraceEvent to;
+    std::vector<std::int64_t> ns;
+  };
+  std::vector<HopStat> stats = {
+      {"enqueue->seal", TraceEvent::kAppendEnqueue, TraceEvent::kBatchSeal,
+       {}},
+      {"seal->decide", TraceEvent::kBatchSeal, TraceEvent::kSlotDecide, {}},
+      {"decide->apply", TraceEvent::kSlotDecide, TraceEvent::kBatchApply,
+       {}},
+      {"apply->fanout", TraceEvent::kBatchApply, TraceEvent::kCommitFanout,
+       {}},
+      {"seal->mirror-push", TraceEvent::kBatchSeal, TraceEvent::kBatchPush,
+       {}},
+  };
+  std::vector<std::int64_t> follower_apply;  // enqueue -> remote apply
+  for (const auto& t : traces) {
+    for (auto& s : stats) {
+      const std::int64_t d = obs::hop_ns(t, s.from, s.to);
+      if (d >= 0) s.ns.push_back(d);
+    }
+    const obs::TraceHop* enq =
+        obs::find_hop(t, TraceEvent::kAppendEnqueue);
+    if (enq != nullptr) {
+      std::int64_t worst = -1;
+      for (const auto& h : t.hops) {
+        if (h.ev == TraceEvent::kBatchApply && h.node != enq->node) {
+          worst = std::max(worst, h.wall_ns - enq->wall_ns);
+        }
+      }
+      if (worst >= 0) follower_apply.push_back(worst);
+    }
+  }
+  const auto pct = [](std::vector<std::int64_t>& v,
+                      double q) -> std::int64_t {
+    if (v.empty()) return 0;
+    std::sort(v.begin(), v.end());
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(v.size() - 1) + 0.5);
+    return v[std::min(idx, v.size() - 1)];
+  };
+  AsciiTable table({"hop", "count", "p50 us", "p99 us"});
+  const auto add_stat = [&](const char* label,
+                            std::vector<std::int64_t>& ns) {
+    if (ns.empty()) {
+      table.add_row({label, "0", "-", "-"});
+      return;
+    }
+    const std::int64_t p50 = pct(ns, 0.5);
+    const std::int64_t p99 = pct(ns, 0.99);
+    table.add_row({label, std::to_string(ns.size()),
+                   fmt_us(static_cast<double>(p50)),
+                   fmt_us(static_cast<double>(p99))});
+  };
+  for (auto& s : stats) add_stat(s.label, s.ns);
+  add_stat("enqueue->follower-apply", follower_apply);
+  std::cout << '\n'
+            << traces.size() << " stitched trace(s)\n"
+            << table.render() << std::flush;
+  return 0;
+}
+
 // --- self-hosted demo cluster (no endpoints given) -------------------------
 
 std::uint16_t pick_free_port() {
@@ -188,6 +301,7 @@ void append_load(const smr::NodeTopology& topo, std::atomic<bool>& stop) {
 
 int main(int argc, char** argv) {
   bool once = false;
+  bool trace_mode = false;
   int interval_ms = 1000;
   int rounds = 0;  // 0 = forever (demo mode overrides to a few)
   std::vector<Endpoint> eps;
@@ -195,6 +309,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--once") {
       once = true;
+    } else if (arg == "trace") {
+      trace_mode = true;
     } else if (arg == "--interval" && i + 1 < argc) {
       interval_ms = std::atoi(argv[++i]);
     } else if (arg == "--rounds" && i + 1 < argc) {
@@ -203,7 +319,7 @@ int main(int argc, char** argv) {
       const auto colon = arg.rfind(':');
       if (colon == std::string::npos) {
         std::cerr << "usage: " << argv[0]
-                  << " [--once] [--interval MS] [--rounds N] "
+                  << " [trace] [--once] [--interval MS] [--rounds N] "
                      "[HOST:PORT ...]\n";
         return 2;
       }
@@ -237,15 +353,22 @@ int main(int argc, char** argv) {
     if (rounds == 0) rounds = 8;
   }
 
-  std::vector<std::int64_t> prev_appends;
-  const double interval_s = interval_ms / 1000.0;
-  for (int round = 0; once ? round < 1 : (rounds == 0 || round < rounds);
-       ++round) {
-    if (round > 0) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  int rc = 0;
+  if (trace_mode) {
+    // Let the demo load generate some traced appends before scraping.
+    if (demo) std::this_thread::sleep_for(std::chrono::seconds(3));
+    rc = run_trace_stitch(eps);
+  } else {
+    std::vector<std::int64_t> prev_appends;
+    const double interval_s = interval_ms / 1000.0;
+    for (int round = 0;
+         once ? round < 1 : (rounds == 0 || round < rounds); ++round) {
+      if (round > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      }
+      render(eps, prev_appends, round > 0 ? interval_s : 0.0,
+             /*clear=*/!once && !demo);
     }
-    render(eps, prev_appends, round > 0 ? interval_s : 0.0,
-           /*clear=*/!once && !demo);
   }
 
   if (demo) {
@@ -258,5 +381,5 @@ int main(int argc, char** argv) {
       if (pid > 0) ::waitpid(pid, nullptr, 0);
     }
   }
-  return 0;
+  return rc;
 }

@@ -77,9 +77,10 @@ BatchBuffer::BatchBuffer(std::string tag, std::uint32_t banks,
 void BatchBuffer::declare(LayoutBuilder& b) {
   OMEGA_CHECK(!declared_, "batch buffer " << tag_ << " declared twice");
   // One matrix row per (bank, ring row); column 0 is the seal cell, the
-  // commands follow. Keeping it one group keeps the layout identical on
-  // every process of a mirrored deployment by construction.
-  b.add_buffer(tag_ + "BAT", banks_ * rows_, 1 + cols_);
+  // commands follow, then one trace-id cell per command (v1.4). Keeping
+  // it one group keeps the layout identical on every process of a
+  // mirrored deployment by construction.
+  b.add_buffer(tag_ + "BAT", banks_ * rows_, 1 + 2 * cols_);
   declared_ = true;
 }
 
@@ -94,9 +95,9 @@ void BatchBuffer::bind(const Layout& layout) {
 std::uint32_t BatchBuffer::cell_index(std::uint32_t bank, std::uint32_t row,
                                       std::uint32_t col) const {
   OMEGA_CHECK(base_ != kNoBase, "batch buffer " << tag_ << " not bound");
-  OMEGA_CHECK(bank < banks_ && row < rows_ && col < 1 + cols_,
+  OMEGA_CHECK(bank < banks_ && row < rows_ && col < 1 + 2 * cols_,
               "batch cell out of range");
-  return base_ + (bank * rows_ + row) * (1 + cols_) + col;
+  return base_ + (bank * rows_ + row) * (1 + 2 * cols_) + col;
 }
 
 void BatchBuffer::store_cmd(MemoryBackend& mem, std::uint32_t bank,
@@ -119,6 +120,18 @@ void BatchBuffer::store_seal(MemoryBackend& mem, std::uint32_t bank,
 std::uint64_t BatchBuffer::load_seal(MemoryBackend& mem, std::uint32_t bank,
                                      std::uint32_t row) const {
   return mem.peek(Cell{cell_index(bank, row, 0)});
+}
+
+void BatchBuffer::store_trace(MemoryBackend& mem, std::uint32_t bank,
+                              std::uint32_t row, std::uint32_t col,
+                              std::uint64_t trace) const {
+  mem.poke(Cell{cell_index(bank, row, 1 + cols_ + col)}, trace);
+}
+
+std::uint64_t BatchBuffer::load_trace(MemoryBackend& mem, std::uint32_t bank,
+                                      std::uint32_t row,
+                                      std::uint32_t col) const {
+  return mem.peek(Cell{cell_index(bank, row, 1 + cols_ + col)});
 }
 
 LogPump::LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window,
@@ -178,8 +191,15 @@ bool LogPump::read_payload(std::uint32_t s, std::uint64_t descriptor,
                         << sealed_for
                         << " — this mirror lagged past the ring");
     scratch_.clear();
+    trace_scratch_.clear();
     for (std::uint32_t i = 0; i < count; ++i) {
       scratch_.push_back(batch_.buffer->load_cmd(mem, sealer, row, i));
+    }
+    // Trace cells ride the same seqlock window but are not checksummed:
+    // a mirror that delivered the seal delivered them too (poke order),
+    // and a torn id only degrades forensics, never correctness.
+    for (std::uint32_t i = 0; i < count; ++i) {
+      trace_scratch_.push_back(batch_.buffer->load_trace(mem, sealer, row, i));
     }
     // Re-read the seal: an in-flight push batch may have landed between
     // the loads (seqlock discipline); retry on movement or a checksum
@@ -218,9 +238,13 @@ std::uint32_t LogPump::tick(BatchSource& source, std::vector<Commit>& commits,
               static_cast<std::uint64_t>(now - mine.sealed_ns));
         }
       }
-      obs::trace(obs::TraceEvent::kSlotDecide, s, mine.cmds.size());
-      for (const std::uint64_t cmd : mine.cmds) {
-        commits.push_back(Commit{s, cmd, true, mine.ticket});
+      obs::trace(obs::TraceEvent::kSlotDecide, s, mine.cmds.size(),
+                 mine.traces.empty() ? 0 : mine.traces.front(),
+                 mine.traces.empty() ? 0 : mine.traces.back());
+      for (std::size_t i = 0; i < mine.cmds.size(); ++i) {
+        commits.push_back(Commit{s, mine.cmds[i], true, mine.ticket,
+                                 i < mine.traces.size() ? mine.traces[i]
+                                                        : 0});
         ++newly;
       }
       local_seals_.pop_front();
@@ -252,20 +276,25 @@ std::uint32_t LogPump::tick(BatchSource& source, std::vector<Commit>& commits,
       stalled = true;
       break;
     }
-    obs::trace(obs::TraceEvent::kSlotDecide, s, count);
+    obs::trace(obs::TraceEvent::kSlotDecide, s, count,
+               trace_scratch_.empty() ? 0 : trace_scratch_.front(),
+               trace_scratch_.empty() ? 0 : trace_scratch_.back());
     for (std::uint32_t i = 0; i < count; ++i) {
-      commits.push_back(Commit{s, scratch_[i], false, 0});
+      commits.push_back(Commit{s, scratch_[i], false, 0, trace_scratch_[i]});
       ++newly;
     }
     if (repush_remote && sealer != batch_.sealer) {
       // Adopted from a (possibly dead) sealer: re-publish the payload on
-      // this process's own push stream — commands first, seal last, the
-      // same order every mirror relies on — so peers whose stream from
-      // the original sealer was cut short still converge.
+      // this process's own push stream — commands and traces first, seal
+      // last, the same order every mirror relies on — so peers whose
+      // stream from the original sealer was cut short still converge.
       const std::uint32_t row = s % batch_.buffer->rows();
       MemoryBackend& mem = host_.memory();
       for (std::uint32_t i = 0; i < count; ++i) {
         batch_.buffer->store_cmd(mem, sealer, row, i, scratch_[i]);
+      }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        batch_.buffer->store_trace(mem, sealer, row, i, trace_scratch_[i]);
       }
       batch_.buffer->store_seal(mem, sealer, row,
                                 pack_seal(s, batch_checksum(scratch_.data(),
@@ -295,24 +324,30 @@ std::uint32_t LogPump::tick(BatchSource& source, std::vector<Commit>& commits,
       resubmit_.pop_front();
     } else {
       scratch_.clear();
+      trace_scratch_.clear();
       seal.ticket = 0;
       const std::uint32_t count =
-          source.pull(batch_.max_batch, scratch_, seal.ticket);
+          source.pull(batch_.max_batch, scratch_, seal.ticket,
+                      trace_scratch_);
       if (count == 0) break;
       OMEGA_CHECK(count <= batch_.max_batch && scratch_.size() == count,
                   "supplier returned " << count << "/" << scratch_.size()
                                        << " commands, max_batch is "
                                        << batch_.max_batch);
+      trace_scratch_.resize(count, 0);  // tolerate trace-less suppliers
       seal.cmds = scratch_;
+      seal.traces = trace_scratch_;
     }
     for (const std::uint64_t cmd : seal.cmds) {
       OMEGA_CHECK(cmd >= 1 && cmd < kLogNoOp,
                   "command " << cmd << " out of range");
     }
     const std::uint32_t count = static_cast<std::uint32_t>(seal.cmds.size());
+    seal.traces.resize(count, 0);
     seal.slot = started_;
     if (seal.sealed_ns == 0) seal.sealed_ns = steady_ns();
-    obs::trace(obs::TraceEvent::kBatchSeal, started_, count);
+    obs::trace(obs::TraceEvent::kBatchSeal, started_, count,
+               seal.traces.front(), seal.traces.back());
     if (batch_.max_batch == 1) {
       seal.value = seal.cmds[0];
     } else {
@@ -321,11 +356,19 @@ std::uint32_t LogPump::tick(BatchSource& source, std::vector<Commit>& commits,
         batch_.buffer->store_cmd(host_.memory(), batch_.sealer, row, i,
                                  seal.cmds[i]);
       }
+      for (std::uint32_t i = 0; i < count; ++i) {
+        batch_.buffer->store_trace(host_.memory(), batch_.sealer, row, i,
+                                   seal.traces[i]);
+      }
       // Seal after the rows: a FIFO mirror that can see the seal already
-      // has the commands.
+      // has the commands (and their trace ids).
       batch_.buffer->store_seal(
           host_.memory(), batch_.sealer, row,
           pack_seal(started_, batch_checksum(seal.cmds.data(), count)));
+      // The seal poke is the moment the batch enters the mirror's push
+      // stream — the kMirrorPush twin that knows the trace ids.
+      obs::trace(obs::TraceEvent::kBatchPush, started_, count,
+                 seal.traces.front(), seal.traces.back());
       seal.value = encode_batch_descriptor(count, batch_.sealer);
     }
     for (ProcessId i = 0; i < host_.n(); ++i) {
@@ -349,11 +392,13 @@ class FnSource final : public BatchSource {
       : supply_(supply) {}
 
   std::uint32_t pull(std::uint32_t /*max*/, std::vector<std::uint64_t>& out,
-                     std::uint64_t& ticket) override {
+                     std::uint64_t& ticket,
+                     std::vector<std::uint64_t>& traces) override {
     ticket = 0;
     const std::uint64_t cmd = supply_();
     if (cmd == kNoCommand) return 0;
     out.push_back(cmd);
+    traces.push_back(0);
     return 1;
   }
 

@@ -136,24 +136,31 @@ class PumpHost {
 /// stream. `ticket` is an opaque tag the supplier may set per batch; the
 /// pump echoes it on the batch's commits (and keeps it across
 /// re-proposals) so a supplier with per-batch bookkeeping can match
-/// acknowledgements without relying on global FIFO order.
+/// acknowledgements without relying on global FIFO order. `traces` must
+/// receive one v1.4 trace id per command appended to `out` (0 for
+/// untraced commands); the pump stamps them into the spill row and onto
+/// the batch's commits.
 class BatchSource {
  public:
   virtual ~BatchSource() = default;
   virtual std::uint32_t pull(std::uint32_t max, std::vector<std::uint64_t>& out,
-                             std::uint64_t& ticket) = 0;
+                             std::uint64_t& ticket,
+                             std::vector<std::uint64_t>& traces) = 0;
 };
 
 /// The per-slot batch spill: `banks` independent rings (one per potential
 /// sealer) of `rows` rows, each row holding one seal cell followed by
-/// `cols` commands, living in the group's shared memory (slot s uses row
-/// s % rows of the sealer's bank). Row reuse is safe once rows >= the
-/// pump window: a row is only overwritten `rows` slots later, and by then
-/// its slot has been harvested locally; mirrors additionally verify the
-/// seal's slot stamp. Accessed uninstrumented (peek/poke) by the pump
-/// owner thread only — the descriptor, not the buffer, is what consensus
-/// orders — but pokes still reach the write observer, so rows replicate
-/// to mirrors in poke order (commands before seal).
+/// `cols` commands and `cols` trace-id cells, living in the group's
+/// shared memory (slot s uses row s % rows of the sealer's bank). Row
+/// reuse is safe once rows >= the pump window: a row is only overwritten
+/// `rows` slots later, and by then its slot has been harvested locally;
+/// mirrors additionally verify the seal's slot stamp. Accessed
+/// uninstrumented (peek/poke) by the pump owner thread only — the
+/// descriptor, not the buffer, is what consensus orders — but pokes
+/// still reach the write observer, so rows replicate to mirrors in poke
+/// order (commands, then traces, then seal). Trace cells carry the v1.4
+/// per-command trace ids across the mirror: best-effort forensics, NOT
+/// covered by the row checksum — consensus never depends on them.
 class BatchBuffer {
  public:
   BatchBuffer(std::string tag, std::uint32_t banks, std::uint32_t rows,
@@ -176,6 +183,10 @@ class BatchBuffer {
                   std::uint64_t seal) const;
   std::uint64_t load_seal(MemoryBackend& mem, std::uint32_t bank,
                           std::uint32_t row) const;
+  void store_trace(MemoryBackend& mem, std::uint32_t bank, std::uint32_t row,
+                   std::uint32_t col, std::uint64_t trace) const;
+  std::uint64_t load_trace(MemoryBackend& mem, std::uint32_t bank,
+                           std::uint32_t row, std::uint32_t col) const;
 
  private:
   static constexpr std::uint32_t kNoBase = 0xFFFFFFFFu;
@@ -213,6 +224,10 @@ class LogPump {
     /// here. False for slots sealed by another process's pump.
     bool local = true;
     std::uint64_t ticket = 0;  ///< supplier's tag for local commits
+    /// v1.4 trace id of the command (0 = untraced). Local commits carry
+    /// the supplier's id; remote ones what the spill row's trace cells
+    /// held (best-effort — 0 when the mirror has not delivered them).
+    std::uint64_t trace = 0;
   };
 
   using BatchPolicy = PumpBatchPolicy;
@@ -265,6 +280,7 @@ class LogPump {
     std::uint64_t value = 0;  ///< proposed value (descriptor or raw command)
     std::uint64_t ticket = 0;
     std::vector<std::uint64_t> cmds;
+    std::vector<std::uint64_t> traces;  ///< per-command trace ids
     /// Seal time; harvest records seal -> decide into smr.seal_to_decide_ns
     /// (kept across re-proposals, so a displaced batch's latency spans the
     /// failover it survived).
@@ -285,6 +301,7 @@ class LogPump {
   std::uint32_t started_ = 0;
   std::uint64_t payload_stalls_ = 0;
   std::vector<std::uint64_t> scratch_;  ///< per-slot pull buffer
+  std::vector<std::uint64_t> trace_scratch_;  ///< per-slot trace ids
   std::deque<Seal> local_seals_;        ///< in-flight batches this pump sealed
   std::deque<Seal> resubmit_;           ///< displaced batches to re-propose
 

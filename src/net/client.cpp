@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 
 namespace omega::net {
@@ -21,6 +22,16 @@ namespace {
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw NetError(what + ": " + std::strerror(errno));
+}
+
+/// splitmix64 finalizer: a cheap bijective mix, so the minted trace-id
+/// stream never repeats within a client and is well spread across
+/// clients salted differently.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
 }
 
 /// Backoff for attempt `k` (0-based) under `p`, with jitter from `rng`.
@@ -233,6 +244,7 @@ bool Client::queue_event(const Frame& f) {
     e.gid = f.commit.gid;
     e.index = f.commit.index;
     e.value = f.commit.value;
+    e.trace = f.commit.trace;
   } else {
     return false;
   }
@@ -268,7 +280,27 @@ Client::AppendResult Client::to_append_result(const Frame& f) {
   r.status = f.header.status;
   r.index = f.append_resp.index;
   r.view = svc::LeaderView{f.append_resp.leader, f.append_resp.epoch};
+  r.trace = f.append_resp.trace;
   return r;
+}
+
+std::uint64_t Client::mint_trace_id() {
+  if (trace_seq_ == 0) {
+    // Per-client salt: distinct clients (other processes included) must
+    // mint from disjoint streams. Clock + object identity is plenty for a
+    // forensic correlation id — this is not a security token.
+    trace_seq_ =
+        static_cast<std::uint64_t>(
+            std::chrono::steady_clock::now().time_since_epoch().count()) ^
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^
+        reinterpret_cast<std::uintptr_t>(this);
+  }
+  std::uint64_t id = 0;
+  do {
+    id = splitmix64(trace_seq_++);
+  } while (id == 0);  // 0 means "untraced" on the wire
+  last_trace_ = id;
+  return id;
 }
 
 Frame Client::call_encoded(MsgType type, std::uint64_t id,
@@ -334,6 +366,7 @@ std::uint64_t Client::append_async(svc::GroupId gid, std::uint64_t client,
   req.client = client;
   req.seq = seq;
   req.command = command;
+  req.trace = mint_trace_id();
   encode_append_request(out_, id, req);
   send_all(out_.data(), out_.size());
   outstanding_appends_.insert(id);
@@ -573,6 +606,52 @@ Client::MetricsResult Client::metrics() {
     if (count == 0 || page.start + count >= page.total) return r;
     start = page.start + count;
   }
+}
+
+Client::TraceDumpResult Client::trace_dump() {
+  TraceDumpResult r;
+  std::uint32_t start = 0;
+  for (;;) {
+    ensure_connected();
+    const std::uint64_t id = next_req_id_++;
+    out_.clear();
+    encode_trace_dump_request(out_, id, TraceDumpReqBody{start});
+    const Frame f = call_encoded(MsgType::kTraceDump, id);
+    r.status = f.header.status;
+    if (f.header.status != Status::kOk) return r;
+    if (!f.has_trace_resp) {
+      throw NetError("trace dump response without body");
+    }
+    const TraceDumpRespBody& page = f.trace_resp;
+    r.realtime_offset_ns = page.realtime_offset_ns;
+    r.records.insert(r.records.end(), page.records.begin(),
+                     page.records.end());
+    const std::uint32_t count =
+        static_cast<std::uint32_t>(page.records.size());
+    // Rings churn between pages; the server pages newest-first over a
+    // fresh harvest each time, so drift repeats records rather than
+    // skipping them. An empty page below total would loop forever —
+    // treat it as done.
+    if (count == 0 || page.start + count >= page.total) break;
+    start = page.start + count;
+  }
+  // Merge onto the timeline: sort oldest-first and drop the exact
+  // duplicates the page overlap produced.
+  const auto as_tuple = [](const obs::TraceRecord& t) {
+    return std::make_tuple(t.ts_ns, t.thread, static_cast<std::uint8_t>(t.ev),
+                           t.a, t.b, t.trace_lo, t.trace_hi);
+  };
+  std::sort(r.records.begin(), r.records.end(),
+            [&](const obs::TraceRecord& x, const obs::TraceRecord& y) {
+              return as_tuple(x) < as_tuple(y);
+            });
+  r.records.erase(
+      std::unique(r.records.begin(), r.records.end(),
+                  [&](const obs::TraceRecord& x, const obs::TraceRecord& y) {
+                    return as_tuple(x) == as_tuple(y);
+                  }),
+      r.records.end());
+  return r;
 }
 
 std::optional<Client::Event> Client::next_event(int timeout_ms) {

@@ -84,7 +84,9 @@ class Client {
   };
 
   /// One server push: an epoch transition (kLeaderChange, `view` valid)
-  /// or an applied log entry (kCommit, `index`/`value` valid).
+  /// or an applied log entry (kCommit, `index`/`value` valid; `trace` is
+  /// the originating append's v1.4 trace id, 0 when untraced or pushed
+  /// by a pre-v1.4 server).
   struct Event {
     enum class Kind : std::uint8_t { kLeaderChange, kCommit };
     Kind kind = Kind::kLeaderChange;
@@ -92,6 +94,7 @@ class Client {
     svc::LeaderView view;
     std::uint64_t index = 0;
     std::uint64_t value = 0;
+    std::uint64_t trace = 0;
   };
 
   /// A decoded APPEND answer.
@@ -99,6 +102,10 @@ class Client {
     Status status = Status::kOk;
     std::uint64_t index = 0;  ///< commit position (kOk only)
     svc::LeaderView view;     ///< leader hint (kNotLeader redirects)
+    /// The trace id this client minted for the append, echoed by v1.4
+    /// servers (0 from older servers). Join key for trace_dump() records
+    /// and commit events.
+    std::uint64_t trace = 0;
 
     bool ok() const noexcept { return status == Status::kOk; }
   };
@@ -160,9 +167,18 @@ class Client {
 
   /// Submits an append without waiting for the acknowledgement and
   /// returns its req_id. Any number may be outstanding; the server
-  /// answers each when its command commits (or is rejected).
+  /// answers each when its command commits (or is rejected). Every
+  /// submission mints a fresh non-zero 64-bit trace id that rides the
+  /// v1.4 request and comes back on the acknowledgement
+  /// (AppendResult::trace) and the commit event — the join key for
+  /// cross-process timeline stitching.
   std::uint64_t append_async(svc::GroupId gid, std::uint64_t client,
                              std::uint64_t seq, std::uint64_t command);
+
+  /// The trace id minted by the most recent append submission (any form:
+  /// async, blocking, retry) — lets a caller correlate before the
+  /// acknowledgement arrives.
+  std::uint64_t last_trace_id() const noexcept { return last_trace_; }
 
   /// Returns the next completed pipelined append — in completion order,
   /// not submission order — waiting up to `timeout_ms` (0 = only drain
@@ -234,6 +250,24 @@ class Client {
   /// following the pagination until every sample has been fetched.
   MetricsResult metrics();
 
+  /// A complete TRACE_DUMP scrape (all pages merged, deduplicated).
+  struct TraceDumpResult {
+    Status status = Status::kOk;
+    /// CLOCK_REALTIME - steady anchor of the scraped process: add to a
+    /// record's steady `ts_ns` to place it on the shared wall clock.
+    std::int64_t realtime_offset_ns = 0;
+    /// Oldest-first after the merge (the wire pages newest-first).
+    std::vector<obs::TraceRecord> records;
+
+    bool ok() const noexcept { return status == Status::kOk; }
+  };
+
+  /// Scrapes the server's flight-recorder rings (v1.4 TRACE_DUMP),
+  /// following the newest-first pagination until the snapshot is
+  /// covered. Records the rings churned out between pages surface as
+  /// duplicates and are dropped here; the result is sorted oldest-first.
+  TraceDumpResult trace_dump();
+
   /// Returns the next pushed event, waiting up to `timeout_ms` (0 = only
   /// drain already-received frames). nullopt on timeout.
   std::optional<Event> next_event(int timeout_ms);
@@ -271,8 +305,14 @@ class Client {
   bool absorb(const Frame& f);
   static AppendResult to_append_result(const Frame& f);
 
+  /// Mints the next non-zero trace id (splitmix64 over a per-client
+  /// salt), remembered in last_trace_.
+  std::uint64_t mint_trace_id();
+
   int fd_ = -1;
   std::uint64_t next_req_id_ = 1;
+  std::uint64_t trace_seq_ = 0;   ///< mint counter (salted per client)
+  std::uint64_t last_trace_ = 0;  ///< newest minted id
   FrameDecoder in_;
   std::deque<Event> events_;
   std::vector<std::uint8_t> out_;

@@ -115,6 +115,7 @@ void encode_append_request(std::vector<std::uint8_t>& out,
   put_u64(out, body.client);
   put_u64(out, body.seq);
   put_u64(out, body.command);
+  put_u64(out, body.trace);
   end_frame(out, at);
 }
 
@@ -126,6 +127,7 @@ void encode_append_response(std::vector<std::uint8_t>& out, Status status,
   put_u64(out, body.index);
   put_u32(out, body.leader);
   put_u64(out, body.epoch);
+  put_u64(out, body.trace);
   end_frame(out, at);
 }
 
@@ -165,12 +167,14 @@ void encode_commit_snapshot(std::vector<std::uint8_t>& out, Status status,
 }
 
 void encode_commit_event(std::vector<std::uint8_t>& out, WireGroupId gid,
-                         std::uint64_t index, std::uint64_t value) {
+                         std::uint64_t index, std::uint64_t value,
+                         std::uint64_t trace) {
   const std::size_t at = begin_frame(
       out, FrameHeader{MsgType::kCommitEvent, Status::kOk, /*req_id=*/0});
   put_u64(out, gid);
   put_u64(out, index);
   put_u64(out, value);
+  put_u64(out, trace);
   end_frame(out, at);
 }
 
@@ -265,6 +269,39 @@ void encode_metrics_response(std::vector<std::uint8_t>& out, Status status,
   end_frame(out, at);
 }
 
+void encode_trace_dump_request(std::vector<std::uint8_t>& out,
+                               std::uint64_t req_id,
+                               const TraceDumpReqBody& body) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{MsgType::kTraceDump, Status::kOk, req_id});
+  put_u32(out, body.start);
+  end_frame(out, at);
+}
+
+void encode_trace_dump_response(std::vector<std::uint8_t>& out,
+                                Status status, std::uint64_t req_id,
+                                const TraceDumpRespBody& body) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kTraceDump, status, req_id});
+  put_u32(out, body.total);
+  put_u32(out, body.start);
+  put_u64(out, static_cast<std::uint64_t>(body.realtime_offset_ns));
+  put_u32(out, static_cast<std::uint32_t>(body.records.size()));
+  for (const obs::TraceRecord& r : body.records) {
+    put_u64(out, r.ts_ns);
+    put_u32(out, r.thread);
+    put_u8(out, static_cast<std::uint8_t>(r.ev));
+    put_u64(out, r.a);
+    put_u64(out, r.b);
+    put_u64(out, r.trace_lo);
+    put_u64(out, r.trace_hi);
+  }
+  OMEGA_CHECK(out.size() - at - 4 <= kMaxPayloadBytes,
+              "trace page overflows the payload cap: "
+                  << (out.size() - at - 4));
+  end_frame(out, at);
+}
+
 DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
                             Frame& out) {
   out = Frame{};
@@ -317,18 +354,27 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
     }
     case MsgType::kAppend: {
       // Role-based decode: a request is 32 bytes (gid, client, seq,
-      // command), a response 28 (gid, index, leader, epoch). Fill every
-      // interpretation the length allows; the consumer knows its side.
+      // command), a response 28 (gid, index, leader, epoch); v1.4 appends
+      // a u64 trace id to both (40/36 bytes — shorter v1.1 bodies decode
+      // with trace 0). Fill every interpretation the length allows; the
+      // consumer knows its side. The lengths interleave (28 < 32 < 36 <
+      // 40), so the request role matches the exact known request sizes,
+      // not a threshold — future revisions must grow request and
+      // response in lockstep to keep the sets disjoint.
       if (body_len < 28) return DecodeResult::kBadBody;
       out.append_resp.gid = get_u64(body);
       out.append_resp.index = get_u64(body + 8);
       out.append_resp.leader = get_u32(body + 16);
       out.append_resp.epoch = get_u64(body + 20);
-      if (body_len >= 32) {
+      if (body_len >= 36 && body_len != 40) {
+        out.append_resp.trace = get_u64(body + 28);
+      }
+      if (body_len == 32 || body_len >= 40) {
         out.append_req.gid = get_u64(body);
         out.append_req.client = get_u64(body + 8);
         out.append_req.seq = get_u64(body + 16);
         out.append_req.command = get_u64(body + 24);
+        if (body_len >= 40) out.append_req.trace = get_u64(body + 32);
         out.has_append_req = true;
       }
       out.has_body = true;
@@ -365,12 +411,14 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
     case MsgType::kCommitUnwatch:
     case MsgType::kCommitEvent: {
       // gid always; +index in kCommitWatch responses; +index,value in
-      // pushes (which, like kEvent, must carry their full body).
+      // pushes (which, like kEvent, must carry their full body). v1.4
+      // pushes append the trace id; v1.1 pushes decode with trace 0.
       if (body_len < 8) return DecodeResult::kBadBody;
       out.commit.gid = get_u64(body);
       if (body_len >= 16) out.commit.index = get_u64(body + 8);
       if (body_len >= 24) {
         out.commit.value = get_u64(body + 16);
+        if (body_len >= 32) out.commit.trace = get_u64(body + 24);
       } else if (out.header.type == MsgType::kCommitEvent) {
         return DecodeResult::kBadBody;
       }
@@ -458,6 +506,43 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
         out.metrics_resp.metrics.push_back(std::move(m));
       }
       out.has_metrics_resp = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kTraceDump: {
+      // Role-based by length, like kMetrics: a request is the 4-byte
+      // start index, a response at least total|start|offset|count (20).
+      if (body_len < 4) return DecodeResult::kBadBody;
+      out.trace_req.start = get_u32(body);
+      out.has_body = true;
+      if (body_len < 20) return DecodeResult::kOk;
+      out.trace_resp.total = get_u32(body);
+      out.trace_resp.start = get_u32(body + 4);
+      out.trace_resp.realtime_offset_ns =
+          static_cast<std::int64_t>(get_u64(body + 8));
+      const std::uint32_t count = get_u32(body + 16);
+      // `count` is wire-controlled: reject counts the fixed-size records
+      // cannot fill before reserve() (same hardening as kMetrics).
+      if (count > (body_len - 20) / kTraceRecordWireBytes) {
+        return DecodeResult::kBadBody;
+      }
+      std::size_t off = 20;
+      out.trace_resp.records.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        if (body_len < off + kTraceRecordWireBytes) {
+          return DecodeResult::kBadBody;
+        }
+        obs::TraceRecord r;
+        r.ts_ns = get_u64(body + off);
+        r.thread = get_u32(body + off + 8);
+        r.ev = static_cast<obs::TraceEvent>(body[off + 12]);
+        r.a = get_u64(body + off + 13);
+        r.b = get_u64(body + off + 21);
+        r.trace_lo = get_u64(body + off + 29);
+        r.trace_hi = get_u64(body + off + 37);
+        off += kTraceRecordWireBytes;
+        out.trace_resp.records.push_back(r);
+      }
+      out.has_trace_resp = true;
       return DecodeResult::kOk;
     }
     default:

@@ -68,6 +68,26 @@
 //                start + count until total is covered. STATS is untouched
 //                and stays byte-compatible.
 //
+// Causal-tracing bodies (v1.4 — see README "Distributed tracing"):
+//   APPEND       req  += u64 trace_id (body 40 bytes; 32-byte v1.1
+//                requests decode with trace 0)
+//                resp += u64 trace_id (body 36 bytes) — the id echoed
+//   COMMIT_EVENT      += u64 trace_id (body 32 bytes; kCommitWatch
+//                snapshots stay 16 bytes, they name no single append)
+//   TRACE_DUMP   req: u32 start — index of the first record wanted in
+//                the server's snapshot order (0 for the first page).
+//                resp: u32 total | u32 start | i64 realtime_offset_ns
+//                | u32 count | count × record
+//                record := u64 ts_ns | u32 thread | u8 event
+//                        | u64 a | u64 b | u64 trace_lo | u64 trace_hi
+//                (45 bytes fixed). ts_ns is the node's steady clock;
+//                wall time = ts_ns + realtime_offset_ns. The server
+//                snapshots its flight-recorder rings fresh per request
+//                and serves records NEWEST-first, so ring churn between
+//                pages duplicates records (the client dedupes) instead
+//                of opening gaps. Pagination works like METRICS: whole
+//                records per page, client re-requests from start+count.
+//
 // APPEND and READ_LOG are the two types whose request and response bodies
 // can have overlapping lengths, so their decode is *role-based*: the
 // decoder fills both interpretations when the length allows and the
@@ -91,6 +111,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace omega::net {
@@ -122,6 +143,7 @@ enum class MsgType : std::uint8_t {
   kRegAck = 14,       ///< cumulative apply acknowledgement (v1.2)
   kSessionOpen = 15,  ///< (re)open a dedup session; resp carries the TTL
   kMetrics = 16,      ///< paged scrape of the obs metric registry (v1.3)
+  kTraceDump = 17,    ///< paged scrape of the flight recorder (v1.4)
 };
 
 enum class Status : std::uint8_t {
@@ -173,6 +195,7 @@ struct AppendReqBody {
   std::uint64_t client = 0;   ///< dedup-key half 1: client session id
   std::uint64_t seq = 0;      ///< dedup-key half 2: per-client sequence
   std::uint64_t command = 0;  ///< value to append, in [1, 65534]
+  std::uint64_t trace = 0;    ///< v1.4 trace id (0 = untraced v1.1 peer)
 };
 
 /// kAppend response body.
@@ -181,6 +204,7 @@ struct AppendRespBody {
   std::uint64_t index = 0;        ///< commit position (kOk only)
   ProcessId leader = kNoProcess;  ///< redirect hint (kNotLeader)
   std::uint64_t epoch = 0;
+  std::uint64_t trace = 0;        ///< v1.4: the request's trace id, echoed
 };
 
 /// kReadLog request body.
@@ -202,6 +226,7 @@ struct CommitBody {
   WireGroupId gid = 0;
   std::uint64_t index = 0;
   std::uint64_t value = 0;  ///< kCommitEvent only
+  std::uint64_t trace = 0;  ///< kCommitEvent only (v1.4; 0 = untraced)
 };
 
 /// Server-side page cap for READ_LOG (the payload cap allows ~500).
@@ -261,6 +286,25 @@ struct MetricsRespBody {
 /// truncated on encode and sized as truncated here).
 std::size_t metrics_record_wire_size(const obs::MetricSample& m) noexcept;
 
+/// kTraceDump request body (v1.4): first record index wanted.
+struct TraceDumpReqBody {
+  std::uint32_t start = 0;
+};
+
+/// kTraceDump response body: one page of the node's flight-recorder
+/// snapshot, newest records first. `records` reuses obs::TraceRecord so
+/// server, client and the stitcher share one record type.
+struct TraceDumpRespBody {
+  std::uint32_t total = 0;  ///< records in the full snapshot
+  std::uint32_t start = 0;  ///< index of records.front() in that snapshot
+  std::int64_t realtime_offset_ns = 0;  ///< the node's wall-clock anchor
+  std::vector<obs::TraceRecord> records;
+};
+
+/// Fixed wire bytes of one kTraceDump record:
+/// ts(8) | thread(4) | event(1) | a(8) | b(8) | trace_lo(8) | trace_hi(8).
+inline constexpr std::size_t kTraceRecordWireBytes = 45;
+
 /// A decoded frame: header plus whichever body the type carries. Bodies
 /// the type does not use stay default-initialized. For kAppend/kReadLog
 /// both the request and the response interpretation are filled when the
@@ -280,10 +324,13 @@ struct Frame {
   SessionOpenBody session;     ///< kSessionOpen (role-based)
   MetricsReqBody metrics_req;    ///< kMetrics requests (4-byte body)
   MetricsRespBody metrics_resp;  ///< kMetrics responses (>= 12 bytes)
+  TraceDumpReqBody trace_req;    ///< kTraceDump requests (4-byte body)
+  TraceDumpRespBody trace_resp;  ///< kTraceDump responses (>= 20 bytes)
   bool has_body = false;        ///< a typed body was present
   bool has_append_req = false;  ///< body long enough for AppendReqBody
   bool has_readlog_req = false;  ///< body long enough for ReadLogReqBody
   bool has_metrics_resp = false;  ///< body parsed as a metrics page
+  bool has_trace_resp = false;    ///< body parsed as a trace-dump page
 };
 
 // --- encoding --------------------------------------------------------------
@@ -327,9 +374,11 @@ void encode_commit_snapshot(std::vector<std::uint8_t>& out, Status status,
                             std::uint64_t req_id, WireGroupId gid,
                             std::uint64_t commit_index);
 
-/// kCommitEvent push (req_id 0, like kEvent).
+/// kCommitEvent push (req_id 0, like kEvent). `trace` is the append's
+/// v1.4 trace id (0 when the entry was not client-traced).
 void encode_commit_event(std::vector<std::uint8_t>& out, WireGroupId gid,
-                         std::uint64_t index, std::uint64_t value);
+                         std::uint64_t index, std::uint64_t value,
+                         std::uint64_t trace = 0);
 
 /// kRegHello request (node = the dialling node's id) or response
 /// (status + the answering node's id).
@@ -359,6 +408,17 @@ void encode_metrics_request(std::vector<std::uint8_t>& out,
 void encode_metrics_response(std::vector<std::uint8_t>& out, Status status,
                              std::uint64_t req_id,
                              const MetricsRespBody& body);
+
+/// kTraceDump request (v1.4).
+void encode_trace_dump_request(std::vector<std::uint8_t>& out,
+                               std::uint64_t req_id,
+                               const TraceDumpReqBody& body);
+
+/// kTraceDump response page; records are fixed-size, so the caller caps
+/// the page at (kMaxPayloadBytes - kHeaderBytes - 20) / 45 records.
+void encode_trace_dump_response(std::vector<std::uint8_t>& out,
+                                Status status, std::uint64_t req_id,
+                                const TraceDumpRespBody& body);
 
 // --- decoding --------------------------------------------------------------
 

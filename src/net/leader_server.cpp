@@ -14,6 +14,7 @@
 
 #include "common/check.h"
 #include "obs/flight_recorder.h"
+#include "obs/process_gauges.h"
 
 namespace omega::net {
 
@@ -50,6 +51,7 @@ const char* frame_metric_name(std::size_t type) {
     case MsgType::kRegAck: return "net.frames.reg_ack";
     case MsgType::kSessionOpen: return "net.frames.session_open";
     case MsgType::kMetrics: return "net.frames.metrics";
+    case MsgType::kTraceDump: return "net.frames.trace_dump";
     default: return "net.frames.other";
   }
 }
@@ -74,8 +76,9 @@ LeaderServer::LeaderServer(svc::MultiGroupLeaderService& service,
         deliver_event(loop, gid, view);
       },
       [this](std::uint32_t loop, svc::GroupId gid, std::uint64_t first_index,
-             const std::vector<std::uint64_t>& values) {
-        deliver_commit_batch(loop, gid, first_index, values);
+             const std::vector<std::uint64_t>& values,
+             const std::vector<std::uint64_t>& traces) {
+        deliver_commit_batch(loop, gid, first_index, values, traces);
       });
   append_sink_ = std::make_shared<AppendSink>();
   append_sink_->server = this;
@@ -83,6 +86,7 @@ LeaderServer::LeaderServer(svc::MultiGroupLeaderService& service,
     frame_counters_[t] = &obs::counter(frame_metric_name(t));
   }
   ack_flush_hist_ = &obs::histogram("net.ack_flush_ns");
+  obs::register_process_gauges();
   open_listener();
   reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 }
@@ -142,8 +146,9 @@ void LeaderServer::start() {
   if (smr_ != nullptr) {
     smr_->set_commit_listener(
         [this](svc::GroupId gid, std::uint64_t first_index,
-               const std::vector<std::uint64_t>& values) {
-          hub_->publish_commit_batch(gid, first_index, values);
+               const std::vector<std::uint64_t>& values,
+               const std::vector<std::uint64_t>& traces) {
+          hub_->publish_commit_batch(gid, first_index, values, traces);
         });
   }
 }
@@ -499,7 +504,8 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
         return true;
       }
       l.counters.appends.fetch_add(1, std::memory_order_relaxed);
-      obs::trace(obs::TraceEvent::kAppendEnqueue, req.gid, req.client);
+      obs::trace(obs::TraceEvent::kAppendEnqueue, req.gid, req.client,
+                 req.trace);
       // Asynchronous completion: park (loop, fd, serial, req_id) in the
       // callback; the owning shard worker fires it at commit and it lands
       // the acknowledgement in this loop's mailbox (batched wakeup). The
@@ -511,6 +517,7 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
       ack.serial = c.serial;
       ack.req_id = id;
       ack.gid = req.gid;
+      ack.trace = req.trace;
       smr_->append(req.gid, req.client, req.seq, req.command,
                    [sink, loop_idx, ack](smr::AppendOutcome outcome,
                                          std::uint64_t index) mutable {
@@ -520,7 +527,8 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
                      ack.outcome = outcome;
                      ack.index = index;
                      s->enqueue_ack(loop_idx, ack);
-                   });
+                   },
+                   req.trace);
       return true;
     }
     case MsgType::kReadLog: {
@@ -612,6 +620,30 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
       encode_metrics_response(c.out, Status::kOk, id, resp);
       return true;
     }
+    case MsgType::kTraceDump: {
+      // Paged scrape of this process's flight-recorder rings (v1.4).
+      // Every page harvests the rings afresh and pages NEWEST-first, so
+      // records that churn out of a ring between two pages surface as
+      // duplicates the client dedupes — never as silent gaps in the
+      // middle of the timeline.
+      const std::vector<obs::TraceRecord> snap = obs::snapshot_trace();
+      TraceDumpRespBody resp;
+      resp.total = static_cast<std::uint32_t>(snap.size());
+      resp.start = std::min<std::uint32_t>(frame.trace_req.start, resp.total);
+      resp.realtime_offset_ns = obs::realtime_offset_ns();
+      constexpr std::uint32_t kPage = static_cast<std::uint32_t>(
+          (kMaxPayloadBytes - kHeaderBytes - 20) / kTraceRecordWireBytes);
+      const std::uint32_t count =
+          std::min<std::uint32_t>(kPage, resp.total - resp.start);
+      resp.records.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        // snapshot_trace() sorts oldest-first; newest-first position
+        // start + i is the mirrored index.
+        resp.records.push_back(snap[resp.total - 1 - (resp.start + i)]);
+      }
+      encode_trace_dump_response(c.out, Status::kOk, id, resp);
+      return true;
+    }
     case MsgType::kEvent:
     case MsgType::kCommitEvent:
       // Pushes are strictly server -> client; a peer sending one is
@@ -651,14 +683,19 @@ void LeaderServer::fan_out(
 
 void LeaderServer::deliver_commit_batch(
     std::uint32_t loop_idx, svc::GroupId gid, std::uint64_t first_index,
-    const std::vector<std::uint64_t>& values) {
+    const std::vector<std::uint64_t>& values,
+    const std::vector<std::uint64_t>& traces) {
   Loop& l = *loops_[loop_idx];
+  obs::trace(obs::TraceEvent::kCommitFanout, gid, first_index,
+             traces.empty() ? 0 : traces.front(),
+             traces.empty() ? 0 : traces.back());
   // The whole batch lands in each subscriber's buffer before its one
   // flush — a 64-command slot costs a watcher one syscall, not 64.
   fan_out(l, l.commit_watchers, gid, l.counters.commit_events, values.size(),
           [&](std::vector<std::uint8_t>& out) {
             for (std::size_t i = 0; i < values.size(); ++i) {
-              encode_commit_event(out, gid, first_index + i, values[i]);
+              encode_commit_event(out, gid, first_index + i, values[i],
+                                  i < traces.size() ? traces[i] : 0);
             }
           });
 }
@@ -702,6 +739,7 @@ void LeaderServer::drain_acks(std::uint32_t loop_idx) {
     if (c.serial != ack.serial) continue;  // fd recycled: different conn
     AppendRespBody resp;
     resp.gid = ack.gid;
+    resp.trace = ack.trace;
     Status status = Status::kOk;
     switch (ack.outcome) {
       case smr::AppendOutcome::kCommitted:

@@ -131,6 +131,7 @@ class LeaderServer {
     svc::GroupId gid = 0;
     smr::AppendOutcome outcome = smr::AppendOutcome::kAborted;
     std::uint64_t index = 0;
+    std::uint64_t trace = 0;  ///< echoed on the v1.4 response
     /// Mailbox entry time; drain_acks records mailbox -> wire-encode into
     /// the net.ack_flush_ns histogram.
     std::int64_t enqueue_ns = 0;
@@ -186,9 +187,11 @@ class LeaderServer {
                      svc::LeaderView view);
   /// One delivery per applied batch: encodes COMMIT_EVENT frames for
   /// every entry into each subscriber's buffer and flushes once.
+  /// `traces` is empty (untraced) or in lockstep with `values`.
   void deliver_commit_batch(std::uint32_t loop_idx, svc::GroupId gid,
                             std::uint64_t first_index,
-                            const std::vector<std::uint64_t>& values);
+                            const std::vector<std::uint64_t>& values,
+                            const std::vector<std::uint64_t>& traces);
   /// Called from an append completion (owning shard worker): parks the
   /// acknowledgement in the loop's mailbox and wakes the loop at most
   /// once per backlog.
@@ -225,7 +228,7 @@ class LeaderServer {
   /// Per-frame-type obs counters ("net.frames.<type>"), indexed by the
   /// wire type byte; [0] is the fallback for unknown types. Resolved once
   /// at construction so the dispatch path never touches the registry lock.
-  static constexpr std::size_t kFrameCounterSlots = 17;
+  static constexpr std::size_t kFrameCounterSlots = 18;
   obs::Counter* frame_counters_[kFrameCounterSlots] = {};
   obs::Histogram* ack_flush_hist_ = nullptr;  ///< net.ack_flush_ns
   std::shared_ptr<AppendSink> append_sink_;

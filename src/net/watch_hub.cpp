@@ -79,28 +79,34 @@ void WatchHub::remove_commit_watch(svc::GroupId gid, std::uint32_t loop) {
 
 void WatchHub::publish_commit_batch(
     svc::GroupId gid, std::uint64_t first_index,
-    const std::vector<std::uint64_t>& values) {
+    const std::vector<std::uint64_t>& values,
+    const std::vector<std::uint64_t>& traces) {
   OMEGA_CHECK(deliver_commit_ != nullptr, "no commit delivery sink");
+  OMEGA_CHECK(traces.empty() || traces.size() == values.size(),
+              "traces must be empty or in lockstep with values");
   if (values.empty()) return;
   commits_published_.fetch_add(values.size(), std::memory_order_relaxed);
   const std::uint64_t mask = interested(commits_, gid);
   if (mask == 0) return;
-  // One copy of the batch, shared by every interested loop's task.
+  // One copy of the batch (values + trace ids), shared by every
+  // interested loop's task.
   const auto shared =
       std::make_shared<const std::vector<std::uint64_t>>(values);
+  const auto shared_traces =
+      std::make_shared<const std::vector<std::uint64_t>>(traces);
   for (std::size_t i = 0; i < loops_.size(); ++i) {
     if (!(mask & (std::uint64_t{1} << i))) continue;
     deliveries_.fetch_add(1, std::memory_order_relaxed);
     const std::uint32_t loop = static_cast<std::uint32_t>(i);
-    loops_[i]->post([this, loop, gid, first_index, shared] {
-      deliver_commit_(loop, gid, first_index, *shared);
+    loops_[i]->post([this, loop, gid, first_index, shared, shared_traces] {
+      deliver_commit_(loop, gid, first_index, *shared, *shared_traces);
     });
   }
 }
 
 void WatchHub::publish_commit(svc::GroupId gid, std::uint64_t index,
-                              std::uint64_t value) {
-  publish_commit_batch(gid, index, {value});
+                              std::uint64_t value, std::uint64_t trace) {
+  publish_commit_batch(gid, index, {value}, {trace});
 }
 
 }  // namespace omega::net

@@ -37,13 +37,14 @@ class WatchHub {
       std::function<void(std::uint32_t, svc::GroupId, svc::LeaderView)>;
 
   /// Commit-channel sibling: (loop index, gid, first applied index,
-  /// values applied at first, first+1, ...) — a whole applied batch per
-  /// delivery, fanned out as one COMMIT_EVENT frame per entry. Batched so
-  /// a 64-command slot costs each interested loop ONE post (one task-queue
-  /// lock, one eventfd wakeup), not 64.
-  using DeliverCommit =
-      std::function<void(std::uint32_t, svc::GroupId, std::uint64_t,
-                         const std::vector<std::uint64_t>&)>;
+  /// values applied at first, first+1, ..., trace ids in lockstep with
+  /// the values) — a whole applied batch per delivery, fanned out as one
+  /// COMMIT_EVENT frame per entry. Batched so a 64-command slot costs
+  /// each interested loop ONE post (one task-queue lock, one eventfd
+  /// wakeup), not 64.
+  using DeliverCommit = std::function<void(
+      std::uint32_t, svc::GroupId, std::uint64_t,
+      const std::vector<std::uint64_t>&, const std::vector<std::uint64_t>&)>;
 
   /// `deliver_commit` may be empty when the server serves no log.
   WatchHub(std::vector<EventLoop*> loops, Deliver deliver,
@@ -65,14 +66,17 @@ class WatchHub {
   /// Commit-channel mirror of the three calls above; subscriptions are
   /// independent of the epoch channel (same delivery semantics: register
   /// before snapshot, dedupe by index). publish_commit_batch shares one
-  /// copy of `values` across every interested loop; the single-entry
-  /// publish_commit is a convenience wrapper over it.
+  /// copy of `values` (and one of `traces`) across every interested
+  /// loop; `traces` may be empty (all entries untraced) or in lockstep
+  /// with `values`. The single-entry publish_commit is a convenience
+  /// wrapper over it.
   void add_commit_watch(svc::GroupId gid, std::uint32_t loop);
   void remove_commit_watch(svc::GroupId gid, std::uint32_t loop);
   void publish_commit_batch(svc::GroupId gid, std::uint64_t first_index,
-                            const std::vector<std::uint64_t>& values);
+                            const std::vector<std::uint64_t>& values,
+                            const std::vector<std::uint64_t>& traces = {});
   void publish_commit(svc::GroupId gid, std::uint64_t index,
-                      std::uint64_t value);
+                      std::uint64_t value, std::uint64_t trace = 0);
 
   std::uint64_t published() const noexcept {
     return published_.load(std::memory_order_relaxed);

@@ -1,16 +1,21 @@
 #include "obs/flight_recorder.h"
 
+#include <time.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace omega::obs {
 namespace {
@@ -30,12 +35,15 @@ struct Ring {
     std::atomic<std::uint64_t> code{0};
     std::atomic<std::uint64_t> a{0};
     std::atomic<std::uint64_t> b{0};
+    std::atomic<std::uint64_t> tl{0};  ///< trace-id range low (0 = none)
+    std::atomic<std::uint64_t> th{0};  ///< trace-id range high
   };
   std::uint32_t thread_index = 0;
   std::atomic<std::uint64_t> head{0};  ///< events ever recorded
   Slot slots[kTraceRingSize];
 
-  void record(TraceEvent ev, std::uint64_t a, std::uint64_t b) noexcept {
+  void record(TraceEvent ev, std::uint64_t a, std::uint64_t b,
+              std::uint64_t t_lo, std::uint64_t t_hi) noexcept {
     const std::uint64_t seq = head.fetch_add(1, std::memory_order_relaxed);
     Slot& s = slots[seq % kTraceRingSize];
     s.seq.store(seq + 1, std::memory_order_relaxed);
@@ -44,10 +52,13 @@ struct Ring {
     s.code.store(static_cast<std::uint64_t>(ev), std::memory_order_relaxed);
     s.a.store(a, std::memory_order_relaxed);
     s.b.store(b, std::memory_order_relaxed);
+    s.tl.store(t_lo, std::memory_order_relaxed);
+    s.th.store(t_hi, std::memory_order_relaxed);
   }
 };
 
 struct Recorder {
+  Recorder() { realtime_offset_ns(); }  // pin the wall-clock anchor early
   std::mutex mu;  ///< guards rings registration + dump bookkeeping
   std::vector<std::shared_ptr<Ring>> rings;
   std::string dir;
@@ -74,13 +85,6 @@ Ring& this_thread_ring() {
   return *ring;
 }
 
-struct Line {
-  std::uint64_t ts;
-  std::uint32_t thread_index;
-  TraceEvent ev;
-  std::uint64_t a, b;
-};
-
 }  // namespace
 
 const char* trace_event_name(TraceEvent ev) noexcept {
@@ -97,22 +101,38 @@ const char* trace_event_name(TraceEvent ev) noexcept {
     case TraceEvent::kFailoverTicket: return "failover_ticket";
     case TraceEvent::kMirrorResync: return "mirror_resync";
     case TraceEvent::kWatchdogFire: return "watchdog_fire";
+    case TraceEvent::kBatchPush: return "batch_push";
+    case TraceEvent::kCommitFanout: return "commit_fanout";
   }
   return "unknown";
 }
 
-void trace(TraceEvent ev, std::uint64_t a, std::uint64_t b) noexcept {
-  this_thread_ring().record(ev, a, b);
+void trace(TraceEvent ev, std::uint64_t a, std::uint64_t b,
+           std::uint64_t t_lo, std::uint64_t t_hi) noexcept {
+  this_thread_ring().record(ev, a, b, t_lo, t_hi);
 }
 
-std::string render_trace() {
+std::int64_t realtime_offset_ns() noexcept {
+  // Captured once per process so every ring shares one anchor; a later
+  // NTP step skews absolute wall times but not cross-ring deltas.
+  static const std::int64_t offset = [] {
+    timespec rt{};
+    ::clock_gettime(CLOCK_REALTIME, &rt);
+    const std::int64_t wall =
+        rt.tv_sec * 1000000000LL + rt.tv_nsec;
+    return wall - now_ns();
+  }();
+  return offset;
+}
+
+std::vector<TraceRecord> snapshot_trace() {
   Recorder& rec = recorder();
   std::vector<std::shared_ptr<Ring>> rings;
   {
     std::lock_guard<std::mutex> lock(rec.mu);
     rings = rec.rings;
   }
-  std::vector<Line> lines;
+  std::vector<TraceRecord> records;
   for (const auto& ring : rings) {
     const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
     const std::uint64_t n = std::min<std::uint64_t>(head, kTraceRingSize);
@@ -120,23 +140,37 @@ std::string render_trace() {
       const Ring::Slot& s = ring->slots[i];
       const std::uint64_t seq = s.seq.load(std::memory_order_relaxed);
       if (seq == 0) continue;  // never written
-      Line ln;
-      ln.ts = s.ts.load(std::memory_order_relaxed);
-      ln.thread_index = ring->thread_index;
-      ln.ev = static_cast<TraceEvent>(
+      TraceRecord r;
+      r.ts_ns = s.ts.load(std::memory_order_relaxed);
+      r.thread = ring->thread_index;
+      r.ev = static_cast<TraceEvent>(
           s.code.load(std::memory_order_relaxed) & 0xFF);
-      ln.a = s.a.load(std::memory_order_relaxed);
-      ln.b = s.b.load(std::memory_order_relaxed);
-      lines.push_back(ln);
+      r.a = s.a.load(std::memory_order_relaxed);
+      r.b = s.b.load(std::memory_order_relaxed);
+      r.trace_lo = s.tl.load(std::memory_order_relaxed);
+      r.trace_hi = s.th.load(std::memory_order_relaxed);
+      records.push_back(r);
     }
   }
-  std::sort(lines.begin(), lines.end(),
-            [](const Line& x, const Line& y) { return x.ts < y.ts; });
+  std::sort(records.begin(), records.end(),
+            [](const TraceRecord& x, const TraceRecord& y) {
+              return x.ts_ns < y.ts_ns;
+            });
+  return records;
+}
+
+std::string render_trace() {
   std::ostringstream os;
-  for (const Line& ln : lines) {
-    os << ln.ts << " t" << ln.thread_index << ' '
-       << trace_event_name(ln.ev) << " a=" << ln.a << " b=" << ln.b
-       << '\n';
+  for (const TraceRecord& r : snapshot_trace()) {
+    os << r.ts_ns << " t" << r.thread << ' ' << trace_event_name(r.ev)
+       << " a=" << r.a << " b=" << r.b;
+    if (r.trace_lo != 0) {
+      os << " trace=" << r.trace_lo;
+      if (r.trace_hi != 0 && r.trace_hi != r.trace_lo) {
+        os << ".." << r.trace_hi;
+      }
+    }
+    os << '\n';
   }
   return os.str();
 }
@@ -147,14 +181,20 @@ void set_trace_dir(std::string dir) {
   rec.dir = std::move(dir);
 }
 
-std::string dump_trace(const std::string& reason, bool force) {
+std::string dump_trace(const std::string& reason, bool force,
+                       DumpStatus* status) {
   Recorder& rec = recorder();
   const std::int64_t now = now_ns();
   std::int64_t last = rec.last_dump_ns.load(std::memory_order_relaxed);
-  if (!force && last != 0 && now - last < 1000000000) return "";
+  const auto suppressed = [&status] {
+    counter("obs.trace_dumps_suppressed").add(1);
+    if (status != nullptr) *status = DumpStatus::kSuppressed;
+    return std::string{};
+  };
+  if (!force && last != 0 && now - last < 1000000000) return suppressed();
   if (!rec.last_dump_ns.compare_exchange_strong(
           last, now, std::memory_order_relaxed)) {
-    if (!force) return "";  // lost the race: someone else is dumping
+    if (!force) return suppressed();  // lost the race: someone else dumps
     rec.last_dump_ns.store(now, std::memory_order_relaxed);
   }
 
@@ -175,11 +215,21 @@ std::string dump_trace(const std::string& reason, bool force) {
 
   const std::string body = render_trace();
   std::FILE* f = std::fopen(path.str().c_str(), "w");
-  if (!f) return "";
-  std::fprintf(f, "# omega flight recorder dump\n# reason: %s\n# pid: %d\n",
-               reason.c_str(), ::getpid());
+  if (!f) {
+    std::fprintf(stderr, "omega: trace dump to %s failed: %s\n",
+                 path.str().c_str(), std::strerror(errno));
+    if (status != nullptr) *status = DumpStatus::kWriteFailed;
+    return "";
+  }
+  std::fprintf(f,
+               "# omega flight recorder dump\n# reason: %s\n# pid: %d\n"
+               "# realtime_offset_ns: %lld\n",
+               reason.c_str(), ::getpid(),
+               static_cast<long long>(realtime_offset_ns()));
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
+  counter("obs.trace_dumps").add(1);
+  if (status != nullptr) *status = DumpStatus::kWritten;
   return path.str();
 }
 

@@ -7,6 +7,14 @@
 // of protocol activity on this node" after the fact, which logs sampled
 // at human rates cannot.
 //
+// Causal tracing: events may additionally carry a 64-bit trace-id range
+// (`t_lo`..`t_hi`) naming the client-minted request ids involved —
+// a single id for per-request events, the first/last ids of a batch for
+// sealed/decided/applied events. Rings timestamp with steady_clock, but
+// the per-process CLOCK_REALTIME↔steady offset is captured once at
+// startup (realtime_offset_ns()) and emitted as a dump header line, so
+// dumps from different processes merge onto one wall-clock timeline.
+//
 // Threading: each thread records into its own fixed-size ring of relaxed
 // std::atomic<u64> fields (TSan-clean by construction). The dumper walks
 // every ring without stopping writers, so an event being overwritten
@@ -22,6 +30,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace omega::obs {
 
@@ -40,23 +49,59 @@ enum class TraceEvent : std::uint8_t {
   kFailoverTicket,     ///< a=gid/slot, b=ticket — displaced batch re-proposal
   kMirrorResync,       ///< a=peer node (u32 max = all), b=0
   kWatchdogFire,       ///< a=gid, b=stalled microseconds
+  kBatchPush,          ///< a=slot, b=count — sealed rows handed to the mirror
+  kCommitFanout,       ///< a=gid, b=first index — commit events fanned out
 };
 
 const char* trace_event_name(TraceEvent ev) noexcept;
 
 /// Records one event into the calling thread's ring. Safe from any
-/// thread, any time, including during a concurrent dump.
-void trace(TraceEvent ev, std::uint64_t a = 0, std::uint64_t b = 0) noexcept;
+/// thread, any time, including during a concurrent dump. `t_lo`/`t_hi`
+/// carry the event's trace-id range (0 = untraced); per-request events
+/// set only `t_lo`, batch events set the first and last id of the batch.
+void trace(TraceEvent ev, std::uint64_t a = 0, std::uint64_t b = 0,
+           std::uint64_t t_lo = 0, std::uint64_t t_hi = 0) noexcept;
+
+/// One recorded event, as harvested by snapshot_trace().
+struct TraceRecord {
+  std::uint64_t ts_ns = 0;  ///< steady-clock ns (add realtime_offset_ns()
+                            ///< for wall clock)
+  std::uint32_t thread = 0;
+  TraceEvent ev = TraceEvent::kAppendEnqueue;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t trace_hi = 0;
+};
+
+/// Harvests every thread's ring, merged and sorted by timestamp. The
+/// structured twin of render_trace(); also the TRACE_DUMP wire source.
+std::vector<TraceRecord> snapshot_trace();
+
+/// CLOCK_REALTIME minus steady_clock, in ns, captured once per process
+/// (first recorder touch). wall_ns = ring ts_ns + realtime_offset_ns().
+std::int64_t realtime_offset_ns() noexcept;
 
 /// Renders every thread's ring merged and sorted by timestamp (ns since
 /// an arbitrary per-process origin). One line per event:
-///   <ts_ns> t<thread> <event> a=<a> b=<b>
+///   <ts_ns> t<thread> <event> a=<a> b=<b>[ trace=<lo>[..<hi>]]
 std::string render_trace();
 
-/// Writes render_trace() plus a reason header to the trace directory.
-/// Returns the file path, or "" when rate-limited (min 1 s between dumps
-/// unless `force`) or the file could not be written.
-std::string dump_trace(const std::string& reason, bool force = false);
+/// Outcome of a dump_trace() call, reported via the optional out-param —
+/// callers can tell a rate-limited dump from a broken trace dir.
+enum class DumpStatus : std::uint8_t {
+  kWritten,      ///< file written; path returned
+  kSuppressed,   ///< rate-limited (counted in obs.trace_dumps_suppressed)
+  kWriteFailed,  ///< fopen failed; errno logged to stderr
+};
+
+/// Writes render_trace() plus a reason header (reason, pid,
+/// realtime_offset_ns) to the trace directory. Returns the file path, or
+/// "" when rate-limited (min 1 s between dumps unless `force`) or the
+/// file could not be written; `status` (optional) distinguishes the two.
+/// Outcomes are counted in obs.trace_dumps / obs.trace_dumps_suppressed.
+std::string dump_trace(const std::string& reason, bool force = false,
+                       DumpStatus* status = nullptr);
 
 /// Overrides the dump directory (else $OMEGA_TRACE_DIR, else ".").
 void set_trace_dir(std::string dir);

@@ -1,0 +1,60 @@
+#include "obs/process_gauges.h"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <mutex>
+
+#include "obs/metrics.h"
+
+namespace omega::obs {
+namespace {
+
+std::int64_t uptime_s(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::seconds>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::int64_t rss_bytes() {
+  // /proc/self/statm: size resident shared text lib data dt (pages).
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return 0;
+  long long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%lld %lld", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0;
+  return resident * static_cast<std::int64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+std::int64_t open_fds() {
+  DIR* d = ::opendir("/proc/self/fd");
+  if (d == nullptr) return 0;
+  std::int64_t n = 0;
+  while (const dirent* e = ::readdir(d)) {
+    if (e->d_name[0] != '.') ++n;
+  }
+  ::closedir(d);
+  return n - 1;  // opendir's own descriptor
+}
+
+}  // namespace
+
+void register_process_gauges() {
+  // Gauges are process-global and never unregistered (the callbacks
+  // capture nothing that dies), so one registration serves every
+  // embedded server/node in the process.
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const auto start = std::chrono::steady_clock::now();
+    Registry& reg = Registry::instance();
+    reg.register_gauge("proc.uptime_s", [start] { return uptime_s(start); });
+    reg.register_gauge("proc.rss_bytes", [] { return rss_bytes(); });
+    reg.register_gauge("proc.open_fds", [] { return open_fds(); });
+  });
+}
+
+}  // namespace omega::obs

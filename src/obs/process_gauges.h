@@ -1,0 +1,17 @@
+// Standard process-health gauges, registered once per process so every
+// METRICS scrape (and omega_top) shows basic liveness next to the stage
+// latencies:
+//   proc.uptime_s    seconds since the first registration call
+//   proc.rss_bytes   resident set size, from /proc/self/statm
+//   proc.open_fds    open descriptor count, from /proc/self/fd
+//
+// register_process_gauges() is idempotent — SmrNode and LeaderServer
+// both call it at startup and a process embedding both gets one set of
+// gauges, not a doubled sum.
+#pragma once
+
+namespace omega::obs {
+
+void register_process_gauges();
+
+}  // namespace omega::obs

@@ -1,0 +1,98 @@
+#include "obs/trace_stitch.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <unordered_map>
+
+namespace omega::obs {
+
+std::vector<StitchedTrace> stitch(const std::vector<NodeTrace>& nodes) {
+  std::unordered_map<std::uint64_t, StitchedTrace> by_id;
+  for (const NodeTrace& n : nodes) {
+    for (const TraceRecord& r : n.records) {
+      TraceHop hop;
+      hop.node = n.node;
+      hop.thread = r.thread;
+      hop.ev = r.ev;
+      hop.wall_ns = static_cast<std::int64_t>(r.ts_ns) + n.realtime_offset_ns;
+      hop.a = r.a;
+      hop.b = r.b;
+      // Batch events tag the first AND last id of the batch; both name
+      // their request. lo == hi (a one-request batch, or a per-request
+      // event) contributes a single hop, not two.
+      const std::uint64_t ids[2] = {
+          r.trace_lo, r.trace_hi == r.trace_lo ? 0 : r.trace_hi};
+      for (const std::uint64_t id : ids) {
+        if (id == 0) continue;
+        StitchedTrace& t = by_id[id];
+        if (t.trace_id == 0) t.trace_id = id;
+        t.hops.push_back(hop);
+      }
+    }
+  }
+  std::vector<StitchedTrace> out;
+  out.reserve(by_id.size());
+  for (auto& [id, t] : by_id) {
+    (void)id;
+    std::sort(t.hops.begin(), t.hops.end(),
+              [](const TraceHop& x, const TraceHop& y) {
+                if (x.wall_ns != y.wall_ns) return x.wall_ns < y.wall_ns;
+                return x.node < y.node;
+              });
+    out.push_back(std::move(t));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StitchedTrace& x, const StitchedTrace& y) {
+              const std::int64_t xt = x.hops.empty() ? 0 : x.hops[0].wall_ns;
+              const std::int64_t yt = y.hops.empty() ? 0 : y.hops[0].wall_ns;
+              if (xt != yt) return xt < yt;
+              return x.trace_id < y.trace_id;
+            });
+  return out;
+}
+
+const TraceHop* find_hop(const StitchedTrace& t, TraceEvent ev,
+                         std::int64_t node) {
+  for (const TraceHop& h : t.hops) {
+    if (h.ev != ev) continue;
+    if (node >= 0 && h.node != static_cast<std::uint32_t>(node)) continue;
+    return &h;
+  }
+  return nullptr;
+}
+
+std::int64_t hop_ns(const StitchedTrace& t, TraceEvent from, TraceEvent to,
+                    std::int64_t from_node, std::int64_t to_node) {
+  const TraceHop* f = find_hop(t, from, from_node);
+  if (f == nullptr) return -1;
+  for (const TraceHop& h : t.hops) {
+    if (h.ev != to) continue;
+    if (to_node >= 0 && h.node != static_cast<std::uint32_t>(to_node)) {
+      continue;
+    }
+    if (h.wall_ns >= f->wall_ns) return h.wall_ns - f->wall_ns;
+  }
+  return -1;
+}
+
+std::string render_stitched(const std::vector<StitchedTrace>& traces) {
+  std::string out;
+  char line[192];
+  for (const StitchedTrace& t : traces) {
+    std::snprintf(line, sizeof line, "trace %016" PRIx64 "\n", t.trace_id);
+    out += line;
+    const std::int64_t first = t.hops.empty() ? 0 : t.hops[0].wall_ns;
+    for (const TraceHop& h : t.hops) {
+      std::snprintf(line, sizeof line,
+                    "  +%8" PRId64 "us n%u t%u %s a=%" PRIu64 " b=%" PRIu64
+                    "\n",
+                    (h.wall_ns - first) / 1000, h.node, h.thread,
+                    trace_event_name(h.ev), h.a, h.b);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace omega::obs

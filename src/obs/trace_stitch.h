@@ -1,0 +1,74 @@
+// Trace stitching: joins flight-recorder scrapes from several processes
+// into per-request causal timelines.
+//
+// Input: one NodeTrace per scraped process — the records of a v1.4
+// TRACE_DUMP (or a local snapshot_trace()) plus that process's
+// CLOCK_REALTIME↔steady offset. Each record's steady timestamp is
+// shifted by its node's offset, so hops from different processes land on
+// one shared wall-clock axis.
+//
+// Join rule: a record names a request when its trace_lo or trace_hi
+// equals the request's id. Batch events (seal/decide/apply/push) tag only
+// the FIRST and LAST id of the batch, so an append buried in the middle
+// of a large batch stitches through its per-request events
+// (append_enqueue, commit_fanout) but not the batch hops — run the
+// stitcher under light load (or max_batch small) for full chains.
+//
+// The stitched timeline is forensic, not exact: rings are harvested
+// without stopping writers, and wall-clock anchors are captured once per
+// process, so cross-node deltas carry the usual NTP-grade slack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+
+namespace omega::obs {
+
+/// One process's scraped rings plus its wall-clock anchor.
+struct NodeTrace {
+  std::uint32_t node = 0;  ///< caller-chosen label (topology node id)
+  std::int64_t realtime_offset_ns = 0;
+  std::vector<TraceRecord> records;
+};
+
+/// One event naming a request, placed on the shared wall clock.
+struct TraceHop {
+  std::uint32_t node = 0;
+  std::uint32_t thread = 0;
+  TraceEvent ev = TraceEvent::kAppendEnqueue;
+  std::int64_t wall_ns = 0;  ///< record ts_ns + node realtime offset
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+};
+
+/// One request's causal chain, hops in wall-clock order.
+struct StitchedTrace {
+  std::uint64_t trace_id = 0;
+  std::vector<TraceHop> hops;
+};
+
+/// Joins every node's records by trace id. Traces are returned sorted by
+/// their first hop's wall-clock time; hops within a trace are sorted by
+/// wall-clock time (ties by node). Untraced records (id 0) are skipped.
+std::vector<StitchedTrace> stitch(const std::vector<NodeTrace>& nodes);
+
+/// First hop of `t` recording `ev` (nullptr if the event never fired) —
+/// on `node` when `node` >= 0, on any node otherwise.
+const TraceHop* find_hop(const StitchedTrace& t, TraceEvent ev,
+                         std::int64_t node = -1);
+
+/// Wall-clock ns from the first `from` hop to the first `to` hop at or
+/// after it; -1 when either is missing. Node filters as in find_hop.
+std::int64_t hop_ns(const StitchedTrace& t, TraceEvent from, TraceEvent to,
+                    std::int64_t from_node = -1, std::int64_t to_node = -1);
+
+/// Human-readable rendering for the omega_top `trace stitch` mode: one
+/// block per trace, one line per hop —
+///   trace <id>
+///     +<us_since_first>us n<node> t<thread> <event> a=<a> b=<b>
+std::string render_stitched(const std::vector<StitchedTrace>& traces);
+
+}  // namespace omega::obs

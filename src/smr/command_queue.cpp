@@ -30,7 +30,8 @@ std::int64_t CommandQueue::open_session(std::uint64_t client) {
 CommandQueue::SubmitResult CommandQueue::submit(std::uint64_t client,
                                                 std::uint64_t seq,
                                                 std::uint64_t command,
-                                                AppendCompletion done) {
+                                                AppendCompletion done,
+                                                std::uint64_t trace) {
   std::unique_lock<std::mutex> lock(mu_);
   if (session_ttl_us_ > 0 && seq > 1 &&
       sessions_.find(client) == sessions_.end()) {
@@ -91,6 +92,7 @@ CommandQueue::SubmitResult CommandQueue::submit(std::uint64_t client,
   e.client = client;
   e.seq = seq;
   e.command = command;
+  e.trace = trace;
   if (done) e.completions.push_back(std::move(done));
   pending_.push_back(std::move(e));
   return SubmitResult{AppendOutcome::kAccepted, 0};
@@ -105,13 +107,15 @@ std::uint64_t CommandQueue::pull() {
 }
 
 std::uint32_t CommandQueue::pull_batch(std::uint32_t max,
-                                       std::vector<std::uint64_t>& out) {
+                                       std::vector<std::uint64_t>& out,
+                                       std::vector<std::uint64_t>* traces) {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint32_t moved = 0;
   while (moved < max && !pending_.empty()) {
     inflight_.push_back(std::move(pending_.front()));
     pending_.pop_front();
     out.push_back(inflight_.back().command);
+    if (traces != nullptr) traces->push_back(inflight_.back().trace);
     ++moved;
   }
   return moved;
@@ -119,7 +123,8 @@ std::uint32_t CommandQueue::pull_batch(std::uint32_t max,
 
 std::uint32_t CommandQueue::pull_batch_owned(std::uint32_t max,
                                              std::vector<std::uint64_t>& out,
-                                             std::uint64_t& ticket) {
+                                             std::uint64_t& ticket,
+                                             std::vector<std::uint64_t>* traces) {
   std::lock_guard<std::mutex> lock(mu_);
   if (pending_.empty()) return 0;
   ticket = next_ticket_++;
@@ -129,6 +134,7 @@ std::uint32_t CommandQueue::pull_batch_owned(std::uint32_t max,
     batch.push_back(std::move(pending_.front()));
     pending_.pop_front();
     out.push_back(batch.back().command);
+    if (traces != nullptr) traces->push_back(batch.back().trace);
     ++moved;
   }
   owned_entries_ += moved;
@@ -148,6 +154,7 @@ void CommandQueue::commit_entry_locked(
   rec.client = e.client;
   rec.seq = e.seq;
   rec.command = e.command;
+  rec.trace = e.trace;
   recs.push_back(rec);
   Session& sess = sessions_[e.client];
   // A commit is session activity: restamp so the TTL runs from the

@@ -84,8 +84,12 @@ class CommandQueue {
   /// mid-stream whose session was dropped must learn its retry window is
   /// gone instead of having the retry silently double-commit. Fresh
   /// clients start at seq 1 or call open_session() first.
+  ///
+  /// `trace` is the command's v1.4 trace id (0 = untraced); it rides the
+  /// entry through pull/commit and surfaces on the CommitRecord.
   SubmitResult submit(std::uint64_t client, std::uint64_t seq,
-                      std::uint64_t command, AppendCompletion done);
+                      std::uint64_t command, AppendCompletion done,
+                      std::uint64_t trace = 0);
 
   /// (Re)creates the client's dedup session (idempotent) and returns the
   /// eviction TTL in microseconds (0 = never). Any thread. The SESSION_OPEN
@@ -99,8 +103,11 @@ class CommandQueue {
   std::uint64_t pull();
 
   /// Batch form: moves up to `max` pending entries to the in-flight queue
-  /// and appends their commands to `out` in FIFO order; returns the count.
-  std::uint32_t pull_batch(std::uint32_t max, std::vector<std::uint64_t>& out);
+  /// and appends their commands to `out` in FIFO order; returns the
+  /// count. When `traces` is non-null it receives one trace id per moved
+  /// entry, in lockstep with `out`.
+  std::uint32_t pull_batch(std::uint32_t max, std::vector<std::uint64_t>& out,
+                           std::vector<std::uint64_t>* traces = nullptr);
 
   /// Ticketed form for deployments where commits can resolve out of pull
   /// order (multi-node failover re-proposals): moves up to `max` pending
@@ -110,12 +117,14 @@ class CommandQueue {
   /// abort paths.
   std::uint32_t pull_batch_owned(std::uint32_t max,
                                  std::vector<std::uint64_t>& out,
-                                 std::uint64_t& ticket);
+                                 std::uint64_t& ticket,
+                                 std::vector<std::uint64_t>* traces = nullptr);
 
   struct CommitRecord {
     std::uint64_t client = 0;
     std::uint64_t seq = 0;
     std::uint64_t command = 0;
+    std::uint64_t trace = 0;  ///< v1.4 trace id (0 = untraced)
   };
 
   /// The oldest in-flight entry committed at `index`: records the client
@@ -173,6 +182,7 @@ class CommandQueue {
     std::uint64_t client = 0;
     std::uint64_t seq = 0;
     std::uint64_t command = 0;
+    std::uint64_t trace = 0;
     std::vector<AppendCompletion> completions;
   };
 

@@ -180,7 +180,8 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
     }
     apply_hist_->record(
         static_cast<std::uint64_t>(steady_ns() - apply_start));
-    obs::trace(obs::TraceEvent::kBatchApply, first, count);
+    obs::trace(obs::TraceEvent::kBatchApply, first, count,
+               scratch_.front().trace, scratch_.back().trace);
   }
   if (multi_node_ && spec_.mirror_resync) {
     // Watchdog: a decided slot whose payload stays unreadable means some
@@ -239,8 +240,8 @@ void LogGroup::apply_commits_multi(std::uint64_t first) {
       }
       i = j;
     } else {
-      recs_.push_back(
-          CommandQueue::CommitRecord{0, 0, scratch_[i].value});
+      recs_.push_back(CommandQueue::CommitRecord{0, 0, scratch_[i].value,
+                                                 scratch_[i].trace});
       ++i;
     }
   }

@@ -116,8 +116,9 @@ struct SmrSpec {
 /// were applied at index `first_index + i`. Same contract as
 /// svc::EpochListener: cheap, non-blocking, hand anything heavier to
 /// another thread. For entries committed by a remote node's pump, `recs`
-/// carries {0, 0, command} — the (client, seq) bookkeeping lives with the
-/// sealer.
+/// carries {0, 0, command, trace} — the (client, seq) bookkeeping lives
+/// with the sealer, but the trace id travels through the spill ring so
+/// follower-side commit events still name the originating append.
 using CommitHook = std::function<void(
     std::uint64_t first_index, const std::vector<std::uint64_t>& values,
     const std::vector<CommandQueue::CommitRecord>& recs)>;
@@ -208,13 +209,14 @@ class LogGroup final : public svc::GroupPump {
    public:
     explicit QueueSource(LogGroup& lg) : lg_(lg) {}
     std::uint32_t pull(std::uint32_t max, std::vector<std::uint64_t>& out,
-                       std::uint64_t& ticket) override {
+                       std::uint64_t& ticket,
+                       std::vector<std::uint64_t>& traces) override {
       if (!lg_.multi_node_) {
         ticket = 0;
-        return lg_.queue_.pull_batch(max, out);
+        return lg_.queue_.pull_batch(max, out, &traces);
       }
       if (!lg_.seal_ok_) return 0;
-      return lg_.queue_.pull_batch_owned(max, out, ticket);
+      return lg_.queue_.pull_batch_owned(max, out, ticket, &traces);
     }
 
    private:

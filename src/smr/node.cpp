@@ -1,5 +1,6 @@
 #include "smr/node.h"
 
+#include "obs/process_gauges.h"
 #include "registers/mirror.h"
 
 namespace omega::smr {
@@ -48,6 +49,7 @@ SmrNode::SmrNode(NodeTopology topo, svc::SvcConfig svc_cfg,
       mirror_(mirror_config(topo_)),
       svc_(svc_cfg),
       smr_(svc_) {
+  obs::register_process_gauges();
   net_cfg.bind_address = topo_.nodes[topo_.self].host;
   net_cfg.port = topo_.nodes[topo_.self].serve_port;
   server_ = std::make_unique<net::LeaderServer>(svc_, net_cfg);

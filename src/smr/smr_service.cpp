@@ -23,8 +23,8 @@ void SmrService::add_log(svc::GroupId gid, const SmrSpec& spec) {
       gid, spec,
       [this, gid](std::uint64_t first_index,
                   const std::vector<std::uint64_t>& values,
-                  const std::vector<CommandQueue::CommitRecord>&) {
-        notify_commit(gid, first_index, values);
+                  const std::vector<CommandQueue::CommitRecord>& recs) {
+        notify_commit(gid, first_index, values, recs);
       });
   {
     std::unique_lock<std::shared_mutex> lock(logs_mu_);
@@ -80,7 +80,7 @@ std::shared_ptr<LogGroup> SmrService::find(svc::GroupId gid) const {
 
 void SmrService::append(svc::GroupId gid, std::uint64_t client,
                         std::uint64_t seq, std::uint64_t command,
-                        AppendCompletion done) {
+                        AppendCompletion done, std::uint64_t trace) {
   OMEGA_CHECK(done != nullptr, "append needs a completion");
   const auto lg = find(gid);
   if (!lg) {
@@ -99,7 +99,7 @@ void SmrService::append(svc::GroupId gid, std::uint64_t client,
   // commit/abort); every other outcome is answered synchronously here, so
   // hand the queue a copy and keep the original callable.
   const CommandQueue::SubmitResult r =
-      lg->queue().submit(client, seq, command, done);
+      lg->queue().submit(client, seq, command, done, trace);
   if (r.outcome != AppendOutcome::kAccepted) done(r.outcome, r.index);
 }
 
@@ -151,9 +151,16 @@ void SmrService::set_commit_listener(CommitListener listener) {
 
 void SmrService::notify_commit(
     svc::GroupId gid, std::uint64_t first_index,
-    const std::vector<std::uint64_t>& values) const {
+    const std::vector<std::uint64_t>& values,
+    const std::vector<CommandQueue::CommitRecord>& recs) const {
   std::shared_lock<std::shared_mutex> lock(listener_mu_);
-  if (listener_) listener_(gid, first_index, values);
+  if (!listener_) return;
+  // recs is in lockstep with values on every path (batch, owned, remote);
+  // project the trace column for the fan-out.
+  std::vector<std::uint64_t> traces;
+  traces.reserve(recs.size());
+  for (const auto& r : recs) traces.push_back(r.trace);
+  listener_(gid, first_index, values, traces);
 }
 
 }  // namespace omega::smr

@@ -34,10 +34,13 @@ namespace omega::smr {
 /// `values[i]` was applied at index `first_index + i` — on the owning
 /// worker right after the batch's append completions. The net front-end
 /// fans this out to COMMIT_WATCH subscribers (one post per loop per
-/// batch, not per entry).
-using CommitListener =
-    std::function<void(svc::GroupId gid, std::uint64_t first_index,
-                       const std::vector<std::uint64_t>& values)>;
+/// batch, not per entry). `traces[i]` is the entry's v1.4 trace id (0 =
+/// untraced), in lockstep with `values` — followers see the sealer's ids
+/// because they ride the spill ring.
+using CommitListener = std::function<void(
+    svc::GroupId gid, std::uint64_t first_index,
+    const std::vector<std::uint64_t>& values,
+    const std::vector<std::uint64_t>& traces)>;
 
 class SmrService {
  public:
@@ -66,8 +69,11 @@ class SmrService {
   /// Submits a command (range [1, kLogNoOp)). `done` fires exactly once:
   /// synchronously for rejections and committed duplicates, on the owning
   /// worker thread when the command commits. Unknown gid → kAborted.
+  /// `trace` is the append's v1.4 trace id (0 = untraced); it rides the
+  /// command through the queue, spill ring, and commit fan-out.
   void append(svc::GroupId gid, std::uint64_t client, std::uint64_t seq,
-              std::uint64_t command, AppendCompletion done);
+              std::uint64_t command, AppendCompletion done,
+              std::uint64_t trace = 0);
 
   /// Copies up to `max` applied entries starting at `from`; false if the
   /// gid is unknown.
@@ -107,7 +113,8 @@ class SmrService {
  private:
   std::shared_ptr<LogGroup> find(svc::GroupId gid) const;
   void notify_commit(svc::GroupId gid, std::uint64_t first_index,
-                     const std::vector<std::uint64_t>& values) const;
+                     const std::vector<std::uint64_t>& values,
+                     const std::vector<CommandQueue::CommitRecord>& recs) const;
 
   svc::MultiGroupLeaderService& svc_;
 

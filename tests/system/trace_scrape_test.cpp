@@ -1,0 +1,238 @@
+// v1.4 TRACE_DUMP scraped off a LIVE three-process SmrNode cluster:
+// drive real appends through the elected leader, scrape the flight
+// recorder of the leader AND a follower over the wire, and assert the
+// stitched result carries at least one append's causal chain across the
+// process boundary, hops in monotone wall-clock order — the whole
+// mint->propagate->record->scrape->stitch chain, not a loopback test.
+//
+// fork() happens before any thread exists in this binary (gtest
+// discovery runs each TEST in its own process), so the children may
+// safely construct the full threaded runtime.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "obs/trace_stitch.h"
+#include "smr/node.h"
+
+namespace omega::smr {
+namespace {
+
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+constexpr svc::GroupId kGid = 48;
+
+NodeTopology make_topology() {
+  NodeTopology topo;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    topo.nodes.push_back(NodeEndpoint{i, "127.0.0.1", pick_free_port(),
+                                      pick_free_port()});
+  }
+  return topo;
+}
+
+[[noreturn]] void run_node(const NodeTopology& base, std::uint32_t self) {
+  try {
+    NodeTopology topo = base;
+    topo.self = self;
+    svc::SvcConfig scfg;
+    scfg.workers = 1;
+    scfg.tick_us = 1000;
+    scfg.pace_us = 200;
+    scfg.max_pace_us = 2000;
+    SmrNode node(topo, scfg);
+    SmrSpec spec;
+    spec.n = 3;
+    spec.capacity = 512;
+    spec.window = 4;
+    spec.max_batch = 8;
+    node.add_log(kGid, spec);
+    node.start();
+    for (;;) {
+      if (node.service().failed()) {
+        std::fprintf(stderr, "node %u FAILED: %s\n", self,
+                     node.service().failure_message().c_str());
+        _exit(2);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "node %u threw: %s\n", self, e.what());
+    _exit(1);
+  } catch (...) {
+    _exit(1);
+  }
+  _exit(0);
+}
+
+class Cluster {
+ public:
+  Cluster() : topo_(make_topology()) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const pid_t pid = fork();
+      if (pid == 0) run_node(topo_, i);
+      pids_.push_back(pid);
+    }
+  }
+
+  ~Cluster() {
+    for (const pid_t pid : pids_) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+    for (const pid_t pid : pids_) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+  const NodeTopology& topo() const { return topo_; }
+
+  void connect(net::Client& c, std::uint32_t node, int deadline_s = 60) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadline_s);
+    for (;;) {
+      try {
+        c.connect("127.0.0.1", topo_.nodes[node].serve_port, 2000);
+        c.enable_auto_reconnect();
+        return;
+      } catch (const net::NetError&) {
+        if (std::chrono::steady_clock::now() >= deadline) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+  }
+
+  ProcessId await_leader(int deadline_s) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadline_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (std::uint32_t node = 0; node < 3; ++node) {
+        try {
+          net::Client c;
+          connect(c, node, 5);
+          const auto r = c.leader(kGid);
+          if (r.ok() && r.view.leader != kNoProcess) return r.view.leader;
+        } catch (const net::NetError&) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return kNoProcess;
+  }
+
+ private:
+  NodeTopology topo_;
+  std::vector<pid_t> pids_;
+};
+
+TEST(TraceScrape, AppendChainsStitchAcrossProcesses) {
+  Cluster cluster;
+
+  const ProcessId leader = cluster.await_leader(120);
+  ASSERT_NE(leader, kNoProcess);
+  const std::uint32_t leader_node = cluster.topo().node_of(leader);
+  const std::uint32_t follower_node = (leader_node + 1) % 3;
+
+  // Serial appends through the leader: each one mints a fresh trace id
+  // and, being alone in its batch, lands as both first AND last id of
+  // the sealed slot — every batch event joins it.
+  constexpr std::uint64_t kAppends = 20;
+  std::vector<std::uint64_t> minted;
+  {
+    net::Client c;
+    cluster.connect(c, leader_node);
+    for (std::uint64_t i = 0; i < kAppends; ++i) {
+      const auto r =
+          c.append_retry(kGid, /*client=*/6, /*seq=*/1 + i, 800 + i, 15000);
+      ASSERT_TRUE(r.ok()) << "append " << i << " status "
+                          << static_cast<int>(r.status);
+      EXPECT_NE(r.trace, 0u) << "v1.4 ack must echo the minted trace id";
+      EXPECT_EQ(r.trace, c.last_trace_id());
+      minted.push_back(r.trace);
+    }
+  }
+
+  // Give the mirror + follower apply a moment to drain, then scrape the
+  // leader and one follower over the wire (paged v1.4 TRACE_DUMP).
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  std::vector<obs::NodeTrace> nodes;
+  for (const std::uint32_t node : {leader_node, follower_node}) {
+    net::Client c;
+    cluster.connect(c, node);
+    net::Client::TraceDumpResult d = c.trace_dump();
+    ASSERT_EQ(d.status, net::Status::kOk) << "node " << node;
+    EXPECT_FALSE(d.records.empty()) << "node " << node;
+    nodes.push_back(
+        obs::NodeTrace{node, d.realtime_offset_ns, std::move(d.records)});
+  }
+
+  const std::vector<obs::StitchedTrace> traces = obs::stitch(nodes);
+  ASSERT_FALSE(traces.empty());
+
+  // At least one minted id must stitch into a cross-process chain:
+  // enqueue + seal + decide + apply on the leader, apply on the
+  // follower, hops in monotone wall-clock order.
+  std::uint64_t cross_process = 0;
+  for (const auto& t : traces) {
+    // Every stitched trace is internally ordered by wall clock.
+    for (std::size_t i = 1; i < t.hops.size(); ++i) {
+      EXPECT_GE(t.hops[i].wall_ns, t.hops[i - 1].wall_ns);
+    }
+    bool is_minted = false;
+    for (const std::uint64_t id : minted) is_minted |= id == t.trace_id;
+    if (!is_minted) continue;
+    const obs::TraceHop* enq =
+        obs::find_hop(t, obs::TraceEvent::kAppendEnqueue, leader_node);
+    if (enq == nullptr) continue;
+    const bool leader_chain =
+        obs::hop_ns(t, obs::TraceEvent::kAppendEnqueue,
+                    obs::TraceEvent::kBatchSeal, leader_node,
+                    leader_node) >= 0 &&
+        obs::hop_ns(t, obs::TraceEvent::kBatchSeal,
+                    obs::TraceEvent::kSlotDecide, leader_node,
+                    leader_node) >= 0 &&
+        obs::hop_ns(t, obs::TraceEvent::kSlotDecide,
+                    obs::TraceEvent::kBatchApply, leader_node,
+                    leader_node) >= 0;
+    const obs::TraceHop* remote_apply =
+        obs::find_hop(t, obs::TraceEvent::kBatchApply, follower_node);
+    if (leader_chain && remote_apply != nullptr) {
+      ++cross_process;
+      // The follower's apply is causally after the leader's enqueue;
+      // the wall-clock anchors must keep that order across processes.
+      EXPECT_GE(remote_apply->wall_ns, enq->wall_ns)
+          << "trace " << t.trace_id
+          << ": follower apply placed before the leader enqueue";
+    }
+  }
+  EXPECT_GE(cross_process, 1u)
+      << "no minted append stitched leader chain + follower apply across "
+         "the process boundary";
+}
+
+}  // namespace
+}  // namespace omega::smr

@@ -23,17 +23,23 @@ class VecSource final : public BatchSource {
       : q_(cmds.begin(), cmds.end()) {}
 
   std::uint32_t pull(std::uint32_t max, std::vector<std::uint64_t>& out,
-                     std::uint64_t& ticket) override {
+                     std::uint64_t& ticket,
+                     std::vector<std::uint64_t>& traces) override {
     ticket = ++next_ticket_;
     std::uint32_t granted = 0;
     while (granted < max && !q_.empty()) {
       out.push_back(q_.front());
+      traces.push_back(q_.front() + kTraceBias);
       q_.pop_front();
       ++granted;
     }
     if (granted > 0) grants_.push_back(granted);
     return granted;
   }
+
+  /// Scripted trace id per command: command + kTraceBias, so tests can
+  /// assert the id survives the spill ring alongside its command.
+  static constexpr std::uint64_t kTraceBias = 0x7700000000000000ULL;
 
   std::size_t left() const { return q_.size(); }
   const std::vector<std::uint32_t>& grants() const { return grants_; }

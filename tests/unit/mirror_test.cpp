@@ -150,7 +150,7 @@ class ObserverHost final : public PumpHost {
 class NullSource final : public BatchSource {
  public:
   std::uint32_t pull(std::uint32_t, std::vector<std::uint64_t>&,
-                     std::uint64_t&) override {
+                     std::uint64_t&, std::vector<std::uint64_t>&) override {
     return 0;
   }
 };

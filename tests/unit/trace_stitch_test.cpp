@@ -1,0 +1,124 @@
+// Trace stitching (obs/trace_stitch.h): cross-node join by trace id,
+// wall-clock placement via per-node realtime offsets, first/last batch
+// tagging, hop lookups, and the rendered timeline.
+#include "obs/trace_stitch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace omega::obs {
+namespace {
+
+TraceRecord rec(std::uint64_t ts, TraceEvent ev, std::uint64_t lo,
+                std::uint64_t hi, std::uint32_t thread = 0) {
+  TraceRecord r;
+  r.ts_ns = ts;
+  r.thread = thread;
+  r.ev = ev;
+  r.a = 1;
+  r.b = 2;
+  r.trace_lo = lo;
+  r.trace_hi = hi;
+  return r;
+}
+
+TEST(TraceStitch, JoinsAcrossNodesOnOneWallClock) {
+  // Node 0 (leader) and node 1 (follower) run on different steady
+  // clocks; the per-node realtime offset places both on one wall axis.
+  NodeTrace leader;
+  leader.node = 0;
+  leader.realtime_offset_ns = 1000000;
+  leader.records.push_back(rec(100, TraceEvent::kAppendEnqueue, 0xA, 0));
+  leader.records.push_back(rec(300, TraceEvent::kBatchSeal, 0xA, 0xA));
+  NodeTrace follower;
+  follower.node = 1;
+  follower.realtime_offset_ns = 500000;  // steady clock 500us ahead
+  follower.records.push_back(rec(500900, TraceEvent::kBatchApply, 0xA, 0xA));
+
+  const auto traces = stitch({leader, follower});
+  ASSERT_EQ(traces.size(), 1u);
+  const StitchedTrace& t = traces[0];
+  EXPECT_EQ(t.trace_id, 0xAu);
+  ASSERT_EQ(t.hops.size(), 3u);
+  // Wall order: enqueue (1000100), seal (1000300), follower apply
+  // (1000900) — the apply's raw steady ts is far earlier than either.
+  EXPECT_EQ(t.hops[0].ev, TraceEvent::kAppendEnqueue);
+  EXPECT_EQ(t.hops[0].wall_ns, 1000100);
+  EXPECT_EQ(t.hops[1].ev, TraceEvent::kBatchSeal);
+  EXPECT_EQ(t.hops[2].ev, TraceEvent::kBatchApply);
+  EXPECT_EQ(t.hops[2].node, 1u);
+  EXPECT_EQ(t.hops[2].wall_ns, 1000900);
+
+  EXPECT_EQ(hop_ns(t, TraceEvent::kAppendEnqueue, TraceEvent::kBatchSeal),
+            200);
+  EXPECT_EQ(hop_ns(t, TraceEvent::kAppendEnqueue, TraceEvent::kBatchApply,
+                   /*from_node=*/0, /*to_node=*/1),
+            800);
+  EXPECT_EQ(hop_ns(t, TraceEvent::kBatchSeal, TraceEvent::kSlotDecide), -1)
+      << "a missing hop reports -1, not a bogus delta";
+}
+
+TEST(TraceStitch, BatchEventsJoinFirstAndLastId) {
+  // A sealed batch tags trace_lo = first id, trace_hi = last id: both
+  // requests join the seal, a mid-batch id does not.
+  NodeTrace n;
+  n.node = 0;
+  n.records.push_back(rec(10, TraceEvent::kAppendEnqueue, 0x1, 0));
+  n.records.push_back(rec(11, TraceEvent::kAppendEnqueue, 0x2, 0));
+  n.records.push_back(rec(12, TraceEvent::kAppendEnqueue, 0x3, 0));
+  n.records.push_back(rec(20, TraceEvent::kBatchSeal, 0x1, 0x3));
+  const auto traces = stitch({n});
+  ASSERT_EQ(traces.size(), 3u);
+  for (const auto& t : traces) {
+    const bool edge = t.trace_id == 0x1 || t.trace_id == 0x3;
+    EXPECT_EQ(find_hop(t, TraceEvent::kBatchSeal) != nullptr, edge)
+        << "trace " << t.trace_id;
+    EXPECT_NE(find_hop(t, TraceEvent::kAppendEnqueue), nullptr);
+  }
+}
+
+TEST(TraceStitch, UntracedRecordsAndIdZeroAreSkipped) {
+  NodeTrace n;
+  n.node = 0;
+  n.records.push_back(rec(10, TraceEvent::kAckFlush, 0, 0));
+  n.records.push_back(rec(11, TraceEvent::kEpochChange, 0, 0));
+  EXPECT_TRUE(stitch({n}).empty());
+}
+
+TEST(TraceStitch, TracesSortByFirstHopAndFindHopFiltersByNode) {
+  NodeTrace a;
+  a.node = 0;
+  a.records.push_back(rec(200, TraceEvent::kAppendEnqueue, 0xB, 0));
+  a.records.push_back(rec(100, TraceEvent::kAppendEnqueue, 0xC, 0));
+  NodeTrace b;
+  b.node = 1;
+  b.records.push_back(rec(300, TraceEvent::kBatchApply, 0xB, 0xB));
+  const auto traces = stitch({a, b});
+  ASSERT_EQ(traces.size(), 2u);
+  EXPECT_EQ(traces[0].trace_id, 0xCu) << "earliest first hop sorts first";
+  EXPECT_EQ(traces[1].trace_id, 0xBu);
+  EXPECT_EQ(find_hop(traces[1], TraceEvent::kBatchApply, /*node=*/0),
+            nullptr);
+  const TraceHop* h = find_hop(traces[1], TraceEvent::kBatchApply, 1);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->node, 1u);
+}
+
+TEST(TraceStitch, RenderNamesEventsAndOffsetsFromFirstHop) {
+  NodeTrace n;
+  n.node = 2;
+  n.realtime_offset_ns = 0;
+  n.records.push_back(rec(1000, TraceEvent::kAppendEnqueue, 0xF1, 0, 7));
+  n.records.push_back(rec(4500, TraceEvent::kBatchSeal, 0xF1, 0xF1, 8));
+  const std::string out = render_stitched(stitch({n}));
+  EXPECT_NE(out.find("00000000000000f1"), std::string::npos);
+  EXPECT_NE(out.find("append_enqueue"), std::string::npos);
+  EXPECT_NE(out.find("batch_seal"), std::string::npos);
+  EXPECT_NE(out.find("n2"), std::string::npos);
+  EXPECT_NE(out.find("t7"), std::string::npos);
+  EXPECT_NE(out.find("+       0us"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omega::obs

@@ -32,7 +32,8 @@ struct HubRig {
           epoch_hits[loop].fetch_add(1, std::memory_order_relaxed);
         },
         [this](std::uint32_t loop, svc::GroupId, std::uint64_t,
-               const std::vector<std::uint64_t>& values) {
+               const std::vector<std::uint64_t>& values,
+               const std::vector<std::uint64_t>&) {
           commit_hits[loop].fetch_add(values.size(),
                                       std::memory_order_relaxed);
         });
