@@ -40,12 +40,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "harness.h"
 #include "net/client.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "obs/trace_stitch.h"
 #include "smr/node.h"
@@ -553,6 +555,73 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- phase C0: v1.5 HEALTH poller on a survivor. -------------------------
+  // A thread polls HEALTH on a node that outlives the SIGKILL at ~100ms.
+  // The acceptance gate is the verdict arc kOk -> kDegraded -> kOk: the
+  // survivor's leader-churn rule fires when the election replaces the
+  // killed leader, and the hysteresis clears it once the new epoch holds.
+  const std::uint32_t health_node = (leader_node + 1) % kNodes;
+  struct HealthObs {
+    std::int64_t ns = 0;
+    std::uint8_t overall = 0;
+    std::string firing;
+  };
+  std::vector<HealthObs> health_log;
+  std::mutex health_mu;
+  std::atomic<bool> health_stop{false};
+  {
+    // The load phase just ended: wait for the baseline kOk before the
+    // kill, so the degraded window below is attributable to the failover.
+    bool baseline_ok = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    net::Client hc;
+    connect_retry(cluster, hc, health_node, 30);
+    while (!baseline_ok && std::chrono::steady_clock::now() < deadline) {
+      try {
+        const auto h = hc.health();
+        if (h.ok() && h.overall == 0) {
+          baseline_ok = true;
+          break;
+        }
+      } catch (const net::NetError&) {
+        hc.close();
+        connect_retry(cluster, hc, health_node, 10);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    verdict.expect(baseline_ok,
+                   "the survivor must report HEALTH ok before the kill");
+  }
+  std::thread health_poller([&] {
+    net::Client hc;
+    bool connected = false;
+    while (!health_stop.load(std::memory_order_relaxed)) {
+      try {
+        if (!connected) {
+          connect_retry(cluster, hc, health_node, 10);
+          connected = true;
+        }
+        const auto h = hc.health();
+        if (h.ok()) {
+          HealthObs obs;
+          obs.ns = wall_ns();
+          obs.overall = h.overall;
+          for (const net::HealthRuleWire& r : h.firing) {
+            if (!obs.firing.empty()) obs.firing += "; ";
+            obs.firing += r.name + ": " + r.reason;
+          }
+          std::lock_guard<std::mutex> lk(health_mu);
+          health_log.push_back(std::move(obs));
+        }
+      } catch (const net::NetError&) {
+        hc.close();
+        connected = false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
   // --- phase C: SIGKILL the leader process. --------------------------------
   std::cout << "\n  SIGKILL node " << leader_node << " (replica " << leader
             << ") ...\n";
@@ -657,6 +726,77 @@ int main(int argc, char** argv) {
   verdict.expect(common > load.committed,
                  "the shared log must cover the pre-crash commits");
   json.set("survivor_log_len", static_cast<std::uint64_t>(common));
+
+  // --- phase D2: the HEALTH verdict arc across the failover. ---------------
+  // Keep polling until the survivor publishes ok again (the leader-churn
+  // window is 5s plus recover_after ticks), then gate on the full
+  // kOk -> kDegraded -> kOk arc and archive the timeline for CI.
+  {
+    bool saw_degraded = false;
+    bool saw_recovered = false;
+    const auto scan = [&] {
+      saw_degraded = false;
+      saw_recovered = false;
+      std::lock_guard<std::mutex> lk(health_mu);
+      for (const HealthObs& o : health_log) {
+        if (o.ns < crash_t0) continue;
+        if (o.overall >= 1) saw_degraded = true;
+        if (saw_degraded && o.overall == 0) saw_recovered = true;
+      }
+    };
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      scan();
+      if (saw_recovered || std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+    health_stop.store(true, std::memory_order_relaxed);
+    health_poller.join();
+    scan();
+    verdict.expect(saw_degraded,
+                   "the failover must surface as a degraded HEALTH verdict "
+                   "on the surviving node");
+    verdict.expect(saw_recovered,
+                   "the HEALTH verdict must recover to ok once the new "
+                   "epoch holds");
+    std::int64_t degraded_ms = -1;
+    std::int64_t recovered_ms = -1;
+    {
+      std::lock_guard<std::mutex> lk(health_mu);
+      bool past_degraded = false;
+      for (const HealthObs& o : health_log) {
+        if (o.ns < crash_t0) continue;
+        if (o.overall >= 1) {
+          if (degraded_ms < 0) degraded_ms = (o.ns - crash_t0) / 1000000;
+          past_degraded = true;
+        } else if (past_degraded && recovered_ms < 0) {
+          recovered_ms = (o.ns - crash_t0) / 1000000;
+        }
+      }
+      const std::string health_path = trace_dir + "/HEALTH_e16.txt";
+      std::ofstream out(health_path);
+      if (out) {
+        out << "# v1.5 HEALTH timeline, node " << health_node
+            << ", t=0 at SIGKILL of node " << leader_node << "\n"
+            << "# ms_since_kill verdict firing\n";
+        for (const HealthObs& o : health_log) {
+          out << (o.ns - crash_t0) / 1000000 << ' '
+              << obs::health_name(static_cast<obs::Health>(
+                     std::min<std::uint8_t>(o.overall, 2)))
+              << ' ' << (o.firing.empty() ? "-" : o.firing) << '\n';
+        }
+        std::cout << "  health timeline: " << health_path << '\n';
+      }
+      std::cout << "  health arc: ok -> degraded after " << degraded_ms
+                << " ms -> ok after " << recovered_ms << " ms ("
+                << health_log.size() << " polls)\n";
+    }
+    json.set("health_degraded_ms", degraded_ms);
+    json.set("health_recovered_ms", recovered_ms);
+  }
 
   // --- phase E: scrape v1.3 METRICS off a survivor. ------------------------
   // The stage histograms cross the wire here (paged METRICS frames), not

@@ -4,6 +4,8 @@
 //   $ ./example_omega_top HOST:PORT [...]       # watch a running cluster
 //   $ ./example_omega_top --once HOST:PORT      # one snapshot, no refresh
 //   $ ./example_omega_top trace HOST:PORT [...] # stitch causal traces
+//   $ ./example_omega_top live HOST:PORT [...]  # v1.5 streamed dashboard
+//   $ ./example_omega_top health HOST:PORT [..] # health verdicts, exit code
 //
 // Each refresh scrapes every endpoint's metric registry (paged METRICS
 // requests, merged by net::Client::metrics()) and renders one row per
@@ -18,6 +20,14 @@
 // enqueue on the leader, seal/decide/apply, mirror push, follower apply,
 // commit fan-out — on one wall-clock timeline, with a per-hop latency
 // summary at the end.
+//
+// The `live` mode subscribes to each endpoint's sampler stream (v1.5
+// METRICS_WATCH): the server pushes every ~250ms tick as METRICS_EVENT
+// pages, so the dashboard refreshes without polling, carries the node's
+// health verdict as a banner, and draws sparklines from the streamed
+// history. The `health` mode does one HEALTH round-trip per endpoint and
+// exits with the worst verdict (0 ok, 1 degraded, 2 critical/unreachable)
+// — cron/CI can gate on it.
 //
 // With no endpoints, the example forks the three-process SmrNode cluster
 // of example_multi_node_smr, drives a background append load at the
@@ -39,8 +49,12 @@
 #include <thread>
 #include <vector>
 
+#include <deque>
+#include <memory>
+
 #include "common/table.h"
 #include "net/client.h"
+#include "obs/health.h"
 #include "obs/trace_stitch.h"
 #include "smr/node.h"
 
@@ -224,6 +238,195 @@ int run_trace_stitch(const std::vector<Endpoint>& eps) {
   return 0;
 }
 
+// --- health mode (v1.5 HEALTH) ---------------------------------------------
+
+/// One HEALTH round-trip per endpoint; the exit code is the worst verdict
+/// seen (unreachable/refused counts as critical) so cron jobs and CI
+/// smoke steps can gate on `omega_top health ...` directly.
+int run_health(const std::vector<Endpoint>& eps) {
+  int worst = 0;
+  AsciiTable table({"node", "health", "ticks", "rules", "firing"});
+  for (std::size_t i = 0; i < eps.size(); ++i) {
+    const std::string label =
+        eps[i].host + ":" + std::to_string(eps[i].port);
+    net::Client c;
+    try {
+      c.connect(eps[i].host, eps[i].port, 2000);
+      const net::Client::HealthResult h = c.health();
+      if (!h.ok()) {
+        table.add_row({label, "(no sampler)", "-", "-", "-"});
+        worst = std::max(worst, 2);
+        continue;
+      }
+      const auto overall = static_cast<obs::Health>(h.overall);
+      std::string firing = "-";
+      if (!h.firing.empty()) {
+        firing.clear();
+        for (const net::HealthRuleWire& r : h.firing) {
+          if (!firing.empty()) firing += "; ";
+          firing += r.name + ": " + r.reason;
+        }
+      }
+      table.add_row({label, obs::health_name(overall),
+                     std::to_string(h.ticks),
+                     std::to_string(h.firing.size()) + "/" +
+                         std::to_string(h.rules_total),
+                     firing});
+      worst = std::max(worst, std::min<int>(h.overall, 2));
+    } catch (const net::NetError& e) {
+      table.add_row({label, "(down)", "-", "-", e.what()});
+      worst = std::max(worst, 2);
+    }
+  }
+  std::cout << table.render() << std::flush;
+  return worst;
+}
+
+// --- live mode (v1.5 METRICS_WATCH stream) ---------------------------------
+
+/// Client-side state for one streamed endpoint: the subscription plus
+/// enough history for the derived-rate column and the sparklines.
+struct LiveFeed {
+  Endpoint ep;
+  std::unique_ptr<net::Client> client;
+  bool up = false;
+  std::uint32_t period_ms = 250;
+  std::uint64_t tick = 0;
+  std::uint8_t health = 0;
+  std::vector<obs::MetricSample> samples;
+  std::uint64_t last_tick = 0;
+  std::int64_t last_appends = -1;
+  std::deque<double> rate_hist;
+  std::deque<double> queue_hist;
+};
+
+constexpr std::size_t kSparkWidth = 24;
+
+std::int64_t feed_value(const LiveFeed& f, const std::string& name) {
+  for (const obs::MetricSample& m : f.samples) {
+    if (m.name == name) return m.value;
+  }
+  return 0;
+}
+
+/// Renders `v` as a unicode sparkline scaled to its own min..max window.
+std::string sparkline(const std::deque<double>& v) {
+  static const char* kBars[] = {"▁", "▂", "▃", "▄", "▅", "▆", "▇", "█"};
+  if (v.empty()) return "-";
+  double lo = v.front(), hi = v.front();
+  for (const double x : v) {
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+  }
+  std::string out;
+  for (const double x : v) {
+    const std::size_t idx =
+        hi > lo ? static_cast<std::size_t>((x - lo) / (hi - lo) * 7.0 + 0.5)
+                : 0;
+    out += kBars[std::min<std::size_t>(idx, 7)];
+  }
+  return out;
+}
+
+void push_hist(std::deque<double>& h, double v) {
+  h.push_back(v);
+  while (h.size() > kSparkWidth) h.pop_front();
+}
+
+/// Applies one complete sampler tick to the feed's derived history.
+void apply_tick(LiveFeed& f, const net::Client::Event& e) {
+  f.samples = e.samples;
+  f.health = e.health;
+  const std::int64_t appends = feed_value(f, "net.frames.append");
+  if (f.last_appends >= 0 && e.tick > f.last_tick && f.period_ms > 0) {
+    const double secs = static_cast<double>(e.tick - f.last_tick) *
+                        static_cast<double>(f.period_ms) / 1000.0;
+    push_hist(f.rate_hist,
+              static_cast<double>(appends - f.last_appends) / secs);
+  }
+  f.last_appends = appends;
+  f.last_tick = e.tick;
+  f.tick = e.tick;
+  push_hist(f.queue_hist,
+            static_cast<double>(feed_value(f, "smr.queue_pending")));
+}
+
+/// Streams every endpoint's sampler ticks and redraws after each sweep.
+/// No polling: the data arrives as METRICS_EVENT pushes at the server's
+/// own sample cadence.
+int run_live(const std::vector<Endpoint>& eps, int rounds) {
+  std::vector<LiveFeed> feeds;
+  for (const Endpoint& ep : eps) feeds.push_back(LiveFeed{ep});
+  for (int round = 0; rounds == 0 || round < rounds; ++round) {
+    for (LiveFeed& f : feeds) {
+      if (!f.up) {
+        try {
+          f.client = std::make_unique<net::Client>();
+          f.client->connect(f.ep.host, f.ep.port, 1000);
+          const auto w = f.client->metrics_watch();
+          if (!w.ok()) continue;  // pre-v1.5 server or sampler off
+          f.period_ms = w.period_ms;
+          f.up = true;
+          f.last_appends = -1;
+        } catch (const net::NetError&) {
+          continue;
+        }
+      }
+      try {
+        // Wait for one fresh tick, then drain whatever else queued so a
+        // slow terminal never falls behind the stream.
+        bool got = false;
+        while (auto e = f.client->next_event(got ? 0 : 600)) {
+          if (e->kind == net::Client::Event::Kind::kMetricsTick) {
+            apply_tick(f, *e);
+            got = true;
+          }
+        }
+      } catch (const net::NetError&) {
+        f.up = false;
+      }
+    }
+    // Overall banner: the worst streamed verdict this sweep.
+    int worst = -1;
+    for (const LiveFeed& f : feeds) {
+      worst = std::max(worst, f.up ? static_cast<int>(f.health) : 2);
+    }
+    std::cout << "\x1b[2J\x1b[H";
+    std::cout << "health: "
+              << (worst < 0 ? "(no feed)"
+                            : obs::health_name(static_cast<obs::Health>(
+                                  std::min(worst, 2))))
+              << "   (streamed, period " << feeds[0].period_ms << "ms)\n";
+    AsciiTable table({"node", "health", "tick", "app/s", "rate",
+                      "queue", "depth", "push-lag us"});
+    for (LiveFeed& f : feeds) {
+      const std::string label =
+          f.ep.host + ":" + std::to_string(f.ep.port);
+      if (!f.up) {
+        table.add_row({label, "(down)", "-", "-", "-", "-", "-", "-"});
+        continue;
+      }
+      const double rate = f.rate_hist.empty() ? 0.0 : f.rate_hist.back();
+      std::string lag = "-";
+      for (const obs::MetricSample& m : f.samples) {
+        if (m.name == "mirror.push_lag_ns" && m.value > 0) {
+          lag = fmt_us(static_cast<double>(m.quantile(0.99)));
+        }
+      }
+      table.add_row(
+          {label,
+           obs::health_name(static_cast<obs::Health>(f.health)),
+           std::to_string(f.tick),
+           std::to_string(static_cast<std::int64_t>(rate)),
+           sparkline(f.rate_hist),
+           std::to_string(feed_value(f, "smr.queue_pending")),
+           sparkline(f.queue_hist), lag});
+    }
+    std::cout << table.render() << std::flush;
+  }
+  return 0;
+}
+
 // --- self-hosted demo cluster (no endpoints given) -------------------------
 
 std::uint16_t pick_free_port() {
@@ -302,6 +505,8 @@ void append_load(const smr::NodeTopology& topo, std::atomic<bool>& stop) {
 int main(int argc, char** argv) {
   bool once = false;
   bool trace_mode = false;
+  bool live_mode = false;
+  bool health_mode = false;
   int interval_ms = 1000;
   int rounds = 0;  // 0 = forever (demo mode overrides to a few)
   std::vector<Endpoint> eps;
@@ -311,6 +516,10 @@ int main(int argc, char** argv) {
       once = true;
     } else if (arg == "trace") {
       trace_mode = true;
+    } else if (arg == "live") {
+      live_mode = true;
+    } else if (arg == "health") {
+      health_mode = true;
     } else if (arg == "--interval" && i + 1 < argc) {
       interval_ms = std::atoi(argv[++i]);
     } else if (arg == "--rounds" && i + 1 < argc) {
@@ -319,8 +528,8 @@ int main(int argc, char** argv) {
       const auto colon = arg.rfind(':');
       if (colon == std::string::npos) {
         std::cerr << "usage: " << argv[0]
-                  << " [trace] [--once] [--interval MS] [--rounds N] "
-                     "[HOST:PORT ...]\n";
+                  << " [trace|live|health] [--once] [--interval MS] "
+                     "[--rounds N] [HOST:PORT ...]\n";
         return 2;
       }
       eps.push_back(Endpoint{
@@ -358,6 +567,12 @@ int main(int argc, char** argv) {
     // Let the demo load generate some traced appends before scraping.
     if (demo) std::this_thread::sleep_for(std::chrono::seconds(3));
     rc = run_trace_stitch(eps);
+  } else if (health_mode) {
+    // Give the demo's samplers a couple of ticks before judging.
+    if (demo) std::this_thread::sleep_for(std::chrono::seconds(2));
+    rc = run_health(eps);
+  } else if (live_mode) {
+    rc = run_live(eps, once ? 1 : rounds);
   } else {
     std::vector<std::int64_t> prev_appends;
     const double interval_s = interval_ms / 1000.0;

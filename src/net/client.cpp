@@ -61,6 +61,10 @@ void Client::close() {
   events_.clear();
   outstanding_appends_.clear();
   done_appends_.clear();
+  // A tick half-assembled when the stream died can never complete; the
+  // subscription flag itself survives for resubscribe().
+  pending_tick_open_ = false;
+  pending_samples_.clear();
   next_req_id_ = 1;
 }
 
@@ -159,6 +163,12 @@ void Client::resubscribe(int response_timeout_ms) {
     encode_request(out_, MsgType::kCommitWatch, id, gid);
     (void)call_encoded(MsgType::kCommitWatch, id, remaining_ms());
   }
+  if (metrics_watched_) {
+    const std::uint64_t id = next_req_id_++;
+    out_.clear();
+    encode_request(out_, MsgType::kMetricsWatch, id, std::nullopt);
+    (void)call_encoded(MsgType::kMetricsWatch, id, remaining_ms());
+  }
 }
 
 void Client::enable_auto_reconnect(RetryPolicy policy) {
@@ -245,6 +255,29 @@ bool Client::queue_event(const Frame& f) {
     e.index = f.commit.index;
     e.value = f.commit.value;
     e.trace = f.commit.trace;
+  } else if (f.header.type == MsgType::kMetricsEvent) {
+    // One sampler tick arrives as 1..n pages sharing a tick number; only
+    // a complete tick becomes an event. A page whose head we never saw
+    // (subscribed mid-tick, or the head fell to the event-queue cap on
+    // the server) is swallowed — the next tick starts clean at start=0.
+    const MetricsEventBody& p = f.metrics_event;
+    if (p.start == 0) {
+      pending_tick_open_ = true;
+      pending_tick_ = p.tick;
+      pending_health_ = p.health;
+      pending_samples_.clear();
+    } else if (!pending_tick_open_ || p.tick != pending_tick_) {
+      return true;
+    }
+    pending_samples_.insert(pending_samples_.end(), p.metrics.begin(),
+                            p.metrics.end());
+    if (p.start + p.metrics.size() < p.total) return true;
+    pending_tick_open_ = false;
+    e.kind = Event::Kind::kMetricsTick;
+    e.tick = pending_tick_;
+    e.health = pending_health_;
+    e.samples = std::move(pending_samples_);
+    pending_samples_.clear();
   } else {
     return false;
   }
@@ -591,6 +624,7 @@ Client::MetricsResult Client::metrics() {
     if (f.header.status != Status::kOk) return r;
     if (!f.has_metrics_resp) throw NetError("metrics response without body");
     const MetricsRespBody& page = f.metrics_resp;
+    r.node = page.node;
     for (const obs::MetricSample& m : page.metrics) {
       const auto [it, fresh] = by_name.emplace(m.name, r.metrics.size());
       if (fresh) {
@@ -651,6 +685,29 @@ Client::TraceDumpResult Client::trace_dump() {
                     return as_tuple(x) == as_tuple(y);
                   }),
       r.records.end());
+  return r;
+}
+
+Client::HealthResult Client::health() {
+  const Frame f = call(MsgType::kHealth, std::nullopt);
+  HealthResult r;
+  r.status = f.header.status;
+  if (f.header.status != Status::kOk) return r;
+  if (!f.has_health_resp) throw NetError("health response without body");
+  r.overall = f.health_resp.overall;
+  r.ticks = f.health_resp.ticks;
+  r.rules_total = f.health_resp.rules_total;
+  r.firing = f.health_resp.firing;
+  return r;
+}
+
+Client::MetricsWatchResult Client::metrics_watch() {
+  const Frame f = call(MsgType::kMetricsWatch, std::nullopt);
+  MetricsWatchResult r;
+  r.status = f.header.status;
+  if (f.header.status != Status::kOk) return r;
+  r.period_ms = f.metrics_watch.period_ms;
+  metrics_watched_ = true;
   return r;
 }
 

@@ -83,18 +83,23 @@ class Client {
     bool ok() const noexcept { return status == Status::kOk; }
   };
 
-  /// One server push: an epoch transition (kLeaderChange, `view` valid)
-  /// or an applied log entry (kCommit, `index`/`value` valid; `trace` is
+  /// One server push: an epoch transition (kLeaderChange, `view` valid),
+  /// an applied log entry (kCommit, `index`/`value` valid; `trace` is
   /// the originating append's v1.4 trace id, 0 when untraced or pushed
-  /// by a pre-v1.4 server).
+  /// by a pre-v1.4 server), or one complete sampler tick (kMetricsTick,
+  /// `tick`/`health`/`samples` valid — multi-page METRICS_EVENT pushes
+  /// are reassembled here and surface as one event per tick).
   struct Event {
-    enum class Kind : std::uint8_t { kLeaderChange, kCommit };
+    enum class Kind : std::uint8_t { kLeaderChange, kCommit, kMetricsTick };
     Kind kind = Kind::kLeaderChange;
     svc::GroupId gid = 0;
     svc::LeaderView view;
     std::uint64_t index = 0;
     std::uint64_t value = 0;
     std::uint64_t trace = 0;
+    std::uint64_t tick = 0;   ///< sampler tick number
+    std::uint8_t health = 0;  ///< obs::Health of the overall verdict
+    std::vector<obs::MetricSample> samples;  ///< the tick's full scrape
   };
 
   /// A decoded APPEND answer.
@@ -239,6 +244,10 @@ class Client {
   /// A complete METRICS scrape (all pages merged).
   struct MetricsResult {
     Status status = Status::kOk;
+    /// The serving node's identity (v1.5 trailer); kNoNodeId from
+    /// single-node servers and pre-v1.5 peers. Lets a scraper that
+    /// merges several endpoints label each sample set.
+    std::uint32_t node = kNoNodeId;
     std::vector<obs::MetricSample> metrics;
 
     bool ok() const noexcept { return status == Status::kOk; }
@@ -267,6 +276,34 @@ class Client {
   /// covered. Records the rings churned out between pages surface as
   /// duplicates and are dropped here; the result is sorted oldest-first.
   TraceDumpResult trace_dump();
+
+  /// The server's health verdict as of its last sampler tick (v1.5).
+  struct HealthResult {
+    Status status = Status::kOk;
+    std::uint8_t overall = 0;     ///< obs::Health value
+    std::uint64_t ticks = 0;      ///< sampler evaluations so far
+    std::uint8_t rules_total = 0; ///< registered rules
+    std::vector<HealthRuleWire> firing;  ///< non-ok rules with reasons
+
+    bool ok() const noexcept { return status == Status::kOk; }
+  };
+
+  /// One HEALTH round-trip. kUnsupported from servers running without a
+  /// sampler (and pre-v1.5 servers).
+  HealthResult health();
+
+  /// METRICS_WATCH answer: the sampler period the pushes will arrive at.
+  struct MetricsWatchResult {
+    Status status = Status::kOk;
+    std::uint32_t period_ms = 0;
+
+    bool ok() const noexcept { return status == Status::kOk; }
+  };
+
+  /// Subscribes this connection to the server's sampler stream: every
+  /// tick arrives as a kMetricsTick event via next_event(). Re-issued
+  /// automatically after a reconnect, like the other subscriptions.
+  MetricsWatchResult metrics_watch();
 
   /// Returns the next pushed event, waiting up to `timeout_ms` (0 = only
   /// drain already-received frames). nullopt on timeout.
@@ -321,6 +358,15 @@ class Client {
   /// Live subscriptions, by channel — re-issued after every reconnect.
   std::unordered_set<svc::GroupId> watched_gids_;
   std::unordered_set<svc::GroupId> commit_watched_gids_;
+  bool metrics_watched_ = false;
+  /// METRICS_EVENT tick reassembly: pages of the tick being collected.
+  /// A page for a different tick than the one in progress (head page
+  /// missed — subscribed mid-tick) is discarded; only complete ticks
+  /// surface as events.
+  std::uint64_t pending_tick_ = 0;
+  std::uint8_t pending_health_ = 0;
+  bool pending_tick_open_ = false;
+  std::vector<obs::MetricSample> pending_samples_;
 
   std::string host_;
   std::uint16_t port_ = 0;

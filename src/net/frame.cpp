@@ -57,6 +57,62 @@ void end_frame(std::vector<std::uint8_t>& out, std::size_t len_at) {
   out[len_at + 3] = static_cast<std::uint8_t>(payload_len >> 24);
 }
 
+/// Appends one metric record (the kMetrics/kMetricsEvent shared format).
+void put_metric_record(std::vector<std::uint8_t>& out,
+                       const obs::MetricSample& m) {
+  put_u8(out, static_cast<std::uint8_t>(m.kind));
+  // Truncating here would make the scraped name differ from the registry
+  // name (and let two long names collide into one record); the vocabulary
+  // is static, so a too-long name is a programming error.
+  OMEGA_CHECK(m.name.size() <= 255,
+              "metric name exceeds wire limit: " << m.name);
+  put_u8(out, static_cast<std::uint8_t>(m.name.size()));
+  out.insert(out.end(), m.name.begin(), m.name.end());
+  put_u64(out, static_cast<std::uint64_t>(m.value));
+  put_u64(out, m.sum);
+  OMEGA_CHECK(m.buckets.size() <= obs::kHistogramBuckets,
+              "metric " << m.name << " has " << m.buckets.size()
+                        << " buckets");
+  put_u8(out, static_cast<std::uint8_t>(m.buckets.size()));
+  for (const auto& [b, n] : m.buckets) {
+    put_u8(out, b);
+    put_u64(out, n);
+  }
+}
+
+/// Parses one metric record at `off`, advancing it. False = malformed.
+bool get_metric_record(const std::uint8_t* body, std::size_t body_len,
+                       std::size_t& off, obs::MetricSample& m) {
+  if (body_len < off + 2) return false;
+  m.kind = static_cast<obs::MetricSample::Kind>(body[off]);
+  const std::size_t name_len = body[off + 1];
+  off += 2;
+  if (body_len < off + name_len + 17) return false;
+  m.name.assign(reinterpret_cast<const char*>(body + off), name_len);
+  off += name_len;
+  m.value = static_cast<std::int64_t>(get_u64(body + off));
+  m.sum = get_u64(body + off + 8);
+  const std::size_t nbuckets = body[off + 16];
+  off += 17;
+  if (nbuckets > obs::kHistogramBuckets ||
+      body_len < off + nbuckets * 9) {
+    return false;
+  }
+  m.buckets.reserve(nbuckets);
+  for (std::size_t b = 0; b < nbuckets; ++b) {
+    m.buckets.emplace_back(body[off], get_u64(body + off + 1));
+    off += 9;
+  }
+  return true;
+}
+
+/// Appends a u8-length-prefixed string, truncated at 255 bytes.
+void put_short_string(std::vector<std::uint8_t>& out, const std::string& s) {
+  const std::size_t n = std::min<std::size_t>(s.size(), 255);
+  put_u8(out, static_cast<std::uint8_t>(n));
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
 }  // namespace
 
 void encode_request(std::vector<std::uint8_t>& out, MsgType type,
@@ -243,26 +299,9 @@ void encode_metrics_response(std::vector<std::uint8_t>& out, Status status,
   put_u32(out, body.total);
   put_u32(out, body.start);
   put_u32(out, static_cast<std::uint32_t>(body.metrics.size()));
-  for (const obs::MetricSample& m : body.metrics) {
-    put_u8(out, static_cast<std::uint8_t>(m.kind));
-    // Truncating here would make the scraped name differ from the registry
-    // name (and let two long names collide into one record); the vocabulary
-    // is static, so a too-long name is a programming error.
-    OMEGA_CHECK(m.name.size() <= 255,
-                "metric name exceeds wire limit: " << m.name);
-    put_u8(out, static_cast<std::uint8_t>(m.name.size()));
-    out.insert(out.end(), m.name.begin(), m.name.end());
-    put_u64(out, static_cast<std::uint64_t>(m.value));
-    put_u64(out, m.sum);
-    OMEGA_CHECK(m.buckets.size() <= obs::kHistogramBuckets,
-                "metric " << m.name << " has " << m.buckets.size()
-                          << " buckets");
-    put_u8(out, static_cast<std::uint8_t>(m.buckets.size()));
-    for (const auto& [b, n] : m.buckets) {
-      put_u8(out, b);
-      put_u64(out, n);
-    }
-  }
+  for (const obs::MetricSample& m : body.metrics) put_metric_record(out, m);
+  // v1.5: node identity trails the records; v1.3 readers skip it.
+  put_u32(out, body.node);
   OMEGA_CHECK(out.size() - at - 4 <= kMaxPayloadBytes,
               "metrics page overflows the payload cap: "
                   << (out.size() - at - 4));
@@ -298,6 +337,53 @@ void encode_trace_dump_response(std::vector<std::uint8_t>& out,
   }
   OMEGA_CHECK(out.size() - at - 4 <= kMaxPayloadBytes,
               "trace page overflows the payload cap: "
+                  << (out.size() - at - 4));
+  end_frame(out, at);
+}
+
+void encode_health_response(std::vector<std::uint8_t>& out, Status status,
+                            std::uint64_t req_id,
+                            const HealthRespBody& body) {
+  OMEGA_CHECK(body.firing.size() <= 255,
+              "health response with " << body.firing.size() << " rules");
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kHealth, status, req_id});
+  put_u8(out, body.overall);
+  put_u64(out, body.ticks);
+  put_u8(out, body.rules_total);
+  put_u8(out, static_cast<std::uint8_t>(body.firing.size()));
+  for (const HealthRuleWire& r : body.firing) {
+    put_u8(out, r.status);
+    put_short_string(out, r.name);
+    put_short_string(out, r.reason);
+  }
+  OMEGA_CHECK(out.size() - at - 4 <= kMaxPayloadBytes,
+              "health frame overflows the payload cap: "
+                  << (out.size() - at - 4));
+  end_frame(out, at);
+}
+
+void encode_metrics_watch_response(std::vector<std::uint8_t>& out,
+                                   Status status, std::uint64_t req_id,
+                                   std::uint32_t period_ms) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{MsgType::kMetricsWatch, status, req_id});
+  put_u32(out, period_ms);
+  end_frame(out, at);
+}
+
+void encode_metrics_event(std::vector<std::uint8_t>& out,
+                          const MetricsEventBody& body) {
+  const std::size_t at = begin_frame(
+      out, FrameHeader{MsgType::kMetricsEvent, Status::kOk, /*req_id=*/0});
+  put_u64(out, body.tick);
+  put_u8(out, body.health);
+  put_u32(out, body.total);
+  put_u32(out, body.start);
+  put_u32(out, static_cast<std::uint32_t>(body.metrics.size()));
+  for (const obs::MetricSample& m : body.metrics) put_metric_record(out, m);
+  OMEGA_CHECK(out.size() - at - 4 <= kMaxPayloadBytes,
+              "metrics event overflows the payload cap: "
                   << (out.size() - at - 4));
   end_frame(out, at);
 }
@@ -482,28 +568,15 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
       std::size_t off = 12;
       out.metrics_resp.metrics.reserve(count);
       for (std::uint32_t i = 0; i < count; ++i) {
-        if (body_len < off + 2) return DecodeResult::kBadBody;
         obs::MetricSample m;
-        m.kind = static_cast<obs::MetricSample::Kind>(body[off]);
-        const std::size_t name_len = body[off + 1];
-        off += 2;
-        if (body_len < off + name_len + 17) return DecodeResult::kBadBody;
-        m.name.assign(reinterpret_cast<const char*>(body + off), name_len);
-        off += name_len;
-        m.value = static_cast<std::int64_t>(get_u64(body + off));
-        m.sum = get_u64(body + off + 8);
-        const std::size_t nbuckets = body[off + 16];
-        off += 17;
-        if (nbuckets > obs::kHistogramBuckets ||
-            body_len < off + nbuckets * 9) {
+        if (!get_metric_record(body, body_len, off, m)) {
           return DecodeResult::kBadBody;
         }
-        m.buckets.reserve(nbuckets);
-        for (std::size_t b = 0; b < nbuckets; ++b) {
-          m.buckets.emplace_back(body[off], get_u64(body + off + 1));
-          off += 9;
-        }
         out.metrics_resp.metrics.push_back(std::move(m));
+      }
+      // v1.5 node identity trails the records; absent on v1.3 peers.
+      if (body_len >= off + 4) {
+        out.metrics_resp.node = get_u32(body + off);
       }
       out.has_metrics_resp = true;
       return DecodeResult::kOk;
@@ -543,6 +616,71 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
         out.trace_resp.records.push_back(r);
       }
       out.has_trace_resp = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kHealth: {
+      // Role-based by length: a request is empty, a response at least
+      // overall|ticks|rules_total|nfiring (11 bytes).
+      if (body_len < 11) return DecodeResult::kOk;
+      out.health_resp.overall = body[0];
+      out.health_resp.ticks = get_u64(body + 1);
+      out.health_resp.rules_total = body[9];
+      const std::size_t nfiring = body[10];
+      // `nfiring` is wire-controlled like kMetrics' count; each rule is
+      // >= 3 bytes (status + two empty length-prefixed strings).
+      if (nfiring > (body_len - 11) / 3) return DecodeResult::kBadBody;
+      std::size_t off = 11;
+      out.health_resp.firing.reserve(nfiring);
+      for (std::size_t i = 0; i < nfiring; ++i) {
+        if (body_len < off + 2) return DecodeResult::kBadBody;
+        HealthRuleWire r;
+        r.status = body[off];
+        const std::size_t name_len = body[off + 1];
+        off += 2;
+        if (body_len < off + name_len + 1) return DecodeResult::kBadBody;
+        r.name.assign(reinterpret_cast<const char*>(body + off), name_len);
+        off += name_len;
+        const std::size_t reason_len = body[off];
+        off += 1;
+        if (body_len < off + reason_len) return DecodeResult::kBadBody;
+        r.reason.assign(reinterpret_cast<const char*>(body + off),
+                        reason_len);
+        off += reason_len;
+        out.health_resp.firing.push_back(std::move(r));
+      }
+      out.has_body = true;
+      out.has_health_resp = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kMetricsWatch: {
+      // Role-based by length: a request is empty, a response carries the
+      // u32 sampler period.
+      if (body_len < 4) return DecodeResult::kOk;
+      out.metrics_watch.period_ms = get_u32(body);
+      out.has_body = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kMetricsEvent: {
+      // Push only: tick|health|total|start|count (21 bytes) + records.
+      if (body_len < 21) return DecodeResult::kBadBody;
+      out.metrics_event.tick = get_u64(body);
+      out.metrics_event.health = body[8];
+      out.metrics_event.total = get_u32(body + 9);
+      out.metrics_event.start = get_u32(body + 13);
+      const std::uint32_t count = get_u32(body + 17);
+      // Count-bomb hardening, same bound as kMetrics records.
+      if (count > (body_len - 21) / 19) return DecodeResult::kBadBody;
+      std::size_t off = 21;
+      out.metrics_event.metrics.reserve(count);
+      for (std::uint32_t i = 0; i < count; ++i) {
+        obs::MetricSample m;
+        if (!get_metric_record(body, body_len, off, m)) {
+          return DecodeResult::kBadBody;
+        }
+        out.metrics_event.metrics.push_back(std::move(m));
+      }
+      out.has_body = true;
+      out.has_metrics_event = true;
       return DecodeResult::kOk;
     }
     default:

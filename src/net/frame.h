@@ -88,6 +88,35 @@
 //                of opening gaps. Pagination works like METRICS: whole
 //                records per page, client re-requests from start+count.
 //
+// Health & streaming bodies (v1.5 — see README "Health & streaming
+// telemetry"):
+//   METRICS      resp += u32 node — the answering node's id appended
+//                after the records (kNoNodeId when the server has no
+//                identity; v1.3 readers skip it as trailing bytes), so
+//                multi-node merges label samples by node, not by the
+//                order endpoints were dialled.
+//   HEALTH       req: (empty)
+//                resp: u8 overall | u64 ticks | u8 rules_total
+//                | u8 nfiring | nfiring × rule
+//                rule := u8 status | u8 name_len | name_len × byte
+//                      | u8 reason_len | reason_len × byte
+//                overall/status: 0 ok, 1 degraded, 2 critical. `ticks`
+//                is sampler evaluations so far (0 = no sampler; the
+//                server then answers kUnsupported). Only firing
+//                (non-ok) rules ride the wire; rules_total lets the
+//                reader compute how many are ok.
+//   METRICS_WATCH req: (empty)
+//                resp: u32 period_ms — the sampler period; subscribes
+//                this connection to METRICS_EVENT pushes until it
+//                closes (kUnsupported with period 0 when no sampler).
+//   METRICS_EVENT (server push only, req_id 0):
+//                u64 tick | u8 health | u32 total | u32 start
+//                | u32 count | count × record (the kMetrics record
+//                format). One sampler tick fans out as ceil(total /
+//                per-page) pushes sharing `tick`; a subscriber
+//                reassembles pages until start+count = total. `health`
+//                is the overall verdict at that tick.
+//
 // APPEND and READ_LOG are the two types whose request and response bodies
 // can have overlapping lengths, so their decode is *role-based*: the
 // decoder fills both interpretations when the length allows and the
@@ -144,6 +173,9 @@ enum class MsgType : std::uint8_t {
   kSessionOpen = 15,  ///< (re)open a dedup session; resp carries the TTL
   kMetrics = 16,      ///< paged scrape of the obs metric registry (v1.3)
   kTraceDump = 17,    ///< paged scrape of the flight recorder (v1.4)
+  kHealth = 18,        ///< health verdict + firing rules (v1.5)
+  kMetricsWatch = 19,  ///< subscribe to per-tick metric pushes (v1.5)
+  kMetricsEvent = 20,  ///< server push: one page of a sampler tick (v1.5)
 };
 
 enum class Status : std::uint8_t {
@@ -272,12 +304,18 @@ struct MetricsReqBody {
   std::uint32_t start = 0;
 };
 
+/// "This server has no node identity" — the default NetConfig::node_id
+/// and the v1.5 METRICS `node` field for v1.3 responses.
+inline constexpr std::uint32_t kNoNodeId = 0xffffffff;
+
 /// kMetrics response body: one page of the name-sorted scrape. `metrics`
 /// reuses obs::MetricSample verbatim, so server, client and renderers
-/// share one record type.
+/// share one record type. `node` (v1.5) trails the records on the wire;
+/// v1.3 responses decode with kNoNodeId.
 struct MetricsRespBody {
   std::uint32_t total = 0;  ///< metrics in the full scrape
   std::uint32_t start = 0;  ///< index of metrics.front() in that scrape
+  std::uint32_t node = kNoNodeId;  ///< answering node's id (v1.5)
   std::vector<obs::MetricSample> metrics;
 };
 
@@ -305,6 +343,40 @@ struct TraceDumpRespBody {
 /// ts(8) | thread(4) | event(1) | a(8) | b(8) | trace_lo(8) | trace_hi(8).
 inline constexpr std::size_t kTraceRecordWireBytes = 45;
 
+/// One firing rule inside a kHealth response. `status` matches
+/// obs::Health's numeric values (1 degraded, 2 critical — ok rules stay
+/// off the wire). Name and reason are capped at 255 bytes on encode.
+struct HealthRuleWire {
+  std::uint8_t status = 0;
+  std::string name;
+  std::string reason;
+};
+
+/// kHealth response body.
+struct HealthRespBody {
+  std::uint8_t overall = 0;       ///< obs::Health numeric value
+  std::uint64_t ticks = 0;        ///< sampler evaluations so far
+  std::uint8_t rules_total = 0;   ///< registered rules (firing + ok)
+  std::vector<HealthRuleWire> firing;
+};
+
+/// kMetricsWatch response body: the sampler period the subscriber will
+/// see ticks at (0 on kUnsupported — no sampler running).
+struct MetricsWatchRespBody {
+  std::uint32_t period_ms = 0;
+};
+
+/// kMetricsEvent push body: one page of one sampler tick. Pages of a
+/// tick share `tick`/`total`/`health`; `start` + metrics.size() reaching
+/// `total` completes the tick (record format shared with kMetrics).
+struct MetricsEventBody {
+  std::uint64_t tick = 0;
+  std::uint8_t health = 0;  ///< overall obs::Health at this tick
+  std::uint32_t total = 0;
+  std::uint32_t start = 0;
+  std::vector<obs::MetricSample> metrics;
+};
+
 /// A decoded frame: header plus whichever body the type carries. Bodies
 /// the type does not use stay default-initialized. For kAppend/kReadLog
 /// both the request and the response interpretation are filled when the
@@ -326,11 +398,16 @@ struct Frame {
   MetricsRespBody metrics_resp;  ///< kMetrics responses (>= 12 bytes)
   TraceDumpReqBody trace_req;    ///< kTraceDump requests (4-byte body)
   TraceDumpRespBody trace_resp;  ///< kTraceDump responses (>= 20 bytes)
+  HealthRespBody health_resp;    ///< kHealth responses (>= 11 bytes)
+  MetricsWatchRespBody metrics_watch;  ///< kMetricsWatch responses
+  MetricsEventBody metrics_event;      ///< kMetricsEvent pushes
   bool has_body = false;        ///< a typed body was present
   bool has_append_req = false;  ///< body long enough for AppendReqBody
   bool has_readlog_req = false;  ///< body long enough for ReadLogReqBody
   bool has_metrics_resp = false;  ///< body parsed as a metrics page
   bool has_trace_resp = false;    ///< body parsed as a trace-dump page
+  bool has_health_resp = false;   ///< body parsed as a health response
+  bool has_metrics_event = false;  ///< body parsed as a metrics push
 };
 
 // --- encoding --------------------------------------------------------------
@@ -419,6 +496,23 @@ void encode_trace_dump_request(std::vector<std::uint8_t>& out,
 void encode_trace_dump_response(std::vector<std::uint8_t>& out,
                                 Status status, std::uint64_t req_id,
                                 const TraceDumpRespBody& body);
+
+/// kHealth response (v1.5). Rule names and reasons longer than 255
+/// bytes are truncated on encode; the frame must stay inside
+/// kMaxPayloadBytes (the rule set is small by construction).
+void encode_health_response(std::vector<std::uint8_t>& out, Status status,
+                            std::uint64_t req_id,
+                            const HealthRespBody& body);
+
+/// kMetricsWatch response (v1.5).
+void encode_metrics_watch_response(std::vector<std::uint8_t>& out,
+                                   Status status, std::uint64_t req_id,
+                                   std::uint32_t period_ms);
+
+/// kMetricsEvent push (req_id 0, v1.5); the caller sizes the page with
+/// metrics_record_wire_size so the frame stays inside kMaxPayloadBytes.
+void encode_metrics_event(std::vector<std::uint8_t>& out,
+                          const MetricsEventBody& body);
 
 // --- decoding --------------------------------------------------------------
 

@@ -15,6 +15,8 @@
 #include "common/check.h"
 #include "obs/flight_recorder.h"
 #include "obs/process_gauges.h"
+#include "smr/log_group.h"
+#include "svc/worker_pool.h"
 
 namespace omega::net {
 
@@ -52,8 +54,41 @@ const char* frame_metric_name(std::size_t type) {
     case MsgType::kSessionOpen: return "net.frames.session_open";
     case MsgType::kMetrics: return "net.frames.metrics";
     case MsgType::kTraceDump: return "net.frames.trace_dump";
+    case MsgType::kHealth: return "net.frames.health";
+    case MsgType::kMetricsWatch: return "net.frames.metrics_watch";
+    case MsgType::kMetricsEvent: return "net.frames.metrics_event";
     default: return "net.frames.other";
   }
+}
+
+/// Process-level health rules owned by the net layer: descriptor and
+/// memory growth. Both gate on the ring actually covering the window —
+/// a fresh sampler must not alarm on its first few points.
+void register_net_health_rules(obs::HealthMonitor& hm) {
+  constexpr std::int64_t kWindowMs = 30'000;
+  hm.add_rule(obs::HealthRule{
+      "net-fd-growth",
+      [](const obs::TimeSeries& ts, std::string* reason) {
+        if (ts.span_ms("proc.open_fds") < kWindowMs) return obs::Health::kOk;
+        const std::int64_t d = ts.delta("proc.open_fds", kWindowMs);
+        if (d <= 512) return obs::Health::kOk;
+        *reason = "+" + std::to_string(d) + " fds in 30s (now " +
+                  std::to_string(ts.latest_value("proc.open_fds")) + ")";
+        return obs::Health::kDegraded;
+      },
+      /*degrade_after=*/2,
+      /*recover_after=*/4});
+  hm.add_rule(obs::HealthRule{
+      "net-rss-growth",
+      [](const obs::TimeSeries& ts, std::string* reason) {
+        if (ts.span_ms("proc.rss_bytes") < kWindowMs) return obs::Health::kOk;
+        const std::int64_t d = ts.delta("proc.rss_bytes", kWindowMs);
+        if (d <= (std::int64_t{256} << 20)) return obs::Health::kOk;
+        *reason = "rss grew " + std::to_string(d >> 20) + " MiB in 30s";
+        return obs::Health::kDegraded;
+      },
+      /*degrade_after=*/2,
+      /*recover_after=*/4});
 }
 
 }  // namespace
@@ -79,6 +114,10 @@ LeaderServer::LeaderServer(svc::MultiGroupLeaderService& service,
              const std::vector<std::uint64_t>& values,
              const std::vector<std::uint64_t>& traces) {
         deliver_commit_batch(loop, gid, first_index, values, traces);
+      },
+      [this](std::uint32_t loop,
+             std::shared_ptr<const std::vector<std::uint8_t>> bytes) {
+        deliver_metrics(loop, std::move(bytes));
       });
   append_sink_ = std::make_shared<AppendSink>();
   append_sink_->server = this;
@@ -87,6 +126,50 @@ LeaderServer::LeaderServer(svc::MultiGroupLeaderService& service,
   }
   ack_flush_hist_ = &obs::histogram("net.ack_flush_ns");
   obs::register_process_gauges();
+  if (cfg_.sample_period_ms > 0) {
+    obs::SamplerConfig scfg;
+    scfg.period_ms = cfg_.sample_period_ms;
+    sampler_ = std::make_unique<obs::Sampler>(scfg);
+    // Every hosted layer contributes its rules up front; rules over
+    // metrics a deployment never emits stay kOk (absent series read as
+    // zero), so registering unconditionally is harmless.
+    register_net_health_rules(sampler_->health());
+    svc::register_health_rules(sampler_->health());
+    smr::register_health_rules(sampler_->health());
+    // Tick fan-out: encode the scrape ONCE into METRICS_EVENT pages and
+    // hand the shared buffer to the hub, which posts it to every loop
+    // with a subscriber. Runs on the sampler thread; skipped entirely
+    // while nobody watches.
+    sampler_->set_tick_listener(
+        [this](std::uint64_t tick_no,
+               const std::vector<obs::MetricSample>& scrape,
+               const obs::HealthReport& report) {
+          if (!hub_->has_metrics_watchers()) return;
+          auto frames = std::make_shared<std::vector<std::uint8_t>>();
+          MetricsEventBody page;
+          page.tick = tick_no;
+          page.health = static_cast<std::uint8_t>(report.overall);
+          page.total = static_cast<std::uint32_t>(scrape.size());
+          page.start = 0;
+          std::size_t bytes = kHeaderBytes + 21;  // fixed body prefix
+          for (std::size_t i = 0; i < scrape.size(); ++i) {
+            const std::size_t sz = metrics_record_wire_size(scrape[i]);
+            if (bytes + sz > kMaxPayloadBytes) {
+              encode_metrics_event(*frames, page);
+              page.metrics.clear();
+              page.start = static_cast<std::uint32_t>(i);
+              bytes = kHeaderBytes + 21;
+            }
+            page.metrics.push_back(scrape[i]);
+            bytes += sz;
+          }
+          // The final (or only, possibly metric-less) page still carries
+          // the tick number and health byte — a heartbeat even when the
+          // registry is empty.
+          encode_metrics_event(*frames, page);
+          hub_->publish_metrics(std::move(frames));
+        });
+  }
   open_listener();
   reserve_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
 }
@@ -151,11 +234,15 @@ void LeaderServer::start() {
           hub_->publish_commit_batch(gid, first_index, values, traces);
         });
   }
+  if (sampler_) sampler_->start();
 }
 
 void LeaderServer::stop() {
   if (!started_ || stopped_) return;
   stopped_ = true;
+  // The sampler posts into the loops via the hub; join its thread before
+  // anything else winds down.
+  if (sampler_) sampler_->stop();
   // Workers must stop calling into the hub before the loops go away, and
   // append completions that fire from now on must become no-ops.
   service_.set_epoch_listener({});
@@ -178,6 +265,7 @@ void LeaderServer::stop() {
     l->conns.clear();
     l->watchers.clear();
     l->commit_watchers.clear();
+    l->metrics_watchers.clear();
   }
 }
 
@@ -296,6 +384,7 @@ void LeaderServer::close_connection(Loop& l, Connection& c) {
   for (const svc::GroupId gid : c.commit_watches) {
     drop_commit_watch(l, c, gid);
   }
+  if (c.metrics_watch) drop_metrics_watch(l, c);
   l.loop.remove_fd(c.fd);
   ::close(c.fd);
   l.counters.closed.fetch_add(1, std::memory_order_relaxed);
@@ -607,10 +696,11 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
       // best-effort until every registration has happened once.
       const std::vector<obs::MetricSample> samples = obs::scrape();
       MetricsRespBody resp;
+      resp.node = cfg_.node_id;
       resp.total = static_cast<std::uint32_t>(samples.size());
       resp.start = std::min<std::uint32_t>(frame.metrics_req.start,
                                            resp.total);
-      std::size_t bytes = kHeaderBytes + 12;
+      std::size_t bytes = kHeaderBytes + 12 + 4;  // + the v1.5 node trailer
       for (std::size_t i = resp.start; i < samples.size(); ++i) {
         const std::size_t sz = metrics_record_wire_size(samples[i]);
         if (bytes + sz > kMaxPayloadBytes) break;
@@ -644,8 +734,51 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
       encode_trace_dump_response(c.out, Status::kOk, id, resp);
       return true;
     }
+    case MsgType::kHealth: {
+      // The health engine's verdict as of the last sampler tick (v1.5).
+      if (sampler_ == nullptr) {
+        encode_health_response(c.out, Status::kUnsupported, id,
+                               HealthRespBody{});
+        return true;
+      }
+      const obs::HealthReport rep = sampler_->health().report();
+      HealthRespBody resp;
+      resp.overall = static_cast<std::uint8_t>(rep.overall);
+      resp.ticks = rep.ticks;
+      resp.rules_total = static_cast<std::uint8_t>(
+          std::min<std::size_t>(rep.rules.size(), 255));
+      for (const obs::RuleState& r : rep.rules) {
+        if (r.published == obs::Health::kOk) continue;
+        if (resp.firing.size() >= 255) break;  // u8 count on the wire
+        HealthRuleWire w;
+        w.status = static_cast<std::uint8_t>(r.published);
+        w.name = r.name;
+        w.reason = r.reason;
+        resp.firing.push_back(std::move(w));
+      }
+      encode_health_response(c.out, Status::kOk, id, resp);
+      return true;
+    }
+    case MsgType::kMetricsWatch: {
+      // Subscribe this connection to the sampler stream (v1.5); pushes
+      // start with the next tick. Idempotent per connection.
+      if (sampler_ == nullptr) {
+        encode_metrics_watch_response(c.out, Status::kUnsupported, id, 0);
+        return true;
+      }
+      if (!c.metrics_watch) {
+        c.metrics_watch = true;
+        hub_->add_metrics_watch(c.loop);
+        l.metrics_watchers.push_back(&c);
+        l.counters.watches.fetch_add(1, std::memory_order_relaxed);
+      }
+      encode_metrics_watch_response(c.out, Status::kOk, id,
+                                    cfg_.sample_period_ms);
+      return true;
+    }
     case MsgType::kEvent:
     case MsgType::kCommitEvent:
+    case MsgType::kMetricsEvent:
       // Pushes are strictly server -> client; a peer sending one is
       // broken, and echoing the type back would emit a body-less push our
       // own decoder rejects. Treat it as a protocol violation.
@@ -788,6 +921,34 @@ void LeaderServer::drain_acks(std::uint32_t loop_idx) {
     const auto it = l.conns.find(fd);
     if (it == l.conns.end()) continue;
     flush(l, *it->second);
+  }
+}
+
+void LeaderServer::drop_metrics_watch(Loop& l, Connection& c) {
+  hub_->remove_metrics_watch(c.loop);
+  auto& v = l.metrics_watchers;
+  v.erase(std::remove(v.begin(), v.end(), &c), v.end());
+  l.counters.watches.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void LeaderServer::deliver_metrics(
+    std::uint32_t loop_idx,
+    std::shared_ptr<const std::vector<std::uint8_t>> bytes) {
+  Loop& l = *loops_[loop_idx];
+  if (l.metrics_watchers.empty()) return;  // unsubscribed before delivery
+  // Same fd-snapshot discipline as fan_out: flushing one subscriber can
+  // close a sibling (backpressure), which must be detected by key lookup.
+  std::vector<int> target_fds;
+  target_fds.reserve(l.metrics_watchers.size());
+  for (const Connection* c : l.metrics_watchers) target_fds.push_back(c->fd);
+  for (const int fd : target_fds) {
+    const auto it = l.conns.find(fd);
+    if (it == l.conns.end()) continue;
+    Connection& c = *it->second;
+    if (!c.metrics_watch) continue;  // fd recycled by a non-subscriber
+    c.out.insert(c.out.end(), bytes->begin(), bytes->end());
+    frame_counters_[static_cast<std::size_t>(MsgType::kMetricsEvent)]->add();
+    flush(l, c);
   }
 }
 

@@ -43,6 +43,7 @@
 #include "net/event_loop.h"
 #include "net/frame.h"
 #include "net/watch_hub.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "smr/smr_service.h"
 #include "svc/multigroup_service.h"
@@ -59,6 +60,15 @@ struct NetConfig {
   /// watch events behind a peer that stopped reading) exceeds this is
   /// closed — one slow consumer must not grow server memory unboundedly.
   std::size_t max_outbuf_bytes = 1 << 20;
+  /// Black-box sampler period (obs::Sampler): every period the server
+  /// snapshots the metric registry into the in-process time series,
+  /// evaluates the health rules, and (if anyone subscribed via
+  /// METRICS_WATCH) streams the tick as METRICS_EVENT frames. 0 disables
+  /// the sampler entirely (HEALTH/METRICS_WATCH answer kUnsupported).
+  std::uint32_t sample_period_ms = 250;
+  /// Identity stamped into the METRICS response trailer (v1.5) so merged
+  /// multi-endpoint scrapes can label samples; kNoNodeId = anonymous.
+  std::uint32_t node_id = kNoNodeId;
 };
 
 /// Aggregate server counters (see frame.h StatsBody for the wire form).
@@ -103,6 +113,11 @@ class LeaderServer {
 
   NetServerStats stats() const;
 
+  /// The black-box sampler (time series + health engine), or nullptr when
+  /// cfg.sample_period_ms == 0. Subsystems hosted behind this server use
+  /// it to register additional health rules before start().
+  obs::Sampler* sampler() noexcept { return sampler_.get(); }
+
  private:
   /// One accepted connection; owned by exactly one loop's thread.
   struct Connection {
@@ -117,6 +132,7 @@ class LeaderServer {
     bool want_write = false;  ///< EPOLLOUT currently armed
     std::unordered_set<svc::GroupId> watches;
     std::unordered_set<svc::GroupId> commit_watches;
+    bool metrics_watch = false;  ///< subscribed to the sampler stream
   };
 
   /// gid → connections on a loop subscribed to one push channel
@@ -145,6 +161,9 @@ class LeaderServer {
     std::unordered_map<int, std::unique_ptr<Connection>> conns;
     WatcherMap watchers;         ///< epoch channel (WATCH)
     WatcherMap commit_watchers;  ///< commit channel (COMMIT_WATCH)
+    /// Connections subscribed to the metrics stream (METRICS_WATCH);
+    /// loop-confined like the maps above.
+    std::vector<Connection*> metrics_watchers;
     /// Ack mailbox: completions (owning shard worker) append here and
     /// schedule at most ONE drain task — a 64-command batch costs the
     /// loop one wakeup and each touched connection one flush, instead of
@@ -221,6 +240,14 @@ class LeaderServer {
   void fan_out(Loop& l, WatcherMap& map, svc::GroupId gid,
                std::atomic<std::uint64_t>& counter, std::uint64_t frames,
                const std::function<void(std::vector<std::uint8_t>&)>& encode);
+  /// Runs on the loop thread (posted by the hub's metrics channel): writes
+  /// the shared pre-encoded METRICS_EVENT tick to every subscribed
+  /// connection on the loop, with the same fd-snapshot discipline as
+  /// fan_out.
+  void deliver_metrics(std::uint32_t loop_idx,
+                       std::shared_ptr<const std::vector<std::uint8_t>> bytes);
+  /// Drops a connection's metrics-stream subscription (connection close).
+  void drop_metrics_watch(Loop& l, Connection& c);
   StatsBody stats_body() const;
 
   svc::MultiGroupLeaderService& service_;
@@ -228,7 +255,7 @@ class LeaderServer {
   /// Per-frame-type obs counters ("net.frames.<type>"), indexed by the
   /// wire type byte; [0] is the fallback for unknown types. Resolved once
   /// at construction so the dispatch path never touches the registry lock.
-  static constexpr std::size_t kFrameCounterSlots = 18;
+  static constexpr std::size_t kFrameCounterSlots = 21;
   obs::Counter* frame_counters_[kFrameCounterSlots] = {};
   obs::Histogram* ack_flush_hist_ = nullptr;  ///< net.ack_flush_ns
   std::shared_ptr<AppendSink> append_sink_;
@@ -242,6 +269,10 @@ class LeaderServer {
   std::uint16_t port_ = 0;
   std::vector<std::unique_ptr<Loop>> loops_;
   std::unique_ptr<WatchHub> hub_;
+  /// Black-box sampler: created at construction (so hosted subsystems can
+  /// add rules), thread started in start(), stopped first in stop() —
+  /// its tick listener posts into the loops via the hub.
+  std::unique_ptr<obs::Sampler> sampler_;
   std::uint32_t next_loop_ = 0;  ///< round-robin assignment (loop 0 only)
   std::atomic<std::uint64_t> open_connections_{0};
   bool started_ = false;

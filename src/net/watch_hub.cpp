@@ -7,10 +7,13 @@
 namespace omega::net {
 
 WatchHub::WatchHub(std::vector<EventLoop*> loops, Deliver deliver,
-                   DeliverCommit deliver_commit)
+                   DeliverCommit deliver_commit,
+                   DeliverMetrics deliver_metrics)
     : loops_(std::move(loops)),
       deliver_(std::move(deliver)),
-      deliver_commit_(std::move(deliver_commit)) {
+      deliver_commit_(std::move(deliver_commit)),
+      deliver_metrics_(std::move(deliver_metrics)),
+      metrics_watchers_(loops_.size(), 0) {
   OMEGA_CHECK(!loops_.empty(), "watch hub needs at least one loop");
   OMEGA_CHECK(loops_.size() <= 64, "publish() packs loops into a u64 mask");
   OMEGA_CHECK(deliver_ != nullptr, "watch hub needs a delivery sink");
@@ -101,6 +104,51 @@ void WatchHub::publish_commit_batch(
     loops_[i]->post([this, loop, gid, first_index, shared, shared_traces] {
       deliver_commit_(loop, gid, first_index, *shared, *shared_traces);
     });
+  }
+}
+
+bool WatchHub::add_metrics_watch(std::uint32_t loop) {
+  OMEGA_CHECK(loop < loops_.size(), "bad loop index " << loop);
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  bool first = true;
+  for (const std::uint32_t c : metrics_watchers_) {
+    if (c > 0) first = false;
+  }
+  ++metrics_watchers_[loop];
+  return first;
+}
+
+void WatchHub::remove_metrics_watch(std::uint32_t loop) {
+  OMEGA_CHECK(loop < loops_.size(), "bad loop index " << loop);
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  if (metrics_watchers_[loop] > 0) --metrics_watchers_[loop];
+}
+
+bool WatchHub::has_metrics_watchers() {
+  std::lock_guard<std::mutex> lock(metrics_mu_);
+  for (const std::uint32_t c : metrics_watchers_) {
+    if (c > 0) return true;
+  }
+  return false;
+}
+
+void WatchHub::publish_metrics(
+    std::shared_ptr<const std::vector<std::uint8_t>> frames) {
+  OMEGA_CHECK(deliver_metrics_ != nullptr, "no metrics delivery sink");
+  if (!frames || frames->empty()) return;
+  std::uint64_t mask = 0;
+  {
+    std::lock_guard<std::mutex> lock(metrics_mu_);
+    for (std::size_t i = 0; i < metrics_watchers_.size(); ++i) {
+      if (metrics_watchers_[i] > 0) mask |= std::uint64_t{1} << i;
+    }
+  }
+  for (std::size_t i = 0; i < loops_.size(); ++i) {
+    if (!(mask & (std::uint64_t{1} << i))) continue;
+    deliveries_.fetch_add(1, std::memory_order_relaxed);
+    const std::uint32_t loop = static_cast<std::uint32_t>(i);
+    loops_[i]->post(
+        [this, loop, frames] { deliver_metrics_(loop, frames); });
   }
 }
 

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -46,9 +47,20 @@ class WatchHub {
       std::uint32_t, svc::GroupId, std::uint64_t,
       const std::vector<std::uint64_t>&, const std::vector<std::uint64_t>&)>;
 
-  /// `deliver_commit` may be empty when the server serves no log.
+  /// Metrics-stream channel (v1.5 METRICS_WATCH): unlike the gid-keyed
+  /// channels, subscriptions are per-connection only, so the hub tracks
+  /// one refcount per loop. The payload is the sampler tick already
+  /// encoded as METRICS_EVENT frames — encoded ONCE per tick and shared
+  /// (read-only) across every interested loop, which writes it to each
+  /// of its subscribed connections.
+  using DeliverMetrics = std::function<void(
+      std::uint32_t, std::shared_ptr<const std::vector<std::uint8_t>>)>;
+
+  /// `deliver_commit` / `deliver_metrics` may be empty when the server
+  /// serves no log / runs no sampler.
   WatchHub(std::vector<EventLoop*> loops, Deliver deliver,
-           DeliverCommit deliver_commit = {});
+           DeliverCommit deliver_commit = {},
+           DeliverMetrics deliver_metrics = {});
 
   /// Registers one more watcher of `gid` living on `loop`. Called by the
   /// loop thread while handling a WATCH request, *before* it reads the
@@ -78,6 +90,17 @@ class WatchHub {
   void publish_commit(svc::GroupId gid, std::uint64_t index,
                       std::uint64_t value, std::uint64_t trace = 0);
 
+  /// Metrics-stream channel: one refcount per loop, no gid. Returns
+  /// true from add_metrics_watch when this was the hub's first
+  /// subscriber (the server uses it to start encoding ticks lazily —
+  /// has_metrics_watchers() answers the steady-state question).
+  bool add_metrics_watch(std::uint32_t loop);
+  void remove_metrics_watch(std::uint32_t loop);
+  bool has_metrics_watchers();
+  /// Posts the shared encoded tick to every loop with a subscriber.
+  void publish_metrics(
+      std::shared_ptr<const std::vector<std::uint8_t>> frames);
+
   std::uint64_t published() const noexcept {
     return published_.load(std::memory_order_relaxed);
   }
@@ -103,9 +126,13 @@ class WatchHub {
   std::vector<EventLoop*> loops_;
   Deliver deliver_;
   DeliverCommit deliver_commit_;
+  DeliverMetrics deliver_metrics_;
 
   Channel epochs_;
   Channel commits_;
+
+  std::mutex metrics_mu_;
+  std::vector<std::uint32_t> metrics_watchers_;  ///< refcount per loop
 
   std::atomic<std::uint64_t> published_{0};   ///< publish() calls seen
   std::atomic<std::uint64_t> deliveries_{0};  ///< per-loop posts made

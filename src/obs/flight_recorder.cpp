@@ -10,6 +10,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <sstream>
@@ -58,12 +60,15 @@ struct Ring {
 };
 
 struct Recorder {
-  Recorder() { realtime_offset_ns(); }  // pin the wall-clock anchor early
+  Recorder();
   std::mutex mu;  ///< guards rings registration + dump bookkeeping
   std::vector<std::shared_ptr<Ring>> rings;
+  std::uint64_t next_thread_index = 0;  ///< monotonic: survives pruning
   std::string dir;
-  std::atomic<std::int64_t> last_dump_ns{0};
+  std::map<std::string, std::int64_t> last_dump_by_reason;
   std::atomic<std::uint64_t> dump_seq{0};
+  std::map<std::uint64_t, std::function<std::string()>> blackbox;
+  std::uint64_t next_blackbox_id = 1;
 };
 
 Recorder& recorder() {
@@ -71,14 +76,27 @@ Recorder& recorder() {
   return r;
 }
 
+Recorder::Recorder() {
+  realtime_offset_ns();  // pin the wall-clock anchor early
+  // Proves ring pruning works: live threads + not-yet-harvested tails.
+  // The callback runs at scrape time (registry lock held, then mu) —
+  // nothing here ever takes the registry lock while holding mu.
+  Registry::instance().register_gauge("obs.recorder_rings", [] {
+    Recorder& rec = recorder();
+    std::lock_guard<std::mutex> lock(rec.mu);
+    return static_cast<std::int64_t>(rec.rings.size());
+  });
+}
+
 Ring& this_thread_ring() {
   // The shared_ptr holder keeps the ring alive in the global list after
-  // the thread exits, so its tail stays dumpable.
+  // the thread exits, so its tail stays dumpable (until the next
+  // snapshot harvests and prunes it).
   thread_local std::shared_ptr<Ring> ring = [] {
     auto r = std::make_shared<Ring>();
     Recorder& rec = recorder();
     std::lock_guard<std::mutex> lock(rec.mu);
-    r->thread_index = static_cast<std::uint32_t>(rec.rings.size());
+    r->thread_index = static_cast<std::uint32_t>(rec.next_thread_index++);
     rec.rings.push_back(r);
     return r;
   }();
@@ -103,6 +121,7 @@ const char* trace_event_name(TraceEvent ev) noexcept {
     case TraceEvent::kWatchdogFire: return "watchdog_fire";
     case TraceEvent::kBatchPush: return "batch_push";
     case TraceEvent::kCommitFanout: return "commit_fanout";
+    case TraceEvent::kHealthTransition: return "health_transition";
   }
   return "unknown";
 }
@@ -156,6 +175,17 @@ std::vector<TraceRecord> snapshot_trace() {
             [](const TraceRecord& x, const TraceRecord& y) {
               return x.ts_ns < y.ts_ns;
             });
+  // The harvest above is the "dumped/merged" moment: rings whose thread
+  // has exited (thread_local holder gone — ours was the only other ref)
+  // have nothing more to say and are pruned here, bounding the recorder
+  // under thread churn. Live threads always hold a second reference.
+  rings.clear();
+  {
+    std::lock_guard<std::mutex> lock(rec.mu);
+    std::erase_if(rec.rings, [](const std::shared_ptr<Ring>& r) {
+      return r.use_count() == 1;
+    });
+  }
   return records;
 }
 
@@ -185,23 +215,30 @@ std::string dump_trace(const std::string& reason, bool force,
                        DumpStatus* status) {
   Recorder& rec = recorder();
   const std::int64_t now = now_ns();
-  std::int64_t last = rec.last_dump_ns.load(std::memory_order_relaxed);
-  const auto suppressed = [&status] {
+  std::string dir;
+  std::vector<std::function<std::string()>> renderers;
+  bool limited = false;
+  {
+    // One token per reason string: a watchdog storm self-limits without
+    // eating the failover dump that follows under a different reason.
+    std::lock_guard<std::mutex> lock(rec.mu);
+    std::int64_t& last = rec.last_dump_by_reason[reason];
+    if (!force && last != 0 && now - last < 1000000000) {
+      limited = true;
+    } else {
+      last = now;
+      dir = rec.dir;
+      renderers.reserve(rec.blackbox.size());
+      for (const auto& [id, fn] : rec.blackbox) {
+        (void)id;
+        renderers.push_back(fn);
+      }
+    }
+  }
+  if (limited) {
     counter("obs.trace_dumps_suppressed").add(1);
     if (status != nullptr) *status = DumpStatus::kSuppressed;
-    return std::string{};
-  };
-  if (!force && last != 0 && now - last < 1000000000) return suppressed();
-  if (!rec.last_dump_ns.compare_exchange_strong(
-          last, now, std::memory_order_relaxed)) {
-    if (!force) return suppressed();  // lost the race: someone else dumps
-    rec.last_dump_ns.store(now, std::memory_order_relaxed);
-  }
-
-  std::string dir;
-  {
-    std::lock_guard<std::mutex> lock(rec.mu);
-    dir = rec.dir;
+    return "";
   }
   if (dir.empty()) {
     if (const char* env = std::getenv("OMEGA_TRACE_DIR")) dir = env;
@@ -228,9 +265,47 @@ std::string dump_trace(const std::string& reason, bool force,
                static_cast<long long>(realtime_offset_ns()));
   std::fwrite(body.data(), 1, body.size(), f);
   std::fclose(f);
+
+  // Sibling black box: the last ~60s of metric history (and whatever
+  // else registered), so the trace artifact explains itself. Renderers
+  // run outside rec.mu — they take their own (sampler) locks.
+  if (!renderers.empty()) {
+    std::ostringstream bpath;
+    bpath << dir << "/omega_blackbox_" << ::getpid() << '_' << n
+          << ".txt";
+    std::FILE* bf = std::fopen(bpath.str().c_str(), "w");
+    if (bf != nullptr) {
+      std::fprintf(bf,
+                   "# omega black box\n# reason: %s\n# pid: %d\n",
+                   reason.c_str(), ::getpid());
+      for (const auto& fn : renderers) {
+        const std::string text = fn ? fn() : std::string{};
+        std::fwrite(text.data(), 1, text.size(), bf);
+      }
+      std::fclose(bf);
+    } else {
+      std::fprintf(stderr, "omega: blackbox dump to %s failed: %s\n",
+                   bpath.str().c_str(), std::strerror(errno));
+    }
+  }
+
   counter("obs.trace_dumps").add(1);
   if (status != nullptr) *status = DumpStatus::kWritten;
   return path.str();
+}
+
+std::uint64_t register_blackbox_renderer(std::function<std::string()> fn) {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.mu);
+  const std::uint64_t id = rec.next_blackbox_id++;
+  rec.blackbox.emplace(id, std::move(fn));
+  return id;
+}
+
+void unregister_blackbox_renderer(std::uint64_t id) {
+  Recorder& rec = recorder();
+  std::lock_guard<std::mutex> lock(rec.mu);
+  rec.blackbox.erase(id);
 }
 
 }  // namespace omega::obs

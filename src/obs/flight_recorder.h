@@ -20,15 +20,24 @@
 // every ring without stopping writers, so an event being overwritten
 // concurrently can surface with mixed fields — the trace is best-effort
 // forensics, not a journal. Rings are owned by shared_ptr and outlive
-// their threads, so short-lived threads' tails stay dumpable.
+// their threads, so short-lived threads' tails stay dumpable; once an
+// exited thread's tail has been harvested by snapshot_trace() (every
+// dump and every remote TRACE_DUMP scrape goes through it) the ring is
+// pruned, so thread churn cannot grow the recorder without bound. The
+// live ring count is exported as the obs.recorder_rings gauge.
 //
 // Dump destination: $OMEGA_TRACE_DIR (or set_trace_dir()), default the
 // working directory; files are named omega_trace_<pid>_<n>.txt. Dumps
-// are rate-limited (min 1 s apart unless forced) so a watchdog firing
-// every sweep cannot flood the disk.
+// are rate-limited *per reason* (min 1 s between dumps with the same
+// reason string unless forced) so a watchdog firing every sweep cannot
+// flood the disk, while a failover dump right after a watchdog dump
+// still lands. Registered black-box renderers (register_blackbox_
+// renderer — obs::Sampler's ~60s metric history) are written to a
+// sibling omega_blackbox_<pid>_<n>.txt alongside every trace file.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -51,6 +60,7 @@ enum class TraceEvent : std::uint8_t {
   kWatchdogFire,       ///< a=gid, b=stalled microseconds
   kBatchPush,          ///< a=slot, b=count — sealed rows handed to the mirror
   kCommitFanout,       ///< a=gid, b=first index — commit events fanned out
+  kHealthTransition,   ///< a=rule index, b=(old health << 8) | new health
 };
 
 const char* trace_event_name(TraceEvent ev) noexcept;
@@ -97,11 +107,20 @@ enum class DumpStatus : std::uint8_t {
 
 /// Writes render_trace() plus a reason header (reason, pid,
 /// realtime_offset_ns) to the trace directory. Returns the file path, or
-/// "" when rate-limited (min 1 s between dumps unless `force`) or the
-/// file could not be written; `status` (optional) distinguishes the two.
-/// Outcomes are counted in obs.trace_dumps / obs.trace_dumps_suppressed.
+/// "" when rate-limited (min 1 s between dumps *with this reason* unless
+/// `force`) or the file could not be written; `status` (optional)
+/// distinguishes the two. Outcomes are counted in obs.trace_dumps /
+/// obs.trace_dumps_suppressed. Registered black-box renderers are
+/// written to a sibling omega_blackbox_<pid>_<n>.txt.
 std::string dump_trace(const std::string& reason, bool force = false,
                        DumpStatus* status = nullptr);
+
+/// Registers a renderer whose output dump_trace() writes next to every
+/// trace file (omega_blackbox_<pid>_<n>.txt, same <n>). Returns an id
+/// for unregister_blackbox_renderer — call it before anything the
+/// renderer captures dies. Renderers run outside all recorder locks.
+std::uint64_t register_blackbox_renderer(std::function<std::string()> fn);
+void unregister_blackbox_renderer(std::uint64_t id);
 
 /// Overrides the dump directory (else $OMEGA_TRACE_DIR, else ".").
 void set_trace_dir(std::string dir);

@@ -1,0 +1,172 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "obs/flight_recorder.h"
+
+namespace omega::obs {
+
+namespace {
+
+std::int64_t wall_ms_now() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t steady_ns_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* health_name(Health h) noexcept {
+  switch (h) {
+    case Health::kOk: return "ok";
+    case Health::kDegraded: return "degraded";
+    case Health::kCritical: return "critical";
+  }
+  return "unknown";
+}
+
+HealthMonitor::HealthMonitor()
+    : transitions_(&counter("obs.health_transitions")) {}
+
+void HealthMonitor::add_rule(HealthRule rule) {
+  if (rule.degrade_after == 0) rule.degrade_after = 1;
+  if (rule.recover_after == 0) rule.recover_after = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry e;
+  e.state.name = rule.name;
+  e.rule = std::move(rule);
+  entries_.push_back(std::move(e));
+}
+
+void HealthMonitor::evaluate(const TimeSeries& ts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ticks_;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    Entry& e = entries_[i];
+    std::string reason;
+    const Health raw = e.rule.eval ? e.rule.eval(ts, &reason) : Health::kOk;
+    e.state.raw = raw;
+    Health target = e.state.published;
+    if (raw != Health::kOk) {
+      e.state.reason = reason;
+      e.ok_streak = 0;
+      ++e.bad_streak;
+      if (e.state.published == Health::kOk) {
+        if (e.bad_streak >= e.rule.degrade_after) target = raw;
+      } else {
+        // Escalation is immediate; de-escalation waits for a full
+        // recovery so degraded<->critical noise cannot flap the verdict.
+        target = std::max(e.state.published, raw);
+      }
+    } else {
+      e.bad_streak = 0;
+      ++e.ok_streak;
+      if (e.state.published != Health::kOk &&
+          e.ok_streak >= e.rule.recover_after) {
+        target = Health::kOk;
+      }
+    }
+    if (target != e.state.published) {
+      trace(TraceEvent::kHealthTransition, static_cast<std::uint64_t>(i),
+            (static_cast<std::uint64_t>(e.state.published) << 8) |
+                static_cast<std::uint64_t>(target));
+      transitions_->add(1);
+      e.state.published = target;
+    }
+  }
+}
+
+HealthReport HealthMonitor::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  HealthReport rep;
+  rep.ticks = ticks_;
+  rep.rules.reserve(entries_.size());
+  for (const Entry& e : entries_) {
+    rep.overall = std::max(rep.overall, e.state.published);
+    rep.rules.push_back(e.state);
+  }
+  return rep;
+}
+
+Sampler::Sampler(SamplerConfig cfg)
+    : cfg_(cfg), series_(cfg.capacity),
+      sample_hist_(&histogram("obs.sample_ns")) {}
+
+Sampler::~Sampler() { stop(); }
+
+void Sampler::set_tick_listener(TickListener fn) {
+  listener_ = std::move(fn);
+}
+
+std::uint64_t Sampler::tick() {
+  const std::int64_t t0 = steady_ns_now();
+  const std::vector<MetricSample> samples = Registry::instance().scrape();
+  series_.record(samples, wall_ms_now());
+  health_.evaluate(series_);
+  const std::uint64_t n =
+      tick_no_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (listener_) listener_(n, samples, health_.report());
+  sample_hist_->record(static_cast<std::uint64_t>(steady_ns_now() - t0));
+  return n;
+}
+
+std::uint64_t Sampler::sample_now() { return tick(); }
+
+void Sampler::run() {
+  std::unique_lock<std::mutex> lock(run_mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    tick();
+    lock.lock();
+    run_cv_.wait_for(lock, std::chrono::milliseconds(cfg_.period_ms),
+                     [this] { return stop_requested_; });
+  }
+}
+
+void Sampler::start() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (started_) return;
+    started_ = true;
+    stop_requested_ = false;
+  }
+  blackbox_id_ = register_blackbox_renderer([this] {
+    std::ostringstream os;
+    const HealthReport rep = health_.report();
+    os << "# health: " << health_name(rep.overall)
+       << " ticks=" << rep.ticks << '\n';
+    for (const RuleState& r : rep.rules) {
+      if (r.published == Health::kOk) continue;
+      os << "# rule " << r.name << ": " << health_name(r.published)
+         << " reason: " << r.reason << '\n';
+    }
+    os << series_.render_text();
+    return os.str();
+  });
+  thread_ = std::thread([this] { run(); });
+}
+
+void Sampler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(run_mu_);
+    if (!started_) return;
+    started_ = false;
+    stop_requested_ = true;
+  }
+  run_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  if (blackbox_id_ != 0) {
+    unregister_blackbox_renderer(blackbox_id_);
+    blackbox_id_ = 0;
+  }
+}
+
+}  // namespace omega::obs

@@ -1,0 +1,150 @@
+// Health engine + background sampler: the judgement layer on top of the
+// time-series black box (time_series.h). Subsystems register declarative
+// rules — pure functions of the TimeSeries — and the sampler evaluates
+// every rule once per tick (~250ms), producing a per-rule and overall
+// Health{kOk,kDegraded,kCritical} verdict with human-readable reasons.
+// That verdict is what the v1.5 HEALTH frame serves and what the
+// roadmap's scenario engine asserts against, instead of re-deriving
+// "is this node making progress" from raw counters in every scenario.
+//
+// Flapping control: a rule's raw verdict must stay bad for
+// `degrade_after` consecutive ticks before it publishes, and stay ok
+// for `recover_after` ticks before it clears (escalation kDegraded →
+// kCritical is immediate — worse news does not wait). Every published
+// transition is recorded to the flight recorder
+// (TraceEvent::kHealthTransition) and counted in
+// obs.health_transitions, so a flapping rule is itself visible.
+//
+// The Sampler owns the tick thread, the TimeSeries and the
+// HealthMonitor; LeaderServer starts one per process-facing server and
+// registers itself as the flight recorder's black-box renderer so every
+// trace dump carries the last ~60s of metric history.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/time_series.h"
+
+namespace omega::obs {
+
+enum class Health : std::uint8_t {
+  kOk = 0,
+  kDegraded = 1,
+  kCritical = 2,
+};
+
+const char* health_name(Health h) noexcept;
+
+/// One declarative rule. `eval` inspects the time series and returns the
+/// raw verdict for this tick, filling `*reason` when not ok; it must not
+/// block (it runs on the sampler tick, holding no monitor locks).
+struct HealthRule {
+  std::string name;
+  std::function<Health(const TimeSeries&, std::string* reason)> eval;
+  /// Consecutive bad ticks before the rule publishes (>= 1).
+  std::uint32_t degrade_after = 2;
+  /// Consecutive ok ticks before a published rule clears (>= 1).
+  std::uint32_t recover_after = 4;
+};
+
+/// Published state of one rule at the last evaluated tick.
+struct RuleState {
+  std::string name;
+  Health published = Health::kOk;  ///< hysteresis-filtered verdict
+  Health raw = Health::kOk;        ///< this tick's unfiltered verdict
+  std::string reason;              ///< last non-ok reason
+};
+
+struct HealthReport {
+  Health overall = Health::kOk;  ///< max over published rule states
+  std::uint64_t ticks = 0;       ///< evaluations so far
+  std::vector<RuleState> rules;  ///< every rule, registration order
+};
+
+class HealthMonitor {
+ public:
+  HealthMonitor();
+
+  /// Registers a rule. Callable any time; rules are never removed.
+  void add_rule(HealthRule rule);
+
+  /// Evaluates every rule against `ts` (one sampler tick).
+  void evaluate(const TimeSeries& ts);
+
+  HealthReport report() const;
+
+ private:
+  mutable std::mutex mu_;
+  struct Entry {
+    HealthRule rule;
+    RuleState state;
+    std::uint32_t bad_streak = 0;
+    std::uint32_t ok_streak = 0;
+  };
+  std::vector<Entry> entries_;
+  std::uint64_t ticks_ = 0;
+  Counter* transitions_;  ///< obs.health_transitions
+};
+
+struct SamplerConfig {
+  std::uint32_t period_ms = 250;
+  std::uint32_t capacity = 240;  ///< ring points per metric (~60s)
+};
+
+/// Background sampler: every period scrapes the registry into the
+/// TimeSeries, evaluates health, and invokes the tick listener (the
+/// v1.5 METRICS_EVENT fan-out hook). While started it is registered as
+/// a flight-recorder black-box renderer, so dump_trace() writes the
+/// metric history next to every trace file.
+class Sampler {
+ public:
+  explicit Sampler(SamplerConfig cfg = {});
+  ~Sampler();
+
+  TimeSeries& series() { return series_; }
+  const TimeSeries& series() const { return series_; }
+  HealthMonitor& health() { return health_; }
+  const HealthMonitor& health() const { return health_; }
+
+  /// Called after every tick, on the sampler thread, outside all
+  /// sampler locks. Set before start().
+  using TickListener =
+      std::function<void(std::uint64_t tick,
+                         const std::vector<MetricSample>& scrape,
+                         const HealthReport& report)>;
+  void set_tick_listener(TickListener fn);
+
+  void start();
+  void stop();
+
+  /// One synchronous tick on the calling thread (tests; also usable
+  /// before start() to seed the series). Returns the tick number.
+  std::uint64_t sample_now();
+
+ private:
+  void run();
+  std::uint64_t tick();
+
+  const SamplerConfig cfg_;
+  TimeSeries series_;
+  HealthMonitor health_;
+  TickListener listener_;
+  Histogram* sample_hist_;  ///< obs.sample_ns — per-tick cost
+
+  std::mutex run_mu_;
+  std::condition_variable run_cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::thread thread_;
+  std::uint64_t blackbox_id_ = 0;
+  std::atomic<std::uint64_t> tick_no_{0};
+};
+
+}  // namespace omega::obs

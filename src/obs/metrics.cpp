@@ -175,30 +175,49 @@ std::string prom_name(const std::string& name) {
   return out;
 }
 
+const char* kind_name(MetricSample::Kind k) {
+  switch (k) {
+    case MetricSample::Kind::kCounter: return "counter";
+    case MetricSample::Kind::kGauge: return "gauge";
+    case MetricSample::Kind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
 }  // namespace
 
-std::string render_prometheus(const std::vector<MetricSample>& samples) {
+std::string render_prometheus(const std::vector<MetricSample>& samples,
+                              const std::string& instance) {
+  // Pre-rendered label fragments: `{instance="x"}` for scalar series
+  // and `instance="x",` to prepend inside histogram bucket braces.
+  std::string scalar_labels;
+  std::string bucket_prefix;
+  if (!instance.empty()) {
+    scalar_labels = "{instance=\"" + instance + "\"}";
+    bucket_prefix = "instance=\"" + instance + "\",";
+  }
   std::ostringstream os;
   for (const MetricSample& s : samples) {
     const std::string n = prom_name(s.name);
+    os << "# HELP " << n << " omega metric " << s.name << " ("
+       << kind_name(s.kind) << ")\n";
+    os << "# TYPE " << n << ' ' << kind_name(s.kind) << '\n';
     switch (s.kind) {
       case MetricSample::Kind::kCounter:
-        os << "# TYPE " << n << " counter\n" << n << ' ' << s.value << '\n';
-        break;
       case MetricSample::Kind::kGauge:
-        os << "# TYPE " << n << " gauge\n" << n << ' ' << s.value << '\n';
+        os << n << scalar_labels << ' ' << s.value << '\n';
         break;
       case MetricSample::Kind::kHistogram: {
-        os << "# TYPE " << n << " histogram\n";
         std::uint64_t cum = 0;
         for (const auto& [b, cnt] : s.buckets) {
           cum += cnt;
-          os << n << "_bucket{le=\"" << Histogram::bucket_upper(b) << "\"} "
-             << cum << '\n';
+          os << n << "_bucket{" << bucket_prefix << "le=\""
+             << Histogram::bucket_upper(b) << "\"} " << cum << '\n';
         }
-        os << n << "_bucket{le=\"+Inf\"} " << cum << '\n';
-        os << n << "_sum " << s.sum << '\n';
-        os << n << "_count " << s.value << '\n';
+        os << n << "_bucket{" << bucket_prefix << "le=\"+Inf\"} " << cum
+           << '\n';
+        os << n << "_sum" << scalar_labels << ' ' << s.sum << '\n';
+        os << n << "_count" << scalar_labels << ' ' << s.value << '\n';
         break;
       }
     }

@@ -159,9 +159,13 @@ inline std::vector<MetricSample> scrape() {
 }
 
 /// Prometheus text exposition of a scrape ('.' in names becomes '_';
-/// histograms render as cumulative `_bucket{le=...}` series plus `_sum`
-/// and `_count`). Works on any sample set — a local scrape or one paged
-/// over the wire from a remote node.
-std::string render_prometheus(const std::vector<MetricSample>& samples);
+/// every metric gets `# HELP` and `# TYPE` lines; histograms render as
+/// cumulative `_bucket{le="..."}` series plus `_sum` and `_count`).
+/// A non-empty `instance` is attached as an `instance="..."` label on
+/// every series, so multi-node merges stay distinguishable. Works on
+/// any sample set — a local scrape or one paged over the wire from a
+/// remote node.
+std::string render_prometheus(const std::vector<MetricSample>& samples,
+                              const std::string& instance = "");
 
 }  // namespace omega::obs

@@ -1,0 +1,247 @@
+#include "obs/time_series.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace omega::obs {
+
+namespace {
+// "Whole ring" window for render_text: large enough to always reach the
+// oldest stored point, small enough that cutoff math cannot overflow.
+constexpr std::int64_t kFullWindowMs = std::int64_t{1} << 40;
+}  // namespace
+
+TimeSeries::TimeSeries(std::uint32_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeries::record(const std::vector<MetricSample>& scrape,
+                        std::int64_t wall_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++ticks_;
+  for (const MetricSample& m : scrape) {
+    Series& s = series_[m.name];
+    s.kind = m.kind;
+    TsPoint p;
+    p.wall_ms = wall_ms;
+    p.value = m.value;
+    p.sum = m.sum;
+    p.buckets = m.buckets;
+    if (s.ring.size() < capacity_) {
+      s.ring.push_back(std::move(p));
+    } else {
+      s.ring[s.head % capacity_] = std::move(p);
+    }
+    ++s.head;
+  }
+}
+
+std::uint64_t TimeSeries::ticks() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+const TsPoint* TimeSeries::point(const Series& s,
+                                 std::uint64_t logical) const {
+  return &s.ring[logical % capacity_];
+}
+
+bool TimeSeries::window_edges(const Series& s, std::int64_t window_ms,
+                              const TsPoint** oldest,
+                              const TsPoint** newest) const {
+  const std::uint64_t n = s.ring.size();
+  if (n < 2) return false;
+  const std::uint64_t first = s.head - n;
+  const TsPoint* nw = point(s, s.head - 1);
+  const std::int64_t cutoff = nw->wall_ms - window_ms;
+  // Oldest stored point still inside the window; the ring is in
+  // recording order so the scan stops at the first hit.
+  const TsPoint* old = nullptr;
+  for (std::uint64_t i = first; i + 1 < s.head; ++i) {
+    const TsPoint* p = point(s, i);
+    if (p->wall_ms >= cutoff) {
+      old = p;
+      break;
+    }
+  }
+  if (old == nullptr) return false;  // only the newest point qualifies
+  *oldest = old;
+  *newest = nw;
+  return true;
+}
+
+std::int64_t TimeSeries::span_ms(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.ring.size() < 2) return 0;
+  const Series& s = it->second;
+  return point(s, s.head - 1)->wall_ms -
+         point(s, s.head - s.ring.size())->wall_ms;
+}
+
+bool TimeSeries::latest(const std::string& name, TsPoint* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.ring.empty()) return false;
+  if (out != nullptr) *out = *point(it->second, it->second.head - 1);
+  return true;
+}
+
+std::int64_t TimeSeries::latest_value(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end() || it->second.ring.empty()) return 0;
+  return point(it->second, it->second.head - 1)->value;
+}
+
+std::int64_t TimeSeries::delta(const std::string& name,
+                               std::int64_t window_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return 0;
+  const TsPoint* a = nullptr;
+  const TsPoint* b = nullptr;
+  if (!window_edges(it->second, window_ms, &a, &b)) return 0;
+  return b->value - a->value;
+}
+
+double TimeSeries::rate(const std::string& name,
+                        std::int64_t window_ms) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end()) return 0.0;
+  const TsPoint* a = nullptr;
+  const TsPoint* b = nullptr;
+  if (!window_edges(it->second, window_ms, &a, &b)) return 0.0;
+  const std::int64_t dt_ms = b->wall_ms - a->wall_ms;
+  if (dt_ms <= 0) return 0.0;
+  return static_cast<double>(b->value - a->value) * 1000.0 /
+         static_cast<double>(dt_ms);
+}
+
+namespace {
+
+/// Per-bucket difference of two cumulative sparse bucket lists (both
+/// ascending): the histogram of samples recorded between the two points.
+std::vector<std::pair<std::uint8_t, std::uint64_t>> diff_buckets(
+    const std::vector<std::pair<std::uint8_t, std::uint64_t>>& newer,
+    const std::vector<std::pair<std::uint8_t, std::uint64_t>>& older) {
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> out;
+  std::size_t j = 0;
+  for (const auto& [b, n] : newer) {
+    std::uint64_t base = 0;
+    while (j < older.size() && older[j].first < b) ++j;
+    if (j < older.size() && older[j].first == b) base = older[j].second;
+    if (n > base) out.emplace_back(b, n - base);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t TimeSeries::windowed_quantile(const std::string& name,
+                                            std::int64_t window_ms,
+                                            double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  if (it == series_.end() ||
+      it->second.kind != MetricSample::Kind::kHistogram) {
+    return 0;
+  }
+  const TsPoint* a = nullptr;
+  const TsPoint* b = nullptr;
+  if (!window_edges(it->second, window_ms, &a, &b)) return 0;
+  MetricSample window;
+  window.kind = MetricSample::Kind::kHistogram;
+  window.value = b->value - a->value;
+  window.buckets = diff_buckets(b->buckets, a->buckets);
+  return window.quantile(q);
+}
+
+std::int64_t TimeSeries::windowed_count(const std::string& name,
+                                        std::int64_t window_ms) const {
+  return delta(name, window_ms);  // histogram `value` is the count
+}
+
+std::vector<std::int64_t> TimeSeries::values(
+    const std::string& name, std::uint32_t max_points) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = series_.find(name);
+  std::vector<std::int64_t> out;
+  if (it == series_.end()) return out;
+  const Series& s = it->second;
+  const std::uint64_t n =
+      std::min<std::uint64_t>(s.ring.size(), max_points);
+  out.reserve(n);
+  for (std::uint64_t i = s.head - n; i < s.head; ++i) {
+    out.push_back(point(s, i)->value);
+  }
+  return out;
+}
+
+std::vector<std::string> TimeSeries::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(series_.size());
+  for (const auto& [name, s] : series_) {
+    (void)s;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::string TimeSeries::render_text() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "# omega time-series black box\n# ticks: " << ticks_
+     << " capacity: " << capacity_ << '\n';
+  for (const auto& [name, s] : series_) {
+    if (s.ring.empty()) continue;
+    const TsPoint* nw = point(s, s.head - 1);
+    os << name << ' ';
+    const TsPoint* a = nullptr;
+    const TsPoint* b = nullptr;
+    const bool windowed = window_edges(s, kFullWindowMs, &a, &b);
+    const std::int64_t span =
+        windowed ? b->wall_ms - a->wall_ms : 0;
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        os << (s.kind == MetricSample::Kind::kCounter ? "counter"
+                                                      : "gauge")
+           << " points=" << s.ring.size() << " span_ms=" << span
+           << " last=" << nw->value;
+        if (windowed) {
+          const std::int64_t d = b->value - a->value;
+          os << " delta=" << d;
+          if (span > 0) {
+            os << " rate_per_s="
+               << static_cast<double>(d) * 1000.0 /
+                      static_cast<double>(span);
+          }
+        }
+        break;
+      case MetricSample::Kind::kHistogram: {
+        os << "histogram points=" << s.ring.size() << " span_ms=" << span
+           << " count=" << nw->value;
+        if (windowed) {
+          MetricSample w;
+          w.kind = MetricSample::Kind::kHistogram;
+          w.value = b->value - a->value;
+          w.buckets = diff_buckets(b->buckets, a->buckets);
+          os << " window_count=" << w.value << " window_p50=" << w.quantile(0.5)
+             << " window_p99=" << w.quantile(0.99);
+        }
+        break;
+      }
+    }
+    os << "\n  recent:";
+    const std::uint64_t tail = std::min<std::uint64_t>(s.ring.size(), 20);
+    for (std::uint64_t i = s.head - tail; i < s.head; ++i) {
+      os << ' ' << point(s, i)->value;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace omega::obs

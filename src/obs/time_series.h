@@ -1,0 +1,121 @@
+// In-process time-series "black box": fixed-size per-metric rings of
+// registry snapshots, recorded by a background sampler (obs::Sampler,
+// health.h) every ~250ms. Where the live registry answers "what is the
+// value now", the time series answers the questions that matter after
+// an incident: "was push-lag spiking before the watchdog fired", "how
+// fast are commits moving *this second*", "has RSS grown monotonically
+// for a minute". Histograms keep each tick's cumulative bucket counts,
+// so differencing two ticks yields true *windowed* percentiles instead
+// of the registry's since-boot estimates.
+//
+// The ring holds ~60s at the default 250ms period (240 points). Memory
+// is bounded by capacity x metric count; exited metrics are never
+// dropped (the registry never erases names).
+//
+// Threading: one mutex guards everything. The writer is the sampler
+// thread (4 Hz); readers are health rules (same thread), the HEALTH /
+// METRICS_WATCH wire handlers and render_text() from dump_trace — all
+// cold paths. Nothing here is on a hot path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace omega::obs {
+
+/// One recorded point of one metric: the scraped value at `wall_ms`.
+/// For histograms `value` is the cumulative sample count, `sum` the
+/// cumulative sum and `buckets` the cumulative sparse bucket counts —
+/// window math is differences between two points.
+struct TsPoint {
+  std::int64_t wall_ms = 0;
+  std::int64_t value = 0;
+  std::uint64_t sum = 0;
+  std::vector<std::pair<std::uint8_t, std::uint64_t>> buckets;
+};
+
+class TimeSeries {
+ public:
+  /// `capacity` points are kept per metric (240 @ 250ms ~= 60s).
+  explicit TimeSeries(std::uint32_t capacity = 240);
+
+  /// Appends one scrape (obs::scrape() output) taken at `wall_ms`
+  /// (CLOCK_REALTIME milliseconds) to every metric's ring.
+  void record(const std::vector<MetricSample>& scrape, std::int64_t wall_ms);
+
+  /// Ticks recorded since construction (not capped by capacity).
+  std::uint64_t ticks() const;
+  std::uint32_t capacity() const { return capacity_; }
+
+  /// Wall-clock span (ms) currently covered by `name`'s ring; 0 when
+  /// the metric has fewer than two points.
+  std::int64_t span_ms(const std::string& name) const;
+
+  /// Newest point of `name`; returns false (and leaves `*out` alone)
+  /// when the metric has never been recorded.
+  bool latest(const std::string& name, TsPoint* out = nullptr) const;
+
+  /// Newest recorded value of `name`, or 0 when absent.
+  std::int64_t latest_value(const std::string& name) const;
+
+  /// Change of `name` over the trailing `window_ms`: newest value minus
+  /// the value at the oldest stored point inside the window. 0 when the
+  /// window holds fewer than two points. Negative for shrinking gauges.
+  std::int64_t delta(const std::string& name, std::int64_t window_ms) const;
+
+  /// delta() divided by the actual time between the two points, per
+  /// second. 0 when undefined.
+  double rate(const std::string& name, std::int64_t window_ms) const;
+
+  /// Windowed quantile for histogram `name`: bucket counts at the
+  /// window edge are subtracted from the newest counts and the quantile
+  /// is taken over that difference — the percentile of samples recorded
+  /// *inside* the window, not since boot. 0 when no samples landed in
+  /// the window.
+  std::uint64_t windowed_quantile(const std::string& name,
+                                  std::int64_t window_ms, double q) const;
+
+  /// Histogram samples recorded inside the trailing window.
+  std::int64_t windowed_count(const std::string& name,
+                              std::int64_t window_ms) const;
+
+  /// Up to `max_points` newest values of `name`, oldest first — the
+  /// sparkline feed. Empty when the metric is absent.
+  std::vector<std::int64_t> values(const std::string& name,
+                                   std::uint32_t max_points) const;
+
+  /// Recorded metric names, sorted.
+  std::vector<std::string> names() const;
+
+  /// Human-readable dump of every ring — the "black box" text written
+  /// next to flight-recorder dumps. One line per metric (kind, points,
+  /// span, newest value, windowed delta/rate or count/p50/p99) plus a
+  /// short tail of recent values.
+  std::string render_text() const;
+
+ private:
+  struct Series {
+    MetricSample::Kind kind = MetricSample::Kind::kCounter;
+    std::vector<TsPoint> ring;  ///< size() < capacity while filling
+    std::uint64_t head = 0;     ///< points ever recorded
+  };
+
+  /// Newest point and the oldest stored point with
+  /// wall_ms >= newest - window_ms. Returns false when < 2 points.
+  bool window_edges(const Series& s, std::int64_t window_ms,
+                    const TsPoint** oldest, const TsPoint** newest) const;
+  const TsPoint* point(const Series& s, std::uint64_t logical) const;
+
+  mutable std::mutex mu_;
+  const std::uint32_t capacity_;
+  std::uint64_t ticks_ = 0;
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace omega::obs

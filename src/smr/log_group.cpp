@@ -64,6 +64,8 @@ LogGroup::LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook)
   }
   applied_.reserve(std::min<std::uint32_t>(spec_.capacity, 4096));
   apply_hist_ = &obs::histogram("smr.decide_to_apply_ns");
+  commits_ctr_ = &obs::counter("smr.commits");
+  watchdog_ctr_ = &obs::counter("smr.watchdog_fires");
   obs::Registry& reg = obs::Registry::instance();
   gauge_ids_.push_back(reg.register_gauge("smr.queue_pending", [this] {
     return static_cast<std::int64_t>(queue_.stats().pending);
@@ -180,6 +182,7 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
     }
     apply_hist_->record(
         static_cast<std::uint64_t>(steady_ns() - apply_start));
+    commits_ctr_->add(count);
     obs::trace(obs::TraceEvent::kBatchApply, first, count,
                scratch_.front().trace, scratch_.back().trace);
   }
@@ -197,6 +200,7 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
       } else if (now_us - stall_since_us_ >= spec_.mirror_stall_resync_us) {
         obs::trace(obs::TraceEvent::kWatchdogFire, gid_,
                    pump_->payload_stalls());
+        watchdog_ctr_->add(1);
         obs::dump_trace("mirror-stall-watchdog");
         spec_.mirror_resync();
         stall_since_us_ = 0;
@@ -276,6 +280,71 @@ void LogGroup::clear_hook() {
   // caller may free the state the hook captured right after returning.
   std::unique_lock<std::shared_mutex> lock(hook_mu_);
   hook_ = {};
+}
+
+void register_health_rules(obs::HealthMonitor& hm) {
+  // Commit-progress stall: commands are queued but the commit counter is
+  // flat across the trailing window — the one symptom every replication
+  // failure mode (dead leader, wedged mirror, starved pump) shares.
+  // Escalates to critical once the flat stretch covers 10s. Span guards
+  // keep a freshly started sampler from alarming before the ring covers
+  // the window.
+  hm.add_rule(obs::HealthRule{
+      "commit-stall",
+      [](const obs::TimeSeries& ts, std::string* reason) {
+        const std::int64_t pending = ts.latest_value("smr.queue_pending");
+        if (pending <= 0) return obs::Health::kOk;
+        const std::int64_t span = ts.span_ms("smr.commits");
+        if (span < 2'000) return obs::Health::kOk;
+        if (ts.delta("smr.commits", 2'000) > 0) return obs::Health::kOk;
+        const bool long_flat =
+            span >= 10'000 && ts.delta("smr.commits", 10'000) == 0;
+        *reason = std::to_string(pending) + " queued, commits flat for >=" +
+                  (long_flat ? std::string("10s") : std::string("2s"));
+        return long_flat ? obs::Health::kCritical : obs::Health::kDegraded;
+      },
+      /*degrade_after=*/2,
+      /*recover_after=*/4});
+  // Mirror push-lag: the WINDOWED p99 of seal -> mirror-ack latency (the
+  // registry's since-boot p99 would take minutes to notice a lagging
+  // follower; the differenced one reacts within the window).
+  hm.add_rule(obs::HealthRule{
+      "mirror-push-lag",
+      [](const obs::TimeSeries& ts, std::string* reason) {
+        const std::uint64_t p99 =
+            ts.windowed_quantile("mirror.push_lag_ns", 5'000, 0.99);
+        if (p99 <= 500'000'000) return obs::Health::kOk;
+        *reason = "push-lag p99 " + std::to_string(p99 / 1'000'000) +
+                  "ms over 5s";
+        return obs::Health::kDegraded;
+      },
+      /*degrade_after=*/2,
+      /*recover_after=*/4});
+  // Session evictions: a spike means clients are losing their dedup
+  // retry window faster than they resubmit — usually a TTL misconfig or
+  // a stalled intake starving sessions of refresh traffic.
+  hm.add_rule(obs::HealthRule{
+      "session-evictions",
+      [](const obs::TimeSeries& ts, std::string* reason) {
+        const std::int64_t d = ts.delta("smr.sessions_evicted", 5'000);
+        if (d <= 64) return obs::Health::kOk;
+        *reason = std::to_string(d) + " sessions evicted in 5s";
+        return obs::Health::kDegraded;
+      },
+      /*degrade_after=*/2,
+      /*recover_after=*/4});
+  // The mirror-stall watchdog firing at all is critical: the transport
+  // had to tear its streams down to make progress.
+  hm.add_rule(obs::HealthRule{
+      "watchdog",
+      [](const obs::TimeSeries& ts, std::string* reason) {
+        const std::int64_t d = ts.delta("smr.watchdog_fires", 10'000);
+        if (d <= 0) return obs::Health::kOk;
+        *reason = std::to_string(d) + " mirror-stall watchdog fire(s) in 10s";
+        return obs::Health::kCritical;
+      },
+      /*degrade_after=*/1,
+      /*recover_after=*/4});
 }
 
 }  // namespace omega::smr

@@ -62,11 +62,19 @@
 #include <vector>
 
 #include "consensus/log_pump.h"
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "smr/command_queue.h"
 #include "svc/group_registry.h"
 
 namespace omega::smr {
+
+/// Registers the replication layer's health rules against the black-box
+/// time series: commit-progress stall (queued work with a flat commit
+/// counter), mirror push-lag p99, session-eviction spikes, and the
+/// mirror-stall watchdog. All rules read metrics this layer only emits
+/// once a log group exists, so they stay kOk on election-only nodes.
+void register_health_rules(obs::HealthMonitor& hm);
 
 /// Per-log instantiation parameters.
 struct SmrSpec {
@@ -262,6 +270,8 @@ class LogGroup final : public svc::GroupPump {
   /// gauges (registered per group, summed by name at scrape), and the
   /// failover/eviction trace state.
   obs::Histogram* apply_hist_ = nullptr;  ///< smr.decide_to_apply_ns
+  obs::Counter* commits_ctr_ = nullptr;   ///< smr.commits
+  obs::Counter* watchdog_ctr_ = nullptr;  ///< smr.watchdog_fires
   std::vector<std::uint64_t> gauge_ids_;
   std::uint64_t last_evicted_ = 0;  ///< sessions_evicted at last sweep
   /// Last agreed leader that was NOT local (kNoProcess until one is

@@ -52,6 +52,9 @@ SmrNode::SmrNode(NodeTopology topo, svc::SvcConfig svc_cfg,
   obs::register_process_gauges();
   net_cfg.bind_address = topo_.nodes[topo_.self].host;
   net_cfg.port = topo_.nodes[topo_.self].serve_port;
+  // Stamp this node's identity into METRICS responses (v1.5) so merged
+  // multi-endpoint scrapes can tell the samples apart.
+  net_cfg.node_id = topo_.self;
   server_ = std::make_unique<net::LeaderServer>(svc_, net_cfg);
   server_->serve_log(smr_);
 }

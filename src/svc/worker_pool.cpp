@@ -31,6 +31,7 @@ WorkerPool::WorkerPool(GroupRegistry& registry, const SvcConfig& cfg)
   steps_ctr_ = &obs::counter("svc.steps");
   sweeps_ctr_ = &obs::counter("svc.sweeps");
   fires_ctr_ = &obs::counter("svc.timer_fires");
+  epochs_ctr_ = &obs::counter("svc.epoch_changes");
   sweep_hist_ = &obs::histogram("svc.sweep_ns");
   pace_gauge_id_ =
       obs::Registry::instance().register_gauge("svc.max_pace_us", [this] {
@@ -193,6 +194,7 @@ void WorkerPool::run_worker(std::uint32_t w) {
         if (g.cache.publish(g.agreed())) {
           const LeaderView view = g.cache.load();
           obs::trace(obs::TraceEvent::kEpochChange, g.id, view.epoch);
+          epochs_ctr_->add(1);
           registry_.notify_epoch_change(g.id, view);
           harvested = true;
         }
@@ -233,6 +235,26 @@ void WorkerPool::run_worker(std::uint32_t w) {
       std::this_thread::sleep_for(std::chrono::microseconds(pace));
     }
   }
+}
+
+void register_health_rules(obs::HealthMonitor& hm) {
+  // Leader churn: the epoch counter only moves when a group's published
+  // view changes, so ANY movement in the trailing window means elections
+  // are (re)running — the window during which appends bounce with
+  // kNotLeader. degrade_after=1 publishes on the first post-churn tick
+  // (this is the deterministic failover signal bench_e16 gates on);
+  // recover_after keeps it up until the view has been stable for a full
+  // second on top of the 5s window.
+  hm.add_rule(obs::HealthRule{
+      "leader-churn",
+      [](const obs::TimeSeries& ts, std::string* reason) {
+        const std::int64_t d = ts.delta("svc.epoch_changes", 5'000);
+        if (d <= 0) return obs::Health::kOk;
+        *reason = std::to_string(d) + " epoch change(s) in 5s";
+        return obs::Health::kDegraded;
+      },
+      /*degrade_after=*/1,
+      /*recover_after=*/4});
 }
 
 }  // namespace omega::svc

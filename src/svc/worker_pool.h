@@ -27,11 +27,17 @@
 #include <thread>
 #include <vector>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "svc/group_registry.h"
 #include "svc/timer_wheel.h"
 
 namespace omega::svc {
+
+/// Registers the election layer's health rules ("leader-churn": any epoch
+/// movement in the trailing window marks the node degraded until elections
+/// settle). Called by the serving layer when it builds its health engine.
+void register_health_rules(obs::HealthMonitor& hm);
 
 class WorkerPool {
  public:
@@ -93,6 +99,7 @@ class WorkerPool {
   obs::Counter* steps_ctr_ = nullptr;    ///< svc.steps
   obs::Counter* sweeps_ctr_ = nullptr;   ///< svc.sweeps
   obs::Counter* fires_ctr_ = nullptr;    ///< svc.timer_fires
+  obs::Counter* epochs_ctr_ = nullptr;   ///< svc.epoch_changes
   obs::Histogram* sweep_hist_ = nullptr;  ///< svc.sweep_ns
   std::uint64_t pace_gauge_id_ = 0;       ///< svc.max_pace_us
 };

@@ -1,0 +1,239 @@
+// v1.5 streaming telemetry off a LIVE three-process SmrNode cluster:
+// subscribe METRICS_WATCH on a survivor node, watch sampler ticks flow
+// as reassembled kMetricsTick events, SIGKILL the leader's process, and
+// assert the failover surfaces in-band — the streamed health byte goes
+// degraded (the survivor's leader-churn rule fires on the epoch change)
+// and recovers to ok once the new epoch holds. The HEALTH RPC must
+// agree with the stream at both ends of the arc.
+//
+// fork() happens before any thread exists in this binary (gtest
+// discovery runs each TEST in its own process), so the children may
+// safely construct the full threaded runtime.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "smr/node.h"
+
+namespace omega::smr {
+namespace {
+
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+constexpr svc::GroupId kGid = 51;
+
+NodeTopology make_topology() {
+  NodeTopology topo;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    topo.nodes.push_back(NodeEndpoint{i, "127.0.0.1", pick_free_port(),
+                                      pick_free_port()});
+  }
+  return topo;
+}
+
+[[noreturn]] void run_node(const NodeTopology& base, std::uint32_t self) {
+  try {
+    NodeTopology topo = base;
+    topo.self = self;
+    svc::SvcConfig scfg;
+    scfg.workers = 1;
+    scfg.tick_us = 1000;
+    scfg.pace_us = 200;
+    scfg.max_pace_us = 2000;
+    SmrNode node(topo, scfg);
+    SmrSpec spec;
+    spec.n = 3;
+    spec.capacity = 512;
+    spec.window = 4;
+    spec.max_batch = 8;
+    node.add_log(kGid, spec);
+    node.start();
+    for (;;) {
+      if (node.service().failed()) {
+        std::fprintf(stderr, "node %u FAILED: %s\n", self,
+                     node.service().failure_message().c_str());
+        _exit(2);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "node %u threw: %s\n", self, e.what());
+    _exit(1);
+  } catch (...) {
+    _exit(1);
+  }
+  _exit(0);
+}
+
+class Cluster {
+ public:
+  Cluster() : topo_(make_topology()) {
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const pid_t pid = fork();
+      if (pid == 0) run_node(topo_, i);
+      pids_.push_back(pid);
+    }
+  }
+
+  ~Cluster() {
+    for (const pid_t pid : pids_) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+    for (const pid_t pid : pids_) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+  const NodeTopology& topo() const { return topo_; }
+
+  void kill_node(std::uint32_t node) {
+    ::kill(pids_[node], SIGKILL);
+    ::waitpid(pids_[node], nullptr, 0);
+    pids_[node] = -1;
+  }
+
+  void connect(net::Client& c, std::uint32_t node, int deadline_s = 60) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadline_s);
+    for (;;) {
+      try {
+        c.connect("127.0.0.1", topo_.nodes[node].serve_port, 2000);
+        c.enable_auto_reconnect();
+        return;
+      } catch (const net::NetError&) {
+        if (std::chrono::steady_clock::now() >= deadline) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+  }
+
+  ProcessId await_leader(int deadline_s) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadline_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (std::uint32_t node = 0; node < 3; ++node) {
+        try {
+          net::Client c;
+          connect(c, node, 5);
+          const auto r = c.leader(kGid);
+          if (r.ok() && r.view.leader != kNoProcess) return r.view.leader;
+        } catch (const net::NetError&) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return kNoProcess;
+  }
+
+ private:
+  NodeTopology topo_;
+  std::vector<pid_t> pids_;
+};
+
+/// Drains kMetricsTick events until one matches `want_health`, or the
+/// deadline passes. Ticks must be strictly increasing on the stream.
+bool await_stream_health(net::Client& c, std::uint8_t want_health,
+                         std::uint64_t* last_tick, int deadline_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(deadline_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const std::optional<net::Client::Event> e = c.next_event(500);
+    if (!e || e->kind != net::Client::Event::Kind::kMetricsTick) continue;
+    EXPECT_GT(e->tick, *last_tick) << "sampler ticks must not go backward";
+    *last_tick = e->tick;
+    EXPECT_FALSE(e->samples.empty())
+        << "a sampler tick always carries the full scrape";
+    if (e->health == want_health) return true;
+  }
+  return false;
+}
+
+TEST(HealthStream, TicksFlowAndFailoverDegradesThenRecovers) {
+  Cluster cluster;
+
+  const ProcessId leader = cluster.await_leader(120);
+  ASSERT_NE(leader, kNoProcess);
+  const std::uint32_t leader_node = cluster.topo().node_of(leader);
+  const std::uint32_t survivor = (leader_node + 1) % 3;
+
+  // Subscribe the survivor's sampler stream and see live ticks before
+  // anything goes wrong: increasing tick counter, full scrape attached,
+  // health byte ok.
+  net::Client c;
+  cluster.connect(c, survivor);
+  const auto w = c.metrics_watch();
+  ASSERT_TRUE(w.ok());
+  EXPECT_GT(w.period_ms, 0u);
+
+  std::uint64_t last_tick = 0;
+  ASSERT_TRUE(await_stream_health(c, /*want_health=*/0, &last_tick, 60))
+      << "no ok sampler tick streamed from the survivor";
+
+  // The HEALTH RPC must agree with the stream's baseline: all rules
+  // registered, nothing firing.
+  {
+    const auto h = c.health();
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h.overall, 0);
+    EXPECT_GT(h.rules_total, 0);
+    EXPECT_TRUE(h.firing.empty());
+  }
+
+  // SIGKILL the leader's process. The survivor's leader-churn rule sees
+  // the epoch change and the degradation must arrive IN-BAND on the
+  // already-open stream — no polling, no reconnect.
+  cluster.kill_node(leader_node);
+  ASSERT_TRUE(await_stream_health(c, /*want_health=*/1, &last_tick, 90))
+      << "failover never surfaced as a degraded streamed health byte";
+
+  // While degraded, the HEALTH RPC names the firing rule.
+  {
+    const auto h = c.health();
+    ASSERT_TRUE(h.ok());
+    if (h.overall >= 1) {
+      ASSERT_FALSE(h.firing.empty());
+      bool churn = false;
+      for (const auto& r : h.firing) churn |= r.name == "leader-churn";
+      EXPECT_TRUE(churn) << "expected leader-churn among the firing rules";
+    }
+  }
+
+  // Once the new epoch holds, the churn window drains and the rule's
+  // recover_after hysteresis clears: the stream must return to ok.
+  ASSERT_TRUE(await_stream_health(c, /*want_health=*/0, &last_tick, 90))
+      << "streamed health never recovered to ok after the failover";
+  {
+    const auto h = c.health();
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(h.overall, 0);
+    EXPECT_TRUE(h.firing.empty());
+  }
+}
+
+}  // namespace
+}  // namespace omega::smr

@@ -6,6 +6,8 @@
 #include "obs/flight_recorder.h"
 
 #include <gtest/gtest.h>
+
+#include "obs/metrics.h"
 #include <unistd.h>
 
 #include <algorithm>
@@ -114,7 +116,7 @@ TEST(FlightRecorder, DumpWritesReasonHeaderAndEvents) {
   ::rmdir(dir.c_str());
 }
 
-TEST(FlightRecorder, RateLimitedUnlessForced) {
+TEST(FlightRecorder, RateLimitIsPerReason) {
   char tmpl[] = "/tmp/omega_fr_XXXXXX";
   ASSERT_NE(::mkdtemp(tmpl), nullptr);
   const std::string dir = tmpl;
@@ -122,15 +124,47 @@ TEST(FlightRecorder, RateLimitedUnlessForced) {
   trace(TraceEvent::kWatchdogFire, 1, 2);
   const std::string first = dump_trace("rate-limit", /*force=*/true);
   ASSERT_FALSE(first.empty());
-  // Immediately after a dump, an unforced dump is suppressed; a forced
-  // one still goes through.
-  EXPECT_TRUE(dump_trace("rate-limit-suppressed").empty());
-  const std::string second = dump_trace("rate-limit-forced", /*force=*/true);
+  // Each reason has its own token: right after a dump, an unforced dump
+  // for the SAME reason is suppressed, but a different reason (e.g. the
+  // failover dump following a watchdog storm) still goes through — and
+  // then self-limits too. Forced dumps always go through.
+  EXPECT_TRUE(dump_trace("rate-limit").empty());
+  const std::string other = dump_trace("rate-limit-other");
+  EXPECT_FALSE(other.empty());
+  EXPECT_TRUE(dump_trace("rate-limit-other").empty());
+  const std::string second = dump_trace("rate-limit", /*force=*/true);
   EXPECT_FALSE(second.empty());
   set_trace_dir("");
   std::remove(first.c_str());
+  std::remove(other.c_str());
   std::remove(second.c_str());
   ::rmdir(dir.c_str());
+}
+
+TEST(FlightRecorder, ExitedThreadRingsPrunedAfterHarvest) {
+  constexpr std::uint64_t kMarker = 77300;
+  const auto ring_gauge = [] {
+    for (const auto& s : Registry::instance().scrape()) {
+      if (s.name == "obs.recorder_rings") return s.value;
+    }
+    return std::int64_t{-1};
+  };
+  // Churn a batch of short-lived threads, each writing one event.
+  for (int t = 0; t < 8; ++t) {
+    std::thread([t] { trace(TraceEvent::kSlotDecide, kMarker, t); }).join();
+  }
+  const std::int64_t before = ring_gauge();
+  ASSERT_GE(before, 8);
+  // First harvest still sees every exited thread's tail...
+  std::uint32_t seen = 0;
+  for (const TraceLine& t : parse(render_trace())) {
+    if (t.event == "slot_decide" && t.a == kMarker) ++seen;
+  }
+  EXPECT_EQ(seen, 8u);
+  // ...and prunes their rings, so the gauge drops by the churned count
+  // (live threads keep theirs).
+  const std::int64_t after = ring_gauge();
+  EXPECT_LE(after, before - 8);
 }
 
 }  // namespace

@@ -1,0 +1,178 @@
+// Health engine (obs/health.h): hysteresis (degrade_after bad ticks to
+// publish, recover_after ok ticks to clear), immediate escalation once
+// published, no flapping under alternating verdicts, overall = max over
+// rules, and every published transition counted in
+// obs.health_transitions. Rules are driven by a captured raw verdict so
+// each tick is deterministic.
+#include "obs/health.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace omega::obs {
+namespace {
+
+std::int64_t transitions_total() {
+  for (const MetricSample& s : Registry::instance().scrape()) {
+    if (s.name == "obs.health_transitions") return s.value;
+  }
+  return 0;
+}
+
+/// A monitor with one rule whose raw verdict is `*raw` each tick.
+HealthRule driven_rule(const std::string& name, Health* raw,
+                       std::uint32_t degrade_after,
+                       std::uint32_t recover_after) {
+  HealthRule r;
+  r.name = name;
+  r.degrade_after = degrade_after;
+  r.recover_after = recover_after;
+  r.eval = [raw](const TimeSeries&, std::string* reason) {
+    if (*raw != Health::kOk) *reason = "driven bad";
+    return *raw;
+  };
+  return r;
+}
+
+TEST(HealthMonitor, DegradeAfterAndRecoverAfterHysteresis) {
+  TimeSeries ts(4);
+  HealthMonitor hm;
+  Health raw = Health::kOk;
+  hm.add_rule(driven_rule("hyst", &raw, /*degrade_after=*/2,
+                          /*recover_after=*/3));
+  hm.evaluate(ts);
+  EXPECT_EQ(hm.report().overall, Health::kOk);
+
+  raw = Health::kDegraded;
+  hm.evaluate(ts);  // bad tick 1 of 2: raw flips, published holds
+  {
+    const HealthReport rep = hm.report();
+    EXPECT_EQ(rep.overall, Health::kOk);
+    ASSERT_EQ(rep.rules.size(), 1u);
+    EXPECT_EQ(rep.rules[0].raw, Health::kDegraded);
+    EXPECT_EQ(rep.rules[0].published, Health::kOk);
+  }
+  hm.evaluate(ts);  // bad tick 2: publishes
+  {
+    const HealthReport rep = hm.report();
+    EXPECT_EQ(rep.overall, Health::kDegraded);
+    EXPECT_EQ(rep.rules[0].published, Health::kDegraded);
+    EXPECT_EQ(rep.rules[0].reason, "driven bad");
+  }
+
+  raw = Health::kOk;
+  hm.evaluate(ts);  // ok tick 1 of 3: still published
+  hm.evaluate(ts);  // ok tick 2 of 3
+  EXPECT_EQ(hm.report().overall, Health::kDegraded);
+  hm.evaluate(ts);  // ok tick 3: clears
+  EXPECT_EQ(hm.report().overall, Health::kOk);
+  EXPECT_EQ(hm.report().ticks, 6u);
+}
+
+TEST(HealthMonitor, EscalationIsImmediateOncePublished) {
+  TimeSeries ts(4);
+  HealthMonitor hm;
+  Health raw = Health::kDegraded;
+  hm.add_rule(driven_rule("esc", &raw, /*degrade_after=*/2,
+                          /*recover_after=*/4));
+  hm.evaluate(ts);
+  hm.evaluate(ts);  // published kDegraded
+  ASSERT_EQ(hm.report().overall, Health::kDegraded);
+  raw = Health::kCritical;
+  hm.evaluate(ts);  // worse news does not wait for a streak
+  EXPECT_EQ(hm.report().overall, Health::kCritical);
+  // ...and de-escalation back to degraded does NOT happen while bad:
+  // only a full recovery clears a published verdict.
+  raw = Health::kDegraded;
+  hm.evaluate(ts);
+  EXPECT_EQ(hm.report().overall, Health::kCritical);
+}
+
+TEST(HealthMonitor, AlternatingVerdictNeverPublishes) {
+  TimeSeries ts(4);
+  HealthMonitor hm;
+  Health raw = Health::kOk;
+  hm.add_rule(driven_rule("flap", &raw, /*degrade_after=*/2,
+                          /*recover_after=*/2));
+  const std::int64_t before = transitions_total();
+  for (int i = 0; i < 10; ++i) {
+    raw = (i % 2 == 0) ? Health::kDegraded : Health::kOk;
+    hm.evaluate(ts);
+    EXPECT_EQ(hm.report().overall, Health::kOk) << "tick " << i;
+  }
+  // No published transition -> no counted transition.
+  EXPECT_EQ(transitions_total(), before);
+}
+
+TEST(HealthMonitor, OverallIsTheWorstPublishedRule) {
+  TimeSeries ts(4);
+  HealthMonitor hm;
+  Health a = Health::kOk;
+  Health b = Health::kOk;
+  hm.add_rule(driven_rule("rule-a", &a, 1, 1));
+  hm.add_rule(driven_rule("rule-b", &b, 1, 1));
+  a = Health::kDegraded;
+  b = Health::kCritical;
+  hm.evaluate(ts);
+  const HealthReport rep = hm.report();
+  EXPECT_EQ(rep.overall, Health::kCritical);
+  ASSERT_EQ(rep.rules.size(), 2u);
+  EXPECT_EQ(rep.rules[0].name, "rule-a");
+  EXPECT_EQ(rep.rules[0].published, Health::kDegraded);
+  EXPECT_EQ(rep.rules[1].name, "rule-b");
+  EXPECT_EQ(rep.rules[1].published, Health::kCritical);
+}
+
+TEST(HealthMonitor, TransitionsAreCounted) {
+  TimeSeries ts(4);
+  HealthMonitor hm;
+  Health raw = Health::kOk;
+  hm.add_rule(driven_rule("count", &raw, 1, 1));
+  const std::int64_t before = transitions_total();
+  raw = Health::kDegraded;
+  hm.evaluate(ts);  // ok -> degraded
+  raw = Health::kOk;
+  hm.evaluate(ts);  // degraded -> ok
+  EXPECT_EQ(transitions_total(), before + 2);
+}
+
+TEST(Sampler, SampleNowFeedsSeriesAndRules) {
+  // A synchronous tick must scrape the registry into the series and run
+  // the rules; no background thread involved.
+  counter("test.health.sampled").add(3);
+  SamplerConfig cfg;
+  cfg.capacity = 8;
+  Sampler s(cfg);
+  int evals = 0;
+  HealthRule r;
+  r.name = "saw-metric";
+  r.degrade_after = 1;
+  r.eval = [&evals](const TimeSeries& series, std::string* reason) {
+    ++evals;
+    if (series.latest_value("test.health.sampled") < 3) {
+      *reason = "metric missing from the series";
+      return Health::kDegraded;
+    }
+    return Health::kOk;
+  };
+  s.health().add_rule(r);
+  std::uint64_t got_tick = 0;
+  s.set_tick_listener([&got_tick](std::uint64_t tick,
+                                  const std::vector<MetricSample>& scrape,
+                                  const HealthReport& rep) {
+    got_tick = tick;
+    EXPECT_FALSE(scrape.empty());
+    EXPECT_EQ(rep.overall, Health::kOk);
+  });
+  EXPECT_EQ(s.sample_now(), 1u);
+  EXPECT_EQ(got_tick, 1u);
+  EXPECT_EQ(evals, 1);
+  EXPECT_EQ(s.series().ticks(), 1u);
+  EXPECT_GE(s.series().latest_value("test.health.sampled"), 3);
+}
+
+}  // namespace
+}  // namespace omega::obs

@@ -51,6 +51,7 @@ TEST(MetricsFrame, ResponseRoundTripAllKinds) {
   MetricsRespBody body;
   body.total = 5;
   body.start = 2;
+  body.node = 2;  // v1.5 endpoint-identity trailer
   body.metrics.push_back(counter_sample("net.frames.append", 80000));
   obs::MetricSample gauge;
   gauge.name = "test.negative_gauge";
@@ -75,6 +76,7 @@ TEST(MetricsFrame, ResponseRoundTripAllKinds) {
   ASSERT_TRUE(f.has_metrics_resp);
   EXPECT_EQ(f.metrics_resp.total, 5u);
   EXPECT_EQ(f.metrics_resp.start, 2u);
+  EXPECT_EQ(f.metrics_resp.node, 2u);
   ASSERT_EQ(f.metrics_resp.metrics.size(), 3u);
   EXPECT_EQ(f.metrics_resp.metrics[0], body.metrics[0]);
   EXPECT_EQ(f.metrics_resp.metrics[1], body.metrics[1]);
@@ -92,6 +94,26 @@ TEST(MetricsFrame, EmptyPageRoundTrip) {
   ASSERT_TRUE(frames[0].has_metrics_resp);
   EXPECT_EQ(frames[0].metrics_resp.total, 0u);
   EXPECT_TRUE(frames[0].metrics_resp.metrics.empty());
+  EXPECT_EQ(frames[0].metrics_resp.node, kNoNodeId);  // default trailer
+}
+
+TEST(MetricsFrame, V14ResponseWithoutNodeTrailerStillDecodes) {
+  // A v1.4 peer's response ends right after the records. Strip the
+  // 4-byte node trailer and re-stamp the length prefix: the decoder
+  // must accept the shorter body and default the node to kNoNodeId.
+  MetricsRespBody body;
+  body.total = 1;
+  body.metrics.push_back(counter_sample("old.peer", 7));
+  std::vector<std::uint8_t> buf;
+  encode_metrics_response(buf, Status::kOk, 6, body);
+  const std::size_t payload_len = buf.size() - 4 - 4;
+  Frame f;
+  ASSERT_EQ(decode_payload(buf.data() + 4, payload_len, f),
+            DecodeResult::kOk);
+  ASSERT_TRUE(f.has_metrics_resp);
+  ASSERT_EQ(f.metrics_resp.metrics.size(), 1u);
+  EXPECT_EQ(f.metrics_resp.metrics[0], body.metrics[0]);
+  EXPECT_EQ(f.metrics_resp.node, kNoNodeId);
 }
 
 TEST(MetricsFrame, RecordWireSizeMatchesEncoding) {
@@ -105,9 +127,9 @@ TEST(MetricsFrame, RecordWireSizeMatchesEncoding) {
   std::vector<std::uint8_t> buf;
   encode_metrics_response(buf, Status::kOk, 1, body);
   // frame = u32 len | 12-byte header | u32 total | u32 start | u32 count
-  //         | the one record
+  //         | the one record | u32 node (v1.5 trailer)
   EXPECT_EQ(buf.size(),
-            4 + kHeaderBytes + 12 + metrics_record_wire_size(hist));
+            4 + kHeaderBytes + 12 + metrics_record_wire_size(hist) + 4);
 }
 
 TEST(MetricsFrame, TruncatedRecordRejected) {

@@ -1,0 +1,136 @@
+// Time-series black box (obs/time_series.h): per-metric ring wraparound
+// keeps the newest capacity points, window math (delta/rate) reads the
+// trailing window only, and windowed histogram quantiles track what
+// happened *inside* the window where the registry's cumulative estimate
+// is forever polluted by boot-time history.
+#include "obs/time_series.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace omega::obs {
+namespace {
+
+MetricSample counter_sample(const std::string& name, std::int64_t value) {
+  MetricSample m;
+  m.name = name;
+  m.kind = MetricSample::Kind::kCounter;
+  m.value = value;
+  return m;
+}
+
+MetricSample hist_sample(
+    const std::string& name, std::int64_t count,
+    std::vector<std::pair<std::uint8_t, std::uint64_t>> buckets) {
+  MetricSample m;
+  m.name = name;
+  m.kind = MetricSample::Kind::kHistogram;
+  m.value = count;  // cumulative sample count, like a registry scrape
+  m.buckets = std::move(buckets);
+  return m;
+}
+
+TEST(TimeSeries, RingWrapKeepsNewestPoints) {
+  TimeSeries ts(8);
+  // 20 ticks into an 8-point ring: only the last 8 survive, in order.
+  for (int i = 0; i < 20; ++i) {
+    ts.record({counter_sample("t.wrap", i * 10)}, /*wall_ms=*/1000 + i * 250);
+  }
+  EXPECT_EQ(ts.ticks(), 20u);
+  EXPECT_EQ(ts.capacity(), 8u);
+  const std::vector<std::int64_t> v = ts.values("t.wrap", 100);
+  ASSERT_EQ(v.size(), 8u);
+  EXPECT_EQ(v.front(), 120);  // tick 12, the oldest survivor
+  EXPECT_EQ(v.back(), 190);   // tick 19
+  EXPECT_EQ(ts.latest_value("t.wrap"), 190);
+  EXPECT_EQ(ts.span_ms("t.wrap"), 7 * 250);
+  TsPoint p;
+  ASSERT_TRUE(ts.latest("t.wrap", &p));
+  EXPECT_EQ(p.wall_ms, 1000 + 19 * 250);
+}
+
+TEST(TimeSeries, DeltaAndRateReadTheTrailingWindow) {
+  TimeSeries ts(16);
+  // +25 per 250ms tick, 8 ticks: wall 0..1750, value 0..175.
+  for (int i = 0; i < 8; ++i) {
+    ts.record({counter_sample("t.rate", i * 25)}, /*wall_ms=*/i * 250);
+  }
+  // Window 1000ms back from wall=1750 reaches the point at wall=750
+  // (value 75): delta 100 over exactly 1000ms.
+  EXPECT_EQ(ts.delta("t.rate", 1000), 100);
+  EXPECT_DOUBLE_EQ(ts.rate("t.rate", 1000), 100.0);
+  // A window holding only the newest point has no baseline.
+  EXPECT_EQ(ts.delta("t.rate", 0), 0);
+  EXPECT_DOUBLE_EQ(ts.rate("t.rate", 0), 0.0);
+  // Unknown metrics answer zero, not UB.
+  EXPECT_EQ(ts.delta("t.absent", 1000), 0);
+  EXPECT_EQ(ts.latest_value("t.absent"), 0);
+  EXPECT_FALSE(ts.latest("t.absent"));
+}
+
+TEST(TimeSeries, GaugeDeltaGoesNegative) {
+  TimeSeries ts(8);
+  MetricSample g;
+  g.name = "t.gauge";
+  g.kind = MetricSample::Kind::kGauge;
+  g.value = 500;
+  ts.record({g}, 0);
+  g.value = 120;
+  ts.record({g}, 250);
+  EXPECT_EQ(ts.delta("t.gauge", 1000), -380);
+}
+
+TEST(TimeSeries, WindowedQuantileTracksTheWindowNotTheBoot) {
+  TimeSeries ts(8);
+  // Phase 1 (before the window): 100 samples of ~100ns land in bucket 7
+  // (upper bound 127). Phase 2 (inside the window): 100 samples of ~1ms
+  // land in bucket 20 (upper bound 1048575). The ticks carry CUMULATIVE
+  // bucket counts, exactly like registry scrapes.
+  ts.record({hist_sample("t.lat", 100, {{7, 100}})}, /*wall_ms=*/0);
+  const auto tick2 = hist_sample("t.lat", 200, {{7, 100}, {20, 100}});
+  ts.record({tick2}, /*wall_ms=*/1000);
+  // The cumulative estimate still sees the boot-time fast half...
+  EXPECT_EQ(tick2.quantile(0.01), 127u);
+  // ...but the windowed quantile differences the buckets: every sample
+  // inside the window is slow, at any percentile.
+  EXPECT_EQ(ts.windowed_quantile("t.lat", 1000, 0.01), 1048575u);
+  EXPECT_EQ(ts.windowed_quantile("t.lat", 1000, 0.50), 1048575u);
+  EXPECT_EQ(ts.windowed_quantile("t.lat", 1000, 0.99), 1048575u);
+  EXPECT_EQ(ts.windowed_count("t.lat", 1000), 100);
+  // Quantiles on non-histograms are 0, never a crash.
+  ts.record({counter_sample("t.ctr", 5)}, 0);
+  ts.record({counter_sample("t.ctr", 6)}, 1000);
+  EXPECT_EQ(ts.windowed_quantile("t.ctr", 1000, 0.5), 0u);
+}
+
+TEST(TimeSeries, WindowedQuantileMatchesExactAtBucketResolution) {
+  TimeSeries ts(8);
+  // Two same-bucket phases: windowed p99 collapses to the window's own
+  // bucket even though the cumulative majority sits elsewhere.
+  ts.record({hist_sample("t.exact", 1000, {{7, 1000}})}, 0);
+  ts.record({hist_sample("t.exact", 1010, {{7, 1000}, {10, 10}})}, 500);
+  // Exact samples in the window: ten values in bucket 10 (upper 1023).
+  EXPECT_EQ(ts.windowed_quantile("t.exact", 500, 0.5), 1023u);
+  EXPECT_EQ(ts.windowed_count("t.exact", 500), 10);
+}
+
+TEST(TimeSeries, RenderTextCoversEveryRecordedMetric) {
+  TimeSeries ts(4);
+  ts.record({counter_sample("t.render.ctr", 1),
+             hist_sample("t.render.hist", 2, {{5, 2}})},
+            0);
+  ts.record({counter_sample("t.render.ctr", 4),
+             hist_sample("t.render.hist", 7, {{5, 7}})},
+            250);
+  const std::string text = ts.render_text();
+  EXPECT_NE(text.find("# omega time-series black box"), std::string::npos);
+  EXPECT_NE(text.find("t.render.ctr counter"), std::string::npos);
+  EXPECT_NE(text.find("t.render.hist histogram"), std::string::npos);
+  EXPECT_NE(text.find("delta=3"), std::string::npos);
+  EXPECT_NE(text.find("window_count=5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace omega::obs
