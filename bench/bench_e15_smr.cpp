@@ -37,6 +37,7 @@
 #include "net/leader_server.h"
 #include "obs/metrics.h"
 #include "smr/smr_service.h"
+#include "wal/wal.h"
 
 namespace {
 
@@ -379,6 +380,91 @@ int main(int argc, char** argv) {
     verdict.expect(base.p50_ns <= 3300000, p50_msg);
   }
 
+  // --- phase A2: the durable A/B — the SAME B=64 workload, once more with
+  // a WAL under the log and fsync-gated acks (quorum_ack in a single
+  // process degenerates to "acked means fsync'd"). The delta against the
+  // memory row above IS the durability tax, and the >= 80k/s gate must
+  // hold on THIS row too: group-commit fsync batching is the whole design
+  // bet. wal.fsync_ns lands in the stage table at the end.
+  {
+    char wal_tmpl[] = "/tmp/omega_e15_wal_XXXXXX";
+    OMEGA_CHECK(::mkdtemp(wal_tmpl) != nullptr, "mkdtemp failed");
+    wal::WalOptions wopts;
+    wopts.dir = wal_tmpl;
+    wal::Wal wal(wopts);
+    wal.start();
+
+    constexpr svc::GroupId kDurableGid = 200;
+    smr::SmrSpec dspec;
+    dspec.n = 3;
+    dspec.capacity = 49152;
+    dspec.window = 4;
+    dspec.max_pending = 8192;
+    dspec.max_batch = 64;
+    dspec.session_ttl_us = 60000000;
+    dspec.wal = &wal;
+    dspec.quorum_ack = true;
+    smr.add_log(kDurableGid, dspec);
+    verdict.expect(
+        service.await_leader(kDurableGid, 120000000) != kNoProcess,
+        "the durable log group must elect");
+
+    const LoadResult durable =
+        run_appenders(server.port(), kDurableGid, /*connections=*/64,
+                      /*depth=*/16, /*target=*/96000,
+                      /*deadline_ms=*/30000, /*first_client_id=*/70001);
+    const wal::WalStats wstats = wal.stats();
+
+    AsciiTable wtable({"B=64 variant", "appends/sec", "ack p50 us",
+                       "ack p99 us", "wal records", "fsync barriers"});
+    wtable.add_row(
+        {"memory", fmt_count(static_cast<std::uint64_t>(best.qps)),
+         fmt_double(static_cast<double>(best.p50_ns) / 1e3, 1),
+         fmt_double(static_cast<double>(best.p99_ns) / 1e3, 1), "-", "-"});
+    wtable.add_row(
+        {"durable (WAL)", fmt_count(static_cast<std::uint64_t>(durable.qps)),
+         fmt_double(static_cast<double>(durable.p50_ns) / 1e3, 1),
+         fmt_double(static_cast<double>(durable.p99_ns) / 1e3, 1),
+         fmt_count(wstats.appended_records), fmt_count(wstats.flushes)});
+    std::cout << "\ndurable vs memory (B=64, acks gated on fdatasync):\n"
+              << wtable.render();
+
+    verdict.expect(durable.bad_answers == 0,
+                   "durable: every append must be acknowledged");
+    verdict.expect(wstats.io_errors == 0, "the WAL must not degrade");
+    verdict.expect(wstats.appended_records > 0,
+                   "commits must journal WAL records");
+    verdict.expect(wstats.flushes > 0 &&
+                       wstats.flushes < wstats.appended_records,
+                   "fsync batching must amortize barriers across records "
+                   "(got " + fmt_count(wstats.flushes) + " barriers for " +
+                       fmt_count(wstats.appended_records) + " records)");
+    const std::string wal_qps_msg =
+        ">= 80k appends/s at B=64 WITH the WAL enabled (got " +
+        fmt_count(static_cast<std::uint64_t>(durable.qps)) + ")";
+    if (perf_advisory) {
+      if (durable.qps < 80000.0) {
+        std::cout << "  [ADVISORY] " << wal_qps_msg << '\n';
+      }
+    } else {
+      verdict.expect(durable.qps >= 80000.0, wal_qps_msg);
+    }
+
+    reconcile(kDurableGid, durable.committed, "B=64 durable");
+    smr.remove_log(kDurableGid);
+    wal.stop();
+    json.set("wal_appends_per_sec", durable.qps);
+    json.set("wal_ack_p50_us", static_cast<double>(durable.p50_ns) / 1e3);
+    json.set("wal_ack_p99_us", static_cast<double>(durable.p99_ns) / 1e3);
+    json.set("wal_records", wstats.appended_records);
+    json.set("wal_fsync_barriers", wstats.flushes);
+    json.set("wal_segments", wstats.segments);
+    if (best.qps > 0) {
+      json.set("wal_overhead_pct",
+               100.0 * (1.0 - durable.qps / best.qps));
+    }
+  }
+
   // --- phase B: leader crash -> first post-failover commit. ----------------
   // Run on the B=64 group. A commit watcher observes the log purely via
   // push; appenders keep hammering (retrying on kNotLeader) in a
@@ -607,6 +693,7 @@ int main(int argc, char** argv) {
     report_stage("smr.decide_to_apply_ns", "decide_to_apply",
                  "decide->apply");
     report_stage("net.ack_flush_ns", "ack_flush", "ack flush");
+    report_stage("wal.fsync_ns", "wal_fsync", "wal fsync");
     report_stage("svc.sweep_ns", "sweep", "worker sweep");
     report_stage("obs.sample_ns", "sampler_tick", "sampler tick");
     std::cout << "\npipeline stage latencies (obs histograms, full run):\n"

@@ -51,6 +51,7 @@
 #include "obs/metrics.h"
 #include "obs/trace_stitch.h"
 #include "smr/node.h"
+#include "wal/wal.h"
 
 namespace {
 
@@ -93,11 +94,16 @@ smr::SmrSpec bench_spec() {
   spec.window = 4;
   spec.max_batch = 64;
   spec.max_pending = 8192;
+  // Every measured number below is priced with full durability on: an
+  // acked append is fsync'd into a QUORUM of per-node WALs before the
+  // client hears kOk (PR 9), and the crash-restart phase restarts the
+  // killed node from its journal.
+  spec.quorum_ack = true;
   return spec;
 }
 
-[[noreturn]] void run_node(const smr::NodeTopology& base,
-                           std::uint32_t self) {
+[[noreturn]] void run_node(const smr::NodeTopology& base, std::uint32_t self,
+                           const std::string& wal_dir) {
   try {
     smr::NodeTopology topo = base;
     topo.self = self;
@@ -114,7 +120,9 @@ smr::SmrSpec bench_spec() {
     scfg.pace_us = 50;
     scfg.max_pace_us = 2000;
     scfg.worker_nice = 10;
-    smr::SmrNode node(topo, scfg);
+    wal::WalOptions wopts;
+    wopts.dir = wal_dir;
+    smr::SmrNode node(topo, scfg, {}, wopts);
     node.add_log(kGid, bench_spec());
     node.start();
     for (;;) ::pause();
@@ -127,14 +135,24 @@ smr::SmrSpec bench_spec() {
 struct Cluster {
   smr::NodeTopology topo;
   std::vector<pid_t> pids;
+  std::vector<std::string> wal_dirs;
 
   bool alive(std::uint32_t node) const { return pids[node] > 0; }
+
+  pid_t spawn(std::uint32_t node) {
+    const pid_t pid = fork();
+    if (pid == 0) run_node(topo, node, wal_dirs[node]);
+    return pid;
+  }
 
   void kill_node(std::uint32_t node) {
     ::kill(pids[node], SIGKILL);
     ::waitpid(pids[node], nullptr, 0);
     pids[node] = -1;
   }
+
+  /// The restart under test: SAME identity, SAME ports, SAME WAL dir.
+  void restart_node(std::uint32_t node) { pids[node] = spawn(node); }
 
   ~Cluster() {
     for (const pid_t pid : pids) {
@@ -328,11 +346,23 @@ int main(int argc, char** argv) {
   for (std::uint32_t i = 0; i < kNodes; ++i) {
     cluster.topo.nodes.push_back(smr::NodeEndpoint{
         i, "127.0.0.1", pick_free_port(), pick_free_port()});
+    // WAL segments live next to the trace/json artifacts, so CI archives
+    // the actual journals alongside the numbers they produced.
+    cluster.wal_dirs.push_back(trace_dir + "/WAL_e16_node" +
+                               std::to_string(i));
+  }
+  // A stale journal from a previous run would be replayed as this run's
+  // history — wipe the dirs so every node starts life fresh.
+  {
+    wal::PosixWalIo io;
+    for (const std::string& dir : cluster.wal_dirs) {
+      for (const std::string& name : io.list(dir)) {
+        std::remove((dir + "/" + name).c_str());
+      }
+    }
   }
   for (std::uint32_t i = 0; i < kNodes; ++i) {
-    const pid_t pid = fork();
-    if (pid == 0) run_node(cluster.topo, i);
-    cluster.pids.push_back(pid);
+    cluster.pids.push_back(cluster.spawn(i));
   }
 
   // --- phase A: election across processes. ---------------------------------
@@ -726,6 +756,81 @@ int main(int argc, char** argv) {
   verdict.expect(common > load.committed,
                  "the shared log must cover the pre-crash commits");
   json.set("survivor_log_len", static_cast<std::uint64_t>(common));
+
+  // --- phase D1: crash-restart rejoin (PR 9). ------------------------------
+  // The SIGKILL'd node restarts IN PLACE: same identity, same ports, same
+  // WAL directory. Before respawning, replay the journal in the parent —
+  // the count below is exactly what the restarting node recovers (a
+  // SIGKILL left no chance for a parting flush, so a non-trivial count
+  // proves the journal was written on the hot path). Then measure fork ->
+  // "serves the full log", the operator-facing rejoin time.
+  {
+    std::uint64_t wal_replay_records = 0;
+    {
+      wal::WalOptions wopts;
+      wopts.dir = cluster.wal_dirs[leader_node];
+      wal::Wal probe(wopts);
+      const wal::ReplayResult r = probe.replay();
+      verdict.expect(!r.corrupt,
+                     "the killed node's WAL must replay clean (torn tail "
+                     "at most)");
+      wal_replay_records = r.records;
+    }
+    verdict.expect(wal_replay_records > 0,
+                   "the killed leader's WAL must hold journaled records");
+
+    const std::int64_t restart_t0 = wall_ns();
+    cluster.restart_node(leader_node);
+    std::vector<std::uint64_t> rejoined;
+    const auto rejoin_deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    bool caught_up = false;
+    while (std::chrono::steady_clock::now() < rejoin_deadline) {
+      try {
+        net::Client c;
+        connect_retry(cluster, c, leader_node, 10);
+        rejoined.clear();
+        std::uint64_t from = 0;
+        for (;;) {
+          const auto page = c.read_log(kGid, from, 256);
+          if (page.status != net::Status::kOk) break;
+          for (const std::uint64_t v : page.entries) {
+            rejoined.push_back(v);
+          }
+          from += page.entries.size();
+          if (page.entries.empty()) break;
+        }
+        if (rejoined.size() >= common &&
+            rejoined.size() >= post_crash_index) {
+          caught_up = true;
+          break;
+        }
+      } catch (const net::NetError&) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    const double restart_rejoin_ms =
+        static_cast<double>(wall_ns() - restart_t0) / 1e6;
+    verdict.expect(caught_up,
+                   "the restarted node must serve the full log (replayed "
+                   "prefix + resynced crash-window entries)");
+    // Identical across the restart: the rejoined node's log must equal
+    // the survivors' shared prefix entry for entry — nothing rewritten,
+    // nothing fabricated by replay.
+    bool restart_agrees = caught_up;
+    for (std::size_t i = 0; restart_agrees && i < common; ++i) {
+      restart_agrees = rejoined[i] == (*survivors[0])[i];
+    }
+    verdict.expect(restart_agrees,
+                   "the restarted node's log must match the survivors' "
+                   "entry for entry");
+    std::cout << "\n  crash-restart rejoin: node " << leader_node
+              << " replayed " << fmt_count(wal_replay_records)
+              << " WAL records, served the full log "
+              << fmt_double(restart_rejoin_ms, 1) << " ms after respawn\n";
+    json.set("restart_rejoin_ms", restart_rejoin_ms);
+    json.set("wal_replay_records", wal_replay_records);
+  }
 
   // --- phase D2: the HEALTH verdict arc across the failover. ---------------
   // Keep polling until the survivor publishes ok again (the leader-churn

@@ -165,6 +165,17 @@ LogPump::LogPump(ReplicatedLog& log, PumpHost& host, std::uint32_t window,
   failover_ctr_ = &obs::counter("smr.failover_tickets");
 }
 
+void LogPump::fast_forward(std::uint32_t next_slot) {
+  OMEGA_CHECK(committed_ == 0 && started_ == 0,
+              "fast_forward on a pump that already ran (committed="
+                  << committed_ << ", started=" << started_ << ")");
+  OMEGA_CHECK(next_slot <= log_.capacity(),
+              "fast_forward past capacity: " << next_slot << " > "
+                                             << log_.capacity());
+  committed_ = next_slot;
+  started_ = next_slot;
+}
+
 bool LogPump::read_payload(std::uint32_t s, std::uint64_t descriptor,
                            std::uint32_t& count, ProcessId& sealer) {
   decode_batch_descriptor(descriptor, count, sealer);

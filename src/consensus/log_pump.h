@@ -258,6 +258,13 @@ class LogPump {
   std::uint32_t tick(const std::function<std::uint64_t()>& supply,
                      std::vector<Commit>& commits);
 
+  /// Crash-restart recovery: moves both cursors past an already-applied
+  /// prefix recovered from the WAL, so the pump neither re-proposes nor
+  /// re-harvests those slots (the applied values came back through the
+  /// replay, not through tick()). Call once, before the first tick, on a
+  /// pump that has done nothing yet.
+  void fast_forward(std::uint32_t next_slot);
+
   /// Slots harvested so far (== the next slot to be applied).
   std::uint32_t committed() const noexcept { return committed_; }
   /// Slots started so far (== the next slot to be assigned a command).

@@ -507,15 +507,25 @@ Client::AppendResult Client::append_retry(svc::GroupId gid,
       // single response stalls.
       const AppendResult r = append(gid, client, seq, command,
                                     std::min(remaining, kResponseTimeoutMs));
-      // kNotLeader ("wait for the next leader") and kOverloaded ("intake
-      // full, retry later") are transient: back off and ask again — the
-      // dedup key keeps the retries idempotent. Everything else is an
-      // answer (including kOk with the committed index for a duplicate).
-      if (r.status != Status::kNotLeader && r.status != Status::kOverloaded) {
+      // kSessionEvicted means the dedup window for this client expired on
+      // the server; the append was NOT taken. Re-open the session (same
+      // connection, no backoff — this is a protocol exchange, not an
+      // outage) and resubmit immediately with the same (client, seq) key.
+      if (r.status == Status::kSessionEvicted) {
+        const SessionInfo s = open_session(gid, client);
+        if (s.status == Status::kOk) continue;
+        last_error = "session re-open rejected";
+      } else if (r.status != Status::kNotLeader &&
+                 r.status != Status::kOverloaded) {
+        // kNotLeader ("wait for the next leader") and kOverloaded ("intake
+        // full, retry later") are transient: back off and ask again — the
+        // dedup key keeps the retries idempotent. Everything else is an
+        // answer (including kOk with the committed index for a duplicate).
         return r;
+      } else {
+        last_error = r.status == Status::kNotLeader ? "no agreed leader"
+                                                    : "server overloaded";
       }
-      last_error = r.status == Status::kNotLeader ? "no agreed leader"
-                                                  : "server overloaded";
     } catch (const NetError& e) {
       // Transport failure (server restart, timeout, partial write): the
       // stream is not trustworthy — drop it. The next append() redials

@@ -208,7 +208,9 @@ class Client {
   /// response, backoff — is clamped to the remaining budget, so the
   /// timeout is honored to within one clamped connect attempt.
   /// kNotLeader and transport errors back off and retry — idempotent by
-  /// the dedup key.
+  /// the dedup key. kSessionEvicted re-opens the dedup session in place
+  /// (SESSION_OPEN on the same connection) and resubmits immediately, so
+  /// long-idle clients resume instead of erroring.
   AppendResult append_retry(svc::GroupId gid, std::uint64_t client,
                             std::uint64_t seq, std::uint64_t command,
                             int timeout_ms = 30000);

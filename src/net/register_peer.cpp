@@ -227,6 +227,7 @@ void MirrorTransport::on_local_write(svc::GroupId gid, Cell c,
   bool schedule = false;
   {
     std::lock_guard<std::mutex> lock(pending_mu_);
+    write_seq_.fetch_add(1, std::memory_order_release);
     for (std::size_t i = 0; i < peers_.size(); ++i) {
       if (!peers_[i]->connected.load(std::memory_order_acquire)) continue;
       auto& q = pending_[i];
@@ -319,6 +320,7 @@ void MirrorTransport::disconnect_peer(RegisterPeer& p) {
   p.sent_seq = 0;
   p.acked_seq = 0;
   p.sent_times.clear();
+  p.cover_marks.clear();  // acked_wseq survives: acked writes stay applied
   std::lock_guard<std::mutex> lock(pending_mu_);
   for (std::size_t i = 0; i < peers_.size(); ++i) {
     if (peers_[i].get() == &p) {
@@ -410,6 +412,21 @@ void MirrorTransport::handle_peer_frame(RegisterPeer& p, const Frame& f) {
       p.acked_seq = seq;
       p.backlog.store(p.sent_seq - p.acked_seq, std::memory_order_relaxed);
       counters_.acked_frames.fetch_add(1, std::memory_order_relaxed);
+      std::size_t covered_marks = 0;
+      std::uint64_t wseq = 0;
+      while (covered_marks < p.cover_marks.size() &&
+             p.cover_marks[covered_marks].first <= seq) {
+        wseq = std::max(wseq, p.cover_marks[covered_marks].second);
+        ++covered_marks;
+      }
+      if (covered_marks > 0) {
+        p.cover_marks.erase(p.cover_marks.begin(),
+                            p.cover_marks.begin() +
+                                static_cast<std::ptrdiff_t>(covered_marks));
+        if (wseq > p.acked_wseq.load(std::memory_order_relaxed)) {
+          p.acked_wseq.store(wseq, std::memory_order_release);
+        }
+      }
       const std::int64_t now = now_ns();
       std::size_t drop = 0;
       std::int64_t last_lag = -1;
@@ -449,9 +466,15 @@ void MirrorTransport::flush_peers() {
     RegisterPeer& p = *peers_[i];
     if (p.fd < 0 || !p.hello_sent) continue;
     batch.clear();
+    std::uint64_t covered = 0;
     {
       std::lock_guard<std::mutex> lock(pending_mu_);
       batch.swap(pending_[i]);
+      // Every local write numbered <= this watermark is either in `batch`
+      // or was drained to this peer earlier (writes enqueue under the same
+      // lock that bumps the watermark; a disconnected gap is covered by
+      // the reconnect snapshot, whose entries are also in the queue).
+      covered = write_seq_.load(std::memory_order_relaxed);
     }
     std::size_t at = 0;
     std::vector<RegCellUpdate> cells;
@@ -475,6 +498,10 @@ void MirrorTransport::flush_peers() {
       counters_.pushed_frames.fetch_add(1, std::memory_order_relaxed);
       counters_.pushed_cells.fetch_add(cells.size(),
                                        std::memory_order_relaxed);
+    }
+    if (!batch.empty()) {
+      // Ack of the batch's last frame certifies coverage of `covered`.
+      p.cover_marks.emplace_back(p.sent_seq, covered);
     }
     p.backlog.store(p.sent_seq - p.acked_seq, std::memory_order_relaxed);
     if (p.out.size() - p.out_pos > cfg_.max_outbuf_bytes) {
@@ -582,6 +609,7 @@ void MirrorTransport::handle_inbound_frame(Inbound& c, const Frame& f) {
         close_inbound(c.fd);
         return;
       }
+      std::uint64_t wal_gate = 0;
       {
         std::lock_guard<std::mutex> lock(groups_mu_);
         const auto it = groups_.find(f.reg_push.gid);
@@ -591,6 +619,14 @@ void MirrorTransport::handle_inbound_frame(Inbound& c, const Frame& f) {
           // the FIFO application the mirror's regularity argument needs.
           for (const auto& u : f.reg_push.cells) {
             mem.apply_push(Cell{u.cell}, u.value);
+            if (inbound_journal_) {
+              // Journal the pushed cell to the local WAL (the closure
+              // filters out cells below the durable floor; record seqs
+              // are monotone, so the last nonzero one gates the ack).
+              const std::uint64_t rec =
+                  inbound_journal_(f.reg_push.gid, u.cell, u.value);
+              if (rec != 0) wal_gate = rec;
+            }
           }
           counters_.applied_cells.fetch_add(f.reg_push.cells.size(),
                                             std::memory_order_relaxed);
@@ -600,6 +636,18 @@ void MirrorTransport::handle_inbound_frame(Inbound& c, const Frame& f) {
         // streams and resyncs, so nothing is silently lost.
       }
       counters_.applied_frames.fetch_add(1, std::memory_order_relaxed);
+      if (wal_gate != 0 || !c.deferred_acks.empty()) {
+        // Hold the ack until the WAL covers this frame's records. A frame
+        // that journaled nothing still queues behind earlier gated frames
+        // (inheriting their gate), keeping the ack stream cumulative.
+        if (wal_gate == 0) wal_gate = c.deferred_acks.back().second;
+        c.deferred_acks.emplace_back(f.reg_push.seq, wal_gate);
+        if (!drain_deferred_acks(c)) {
+          close_inbound(c.fd);
+          return;
+        }
+        break;
+      }
       encode_reg_ack(c.out, f.reg_push.seq);
       break;
     }
@@ -609,6 +657,42 @@ void MirrorTransport::handle_inbound_frame(Inbound& c, const Frame& f) {
   if (!flush_out(c.fd, c.out, c.out_pos, c.want_write)) {
     close_inbound(c.fd);
   }
+}
+
+// --- inbound durability (quorum_ack) ---------------------------------------
+
+void MirrorTransport::set_inbound_journal(InboundJournal journal) {
+  OMEGA_CHECK(!started_, "install the inbound journal before start()");
+  inbound_journal_ = std::move(journal);
+}
+
+bool MirrorTransport::drain_deferred_acks(Inbound& c) {
+  std::uint64_t ack = 0;
+  while (!c.deferred_acks.empty() &&
+         c.deferred_acks.front().second <= durable_wal_) {
+    ack = c.deferred_acks.front().first;
+    c.deferred_acks.pop_front();
+  }
+  if (ack == 0) return true;
+  // One cumulative ack for the whole released run.
+  encode_reg_ack(c.out, ack);
+  return flush_out(c.fd, c.out, c.out_pos, c.want_write);
+}
+
+void MirrorTransport::release_durable_acks(std::uint64_t durable_seq) {
+  if (!started_ || stopped_.load(std::memory_order_acquire)) return;
+  loop_.post([this, durable_seq] {
+    if (stopped_.load(std::memory_order_acquire)) return;
+    durable_wal_ = std::max(durable_wal_, durable_seq);
+    std::vector<int> fds;
+    fds.reserve(inbound_.size());
+    for (const auto& [fd, c] : inbound_) fds.push_back(fd);
+    for (const int fd : fds) {
+      const auto it = inbound_.find(fd);
+      if (it == inbound_.end()) continue;
+      if (!drain_deferred_acks(*it->second)) close_inbound(fd);
+    }
+  });
 }
 
 // --- shared ---------------------------------------------------------------
@@ -650,6 +734,16 @@ std::uint64_t MirrorTransport::max_unacked_frames() const {
     deepest = std::max(deepest, p->backlog.load(std::memory_order_relaxed));
   }
   return deepest;
+}
+
+void MirrorTransport::acked_marks(
+    std::vector<std::pair<std::uint32_t, std::uint64_t>>& out) const {
+  out.clear();
+  out.reserve(peers_.size());
+  for (const auto& p : peers_) {
+    out.emplace_back(p->cfg.node,
+                     p->acked_wseq.load(std::memory_order_acquire));
+  }
 }
 
 std::uint64_t MirrorTransport::connected_peers() const {

@@ -37,10 +37,24 @@
 // connected peers; the SMR pump stalls sealing new batches above a
 // threshold so a mirror can never lag past the spill ring. Ack round
 // trips double as the push-lag measurement surfaced in bench_e16.
+//
+// Durability hooks (quorum_ack, PR 9): every on_local_write advances a
+// global *write watermark*; each flushed push batch carries a cover mark
+// (frame seq -> watermark), and a peer's cumulative ack therefore yields
+// "this node has applied every local write up to W" — acked_marks()
+// exposes those per-peer watermarks so the SMR layer can hold an append's
+// acknowledgement until a quorum of nodes covers the sealed batch. On the
+// inbound side an optional *journal* seam appends pushed durable-floor
+// cells to the local WAL and defers the REG_ACK until the WAL reports
+// them durable (release_durable_acks, driven by the Wal's durable
+// listener) — so a peer's ack attests "applied AND journaled", which is
+// what makes a quorum of acks mean a quorum of WALs.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -130,6 +144,39 @@ class MirrorTransport {
 
   std::uint64_t connected_peers() const;
 
+  // --- durability hooks (quorum_ack) ---------------------------------------
+
+  /// Count of local writes ever observed (the write watermark). A sealed
+  /// batch is covered by every write up to the value read after its last
+  /// store.
+  std::uint64_t write_seq() const noexcept {
+    return write_seq_.load(std::memory_order_acquire);
+  }
+
+  /// Per-peer cumulative coverage: (node id, newest write watermark the
+  /// peer has acknowledged applying — and journaling, when the far side
+  /// runs an inbound journal). Monotone across reconnects: an ack means
+  /// the writes are applied to the peer's mirror, which survives the
+  /// connection.
+  void acked_marks(
+      std::vector<std::pair<std::uint32_t, std::uint64_t>>& out) const;
+
+  /// Inbound journal seam: called (loop thread) for every cell applied
+  /// from a REG_PUSH; returns the WAL record seq the cell was appended
+  /// under, or 0 when the cell needs no journaling (below the durable
+  /// floor). When installed, a frame that journaled anything has its
+  /// REG_ACK deferred until release_durable_acks() covers the frame's
+  /// newest record — and later frames queue behind it, keeping acks
+  /// cumulative. Install before start().
+  using InboundJournal =
+      std::function<std::uint64_t(svc::GroupId, std::uint32_t, std::uint64_t)>;
+  void set_inbound_journal(InboundJournal journal);
+
+  /// WAL durability advanced through `durable_seq`: releases every
+  /// deferred inbound ack whose records are covered. Any thread (the
+  /// Wal's durable listener calls it from the flusher thread).
+  void release_durable_acks(std::uint64_t durable_seq);
+
   MirrorStats stats() const;
 
   /// Copies the recent ack round-trip samples (nanoseconds, newest-last;
@@ -161,8 +208,14 @@ class MirrorTransport {
     /// costs the push hot path one branch (and the ack path takes lag_mu_
     /// only when a sampled frame is covered, ~1/N of acks).
     std::vector<std::pair<std::uint64_t, std::int64_t>> sent_times;
+    /// (frame seq, write watermark covered once that frame is acked):
+    /// one mark per flushed batch, popped by the cumulative ack.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> cover_marks;
     std::atomic<bool> connected{false};
     std::atomic<std::uint64_t> backlog{0};  ///< sent - acked
+    /// Newest write watermark this peer has acked (never reset: acked
+    /// means applied, and the peer's mirror outlives the connection).
+    std::atomic<std::uint64_t> acked_wseq{0};
   };
 
   /// One accepted inbound stream (loop thread only).
@@ -173,6 +226,9 @@ class MirrorTransport {
     std::vector<std::uint8_t> out;  ///< hello response + acks
     std::size_t out_pos = 0;
     bool want_write = false;
+    /// Acks gated on WAL durability: (push frame seq, WAL record seq it
+    /// waits for), FIFO. Drained by release_durable_acks.
+    std::deque<std::pair<std::uint64_t, std::uint64_t>> deferred_acks;
   };
 
   struct GroupState {
@@ -203,6 +259,9 @@ class MirrorTransport {
   /// Writes as much buffered output as the socket takes. False = died.
   bool flush_out(int fd, std::vector<std::uint8_t>& out, std::size_t& pos,
                  bool& want_write);
+  /// Emits one cumulative ack for every deferred frame now covered by
+  /// durable_wal_ (loop thread). False = the connection died writing.
+  bool drain_deferred_acks(Inbound& c);
   std::int64_t now_ns() const;
 
   MirrorConfig cfg_;
@@ -222,6 +281,14 @@ class MirrorTransport {
   mutable std::mutex pending_mu_;
   std::vector<std::vector<PendingWrite>> pending_;  ///< index = peer index
   bool flush_scheduled_ = false;
+  /// Write watermark: bumped (under pending_mu_) once per local write, so
+  /// capturing it at drain-swap time names exactly the writes the swapped
+  /// batch (plus everything already sent) covers.
+  std::atomic<std::uint64_t> write_seq_{0};
+
+  /// Inbound durability (loop thread, except the setter).
+  InboundJournal inbound_journal_;
+  std::uint64_t durable_wal_ = 0;  ///< newest released WAL seq (loop thread)
 
   std::vector<std::unique_ptr<RegisterPeer>> peers_;
   std::unordered_map<int, std::unique_ptr<Inbound>> inbound_;

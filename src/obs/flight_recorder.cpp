@@ -1,5 +1,6 @@
 #include "obs/flight_recorder.h"
 
+#include <sys/stat.h>
 #include <time.h>
 #include <unistd.h>
 
@@ -26,6 +27,25 @@ std::int64_t now_ns() noexcept {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// mkdir -p for the dump directory: a pointed-at but not-yet-created
+/// $OMEGA_TRACE_DIR must not make a crash dump vanish. Best effort —
+/// the fopen that follows reports the real failure if one remains.
+void make_dump_dir(const std::string& dir) {
+  if (dir.empty() || dir == ".") return;
+  std::string prefix;
+  prefix.reserve(dir.size());
+  for (std::size_t i = 0; i <= dir.size(); ++i) {
+    if (i < dir.size() && dir[i] != '/') {
+      prefix.push_back(dir[i]);
+      continue;
+    }
+    if (!prefix.empty() && prefix != "/") {
+      if (::mkdir(prefix.c_str(), 0777) != 0 && errno != EEXIST) return;
+    }
+    if (i < dir.size()) prefix.push_back('/');
+  }
 }
 
 /// One thread's ring. Every field is a relaxed atomic so concurrent
@@ -244,6 +264,7 @@ std::string dump_trace(const std::string& reason, bool force,
     if (const char* env = std::getenv("OMEGA_TRACE_DIR")) dir = env;
   }
   if (dir.empty()) dir = ".";
+  make_dump_dir(dir);
 
   const std::uint64_t n =
       rec.dump_seq.fetch_add(1, std::memory_order_relaxed);

@@ -72,6 +72,10 @@ class MemoryBackend {
   bool has_write_observer() const noexcept {
     return static_cast<bool>(observer_);
   }
+  /// The currently installed observer (empty if none) — lets a layer wrap
+  /// an already-installed observer in a chain (e.g. the WAL journaling
+  /// observer wraps the mirror-push observer).
+  const WriteObserver& write_observer() const noexcept { return observer_; }
 
   Instrumentation& instr() noexcept { return instr_; }
   const Instrumentation& instr() const noexcept { return instr_; }

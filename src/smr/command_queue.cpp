@@ -171,39 +171,49 @@ void CommandQueue::commit_entry_locked(
   }
 }
 
+void CommandQueue::commit_owned_deferred(std::uint64_t ticket,
+                                         std::uint64_t first_index,
+                                         std::vector<CommitRecord>& recs,
+                                         DeferredFire& fire) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = owned_.find(ticket);
+  OMEGA_CHECK(it != owned_.end(), "commit of unknown ticket " << ticket);
+  std::uint64_t index = first_index;
+  for (auto& e : it->second) {
+    commit_entry_locked(e, index++, recs, fire);
+  }
+  owned_entries_ -= it->second.size();
+  owned_.erase(it);
+}
+
 void CommandQueue::commit_owned(std::uint64_t ticket,
                                 std::uint64_t first_index,
                                 std::vector<CommitRecord>& recs) {
-  std::vector<std::pair<AppendCompletion, std::uint64_t>> fire;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = owned_.find(ticket);
-    OMEGA_CHECK(it != owned_.end(), "commit of unknown ticket " << ticket);
-    std::uint64_t index = first_index;
-    for (auto& e : it->second) {
-      commit_entry_locked(e, index++, recs, fire);
-    }
-    owned_entries_ -= it->second.size();
-    owned_.erase(it);
-  }
+  DeferredFire fire;
+  commit_owned_deferred(ticket, first_index, recs, fire);
   for (auto& [c, index] : fire) c(AppendOutcome::kCommitted, index);
+}
+
+void CommandQueue::commit_batch_deferred(std::uint64_t first_index,
+                                         std::uint32_t count,
+                                         std::vector<CommitRecord>& recs,
+                                         DeferredFire& fire) {
+  std::lock_guard<std::mutex> lock(mu_);
+  OMEGA_CHECK(inflight_.size() >= count,
+              "commit of " << count << " with " << inflight_.size()
+                           << " in flight");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    commit_entry_locked(inflight_.front(), first_index + i, recs, fire);
+    inflight_.pop_front();
+  }
 }
 
 void CommandQueue::commit_batch(std::uint64_t first_index, std::uint32_t count,
                                 std::vector<CommitRecord>& recs) {
   // (completion, index) pairs collected under the lock, fired outside it:
   // completions post to IO loops and must not nest under the queue mutex.
-  std::vector<std::pair<AppendCompletion, std::uint64_t>> fire;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    OMEGA_CHECK(inflight_.size() >= count,
-                "commit of " << count << " with " << inflight_.size()
-                             << " in flight");
-    for (std::uint32_t i = 0; i < count; ++i) {
-      commit_entry_locked(inflight_.front(), first_index + i, recs, fire);
-      inflight_.pop_front();
-    }
-  }
+  DeferredFire fire;
+  commit_batch_deferred(first_index, count, recs, fire);
   for (auto& [c, index] : fire) c(AppendOutcome::kCommitted, index);
 }
 

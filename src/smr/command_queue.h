@@ -146,6 +146,27 @@ class CommandQueue {
   void commit_owned(std::uint64_t ticket, std::uint64_t first_index,
                     std::vector<CommitRecord>& recs);
 
+  /// Completions a deferred commit owes its clients: fire each with the
+  /// paired index once the release condition (WAL durability, quorum of
+  /// mirror acks) holds.
+  using DeferredFire =
+      std::vector<std::pair<AppendCompletion, std::uint64_t>>;
+
+  /// quorum_ack variants of commit_batch/commit_owned: the entries ARE
+  /// committed (session dedup records the outcome immediately — a retry
+  /// observed after this call answers kCommitted) but the client
+  /// completions are appended to `fire` instead of being invoked, so the
+  /// caller can hold the acknowledgement until the batch is durable on a
+  /// quorum. A duplicate submitted while an ack is deferred learns the
+  /// commit early; that is the same (benign) race the non-deferred path
+  /// has between commit and network delivery.
+  void commit_batch_deferred(std::uint64_t first_index, std::uint32_t count,
+                             std::vector<CommitRecord>& recs,
+                             DeferredFire& fire);
+  void commit_owned_deferred(std::uint64_t ticket, std::uint64_t first_index,
+                             std::vector<CommitRecord>& recs,
+                             DeferredFire& fire);
+
   /// Fails every entry that has not been pulled yet (log capacity
   /// exhausted): completions fire with `outcome`.
   void abort_pending(AppendOutcome outcome);

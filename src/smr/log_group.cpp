@@ -22,6 +22,15 @@ ProcessId lowest_local(const SmrSpec& spec) {
   return 0;
 }
 
+std::uint32_t count_local(const SmrSpec& spec) {
+  if (spec.local_mask == 0) return spec.n;
+  std::uint32_t c = 0;
+  for (ProcessId p = 0; p < spec.n; ++p) {
+    if (spec.is_local(p)) ++c;
+  }
+  return c;
+}
+
 bool is_multi_node(const SmrSpec& spec) {
   if (spec.local_mask == 0) return false;
   for (ProcessId p = 0; p < spec.n; ++p) {
@@ -40,9 +49,13 @@ LogGroup::LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook)
       log_(spec.n, spec.capacity),
       queue_(spec.max_pending, spec.session_ttl_us),
       source_(*this),
-      hook_(std::move(hook)) {
+      hook_(std::move(hook)),
+      local_votes_(count_local(spec)) {
   OMEGA_CHECK(spec_.window >= 1 && spec_.window <= spec_.capacity,
               "bad pump window " << spec_.window);
+  OMEGA_CHECK(!spec_.quorum_ack || spec_.wal != nullptr,
+              "quorum_ack without a WAL: the local durability gate is the "
+              "point");
   OMEGA_CHECK(spec_.max_batch >= 1 && spec_.max_batch <= kMaxBatchCommands,
               "bad max_batch " << spec_.max_batch);
   // Multi-node needs the descriptor to NAME its sealer (failover
@@ -98,6 +111,38 @@ void LogGroup::attach(svc::Group& g) {
       LogPump::BatchPolicy{spec_.max_batch,
                            batch_.has_value() ? &*batch_ : nullptr,
                            multi_node_ ? sealer_ : ProcessId{0}});
+  if (spec_.wal != nullptr) {
+    // Journal every durable-floor store by wrapping whatever observer is
+    // already installed (the mirror-push observer in multi-node mode).
+    // Installed AFTER the recovery pokes (SmrNode pokes in the memory
+    // factory, which ran before attach), so replayed cells re-push to
+    // mirrors but are not re-journaled.
+    durable_floor_ = wal::durable_floor(g.inst.memory->layout());
+    if (durable_floor_ != wal::kNoDurableFloor) {
+      MemoryBackend::WriteObserver prev = g.inst.memory->write_observer();
+      wal::Wal* const w = spec_.wal;
+      const std::uint32_t floor = durable_floor_;
+      const svc::GroupId gid = gid_;
+      g.inst.memory->set_write_observer(
+          [prev = std::move(prev), w, floor, gid](Cell c, std::uint64_t v) {
+            if (c.index >= floor) w->append_cell(gid, c.index, v);
+            if (prev) prev(c, v);
+          });
+    }
+  }
+  if (spec_.recovery && !spec_.recovery->applied.empty()) {
+    // Crash-restart: the replayed applied prefix becomes the log's state
+    // before the first sweep, and the pump resumes past it — recovered
+    // slots are neither re-proposed nor re-harvested.
+    {
+      std::lock_guard<std::mutex> lock(applied_mu_);
+      OMEGA_CHECK(applied_.empty(), "recovery into a non-empty log");
+      applied_ = spec_.recovery->applied;
+    }
+    commit_index_.store(spec_.recovery->applied.size(),
+                        std::memory_order_release);
+    pump_->fast_forward(spec_.recovery->next_slot);
+  }
 }
 
 bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
@@ -160,15 +205,40 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
     }
     commit_index_.store(first + count, std::memory_order_release);
     recs_.clear();
+    fire_scratch_.clear();
+    const bool defer = spec_.quorum_ack;
     if (multi_node_) {
-      apply_commits_multi(first);
+      apply_commits_multi(first, defer ? &fire_scratch_ : nullptr);
     } else {
-      queue_.commit_batch(first, count, recs_);
+      if (defer) {
+        queue_.commit_batch_deferred(first, count, recs_, fire_scratch_);
+      } else {
+        queue_.commit_batch(first, count, recs_);
+      }
       for (std::uint32_t i = 0; i < count; ++i) {
         OMEGA_CHECK(recs_[i].command == values_[i],
                     "slot " << scratch_[i].slot << " decided " << values_[i]
                             << " but the oldest in-flight command is "
                             << recs_[i].command);
+      }
+    }
+    if (spec_.wal != nullptr) {
+      // Journal the applied batch (values + the pump's post-harvest slot
+      // cursor) so recovery can rebuild the applied prefix even though
+      // the spill ring's rows get reused.
+      const std::uint64_t wal_seq = spec_.wal->append_applied(
+          gid_, first, pump_->committed(), values_.data(), count);
+      if (defer && !fire_scratch_.empty()) {
+        DeferredBatch b;
+        b.wal_seq = wal_seq;
+        // Read AFTER the batch's stores: a watermark covering "now"
+        // covers every register write the batch consists of.
+        b.write_mark =
+            spec_.mirror_write_seq ? spec_.mirror_write_seq() : 0;
+        b.fire = std::move(fire_scratch_);
+        fire_scratch_ = {};
+        std::lock_guard<std::mutex> lock(deferred_mu_);
+        deferred_.push_back(std::move(b));
       }
     }
     {
@@ -208,18 +278,52 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
       }
     }
   }
+  release_deferred();
   if (pump_->exhausted()) {
     log_full_.store(true, std::memory_order_release);
     // Whatever the pump can no longer place must not wait forever.
     if (pump_->in_flight() == 0) queue_.abort_all(AppendOutcome::kLogFull);
     else queue_.abort_pending(AppendOutcome::kLogFull);
   }
-  // Pacing signal: this sweep either harvested commits or still has
-  // commands queued/in flight that want fast sweeps.
-  return !scratch_.empty() || queue_.has_work();
+  bool deferred_pending = false;
+  {
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    deferred_pending = !deferred_.empty();
+  }
+  // Pacing signal: this sweep either harvested commits, still has
+  // commands queued/in flight, or holds acks waiting on durability —
+  // all of which want fast sweeps.
+  return !scratch_.empty() || queue_.has_work() || deferred_pending;
 }
 
-void LogGroup::apply_commits_multi(std::uint64_t first) {
+void LogGroup::release_deferred() {
+  std::vector<CommandQueue::DeferredFire> ready;
+  {
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    if (deferred_.empty()) return;
+    const std::uint64_t durable = spec_.wal->durable_seq();
+    const std::uint32_t needed = spec_.n / 2 + 1;
+    while (!deferred_.empty()) {
+      const DeferredBatch& b = deferred_.front();
+      if (b.wal_seq > durable) break;  // local fsync pending
+      if (multi_node_ && local_votes_ < needed) {
+        const std::uint32_t votes =
+            local_votes_ + (spec_.mirror_acked_votes
+                                ? spec_.mirror_acked_votes(b.write_mark)
+                                : 0);
+        if (votes < needed) break;  // quorum of WALs pending
+      }
+      ready.push_back(std::move(deferred_.front().fire));
+      deferred_.pop_front();
+    }
+  }
+  for (auto& fire : ready) {
+    for (auto& [c, index] : fire) c(AppendOutcome::kCommitted, index);
+  }
+}
+
+void LogGroup::apply_commits_multi(std::uint64_t first,
+                                   CommandQueue::DeferredFire* defer) {
   // Resolve completions run by run: commits of one ticket are one slot's
   // batch and arrive contiguously; remote-sealed entries carry no local
   // bookkeeping (their sealer acknowledges its own clients).
@@ -233,7 +337,11 @@ void LogGroup::apply_commits_multi(std::uint64_t first) {
         ++j;
       }
       const std::size_t before = recs_.size();
-      queue_.commit_owned(ticket, first + i, recs_);
+      if (defer != nullptr) {
+        queue_.commit_owned_deferred(ticket, first + i, recs_, *defer);
+      } else {
+        queue_.commit_owned(ticket, first + i, recs_);
+      }
       OMEGA_CHECK(recs_.size() - before == j - i,
                   "ticket " << ticket << " resolved " << (recs_.size() - before)
                             << " entries, slot batch has " << (j - i));
@@ -273,7 +381,20 @@ std::optional<std::uint64_t> LogGroup::decided_by(ProcessId pid,
   return v;
 }
 
-void LogGroup::abort(AppendOutcome outcome) { queue_.abort_all(outcome); }
+void LogGroup::abort(AppendOutcome outcome) {
+  // Deferred completions belong to COMMITTED entries — answer with the
+  // truth even on teardown (kAborted would provoke a retry of a command
+  // that is in the log).
+  std::deque<DeferredBatch> held;
+  {
+    std::lock_guard<std::mutex> lock(deferred_mu_);
+    held.swap(deferred_);
+  }
+  for (auto& b : held) {
+    for (auto& [c, index] : b.fire) c(AppendOutcome::kCommitted, index);
+  }
+  queue_.abort_all(outcome);
+}
 
 void LogGroup::clear_hook() {
   // Unique lock: waits out any sweep currently inside the hook, so the
@@ -329,6 +450,26 @@ void register_health_rules(obs::HealthMonitor& hm) {
         const std::int64_t d = ts.delta("smr.sessions_evicted", 5'000);
         if (d <= 64) return obs::Health::kOk;
         *reason = std::to_string(d) + " sessions evicted in 5s";
+        return obs::Health::kDegraded;
+      },
+      /*degrade_after=*/2,
+      /*recover_after=*/4});
+  // WAL stall: IO errors freeze durable_seq (the log is degraded — with
+  // quorum_ack on, acks stop flowing), which is critical outright. A
+  // climbing durable lag without errors means fsync cannot keep up with
+  // the append rate — degraded before it becomes a commit stall.
+  hm.add_rule(obs::HealthRule{
+      "wal-stall",
+      [](const obs::TimeSeries& ts, std::string* reason) {
+        const std::int64_t errors = ts.delta("wal.io_errors", 10'000);
+        if (errors > 0) {
+          *reason = std::to_string(errors) +
+                    " WAL IO error(s) in 10s (log degraded)";
+          return obs::Health::kCritical;
+        }
+        const std::int64_t lag = ts.latest_value("wal.durable_lag");
+        if (lag <= 4096) return obs::Health::kOk;
+        *reason = "WAL durable lag " + std::to_string(lag) + " records";
         return obs::Health::kDegraded;
       },
       /*degrade_after=*/2,

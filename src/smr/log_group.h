@@ -55,6 +55,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -66,14 +67,16 @@
 #include "obs/metrics.h"
 #include "smr/command_queue.h"
 #include "svc/group_registry.h"
+#include "wal/wal.h"
 
 namespace omega::smr {
 
 /// Registers the replication layer's health rules against the black-box
 /// time series: commit-progress stall (queued work with a flat commit
-/// counter), mirror push-lag p99, session-eviction spikes, and the
-/// mirror-stall watchdog. All rules read metrics this layer only emits
-/// once a log group exists, so they stay kOk on election-only nodes.
+/// counter), mirror push-lag p99, session-eviction spikes, the
+/// mirror-stall watchdog, and the WAL stall/IO-error rule. All rules read
+/// metrics this layer only emits once a log group (or WAL) exists, so
+/// they stay kOk on election-only nodes.
 void register_health_rules(obs::HealthMonitor& hm);
 
 /// Per-log instantiation parameters.
@@ -113,6 +116,33 @@ struct SmrSpec {
   /// slack a lagging mirror may trail the sealer by before the
   /// flow-control stall kicks in.
   std::uint32_t ring_slack = 64;
+
+  // --- durability (PR 9) ---------------------------------------------------
+
+  /// Per-node write-ahead log. When set, every durable-floor register
+  /// write of this group (slot ballots, decision boards, spill rows,
+  /// seals) and every applied batch is journaled; must be started by the
+  /// owner (SmrNode) and outlive the group.
+  wal::Wal* wal = nullptr;
+  /// Crash-restart image replayed from the WAL: preseeds the applied log
+  /// and fast-forwards the pump past the recovered prefix at attach().
+  std::shared_ptr<const wal::GroupImage> recovery{};
+  /// Majority-acked commits: hold each append's acknowledgement until
+  /// (a) the local WAL has fsynced the batch's records and (b) a quorum
+  /// of replicas — local ones plus remote ones whose node's cumulative
+  /// mirror ack covers the sealed batch — has it. Requires `wal`.
+  /// Single-process (all replicas local) this degenerates to
+  /// fsync-gated acknowledgements.
+  bool quorum_ack = false;
+  /// Mirror write watermark at "now" (net::MirrorTransport::write_seq);
+  /// read after a batch is applied, it names a point covering all of the
+  /// batch's register writes. Empty in single-process deployments.
+  std::function<std::uint64_t()> mirror_write_seq{};
+  /// Replica votes of REMOTE nodes whose cumulative ack watermark covers
+  /// `mark` (each vote = one replica hosted by an acked node; the
+  /// SmrNode wiring weighs nodes by their replica count). Empty = no
+  /// remote votes ever.
+  std::function<std::uint32_t(std::uint64_t)> mirror_acked_votes{};
 
   bool is_local(ProcessId p) const noexcept {
     return local_mask_covers(local_mask, p);
@@ -182,7 +212,10 @@ class LogGroup final : public svc::GroupPump {
   std::optional<std::uint64_t> decided_by(ProcessId pid,
                                           std::uint32_t slot) const;
 
-  /// Tears the queue down (fires kAborted for everything still waiting).
+  /// Tears the queue down (fires `outcome` for everything still waiting).
+  /// Deferred quorum_ack completions fire kCommitted regardless: their
+  /// entries ARE applied — reporting kAborted would provoke a retry of a
+  /// committed command.
   void abort(AppendOutcome outcome = AppendOutcome::kAborted);
 
   /// Detaches the commit hook — a barrier: on return, no in-flight
@@ -232,8 +265,16 @@ class LogGroup final : public svc::GroupPump {
   };
 
   /// Applies a sweep's harvest in multi-node mode: local (ticketed) runs
-  /// acknowledge their owned batches, remote runs apply silently.
-  void apply_commits_multi(std::uint64_t first);
+  /// acknowledge their owned batches, remote runs apply silently. With
+  /// `defer` non-null, local completions are collected there instead of
+  /// fired (quorum_ack).
+  void apply_commits_multi(std::uint64_t first,
+                           CommandQueue::DeferredFire* defer);
+
+  /// Fires every deferred batch whose WAL records are durable and whose
+  /// write mark a quorum covers (owner thread; FIFO, so acks stay in
+  /// commit order).
+  void release_deferred();
 
   const svc::GroupId gid_;
   const SmrSpec spec_;
@@ -265,6 +306,20 @@ class LogGroup final : public svc::GroupPump {
   std::vector<std::uint64_t> applied_;
   std::atomic<std::uint64_t> commit_index_{0};
   std::atomic<bool> log_full_{false};
+
+  /// quorum_ack deferral: one entry per applied batch whose client
+  /// completions are held back. Owner thread pushes/releases; abort()
+  /// (any thread) drains — hence the mutex.
+  struct DeferredBatch {
+    std::uint64_t wal_seq = 0;     ///< local durability gate
+    std::uint64_t write_mark = 0;  ///< mirror coverage gate
+    CommandQueue::DeferredFire fire;
+  };
+  std::mutex deferred_mu_;
+  std::deque<DeferredBatch> deferred_;
+  const std::uint32_t local_votes_;   ///< replicas hosted by this process
+  std::uint32_t durable_floor_ = wal::kNoDurableFloor;
+  CommandQueue::DeferredFire fire_scratch_;  ///< per-sweep deferred fires
 
   /// obs wiring: decide -> apply latency (resolved once), queue-depth
   /// gauges (registered per group, summed by name at scrape), and the

@@ -34,12 +34,15 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/leader_server.h"
 #include "net/register_peer.h"
 #include "smr/smr_service.h"
+#include "wal/wal.h"
 
 namespace omega::smr {
 
@@ -74,8 +77,20 @@ class SmrNode {
   /// Binds the mirror and serving sockets immediately (ports readable
   /// right away); serves nothing until start(). `svc_cfg`/`net_cfg` tune
   /// the worker pool and the client front-end as in single-process use.
+  ///
+  /// `wal_opts.dir` non-empty turns on durability: the node journals its
+  /// log groups' durable-floor register writes (and inbound mirrored
+  /// ones, gating their REG_ACKs on fsync) to a per-node WAL in that
+  /// directory, and — if the directory holds segments from a previous
+  /// life — REPLAYS them before serving, so a SIGKILL'd process restarts
+  /// in place: recovered registers are poked back (and re-pushed to
+  /// peers via the reconnect snapshot), the applied log prefix is
+  /// preseeded, the pump fast-forwards, and the v1.2 REG_HELLO resync
+  /// fills in what the survivors wrote meanwhile. A WAL found damaged
+  /// beyond a torn tail refuses to start (wipe the directory to rejoin
+  /// as a fresh replacement instead).
   explicit SmrNode(NodeTopology topo, svc::SvcConfig svc_cfg = {},
-                   net::NetConfig net_cfg = {});
+                   net::NetConfig net_cfg = {}, wal::WalOptions wal_opts = {});
   ~SmrNode();
 
   SmrNode(const SmrNode&) = delete;
@@ -99,14 +114,28 @@ class SmrNode {
   SmrService& smr() noexcept { return smr_; }
   net::MirrorTransport& mirror() noexcept { return mirror_; }
   net::LeaderServer& server() noexcept { return *server_; }
+  /// The node's WAL (nullptr when durability is off).
+  wal::Wal* wal() noexcept { return wal_.get(); }
+  /// Records replayed from the WAL at construction (0 = fresh start or
+  /// durability off) — the rejoin benchmarks report this.
+  std::uint64_t wal_replayed() const noexcept { return wal_replayed_; }
 
  private:
   static net::MirrorConfig mirror_config(const NodeTopology& topo);
 
   NodeTopology topo_;
-  /// Destruction order (reverse of declaration): server, smr, svc, then
-  /// the transport last — group memories reference it via their write
-  /// observers until the svc groups die.
+  /// Destruction order (reverse of declaration): server, smr, svc, the
+  /// transport, then the WAL last — group memories reference transport
+  /// AND WAL via their write observers until the svc groups die.
+  std::unique_ptr<wal::Wal> wal_;
+  std::uint64_t wal_replayed_ = 0;
+  /// Per-group recovered images, consumed by add_log.
+  std::unordered_map<svc::GroupId, std::shared_ptr<const wal::GroupImage>>
+      recovery_;
+  /// Per-group durable floors for the inbound-journal closure (worker
+  /// threads write at add_log, the transport loop reads).
+  mutable std::mutex floors_mu_;
+  std::unordered_map<svc::GroupId, std::uint32_t> floors_;
   net::MirrorTransport mirror_;
   svc::MultiGroupLeaderService svc_;
   SmrService smr_;

@@ -1,0 +1,469 @@
+#include "wal/wal.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "common/check.h"
+
+namespace omega::wal {
+
+namespace {
+
+constexpr std::uint8_t kCellRecord = 1;
+constexpr std::uint8_t kAppliedRecord = 2;
+
+constexpr std::size_t kSegmentHeaderBytes = 16;
+constexpr std::uint64_t kSegmentMagic = 0x4C4157414745'4D4FULL;  // "OMEGAWAL"
+constexpr std::uint32_t kSegmentVersion = 1;
+
+/// Record length sanity bound: the largest real record is an applied
+/// batch of kMaxBatchCommands values (~1KB); anything past this is
+/// damage, not data.
+constexpr std::uint32_t kMaxRecordLen = 1u << 20;
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+
+std::string segment_name(std::uint64_t index) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "wal-%08llu.seg",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+bool is_segment_name(const std::string& name) {
+  return name.size() == 16 && name.rfind("wal-", 0) == 0 &&
+         name.compare(12, 4, ".seg") == 0;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t durable_floor(const Layout& layout) {
+  GroupId g = 0;
+  if (!layout.find_group("L0REG", g)) return kNoDurableFloor;
+  return layout.group(g).first;
+}
+
+Wal::Wal(WalOptions opts)
+    : opts_(std::move(opts)), io_(opts_.io != nullptr ? opts_.io : &posix_) {
+  OMEGA_CHECK(!opts_.dir.empty(), "WAL needs a directory");
+  OMEGA_CHECK(opts_.segment_bytes >= kSegmentHeaderBytes + 64,
+              "segment size too small: " << opts_.segment_bytes);
+  OMEGA_CHECK(io_->mkdirs(opts_.dir),
+              "cannot create WAL directory " << opts_.dir);
+  fsync_hist_ = &obs::histogram("wal.fsync_ns");
+  appends_ctr_ = &obs::counter("wal.appended_records");
+  flushes_ctr_ = &obs::counter("wal.flushes");
+  errors_ctr_ = &obs::counter("wal.io_errors");
+  obs::Registry& reg = obs::Registry::instance();
+  gauge_ids_.push_back(reg.register_gauge("wal.segments", [this] {
+    return static_cast<std::int64_t>(
+        counters_.segments.load(std::memory_order_relaxed));
+  }));
+  gauge_ids_.push_back(reg.register_gauge("wal.replayed", [this] {
+    return static_cast<std::int64_t>(replayed_records_);
+  }));
+  gauge_ids_.push_back(reg.register_gauge("wal.durable_lag", [this] {
+    return static_cast<std::int64_t>(appended_seq() - durable_seq());
+  }));
+}
+
+Wal::~Wal() {
+  stop();
+  if (seg_.handle >= 0) {
+    io_->close(seg_.handle);
+    seg_.handle = -1;
+  }
+  for (const std::uint64_t id : gauge_ids_) {
+    obs::Registry::instance().unregister_gauge(id);
+  }
+}
+
+ReplayResult Wal::replay() {
+  OMEGA_CHECK(!started_, "replay after start");
+  ReplayResult result;
+  std::vector<std::string> segs;
+  for (const auto& name : io_->list(opts_.dir)) {
+    if (is_segment_name(name)) segs.push_back(name);
+  }
+  // Concatenate every segment's payload into one logical record stream:
+  // records may straddle a roll boundary, and replay should not care.
+  std::vector<std::uint8_t> stream;
+  std::vector<std::pair<std::string, std::uint64_t>> spans;  // path, bytes
+  for (const auto& name : segs) {
+    const std::string path = opts_.dir + "/" + name;
+    std::vector<std::uint8_t> file;
+    if (!io_->read_file(path, file)) {
+      result.corrupt = true;
+      break;
+    }
+    if (file.size() < kSegmentHeaderBytes ||
+        get_u64(file.data()) != kSegmentMagic ||
+        get_u32(file.data() + 8) != kSegmentVersion) {
+      // A headerless file is a crash inside segment creation: legal only
+      // as the very last segment, where it holds no records yet.
+      if (&name != &segs.back()) result.corrupt = true;
+      else if (!file.empty()) io_->truncate(path, 0);
+      break;
+    }
+    ++result.segments;
+    spans.emplace_back(path, file.size());
+    stream.insert(stream.end(), file.begin() + kSegmentHeaderBytes,
+                  file.end());
+  }
+
+  std::size_t at = 0;
+  std::uint64_t seq = 0;
+  bool torn = false;
+  while (at < stream.size()) {
+    if (stream.size() - at < 8) {
+      torn = true;
+      break;
+    }
+    const std::uint32_t len = get_u32(&stream[at]);
+    const std::uint32_t crc = get_u32(&stream[at + 4]);
+    if (len == 0 || len > kMaxRecordLen || stream.size() - at - 8 < len ||
+        crc32(&stream[at + 8], len) != crc) {
+      torn = true;
+      break;
+    }
+    const std::uint8_t* body = &stream[at + 8];
+    const std::uint8_t type = body[0];
+    bool ok = false;
+    if (type == kCellRecord && len == 1 + 16) {
+      GroupImage& img = result.groups[get_u32(body + 1)];
+      img.cells[get_u32(body + 5)] = get_u64(body + 9);
+      ok = true;
+    } else if (type == kAppliedRecord && len >= 1 + 20) {
+      const std::uint32_t gid = get_u32(body + 1);
+      const std::uint32_t next_slot = get_u32(body + 5);
+      const std::uint64_t first = get_u64(body + 9);
+      const std::uint32_t count = get_u32(body + 17);
+      if (len == 1 + 20 + std::uint64_t{count} * 8) {
+        GroupImage& img = result.groups[gid];
+        if (first > img.applied.size()) {
+          // A hole in the applied sequence is not a torn tail — it means
+          // an earlier record vanished. Refuse to fabricate a log.
+          result.corrupt = true;
+          break;
+        }
+        // Idempotent re-application: a mark may overlap the recovered
+        // prefix (recovery re-journals are compaction, not history).
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const std::uint64_t index = first + i;
+          const std::uint64_t v = get_u64(body + 21 + i * 8);
+          if (index < img.applied.size()) {
+            if (img.applied[index] != v) {
+              result.corrupt = true;
+              break;
+            }
+          } else {
+            img.applied.push_back(v);
+          }
+        }
+        if (result.corrupt) break;
+        img.next_slot = std::max(img.next_slot, next_slot);
+        ok = true;
+      }
+    }
+    if (!ok) {
+      // Well-checksummed but unparseable: written by a future version or
+      // damaged in a way CRC32 missed. Treat as end-of-valid-log.
+      result.corrupt = true;
+      break;
+    }
+    at += 8 + len;
+    ++seq;
+  }
+
+  if (torn && !spans.empty()) {
+    // Drop the torn tail in place so appends resume on a record boundary.
+    // `at` indexes the logical stream; map it back into the last segment.
+    std::uint64_t payload_before_last = 0;
+    for (std::size_t i = 0; i + 1 < spans.size(); ++i) {
+      payload_before_last += spans[i].second - kSegmentHeaderBytes;
+    }
+    if (at >= payload_before_last) {
+      const std::uint64_t keep =
+          kSegmentHeaderBytes + (at - payload_before_last);
+      result.truncated_bytes = spans.back().second - keep;
+      if (result.truncated_bytes > 0) {
+        if (!io_->truncate(spans.back().first, keep)) result.corrupt = true;
+        spans.back().second = keep;
+      }
+    } else {
+      // The torn record started before the final segment: damage in the
+      // middle of the stream, not a tail.
+      result.corrupt = true;
+    }
+  }
+
+  result.records = seq;
+  replayed_records_ = seq;
+  replayed_segments_ = result.segments;
+  counters_.segments.store(result.segments, std::memory_order_relaxed);
+  appended_.store(seq, std::memory_order_release);
+  durable_.store(seq, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffered_through_ = seq;
+  }
+
+  // Resume appending into the last partial segment, or a fresh one.
+  if (!spans.empty() && spans.back().second < opts_.segment_bytes) {
+    seg_.path = spans.back().first;
+    seg_.bytes = spans.back().second;
+    next_segment_ = result.segments;  // the NEXT roll's index
+  } else {
+    next_segment_ = result.segments;
+    seg_.path.clear();
+    seg_.bytes = 0;
+  }
+  replayed_ = true;
+  return result;
+}
+
+void Wal::start() {
+  if (started_) return;
+  if (!replayed_) (void)replay();
+  started_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_flag_ = false;
+  }
+  flusher_ = std::thread([this] { flusher_main(); });
+}
+
+void Wal::stop() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_flag_ = true;
+  }
+  cv_.notify_all();
+  if (flusher_.joinable()) flusher_.join();
+  started_ = false;
+}
+
+std::uint64_t Wal::append_record(const std::uint8_t* rec, std::size_t n) {
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buf_.insert(buf_.end(), rec, rec + n);
+    seq = appended_.load(std::memory_order_relaxed) + 1;
+    appended_.store(seq, std::memory_order_release);
+    buffered_through_ = seq;
+  }
+  cv_.notify_one();
+  appends_ctr_->add(1);
+  counters_.appended_bytes.fetch_add(n, std::memory_order_relaxed);
+  return seq;
+}
+
+std::uint64_t Wal::append_cell(std::uint32_t gid, std::uint32_t cell,
+                               std::uint64_t value) {
+  std::uint8_t rec[8 + 1 + 16];
+  std::vector<std::uint8_t> body;
+  body.reserve(1 + 16);
+  body.push_back(kCellRecord);
+  put_u32(body, gid);
+  put_u32(body, cell);
+  put_u64(body, value);
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  const std::uint32_t crc = crc32(body.data(), body.size());
+  rec[0] = static_cast<std::uint8_t>(len);
+  rec[1] = static_cast<std::uint8_t>(len >> 8);
+  rec[2] = static_cast<std::uint8_t>(len >> 16);
+  rec[3] = static_cast<std::uint8_t>(len >> 24);
+  rec[4] = static_cast<std::uint8_t>(crc);
+  rec[5] = static_cast<std::uint8_t>(crc >> 8);
+  rec[6] = static_cast<std::uint8_t>(crc >> 16);
+  rec[7] = static_cast<std::uint8_t>(crc >> 24);
+  std::memcpy(rec + 8, body.data(), body.size());
+  return append_record(rec, 8 + body.size());
+}
+
+std::uint64_t Wal::append_applied(std::uint32_t gid, std::uint64_t first_index,
+                                  std::uint32_t next_slot,
+                                  const std::uint64_t* values,
+                                  std::uint32_t count) {
+  std::vector<std::uint8_t> body;
+  body.reserve(1 + 20 + std::size_t{count} * 8);
+  body.push_back(kAppliedRecord);
+  put_u32(body, gid);
+  put_u32(body, next_slot);
+  put_u64(body, first_index);
+  put_u32(body, count);
+  for (std::uint32_t i = 0; i < count; ++i) put_u64(body, values[i]);
+  std::vector<std::uint8_t> rec;
+  rec.reserve(8 + body.size());
+  put_u32(rec, static_cast<std::uint32_t>(body.size()));
+  put_u32(rec, crc32(body.data(), body.size()));
+  rec.insert(rec.end(), body.begin(), body.end());
+  return append_record(rec.data(), rec.size());
+}
+
+void Wal::flush() {
+  if (!started_) return;
+  const std::uint64_t want = appended_seq();
+  cv_.notify_one();
+  while (durable_seq() < want && !degraded_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void Wal::set_durable_listener(std::function<void(std::uint64_t)> fn) {
+  OMEGA_CHECK(!started_, "install the durable listener before start()");
+  durable_listener_ = std::move(fn);
+}
+
+bool Wal::open_segment(std::uint64_t index) {
+  seg_.path = opts_.dir + "/" + segment_name(index);
+  seg_.handle = io_->open_append(seg_.path);
+  if (seg_.handle < 0) return false;
+  seg_.bytes = 0;
+  std::vector<std::uint8_t> header;
+  put_u64(header, kSegmentMagic);
+  put_u32(header, kSegmentVersion);
+  put_u32(header, 0);
+  counters_.segments.fetch_add(1, std::memory_order_relaxed);
+  return write_out(header);
+}
+
+bool Wal::write_out(const std::vector<std::uint8_t>& buf) {
+  std::size_t at = 0;
+  while (at < buf.size()) {
+    if (seg_.handle < 0) {
+      if (!seg_.path.empty() && seg_.bytes > 0) {
+        // Reopen the partial segment replay left us (its header exists).
+        seg_.handle = io_->open_append(seg_.path);
+        if (seg_.handle < 0) return false;
+      } else if (!open_segment(next_segment_++)) {
+        return false;
+      }
+    }
+    if (seg_.bytes >= opts_.segment_bytes) {
+      io_->close(seg_.handle);
+      seg_.handle = -1;
+      if (!open_segment(next_segment_++)) return false;
+    }
+    const std::size_t room =
+        opts_.segment_bytes > seg_.bytes
+            ? static_cast<std::size_t>(opts_.segment_bytes - seg_.bytes)
+            : 0;
+    const std::size_t want = std::min(buf.size() - at, std::max<std::size_t>(room, 1));
+    const std::int64_t w = io_->write(seg_.handle, buf.data() + at, want);
+    if (w < 0) return false;
+    if (w == 0) return false;  // no forward progress: treat as dead media
+    at += static_cast<std::size_t>(w);
+    seg_.bytes += static_cast<std::uint64_t>(w);
+  }
+  return true;
+}
+
+void Wal::flusher_main() {
+  std::vector<std::uint8_t> local;
+  for (;;) {
+    std::uint64_t through = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::microseconds(opts_.flush_interval_us),
+                   [this] { return stop_flag_ || !buf_.empty(); });
+      if (buf_.empty()) {
+        if (stop_flag_) return;
+        continue;
+      }
+      local.clear();
+      local.swap(buf_);
+      through = buffered_through_;
+    }
+    if (degraded_.load(std::memory_order_relaxed)) continue;
+    if (!write_out(local)) {
+      degraded_.store(true, std::memory_order_release);
+      errors_ctr_->add(1);
+      counters_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    const std::int64_t t0 = steady_ns();
+    const int rc = io_->sync(seg_.handle);
+    if (rc != 0) {
+      // fsync EIO: the page cache may have dropped the dirty pages — the
+      // only honest stance is that nothing past the last good barrier is
+      // durable. Freeze durable_seq; quorum_ack appends stop acking and
+      // the wal-stall health rule turns red.
+      degraded_.store(true, std::memory_order_release);
+      errors_ctr_->add(1);
+      counters_.io_errors.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    fsync_hist_->record(static_cast<std::uint64_t>(steady_ns() - t0));
+    durable_.store(through, std::memory_order_release);
+    flushes_ctr_->add(1);
+    counters_.flushes.fetch_add(1, std::memory_order_relaxed);
+    if (durable_listener_) durable_listener_(through);
+  }
+}
+
+WalStats Wal::stats() const {
+  WalStats s;
+  s.appended_records = appended_seq();
+  s.appended_bytes =
+      counters_.appended_bytes.load(std::memory_order_relaxed);
+  s.flushes = counters_.flushes.load(std::memory_order_relaxed);
+  s.io_errors = counters_.io_errors.load(std::memory_order_relaxed);
+  s.segments = counters_.segments.load(std::memory_order_relaxed);
+  s.replayed = replayed_records_;
+  return s;
+}
+
+}  // namespace omega::wal

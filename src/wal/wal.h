@@ -1,0 +1,222 @@
+// Wal: the per-node write-ahead log under the register/mirror layer.
+//
+// What gets journaled (and why it is enough). The consensus registers a
+// node writes — slot ballots, decision-board entries, batch-bank rows and
+// their seal cells — are exactly the state its peers' mirrors are also
+// fed, so journaling the node's *local register writes* (plus an applied
+// mark per committed batch, see below) makes a SIGKILL'd process
+// restartable in place: replay pokes the recovered cells back into a
+// fresh backend, the pump fast-forwards past the applied prefix, and the
+// v1.2 REG_HELLO snapshot resync fills in whatever the *other* nodes
+// wrote. The Ω election registers themselves are deliberately NOT
+// journaled: the algorithms are self-stabilizing with respect to initial
+// register contents (paper footnote 7), so election state is rebuilt live
+// — only cells at or above the log's durable floor (the first "L0REG"
+// cell; the log and batch groups are declared last, so they form a
+// contiguous tail of the layout) enter the WAL. That keeps the
+// hot-path record rate proportional to commits, not heartbeats.
+//
+// Record stream. Fixed-size segments (`wal-%08u.seg`, 16-byte header)
+// holding length-prefixed records: [u32 len][u32 crc32][u8 type][body].
+// The CRC covers type+body. Replay walks segments in order; a record
+// whose length or CRC does not check out in the LAST segment is a torn
+// tail — everything before it is kept, the tail is truncated in place,
+// and appending resumes on the clean boundary. The same damage in an
+// *earlier* segment is real corruption and marks the replay dirty (the
+// caller decides whether to serve). Two record types:
+//   kCell    — (gid, cell, value): one durable-floor register write;
+//   kApplied — (gid, next_slot, first_index, values[]): one applied
+//              batch, carrying the pump's slot cursor so recovery knows
+//              where sealing resumes (spill-ring rows are reused, so the
+//              applied prefix cannot be re-harvested from cells alone).
+//
+// Durability. append_*() serialize into an in-memory buffer under a
+// mutex and return a monotone record seq; a background flusher thread
+// drains the buffer, writes it out (rolling segments), fdatasyncs, and
+// publishes durable_seq — classic group commit: every fsync absorbs all
+// appends that arrived while the previous one ran, so the fsync cost is
+// amortized across the batch and the B=64 throughput gate holds. Commit
+// acknowledgements in quorum_ack mode gate on durable_seq; without it the
+// WAL is write-behind (an acked tail younger than the last fsync can be
+// lost — the window quorum_ack exists to close).
+//
+// Observability: wal.fsync_ns histogram, wal.appended_records /
+// wal.flushes / wal.io_errors counters, wal.segments / wal.replayed /
+// wal.durable_lag gauges; the wal-stall health rule (smr/log_group.cpp)
+// keys off the lag and error counters.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "registers/layout.h"
+#include "wal/wal_io.h"
+
+namespace omega::wal {
+
+/// CRC-32 (IEEE, reflected) over `n` bytes; the per-record checksum.
+std::uint32_t crc32(const void* data, std::size_t n,
+                    std::uint32_t seed = 0);
+
+/// First cell index of the replicated log's register tail (the "L0REG"
+/// group) — everything at or above it is journaled; everything below is
+/// self-stabilizing election state. Returns kNoDurableFloor when the
+/// layout carries no log (election-only groups journal nothing).
+inline constexpr std::uint32_t kNoDurableFloor = 0xFFFFFFFFu;
+std::uint32_t durable_floor(const Layout& layout);
+
+struct WalOptions {
+  std::string dir;  ///< segment directory; empty = WAL disabled upstream
+  std::size_t segment_bytes = 8u << 20;  ///< roll threshold
+  /// Idle flusher wake-up; while appends flow the flusher free-runs
+  /// (one fsync per drained batch — group commit), so this only bounds
+  /// the write-behind window of a quiet log.
+  std::int64_t flush_interval_us = 1000;
+  WalIo* io = nullptr;  ///< storage seam; nullptr = PosixWalIo
+};
+
+/// One group's recovered state.
+struct GroupImage {
+  /// Last journaled value per durable-floor cell (this node's own writes
+  /// plus remote cells journaled by the mirror's inbound ack path).
+  std::unordered_map<std::uint32_t, std::uint64_t> cells;
+  std::vector<std::uint64_t> applied;  ///< committed log prefix, in order
+  std::uint32_t next_slot = 0;         ///< pump cursor after the prefix
+};
+
+struct ReplayResult {
+  std::unordered_map<std::uint32_t, GroupImage> groups;  ///< by gid
+  std::uint64_t records = 0;          ///< valid records replayed
+  std::uint64_t segments = 0;         ///< segment files visited
+  std::uint64_t truncated_bytes = 0;  ///< torn tail dropped from the end
+  /// Damage before the final tail: the log is not a clean prefix. What
+  /// was read up to the damage is still returned.
+  bool corrupt = false;
+};
+
+struct WalStats {
+  std::uint64_t appended_records = 0;
+  std::uint64_t appended_bytes = 0;
+  std::uint64_t flushes = 0;      ///< fsync barriers completed
+  std::uint64_t io_errors = 0;    ///< failed writes/syncs (log degraded)
+  std::uint64_t segments = 0;     ///< segment files (replayed + rolled)
+  std::uint64_t replayed = 0;     ///< records recovered by replay()
+};
+
+class Wal {
+ public:
+  explicit Wal(WalOptions opts);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  /// Reads every existing segment into images. Call once, before
+  /// start(); appending resumes after the replayed (possibly truncated)
+  /// tail.
+  ReplayResult replay();
+
+  /// Spawns the flusher. Idempotent with stop().
+  void start();
+  /// Final drain + fsync, joins the flusher. Idempotent.
+  void stop();
+
+  /// Journals one durable-floor register write. Any thread. Returns the
+  /// record's seq (durable once durable_seq() >= it).
+  std::uint64_t append_cell(std::uint32_t gid, std::uint32_t cell,
+                            std::uint64_t value);
+
+  /// Journals one applied batch (`count` values at `first_index`) and the
+  /// pump's post-harvest slot cursor. Any thread; returns the record seq.
+  std::uint64_t append_applied(std::uint32_t gid, std::uint64_t first_index,
+                               std::uint32_t next_slot,
+                               const std::uint64_t* values,
+                               std::uint32_t count);
+
+  /// Seq of the newest accepted append.
+  std::uint64_t appended_seq() const noexcept {
+    return appended_.load(std::memory_order_acquire);
+  }
+  /// Seq through which records are on stable storage.
+  std::uint64_t durable_seq() const noexcept {
+    return durable_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until durable_seq() covers every append accepted so far (or
+  /// the log is degraded by IO errors). Tests and clean shutdown.
+  void flush();
+
+  /// Invoked on the flusher thread after every fsync that advanced
+  /// durable_seq (the mirror transport releases WAL-gated REG_ACKs from
+  /// it). Install before start().
+  void set_durable_listener(std::function<void(std::uint64_t)> fn);
+
+  WalStats stats() const;
+  const std::string& dir() const noexcept { return opts_.dir; }
+
+ private:
+  struct Segment {
+    std::string path;
+    int handle = -1;
+    std::uint64_t bytes = 0;  ///< current size
+  };
+
+  std::uint64_t append_record(const std::uint8_t* rec, std::size_t n);
+  void flusher_main();
+  /// Writes `buf` fully (short-write loop), rolling segments as needed.
+  /// False = the log is degraded (IO error; durable_seq frozen).
+  bool write_out(const std::vector<std::uint8_t>& buf);
+  bool open_segment(std::uint64_t index);
+
+  WalOptions opts_;
+  PosixWalIo posix_;
+  WalIo* io_;
+
+  mutable std::mutex mu_;               ///< append buffer + counters
+  std::vector<std::uint8_t> buf_;       ///< serialized, not yet handed off
+  std::uint64_t buffered_through_ = 0;  ///< seq of buf_'s newest record
+  std::condition_variable cv_;          ///< flusher wake-up
+  bool stop_flag_ = false;
+
+  std::atomic<std::uint64_t> appended_{0};
+  std::atomic<std::uint64_t> durable_{0};
+  std::atomic<bool> degraded_{false};
+
+  std::thread flusher_;
+  bool started_ = false;
+  bool replayed_ = false;  ///< start() replays implicitly if needed
+
+  /// Flusher-thread state (no lock needed once start() ran).
+  Segment seg_;
+  std::uint64_t next_segment_ = 0;
+
+  std::function<void(std::uint64_t)> durable_listener_;
+
+  /// Replay bookkeeping (constructor/replay thread).
+  std::uint64_t replayed_records_ = 0;
+  std::uint64_t replayed_segments_ = 0;
+
+  obs::Histogram* fsync_hist_ = nullptr;  ///< wal.fsync_ns
+  obs::Counter* appends_ctr_ = nullptr;   ///< wal.appended_records
+  obs::Counter* flushes_ctr_ = nullptr;   ///< wal.flushes
+  obs::Counter* errors_ctr_ = nullptr;    ///< wal.io_errors
+  std::vector<std::uint64_t> gauge_ids_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> appended_bytes{0};
+    std::atomic<std::uint64_t> flushes{0};
+    std::atomic<std::uint64_t> io_errors{0};
+    std::atomic<std::uint64_t> segments{0};
+  } counters_;
+};
+
+}  // namespace omega::wal

@@ -1,0 +1,151 @@
+#include "wal/wal_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+
+namespace omega::wal {
+
+// --- PosixWalIo -------------------------------------------------------------
+
+bool PosixWalIo::mkdirs(const std::string& dir) {
+  if (dir.empty()) return false;
+  std::string path;
+  path.reserve(dir.size());
+  std::size_t at = 0;
+  while (at < dir.size()) {
+    const std::size_t slash = dir.find('/', at + 1);
+    path = dir.substr(0, slash == std::string::npos ? dir.size() : slash);
+    at = slash == std::string::npos ? dir.size() : slash;
+    if (path.empty() || path == "/") continue;
+    if (::mkdir(path.c_str(), 0777) != 0 && errno != EEXIST) return false;
+  }
+  struct stat st{};
+  return ::stat(dir.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+std::vector<std::string> PosixWalIo::list(const std::string& dir) {
+  std::vector<std::string> names;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return names;
+  while (dirent* e = ::readdir(d)) {
+    const std::string name = e->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+bool PosixWalIo::read_file(const std::string& path,
+                           std::vector<std::uint8_t>& out) {
+  out.clear();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return false;
+  std::uint8_t buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      out.insert(out.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) break;
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return false;
+  }
+  ::close(fd);
+  return true;
+}
+
+int PosixWalIo::open_append(const std::string& path) {
+  return ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                0644);
+}
+
+std::int64_t PosixWalIo::write(int handle, const void* data, std::size_t n) {
+  for (;;) {
+    const ssize_t w = ::write(handle, data, n);
+    if (w >= 0) return w;
+    if (errno == EINTR) continue;
+    return -static_cast<std::int64_t>(errno);
+  }
+}
+
+int PosixWalIo::sync(int handle) {
+  return ::fdatasync(handle) == 0 ? 0 : -errno;
+}
+
+void PosixWalIo::close(int handle) { ::close(handle); }
+
+bool PosixWalIo::truncate(const std::string& path, std::uint64_t size) {
+  return ::truncate(path.c_str(), static_cast<off_t>(size)) == 0;
+}
+
+// --- FaultyWalIo ------------------------------------------------------------
+
+FaultyWalIo::FaultyWalIo(Faults faults, WalIo* inner)
+    : faults_(faults), inner_(inner != nullptr ? inner : &fallback_) {}
+
+bool FaultyWalIo::mkdirs(const std::string& dir) {
+  return inner_->mkdirs(dir);
+}
+
+std::vector<std::string> FaultyWalIo::list(const std::string& dir) {
+  return inner_->list(dir);
+}
+
+bool FaultyWalIo::read_file(const std::string& path,
+                            std::vector<std::uint8_t>& out) {
+  return inner_->read_file(path, out);
+}
+
+int FaultyWalIo::open_append(const std::string& path) {
+  return inner_->open_append(path);
+}
+
+std::int64_t FaultyWalIo::write(int handle, const void* data, std::size_t n) {
+  const std::uint64_t call = ++writes_;
+  if (faults_.disk_capacity_bytes != 0 &&
+      written_bytes_ >= faults_.disk_capacity_bytes) {
+    return -ENOSPC;
+  }
+  std::size_t allow = n;
+  bool lie_full = false;
+  if (faults_.tear_write_at != 0 && call == faults_.tear_write_at) {
+    // Torn record: a prefix hits the platter, the caller is told all of
+    // it did. Only a checksum on replay can catch this.
+    allow = std::min<std::size_t>(n, faults_.torn_bytes);
+    lie_full = true;
+  } else if (faults_.short_write_every != 0 &&
+             call % faults_.short_write_every == 0 && n > 1) {
+    allow = n / 2;
+  }
+  const std::int64_t w = inner_->write(handle, data, allow);
+  if (w < 0) return w;
+  written_bytes_ += static_cast<std::uint64_t>(w);
+  return lie_full ? static_cast<std::int64_t>(n) : w;
+}
+
+int FaultyWalIo::sync(int handle) {
+  const std::uint64_t call = ++syncs_;
+  if (faults_.sync_fail_after != 0 && call > faults_.sync_fail_after) {
+    return -EIO;
+  }
+  return inner_->sync(handle);
+}
+
+void FaultyWalIo::close(int handle) { inner_->close(handle); }
+
+bool FaultyWalIo::truncate(const std::string& path, std::uint64_t size) {
+  return inner_->truncate(path, size);
+}
+
+}  // namespace omega::wal

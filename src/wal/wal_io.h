@@ -1,0 +1,117 @@
+// WalIo: the byte-level seam under the write-ahead log, in the spirit of
+// the san/ disk model — the Wal never touches the filesystem directly, so
+// the recovery path can be driven through every failure a real disk
+// serves up. Two implementations:
+//
+//   * PosixWalIo  — O_APPEND files, write(2) in a short-write loop,
+//     fdatasync(2); the production backend.
+//   * FaultyWalIo — wraps another WalIo and injects the classic disk
+//     failure menu on a deterministic schedule: short writes (partial
+//     write(2) returns), torn records (a write cut mid-record and then the
+//     "process" dies), fsync EIO, and ENOSPC once a byte budget is spent.
+//     Unit tests aim it at the Wal's append/replay pair; the system crash
+//     tests get their kill-point coverage from it for free.
+//
+// Handles are small non-negative integers scoped to one WalIo instance
+// (PosixWalIo hands out real fds). All methods are thread-safe to the
+// extent the Wal needs: one appender/flusher thread per open handle,
+// replay strictly before appending starts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace omega::wal {
+
+class WalIo {
+ public:
+  virtual ~WalIo() = default;
+
+  /// Creates `dir` (and missing parents) if absent. False on failure.
+  virtual bool mkdirs(const std::string& dir) = 0;
+
+  /// Lexicographically sorted file names (not paths) inside `dir`.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+
+  /// Whole-file read for replay. False when the file cannot be opened.
+  virtual bool read_file(const std::string& path,
+                         std::vector<std::uint8_t>& out) = 0;
+
+  /// Opens `path` for appending (creating it when absent); returns a
+  /// handle >= 0, or -1 on failure.
+  virtual int open_append(const std::string& path) = 0;
+
+  /// Appends up to `n` bytes; may write fewer (short write). Returns the
+  /// byte count actually written, or a negative errno on failure.
+  virtual std::int64_t write(int handle, const void* data, std::size_t n) = 0;
+
+  /// Durability barrier (fdatasync). 0 on success, negative errno else.
+  virtual int sync(int handle) = 0;
+
+  virtual void close(int handle) = 0;
+
+  /// Truncates `path` to `size` bytes (replay drops a torn tail in place
+  /// so the next append starts on a clean record boundary).
+  virtual bool truncate(const std::string& path, std::uint64_t size) = 0;
+};
+
+/// The production backend: real files, real fsync.
+class PosixWalIo final : public WalIo {
+ public:
+  bool mkdirs(const std::string& dir) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  bool read_file(const std::string& path,
+                 std::vector<std::uint8_t>& out) override;
+  int open_append(const std::string& path) override;
+  std::int64_t write(int handle, const void* data, std::size_t n) override;
+  int sync(int handle) override;
+  void close(int handle) override;
+  bool truncate(const std::string& path, std::uint64_t size) override;
+};
+
+/// Deterministic fault injection over an inner WalIo (PosixWalIo unless
+/// told otherwise). Every knob defaults to "off"; a zero threshold means
+/// the fault never fires.
+class FaultyWalIo final : public WalIo {
+ public:
+  struct Faults {
+    /// Every Nth write() call lands at most half its bytes (0 = never).
+    std::uint64_t short_write_every = 0;
+    /// write() calls beyond this many hard-fail with ENOSPC, emulating a
+    /// full disk (0 = unlimited).
+    std::uint64_t disk_capacity_bytes = 0;
+    /// sync() calls after the Nth return EIO (0 = never fail).
+    std::uint64_t sync_fail_after = 0;
+    /// The Nth write() call is torn: only `torn_bytes` of it reach the
+    /// file and the call still reports full success — the lie a kernel
+    /// page cache tells right before a power cut (0 = never).
+    std::uint64_t tear_write_at = 0;
+    std::uint64_t torn_bytes = 3;
+  };
+
+  explicit FaultyWalIo(Faults faults, WalIo* inner = nullptr);
+
+  std::uint64_t writes() const noexcept { return writes_; }
+  std::uint64_t syncs() const noexcept { return syncs_; }
+
+  bool mkdirs(const std::string& dir) override;
+  std::vector<std::string> list(const std::string& dir) override;
+  bool read_file(const std::string& path,
+                 std::vector<std::uint8_t>& out) override;
+  int open_append(const std::string& path) override;
+  std::int64_t write(int handle, const void* data, std::size_t n) override;
+  int sync(int handle) override;
+  void close(int handle) override;
+  bool truncate(const std::string& path, std::uint64_t size) override;
+
+ private:
+  Faults faults_;
+  PosixWalIo fallback_;
+  WalIo* inner_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t syncs_ = 0;
+  std::uint64_t written_bytes_ = 0;
+};
+
+}  // namespace omega::wal

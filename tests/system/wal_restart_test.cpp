@@ -1,0 +1,302 @@
+// Durability end to end: three OS processes, each an SmrNode journaling
+// to its own WAL directory with quorum-acked commits. The leader is
+// SIGKILL'd mid-load and the SAME node is restarted in place from its
+// WAL — it must replay, rejoin via the mirror resync, and converge on a
+// log identical to the survivors', with the pre-crash prefix intact.
+//
+// fork() happens before any thread exists in this binary (gtest runs
+// each TEST in its own process), so children may build the full
+// threaded runtime.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "net/client.h"
+#include "smr/node.h"
+#include "wal/wal_io.h"
+
+namespace omega::smr {
+namespace {
+
+std::uint16_t pick_free_port() {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  EXPECT_EQ(::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  socklen_t len = sizeof addr;
+  EXPECT_EQ(getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+  ::close(fd);
+  return port;
+}
+
+constexpr svc::GroupId kGid = 42;
+
+NodeTopology make_topology() {
+  NodeTopology topo;
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    topo.nodes.push_back(NodeEndpoint{i, "127.0.0.1", pick_free_port(),
+                                      pick_free_port()});
+  }
+  return topo;
+}
+
+SmrSpec test_spec() {
+  SmrSpec spec;
+  spec.n = 3;
+  spec.capacity = 512;
+  spec.window = 4;
+  spec.max_batch = 8;
+  spec.quorum_ack = true;  // an ack means "on a quorum of WALs"
+  return spec;
+}
+
+/// Child body: build the node over its WAL dir, run until killed.
+[[noreturn]] void run_node(const NodeTopology& base, std::uint32_t self,
+                           const std::string& wal_dir) {
+  try {
+    NodeTopology topo = base;
+    topo.self = self;
+    svc::SvcConfig scfg;
+    scfg.workers = 1;
+    scfg.tick_us = 1000;
+    scfg.pace_us = 200;
+    scfg.max_pace_us = 2000;
+    wal::WalOptions wopts;
+    wopts.dir = wal_dir;
+    SmrNode node(topo, scfg, {}, wopts);
+    node.add_log(kGid, test_spec());
+    node.start();
+    for (;;) {
+      if (node.service().failed()) {
+        std::fprintf(stderr, "node %u FAILED: %s\n", self,
+                     node.service().failure_message().c_str());
+        _exit(2);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "node %u threw: %s\n", self, e.what());
+    _exit(1);
+  } catch (...) {
+    _exit(1);
+  }
+  _exit(0);
+}
+
+class DurableCluster {
+ public:
+  DurableCluster() : topo_(make_topology()) {
+    char tmpl[] = "/tmp/omega_walsys_XXXXXX";
+    EXPECT_NE(::mkdtemp(tmpl), nullptr);
+    base_dir_ = tmpl;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      wal_dirs_.push_back(base_dir_ + "/node" + std::to_string(i));
+      pids_.push_back(spawn(i));
+    }
+  }
+
+  ~DurableCluster() {
+    for (const pid_t pid : pids_) {
+      if (pid > 0) ::kill(pid, SIGKILL);
+    }
+    for (const pid_t pid : pids_) {
+      if (pid > 0) ::waitpid(pid, nullptr, 0);
+    }
+  }
+
+  const NodeTopology& topo() const { return topo_; }
+  const std::string& wal_dir(std::uint32_t node) const {
+    return wal_dirs_[node];
+  }
+
+  void kill_node(std::uint32_t node) {
+    ::kill(pids_[node], SIGKILL);
+    ::waitpid(pids_[node], nullptr, 0);
+    pids_[node] = -1;
+  }
+
+  /// The restart under test: the SAME identity, the SAME WAL directory.
+  void restart_node(std::uint32_t node) {
+    ASSERT_EQ(pids_[node], -1) << "restart of a live node";
+    pids_[node] = spawn(node);
+  }
+
+  bool alive(std::uint32_t node) const { return pids_[node] > 0; }
+
+  void connect(net::Client& c, std::uint32_t node, int deadline_s = 60) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadline_s);
+    for (;;) {
+      try {
+        c.connect("127.0.0.1", topo_.nodes[node].serve_port, 2000);
+        c.enable_auto_reconnect();
+        return;
+      } catch (const net::NetError&) {
+        if (std::chrono::steady_clock::now() >= deadline) throw;
+        std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      }
+    }
+  }
+
+  ProcessId await_leader(int deadline_s) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadline_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (std::uint32_t node = 0; node < 3; ++node) {
+        if (!alive(node)) continue;
+        try {
+          net::Client c;
+          connect(c, node, 5);
+          const auto r = c.leader(kGid);
+          if (r.ok() && r.view.leader != kNoProcess &&
+              alive(topo_.node_of(r.view.leader))) {
+            return r.view.leader;
+          }
+        } catch (const net::NetError&) {
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return kNoProcess;
+  }
+
+  /// Blocks until `node` serves a log with commit_index >= want; returns
+  /// the entries (empty on timeout — the caller asserts).
+  std::vector<std::uint64_t> await_log(std::uint32_t node,
+                                       std::uint64_t want,
+                                       int deadline_s) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(deadline_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      try {
+        net::Client c;
+        connect(c, node, 5);
+        const auto page = c.read_log(kGid, 0, 256);
+        if (page.status == net::Status::kOk && page.commit_index >= want) {
+          return page.entries;
+        }
+      } catch (const net::NetError&) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    return {};
+  }
+
+ private:
+  pid_t spawn(std::uint32_t node) {
+    const pid_t pid = fork();
+    if (pid == 0) run_node(topo_, node, wal_dirs_[node]);
+    return pid;
+  }
+
+  NodeTopology topo_;
+  std::string base_dir_;
+  std::vector<std::string> wal_dirs_;
+  std::vector<pid_t> pids_;
+};
+
+void append_until_committed(DurableCluster& cluster, std::uint64_t client,
+                            std::uint64_t seq, std::uint64_t cmd,
+                            int deadline_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(deadline_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const ProcessId leader = cluster.await_leader(deadline_s);
+    ASSERT_NE(leader, kNoProcess) << "no leader elected in time";
+    const std::uint32_t node = cluster.topo().node_of(leader);
+    try {
+      net::Client c;
+      cluster.connect(c, node, 10);
+      const auto r = c.append_retry(kGid, client, seq, cmd, 15000);
+      if (r.ok()) return;
+    } catch (const net::NetError&) {
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  FAIL() << "append of " << cmd << " did not commit in " << deadline_s
+         << "s";
+}
+
+TEST(WalRestart, SigkilledLeaderRejoinsFromItsWal) {
+  DurableCluster cluster;
+
+  // Phase 1: commit a prefix under quorum_ack — every acked entry is on
+  // a quorum of WALs by construction.
+  ASSERT_NE(cluster.await_leader(120), kNoProcess);
+  constexpr std::uint64_t kFirst = 12;
+  for (std::uint64_t i = 0; i < kFirst; ++i) {
+    append_until_committed(cluster, /*client=*/1, /*seq=*/1 + i, 500 + i,
+                           120);
+  }
+
+  // Phase 2: SIGKILL the leader's node mid-life. Its WAL directory must
+  // already hold segments (the journal is written as commits happen, not
+  // at shutdown — SIGKILL leaves no chance for a parting flush).
+  const ProcessId first_leader = cluster.await_leader(60);
+  ASSERT_NE(first_leader, kNoProcess);
+  const std::uint32_t crashed = cluster.topo().node_of(first_leader);
+  cluster.kill_node(crashed);
+  {
+    wal::PosixWalIo io;
+    EXPECT_FALSE(io.list(cluster.wal_dir(crashed)).empty())
+        << "no WAL segments written before the crash";
+  }
+
+  // Phase 3: the survivors elect a new leader and keep committing.
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    append_until_committed(cluster, /*client=*/2, /*seq=*/1 + i, 900 + i,
+                           180);
+  }
+
+  // Phase 4: restart the SAME node over the SAME WAL directory. It must
+  // replay, resync, and serve the full log — including both the prefix
+  // it saw before dying and the entries committed while it was down.
+  cluster.restart_node(crashed);
+  constexpr std::uint64_t kTotal = kFirst + 4;
+  const std::vector<std::uint64_t> rejoined =
+      cluster.await_log(crashed, kTotal, 180);
+  ASSERT_GE(rejoined.size(), kTotal)
+      << "restarted node " << crashed << " never served the full log";
+
+  // Phase 5: with the rejoined node counted, appends still commit (it
+  // participates in the quorum again, not just serves reads)...
+  append_until_committed(cluster, /*client=*/3, /*seq=*/1, 1300, 180);
+
+  // ...and all three logs are identical: prefix, crash-window entries,
+  // post-rejoin tail.
+  std::vector<std::uint64_t> logs[3];
+  for (std::uint32_t node = 0; node < 3; ++node) {
+    logs[node] = cluster.await_log(node, kTotal + 1, 120);
+    ASSERT_GE(logs[node].size(), kTotal + 1)
+        << "node " << node << " never converged";
+  }
+  for (std::uint64_t i = 0; i < kFirst; ++i) {
+    EXPECT_EQ(logs[crashed][i], 500 + i)
+        << "restarted node rewrote its own pre-crash prefix at " << i;
+  }
+  const std::size_t common = std::min(
+      {logs[0].size(), logs[1].size(), logs[2].size()});
+  for (std::size_t i = 0; i < common; ++i) {
+    EXPECT_EQ(logs[0][i], logs[1][i]) << "logs diverge at index " << i;
+    EXPECT_EQ(logs[1][i], logs[2][i]) << "logs diverge at index " << i;
+  }
+}
+
+}  // namespace
+}  // namespace omega::smr

@@ -1,0 +1,374 @@
+// Wal unit coverage: the append/replay pair under clean restarts,
+// segment rolls, torn tails, bit rot, and the FaultyWalIo disk-failure
+// menu (short writes, ENOSPC, fsync EIO, torn records). Each test gets
+// its own mkdtemp directory; a second Wal instance on the same dir IS
+// the restart.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wal/wal.h"
+#include "wal/wal_io.h"
+
+namespace omega::wal {
+namespace {
+
+std::string make_dir() {
+  char tmpl[] = "/tmp/omega_wal_XXXXXX";
+  EXPECT_NE(::mkdtemp(tmpl), nullptr);
+  return tmpl;
+}
+
+WalOptions small_opts(const std::string& dir, WalIo* io = nullptr) {
+  WalOptions o;
+  o.dir = dir;
+  o.segment_bytes = 16 + 64;  // minimum legal: ~2 cell records per segment
+  o.flush_interval_us = 200;
+  o.io = io;
+  return o;
+}
+
+/// Reads a segment file raw (test-side bit-flipping).
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::vector<std::uint8_t> out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return out;
+  std::uint8_t buf[4096];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return out;
+}
+
+void spit(const std::string& path, const std::vector<std::uint8_t>& data) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), f), data.size());
+  std::fclose(f);
+}
+
+std::vector<std::string> segment_files(const std::string& dir) {
+  PosixWalIo io;
+  std::vector<std::string> segs;
+  for (const auto& name : io.list(dir)) {
+    if (name.rfind("wal-", 0) == 0) segs.push_back(dir + "/" + name);
+  }
+  return segs;
+}
+
+TEST(WalTest, Crc32KnownVector) {
+  // The IEEE check value: CRC-32 of "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+}
+
+TEST(WalTest, RoundTripAcrossRestart) {
+  const std::string dir = make_dir();
+  {
+    Wal wal(small_opts(dir));
+    wal.start();
+    EXPECT_EQ(wal.append_cell(7, 100, 0xAABB), 1u);
+    EXPECT_EQ(wal.append_cell(7, 101, 0xCCDD), 2u);
+    EXPECT_EQ(wal.append_cell(9, 100, 42), 3u);
+    const std::uint64_t vals[] = {500, 501, 502};
+    EXPECT_EQ(wal.append_applied(7, 0, 3, vals, 3), 4u);
+    wal.flush();
+    EXPECT_EQ(wal.durable_seq(), 4u);
+    wal.stop();
+  }
+  Wal wal(small_opts(dir));
+  const ReplayResult r = wal.replay();
+  EXPECT_FALSE(r.corrupt);
+  EXPECT_EQ(r.records, 4u);
+  EXPECT_EQ(r.truncated_bytes, 0u);
+  ASSERT_EQ(r.groups.count(7), 1u);
+  ASSERT_EQ(r.groups.count(9), 1u);
+  const GroupImage& g7 = r.groups.at(7);
+  EXPECT_EQ(g7.cells.at(100), 0xAABBu);
+  EXPECT_EQ(g7.cells.at(101), 0xCCDDu);
+  ASSERT_EQ(g7.applied.size(), 3u);
+  EXPECT_EQ(g7.applied[0], 500u);
+  EXPECT_EQ(g7.applied[2], 502u);
+  EXPECT_EQ(g7.next_slot, 3u);
+  EXPECT_EQ(r.groups.at(9).cells.at(100), 42u);
+  // Seqs continue where the previous life stopped.
+  EXPECT_EQ(wal.appended_seq(), 4u);
+  EXPECT_EQ(wal.durable_seq(), 4u);
+}
+
+TEST(WalTest, RecordsStraddleSegmentRolls) {
+  const std::string dir = make_dir();
+  constexpr std::uint64_t kN = 40;  // ~1KB of records, ~13 tiny segments
+  {
+    Wal wal(small_opts(dir));
+    wal.start();
+    for (std::uint64_t i = 0; i < kN; ++i) {
+      wal.append_cell(1, static_cast<std::uint32_t>(100 + i), 1000 + i);
+    }
+    wal.flush();
+    wal.stop();
+    EXPECT_GE(wal.stats().segments, 2u);
+  }
+  Wal wal(small_opts(dir));
+  const ReplayResult r = wal.replay();
+  EXPECT_FALSE(r.corrupt);
+  EXPECT_EQ(r.records, kN);
+  EXPECT_GE(r.segments, 2u);
+  const GroupImage& img = r.groups.at(1);
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(img.cells.at(static_cast<std::uint32_t>(100 + i)), 1000 + i);
+  }
+}
+
+TEST(WalTest, AppendingResumesAfterReplay) {
+  const std::string dir = make_dir();
+  {
+    Wal wal(small_opts(dir));
+    wal.start();
+    wal.append_cell(1, 100, 1);
+    wal.flush();
+    wal.stop();
+  }
+  {
+    Wal wal(small_opts(dir));
+    wal.start();  // implicit replay
+    EXPECT_EQ(wal.appended_seq(), 1u);
+    wal.append_cell(1, 101, 2);
+    wal.flush();
+    wal.stop();
+  }
+  Wal wal(small_opts(dir));
+  const ReplayResult r = wal.replay();
+  EXPECT_FALSE(r.corrupt);
+  EXPECT_EQ(r.records, 2u);
+  EXPECT_EQ(r.groups.at(1).cells.at(100), 1u);
+  EXPECT_EQ(r.groups.at(1).cells.at(101), 2u);
+}
+
+TEST(WalTest, TornTailIsTruncatedInPlace) {
+  const std::string dir = make_dir();
+  {
+    Wal wal(small_opts(dir));
+    wal.start();
+    for (std::uint32_t i = 0; i < 4; ++i) wal.append_cell(1, 100 + i, i);
+    wal.flush();
+    wal.stop();
+  }
+  // A crash mid-write: garbage after the last good record.
+  auto segs = segment_files(dir);
+  ASSERT_FALSE(segs.empty());
+  std::vector<std::uint8_t> tail = slurp(segs.back());
+  const std::size_t clean = tail.size();
+  tail.insert(tail.end(), {0x13, 0x77, 0x00, 0xFF, 0x42});
+  spit(segs.back(), tail);
+
+  Wal wal(small_opts(dir));
+  const ReplayResult r = wal.replay();
+  EXPECT_FALSE(r.corrupt);
+  EXPECT_EQ(r.records, 4u);
+  EXPECT_EQ(r.truncated_bytes, 5u);
+  EXPECT_EQ(slurp(segs.back()).size(), clean);  // dropped on disk too
+}
+
+TEST(WalTest, BitFlipInLastSegmentIsATornTail) {
+  const std::string dir = make_dir();
+  WalOptions opts = small_opts(dir);
+  opts.segment_bytes = 8u << 20;  // one segment: the flip IS the tail
+  {
+    Wal wal(opts);
+    wal.start();
+    for (std::uint32_t i = 0; i < 6; ++i) wal.append_cell(1, 100 + i, i);
+    wal.flush();
+    wal.stop();
+  }
+  auto segs = segment_files(dir);
+  ASSERT_EQ(segs.size(), 1u);
+  std::vector<std::uint8_t> data = slurp(segs.back());
+  // Flip one payload byte inside the 4th record's body.
+  const std::size_t at = 16 + 3 * 25 + 12;
+  ASSERT_LT(at, data.size());
+  data[at] ^= 0x01;
+  spit(segs.back(), data);
+
+  Wal wal(opts);
+  const ReplayResult r = wal.replay();
+  EXPECT_FALSE(r.corrupt);  // prefix survives; tail dropped
+  EXPECT_EQ(r.records, 3u);
+  EXPECT_GT(r.truncated_bytes, 0u);
+  EXPECT_EQ(r.groups.at(1).cells.size(), 3u);
+}
+
+TEST(WalTest, BitFlipBeforeTheFinalSegmentIsCorruption) {
+  const std::string dir = make_dir();
+  {
+    Wal wal(small_opts(dir));
+    wal.start();
+    for (std::uint32_t i = 0; i < 12; ++i) wal.append_cell(1, 100 + i, i);
+    wal.flush();
+    wal.stop();
+  }
+  auto segs = segment_files(dir);
+  ASSERT_GE(segs.size(), 2u);
+  std::vector<std::uint8_t> first = slurp(segs.front());
+  ASSERT_GT(first.size(), 20u);
+  first[18] ^= 0x40;  // payload damage in a sealed segment
+  spit(segs.front(), first);
+
+  Wal wal(small_opts(dir));
+  const ReplayResult r = wal.replay();
+  EXPECT_TRUE(r.corrupt);  // mid-stream damage is NOT a tail
+}
+
+TEST(WalTest, AppliedReplayIsIdempotent) {
+  const std::string dir = make_dir();
+  {
+    Wal wal(small_opts(dir));
+    wal.start();
+    const std::uint64_t a[] = {10, 20};
+    wal.append_applied(5, 0, 2, a, 2);
+    // Overlapping re-journal: same prefix, two new entries.
+    const std::uint64_t b[] = {10, 20, 30, 40};
+    wal.append_applied(5, 0, 5, b, 4);
+    wal.flush();
+    wal.stop();
+  }
+  Wal wal(small_opts(dir));
+  const ReplayResult r = wal.replay();
+  EXPECT_FALSE(r.corrupt);
+  const GroupImage& img = r.groups.at(5);
+  ASSERT_EQ(img.applied.size(), 4u);
+  EXPECT_EQ(img.applied[1], 20u);
+  EXPECT_EQ(img.applied[3], 40u);
+  EXPECT_EQ(img.next_slot, 5u);
+}
+
+TEST(WalTest, AppliedOverlapMismatchIsCorruption) {
+  const std::string dir = make_dir();
+  {
+    Wal wal(small_opts(dir));
+    wal.start();
+    const std::uint64_t a[] = {10, 20};
+    wal.append_applied(5, 0, 2, a, 2);
+    const std::uint64_t b[] = {11};  // contradicts history
+    wal.append_applied(5, 0, 2, b, 1);
+    wal.flush();
+    wal.stop();
+  }
+  Wal wal(small_opts(dir));
+  EXPECT_TRUE(wal.replay().corrupt);
+}
+
+TEST(WalTest, AppliedGapIsCorruption) {
+  const std::string dir = make_dir();
+  {
+    Wal wal(small_opts(dir));
+    wal.start();
+    const std::uint64_t a[] = {99};
+    wal.append_applied(5, 7, 8, a, 1);  // nothing before index 7
+    wal.flush();
+    wal.stop();
+  }
+  Wal wal(small_opts(dir));
+  EXPECT_TRUE(wal.replay().corrupt);
+}
+
+TEST(WalTest, ShortWritesAreInvisibleToReplay) {
+  const std::string dir = make_dir();
+  FaultyWalIo::Faults faults;
+  faults.short_write_every = 2;  // every other write() lands half
+  FaultyWalIo io(faults);
+  {
+    Wal wal(small_opts(dir, &io));
+    wal.start();
+    for (std::uint32_t i = 0; i < 16; ++i) wal.append_cell(1, 100 + i, i);
+    wal.flush();
+    EXPECT_EQ(wal.durable_seq(), 16u);
+    wal.stop();
+  }
+  EXPECT_GT(io.writes(), 16u);  // the retry loop really ran
+  Wal wal(small_opts(dir));
+  const ReplayResult r = wal.replay();
+  EXPECT_FALSE(r.corrupt);
+  EXPECT_EQ(r.records, 16u);
+}
+
+TEST(WalTest, TornWriteLieIsCaughtByReplay) {
+  const std::string dir = make_dir();
+  FaultyWalIo::Faults faults;
+  // Call 1 = header, call 2 = the first flushed batch; tear a later one.
+  faults.tear_write_at = 3;
+  faults.torn_bytes = 10;
+  FaultyWalIo io(faults);
+  WalOptions opts = small_opts(dir, &io);
+  opts.segment_bytes = 8u << 20;
+  {
+    Wal wal(opts);
+    (void)wal.replay();
+    for (std::uint32_t i = 0; i < 4; ++i) wal.append_cell(1, 100 + i, i);
+    wal.start();  // one drain, one write: calls 1+2
+    wal.flush();
+    EXPECT_EQ(wal.durable_seq(), 4u);
+    wal.append_cell(1, 200, 7);  // call 3: torn to 10 bytes, reported OK
+    wal.flush();
+    EXPECT_EQ(wal.durable_seq(), 5u);  // the lie: acked but not on disk
+    wal.stop();
+  }
+  WalOptions clean = small_opts(dir);
+  clean.segment_bytes = 8u << 20;
+  Wal wal(clean);
+  const ReplayResult r = wal.replay();
+  EXPECT_FALSE(r.corrupt);
+  EXPECT_EQ(r.records, 4u);  // the torn record is gone, prefix intact
+  EXPECT_GT(r.truncated_bytes, 0u);
+  EXPECT_EQ(r.groups.at(1).cells.count(200), 0u);
+}
+
+TEST(WalTest, FullDiskDegradesInsteadOfAcking) {
+  const std::string dir = make_dir();
+  FaultyWalIo::Faults faults;
+  // The budget is spent by the segment header alone, so the first record
+  // write hits ENOSPC no matter how the flusher batches.
+  faults.disk_capacity_bytes = 8;
+  FaultyWalIo io(faults);
+  WalOptions opts = small_opts(dir, &io);
+  opts.segment_bytes = 8u << 20;
+  Wal wal(opts);
+  wal.start();
+  for (std::uint32_t i = 0; i < 8; ++i) wal.append_cell(1, 100 + i, i);
+  wal.flush();  // returns because the log degraded, not because durable
+  EXPECT_LT(wal.durable_seq(), wal.appended_seq());
+  EXPECT_GE(wal.stats().io_errors, 1u);
+  wal.stop();
+}
+
+TEST(WalTest, FsyncEioFreezesDurableSeq) {
+  const std::string dir = make_dir();
+  FaultyWalIo::Faults faults;
+  faults.sync_fail_after = 1;  // first barrier lands, the next EIOs
+  FaultyWalIo io(faults);
+  WalOptions opts = small_opts(dir, &io);
+  opts.segment_bytes = 8u << 20;
+  Wal wal(opts);
+  (void)wal.replay();
+  wal.append_cell(1, 100, 1);
+  wal.start();
+  wal.flush();
+  const std::uint64_t durable = wal.durable_seq();
+  EXPECT_EQ(durable, 1u);
+  wal.append_cell(1, 101, 2);
+  wal.flush();  // returns on degradation
+  EXPECT_EQ(wal.durable_seq(), durable);  // frozen at the last good barrier
+  EXPECT_GE(wal.stats().io_errors, 1u);
+  wal.stop();
+}
+
+}  // namespace
+}  // namespace omega::wal
