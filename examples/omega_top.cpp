@@ -296,7 +296,9 @@ struct LiveFeed {
   std::vector<obs::MetricSample> samples;
   std::uint64_t last_tick = 0;
   std::int64_t last_appends = -1;
+  std::int64_t last_reads = -1;
   std::deque<double> rate_hist;
+  std::deque<double> read_hist;
   std::deque<double> queue_hist;
 };
 
@@ -333,18 +335,38 @@ void push_hist(std::deque<double>& h, double v) {
   while (h.size() > kSparkWidth) h.pop_front();
 }
 
+/// Sum of the answered-read counters — the lease fast path, follower
+/// read-index, and the committed-read fallback all count as served reads.
+std::int64_t feed_reads(const LiveFeed& f) {
+  return feed_value(f, "smr.reads.lease") + feed_value(f, "smr.reads.index") +
+         feed_value(f, "smr.reads.fallback");
+}
+
+/// The node's lease posture, from the registered gauges: "held" while a
+/// valid leader lease backs memory-speed reads, "wait" when the node
+/// expects a lease but it has lapsed (reads fall back or defer), "-" on
+/// followers and when leases are off.
+std::string feed_lease(const LiveFeed& f) {
+  if (feed_value(f, "smr.lease_expected") == 0) return "-";
+  return feed_value(f, "smr.lease_valid") != 0 ? "held" : "wait";
+}
+
 /// Applies one complete sampler tick to the feed's derived history.
 void apply_tick(LiveFeed& f, const net::Client::Event& e) {
   f.samples = e.samples;
   f.health = e.health;
   const std::int64_t appends = feed_value(f, "net.frames.append");
+  const std::int64_t reads = feed_reads(f);
   if (f.last_appends >= 0 && e.tick > f.last_tick && f.period_ms > 0) {
     const double secs = static_cast<double>(e.tick - f.last_tick) *
                         static_cast<double>(f.period_ms) / 1000.0;
     push_hist(f.rate_hist,
               static_cast<double>(appends - f.last_appends) / secs);
+    push_hist(f.read_hist,
+              static_cast<double>(reads - f.last_reads) / secs);
   }
   f.last_appends = appends;
+  f.last_reads = reads;
   f.last_tick = e.tick;
   f.tick = e.tick;
   push_hist(f.queue_hist,
@@ -356,7 +378,10 @@ void apply_tick(LiveFeed& f, const net::Client::Event& e) {
 /// own sample cadence.
 int run_live(const std::vector<Endpoint>& eps, int rounds) {
   std::vector<LiveFeed> feeds;
-  for (const Endpoint& ep : eps) feeds.push_back(LiveFeed{ep});
+  for (const Endpoint& ep : eps) {
+    feeds.emplace_back();
+    feeds.back().ep = ep;
+  }
   for (int round = 0; rounds == 0 || round < rounds; ++round) {
     for (LiveFeed& f : feeds) {
       if (!f.up) {
@@ -398,15 +423,17 @@ int run_live(const std::vector<Endpoint>& eps, int rounds) {
                                   std::min(worst, 2))))
               << "   (streamed, period " << feeds[0].period_ms << "ms)\n";
     AsciiTable table({"node", "health", "tick", "app/s", "rate",
-                      "queue", "depth", "push-lag us"});
+                      "read/s", "lease", "queue", "depth", "push-lag us"});
     for (LiveFeed& f : feeds) {
       const std::string label =
           f.ep.host + ":" + std::to_string(f.ep.port);
       if (!f.up) {
-        table.add_row({label, "(down)", "-", "-", "-", "-", "-", "-"});
+        table.add_row(
+            {label, "(down)", "-", "-", "-", "-", "-", "-", "-", "-"});
         continue;
       }
       const double rate = f.rate_hist.empty() ? 0.0 : f.rate_hist.back();
+      const double reads = f.read_hist.empty() ? 0.0 : f.read_hist.back();
       std::string lag = "-";
       for (const obs::MetricSample& m : f.samples) {
         if (m.name == "mirror.push_lag_ns" && m.value > 0) {
@@ -419,6 +446,8 @@ int run_live(const std::vector<Endpoint>& eps, int rounds) {
            std::to_string(f.tick),
            std::to_string(static_cast<std::int64_t>(rate)),
            sparkline(f.rate_hist),
+           std::to_string(static_cast<std::int64_t>(reads)),
+           feed_lease(f),
            std::to_string(feed_value(f, "smr.queue_pending")),
            sparkline(f.queue_hist), lag});
     }
@@ -459,6 +488,10 @@ std::uint16_t pick_free_port() {
     spec.capacity = 8192;
     spec.window = 4;
     spec.max_batch = 8;
+    // Leases on, so the live dashboard's read/s + lease columns have
+    // something to show against the demo cluster.
+    spec.lease_ttl_us = 400000;
+    spec.lease_skew_us = 20000;
     node.add_log(kGid, spec);
     node.start();
     for (;;) ::pause();
@@ -488,6 +521,9 @@ void append_load(const smr::NodeTopology& topo, std::atomic<bool>& stop) {
       ++seq;
       const auto r = c.append(kGid, /*client=*/11, seq, 1 + (seq % 1000),
                               /*response_timeout_ms=*/2000);
+      // Read back the value just written so the dashboard's read/s and
+      // lease columns track the v1.6 point-read path too.
+      if (r.ok()) c.read(kGid, 1 + (seq % 1000), /*min_index=*/0, 2000);
       if (r.status == net::Status::kNotLeader &&
           r.view.leader != kNoProcess) {
         at = topo.node_of(r.view.leader);

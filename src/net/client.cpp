@@ -61,6 +61,8 @@ void Client::close() {
   events_.clear();
   outstanding_appends_.clear();
   done_appends_.clear();
+  outstanding_reads_.clear();
+  done_reads_.clear();
   // A tick half-assembled when the stream died can never complete; the
   // subscription flag itself survives for resubscribe().
   pending_tick_open_ = false;
@@ -305,6 +307,11 @@ bool Client::absorb(const Frame& f) {
     done_appends_.push_back(AsyncAppend{f.header.req_id, to_append_result(f)});
     return true;
   }
+  if (f.header.type == MsgType::kRead &&
+      outstanding_reads_.erase(f.header.req_id) > 0) {
+    done_reads_.push_back(AsyncRead{f.header.req_id, to_read_result(f)});
+    return true;
+  }
   return false;
 }
 
@@ -314,6 +321,15 @@ Client::AppendResult Client::to_append_result(const Frame& f) {
   r.index = f.append_resp.index;
   r.view = svc::LeaderView{f.append_resp.leader, f.append_resp.epoch};
   r.trace = f.append_resp.trace;
+  return r;
+}
+
+Client::ReadResult Client::to_read_result(const Frame& f) {
+  ReadResult r;
+  r.status = f.header.status;
+  r.index = f.read_resp.index;
+  r.commit_index = f.read_resp.commit_index;
+  r.view = svc::LeaderView{f.read_resp.leader, f.read_resp.epoch};
   return r;
 }
 
@@ -544,6 +560,84 @@ Client::AppendResult Client::append_retry(svc::GroupId gid,
   }
 }
 
+std::uint64_t Client::read_async(svc::GroupId gid, std::uint64_t key,
+                                 std::uint64_t min_index) {
+  ensure_connected();
+  const std::uint64_t id = next_req_id_++;
+  out_.clear();
+  ReadReqBody req;
+  req.gid = gid;
+  req.key = key;
+  req.min_index = min_index;
+  encode_read_request(out_, id, req);
+  send_all(out_.data(), out_.size());
+  outstanding_reads_.insert(id);
+  return id;
+}
+
+std::optional<Client::AsyncRead> Client::next_read_result(int timeout_ms) {
+  if (!done_reads_.empty()) {
+    const AsyncRead a = done_reads_.front();
+    done_reads_.pop_front();
+    return a;
+  }
+  if (fd_ < 0 || outstanding_reads_.empty()) return std::nullopt;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    while (std::optional<Frame> f = pop_frame()) {
+      if (!absorb(*f)) {
+        close();
+        throw NetError("unexpected frame while draining read results");
+      }
+    }
+    if (!done_reads_.empty()) {
+      const AsyncRead a = done_reads_.front();
+      done_reads_.pop_front();
+      return a;
+    }
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    // As with appends: a timeout is not a protocol failure — the answer
+    // is matched by req_id whenever it arrives.
+    if (remaining < 0) return std::nullopt;
+    if (!fill(remaining)) return std::nullopt;
+  }
+}
+
+Client::ReadResult Client::read(svc::GroupId gid, std::uint64_t key,
+                                std::uint64_t min_index,
+                                int response_timeout_ms) {
+  // The blocking form is the pipelined form plus "wait for this one".
+  const std::uint64_t id = read_async(gid, key, min_index);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(response_timeout_ms);
+  for (;;) {
+    while (std::optional<Frame> f = pop_frame()) {
+      if (absorb(*f)) continue;
+      close();
+      throw NetError("response does not match the outstanding request");
+    }
+    for (auto it = done_reads_.begin(); it != done_reads_.end(); ++it) {
+      if (it->req_id == id) {
+        const ReadResult r = it->result;
+        done_reads_.erase(it);
+        return r;
+      }
+    }
+    const int remaining = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now())
+            .count());
+    if (remaining <= 0 || !fill(remaining)) {
+      close();
+      throw NetError("timed out waiting for a response");
+    }
+  }
+}
+
 Client::LogView Client::read_log(svc::GroupId gid, std::uint64_t from,
                                  std::uint32_t max) {
   ensure_connected();
@@ -562,6 +656,27 @@ Client::LogView Client::read_log(svc::GroupId gid, std::uint64_t from,
     v.entries = f.readlog_resp.entries;
   }
   return v;
+}
+
+Client::LogView Client::read_log_all(svc::GroupId gid,
+                                     std::size_t max_entries) {
+  LogView all;
+  std::uint64_t from = 0;
+  for (;;) {
+    const LogView page = read_log(gid, from, kMaxLogEntries);
+    all.status = page.status;
+    if (page.status != Status::kOk) return all;
+    all.commit_index = page.commit_index;
+    for (const std::uint64_t v : page.entries) {
+      if (all.entries.size() >= max_entries) return all;  // budget spent
+      all.entries.push_back(v);
+    }
+    from += page.entries.size();
+    // An empty kOk page means `from` reached the applied frontier; a log
+    // growing mid-pagination simply ends with entries.size() below the
+    // final page's commit_index.
+    if (page.entries.empty() || from >= page.commit_index) return all;
+  }
 }
 
 Client::AppendResult Client::commit_watch(svc::GroupId gid) {
@@ -752,6 +867,50 @@ std::optional<Client::Event> Client::next_event(int timeout_ms) {
       if (std::chrono::steady_clock::now() >= deadline) return std::nullopt;
     }
   }
+}
+
+ReadRouter::ReadRouter(std::vector<Endpoint> endpoints)
+    : endpoints_(std::move(endpoints)), clients_(endpoints_.size()) {
+  if (endpoints_.empty()) throw NetError("ReadRouter needs >= 1 endpoint");
+}
+
+Client::ReadResult ReadRouter::read(svc::GroupId gid, std::uint64_t key,
+                                    int response_timeout_ms) {
+  // Two full rotations: one so every endpoint gets a try, a second so a
+  // refusal caused by a view mid-change (failover) can resolve. The
+  // session floor rides every attempt, so whichever endpoint answers
+  // proves at least everything this session has already observed.
+  Client::ReadResult last;
+  last.status = Status::kOverloaded;
+  std::string last_error = "no endpoint reachable";
+  bool answered_refusal = false;
+  const std::size_t attempts = endpoints_.size() * 2;
+  for (std::size_t i = 0; i < attempts; ++i) {
+    const std::size_t at = next_;
+    next_ = (next_ + 1) % endpoints_.size();
+    try {
+      if (!clients_[at]) clients_[at] = std::make_unique<Client>();
+      if (!clients_[at]->connected()) {
+        clients_[at]->connect(endpoints_[at].host, endpoints_[at].port,
+                              response_timeout_ms);
+      }
+      const Client::ReadResult r =
+          clients_[at]->read(gid, key, floor_, response_timeout_ms);
+      if (r.commit_index > floor_) floor_ = r.commit_index;
+      if (r.ok()) return r;
+      // A refusal (kNotLeader, kOverloaded, kUnknownGroup...) is an
+      // answer — remember it and rotate on.
+      last = r;
+      answered_refusal = true;
+    } catch (const NetError& e) {
+      last_error = e.what();
+      if (clients_[at]) clients_[at]->close();
+    }
+  }
+  if (!answered_refusal) {
+    throw NetError("ReadRouter: every endpoint failed: " + last_error);
+  }
+  return last;
 }
 
 }  // namespace omega::net

@@ -43,6 +43,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 #include <string>
@@ -218,6 +219,60 @@ class Client {
   /// Reads up to `max` applied entries of `gid`'s log starting at `from`.
   LogView read_log(svc::GroupId gid, std::uint64_t from, std::uint32_t max);
 
+  /// Pages through the whole applied log (READ_LOG under the hood) until
+  /// the commit index is covered or `max_entries` have been collected —
+  /// the budget bounds client memory against an unexpectedly long log.
+  /// `commit_index` in the result is the server's at the LAST page, so a
+  /// log growing mid-pagination reports entries.size() < commit_index.
+  LogView read_log_all(svc::GroupId gid, std::size_t max_entries = 1 << 20);
+
+  /// A decoded READ (v1.6) answer. `status` tells which path answered:
+  /// kLeaseRead (leader, lease valid — linearizable), kIndexRead
+  /// (follower past the fence), kOk (leader committed read, leases
+  /// disabled), kNotLeader (refused; `view` is the redirect hint, the
+  /// data fields are an unverified hint), kOverloaded (fence wait timed
+  /// out or waiter budget exhausted — retry).
+  struct ReadResult {
+    Status status = Status::kOk;
+    std::uint64_t index = 0;  ///< key's applied position + 1; 0 = absent
+    std::uint64_t commit_index = 0;  ///< answering replica's applied length
+    svc::LeaderView view;            ///< leader hint + fencing epoch
+
+    /// True when the read was ANSWERED (any of the three read paths).
+    bool ok() const noexcept {
+      return status == Status::kLeaseRead || status == Status::kIndexRead ||
+             status == Status::kOk;
+    }
+  };
+
+  /// Point read of `key`'s latest applied position in `gid`'s log;
+  /// blocks for the answer. `min_index` floors the follower fence for
+  /// read-your-writes across a routing switch (0 = server's own fence).
+  ReadResult read(svc::GroupId gid, std::uint64_t key,
+                  std::uint64_t min_index = 0,
+                  int response_timeout_ms = kResponseTimeoutMs);
+
+  /// One completed pipelined read: `req_id` is read_async's return.
+  struct AsyncRead {
+    std::uint64_t req_id = 0;
+    ReadResult result;
+  };
+
+  /// Submits a point read without waiting; any number may be
+  /// outstanding. Harvest with next_read_result() (completion order).
+  std::uint64_t read_async(svc::GroupId gid, std::uint64_t key,
+                           std::uint64_t min_index = 0);
+
+  /// Next completed pipelined read, waiting up to `timeout_ms` (0 = only
+  /// drain already-received frames). nullopt on timeout or when nothing
+  /// is outstanding; the connection survives a timeout.
+  std::optional<AsyncRead> next_read_result(int timeout_ms);
+
+  /// Pipelined reads submitted and not yet harvested.
+  std::size_t outstanding_reads() const noexcept {
+    return outstanding_reads_.size();
+  }
+
   /// Subscribes to `gid`'s commit pushes; `index` in the result is the
   /// commit-index snapshot (entries below it are readable via read_log).
   AppendResult commit_watch(svc::GroupId gid);
@@ -343,6 +398,7 @@ class Client {
   /// that is its response or a desync).
   bool absorb(const Frame& f);
   static AppendResult to_append_result(const Frame& f);
+  static ReadResult to_read_result(const Frame& f);
 
   /// Mints the next non-zero trace id (splitmix64 over a per-client
   /// salt), remembered in last_trace_.
@@ -357,6 +413,8 @@ class Client {
   std::vector<std::uint8_t> out_;
   std::unordered_set<std::uint64_t> outstanding_appends_;
   std::deque<AsyncAppend> done_appends_;
+  std::unordered_set<std::uint64_t> outstanding_reads_;
+  std::deque<AsyncRead> done_reads_;
   /// Live subscriptions, by channel — re-issued after every reconnect.
   std::unordered_set<svc::GroupId> watched_gids_;
   std::unordered_set<svc::GroupId> commit_watched_gids_;
@@ -383,6 +441,44 @@ class Client {
   /// Bound on buffered pushes: beyond it the oldest event is dropped
   /// (subscribers resynchronize by epoch/commit index).
   static constexpr std::size_t kMaxQueuedEvents = 65536;
+};
+
+/// Round-robin point-read router over several node endpoints (v1.6).
+///
+/// Spreads reads across the deployment — followers answer via read-index,
+/// the leader's node via its lease — and rotates away from endpoints that
+/// answer kNotLeader/kOverloaded or fail at transport level. The router
+/// remembers the highest commit_index any answer carried and passes it as
+/// every read's min_index, so a routing switch never observes the log
+/// moving backwards (monotonic session reads: a follower that has not yet
+/// applied that far parks the read instead of answering stale).
+class ReadRouter {
+ public:
+  struct Endpoint {
+    std::string host;
+    std::uint16_t port = 0;
+  };
+
+  explicit ReadRouter(std::vector<Endpoint> endpoints);
+
+  /// Point read with failover: rotates through the endpoints (dialing
+  /// lazily) until one answers, trying each at most twice. Throws
+  /// NetError when every endpoint fails at transport level; refusals
+  /// (kNotLeader/kOverloaded everywhere) come back as the last refusal.
+  Client::ReadResult read(svc::GroupId gid, std::uint64_t key,
+                          int response_timeout_ms = 5000);
+
+  /// The monotonic session floor (highest observed commit_index).
+  std::uint64_t session_floor() const noexcept { return floor_; }
+
+  /// The endpoint index the NEXT read will try first (tests/telemetry).
+  std::size_t cursor() const noexcept { return next_; }
+
+ private:
+  std::vector<Endpoint> endpoints_;
+  std::vector<std::unique_ptr<Client>> clients_;  ///< lazily dialed
+  std::size_t next_ = 0;
+  std::uint64_t floor_ = 0;
 };
 
 }  // namespace omega::net

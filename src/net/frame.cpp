@@ -388,6 +388,29 @@ void encode_metrics_event(std::vector<std::uint8_t>& out,
   end_frame(out, at);
 }
 
+void encode_read_request(std::vector<std::uint8_t>& out, std::uint64_t req_id,
+                         const ReadReqBody& body) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kRead, Status::kOk, req_id});
+  put_u64(out, body.gid);
+  put_u64(out, body.key);
+  put_u64(out, body.min_index);
+  end_frame(out, at);
+}
+
+void encode_read_response(std::vector<std::uint8_t>& out, Status status,
+                          std::uint64_t req_id, const ReadRespBody& body) {
+  const std::size_t at =
+      begin_frame(out, FrameHeader{MsgType::kRead, status, req_id});
+  put_u64(out, body.gid);
+  put_u64(out, body.key);
+  put_u64(out, body.index);
+  put_u64(out, body.commit_index);
+  put_u32(out, body.leader);
+  put_u64(out, body.epoch);
+  end_frame(out, at);
+}
+
 DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
                             Frame& out) {
   out = Frame{};
@@ -681,6 +704,31 @@ DecodeResult decode_payload(const std::uint8_t* data, std::size_t len,
       }
       out.has_body = true;
       out.has_metrics_event = true;
+      return DecodeResult::kOk;
+    }
+    case MsgType::kRead: {
+      // Role-based decode (v1.6): a request is gid|key|min_index (24
+      // bytes — the APPEND lockstep rule: request lengths stay below the
+      // response's 44, and future revisions grow both sides together),
+      // a response gid|key|index|commit_index|leader|epoch (>= 44;
+      // error responses carry the full zero-filled body too, so one
+      // length rule covers every status).
+      if (body_len < 24) return DecodeResult::kBadBody;
+      out.read_req.gid = get_u64(body);
+      out.read_req.key = get_u64(body + 8);
+      if (body_len < 44) {
+        out.read_req.min_index = get_u64(body + 16);
+        out.has_read_req = true;
+      } else {
+        out.read_resp.gid = out.read_req.gid;
+        out.read_resp.key = out.read_req.key;
+        out.read_resp.index = get_u64(body + 16);
+        out.read_resp.commit_index = get_u64(body + 24);
+        out.read_resp.leader = get_u32(body + 32);
+        out.read_resp.epoch = get_u64(body + 36);
+        out.has_read_resp = true;
+      }
+      out.has_body = true;
       return DecodeResult::kOk;
     }
     default:

@@ -117,6 +117,27 @@
 //                reassembles pages until start+count = total. `health`
 //                is the overall verdict at that tick.
 //
+// Linearizable-read bodies (v1.6 — see README "Linearizable reads"):
+//   READ         req: u64 gid | u64 key | u64 min_index (24 bytes exactly)
+//                `key` is the command value whose latest applied position
+//                is wanted; `min_index` is the client's session floor — a
+//                follower answers only once its applied index passes
+//                max(published fence, min_index), giving read-your-writes
+//                across a leader->follower switch (0 = no floor).
+//                resp: u64 gid | u64 key | u64 index | u64 commit_index
+//                | u32 leader | u64 epoch (44 bytes; error responses
+//                carry the same zero-filled body so one length rule
+//                covers every status). `index` is the key's latest
+//                applied position PLUS ONE — 0 means "never applied".
+//                Status tells which path answered: kLeaseRead (leader,
+//                epoch-fenced lease valid — linearizable), kIndexRead
+//                (follower, local apply passed the fence), kOk (leader
+//                fallback without a valid lease), kNotLeader with the
+//                leader/epoch hint otherwise. The lengths follow the
+//                APPEND lockstep rule: request (24) and response (44)
+//                sizes stay disjoint, and future revisions must grow
+//                both together.
+//
 // APPEND and READ_LOG are the two types whose request and response bodies
 // can have overlapping lengths, so their decode is *role-based*: the
 // decoder fills both interpretations when the length allows and the
@@ -176,6 +197,7 @@ enum class MsgType : std::uint8_t {
   kHealth = 18,        ///< health verdict + firing rules (v1.5)
   kMetricsWatch = 19,  ///< subscribe to per-tick metric pushes (v1.5)
   kMetricsEvent = 20,  ///< server push: one page of a sampler tick (v1.5)
+  kRead = 21,          ///< point read of a key's applied position (v1.6)
 };
 
 enum class Status : std::uint8_t {
@@ -188,6 +210,8 @@ enum class Status : std::uint8_t {
   kOverloaded = 6,    ///< command intake full; retry later
   kLogFull = 7,       ///< the log's slot capacity is exhausted
   kSessionEvicted = 8,  ///< dedup session expired; SESSION_OPEN to resume
+  kLeaseRead = 9,   ///< READ answered under a valid leader lease (v1.6)
+  kIndexRead = 10,  ///< READ answered by a follower past the fence (v1.6)
 };
 
 struct FrameHeader {
@@ -360,6 +384,28 @@ struct HealthRespBody {
   std::vector<HealthRuleWire> firing;
 };
 
+/// kRead request body (v1.6): point read of `key`'s latest applied
+/// position. `min_index` is the caller's session floor (see the protocol
+/// comment); 0 asks for whatever the answering replica can prove.
+struct ReadReqBody {
+  WireGroupId gid = 0;
+  std::uint64_t key = 0;        ///< command value looked up
+  std::uint64_t min_index = 0;  ///< read-your-writes floor (0 = none)
+};
+
+/// kRead response body (v1.6). `index` is the key's latest applied
+/// position plus one (0 = the key was never applied); `commit_index` is
+/// the answering replica's applied length; leader/epoch are the redirect
+/// hint on kNotLeader and the fencing context otherwise.
+struct ReadRespBody {
+  WireGroupId gid = 0;
+  std::uint64_t key = 0;
+  std::uint64_t index = 0;         ///< applied position + 1; 0 = absent
+  std::uint64_t commit_index = 0;  ///< replica's applied length
+  ProcessId leader = kNoProcess;
+  std::uint64_t epoch = 0;
+};
+
 /// kMetricsWatch response body: the sampler period the subscriber will
 /// see ticks at (0 on kUnsupported — no sampler running).
 struct MetricsWatchRespBody {
@@ -401,9 +447,13 @@ struct Frame {
   HealthRespBody health_resp;    ///< kHealth responses (>= 11 bytes)
   MetricsWatchRespBody metrics_watch;  ///< kMetricsWatch responses
   MetricsEventBody metrics_event;      ///< kMetricsEvent pushes
+  ReadReqBody read_req;    ///< kRead requests (24-byte body)
+  ReadRespBody read_resp;  ///< kRead responses (>= 44 bytes)
   bool has_body = false;        ///< a typed body was present
   bool has_append_req = false;  ///< body long enough for AppendReqBody
   bool has_readlog_req = false;  ///< body long enough for ReadLogReqBody
+  bool has_read_req = false;   ///< body parsed as a kRead request
+  bool has_read_resp = false;  ///< body parsed as a kRead response
   bool has_metrics_resp = false;  ///< body parsed as a metrics page
   bool has_trace_resp = false;    ///< body parsed as a trace-dump page
   bool has_health_resp = false;   ///< body parsed as a health response
@@ -513,6 +563,15 @@ void encode_metrics_watch_response(std::vector<std::uint8_t>& out,
 /// metrics_record_wire_size so the frame stays inside kMaxPayloadBytes.
 void encode_metrics_event(std::vector<std::uint8_t>& out,
                           const MetricsEventBody& body);
+
+/// kRead request (v1.6).
+void encode_read_request(std::vector<std::uint8_t>& out, std::uint64_t req_id,
+                         const ReadReqBody& body);
+
+/// kRead response (v1.6); the body is emitted in full (44 bytes) for
+/// every status so the role-based length rule stays single-valued.
+void encode_read_response(std::vector<std::uint8_t>& out, Status status,
+                          std::uint64_t req_id, const ReadRespBody& body);
 
 // --- decoding --------------------------------------------------------------
 

@@ -34,6 +34,12 @@ std::int64_t steady_ns() {
       .count();
 }
 
+std::uint64_t load_u64le(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
 /// Metric-name suffix per wire type byte (index 0 = unknown fallback).
 const char* frame_metric_name(std::size_t type) {
   switch (static_cast<MsgType>(type)) {
@@ -57,6 +63,7 @@ const char* frame_metric_name(std::size_t type) {
     case MsgType::kHealth: return "net.frames.health";
     case MsgType::kMetricsWatch: return "net.frames.metrics_watch";
     case MsgType::kMetricsEvent: return "net.frames.metrics_event";
+    case MsgType::kRead: return "net.frames.read";
     default: return "net.frames.other";
   }
 }
@@ -284,6 +291,7 @@ NetServerStats LeaderServer::stats() const {
     s.commit_events +=
         l->counters.commit_events.load(std::memory_order_relaxed);
     s.log_reads += l->counters.log_reads.load(std::memory_order_relaxed);
+    s.point_reads += l->counters.point_reads.load(std::memory_order_relaxed);
   }
   s.connections = open_connections_.load(std::memory_order_relaxed);
   return s;
@@ -460,6 +468,22 @@ void LeaderServer::on_io(std::uint32_t loop_idx, int fd,
       const std::uint8_t* payload = nullptr;
       std::size_t len = 0;
       while (c.in.next(payload, len)) {
+        // v1.6 point-read fast path: at memory-speed read rates, a Frame
+        // (a dozen vector members) per request dominates the dispatch
+        // cost. The canonical READ request is a fixed 24-byte body, so
+        // parse it in place; anything non-canonical (trailing bytes,
+        // short body) falls through to the decoded slow path.
+        if (len == kHeaderBytes + 24 && payload[0] == kMagic &&
+            payload[1] == kVersion &&
+            payload[2] == static_cast<std::uint8_t>(MsgType::kRead)) {
+          frame_counters_[static_cast<std::size_t>(MsgType::kRead)]->add();
+          ReadReqBody req;
+          req.gid = load_u64le(payload + kHeaderBytes);
+          req.key = load_u64le(payload + kHeaderBytes + 8);
+          req.min_index = load_u64le(payload + kHeaderBytes + 16);
+          if (!handle_read(l, c, load_u64le(payload + 4), req)) return;
+          continue;
+        }
         Frame frame;
         const DecodeResult r = decode_payload(payload, len, frame);
         if (r != DecodeResult::kOk) {
@@ -776,6 +800,19 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
                                     cfg_.sample_period_ms);
       return true;
     }
+    case MsgType::kRead: {
+      // Reached only for non-canonical encodings (trailing bytes, or a
+      // response-length body sent as a request) — the canonical 24-byte
+      // request was already consumed by on_io's fast path.
+      if (!frame.has_read_req) {
+        ReadRespBody resp;
+        resp.gid = frame.read_req.gid;
+        resp.key = frame.read_req.key;
+        encode_read_response(c.out, Status::kBadRequest, id, resp);
+        return true;
+      }
+      return handle_read(l, c, id, frame.read_req);
+    }
     case MsgType::kEvent:
     case MsgType::kCommitEvent:
     case MsgType::kMetricsEvent:
@@ -790,6 +827,74 @@ bool LeaderServer::handle_frame(Loop& l, Connection& c, const Frame& frame) {
                              id);
       return true;
   }
+}
+
+bool LeaderServer::handle_read(Loop& l, Connection& c, std::uint64_t req_id,
+                               const ReadReqBody& req) {
+  ReadRespBody resp;
+  resp.gid = req.gid;
+  resp.key = req.key;
+  if (smr_ == nullptr) {
+    encode_read_response(c.out, Status::kUnsupported, req_id, resp);
+    return true;
+  }
+  svc::LeaderView view;
+  smr::LogGroup::ReadAnswer answer;
+  smr::LogGroup::ReadMode mode{};
+  const auto sink = append_sink_;
+  const std::uint32_t loop_idx = c.loop;
+  PendingAck ack;
+  ack.kind = PendingAck::Kind::kRead;
+  ack.fd = c.fd;
+  ack.serial = c.serial;
+  ack.req_id = req_id;
+  ack.gid = req.gid;
+  ack.key = req.key;
+  if (!smr_->read_point(
+          req.gid, req.key, req.min_index, view, answer, mode,
+          [sink, loop_idx, ack](bool passed,
+                                const smr::LogGroup::ReadAnswer& a) mutable {
+            // Owner-thread fire (fence passed or deadline expired): same
+            // mailbox + no-op-after-stop discipline as append commits.
+            std::lock_guard<std::mutex> lock(sink->mu);
+            LeaderServer* s = sink->server;
+            if (s == nullptr) return;
+            ack.read_status =
+                passed ? Status::kIndexRead : Status::kOverloaded;
+            ack.index = a.index;
+            ack.commit_index = a.commit_index;
+            s->enqueue_ack(loop_idx, ack);
+          })) {
+    encode_read_response(c.out, Status::kUnknownGroup, req_id, resp);
+    return true;
+  }
+  l.counters.point_reads.fetch_add(1, std::memory_order_relaxed);
+  resp.leader = view.leader;
+  resp.epoch = view.epoch;
+  resp.index = answer.index;
+  resp.commit_index = answer.commit_index;
+  switch (mode) {
+    case smr::LogGroup::ReadMode::kLease:
+      encode_read_response(c.out, Status::kLeaseRead, req_id, resp);
+      return true;
+    case smr::LogGroup::ReadMode::kFallback:
+      encode_read_response(c.out, Status::kOk, req_id, resp);
+      return true;
+    case smr::LogGroup::ReadMode::kRefused:
+      // Committed data rides along as a hint, but never with authority:
+      // this node's cached self-view may be a deposed leader's.
+      encode_read_response(c.out, Status::kNotLeader, req_id, resp);
+      return true;
+    case smr::LogGroup::ReadMode::kIndex:
+      encode_read_response(c.out, Status::kIndexRead, req_id, resp);
+      return true;
+    case smr::LogGroup::ReadMode::kDefer:
+      return true;  // parked; the response rides the ack mailbox
+    case smr::LogGroup::ReadMode::kOverloaded:
+      encode_read_response(c.out, Status::kOverloaded, req_id, resp);
+      return true;
+  }
+  return true;
 }
 
 void LeaderServer::fan_out(
@@ -870,6 +975,24 @@ void LeaderServer::drain_acks(std::uint32_t loop_idx) {
     if (it == l.conns.end()) continue;  // connection died while waiting
     Connection& c = *it->second;
     if (c.serial != ack.serial) continue;  // fd recycled: different conn
+    if (ack.kind == PendingAck::Kind::kRead) {
+      // A deferred fence read resolved (v1.6): the status was decided at
+      // fire time, the leader hint is re-read so the client routes off
+      // the freshest view this node has.
+      ReadRespBody rresp;
+      rresp.gid = ack.gid;
+      rresp.key = ack.key;
+      rresp.index = ack.index;
+      rresp.commit_index = ack.commit_index;
+      svc::LeaderView view;
+      if (service_.try_leader(ack.gid, view)) {
+        rresp.leader = view.leader;
+        rresp.epoch = view.epoch;
+      }
+      if (c.out.empty()) touched.push_back(ack.fd);
+      encode_read_response(c.out, ack.read_status, ack.req_id, rresp);
+      continue;
+    }
     AppendRespBody resp;
     resp.gid = ack.gid;
     resp.trace = ack.trace;

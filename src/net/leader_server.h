@@ -84,6 +84,7 @@ struct NetServerStats {
   std::uint64_t appends = 0;        ///< APPEND requests accepted into the log
   std::uint64_t commit_events = 0;  ///< COMMIT_EVENT frames written
   std::uint64_t log_reads = 0;      ///< READ_LOG requests served
+  std::uint64_t point_reads = 0;    ///< READ (v1.6) requests served
 };
 
 class LeaderServer {
@@ -139,15 +140,23 @@ class LeaderServer {
   /// (loop-confined).
   using WatcherMap = std::unordered_map<svc::GroupId, std::vector<Connection*>>;
 
-  /// One parked append acknowledgement awaiting delivery on its loop.
+  /// One parked acknowledgement awaiting delivery on its loop: an append
+  /// commit, or a follower fence read whose wait just resolved (v1.6).
+  /// Both ride the same mailbox so ordering between a client's appends
+  /// and its deferred reads is preserved per loop.
   struct PendingAck {
+    enum class Kind : std::uint8_t { kAppend, kRead };
+    Kind kind = Kind::kAppend;
     int fd = -1;
     std::uint64_t serial = 0;
     std::uint64_t req_id = 0;
     svc::GroupId gid = 0;
     smr::AppendOutcome outcome = smr::AppendOutcome::kAborted;
-    std::uint64_t index = 0;
-    std::uint64_t trace = 0;  ///< echoed on the v1.4 response
+    std::uint64_t index = 0;  ///< append: log index; read: key index
+    std::uint64_t trace = 0;  ///< appends: echoed on the v1.4 response
+    std::uint64_t key = 0;           ///< reads: echoed key
+    std::uint64_t commit_index = 0;  ///< reads: applied length at fire
+    Status read_status = Status::kOk;  ///< reads: kIndexRead/kOverloaded
     /// Mailbox entry time; drain_acks records mailbox -> wire-encode into
     /// the net.ack_flush_ns histogram.
     std::int64_t enqueue_ns = 0;
@@ -183,6 +192,7 @@ class LeaderServer {
       std::atomic<std::uint64_t> appends{0};
       std::atomic<std::uint64_t> commit_events{0};
       std::atomic<std::uint64_t> log_reads{0};
+      std::atomic<std::uint64_t> point_reads{0};  ///< READ requests served
     } counters;
   };
 
@@ -202,6 +212,12 @@ class LeaderServer {
   /// Returns false if the frame was a protocol violation and the
   /// connection was closed (the caller must stop touching `c`).
   bool handle_frame(Loop& l, Connection& c, const Frame& frame);
+  /// READ (v1.6): shared by the decoded slow path and on_io's in-place
+  /// fast path (a fixed 24-byte request parsed without building a Frame).
+  /// Synchronous modes answer into c.out; a deferred fence read parks a
+  /// PendingAck{kRead} completion that rides the loop's ack mailbox.
+  bool handle_read(Loop& l, Connection& c, std::uint64_t req_id,
+                   const ReadReqBody& req);
   void deliver_event(std::uint32_t loop_idx, svc::GroupId gid,
                      svc::LeaderView view);
   /// One delivery per applied batch: encodes COMMIT_EVENT frames for
@@ -255,7 +271,7 @@ class LeaderServer {
   /// Per-frame-type obs counters ("net.frames.<type>"), indexed by the
   /// wire type byte; [0] is the fallback for unknown types. Resolved once
   /// at construction so the dispatch path never touches the registry lock.
-  static constexpr std::size_t kFrameCounterSlots = 21;
+  static constexpr std::size_t kFrameCounterSlots = 22;
   obs::Counter* frame_counters_[kFrameCounterSlots] = {};
   obs::Histogram* ack_flush_hist_ = nullptr;  ///< net.ack_flush_ns
   std::shared_ptr<AppendSink> append_sink_;

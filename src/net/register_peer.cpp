@@ -347,6 +347,7 @@ void MirrorTransport::on_peer_io(RegisterPeer& p, std::uint32_t events) {
     // connected flag flips first so racing writers either land in the
     // queue behind the snapshot or are already covered by it (their
     // store precedes our peek).
+    p.last_ack_ns.store(now_ns(), std::memory_order_relaxed);
     p.connected.store(true, std::memory_order_release);
     {
       std::lock_guard<std::mutex> lock(pending_mu_);
@@ -411,6 +412,7 @@ void MirrorTransport::handle_peer_frame(RegisterPeer& p, const Frame& f) {
       if (seq <= p.acked_seq || seq > p.sent_seq) return;  // stale/garbled
       p.acked_seq = seq;
       p.backlog.store(p.sent_seq - p.acked_seq, std::memory_order_relaxed);
+      p.last_ack_ns.store(now_ns(), std::memory_order_relaxed);
       counters_.acked_frames.fetch_add(1, std::memory_order_relaxed);
       std::size_t covered_marks = 0;
       std::uint64_t wseq = 0;
@@ -729,9 +731,21 @@ bool MirrorTransport::flush_out(int fd, std::vector<std::uint8_t>& out,
 
 std::uint64_t MirrorTransport::max_unacked_frames() const {
   std::uint64_t deepest = 0;
+  const std::int64_t now = now_ns();
   for (const auto& p : peers_) {
     if (!p->connected.load(std::memory_order_acquire)) continue;
-    deepest = std::max(deepest, p->backlog.load(std::memory_order_relaxed));
+    const std::uint64_t backlog =
+        p->backlog.load(std::memory_order_relaxed);
+    // A peer whose acks have stalled outright is dead for flow-control
+    // purposes even though its TCP stream looks alive (a frozen process
+    // keeps its sockets): throttling the group for it would stall every
+    // append until the kernel buffers finally burst max_outbuf_bytes.
+    if (cfg_.ack_stall_us > 0 && backlog > 0 &&
+        now - p->last_ack_ns.load(std::memory_order_relaxed) >
+            cfg_.ack_stall_us * 1000) {
+      continue;
+    }
+    deepest = std::max(deepest, backlog);
   }
   return deepest;
 }

@@ -88,6 +88,12 @@ struct MirrorConfig {
   /// A peer whose unsent bytes exceed this is cut and resynced by
   /// snapshot on reconnect (one slow peer must not grow memory forever).
   std::size_t max_outbuf_bytes = 32u << 20;
+  /// A connected peer with outstanding frames and NO ack progress for
+  /// this long stops counting toward max_unacked_frames(): a frozen box
+  /// (SIGSTOP, deep swap, a partition that keeps TCP established) must
+  /// not throttle the pump's flow control forever — it will resync by
+  /// snapshot when it recovers anyway. 0 disables the escape hatch.
+  std::int64_t ack_stall_us = 3000000;
 };
 
 struct MirrorStats {
@@ -213,6 +219,9 @@ class MirrorTransport {
     std::vector<std::pair<std::uint64_t, std::uint64_t>> cover_marks;
     std::atomic<bool> connected{false};
     std::atomic<std::uint64_t> backlog{0};  ///< sent - acked
+    /// Last instant the peer made ack progress (or (re)connected) —
+    /// read against MirrorConfig::ack_stall_us by max_unacked_frames.
+    std::atomic<std::int64_t> last_ack_ns{0};
     /// Newest write watermark this peer has acked (never reset: acked
     /// means applied, and the peer's mirror outlives the connection).
     std::atomic<std::uint64_t> acked_wseq{0};

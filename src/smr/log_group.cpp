@@ -50,6 +50,7 @@ LogGroup::LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook)
       queue_(spec.max_pending, spec.session_ttl_us),
       source_(*this),
       hook_(std::move(hook)),
+      lease_(spec.lease_ttl_us, spec.lease_skew_us),
       local_votes_(count_local(spec)) {
   OMEGA_CHECK(spec_.window >= 1 && spec_.window <= spec_.capacity,
               "bad pump window " << spec_.window);
@@ -76,9 +77,19 @@ LogGroup::LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook)
     batch_.emplace("LOG", banks, rows, spec_.max_batch);
   }
   applied_.reserve(std::min<std::uint32_t>(spec_.capacity, 4096));
+  // make_unique value-initializes: every key starts "never applied".
+  applied_key_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(kKeySpace);
   apply_hist_ = &obs::histogram("smr.decide_to_apply_ns");
   commits_ctr_ = &obs::counter("smr.commits");
   watchdog_ctr_ = &obs::counter("smr.watchdog_fires");
+  fence_wait_hist_ = &obs::histogram("smr.fence_wait_ns");
+  lease_acq_ctr_ = &obs::counter("smr.lease.acquired");
+  lease_drop_ctr_ = &obs::counter("smr.lease.dropped");
+  reads_lease_ctr_ = &obs::counter("smr.reads.lease");
+  reads_index_ctr_ = &obs::counter("smr.reads.index");
+  reads_fallback_ctr_ = &obs::counter("smr.reads.fallback");
+  reads_refused_ctr_ = &obs::counter("smr.reads.refused");
   obs::Registry& reg = obs::Registry::instance();
   gauge_ids_.push_back(reg.register_gauge("smr.queue_pending", [this] {
     return static_cast<std::int64_t>(queue_.stats().pending);
@@ -91,6 +102,18 @@ LogGroup::LogGroup(svc::GroupId gid, const SmrSpec& spec, CommitHook hook)
   }));
   gauge_ids_.push_back(reg.register_gauge("smr.sessions_evicted", [this] {
     return static_cast<std::int64_t>(queue_.stats().evicted);
+  }));
+  gauge_ids_.push_back(reg.register_gauge("smr.lease_expected", [this] {
+    return static_cast<std::int64_t>(
+        lease_expected_pub_.load(std::memory_order_relaxed));
+  }));
+  gauge_ids_.push_back(reg.register_gauge("smr.lease_valid", [this] {
+    return static_cast<std::int64_t>(
+        lease_valid_snap_.load(std::memory_order_relaxed));
+  }));
+  gauge_ids_.push_back(reg.register_gauge("smr.read_waiters", [this] {
+    return static_cast<std::int64_t>(
+        waiters_size_.load(std::memory_order_relaxed));
   }));
 }
 
@@ -105,6 +128,15 @@ void LogGroup::attach(svc::Group& g) {
               "group n " << g.spec.n << " != log n " << spec_.n);
   log_.bind(g.inst.memory->layout());
   if (batch_.has_value()) batch_->bind(g.inst.memory->layout());
+  {
+    GroupId lease_grp = 0;
+    const Layout& layout = g.inst.memory->layout();
+    if (layout.find_group("LEASE", lease_grp)) {
+      lease_hb_cell_ = layout.cell(lease_grp, kLeaseCellHb);
+      lease_fence_cell_ = layout.cell(lease_grp, kLeaseCellFence);
+      lease_cells_ok_ = true;
+    }
+  }
   host_.g_ = &g;
   pump_ = std::make_unique<LogPump>(
       log_, host_, spec_.window,
@@ -139,6 +171,14 @@ void LogGroup::attach(svc::Group& g) {
       OMEGA_CHECK(applied_.empty(), "recovery into a non-empty log");
       applied_ = spec_.recovery->applied;
     }
+    // Preseed the applied-key index from the recovered prefix (ascending,
+    // so each key lands on its LATEST position).
+    for (std::size_t i = 0; i < spec_.recovery->applied.size(); ++i) {
+      const std::uint64_t v = spec_.recovery->applied[i];
+      if (v < kKeySpace) {
+        applied_key_[v].store(i + 1, std::memory_order_relaxed);
+      }
+    }
     commit_index_.store(spec_.recovery->applied.size(),
                         std::memory_order_release);
     pump_->fast_forward(spec_.recovery->next_slot);
@@ -161,11 +201,15 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
       last_evicted_ = evicted;
     }
   }
+  // One cache load serves the sweep's gates AND the lease state machine
+  // (single-node lease-enabled groups need the view too).
+  const bool lease_on = spec_.lease_ttl_us > 0 && lease_cells_ok_;
+  svc::LeaderView view{};
+  if (multi_node_ || lease_on) view = g.cache.load();
   if (multi_node_) {
     // Leadership and flow-control gates, sampled once per sweep: only
     // the node hosting the agreed leader seals fresh batches, and only
     // while no connected mirror trails past the flow-control threshold.
-    const svc::LeaderView view = g.cache.load();
     leader_local_ =
         view.leader != kNoProcess && spec_.is_local(view.leader);
     seal_ok_ = leader_local_ &&
@@ -202,6 +246,15 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
       std::lock_guard<std::mutex> lock(applied_mu_);
       first = applied_.size();
       applied_.insert(applied_.end(), values_.begin(), values_.end());
+    }
+    // Applied-key index BEFORE the commit-index publish: a reader whose
+    // fence is covered by the published index must see every key the
+    // covered prefix wrote.
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint64_t v = values_[i];
+      if (v < kKeySpace) {
+        applied_key_[v].store(first + i + 1, std::memory_order_release);
+      }
     }
     commit_index_.store(first + count, std::memory_order_release);
     recs_.clear();
@@ -278,6 +331,8 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
       }
     }
   }
+  if (lease_on) lease_tick(g, view, now_us);
+  drain_read_waiters(now_us);
   release_deferred();
   if (pump_->exhausted()) {
     log_full_.store(true, std::memory_order_release);
@@ -291,9 +346,12 @@ bool LogGroup::on_sweep(svc::Group& g, std::int64_t now_us) {
     deferred_pending = !deferred_.empty();
   }
   // Pacing signal: this sweep either harvested commits, still has
-  // commands queued/in flight, or holds acks waiting on durability —
-  // all of which want fast sweeps.
-  return !scratch_.empty() || queue_.has_work() || deferred_pending;
+  // commands queued/in flight, holds acks waiting on durability, or has
+  // fence reads parked — all of which want fast sweeps. A lease-enabled
+  // leader also sweeps fast so heartbeats keep their cadence.
+  return !scratch_.empty() || queue_.has_work() || deferred_pending ||
+         waiters_size_.load(std::memory_order_relaxed) != 0 ||
+         (lease_on && leader_local_);
 }
 
 void LogGroup::release_deferred() {
@@ -320,6 +378,168 @@ void LogGroup::release_deferred() {
   for (auto& fire : ready) {
     for (auto& [c, index] : fire) c(AppendOutcome::kCommitted, index);
   }
+}
+
+void LogGroup::lease_tick(svc::Group& g, const svc::LeaderView& view,
+                          std::int64_t now_us) {
+  // Epoch fencing first: ANY change of the agreed view (including to "no
+  // leader") drops the lease instantly — before a competing leader can
+  // acquire one at the new epoch.
+  if (lease_.on_epoch_change(view.epoch, now_us)) lease_drop_ctr_->add(1);
+  const bool leader_here =
+      view.leader != kNoProcess && spec_.is_local(view.leader);
+  MemoryBackend& mem = *g.inst.memory;
+  // A foreign holder's heartbeat (live, or a deposed leader's stale
+  // pushes still draining) renews the floor this node's own lease must
+  // wait out — two holders never overlap, even across the election
+  // window.
+  {
+    const std::uint64_t hb = mem.peek(lease_hb_cell_);
+    if (hb != lease_foreign_hb_) {
+      if (hb != 0 && !spec_.is_local(static_cast<ProcessId>((hb >> 48) - 1))) {
+        lease_.on_foreign_heartbeat(now_us);
+      }
+      lease_foreign_hb_ = hb;
+    }
+  }
+  if (leader_here) {
+    // Heartbeat at ttl/4 so several confirmations fit inside one TTL.
+    const std::int64_t interval =
+        std::max<std::int64_t>(1, spec_.lease_ttl_us / 4);
+    if (now_us - lease_hb_sent_us_ >= interval) {
+      lease_hb_sent_us_ = now_us;
+      ++lease_hb_seq_;
+      mem.poke(lease_hb_cell_, (std::uint64_t{sealer_} + 1) << 48 |
+                                   (lease_hb_seq_ & 0xFFFFFFFFFFFFull));
+      // The fence followers read-index against: the leader's applied
+      // length, republished with every heartbeat.
+      mem.poke(lease_fence_cell_,
+               commit_index_.load(std::memory_order_acquire));
+      lease_outstanding_.emplace_back(
+          spec_.mirror_write_seq ? spec_.mirror_write_seq() : 0, now_us);
+    }
+    // Confirm the FIFO front: local replicas may carry the quorum alone
+    // (single-process groups); otherwise the mirror's cumulative acks
+    // must cover the heartbeat's write mark — the same vote rule as
+    // release_deferred, minus the WAL gate (leases are not durable).
+    const std::uint32_t needed = spec_.n / 2 + 1;
+    while (!lease_outstanding_.empty()) {
+      const auto [mark, t_send] = lease_outstanding_.front();
+      if (t_send + spec_.lease_ttl_us <= now_us) {
+        // The extension this confirmation could grant is already in the
+        // past; drop it so a stalled mirror cannot grow the queue.
+        lease_outstanding_.pop_front();
+        continue;
+      }
+      std::uint32_t votes = local_votes_;
+      if (votes < needed && spec_.mirror_acked_votes) {
+        votes += spec_.mirror_acked_votes(mark);
+      }
+      if (votes < needed) break;
+      lease_.on_heartbeat_confirmed(t_send);
+      lease_outstanding_.pop_front();
+    }
+  } else {
+    lease_hb_sent_us_ = 0;  // fresh cadence on the next takeover
+    lease_outstanding_.clear();
+  }
+  // Publish for the IO threads: validity = fenced epoch (checked by the
+  // reader against its FRESH cache view) + now inside the confirmed
+  // window + past the foreign-holder floor.
+  const std::int64_t pub_until =
+      (leader_here && now_us >= lease_.not_before_us())
+          ? lease_.lease_until_us()
+          : 0;
+  lease_until_pub_.store(pub_until, std::memory_order_release);
+  lease_epoch_pub_.store(lease_.epoch(), std::memory_order_release);
+  const bool valid_now = now_us < pub_until;
+  if (valid_now && !lease_was_valid_) lease_acq_ctr_->add(1);
+  lease_was_valid_ = valid_now;
+  lease_expected_pub_.store(leader_here ? 1 : 0, std::memory_order_relaxed);
+  lease_valid_snap_.store(valid_now ? 1 : 0, std::memory_order_relaxed);
+}
+
+void LogGroup::drain_read_waiters(std::int64_t now_us) {
+  if (waiters_size_.load(std::memory_order_relaxed) == 0) return;
+  waiter_scratch_.clear();
+  std::size_t woken = 0;
+  {
+    std::lock_guard<std::mutex> lock(waiters_mu_);
+    woken = waiters_.wake(commit_index_.load(std::memory_order_acquire),
+                          waiter_scratch_);
+    waiters_.expire(now_us, waiter_scratch_);
+    waiters_size_.store(waiters_.size(), std::memory_order_relaxed);
+  }
+  // Fire outside the lock (completions post into IO-loop mailboxes).
+  for (std::size_t i = 0; i < waiter_scratch_.size(); ++i) {
+    waiter_scratch_[i](i < woken);
+  }
+  waiter_scratch_.clear();
+}
+
+LogGroup::ReadMode LogGroup::read_point(std::uint64_t key,
+                                        std::uint64_t min_index,
+                                        const svc::LeaderView& view,
+                                        std::int64_t now_us, ReadAnswer& out,
+                                        ReadCompletion done) {
+  const bool leader_here =
+      view.leader != kNoProcess && spec_.is_local(view.leader);
+  if (leader_here) {
+    out.index = lookup_key(key);
+    out.commit_index = commit_index();
+    if (spec_.lease_ttl_us > 0) {
+      if (lease_valid(view.epoch, now_us)) {
+        reads_lease_ctr_->add(1);
+        return ReadMode::kLease;
+      }
+      // Leases are configured but this one is not valid — maybe startup,
+      // maybe this node is a deposed leader whose cache has not caught up
+      // (a partition). Refusing is the safety property: committed data
+      // still rides along as a hint, but never with authority.
+      reads_refused_ctr_->add(1);
+      return ReadMode::kRefused;
+    }
+    reads_fallback_ctr_->add(1);
+    return ReadMode::kFallback;
+  }
+  // Follower read-index: the fence is the leader's last published
+  // applied length (mirrored LEASE cell), floored by the client's
+  // session index for read-your-writes across a routing switch.
+  std::uint64_t fence = min_index;
+  if (lease_cells_ok_ && host_.g_ != nullptr) {
+    fence = std::max(fence, host_.g_->inst.memory->peek(lease_fence_cell_));
+  }
+  const std::uint64_t applied = commit_index();
+  if (applied >= fence) {
+    out.index = lookup_key(key);
+    out.commit_index = applied;
+    reads_index_ctr_->add(1);
+    return ReadMode::kIndex;
+  }
+  // Park until the local apply passes the fence, deadline-bounded like
+  // the append path's deferred acknowledgements.
+  const std::int64_t deadline =
+      now_us + (spec_.lease_ttl_us > 0 ? 4 * spec_.lease_ttl_us : 500'000);
+  const std::int64_t t_park_ns = steady_ns();
+  {
+    std::lock_guard<std::mutex> lock(waiters_mu_);
+    if (waiters_.size() >= kMaxReadWaiters) {
+      reads_refused_ctr_->add(1);
+      return ReadMode::kOverloaded;
+    }
+    waiters_.park(fence, deadline,
+                  [this, key, done = std::move(done), t_park_ns](bool passed) {
+                    fence_wait_hist_->record(
+                        static_cast<std::uint64_t>(steady_ns() - t_park_ns));
+                    ReadAnswer a;
+                    a.index = lookup_key(key);
+                    a.commit_index = commit_index();
+                    done(passed, a);
+                  });
+    waiters_size_.store(waiters_.size(), std::memory_order_relaxed);
+  }
+  reads_index_ctr_->add(1);
+  return ReadMode::kDefer;
 }
 
 void LogGroup::apply_commits_multi(std::uint64_t first,
@@ -474,6 +694,23 @@ void register_health_rules(obs::HealthMonitor& hm) {
       },
       /*degrade_after=*/2,
       /*recover_after=*/4});
+  // Lease health: a leader-hosted lease-enabled group without a valid
+  // lease means every point read takes the consensus fallback — the fast
+  // path the operator configured is not delivering. Followers publish
+  // expected = 0, so election-only and lease-disabled nodes stay kOk.
+  hm.add_rule(obs::HealthRule{
+      "lease-health",
+      [](const obs::TimeSeries& ts, std::string* reason) {
+        const std::int64_t expected = ts.latest_value("smr.lease_expected");
+        if (expected <= 0) return obs::Health::kOk;
+        const std::int64_t valid = ts.latest_value("smr.lease_valid");
+        if (valid >= expected) return obs::Health::kOk;
+        *reason = std::to_string(expected - valid) +
+                  " leader-hosted group(s) without a valid lease";
+        return obs::Health::kDegraded;
+      },
+      /*degrade_after=*/2,
+      /*recover_after=*/2});
   // The mirror-stall watchdog firing at all is critical: the transport
   // had to tear its streams down to make progress.
   hm.add_rule(obs::HealthRule{

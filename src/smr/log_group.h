@@ -66,6 +66,7 @@
 #include "obs/health.h"
 #include "obs/metrics.h"
 #include "smr/command_queue.h"
+#include "smr/lease.h"
 #include "svc/group_registry.h"
 #include "wal/wal.h"
 
@@ -144,6 +145,21 @@ struct SmrSpec {
   /// remote votes ever.
   std::function<std::uint32_t(std::uint64_t)> mirror_acked_votes{};
 
+  // --- linearizable reads (PR 10) ------------------------------------------
+
+  /// Leader-lease TTL: while the node hosting the agreed leader has a
+  /// quorum-confirmed heartbeat younger than this (and the svc epoch is
+  /// unchanged), point reads are answered on the IO thread from the
+  /// applied-key index — no consensus, no owner-thread hop. 0 disables
+  /// the lease (reads fall back to the leader slow path / follower
+  /// read-index). See README "Linearizable reads" for the safety rule.
+  std::int64_t lease_ttl_us = 0;
+  /// Clock-skew bound paid on every lease extension: a heartbeat sent at
+  /// t extends validity to t + lease_ttl_us - lease_skew_us. A bound >=
+  /// the TTL refuses lease reads entirely (the safe configuration for
+  /// unsynchronized clocks).
+  std::int64_t lease_skew_us = 0;
+
   bool is_local(ProcessId p) const noexcept {
     return local_mask_covers(local_mask, p);
   }
@@ -174,8 +190,13 @@ class LogGroup final : public svc::GroupPump {
   bool hosts(ProcessId pid) const noexcept { return spec_.is_local(pid); }
   bool multi_node() const noexcept { return multi_node_; }
 
-  /// LayoutExtension body for GroupSpec::extra_registers.
+  /// LayoutExtension body for GroupSpec::extra_registers. The LEASE
+  /// cells are declared BEFORE the log's slot registers so they sit
+  /// below the WAL's durable floor (the first "L0REG" cell): they ride
+  /// the mirror push stream like any register but are never journaled —
+  /// lease state must die with the process, not survive a restart.
   void declare(LayoutBuilder& b) {
+    b.add_array("LEASE", kLeaseCells, OwnerRule::kAny, /*critical=*/false);
     log_.declare(b);
     if (batch_.has_value()) batch_->declare(b);
   }
@@ -205,6 +226,54 @@ class LogGroup final : public svc::GroupPump {
 
   /// Copies up to `max` applied entries starting at `from`.
   void read(std::uint64_t from, std::uint32_t max, Snapshot& out) const;
+
+  // --- point reads (IO thread — the v1.6 fast path) ------------------------
+
+  /// How a point read was (or will be) answered.
+  enum class ReadMode : std::uint8_t {
+    kLease,       ///< leader, epoch-fenced lease valid — linearizable
+    kFallback,    ///< leader with leases DISABLED: plain committed read
+    kRefused,     ///< leader with leases enabled but invalid right now —
+                  ///< refuse with a NotLeader hint (a deposed leader's
+                  ///< cached self-view must never answer with authority)
+    kIndex,       ///< follower, local apply already past the fence
+    kDefer,       ///< follower, parked until apply passes the fence
+    kOverloaded,  ///< waiter budget exhausted; caller answers kOverloaded
+  };
+
+  struct ReadAnswer {
+    std::uint64_t index = 0;         ///< applied position + 1; 0 = absent
+    std::uint64_t commit_index = 0;  ///< local applied length
+  };
+
+  /// Deferred-read completion (kDefer): fired on the owning worker once
+  /// the fence passes (`passed` = true) or the deadline expires (false),
+  /// with the key's lookup at fire time.
+  using ReadCompletion =
+      std::function<void(bool passed, const ReadAnswer& answer)>;
+
+  /// Point read of `key`'s latest applied position, decided against the
+  /// caller's FRESH LeaderView (the IO thread loads it from the
+  /// LeaderCache, so an epoch bump is visible here before the owner
+  /// thread's next sweep). Fills `out` for every mode except kDefer /
+  /// kOverloaded; kDefer parks `done`. Any thread.
+  ReadMode read_point(std::uint64_t key, std::uint64_t min_index,
+                      const svc::LeaderView& view, std::int64_t now_us,
+                      ReadAnswer& out, ReadCompletion done);
+
+  /// Whether the epoch-fenced lease is valid right now for `epoch` (the
+  /// IO-thread check; also the dashboard/test probe).
+  bool lease_valid(std::uint64_t epoch, std::int64_t now_us) const {
+    return now_us < lease_until_pub_.load(std::memory_order_acquire) &&
+           epoch == lease_epoch_pub_.load(std::memory_order_acquire);
+  }
+
+  /// Latest applied position of `key` plus one (0 = never applied), from
+  /// the one-writer/many-reader applied-key index. Any thread.
+  std::uint64_t lookup_key(std::uint64_t key) const {
+    if (key >= kKeySpace) return 0;
+    return applied_key_[key].load(std::memory_order_acquire);
+  }
 
   /// Replica `pid`'s own decision-board entry for `slot` (agreement
   /// checking in tests; uninstrumented peeks). With batching the decided
@@ -307,6 +376,56 @@ class LogGroup final : public svc::GroupPump {
   std::atomic<std::uint64_t> commit_index_{0};
   std::atomic<bool> log_full_{false};
 
+  // --- linearizable reads (PR 10) ------------------------------------------
+
+  /// LEASE register-group shape: [0] heartbeat ((holder+1) << 48 | seq),
+  /// [1] the leader's published commit index (the follower read fence).
+  static constexpr std::uint32_t kLeaseCells = 2;
+  static constexpr std::uint32_t kLeaseCellHb = 0;
+  static constexpr std::uint32_t kLeaseCellFence = 1;
+  /// Applied-key index width: one slot per possible command value
+  /// (commands live in [1, kLogNoOp)).
+  static constexpr std::uint64_t kKeySpace = 65536;
+  /// Parked follower reads beyond this answer kOverloaded.
+  static constexpr std::size_t kMaxReadWaiters = 4096;
+
+  /// Owner-thread lease bookkeeping (heartbeat cadence, confirm queue).
+  void lease_tick(svc::Group& g, const svc::LeaderView& view,
+                  std::int64_t now_us);
+  /// Wakes fence waiters covered by the current applied index, expires
+  /// the rest past their deadline. Owner thread.
+  void drain_read_waiters(std::int64_t now_us);
+
+  /// One-writer (owner thread) / many-reader (IO threads) index:
+  /// applied_key_[k] = latest applied position of command k, plus one.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> applied_key_;
+
+  LeaseState lease_;               ///< owner-thread state machine
+  Cell lease_hb_cell_{};           ///< resolved at attach()
+  Cell lease_fence_cell_{};
+  bool lease_cells_ok_ = false;    ///< LEASE group resolved in the layout
+  std::uint64_t lease_hb_seq_ = 0;       ///< this node's heartbeat counter
+  std::int64_t lease_hb_sent_us_ = 0;    ///< last heartbeat poke
+  std::uint64_t lease_foreign_hb_ = 0;   ///< last observed foreign HB value
+  /// Outstanding heartbeats awaiting quorum acks: (mirror write mark at
+  /// send, send time). FIFO; confirmed or pruned by lease_tick.
+  std::deque<std::pair<std::uint64_t, std::int64_t>> lease_outstanding_;
+  /// IO-thread-visible lease validity: the owner thread republishes both
+  /// every sweep; readers pair them with a FRESH cache epoch.
+  std::atomic<std::int64_t> lease_until_pub_{0};
+  std::atomic<std::uint64_t> lease_epoch_pub_{0};
+  /// Sampler-thread gauge snapshots (the sampler may not read the plain
+  /// owner-thread state): "this node hosts the agreed leader of a
+  /// lease-enabled group" / "that lease is currently valid".
+  std::atomic<std::uint32_t> lease_expected_pub_{0};
+  std::atomic<std::uint32_t> lease_valid_snap_{0};
+
+  /// Parked follower reads (IO threads park, owner thread drains).
+  std::mutex waiters_mu_;
+  ReadWaiters waiters_;
+  std::atomic<std::uint64_t> waiters_size_{0};  ///< gauge snapshot
+  std::vector<ReadWaiters::Fire> waiter_scratch_;  ///< owner-thread-only
+
   /// quorum_ack deferral: one entry per applied batch whose client
   /// completions are held back. Owner thread pushes/releases; abort()
   /// (any thread) drains — hence the mutex.
@@ -327,6 +446,14 @@ class LogGroup final : public svc::GroupPump {
   obs::Histogram* apply_hist_ = nullptr;  ///< smr.decide_to_apply_ns
   obs::Counter* commits_ctr_ = nullptr;   ///< smr.commits
   obs::Counter* watchdog_ctr_ = nullptr;  ///< smr.watchdog_fires
+  obs::Histogram* fence_wait_hist_ = nullptr;  ///< smr.fence_wait_ns
+  obs::Counter* lease_acq_ctr_ = nullptr;      ///< smr.lease.acquired
+  obs::Counter* lease_drop_ctr_ = nullptr;     ///< smr.lease.dropped
+  obs::Counter* reads_lease_ctr_ = nullptr;    ///< smr.reads.lease
+  obs::Counter* reads_index_ctr_ = nullptr;    ///< smr.reads.index
+  obs::Counter* reads_fallback_ctr_ = nullptr; ///< smr.reads.fallback
+  obs::Counter* reads_refused_ctr_ = nullptr;  ///< smr.reads.refused
+  bool lease_was_valid_ = false;  ///< owner-thread acquired-edge tracker
   std::vector<std::uint64_t> gauge_ids_;
   std::uint64_t last_evicted_ = 0;  ///< sessions_evicted at last sweep
   /// Last agreed leader that was NOT local (kNoProcess until one is

@@ -194,10 +194,11 @@ void SmrNode::add_log(svc::GroupId gid, SmrSpec spec) {
     return transport->max_unacked_frames();
   };
   spec.mirror_resync = [transport] { transport->force_resync(); };
-  if (wal_) {
-    spec.wal = wal_.get();
-    spec.recovery = image;
-    spec.mirror_write_seq = [transport] { return transport->write_seq(); };
+  // The quorum probes serve two consumers: quorum_ack commit deferral
+  // (WAL-gated) AND lease heartbeat confirmation (no WAL involved) — so
+  // they are wired whenever the node runs, not only with durability on.
+  spec.mirror_write_seq = [transport] { return transport->write_seq(); };
+  {
     // Replica votes per remote node: node_of is the shared placement
     // rule, so each acked node contributes the replicas it hosts.
     std::unordered_map<std::uint32_t, std::uint32_t> weights;
@@ -217,6 +218,10 @@ void SmrNode::add_log(svc::GroupId gid, SmrSpec spec) {
           }
           return votes;
         };
+  }
+  if (wal_) {
+    spec.wal = wal_.get();
+    spec.recovery = image;
   }
   smr_.add_log(gid, spec);
 }

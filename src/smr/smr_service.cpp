@@ -111,6 +111,19 @@ bool SmrService::read_log(svc::GroupId gid, std::uint64_t from,
   return true;
 }
 
+bool SmrService::read_point(svc::GroupId gid, std::uint64_t key,
+                            std::uint64_t min_index, svc::LeaderView& view,
+                            LogGroup::ReadAnswer& answer,
+                            LogGroup::ReadMode& mode,
+                            LogGroup::ReadCompletion done) {
+  const auto lg = find(gid);
+  if (!lg) return false;
+  if (!svc_.try_leader(gid, view)) view = svc::LeaderView{};
+  mode = lg->read_point(key, min_index, view, svc_.now_us(), answer,
+                        std::move(done));
+  return true;
+}
+
 std::uint64_t SmrService::commit_index(svc::GroupId gid) const {
   const auto lg = find(gid);
   return lg ? lg->commit_index() : 0;

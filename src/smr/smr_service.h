@@ -80,6 +80,15 @@ class SmrService {
   bool read_log(svc::GroupId gid, std::uint64_t from, std::uint32_t max,
                 LogGroup::Snapshot& out) const;
 
+  /// Point read (the v1.6 fast path): loads a FRESH leader view and the
+  /// pool clock, then forwards to LogGroup::read_point. `view` carries
+  /// the leader hint + fenced epoch for the response regardless of mode.
+  /// False if the gid hosts no log (caller answers kUnknownGroup). Any
+  /// thread — this is what the net IO threads call per READ frame.
+  bool read_point(svc::GroupId gid, std::uint64_t key, std::uint64_t min_index,
+                  svc::LeaderView& view, LogGroup::ReadAnswer& answer,
+                  LogGroup::ReadMode& mode, LogGroup::ReadCompletion done);
+
   /// Applied-entry count (0 for unknown gids).
   std::uint64_t commit_index(svc::GroupId gid) const;
 

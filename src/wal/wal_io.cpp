@@ -8,7 +8,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 namespace omega::wal {
 
@@ -113,6 +115,9 @@ int FaultyWalIo::open_append(const std::string& path) {
 
 std::int64_t FaultyWalIo::write(int handle, const void* data, std::size_t n) {
   const std::uint64_t call = ++writes_;
+  if (latency_us_ != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+  }
   if (faults_.disk_capacity_bytes != 0 &&
       written_bytes_ >= faults_.disk_capacity_bytes) {
     return -ENOSPC;
@@ -136,6 +141,9 @@ std::int64_t FaultyWalIo::write(int handle, const void* data, std::size_t n) {
 
 int FaultyWalIo::sync(int handle) {
   const std::uint64_t call = ++syncs_;
+  if (latency_us_ != 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+  }
   if (faults_.sync_fail_after != 0 && call > faults_.sync_fail_after) {
     return -EIO;
   }

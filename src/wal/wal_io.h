@@ -95,6 +95,13 @@ class FaultyWalIo final : public WalIo {
   std::uint64_t writes() const noexcept { return writes_; }
   std::uint64_t syncs() const noexcept { return syncs_; }
 
+  /// Sleeps this long inside every write() and sync(), emulating a slow
+  /// or congested disk. Takes effect from the next call; 0 turns it off.
+  /// Latency is injected before the fault schedule is consulted, so a
+  /// slow disk still tears, shorts, and fills exactly as configured.
+  void set_latency_us(std::uint64_t us) noexcept { latency_us_ = us; }
+  std::uint64_t latency_us() const noexcept { return latency_us_; }
+
   bool mkdirs(const std::string& dir) override;
   std::vector<std::string> list(const std::string& dir) override;
   bool read_file(const std::string& path,
@@ -112,6 +119,7 @@ class FaultyWalIo final : public WalIo {
   std::uint64_t writes_ = 0;
   std::uint64_t syncs_ = 0;
   std::uint64_t written_bytes_ = 0;
+  std::uint64_t latency_us_ = 0;
 };
 
 }  // namespace omega::wal

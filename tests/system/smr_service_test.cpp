@@ -411,6 +411,148 @@ TEST(SmrService, CommitWatchSurvivesReconnect) {
   EXPECT_TRUE(saw) << "the re-subscribed watch must push the commit";
 }
 
+TEST(SmrService, LeaseReadAnswersAtMemorySpeed) {
+  SmrSpec spec;
+  spec.capacity = 64;
+  spec.lease_ttl_us = 200000;  // 200ms lease, heartbeat every 50ms
+  spec.lease_skew_us = 10000;
+  Rig rig(13, spec);
+  net::Client c;
+  rig.connect(c);
+  ASSERT_TRUE(c.append_retry(13, /*client=*/3, /*seq=*/0, /*command=*/77,
+                             60000)
+                  .ok());
+  // The first reads may race lease acquisition (a heartbeat must
+  // quorum-confirm first) and answer kNotLeader; once the lease is
+  // valid, reads answer kLeaseRead from the apply-time hash index.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  net::Client::ReadResult r;
+  for (;;) {
+    r = c.read(13, /*key=*/77);
+    if (r.status == net::Status::kLeaseRead) break;
+    ASSERT_EQ(r.status, net::Status::kNotLeader)
+        << "pre-lease reads must refuse, got " << static_cast<int>(r.status);
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "lease never became valid";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_EQ(r.index, 1u) << "applied position 0 rides as index 1";
+  EXPECT_GE(r.commit_index, 1u);
+  EXPECT_EQ(r.view.epoch, rig.svc->leader(13).epoch);
+  // A key never applied answers index 0 under the same lease.
+  const auto absent = c.read(13, /*key=*/12345);
+  EXPECT_EQ(absent.status, net::Status::kLeaseRead);
+  EXPECT_EQ(absent.index, 0u);
+  // Pipelined reads share the connection with appends.
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) ids.push_back(c.read_async(13, 77));
+  EXPECT_EQ(c.outstanding_reads(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const auto a = c.next_read_result(/*timeout_ms=*/60000);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_TRUE(a->result.ok());
+    EXPECT_EQ(a->result.index, 1u);
+  }
+  EXPECT_EQ(c.outstanding_reads(), 0u);
+}
+
+TEST(SmrService, SkewedClockConfigRefusesLeaseReads) {
+  SmrSpec spec;
+  spec.capacity = 64;
+  spec.lease_ttl_us = 100000;
+  spec.lease_skew_us = 100000;  // skew >= ttl: leases unacquirable
+  Rig rig(14, spec);
+  net::Client c;
+  rig.connect(c);
+  ASSERT_TRUE(c.append_retry(14, 3, 0, 55, 60000).ok());
+  // Give the lease machinery several heartbeat cadences to (wrongly)
+  // acquire; every read must keep refusing — the configured behaviour
+  // for clocks that cannot be trusted inside the TTL. The committed
+  // value still rides along as an explicitly-unverified hint.
+  for (int i = 0; i < 10; ++i) {
+    const auto r = c.read(14, 55);
+    EXPECT_EQ(r.status, net::Status::kNotLeader)
+        << "skew >= ttl must never answer a lease read";
+    EXPECT_FALSE(r.ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+}
+
+TEST(SmrService, ReadsFallBackToCommittedWhenLeasesAreOff) {
+  Rig rig(15);  // default spec: lease_ttl_us = 0
+  net::Client c;
+  rig.connect(c);
+  ASSERT_TRUE(c.append_retry(15, 3, 0, 66, 60000).ok());
+  const auto r = c.read(15, 66);
+  EXPECT_EQ(r.status, net::Status::kOk) << "leases off: committed read";
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.index, 1u);
+  // Unknown group refuses crisply; the connection survives.
+  EXPECT_EQ(c.read(99, 1).status, net::Status::kUnknownGroup);
+  c.ping();
+}
+
+TEST(SmrService, ReadLogAllPagesThroughTheWholeLog) {
+  SmrSpec spec;
+  spec.capacity = 512;
+  Rig rig(16, spec);
+  net::Client c;
+  rig.connect(c);
+  // 300 entries: more than one kMaxLogEntries page, pipelined for speed.
+  constexpr std::uint64_t kAppends = 300;
+  for (std::uint64_t seq = 0; seq < kAppends; ++seq) {
+    c.append_async(16, /*client=*/5, seq, 1 + (seq % 65533));
+  }
+  std::size_t acked = 0;
+  while (acked < kAppends) {
+    const auto a = c.next_append_result(/*timeout_ms=*/60000);
+    ASSERT_TRUE(a.has_value()) << "append ack timed out at " << acked;
+    ASSERT_EQ(a->result.status, net::Status::kOk);
+    ++acked;
+  }
+  const auto all = c.read_log_all(16);
+  ASSERT_EQ(all.status, net::Status::kOk);
+  EXPECT_EQ(all.commit_index, kAppends);
+  ASSERT_EQ(all.entries.size(), kAppends);
+  for (std::uint64_t i = 0; i < kAppends; ++i) {
+    ASSERT_EQ(all.entries[i], 1 + (i % 65533)) << "entry " << i;
+  }
+  // The budget caps the page walk mid-log instead of looping forever.
+  const auto capped = c.read_log_all(16, /*max_entries=*/100);
+  EXPECT_EQ(capped.entries.size(), 100u);
+  EXPECT_EQ(capped.commit_index, kAppends);
+}
+
+TEST(SmrService, ReadRouterAnswersAndKeepsItsFloor) {
+  SmrSpec spec;
+  spec.capacity = 64;
+  spec.lease_ttl_us = 200000;
+  spec.lease_skew_us = 10000;
+  Rig rig(17, spec);
+  net::Client writer;
+  rig.connect(writer);
+  ASSERT_TRUE(writer.append_retry(17, 3, 0, 88, 60000).ok());
+  net::ReadRouter router(
+      {{"127.0.0.1", rig.server->port()}, {"127.0.0.1", rig.server->port()}});
+  // The router retries through refusals while the lease acquires, and
+  // records the answer's commit_index as the session floor.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  for (;;) {
+    const auto r = router.read(17, 88, /*response_timeout_ms=*/60000);
+    if (r.ok()) {
+      EXPECT_EQ(r.index, 1u);
+      break;
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "router never got an answer";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  EXPECT_GE(router.session_floor(), 1u)
+      << "an answered read must raise the monotonic floor";
+}
+
 TEST(SmrService, LogFullIsReportedNotHung) {
   SmrSpec tiny;
   tiny.capacity = 4;

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -368,6 +369,35 @@ TEST(WalTest, FsyncEioFreezesDurableSeq) {
   EXPECT_EQ(wal.durable_seq(), durable);  // frozen at the last good barrier
   EXPECT_GE(wal.stats().io_errors, 1u);
   wal.stop();
+}
+
+TEST(WalTest, InjectedLatencySlowsTheDiskWithoutChangingResults) {
+  const std::string dir = make_dir();
+  FaultyWalIo io(FaultyWalIo::Faults{});
+  io.set_latency_us(2000);  // every write() and sync() eats >= 2ms
+  WalOptions opts = small_opts(dir, &io);
+  opts.segment_bytes = 8u << 20;
+  Wal wal(opts);
+  wal.start();
+  const auto t0 = std::chrono::steady_clock::now();
+  wal.append_cell(1, 100, 7);
+  wal.flush();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count();
+  // One record write + one barrier, each delayed 2ms: the flush cannot
+  // have returned faster than a single injected delay.
+  EXPECT_GE(elapsed, 2000);
+  EXPECT_EQ(wal.durable_seq(), 1u);  // slow, not wrong
+  io.set_latency_us(0);  // turns off from the next call
+  wal.append_cell(1, 101, 8);
+  wal.flush();
+  EXPECT_EQ(wal.durable_seq(), 2u);
+  wal.stop();
+  Wal rewal(small_opts(dir));
+  const ReplayResult r = rewal.replay();
+  EXPECT_FALSE(r.corrupt);
+  EXPECT_EQ(r.groups.at(1).cells.at(101), 8u);
 }
 
 }  // namespace
